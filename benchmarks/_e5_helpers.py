@@ -1,0 +1,42 @@
+"""Spawned-process helpers for the E5 scaling benchmark.
+
+Kept in a separate importable module because ``multiprocessing`` with the
+``spawn`` start method must be able to import the child's target function.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import EventRecord, FieldType
+from repro.wire import protocol
+from repro.wire.tcp import connect
+
+
+def saturating_sender(
+    host: str, port: int, exs_id: int, n_records: int, batch_size: int
+) -> None:
+    """Connect as one EXS and ship *n_records* as fast as possible.
+
+    Batches are pre-encoded so the sender is pure transport: the benchmark
+    measures the ISM's capacity (the paper's bottleneck), not sender CPU.
+    """
+    template = [
+        EventRecord(
+            event_id=7,
+            timestamp=1_000_000 + i,
+            field_types=(FieldType.X_INT,) * 6,
+            values=(i, 2, 3, 4, 5, 6),
+        )
+        for i in range(batch_size)
+    ]
+    payloads = [
+        protocol.encode_batch_records(exs_id, seq, template)
+        for seq in range(n_records // batch_size)
+    ]
+    conn = connect(host, port)
+    try:
+        conn.send(protocol.Hello(exs_id=exs_id, node_id=exs_id))
+        for payload in payloads:
+            conn.send_raw(payload)
+        conn.send(protocol.Bye(reason="sender done"))
+    finally:
+        conn.close()

@@ -1,0 +1,54 @@
+"""Shared helpers for the evaluation benchmarks.
+
+Every benchmark regenerates one of the paper's reported measurements
+(DESIGN.md §4).  Besides the pytest-benchmark timing table, each experiment
+writes a human-readable results file under ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from a
+plain ``pytest benchmarks/ --benchmark-only`` run (whose stdout pytest
+captures).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class ExperimentReport:
+    """Accumulates result lines for one experiment and writes them out."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.title = title
+        self.lines: list[str] = []
+
+    def row(self, text: str) -> None:
+        """Add one result row (also echoed to stdout for -s runs)."""
+        self.lines.append(text)
+        print(text)
+
+    def table(self, header: str, rows: list[tuple]) -> None:
+        """Add a fixed-width table."""
+        self.row(header)
+        self.row("-" * len(header))
+        for cells in rows:
+            self.row("  ".join(str(c) for c in cells))
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        body = f"# {self.title}\n" + "\n".join(self.lines) + "\n"
+        path.write_text(body)
+
+
+@pytest.fixture
+def report(request):
+    """Per-test experiment report, flushed on teardown."""
+    name = request.node.name.replace("[", "_").replace("]", "")
+    rep = ExperimentReport(name, request.node.nodeid)
+    yield rep
+    if rep.lines:
+        rep.flush()

@@ -1,0 +1,84 @@
+"""A1 — ablation: compressed versus plain meta-information headers.
+
+§3.4: "The external sensor packages instrumentation data in XDR format
+with the meta-information header compressed ... Minimizing the slack in
+instrumentation data messages is important since transferring of (likely
+large volumes of) event records through the network is several orders of
+magnitude slower than through memory."
+
+The ablation quantifies what compression buys (bytes per record / batch)
+and what it costs (encode/decode time), plus the optional delta-timestamp
+knob stacked on top.
+"""
+
+from repro.core.records import EventRecord, FieldType
+from repro.wire import protocol
+
+RECORDS = [
+    EventRecord(
+        event_id=1,
+        timestamp=1_000_000 + i * 100,
+        field_types=(FieldType.X_INT,) * 6,
+        values=(i, 2, 3, 4, 5, 6),
+    )
+    for i in range(256)
+]
+
+
+def test_bytes_saved_by_compression(benchmark, report):
+    def study():
+        out = {}
+        for label, opts in (
+            ("plain meta", dict(compress_meta=False)),
+            ("compressed meta", dict(compress_meta=True)),
+            ("compressed + delta ts", dict(compress_meta=True, delta_ts=True)),
+        ):
+            payload = protocol.encode_batch_records(1, 0, RECORDS, **opts)
+            out[label] = len(payload) / len(RECORDS)
+        return out
+
+    out = benchmark.pedantic(study, rounds=1, iterations=1)
+    base = out["plain meta"]
+    rows = [
+        (f"{label:<22}", f"{per:6.1f} B/record", f"saves {100 * (1 - per / base):5.1f}%")
+        for label, per in out.items()
+    ]
+    report.table("header mode  bytes  saving", rows)
+    # A count word plus six uint32 type codes (28 B) collapse into one
+    # meta word (4 B): 24 bytes saved per record.
+    assert out["plain meta"] - out["compressed meta"] == 24.0
+    assert out["compressed + delta ts"] < out["compressed meta"]
+
+
+def test_encode_cost_compressed(benchmark):
+    benchmark(protocol.encode_batch_records, 1, 0, RECORDS, compress_meta=True)
+
+
+def test_encode_cost_plain(benchmark):
+    benchmark(protocol.encode_batch_records, 1, 0, RECORDS, compress_meta=False)
+
+
+def test_decode_cost_compressed(benchmark):
+    payload = protocol.encode_batch_records(1, 0, RECORDS, compress_meta=True)
+    benchmark(protocol.decode_message, payload)
+
+
+def test_decode_cost_plain(benchmark):
+    payload = protocol.encode_batch_records(1, 0, RECORDS, compress_meta=False)
+    benchmark(protocol.decode_message, payload)
+
+
+def test_roundtrip_equivalence(benchmark, report):
+    """Compression is purely an encoding concern: decoded records match."""
+
+    def study() -> bool:
+        a = protocol.decode_message(
+            protocol.encode_batch_records(1, 0, RECORDS, compress_meta=True)
+        )
+        b = protocol.decode_message(
+            protocol.encode_batch_records(1, 0, RECORDS, compress_meta=False)
+        )
+        return a.records == b.records
+
+    assert benchmark.pedantic(study, rounds=1, iterations=1)
+    report.row("compressed and plain headers decode to identical records")

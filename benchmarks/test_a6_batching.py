@@ -1,0 +1,82 @@
+"""A6 — ablation of the EXS batching / latency-control knobs (§2, §3.1).
+
+"Throughput and latency of the instrumentation data transfer ... these two
+requirements are in contradiction" — BRISK resolves it with per-EXS tuning
+knobs: batch size caps and the flush timeout.  The sweep measures, in the
+simulator, the end-to-end event latency distribution and the message count
+(batches shipped — the per-message overhead proxy) across the knob grid.
+
+The shape to hold: bigger batches / longer flush timeouts cut message
+count (throughput efficiency) and pay in latency; the flush timeout bounds
+the latency a lazy batch can add.
+"""
+
+import statistics
+
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig
+from repro.core.ism import IsmConfig
+from repro.core.sorting import SorterConfig
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.workload import PoissonWorkload
+
+
+def run_config(batch_max: int, flush_us: int, seed: int = 31) -> dict:
+    sim = Simulator(seed=seed)
+    config = DeploymentConfig(
+        exs_poll_interval_us=5_000,
+        ism_tick_interval_us=2_000,
+        exs=ExsConfig(batch_max_records=batch_max, flush_timeout_us=flush_us),
+        ism=IsmConfig(sorter=SorterConfig(initial_frame_us=1_000)),
+        track_latency=True,
+    )
+    dep = SimDeployment(sim, config, [CollectingConsumer()])
+    for node in dep.add_nodes(2, max_offset_us=100, max_drift_ppm=1):
+        dep.attach_workload(node, PoissonWorkload(rate_hz=1_000))
+    dep.run(10.0)
+    dep.stop()
+    lat = dep.metrics.latency_us
+    batches = sum(n.exs.stats.batches_shipped for n in dep.nodes)
+    records = sum(n.exs.stats.records_shipped for n in dep.nodes)
+    return {
+        "p50_ms": statistics.median(lat) / 1000,
+        "p99_ms": sorted(lat)[int(len(lat) * 0.99)] / 1000,
+        "records_per_batch": records / batches,
+        "batches": batches,
+    }
+
+
+def test_batching_latency_tradeoff(benchmark, report):
+    def study():
+        grid = [
+            (8, 5_000),
+            (64, 5_000),
+            (64, 40_000),
+            (512, 40_000),
+            (512, 200_000),
+        ]
+        return {(b, f): run_config(b, f) for b, f in grid}
+
+    out = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [
+        (
+            f"batch<={b:<4} flush={f / 1000:5.0f}ms",
+            f"p50 {m['p50_ms']:6.2f} ms",
+            f"p99 {m['p99_ms']:7.2f} ms",
+            f"{m['records_per_batch']:6.1f} rec/batch",
+        )
+        for (b, f), m in out.items()
+    ]
+    report.table("knobs  latency-p50  latency-p99  batching", rows)
+    report.row("paper (§2): throughput and latency are in contradiction; the")
+    report.row("knobs trade between them")
+    tight = out[(8, 5_000)]
+    lazy = out[(512, 200_000)]
+    # The lazy end amortizes far better per message...
+    assert lazy["records_per_batch"] > tight["records_per_batch"] * 4
+    # ...and pays for it in delivery latency.
+    assert lazy["p50_ms"] > tight["p50_ms"] * 2
+    # The flush timeout bounds the worst case wherever it is set.
+    for (b, f), m in out.items():
+        assert m["p99_ms"] < (f + 3 * 5_000 + 10_000) / 1000 + 5

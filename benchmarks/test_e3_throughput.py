@@ -1,0 +1,122 @@
+"""E3 — maximum EXS → ISM event throughput.
+
+Paper: "the maximum throughput achieved between an EXS and ISM was 90,000
+events per second" on Sun Ultra-1 / 155 Mbps ATM.
+
+Two measurements:
+
+* ``pipeline`` — the full software path with the transport removed
+  (encode at the EXS, decode + sort + deliver at the ISM in one process):
+  the upper bound set by codec + sorter CPU.
+* ``socket`` — the same path over a real localhost TCP stream with the
+  EXS on a thread, reproducing the paper's single-stream configuration.
+
+The shape to hold: a single stream sustains tens of thousands of events
+per second, and the socket adds modest overhead over the pipeline bound
+(the bottleneck is CPU, not the wire — exactly the paper's observation).
+"""
+
+import threading
+import time
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.consumers import CallbackConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.ringbuffer import OverflowPolicy, RingBuffer, HEADER_SIZE
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.core.records import EventRecord, FieldType
+from repro.runtime.exs_proc import ExsProcess
+from repro.runtime.ism_proc import IsmServer
+from repro.util.timebase import now_micros
+from repro.wire import protocol
+from repro.wire.tcp import MessageListener, connect
+
+N_EVENTS = 40_000
+BATCH = 256
+
+
+def make_records(n: int) -> list[EventRecord]:
+    return [
+        EventRecord(
+            event_id=7,
+            timestamp=1_000_000 + i,
+            field_types=(FieldType.X_INT,) * 6,
+            values=(i, 2, 3, 4, 5, 6),
+        )
+        for i in range(n)
+    ]
+
+
+def test_throughput_pipeline_no_transport(benchmark, report):
+    records = make_records(N_EVENTS)
+    payloads = [
+        protocol.encode_batch_records(1, seq, records[i : i + BATCH])
+        for seq, i in enumerate(range(0, N_EVENTS, BATCH))
+    ]
+
+    def run() -> int:
+        delivered = [0]
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+            [CallbackConsumer(lambda r: delivered.__setitem__(0, delivered[0] + 1))],
+        )
+        manager.register_source(1, 1)
+        now = 2_000_000_000
+        for payload in payloads:
+            manager.on_message(protocol.decode_message(payload), now)
+            manager.tick(now)
+            now += 1000
+        manager.flush(now)
+        return delivered[0]
+
+    delivered = benchmark.pedantic(run, rounds=3, warmup_rounds=1)
+    assert delivered == N_EVENTS
+    rate = N_EVENTS / benchmark.stats.stats.mean
+    report.row(f"pipeline (decode+sort+deliver, no transport): {rate:,.0f} ev/s")
+    report.row("paper: 90,000 ev/s max over ATM (C implementation)")
+
+
+def test_throughput_single_stream_socket(benchmark, report):
+    def run() -> float:
+        received = [0]
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+            [CallbackConsumer(lambda r: received.__setitem__(0, received[0] + 1))],
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+
+        ring = RingBuffer(
+            bytearray(HEADER_SIZE + (1 << 22)), OverflowPolicy.DROP_NEW
+        )
+        sensor = Sensor(ring, node_id=1)
+        exs = ExternalSensor(
+            1, 1, ring, CorrectedClock(now_micros),
+            ExsConfig(batch_max_records=BATCH, flush_timeout_us=1_000,
+                      drain_limit=100_000),
+        )
+        proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.001)
+
+        emitted = 0
+        while emitted < N_EVENTS:
+            if sensor.notice_ints(7, emitted, 2, 3, 4, 5, 6):
+                emitted += 1
+        thread = threading.Thread(target=proc.run, daemon=True)
+        t0 = time.perf_counter()
+        thread.start()
+        server.serve(duration_s=30.0, until_records=N_EVENTS)
+        elapsed = time.perf_counter() - t0
+        proc.stop()
+        thread.join(timeout=5)
+        listener.close()
+        assert manager.stats.records_received == N_EVENTS
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=3, warmup_rounds=0)
+    rate = N_EVENTS / elapsed
+    report.row(f"single EXS→ISM TCP stream: {rate:,.0f} ev/s")
+    report.row("paper: 90,000 ev/s max (C implementation, shape: same order)")
+    assert rate > 10_000  # tens of thousands per second minimum

@@ -1,0 +1,217 @@
+"""E6 — clock-synchronization quality over 8 nodes, 5 s polling, 10 min.
+
+Paper: "The clock synchronization algorithm was able to keep EXS clocks
+(8 of them, using 5 s polling period over 10 minutes) within [tens of]
+microseconds under light working conditions, and most of the time under
+200 microseconds at times when disturbances of various sources in the LAN
+interfered with it."
+
+Reproduction on the simulation substrate (DESIGN.md §2 substitution):
+eight drifting clocks (±20 ms initial offsets, ±5 ppm drift), BRISK sync
+at a 5 s period for 10 simulated minutes, ground-truth max pairwise skew
+sampled each second.  Two link regimes: quiet LAN and a LAN with
+disturbance bursts.  Also A3: BRISK's modified algorithm versus the plain
+Cristian baseline — convergence speed and the advance-only property.
+"""
+
+import statistics
+
+from repro.clocksync.brisk_sync import BriskSyncConfig
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.network import DisturbanceModel, LinkModelConfig
+from repro.sim.workload import PoissonWorkload
+
+DURATION_S = 600.0  # the paper's 10 minutes
+WARMUP_S = 60.0  # let the algorithm converge before judging steady state
+
+
+def run_sync_experiment(
+    link: LinkModelConfig,
+    sync_algorithm: str = "brisk",
+    seed: int = 42,
+    n_nodes: int = 8,
+    drift_ppm: float = 5.0,
+    cristian_max_step_us: int | None = None,
+) -> list[tuple[int, float]]:
+    sim = Simulator(seed=seed)
+    config = DeploymentConfig(
+        sync_period_us=5_000_000,
+        # The RTT gate (Cristian's probabilistic probe rejection) guards
+        # the advance-only corrections against disturbance-inflated RTTs.
+        sync=BriskSyncConfig(
+            probes_per_round=4, threshold_us=100.0, rtt_gate_us=700
+        ),
+        link=link,
+        exs_poll_interval_us=100_000,
+        ism_tick_interval_us=50_000,
+        cristian_max_step_us=cristian_max_step_us,
+    )
+    dep = SimDeployment(sim, config, [], sync_algorithm=sync_algorithm)
+    dep.add_nodes(n_nodes, max_offset_us=20_000, max_drift_ppm=drift_ppm)
+    # Light instrumentation traffic so the data path exists.
+    for node in dep.nodes:
+        dep.attach_workload(node, PoissonWorkload(rate_hz=20))
+    dep.start()
+    dep.monitor_skew(interval_us=1_000_000)
+    dep.run(DURATION_S)
+    return dep.metrics.skew_spread_samples
+
+
+QUIET = LinkModelConfig(base_delay_us=200, jitter_mean_us=20)
+DISTURBED = LinkModelConfig(
+    base_delay_us=200,
+    jitter_mean_us=50,
+    disturbance=DisturbanceModel(
+        mean_interval_us=30_000_000,
+        mean_duration_us=5_000_000,
+        extra_delay_us=300,
+        extra_jitter_us=600,
+    ),
+)
+
+
+def steady_state(samples: list[tuple[int, float]]) -> list[float]:
+    cutoff = WARMUP_S * 1_000_000
+    return [spread for t, spread in samples if t >= cutoff]
+
+
+def test_quiet_lan_skew(benchmark, report):
+    samples = benchmark.pedantic(
+        run_sync_experiment, args=(QUIET,), rounds=1, iterations=1
+    )
+    steady = steady_state(samples)
+    med = statistics.median(steady)
+    p95 = sorted(steady)[int(len(steady) * 0.95)]
+    report.row(f"8 nodes, 5 s polling, 10 min, quiet LAN (steady state):")
+    report.row(f"  median spread {med:.0f} us, p95 {p95:.0f} us, max {max(steady):.0f} us")
+    report.row("paper: within tens of us under light conditions")
+    assert med < 150  # tens-of-µs regime (Python sim: same order)
+    assert max(steady) < 500
+
+
+def test_disturbed_lan_skew(benchmark, report):
+    samples = benchmark.pedantic(
+        run_sync_experiment, args=(DISTURBED,), rounds=1, iterations=1
+    )
+    steady = steady_state(samples)
+    under_200 = sum(1 for s in steady if s < 200) / len(steady)
+    report.row(f"8 nodes, 5 s polling, 10 min, disturbed LAN (steady state):")
+    report.row(
+        f"  median {statistics.median(steady):.0f} us, "
+        f"max {max(steady):.0f} us, fraction <200us: {under_200 * 100:.0f}%"
+    )
+    report.row("paper: most of the time under 200 us during disturbances")
+    assert under_200 > 0.5  # "most of the time"
+
+
+def test_a3_brisk_vs_cristian_convergence(benchmark, report):
+    """A3 — convergence speed versus the Cristian baseline.
+
+    Cristian's published algorithm does not jump clocks: corrections are
+    amortized (slewed) to preserve local interval measurements — here
+    bounded at 2.5 ms per 5 s round, a generous 500 µs/s slew.  BRISK
+    jumps its clocks *forward* in one step, which is safe precisely
+    because it is advance-only; that is where its faster convergence
+    comes from.  The idealized instant-step Cristian is reported too.
+    """
+
+    def study():
+        out = {}
+        cases = {
+            "brisk": dict(sync_algorithm="brisk"),
+            "cristian (amortized)": dict(
+                sync_algorithm="cristian", cristian_max_step_us=2_500
+            ),
+            "cristian (instant, idealized)": dict(sync_algorithm="cristian"),
+        }
+        for label, kwargs in cases.items():
+            samples = run_sync_experiment(QUIET, seed=7, **kwargs)
+            converged_at = next((t for t, s in samples if s < 1_000), None)
+            steady = steady_state(samples)
+            out[label] = (converged_at, statistics.median(steady))
+        return out
+
+    out = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [
+        (
+            f"{label:<30}",
+            f"converged<1ms at {t / 1e6:6.1f} s" if t else "never <1ms",
+            f"steady median {med:7.1f} us",
+        )
+        for label, (t, med) in out.items()
+    ]
+    report.table("algorithm  convergence  steady-state", rows)
+    report.row("paper: the modification converges faster than Cristian's original")
+    brisk_t, _ = out["brisk"]
+    amortized_t, _ = out["cristian (amortized)"]
+    assert brisk_t is not None
+    assert brisk_t < (amortized_t if amortized_t is not None else float("inf"))
+
+
+def test_sync_quality_vs_node_count(benchmark, report):
+    """Extension: does mutual synchrony degrade with ensemble size?
+
+    The paper measured 8 nodes because only 8 workstations were free; the
+    simulator lifts that constraint.  The shape to expect: the steady
+    spread grows slowly (max over N noisy estimates), not linearly — the
+    algorithm's above-average gate scales.
+    """
+
+    def study():
+        out = {}
+        for n in (2, 4, 8, 16):
+            samples = run_sync_experiment(QUIET, seed=13, n_nodes=n)
+            steady = steady_state(samples)
+            out[n] = statistics.median(steady)
+        return out
+
+    out = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [
+        (f"{n:>2} nodes", f"steady median {med:7.1f} us")
+        for n, med in out.items()
+    ]
+    report.table("ensemble size  mutual spread", rows)
+    report.row("extension beyond the paper's 8 available workstations")
+    # Sub-linear growth: 16 nodes must not cost 8x the 2-node spread.
+    assert out[16] < out[2] * 8
+    # And everything stays in the paper's quiet-LAN regime.
+    assert all(med < 300 for med in out.values())
+
+
+def test_a3_advance_only_property(benchmark, report):
+    """BRISK never steps a clock back; the baseline does (design trade)."""
+
+    def study():
+        results = {}
+        for algo in ("brisk", "cristian"):
+            sim = Simulator(seed=21)
+            config = DeploymentConfig(
+                sync_period_us=5_000_000, link=QUIET, warmup_sync_rounds=1
+            )
+            dep = SimDeployment(sim, config, [], sync_algorithm=algo)
+            dep.add_nodes(4, max_offset_us=20_000, max_drift_ppm=5)
+            dep.start()
+            dep.run(120.0)
+            master = dep.sync_master
+            negatives = sum(
+                1
+                for round_report in master.history
+                for c in round_report.corrections.values()
+                if c < 0
+            )
+            positives = sum(
+                1
+                for round_report in master.history
+                for c in round_report.corrections.values()
+                if c > 0
+            )
+            results[algo] = (negatives, positives)
+        return results
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    for algo, (neg, pos) in results.items():
+        report.row(f"{algo}: {neg} backward corrections, {pos} forward, in 2 min")
+    report.row("paper: BRISK corrections are advance-only")
+    assert results["brisk"][0] == 0 and results["brisk"][1] > 0
+    assert results["cristian"][0] > 0

@@ -1,0 +1,92 @@
+"""E8 — record size in the XDR-based transfer protocol.
+
+Paper: "Including the time-stamp and type information, each
+instrumentation data record requires 40 bytes in the XDR-based transfer
+protocol" (for the six-integer-field benchmark record).
+
+This reproduces the exact figure and sweeps record width and field types,
+plus the encode/decode speed of the codec itself.
+"""
+
+from repro.core.records import EventRecord, FieldType
+from repro.wire import protocol
+
+
+def int_record(n_fields: int) -> EventRecord:
+    return EventRecord(
+        event_id=1,
+        timestamp=1_000_000,
+        field_types=(FieldType.X_INT,) * n_fields,
+        values=tuple(range(n_fields)),
+    )
+
+
+def test_paper_40_byte_record(benchmark, report):
+    record = int_record(6)
+
+    def measure() -> int:
+        return protocol.record_wire_size(record)
+
+    size = benchmark(measure)
+    report.row(f"6 x X_INT record: {size} bytes on the wire")
+    report.row("paper: 40 bytes including time-stamp and type information")
+    assert size == 40
+
+
+def test_size_vs_field_count(benchmark, report):
+    def study():
+        return {n: protocol.record_wire_size(int_record(n)) for n in
+                (0, 1, 2, 4, 6, 8, 12, 16)}
+
+    sizes = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [(f"{n:>2} int fields", f"{size:>3} bytes") for n, size in sizes.items()]
+    report.table("fields  wire size", rows)
+    # Fixed cost (event id + meta word + timestamp) is 16 bytes; each int
+    # field adds exactly 4 until the meta needs extension words.
+    assert sizes[0] == 16
+    assert sizes[6] == 40
+    assert sizes[8] == 16 + 4 + 8 * 4  # one meta extension word
+
+
+def test_size_per_field_type(benchmark, report):
+    cases = {
+        "X_BYTE": (FieldType.X_BYTE, 1),
+        "X_INT": (FieldType.X_INT, 1),
+        "X_HYPER": (FieldType.X_HYPER, 1),
+        "X_DOUBLE": (FieldType.X_DOUBLE, 1.0),
+        "X_TS": (FieldType.X_TS, 1),
+        "X_STRING(5)": (FieldType.X_STRING, "hello"),
+        "X_OPAQUE(3)": (FieldType.X_OPAQUE, b"abc"),
+    }
+
+    def study():
+        out = {}
+        for name, (ftype, value) in cases.items():
+            record = EventRecord(
+                event_id=1, timestamp=0, field_types=(ftype,), values=(value,)
+            )
+            out[name] = protocol.record_wire_size(record)
+        return out
+
+    sizes = benchmark.pedantic(study, rounds=1, iterations=1)
+    rows = [(f"{name:<12}", f"{size:>3} bytes") for name, size in sizes.items()]
+    report.table("one-field record  wire size", rows)
+    assert sizes["X_BYTE"] == 20   # XDR pads small ints to 4 bytes
+    assert sizes["X_HYPER"] == 24
+    assert sizes["X_STRING(5)"] == 16 + 4 + 8  # length + padded body
+
+
+def test_batch_encode_speed(benchmark, report):
+    records = [int_record(6) for _ in range(256)]
+    payload = benchmark(protocol.encode_batch_records, 1, 0, records)
+    rate = 256 / benchmark.stats.stats.mean
+    report.row(f"encode: {rate:,.0f} records/s ({len(payload)} B per 256-record batch)")
+
+
+def test_batch_decode_speed(benchmark, report):
+    records = [int_record(6) for _ in range(256)]
+    payload = protocol.encode_batch_records(1, 0, records)
+    batch = benchmark(protocol.decode_message, payload)
+    assert len(batch.records) == 256
+    rate = 256 / benchmark.stats.stats.mean
+    report.row(f"decode: {rate:,.0f} records/s")

@@ -1,0 +1,143 @@
+"""M1 — microbenchmarks of the kernel's hot data structures.
+
+Not a paper experiment: a performance-regression harness for the pieces
+every experiment sits on.  If one of these moves by a magnitude, every
+E-number above it moves too.
+"""
+
+import random
+
+from repro.core import native
+from repro.core.cre import CausalMatcher
+from repro.core.records import EventRecord, FieldType
+from repro.core.ringbuffer import HEADER_SIZE, OverflowPolicy, RingBuffer
+from repro.core.sorting import OnlineSorter, SorterConfig
+from repro.xdr import XdrDecoder, XdrEncoder
+
+RECORD = EventRecord(
+    event_id=7,
+    timestamp=1_000_000,
+    field_types=(FieldType.X_INT,) * 6,
+    values=(1, 2, 3, 4, 5, 6),
+)
+PACKED = native.pack_record(RECORD)
+
+
+def test_native_pack(benchmark):
+    benchmark(native.pack_record, RECORD)
+
+
+def test_native_unpack(benchmark):
+    benchmark(native.unpack_record, PACKED)
+
+
+def test_native_timestamp_peek(benchmark):
+    benchmark(native.timestamp_of, PACKED)
+
+
+def test_ring_push_pop_cycle(benchmark):
+    ring = RingBuffer(
+        bytearray(HEADER_SIZE + (1 << 16)), OverflowPolicy.OVERWRITE_OLD
+    )
+
+    def cycle():
+        ring.push_bytes(PACKED)
+        return ring.pop_bytes()
+
+    assert benchmark(cycle) == PACKED
+
+
+def test_xdr_encoder_int_burst(benchmark):
+    def burst():
+        enc = XdrEncoder()
+        for k in range(64):
+            enc.pack_int(k)
+        return enc.getvalue()
+
+    assert len(benchmark(burst)) == 256
+
+
+def test_xdr_decoder_int_burst(benchmark):
+    enc = XdrEncoder()
+    for k in range(64):
+        enc.pack_int(k)
+    payload = enc.getvalue()
+
+    def burst():
+        dec = XdrDecoder(payload)
+        total = 0
+        for _ in range(64):
+            total += dec.unpack_int()
+        return total
+
+    assert benchmark(burst) == sum(range(64))
+
+
+def test_sorter_push_extract(benchmark):
+    rng = random.Random(1)
+    items = [
+        (rng.randrange(8), make_ts_record(i), i * 100)
+        for i in range(512)
+    ]
+
+    def run():
+        sorter = OnlineSorter(SorterConfig(initial_frame_us=0))
+        for source, record, now in items:
+            sorter.push(source, record, now)
+            sorter.extract(now)
+        return sorter.stats.released
+
+    benchmark(run)
+
+
+def make_ts_record(i: int) -> EventRecord:
+    return EventRecord(
+        event_id=1,
+        timestamp=i * 97 % 50_000,
+        field_types=(),
+        values=(),
+    )
+
+
+def test_cre_noncausal_passthrough(benchmark):
+    matcher = CausalMatcher()
+    result = benchmark(matcher.process, RECORD, 0)
+    assert result == [RECORD]
+
+
+def test_system_metrics_sample(benchmark):
+    """Generic external sensor: one full /proc sampling pass."""
+    import pathlib
+
+    import pytest
+
+    if not pathlib.Path("/proc/self/stat").exists():
+        pytest.skip("no procfs on this platform")
+    from repro.core.ringbuffer import ring_for_records
+    from repro.core.sensor import Sensor
+    from repro.core.system_sensor import SystemMetricsSensor
+
+    ring = RingBuffer(
+        bytearray(HEADER_SIZE + (1 << 20)), OverflowPolicy.OVERWRITE_OLD
+    )
+    metrics = SystemMetricsSensor(Sensor(ring, node_id=1), announce=False)
+    emitted = benchmark(metrics.sample)
+    assert emitted >= 3
+
+
+def test_cre_reason_conseq_pair(benchmark):
+    reason = EventRecord(
+        event_id=1, timestamp=10,
+        field_types=(FieldType.X_REASON,), values=(1,),
+    )
+    conseq = EventRecord(
+        event_id=2, timestamp=20,
+        field_types=(FieldType.X_CONSEQ,), values=(1,),
+    )
+
+    def pair():
+        matcher = CausalMatcher()
+        matcher.process(reason, 10)
+        return matcher.process(conseq, 20)
+
+    assert len(benchmark(pair)) == 1

@@ -1,0 +1,102 @@
+"""M2 — microbenchmarks of the analysis (tool) layer.
+
+Trace loading and querying are interactive-path operations for the tools
+built on the kernel; this harness keeps them honest on large traces.
+"""
+
+import io
+import random
+
+from repro.analysis.causality import build_causal_graph
+from repro.analysis.statistics import rate_series
+from repro.analysis.trace import Trace
+from repro.core.records import EventRecord, FieldType
+from repro.picl.format import dumps
+
+N = 50_000
+
+
+def big_records() -> list[EventRecord]:
+    rng = random.Random(5)
+    return [
+        EventRecord(
+            event_id=rng.randrange(10),
+            timestamp=1_700_000_000_000_000 + k * 100 + rng.randrange(50),
+            field_types=(FieldType.X_INT,) * 6,
+            values=(k % 2**31, 2, 3, 4, 5, 6),
+            node_id=rng.randrange(8),
+        )
+        for k in range(N)
+    ]
+
+
+RECORDS = big_records()
+TRACE = Trace(RECORDS)
+
+
+def test_trace_construction(benchmark, report):
+    trace = benchmark(Trace, RECORDS)
+    rate = N / benchmark.stats.stats.mean
+    report.row(f"Trace construction: {rate:,.0f} records/s")
+    assert len(trace) == N
+
+
+def test_trace_between_query(benchmark):
+    mid = TRACE.start_us + TRACE.duration_us // 2
+    window = benchmark(TRACE.between, mid, mid + 1_000_000)
+    assert len(window) > 0
+
+
+def test_rate_series_numpy_path(benchmark, report):
+    series = benchmark(rate_series, TRACE, 1_000_000)
+    rate = N / benchmark.stats.stats.mean
+    report.row(f"rate_series: {rate:,.0f} records/s binned")
+    assert series.mean_hz > 0
+
+
+def test_native_save_load_roundtrip(benchmark, tmp_path, report):
+    path = tmp_path / "big.bin"
+
+    def roundtrip() -> int:
+        TRACE.save_native(path)
+        return len(Trace.from_native_file(path))
+
+    count = benchmark.pedantic(roundtrip, rounds=3, warmup_rounds=1)
+    assert count == N
+    rate = 2 * N / benchmark.stats.stats.mean
+    report.row(f"native save+load: {rate:,.0f} records/s")
+
+
+def test_picl_parse(benchmark, report):
+    text = dumps(RECORDS[:5_000])
+
+    def parse() -> Trace:
+        return Trace.from_picl(io.StringIO(text))
+
+    trace = benchmark(parse)
+    assert len(trace) == 5_000
+    rate = 5_000 / benchmark.stats.stats.mean
+    report.row(f"PICL parse: {rate:,.0f} records/s")
+
+
+def test_causal_graph_build(benchmark, report):
+    rng = random.Random(9)
+    causal = []
+    for k in range(5_000):
+        causal.append(
+            EventRecord(
+                event_id=1, timestamp=k * 100,
+                field_types=(FieldType.X_REASON,), values=(k,), node_id=1,
+            )
+        )
+        causal.append(
+            EventRecord(
+                event_id=2, timestamp=k * 100 + 50,
+                field_types=(FieldType.X_CONSEQ,), values=(k,), node_id=2,
+            )
+        )
+    trace = Trace(causal)
+    graph = benchmark(build_causal_graph, trace)
+    assert graph.n_edges == 5_000
+    rate = len(causal) / benchmark.stats.stats.mean
+    report.row(f"causal graph build: {rate:,.0f} records/s")

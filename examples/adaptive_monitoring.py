@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Adaptive monitoring: the ISM steering its own data sources.
+
+A bursty application floods the instrumentation system; an
+:class:`~repro.runtime.throttle.AutoThrottle` loop watches the receive
+rate and pushes sampling filters down to the external sensor whenever the
+target rate is exceeded — then relaxes them when the burst passes.  All
+of it uses the kernel's own primitives (``SetFilter`` over the control
+channel), demonstrating the §2 knobs closing into a feedback loop.
+
+Run:  python examples/adaptive_monitoring.py
+"""
+
+from repro.core.consumers import CollectingConsumer
+from repro.runtime.throttle import AutoThrottle, ThrottleConfig
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.workload import BurstyWorkload, PoissonWorkload
+from repro.wire import protocol
+
+
+def main() -> None:
+    sim = Simulator(seed=17)
+    collected = CollectingConsumer()
+    dep = SimDeployment(
+        sim,
+        DeploymentConfig(exs_poll_interval_us=10_000, ism_tick_interval_us=5_000),
+        [collected],
+    )
+    steady = dep.add_node()
+    bursty = dep.add_node()
+    dep.attach_workload(steady, PoissonWorkload(rate_hz=300))
+    dep.attach_workload(
+        bursty,
+        BurstyWorkload(burst_rate_hz=20_000, burst_len=4_000, gap_us=2_000_000),
+    )
+    dep.start()
+
+    # Wire the throttle: the "push" applies a SetFilter to the right EXS
+    # exactly as the TCP server would, minus the socket.
+    def push_filter(exs_id: int, spec) -> None:
+        node = dep.nodes[exs_id - 1]
+        node.exs.on_set_filter(protocol.SetFilter.from_spec(spec))
+
+    throttle = AutoThrottle(
+        push_filter,
+        ThrottleConfig(target_rate_hz=2_000.0, max_sample_every=64),
+    )
+
+    def control_tick() -> None:
+        counts = {
+            node.exs.exs_id: node.exs.stats.records_shipped
+            for node in dep.nodes
+        }
+        throttle.observe(sim.now, counts)
+
+    sim.schedule_every(250_000, control_tick)
+    dep.run(20.0)
+    dep.stop()
+
+    print(f"delivered {len(collected.records)} records; "
+          f"control decisions: {len(throttle.decisions)}")
+    emitted = sum(n.sensor.emitted for n in dep.nodes)
+    filtered = sum(n.exs.stats.records_filtered for n in dep.nodes)
+    print(f"application emitted {emitted}; source filters dropped {filtered} "
+          f"({filtered / emitted * 100:.0f}%)")
+
+    print("\ncontrol-loop activity (rate observed -> action):")
+    interesting = [d for d in throttle.decisions if d[2] not in ("hold", "warmup")]
+    for now_us, rate, action in interesting[:12]:
+        print(f"  t={now_us / 1e6:6.2f}s  {rate:9,.0f} ev/s  {action}")
+    if len(interesting) > 12:
+        print(f"  ... and {len(interesting) - 12} more adjustments")
+
+    tightened = sum(1 for _, _, a in throttle.decisions if a.startswith("tighten"))
+    relaxed = sum(1 for _, _, a in throttle.decisions if a.startswith("relax"))
+    print(f"\ntightened {tightened}x during bursts, relaxed {relaxed}x after; "
+          f"final sampling: {throttle.sample_every or 'none (full detail)'}")
+
+
+if __name__ == "__main__":
+    main()

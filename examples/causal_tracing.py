@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Causal tracing: X_REASON / X_CONSEQ across badly synchronized nodes.
+
+A client node sends requests to a server node; the server's clock runs
+half a second *behind*, so by raw timestamps every reply appears to happen
+before its request — tachyons everywhere.  Marking the pairs with BRISK's
+causal system types makes the ISM:
+
+1. park each reply until its request has been processed,
+2. override tachyonic reply timestamps to land just after the request,
+3. trigger extra clock-synchronization rounds that actually pull the
+   clocks together.
+
+Run:  python examples/causal_tracing.py
+"""
+
+from repro.core.consumers import CollectingConsumer
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+
+N_REQUESTS = 25
+SERVER_LAG_US = 500_000  # the server clock starts 0.5 s behind
+
+
+def main() -> None:
+    sim = Simulator(seed=2)
+    collected = CollectingConsumer()
+    dep = SimDeployment(
+        sim,
+        # No warmup: the first pairs hit the raw half-second skew.
+        DeploymentConfig(warmup_sync_rounds=0, sync_period_us=60_000_000),
+        consumers=[collected],
+    )
+    client = dep.add_node(offset_us=0)
+    server = dep.add_node(offset_us=-SERVER_LAG_US)
+    dep.start()
+
+    def request_reply(request_id: int) -> None:
+        # The client instruments the request as a REASON...
+        client.sensor.notice_reason(event_id=1, reason_id=request_id)
+        # ...and 2 ms later (network + service time) the server
+        # instruments the reply as the CONSEQUENCE.
+        sim.schedule(
+            2_000,
+            lambda: server.sensor.notice_conseq(event_id=2, conseq_id=request_id),
+        )
+
+    for k in range(N_REQUESTS):
+        sim.schedule(100_000 + k * 200_000, request_reply, k)
+
+    dep.run(8.0)
+    dep.stop()
+
+    cre = dep.ism.cre.stats
+    print(f"requests/replies delivered: {len(collected.records)}")
+    print(f"replies parked awaiting their request: {cre.parked}")
+    print(f"tachyons corrected (timestamps overridden): {cre.tachyons_fixed}")
+    print(f"extra clock-sync rounds triggered: {dep.metrics.extra_sync_rounds}")
+    print(f"clock skew after causal-driven syncs: "
+          f"{dep.true_skew_spread():.0f} us (started at {SERVER_LAG_US} us)")
+
+    # Verify: in the delivered trace, every reply follows its request.
+    position = {}
+    for idx, record in enumerate(collected.records):
+        marker = (record.reason_ids or record.conseq_ids)[0]
+        position[(record.event_id, marker)] = (idx, record.timestamp)
+    violations = 0
+    for k in range(N_REQUESTS):
+        req_pos, req_ts = position[(1, k)]
+        rep_pos, rep_ts = position[(2, k)]
+        if rep_pos < req_pos or rep_ts <= req_ts:
+            violations += 1
+    print(f"causal violations in the delivered trace: {violations}/{N_REQUESTS}")
+    assert violations == 0
+    print("every reply follows its request — causal tracing OK")
+
+
+if __name__ == "__main__":
+    main()

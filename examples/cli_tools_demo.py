@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""End-to-end demo of the command-line tools, as real subprocesses.
+
+What a first-time operator would do, scripted:
+
+1. start ``brisk-ism`` in one process (serving TCP, logging PICL);
+2. run an application under ``brisk-monitor`` in another, shipping its
+   transparent function trace to the ISM over the socket;
+3. analyze the resulting trace with ``brisk-trace-stats`` and
+   ``brisk-replay``.
+
+Everything is invoked as ``python -m repro.tools.<tool>`` so the demo
+works without installed console scripts.
+
+Run:  python examples/cli_tools_demo.py
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+WORKLOAD = '''
+def transform(x):
+    return x * x % 997
+
+def pipeline(n):
+    return sum(transform(k) for k in range(n))
+
+if __name__ == "__main__":
+    total = sum(pipeline(50) for _ in range(20))
+    print(f"workload result: {total}")
+'''
+
+
+def run(args: list[str], **kwargs) -> subprocess.CompletedProcess:
+    print(f"$ {' '.join(args)}")
+    return subprocess.run(
+        [sys.executable, "-m"] + args,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        **kwargs,
+    )
+
+
+def main() -> None:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="brisk-demo-"))
+    script = workdir / "app.py"
+    script.write_text(WORKLOAD)
+    trace_path = workdir / "run.picl"
+
+    # 1. ISM server in the background.
+    ism = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.tools.ism_cli",
+            "--port", "0",
+            "--picl", str(trace_path),
+            "--sync-period", "0",
+            "--duration", "60",
+            "--until-records", "100",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # Parse the announced ephemeral port.
+        line = ism.stdout.readline()
+        print(line.strip())
+        port = int(line.strip().rsplit(":", 1)[1])
+
+        # 2. Monitor the application, shipping to the ISM.
+        result = run(
+            [
+                "repro.tools.monitor_cli",
+                "--include", "__main__",
+                "--ism", f"127.0.0.1:{port}",
+                str(script),
+            ]
+        )
+        print(result.stdout.strip())
+        print(result.stderr.strip())
+        assert result.returncode == 0
+
+        ism.wait(timeout=60)
+        print(ism.stdout.read().strip())
+    finally:
+        if ism.poll() is None:
+            ism.terminate()
+
+    # 3. Analyze the trace the ISM logged.
+    time.sleep(0.1)
+    stats = run(["repro.tools.trace_stats_cli", str(trace_path), "--events"])
+    print("\n--- brisk-trace-stats ---")
+    print(stats.stdout.strip())
+    assert "records:" in stats.stdout
+
+    sorted_path = workdir / "sorted.picl"
+    replay = run(
+        ["repro.tools.replay_cli", str(trace_path), str(sorted_path), "--relative"]
+    )
+    print("\n--- brisk-replay ---")
+    print(replay.stdout.strip())
+    assert sorted_path.exists()
+    print(f"\nartifacts in {workdir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Clock-synchronization study: the paper's E6 experiment, interactively.
+
+Eight simulated workstations with drifting clocks, BRISK synchronization
+at a 5-second polling period, ten simulated minutes — once on a quiet LAN
+and once with disturbance bursts — plus the Cristian baseline.  Prints an
+ASCII time series of the ground-truth clock spread.
+
+Run:  python examples/clock_sync_study.py
+"""
+
+import statistics
+
+from repro.clocksync.brisk_sync import BriskSyncConfig
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.network import DisturbanceModel, LinkModelConfig
+from repro.sim.workload import PoissonWorkload
+
+QUIET = LinkModelConfig(base_delay_us=200, jitter_mean_us=20)
+DISTURBED = LinkModelConfig(
+    base_delay_us=200,
+    jitter_mean_us=50,
+    disturbance=DisturbanceModel(
+        mean_interval_us=30_000_000,
+        mean_duration_us=5_000_000,
+        extra_delay_us=300,
+        extra_jitter_us=600,
+    ),
+)
+
+
+def run(link: LinkModelConfig, algorithm: str, minutes: float = 10.0):
+    sim = Simulator(seed=42)
+    config = DeploymentConfig(
+        sync_period_us=5_000_000,
+        sync=BriskSyncConfig(probes_per_round=4, rtt_gate_us=700),
+        link=link,
+        exs_poll_interval_us=100_000,
+        ism_tick_interval_us=50_000,
+    )
+    dep = SimDeployment(sim, config, [], sync_algorithm=algorithm)
+    dep.add_nodes(8, max_offset_us=20_000, max_drift_ppm=5)
+    for node in dep.nodes:
+        dep.attach_workload(node, PoissonWorkload(rate_hz=20))
+    dep.start()
+    dep.monitor_skew(interval_us=5_000_000)
+    dep.run(minutes * 60.0)
+    return dep.metrics.skew_spread_samples
+
+
+def sparkline(samples, width: int = 60) -> str:
+    blocks = " .:-=+*#%@"
+    values = [s for _, s in samples][-width:]
+    top = max(values) or 1.0
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))]
+        for v in values
+    )
+
+
+def describe(label: str, samples) -> None:
+    steady = [s for t, s in samples if t >= 60_000_000]
+    print(f"\n{label}")
+    print(f"  spread over time: [{sparkline(samples)}]")
+    print(f"  steady state: median {statistics.median(steady):7.1f} us, "
+          f"p95 {sorted(steady)[int(len(steady) * 0.95)]:7.1f} us, "
+          f"max {max(steady):7.1f} us")
+    under_200 = sum(1 for s in steady if s < 200) / len(steady)
+    print(f"  fraction under 200 us: {under_200 * 100:.0f}%")
+
+
+def main() -> None:
+    print("8 nodes, +/-20 ms initial offsets, +/-5 ppm drift, "
+          "5 s polling, 10 simulated minutes")
+    describe("BRISK sync, quiet LAN", run(QUIET, "brisk"))
+    describe("BRISK sync, disturbed LAN", run(DISTURBED, "brisk"))
+    describe("Cristian baseline, quiet LAN", run(QUIET, "cristian"))
+    describe("no synchronization (free-running clocks)", run(QUIET, "none"))
+    print("\npaper: tens of us quiet; mostly <200 us under disturbances")
+
+
+if __name__ == "__main__":
+    main()

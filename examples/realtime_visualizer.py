@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Visual objects: the ISM's CORBA-style on-line visualization path.
+
+§3.5: the ISM "may pass instrumentation data to a list of CORBA-enabled
+visual objects ... components of an object-oriented framework for the
+development of on-line performance visualization".  The reproduction
+substitutes in-process *visual objects* — anything with a
+``process_picl(line)`` method — receiving the same per-record PICL string
+the CORBA call would carry.
+
+Two visual objects consume a simulated 4-node run:
+
+* ``RateMeter`` — per-node event-rate bars,
+* ``LatencyTracker`` — a histogram of inter-event gaps.
+
+Run:  python examples/realtime_visualizer.py
+"""
+
+from repro.core.consumers import VisualObjectConsumer
+from repro.picl.format import TimestampMode, parse_line
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.workload import BurstyWorkload, PoissonWorkload
+from repro.util.stats import Histogram
+
+
+class RateMeter:
+    """Counts events per node; renders ASCII bars on demand."""
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+
+    def process_picl(self, line: str) -> None:
+        record = parse_line(line)
+        self.counts[record.node] = self.counts.get(record.node, 0) + 1
+
+    def render(self, duration_s: float) -> str:
+        top = max(self.counts.values())
+        rows = []
+        for node in sorted(self.counts):
+            count = self.counts[node]
+            bar = "#" * round(40 * count / top)
+            rows.append(
+                f"  node {node}: {bar:<40} {count / duration_s:8.0f} ev/s"
+            )
+        return "\n".join(rows)
+
+
+class LatencyTracker:
+    """Histogram of inter-event gaps in the merged, sorted stream."""
+
+    def __init__(self) -> None:
+        self.histogram = Histogram(
+            edges=[0, 100, 300, 1_000, 3_000, 10_000, 100_000]
+        )
+        self._last_ts: float | None = None
+
+    def process_picl(self, line: str) -> None:
+        record = parse_line(line)
+        ts = float(record.timestamp) * 1e6  # relative seconds → µs
+        if self._last_ts is not None and ts >= self._last_ts:
+            self.histogram.add(ts - self._last_ts)
+        self._last_ts = ts
+
+    def render(self) -> str:
+        rows = []
+        edges = self.histogram.edges
+        for i, count in enumerate(self.histogram.counts):
+            label = f"{edges[i]:>6.0f}-{edges[i + 1]:<6.0f} us"
+            bar = "#" * min(40, count // 50)
+            rows.append(f"  {label} {bar} {count}")
+        return "\n".join(rows)
+
+
+def main() -> None:
+    duration_s = 10.0
+    sim = Simulator(seed=9)
+    meter = RateMeter()
+    tracker = LatencyTracker()
+    visual = VisualObjectConsumer(
+        [meter, tracker], mode=TimestampMode.RELATIVE_SECONDS
+    )
+    dep = SimDeployment(sim, DeploymentConfig(), consumers=[visual])
+    nodes = dep.add_nodes(4, max_offset_us=5_000, max_drift_ppm=5)
+    # Heterogeneous workloads so the bars differ.
+    dep.attach_workload(nodes[0], PoissonWorkload(rate_hz=800))
+    dep.attach_workload(nodes[1], PoissonWorkload(rate_hz=400))
+    dep.attach_workload(nodes[2], BurstyWorkload(
+        burst_rate_hz=5_000, burst_len=50, gap_us=300_000))
+    dep.attach_workload(nodes[3], PoissonWorkload(rate_hz=100))
+    dep.run(duration_s)
+    dep.stop()
+
+    print(f"{visual.delivered} records delivered to "
+          f"{visual.attached_count} visual objects as PICL strings\n")
+    print("event rate per node:")
+    print(meter.render(duration_s))
+    print("\ninter-event gap distribution (merged stream):")
+    print(tracker.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""On-line sorting tuning: explore the E7 ordering/latency trade-off.
+
+Feeds "streams of artificially delayed event records" (the paper's E7
+input) through the ISM's on-line sorter under different time-frame
+strategies, and prints the resulting out-of-order fraction versus the
+latency the sorter adds.  Use it to pick knobs for your own workload.
+
+Run:  python examples/sorting_tuning.py
+"""
+
+import random
+
+from repro.core.sorting import OnlineSorter, SorterConfig
+from repro.sim.workload import make_delayed_streams, merge_by_arrival
+
+
+def evaluate(config: SorterConfig, streams) -> tuple[float, float, float]:
+    sorter = OnlineSorter(config)
+    merged = merge_by_arrival(streams)
+    for source, record, arrival in merged:
+        sorter.push(source, record, now=arrival)
+        sorter.extract(now=arrival)
+    sorter.flush(now=merged[-1][2] + 1)
+    stats = sorter.stats
+    return (
+        100.0 * stats.out_of_order / max(1, stats.released),
+        stats.hold_time_us.mean / 1000,
+        sorter.frame_us / 1000,
+    )
+
+
+def main() -> None:
+    streams = make_delayed_streams(
+        random.Random(7),
+        n_sources=4,
+        rate_hz=2_000,
+        duration_s=3.0,
+        base_delay_us=500,
+        jitter_mean_us=300,
+        straggler_prob=0.01,
+        straggler_extra_us=30_000,
+    )
+    worst = max(s.max_lateness_us for s in streams)
+    print(f"input: 4 sources x 2000 ev/s, stragglers up to "
+          f"{worst / 1000:.0f} ms late\n")
+
+    strategies = {
+        "latency-critical (paper): T = latest lateness, slow decay": SorterConfig(
+            initial_frame_us=1_000, growth_signal="arrival", decay_lambda=0.05
+        ),
+        "general (paper): watermark growth, long half-life": SorterConfig(
+            initial_frame_us=1_000, growth_signal="watermark", decay_lambda=0.05
+        ),
+        "aggressive decay (anti-pattern)": SorterConfig(
+            initial_frame_us=1_000, growth_signal="watermark", decay_lambda=20.0
+        ),
+        "fixed huge frame (perfect order, max latency)": SorterConfig(
+            initial_frame_us=1_000_000, growth_factor=1.0, decay_lambda=0.0
+        ),
+        "no delay at all (pure merge)": SorterConfig(
+            initial_frame_us=0, decay_lambda=0.0, growth_factor=1e-9
+        ),
+    }
+
+    header = f"{'strategy':<55} {'out-of-order':>12} {'added latency':>14} {'final T':>9}"
+    print(header)
+    print("-" * len(header))
+    for label, config in strategies.items():
+        ooo, hold_ms, frame_ms = evaluate(config, streams)
+        print(f"{label:<55} {ooo:>11.2f}% {hold_ms:>11.1f} ms {frame_ms:>7.1f} ms")
+
+    print("\nreading the table: ordering quality costs delivery latency; the")
+    print("adaptive strategies find the knee automatically (paper, section 3.6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Monitoring a parallel application: an SPMD stencil computation.
+
+The workload the paper's introduction motivates: a parallel/distributed
+application whose behaviour you need to *see* — here a 1-D Jacobi stencil
+partitioned across four simulated nodes with halo exchanges between
+iterations.  The monitoring stack earns its keep on every layer:
+
+* an **event catalog** names the event types, shipped in-band;
+* **spans** mark the compute phase of every iteration per node;
+* a **causal channel** marks every halo exchange, so cross-node
+  dependencies survive skewed clocks;
+* the **analysis toolkit** turns the delivered trace into a Gantt chart,
+  a rate heatmap, per-event counts, and causal-chain statistics.
+
+Run:  python examples/stencil_monitoring.py
+"""
+
+import numpy as np
+
+from repro.analysis.causality import build_causal_graph
+from repro.analysis.timeline import extract_spans, render_gantt, render_rate_heatmap
+from repro.analysis.trace import Trace
+from repro.core.catalog import EventCatalog
+from repro.core.consumers import CollectingConsumer
+from repro.core.records import FieldType, RecordSchema
+from repro.instrument.messaging import CausalChannel
+from repro.instrument.spans import SpanEvents
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+
+N_NODES = 4
+N_ITERATIONS = 30
+CELLS_PER_NODE = 64
+COMPUTE_TIME_US = 3_000
+EXCHANGE_DELAY_US = 400
+
+EV_ITER_DONE = 300
+SPANS = SpanEvents()
+
+
+def main() -> None:
+    sim = Simulator(seed=23)
+    collected = CollectingConsumer()
+    dep = SimDeployment(
+        sim,
+        DeploymentConfig(exs_poll_interval_us=10_000),
+        [collected],
+    )
+    nodes = dep.add_nodes(N_NODES, max_offset_us=3_000, max_drift_ppm=10)
+    channels = [CausalChannel(node.sensor) for node in nodes]
+
+    # Name the event types; definitions travel inside the trace itself.
+    catalog = EventCatalog()
+    catalog.define(SPANS.begin, "iteration.begin")
+    catalog.define(SPANS.end, "iteration.end")
+    catalog.define(EV_ITER_DONE, "iteration.residual",
+                   RecordSchema((FieldType.X_UINT, FieldType.X_DOUBLE)))
+    catalog.define(0xD0, "halo.send")
+    catalog.define(0xD1, "halo.recv")
+    dep.start()
+    catalog.announce(nodes[0].sensor)
+
+    # The "application": data lives here; virtual time is advanced by
+    # scheduling each phase explicitly.
+    state = [np.linspace(i, i + 1, CELLS_PER_NODE) for i in range(N_NODES)]
+
+    def begin_iteration(step: int) -> None:
+        # Compute-phase begin markers: the end markers fire after the
+        # modelled compute time, so spans extend over virtual time.
+        for rank, node in enumerate(nodes):
+            node.sensor.notice(
+                SPANS.begin,
+                (FieldType.X_UINT, step),
+                (FieldType.X_STRING, f"iter{step}"),
+            )
+            # Each node's compute time varies a little (load imbalance).
+            duration = COMPUTE_TIME_US + sim.rng.randint(0, 800) * (rank + 1) // 2
+            sim.schedule(duration, finish_rank, step, rank)
+
+    done_count = [0]
+
+    def finish_rank(step: int, rank: int) -> None:
+        node = nodes[rank]
+        left = state[rank - 1][-1] if rank > 0 else state[0][0]
+        right = state[rank + 1][0] if rank < N_NODES - 1 else state[-1][-1]
+        padded = np.concatenate([[left], state[rank], [right]])
+        updated = 0.5 * padded[1:-1] + 0.25 * (padded[:-2] + padded[2:])
+        residual = float(np.abs(updated - state[rank]).max())
+        state[rank] = updated
+        node.sensor.notice(
+            SPANS.end,
+            (FieldType.X_UINT, step),
+            (FieldType.X_STRING, f"iter{step}"),
+        )
+        node.sensor.notice(
+            EV_ITER_DONE,
+            (FieldType.X_UINT, step),
+            (FieldType.X_DOUBLE, residual),
+        )
+        # Halo exchange with causal marking: each boundary send is a
+        # reason; the matching receive on the neighbour is a consequence.
+        if rank < N_NODES - 1:
+            token = channels[rank].note_send(tag=step)
+            sim.schedule(
+                EXCHANGE_DELAY_US,
+                lambda t=token, r=rank: channels[r + 1].note_recv(t, tag=step),
+            )
+        done_count[0] += 1
+        if done_count[0] % N_NODES == 0 and step + 1 < N_ITERATIONS:
+            sim.schedule(1_000, begin_iteration, step + 1)
+
+    sim.schedule(50_000, begin_iteration, 0)
+    dep.run(2.0)
+    dep.stop()
+
+    trace = Trace(collected.records, presorted=True)
+    rebuilt_catalog = EventCatalog.from_trace(trace)
+    print(f"delivered {len(trace)} records from {len(trace.node_ids)} nodes; "
+          f"catalog carries {len(rebuilt_catalog)} event definitions\n")
+
+    print("per-event counts (names from the in-band catalog):")
+    for event_id in trace.event_ids:
+        if event_id == 0xF0E:
+            continue
+        count = len(trace.events(event_id))
+        print(f"  {rebuilt_catalog.name_of(event_id):<24} {count:>6}")
+
+    spans = extract_spans(trace, SPANS.begin, SPANS.end)
+    window = [s for s in spans if s.label in ("iter0", "iter1", "iter2")]
+    print(f"\ncompute spans, first three iterations "
+          f"({len(spans)} spans total):")
+    print(render_gantt(window, width=56))
+
+    print("\nevent-rate heatmap:")
+    print(render_rate_heatmap(trace, bins=56))
+
+    graph = build_causal_graph(trace)
+    lags = graph.edge_lag_stats()
+    print(f"\nhalo exchanges: {graph.n_edges} causal edges, "
+          f"send->recv lag mean {lags.mean:.0f} us "
+          f"(true exchange delay {EXCHANGE_DELAY_US} us)")
+    print(f"tachyons repaired by the ISM: {dep.ism.cre.stats.tachyons_fixed}")
+
+    residuals = trace.events(EV_ITER_DONE)
+    last = max(r.values[1] for r in residuals if r.values[0] == N_ITERATIONS - 1)
+    print(f"solver residual after {N_ITERATIONS} iterations: {last:.3e}")
+
+
+if __name__ == "__main__":
+    main()

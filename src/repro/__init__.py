@@ -1,0 +1,98 @@
+"""BRISK — Baseline Reduced Instrumentation System Kernel.
+
+A from-scratch Python reproduction of *"BRISK: A Portable and Flexible
+Distributed Instrumentation System"* (A. M. Bakić, M. W. Mutka, D. T. Rover,
+IPPS 1999): a general-purpose distributed instrumentation system kernel for
+monitoring parallel and distributed applications.
+
+Quickstart
+----------
+::
+
+    from repro import (
+        FieldType, InstrumentationManager, MemoryBufferConsumer,
+        Sensor, ring_for_records,
+    )
+
+    ring = ring_for_records(10_000)
+    sensor = Sensor(ring, node_id=1)
+    sensor.notice_ints(42, 1, 2, 3, 4, 5, 6)
+
+See ``examples/quickstart.py`` for the full single-node pipeline and
+``examples/distributed_pipeline.py`` for the multi-node deployment.
+
+Package map
+-----------
+* :mod:`repro.core` — the IS kernel: sensors, ring buffer, external sensor,
+  ISM with on-line sorting and causal matching, consumers.
+* :mod:`repro.xdr` / :mod:`repro.wire` — the XDR-based transfer protocol.
+* :mod:`repro.clocksync` — the modified Cristian clock synchronization.
+* :mod:`repro.picl` — PICL ASCII trace output.
+* :mod:`repro.sim` — deterministic discrete-event substrate reproducing the
+  paper's distributed experiments.
+* :mod:`repro.runtime` — real multi-process deployment over TCP and shared
+  memory.
+"""
+
+from repro.core import (
+    CallbackConsumer,
+    CausalMatcher,
+    Consumer,
+    CreConfig,
+    EventRecord,
+    ExsConfig,
+    ExternalSensor,
+    FieldType,
+    InstrumentationManager,
+    IsmConfig,
+    MemoryBufferConsumer,
+    OnlineSorter,
+    OverflowPolicy,
+    PiclFileConsumer,
+    RecordSchema,
+    RingBuffer,
+    Sensor,
+    SorterConfig,
+    VisualObjectConsumer,
+    compile_notice,
+)
+from repro.core.ringbuffer import ring_for_records
+from repro.clocksync import (
+    BriskSyncConfig,
+    BriskSyncMaster,
+    CorrectedClock,
+    CristianMaster,
+    DriftingClock,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallbackConsumer",
+    "CausalMatcher",
+    "Consumer",
+    "CreConfig",
+    "EventRecord",
+    "ExsConfig",
+    "ExternalSensor",
+    "FieldType",
+    "InstrumentationManager",
+    "IsmConfig",
+    "MemoryBufferConsumer",
+    "OnlineSorter",
+    "OverflowPolicy",
+    "PiclFileConsumer",
+    "RecordSchema",
+    "RingBuffer",
+    "Sensor",
+    "SorterConfig",
+    "VisualObjectConsumer",
+    "compile_notice",
+    "ring_for_records",
+    "BriskSyncConfig",
+    "BriskSyncMaster",
+    "CorrectedClock",
+    "CristianMaster",
+    "DriftingClock",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Instrumentation-data analysis toolkit.
+
+The paper positions BRISK as a *kernel* for building analysis tools: the
+ISM's outputs (memory buffer, PICL traces) are meant to be consumed by
+"extant, independently-built tools and systems for the analysis of
+instrumentation data" (§2).  This subpackage is that first tool layer:
+
+* :mod:`repro.analysis.trace` — load traces (PICL files, ISM memory
+  buffers, record lists) into a queryable :class:`Trace`;
+* :mod:`repro.analysis.statistics` — event rates, inter-event gaps,
+  per-node activity timelines;
+* :mod:`repro.analysis.causality` — reconstruct the reason→consequence
+  graph, find causal chains and violations;
+* :mod:`repro.analysis.perturbation` — the §2 "perturbation analyses ...
+  to investigate the degree of intrusion": model per-notice overhead and
+  compensate trace timestamps for it.
+"""
+
+from repro.analysis.trace import Trace
+from repro.analysis.statistics import (
+    EventRateSeries,
+    gap_statistics,
+    node_activity,
+    rate_series,
+)
+from repro.analysis.causality import (
+    CausalGraph,
+    build_causal_graph,
+    causal_chains,
+    find_causal_violations,
+)
+from repro.analysis.perturbation import (
+    IntrusionModel,
+    compensate_trace,
+    estimate_intrusion,
+)
+from repro.analysis.anomaly import (
+    RateAnomaly,
+    SilenceGap,
+    correlate_series,
+    rate_anomalies,
+    silence_gaps,
+)
+from repro.analysis.compare import TraceComparison, compare_traces
+
+__all__ = [
+    "Trace",
+    "EventRateSeries",
+    "gap_statistics",
+    "node_activity",
+    "rate_series",
+    "CausalGraph",
+    "build_causal_graph",
+    "causal_chains",
+    "find_causal_violations",
+    "IntrusionModel",
+    "compensate_trace",
+    "estimate_intrusion",
+    "RateAnomaly",
+    "SilenceGap",
+    "correlate_series",
+    "rate_anomalies",
+    "silence_gaps",
+    "TraceComparison",
+    "compare_traces",
+]

@@ -1,0 +1,135 @@
+"""Anomaly detection over event-rate series.
+
+The on-line visualization project BRISK serves wants more than pictures:
+it wants the *interesting* windows flagged.  This module provides the
+first-order detectors a monitoring dashboard runs on rate series:
+
+* :func:`rate_anomalies` — robust z-score spikes/droughts in a node's (or
+  event type's) binned rate;
+* :func:`silence_gaps` — intervals where an expected-active source went
+  quiet (the classic symptom of a hung or crashed node);
+* :func:`correlate_series` — Pearson correlation between two rate series
+  (does node A's burst coincide with node B's?).
+
+All detectors are pure functions of a trace; numpy does the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.statistics import rate_series
+from repro.analysis.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class RateAnomaly:
+    """One flagged window."""
+
+    start_us: int
+    rate_hz: float
+    zscore: float
+    kind: str  # "spike" | "drought"
+
+
+def _robust_z(values: np.ndarray) -> np.ndarray:
+    """Median/MAD z-scores — outliers must not inflate their own baseline."""
+    median = np.median(values)
+    mad = np.median(np.abs(values - median))
+    if mad == 0:
+        # Degenerate (constant) series: fall back to the standard score.
+        std = values.std()
+        if std == 0:
+            return np.zeros_like(values)
+        return (values - values.mean()) / std
+    return (values - median) / (1.4826 * mad)
+
+
+def rate_anomalies(
+    trace: Trace,
+    bin_width_us: int = 1_000_000,
+    threshold: float = 3.5,
+) -> list[RateAnomaly]:
+    """Windows whose event rate deviates beyond *threshold* robust z-scores.
+
+    Uses the median/MAD score, so a handful of pathological windows cannot
+    mask themselves by dragging the mean along.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    series = rate_series(trace, bin_width_us)
+    if len(series.rates_hz) < 4:
+        return []  # not enough baseline to call anything anomalous
+    scores = _robust_z(series.rates_hz)
+    out: list[RateAnomaly] = []
+    for start, rate, z in zip(series.bin_starts_us, series.rates_hz, scores):
+        if z >= threshold:
+            out.append(RateAnomaly(int(start), float(rate), float(z), "spike"))
+        elif z <= -threshold:
+            out.append(RateAnomaly(int(start), float(rate), float(z), "drought"))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class SilenceGap:
+    """An interval during which a source emitted nothing."""
+
+    node_id: int
+    start_us: int
+    end_us: int
+
+    @property
+    def duration_us(self) -> int:
+        """Gap length in microseconds."""
+        return self.end_us - self.start_us
+
+
+def silence_gaps(
+    trace: Trace, min_gap_us: int = 5_000_000
+) -> list[SilenceGap]:
+    """Per-node quiet intervals of at least *min_gap_us*.
+
+    The trailing gap (last record → trace end) counts too: a node that
+    stops emitting before the run ends is exactly the node to look at.
+    """
+    if min_gap_us <= 0:
+        raise ValueError("min_gap_us must be positive")
+    if not trace:
+        return []
+    trace_end = trace.end_us
+    gaps: list[SilenceGap] = []
+    for node_id in trace.node_ids:
+        timestamps = [r.timestamp for r in trace.node(node_id)]
+        for a, b in zip(timestamps, timestamps[1:]):
+            if b - a >= min_gap_us:
+                gaps.append(SilenceGap(node_id, a, b))
+        if trace_end - timestamps[-1] >= min_gap_us:
+            gaps.append(SilenceGap(node_id, timestamps[-1], trace_end))
+    gaps.sort(key=lambda g: (g.start_us, g.node_id))
+    return gaps
+
+
+def correlate_series(
+    trace_a: Trace, trace_b: Trace, bin_width_us: int = 1_000_000
+) -> float:
+    """Pearson correlation of two traces' binned rates over their union
+    extent (0.0 when either side has no variance)."""
+    if not trace_a or not trace_b:
+        return 0.0
+    t0 = min(trace_a.start_us, trace_b.start_us)
+    t1 = max(trace_a.end_us, trace_b.end_us)
+    n_bins = max(1, -(-(t1 - t0 + 1) // bin_width_us))
+
+    def bin_counts(trace: Trace) -> np.ndarray:
+        counts = np.zeros(n_bins)
+        for record in trace:
+            counts[min(n_bins - 1, (record.timestamp - t0) // bin_width_us)] += 1
+        return counts
+
+    a = bin_counts(trace_a)
+    b = bin_counts(trace_b)
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])

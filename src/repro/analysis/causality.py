@@ -1,0 +1,158 @@
+"""Causal-structure analysis of BRISK traces.
+
+``X_REASON``/``X_CONSEQ`` markers define edges of a causality DAG over
+event records.  This module reconstructs that graph (networkx) from a
+trace and answers the questions monitoring tools ask of it:
+
+* which records form a causal *chain* (request → hop → hop → reply),
+* whether any delivered trace still violates causal order (a tachyon the
+  ISM failed to repair — e.g. because the record pair never met in the
+  matcher's window),
+* per-edge latency: the timestamp gap between a reason and each of its
+  consequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.analysis.trace import Trace
+from repro.core.records import EventRecord
+from repro.util.stats import RunningStats
+
+
+@dataclass
+class CausalGraph:
+    """A causality DAG plus bookkeeping about how it was built.
+
+    Nodes are trace indices (positions in the sorted trace); the record
+    itself hangs off the ``record`` node attribute.  Edges run
+    reason → consequence and carry the marker ``cid`` and the timestamp
+    ``lag_us``.
+    """
+
+    graph: nx.DiGraph
+    #: marker ids whose reason never appeared in the trace.
+    unmatched_conseq_ids: set[int] = field(default_factory=set)
+    #: marker ids whose consequences never appeared.
+    unmatched_reason_ids: set[int] = field(default_factory=set)
+
+    @property
+    def n_edges(self) -> int:
+        """Causal edges reconstructed."""
+        return self.graph.number_of_edges()
+
+    def record(self, node) -> EventRecord:
+        """The event record at a graph node."""
+        return self.graph.nodes[node]["record"]
+
+    def edge_lag_stats(self) -> RunningStats:
+        """Distribution of reason→consequence timestamp lags (µs)."""
+        stats = RunningStats()
+        for _, _, data in self.graph.edges(data=True):
+            stats.add(data["lag_us"])
+        return stats
+
+
+def build_causal_graph(trace: Trace) -> CausalGraph:
+    """Reconstruct the reason→consequence DAG from a trace.
+
+    A marker id published by several reasons attaches consequences to the
+    *latest* reason at or before the consequence (re-used identifiers are
+    treated as sequential generations, matching the matcher's overwrite
+    semantics in :class:`repro.core.cre.CausalMatcher`).
+    """
+    graph = nx.DiGraph()
+    latest_reason: dict[int, int] = {}
+    result = CausalGraph(graph=graph)
+    consumers_of: dict[int, int] = {}
+
+    for idx, record in enumerate(trace):
+        if record.is_causal:
+            graph.add_node(idx, record=record)
+        for cid in record.conseq_ids:
+            source = latest_reason.get(cid)
+            if source is None:
+                result.unmatched_conseq_ids.add(cid)
+            else:
+                graph.add_edge(
+                    source,
+                    idx,
+                    cid=cid,
+                    lag_us=record.timestamp - trace[source].timestamp,
+                )
+                consumers_of[cid] = consumers_of.get(cid, 0) + 1
+        for cid in record.reason_ids:
+            latest_reason[cid] = idx
+
+    for cid, idx in latest_reason.items():
+        if consumers_of.get(cid, 0) == 0:
+            result.unmatched_reason_ids.add(cid)
+    return result
+
+
+def causal_chains(graph: CausalGraph, min_length: int = 2) -> list[list[int]]:
+    """Maximal root-to-leaf causal chains, longest first.
+
+    A chain is a path from a record with no causal predecessor to one with
+    no causal successor; only chains of at least *min_length* records are
+    returned.
+    """
+    g = graph.graph
+    roots = [n for n in g.nodes if g.in_degree(n) == 0 and g.out_degree(n) > 0]
+    chains: list[list[int]] = []
+    for root in roots:
+        # DFS enumerating root→leaf paths; traces are small relative to
+        # their causal substructure, so explicit enumeration is fine.
+        stack = [[root]]
+        while stack:
+            path = stack.pop()
+            successors = list(g.successors(path[-1]))
+            if not successors:
+                if len(path) >= min_length:
+                    chains.append(path)
+                continue
+            for nxt in successors:
+                stack.append(path + [nxt])
+    chains.sort(key=len, reverse=True)
+    return chains
+
+
+def find_causal_violations(trace: Trace) -> list[tuple[int, int, int]]:
+    """Tachyons in a trace: ``(cid, reason_idx, conseq_idx)`` triples
+    where a consequence's timestamp does not exceed its reason's.
+
+    Unlike :func:`build_causal_graph` (which walks delivered, repaired
+    traces in order), this matches markers *regardless of trace position*
+    — a consequence sorted before its reason is precisely the pathology
+    being hunted.  Each consequence pairs with the nearest reason carrying
+    its marker (by timestamp distance), mirroring the matcher's
+    one-generation-at-a-time semantics.
+
+    On a healthy ISM output this is empty — the causal matcher overrode
+    every such timestamp (§3.6); a non-empty result on raw (pre-ISM) data
+    quantifies how badly the clocks disagree.
+    """
+    reasons_by_cid: dict[int, list[int]] = {}
+    conseqs_by_cid: dict[int, list[int]] = {}
+    for idx, record in enumerate(trace):
+        for cid in record.reason_ids:
+            reasons_by_cid.setdefault(cid, []).append(idx)
+        for cid in record.conseq_ids:
+            conseqs_by_cid.setdefault(cid, []).append(idx)
+
+    violations: list[tuple[int, int, int]] = []
+    for cid, conseq_idxs in conseqs_by_cid.items():
+        reason_idxs = reasons_by_cid.get(cid)
+        if not reason_idxs:
+            continue
+        for c_idx in conseq_idxs:
+            c_ts = trace[c_idx].timestamp
+            nearest = min(
+                reason_idxs, key=lambda r_idx: abs(trace[r_idx].timestamp - c_ts)
+            )
+            if c_ts <= trace[nearest].timestamp:
+                violations.append((cid, nearest, c_idx))
+    return violations

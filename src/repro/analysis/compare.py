@@ -1,0 +1,141 @@
+"""Trace comparison: what changed between two runs.
+
+Monitoring earns its keep when something *differs* — a regression, a
+tuning change, an optimization.  :func:`compare_traces` aligns two traces
+by (node, event type) and reports the deltas a performance engineer asks
+for first: counts, rates, inter-event gaps, and overall extent.
+
+Both traces are treated as whole runs; timestamps are compared relative
+to each trace's own start, so absolute clock epochs (which differ between
+runs by construction) do not pollute the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.statistics import gap_statistics
+from repro.analysis.trace import Trace
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """Count/rate change for one (node, event) series."""
+
+    node_id: int
+    event_id: int
+    count_a: int
+    count_b: int
+    rate_a_hz: float
+    rate_b_hz: float
+
+    @property
+    def count_delta(self) -> int:
+        """Absolute count change (b − a)."""
+        return self.count_b - self.count_a
+
+    @property
+    def count_ratio(self) -> float:
+        """b/a count ratio (inf when a is empty)."""
+        if self.count_a == 0:
+            return float("inf") if self.count_b else 1.0
+        return self.count_b / self.count_a
+
+
+@dataclass(frozen=True)
+class TraceComparison:
+    """The full comparison result."""
+
+    duration_a_us: int
+    duration_b_us: int
+    total_a: int
+    total_b: int
+    deltas: tuple[SeriesDelta, ...]
+    #: (node, event) series present in exactly one trace.
+    only_in_a: tuple[tuple[int, int], ...]
+    only_in_b: tuple[tuple[int, int], ...]
+    mean_gap_a_us: float = 0.0
+    mean_gap_b_us: float = 0.0
+
+    @property
+    def duration_ratio(self) -> float:
+        """Run-length ratio b/a."""
+        if self.duration_a_us == 0:
+            return float("inf") if self.duration_b_us else 1.0
+        return self.duration_b_us / self.duration_a_us
+
+    def regressions(self, threshold: float = 1.5) -> list[SeriesDelta]:
+        """Series whose count grew by at least *threshold*× — the usual
+        smell of a hot loop or retry storm."""
+        return [
+            d
+            for d in self.deltas
+            if d.count_ratio >= threshold and d.count_b > d.count_a
+        ]
+
+    def summary_rows(self, limit: int = 10) -> list[str]:
+        """Human-readable digest, biggest count changes first."""
+        rows = [
+            f"duration: {self.duration_a_us / 1e6:.3f}s -> "
+            f"{self.duration_b_us / 1e6:.3f}s ({self.duration_ratio:.2f}x)",
+            f"records:  {self.total_a} -> {self.total_b}",
+        ]
+        ranked = sorted(
+            self.deltas, key=lambda d: abs(d.count_delta), reverse=True
+        )
+        for delta in ranked[:limit]:
+            rows.append(
+                f"  node {delta.node_id} event {delta.event_id}: "
+                f"{delta.count_a} -> {delta.count_b} "
+                f"({delta.rate_a_hz:,.1f} -> {delta.rate_b_hz:,.1f} ev/s)"
+            )
+        for node_id, event_id in self.only_in_a:
+            rows.append(f"  node {node_id} event {event_id}: vanished in B")
+        for node_id, event_id in self.only_in_b:
+            rows.append(f"  node {node_id} event {event_id}: new in B")
+        return rows
+
+
+def _series_counts(trace: Trace) -> dict[tuple[int, int], int]:
+    counts: dict[tuple[int, int], int] = {}
+    for record in trace:
+        key = (record.node_id, record.event_id)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def compare_traces(a: Trace, b: Trace) -> TraceComparison:
+    """Compare two traces series-by-series."""
+    counts_a = _series_counts(a)
+    counts_b = _series_counts(b)
+    dur_a = a.duration_us if a else 0
+    dur_b = b.duration_us if b else 0
+    secs_a = max(dur_a, 1) / 1_000_000
+    secs_b = max(dur_b, 1) / 1_000_000
+
+    deltas = []
+    for key in sorted(counts_a.keys() & counts_b.keys()):
+        node_id, event_id = key
+        deltas.append(
+            SeriesDelta(
+                node_id=node_id,
+                event_id=event_id,
+                count_a=counts_a[key],
+                count_b=counts_b[key],
+                rate_a_hz=counts_a[key] / secs_a,
+                rate_b_hz=counts_b[key] / secs_b,
+            )
+        )
+    gaps_a = gap_statistics(a)
+    gaps_b = gap_statistics(b)
+    return TraceComparison(
+        duration_a_us=dur_a,
+        duration_b_us=dur_b,
+        total_a=len(a),
+        total_b=len(b),
+        deltas=tuple(deltas),
+        only_in_a=tuple(sorted(counts_a.keys() - counts_b.keys())),
+        only_in_b=tuple(sorted(counts_b.keys() - counts_a.keys())),
+        mean_gap_a_us=gaps_a.mean,
+        mean_gap_b_us=gaps_b.mean,
+    )

@@ -1,0 +1,136 @@
+"""Trace statistics: rates, gaps, per-node activity.
+
+Thin, numpy-backed computations over :class:`~repro.analysis.trace.Trace`
+objects — the quantitative half of a performance-visualization front end
+(the visual objects of §3.5 render exactly these series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.trace import Trace
+from repro.util.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class EventRateSeries:
+    """A binned event-rate time series.
+
+    ``bin_starts_us[i]`` is the left edge of bin *i*; ``rates_hz[i]`` the
+    event rate inside it.
+    """
+
+    bin_starts_us: np.ndarray
+    rates_hz: np.ndarray
+    bin_width_us: int
+
+    @property
+    def peak_hz(self) -> float:
+        """Largest binned rate."""
+        return float(self.rates_hz.max()) if len(self.rates_hz) else 0.0
+
+    @property
+    def mean_hz(self) -> float:
+        """Mean rate across bins."""
+        return float(self.rates_hz.mean()) if len(self.rates_hz) else 0.0
+
+
+def rate_series(trace: Trace, bin_width_us: int = 1_000_000) -> EventRateSeries:
+    """Bin the trace into fixed windows and compute events/second."""
+    if bin_width_us < 1:
+        raise ValueError("bin width must be positive")
+    if not trace:
+        return EventRateSeries(
+            np.array([], dtype=np.int64), np.array([]), bin_width_us
+        )
+    timestamps = np.fromiter(
+        (r.timestamp for r in trace), dtype=np.int64, count=len(trace)
+    )
+    start = timestamps.min()
+    bins = (timestamps - start) // bin_width_us
+    n_bins = int(bins.max()) + 1
+    counts = np.bincount(bins, minlength=n_bins)
+    starts = start + np.arange(n_bins, dtype=np.int64) * bin_width_us
+    rates = counts * (1_000_000 / bin_width_us)
+    return EventRateSeries(starts, rates, bin_width_us)
+
+
+def gap_statistics(trace: Trace) -> RunningStats:
+    """Statistics of inter-event gaps (µs) in timestamp order."""
+    stats = RunningStats()
+    previous: int | None = None
+    for record in trace:
+        if previous is not None:
+            stats.add(record.timestamp - previous)
+        previous = record.timestamp
+    return stats
+
+
+def node_activity(trace: Trace) -> dict[int, dict]:
+    """Per-node digest: count, rate, share of the trace, time extent."""
+    if not trace:
+        return {}
+    total = len(trace)
+    duration_s = max(trace.duration_us, 1) / 1_000_000
+    out: dict[int, dict] = {}
+    for node_id in trace.node_ids:
+        node_trace = trace.node(node_id)
+        out[node_id] = {
+            "count": len(node_trace),
+            "share": len(node_trace) / total,
+            "rate_hz": len(node_trace) / duration_s,
+            "first_us": node_trace.start_us,
+            "last_us": node_trace.end_us,
+        }
+    return out
+
+
+def utilization_timeline(
+    trace: Trace,
+    start_event: int,
+    end_event: int,
+    bin_width_us: int = 1_000_000,
+) -> dict[int, np.ndarray]:
+    """Busy-fraction per bin per node from paired start/end events.
+
+    Interprets *start_event*/*end_event* records as entering/leaving a
+    busy region (the classic PICL block-begin/block-end pattern).  Returns
+    ``node_id → fraction-of-bin-busy`` arrays over the trace's extent.
+    Unbalanced markers are tolerated: an unmatched start runs to the end
+    of the trace, an unmatched end is ignored.
+    """
+    if not trace:
+        return {}
+    t0, t1 = trace.start_us, trace.end_us + 1
+    n_bins = max(1, -(-(t1 - t0) // bin_width_us))
+    out: dict[int, np.ndarray] = {}
+    for node_id in trace.node_ids:
+        busy = np.zeros(n_bins)
+        open_since: int | None = None
+        for record in trace.node(node_id):
+            if record.event_id == start_event and open_since is None:
+                open_since = record.timestamp
+            elif record.event_id == end_event and open_since is not None:
+                _accumulate(busy, open_since, record.timestamp, t0, bin_width_us)
+                open_since = None
+        if open_since is not None:
+            _accumulate(busy, open_since, t1, t0, bin_width_us)
+        out[node_id] = busy / bin_width_us
+    return out
+
+
+def _accumulate(
+    busy: np.ndarray, start: int, end: int, origin: int, width: int
+) -> None:
+    """Spread the interval [start, end) across the affected bins."""
+    if end <= start:
+        return
+    first = (start - origin) // width
+    last = (end - 1 - origin) // width
+    for b in range(first, last + 1):
+        lo = max(start, origin + b * width)
+        hi = min(end, origin + (b + 1) * width)
+        busy[b] += hi - lo

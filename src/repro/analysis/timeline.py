@@ -1,0 +1,170 @@
+"""ASCII timeline rendering: the terminal half of performance visualization.
+
+BRISK was built "as a part of a real-time system instrumentation and
+performance visualization project"; the CORBA visual objects of §3.5 are
+its graphical front end.  For a terminal (tests, CI, quick looks) this
+module renders the same views as text:
+
+* :func:`render_gantt` — per-node span bars (from the begin/end events of
+  :mod:`repro.instrument.spans` or any paired event ids),
+* :func:`render_rate_heatmap` — node × time event-intensity grid,
+* :func:`render_event_timeline` — one lane per event id, a mark per
+  occurrence.
+
+Rendering is pure (trace in, string out), so every view is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.statistics import rate_series
+from repro.analysis.trace import Trace
+
+#: Intensity ramp for the heatmap (space = idle).
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True, slots=True)
+class GanttSpan:
+    """One reconstructed busy interval."""
+
+    node_id: int
+    label: str
+    start_us: int
+    end_us: int
+
+    @property
+    def duration_us(self) -> int:
+        """Span length in microseconds."""
+        return self.end_us - self.start_us
+
+
+def extract_spans(
+    trace: Trace, begin_event: int, end_event: int
+) -> list[GanttSpan]:
+    """Pair begin/end records into spans.
+
+    Records are matched by their first value (the span id written by
+    :mod:`repro.instrument.spans`); the second value, when present and a
+    string, becomes the label.  Unmatched begins close at the trace end.
+    """
+    if not trace:
+        return []
+    open_spans: dict[object, tuple[int, str, int]] = {}
+    spans: list[GanttSpan] = []
+    for record in trace:
+        if record.event_id == begin_event and record.values:
+            key = (record.node_id, record.values[0])
+            label = (
+                record.values[1]
+                if len(record.values) > 1 and isinstance(record.values[1], str)
+                else str(record.values[0])
+            )
+            open_spans[key] = (record.node_id, label, record.timestamp)
+        elif record.event_id == end_event and record.values:
+            key = (record.node_id, record.values[0])
+            opened = open_spans.pop(key, None)
+            if opened is not None:
+                node_id, label, start = opened
+                spans.append(GanttSpan(node_id, label, start, record.timestamp))
+    trace_end = trace.end_us
+    for node_id, label, start in open_spans.values():
+        spans.append(GanttSpan(node_id, label, start, trace_end))
+    spans.sort(key=lambda s: (s.node_id, s.start_us))
+    return spans
+
+
+def render_gantt(
+    spans: list[GanttSpan], width: int = 72, label_width: int = 18
+) -> str:
+    """Render spans as per-row ASCII bars over a common time axis."""
+    if not spans:
+        return "(no spans)"
+    t0 = min(s.start_us for s in spans)
+    t1 = max(s.end_us for s in spans)
+    extent = max(1, t1 - t0)
+    lines = []
+    for span in spans:
+        lo = round((span.start_us - t0) / extent * (width - 1))
+        hi = max(lo, round((span.end_us - t0) / extent * (width - 1)))
+        bar = " " * lo + "█" * max(1, hi - lo + 1)
+        label = f"n{span.node_id} {span.label}"[:label_width]
+        lines.append(
+            f"{label:<{label_width}} |{bar:<{width}}| "
+            f"{span.duration_us / 1000:8.2f} ms"
+        )
+    axis = f"{'':<{label_width}} |{'0':<{width - 10}}{extent / 1000:8.1f}ms|"
+    return "\n".join(lines + [axis])
+
+
+def span_statistics(spans: list[GanttSpan]) -> dict[str, "RunningStats"]:
+    """Per-label duration statistics over reconstructed spans.
+
+    The question span instrumentation exists to answer: how long does
+    each region take, and how much does it vary?  Returns
+    ``label → RunningStats`` (durations in µs).
+    """
+    from repro.util.stats import RunningStats
+
+    out: dict[str, RunningStats] = {}
+    for span in spans:
+        out.setdefault(span.label, RunningStats()).add(span.duration_us)
+    return out
+
+
+def render_rate_heatmap(
+    trace: Trace, bins: int = 60
+) -> str:
+    """Node × time heatmap of event intensity.
+
+    All rows share one time axis (the whole trace's extent), so a node
+    that goes quiet shows blank cells rather than a shortened row.
+    """
+    if not trace:
+        return "(empty trace)"
+    t0 = trace.start_us
+    bin_width = max(1, trace.duration_us // bins + 1)
+    counts: dict[int, list[int]] = {
+        node_id: [0] * bins for node_id in trace.node_ids
+    }
+    for record in trace:
+        b = min(bins - 1, (record.timestamp - t0) // bin_width)
+        counts[record.node_id][b] += 1
+    peak = max((max(row) for row in counts.values()), default=0) or 1
+    lines = []
+    for node_id, row in counts.items():
+        cells = "".join(
+            _RAMP[min(len(_RAMP) - 1, c * (len(_RAMP) - 1) // peak)]
+            for c in row
+        )
+        lines.append(f"node {node_id:>3} [{cells}]")
+    peak_hz = peak * 1_000_000 / bin_width
+    lines.append(
+        f"         0 .. {trace.duration_us / 1e6:.2f}s   "
+        f"(peak {peak_hz:,.0f} ev/s)"
+    )
+    return "\n".join(lines)
+
+
+def render_event_timeline(
+    trace: Trace, width: int = 72, max_lanes: int = 12
+) -> str:
+    """One lane per event id; a mark for every occurrence."""
+    if not trace:
+        return "(empty trace)"
+    t0 = trace.start_us
+    extent = max(1, trace.duration_us)
+    lines = []
+    for event_id in trace.event_ids[:max_lanes]:
+        lane = [" "] * width
+        for record in trace.events(event_id):
+            pos = min(
+                width - 1, round((record.timestamp - t0) / extent * (width - 1))
+            )
+            lane[pos] = "|" if lane[pos] == " " else "#"
+        lines.append(f"event {event_id:>6} [{''.join(lane)}]")
+    skipped = len(trace.event_ids) - max_lanes
+    if skipped > 0:
+        lines.append(f"(+{skipped} more event types)")
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""The :class:`Trace` container — a queryable, immutable event trace.
+
+A trace can be built from any of the ISM's output artifacts:
+
+* a list of :class:`~repro.core.records.EventRecord` (e.g. a
+  :class:`~repro.core.consumers.CollectingConsumer`),
+* an ISM memory buffer in the native layout
+  (:meth:`Trace.from_memory_buffer`),
+* a UTC-mode PICL trace file (:meth:`Trace.from_picl`).
+
+Queries return new :class:`Trace` objects so analyses compose:
+``trace.node(3).events(1, 2).between(t0, t1)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable, Iterator, Sequence, TextIO
+
+from repro.core import native
+from repro.core.records import EventRecord
+from repro.picl.format import PiclReader, picl_to_record
+
+
+class Trace:
+    """An ordered, immutable sequence of event records.
+
+    Records are sorted by :meth:`EventRecord.sort_key` at construction
+    unless ``presorted=True``, so positional queries (:meth:`between`)
+    can binary-search.
+    """
+
+    __slots__ = ("_records", "_timestamps")
+
+    def __init__(
+        self, records: Iterable[EventRecord], *, presorted: bool = False
+    ) -> None:
+        items = list(records)
+        if not presorted:
+            items.sort(key=EventRecord.sort_key)
+        self._records: tuple[EventRecord, ...] = tuple(items)
+        self._timestamps = [r.timestamp for r in self._records]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_memory_buffer(cls, buffer) -> "Trace":
+        """Decode a native-layout ISM memory buffer."""
+        return cls(native.unpack_all(buffer))
+
+    @classmethod
+    def from_picl(cls, stream: TextIO) -> "Trace":
+        """Parse a UTC-mode PICL trace file."""
+        return cls(picl_to_record(p) for p in PiclReader(stream))
+
+    def to_picl(self, stream: TextIO) -> int:
+        """Write the trace as UTC-mode PICL lines; returns lines written."""
+        from repro.picl.format import PiclWriter
+
+        writer = PiclWriter(stream)
+        writer.write_all(self._records)
+        return writer.lines_written
+
+    @classmethod
+    def from_native_file(cls, path) -> "Trace":
+        """Load a trace saved by :meth:`save_native`."""
+        with open(path, "rb") as stream:
+            return cls.from_memory_buffer(stream.read())
+
+    def save_native(self, path) -> int:
+        """Save in the compact native binary layout; returns bytes written.
+
+        Much faster to load than PICL (binary decode, no text parsing) and
+        smaller whenever records carry binary or wide payloads; the file
+        is simply back-to-back :mod:`repro.core.native` records — the same
+        bytes an ISM memory buffer holds.
+        """
+        payload = b"".join(native.pack_record(r) for r in self._records)
+        with open(path, "wb") as stream:
+            stream.write(payload)
+        return len(payload)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._records[index], presorted=True)
+        return self._records[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Trace) and self._records == other._records
+
+    def __hash__(self):  # pragma: no cover - explicitness
+        return hash(self._records)
+
+    @property
+    def records(self) -> tuple[EventRecord, ...]:
+        """The underlying record tuple."""
+        return self._records
+
+    # ------------------------------------------------------------------
+    # extents
+    # ------------------------------------------------------------------
+    @property
+    def start_us(self) -> int:
+        """Timestamp of the first record."""
+        self._require_nonempty()
+        return self._timestamps[0]
+
+    @property
+    def end_us(self) -> int:
+        """Timestamp of the last record."""
+        self._require_nonempty()
+        return self._timestamps[-1]
+
+    @property
+    def duration_us(self) -> int:
+        """Trace extent in microseconds (0 for single-record traces)."""
+        return self.end_us - self.start_us if self._records else 0
+
+    @property
+    def node_ids(self) -> tuple[int, ...]:
+        """Sorted distinct node identifiers appearing in the trace."""
+        return tuple(sorted({r.node_id for r in self._records}))
+
+    @property
+    def event_ids(self) -> tuple[int, ...]:
+        """Sorted distinct event identifiers appearing in the trace."""
+        return tuple(sorted({r.event_id for r in self._records}))
+
+    def _require_nonempty(self) -> None:
+        if not self._records:
+            raise ValueError("empty trace has no time extent")
+
+    # ------------------------------------------------------------------
+    # filters (each returns a new Trace)
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[EventRecord], bool]) -> "Trace":
+        """Records satisfying *predicate*."""
+        return Trace(
+            (r for r in self._records if predicate(r)), presorted=True
+        )
+
+    def node(self, *node_ids: int) -> "Trace":
+        """Records produced by any of *node_ids*."""
+        wanted = set(node_ids)
+        return self.filter(lambda r: r.node_id in wanted)
+
+    def events(self, *event_ids: int) -> "Trace":
+        """Records with any of *event_ids*."""
+        wanted = set(event_ids)
+        return self.filter(lambda r: r.event_id in wanted)
+
+    def between(self, start_us: int, end_us: int) -> "Trace":
+        """Records with ``start_us <= timestamp < end_us`` (binary search)."""
+        lo = bisect.bisect_left(self._timestamps, start_us)
+        hi = bisect.bisect_left(self._timestamps, end_us)
+        return Trace(self._records[lo:hi], presorted=True)
+
+    def causal(self) -> "Trace":
+        """Only causally-marked records."""
+        return self.filter(lambda r: r.is_causal)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def split_by_gap(self, gap_threshold_us: int) -> list["Trace"]:
+        """Split into phases at inter-event gaps above the threshold.
+
+        Bursty applications alternate activity and silence; a gap larger
+        than *gap_threshold_us* starts a new phase.  Returns the phases in
+        time order (a single-phase list when no gap qualifies).
+        """
+        if gap_threshold_us <= 0:
+            raise ValueError("gap threshold must be positive")
+        if not self._records:
+            return []
+        phases: list[Trace] = []
+        start = 0
+        for i in range(1, len(self._records)):
+            if self._timestamps[i] - self._timestamps[i - 1] > gap_threshold_us:
+                phases.append(Trace(self._records[start:i], presorted=True))
+                start = i
+        phases.append(Trace(self._records[start:], presorted=True))
+        return phases
+
+    def iter_windows(self, width_us: int) -> Iterator[tuple[int, "Trace"]]:
+        """Yield ``(window_start_us, sub_trace)`` for fixed time windows.
+
+        Windows tile the trace extent; empty windows are yielded too (an
+        empty window is information — the application went quiet).
+        """
+        if width_us <= 0:
+            raise ValueError("window width must be positive")
+        if not self._records:
+            return
+        t = self.start_us
+        end = self.end_us
+        while t <= end:
+            yield t, self.between(t, t + width_us)
+            t += width_us
+
+    def count_inversions(self) -> int:
+        """Adjacent timestamp inversions — 0 for a sorted trace.
+
+        Useful on *delivery-order* traces (``presorted=True`` input) to
+        measure how well the ISM's on-line sort did.
+        """
+        return sum(
+            1
+            for a, b in zip(self._timestamps, self._timestamps[1:])
+            if b < a
+        )
+
+    def summary(self) -> dict:
+        """A human-oriented digest of the trace."""
+        if not self._records:
+            return {"records": 0}
+        return {
+            "records": len(self._records),
+            "nodes": len(self.node_ids),
+            "event_types": len(self.event_ids),
+            "duration_s": self.duration_us / 1_000_000,
+            "causal_records": sum(1 for r in self._records if r.is_causal),
+        }

@@ -1,0 +1,43 @@
+"""Distributed clock synchronization (§3.3).
+
+BRISK synchronizes the external-sensor clocks with "a modification of
+Cristian's centralized clock synchronization algorithm": the ISM (master)
+polls the EXSes (slaves) in rounds, but the master's own time serves only as
+a *common reference* — what matters for measurement is that the EXS clocks
+sit close to **each other**, not close to the ISM.  The algorithm elects the
+most-ahead EXS clock, corrects the others toward it (advance-only), and is
+deliberately conservative: only above-average skews are corrected, and the
+correction is damped to 0.7 of the skew once the system is near convergence.
+
+Modules
+-------
+* :mod:`repro.clocksync.clocks` — clock models: drifting hardware clocks,
+  correction-carrying corrected clocks.
+* :mod:`repro.clocksync.probes` — Cristian-style probing (minimum-RTT
+  sample selection) over an abstract slave interface.
+* :mod:`repro.clocksync.cristian` — the original algorithm, kept as the
+  baseline for ablation A3.
+* :mod:`repro.clocksync.brisk_sync` — the paper's modified algorithm.
+"""
+
+from repro.clocksync.clocks import (
+    DriftingClock,
+    CorrectedClock,
+    PerfectClock,
+)
+from repro.clocksync.probes import ProbeSample, SyncSlave, probe_best_of
+from repro.clocksync.cristian import CristianMaster
+from repro.clocksync.brisk_sync import BriskSyncMaster, BriskSyncConfig, RoundReport
+
+__all__ = [
+    "DriftingClock",
+    "CorrectedClock",
+    "PerfectClock",
+    "ProbeSample",
+    "SyncSlave",
+    "probe_best_of",
+    "CristianMaster",
+    "BriskSyncMaster",
+    "BriskSyncConfig",
+    "RoundReport",
+]

@@ -1,0 +1,196 @@
+"""BRISK's modified Cristian algorithm (§3.3).
+
+Differences from the original, as the paper states them:
+
+1. **The master's time is only a common reference point.**  For measurement
+   it matters that the EXS clocks be close to *each other*, not to the ISM.
+2. **Election**: the EXS clock with the maximum positive skew relative to
+   the ISM — the most-ahead clock — is selected as the target.
+3. **Relative skews**: skews of the other EXS clocks (and their average)
+   are computed relative to the elected clock, as absolute values.
+4. **Conservative correction**: only clocks whose relative skew exceeds the
+   average are advanced.  This accounts for network noise and avoids
+   erroneously promoting another clock as the fastest.
+5. **Damping near convergence**: when the average relative skew is above a
+   small threshold, the correction equals the full relative skew; otherwise
+   it is a fixed portion of it (0.7 in the paper's implementation), because
+   the clocks "cannot be perfectly synchronized in practice".
+6. **Advance-only**: slaves only ever move forward, at the cost of a small
+   positive drift of the ensemble relative to true time.
+
+The paper claims this converges faster than Cristian's original toward the
+*mutual* synchrony that matters; benchmark E6/A3 reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.clocksync.probes import (
+    ProbeSample,
+    ProbeStrategy,
+    SyncSlave,
+    probe_best_of,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BriskSyncConfig:
+    """Tuning knobs of the modified algorithm.
+
+    ``threshold_us`` is the paper's "small threshold" on the average
+    relative skew separating the aggressive regime (full correction) from
+    the conservative one; ``damping`` is the fixed portion applied in the
+    conservative regime (0.7 in the paper's implementation).
+
+    ``rtt_gate_us`` applies Cristian's probabilistic probe rejection: a
+    slave whose best probe this round exceeded the gate has an error bound
+    too loose to act on, so it is excluded from election *and* correction
+    for the round.  Advance-only corrections make this essential under
+    network disturbances — a correction derived from an inflated-RTT
+    sample cannot be undone, it can only ratchet the whole ensemble up.
+    """
+
+    probes_per_round: int = 4
+    threshold_us: float = 100.0
+    damping: float = 0.7
+    rtt_gate_us: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.probes_per_round < 1:
+            raise ValueError("probes_per_round must be >= 1")
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        if self.threshold_us < 0:
+            raise ValueError("threshold_us must be >= 0")
+        if self.rtt_gate_us is not None and self.rtt_gate_us < 1:
+            raise ValueError("rtt_gate_us must be >= 1 when set")
+
+
+@dataclass
+class RoundReport:
+    """Full observability for one synchronization round."""
+
+    round_id: int
+    #: slave_id → probe sample (skew measured against the master).
+    samples: dict[int, ProbeSample] = field(default_factory=dict)
+    #: The elected (most-ahead) slave.
+    elected: int = -1
+    #: slave_id → skew relative to the elected clock (>= 0).
+    relative_skews: dict[int, float] = field(default_factory=dict)
+    #: Average relative skew over the non-elected slaves.
+    average_relative_skew: float = 0.0
+    #: slave_id → advance-only correction actually sent (µs).
+    corrections: dict[int, int] = field(default_factory=dict)
+    #: True when the conservative (damped) regime was active.
+    damped: bool = False
+    #: Slaves excluded this round by the RTT gate (probe too noisy).
+    gated: list[int] = field(default_factory=list)
+
+
+class BriskSyncMaster:
+    """The ISM side of BRISK's clock synchronization."""
+
+    def __init__(
+        self,
+        slaves: Sequence[SyncSlave],
+        config: BriskSyncConfig = BriskSyncConfig(),
+        probe_strategy: ProbeStrategy = probe_best_of,
+    ) -> None:
+        if not slaves:
+            raise ValueError("need at least one slave")
+        self.slaves = list(slaves)
+        self.config = config
+        self.probe_strategy = probe_strategy
+        self.rounds_run = 0
+        self.history: list[RoundReport] = []
+        #: Set by the ISM's causal matcher when a tachyon between marked
+        #: events proves the clocks are apart (§3.6); the deployment loop
+        #: runs an extra round as soon as it sees the flag.
+        self.extra_round_requested = False
+
+    # ------------------------------------------------------------------
+    def request_extra_round(self) -> None:
+        """Ask for an immediate extra round (tachyon detected, §3.6)."""
+        self.extra_round_requested = True
+
+    def consume_extra_round_request(self) -> bool:
+        """Return-and-clear the extra-round flag (deployment loop helper)."""
+        requested = self.extra_round_requested
+        self.extra_round_requested = False
+        return requested
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> RoundReport:
+        """Execute one full synchronization round."""
+        self.rounds_run += 1
+        report = RoundReport(round_id=self.rounds_run)
+
+        # Phase 1: poll every slave as in Cristian's algorithm.
+        for slave in self.slaves:
+            report.samples[slave.slave_id] = self.probe_strategy(
+                slave, self.config.probes_per_round
+            )
+
+        # Probabilistic rejection: usable slaves are those whose best
+        # probe met the RTT gate (all of them when the gate is off).
+        gate = self.config.rtt_gate_us
+        usable = [
+            s
+            for s in self.slaves
+            if gate is None or report.samples[s.slave_id].rtt_us <= gate
+        ]
+        report.gated = [s.slave_id for s in self.slaves if s not in usable]
+        if len(usable) < 2:
+            # Nothing trustworthy to mutually synchronize this round.
+            report.elected = usable[0].slave_id if usable else -1
+            self.history.append(report)
+            return report
+
+        # Phase 2: elect the most-ahead clock (max positive skew vs ISM).
+        elected = max(usable, key=lambda s: report.samples[s.slave_id].skew_us)
+        report.elected = elected.slave_id
+
+        # Phase 3: relative skews vs the elected clock, and their average.
+        elected_skew = report.samples[elected.slave_id].skew_us
+        others = [s for s in usable if s is not elected]
+        for slave in others:
+            rel = abs(elected_skew - report.samples[slave.slave_id].skew_us)
+            report.relative_skews[slave.slave_id] = rel
+        avg = sum(report.relative_skews.values()) / len(others)
+        report.average_relative_skew = avg
+        report.damped = avg <= self.config.threshold_us
+
+        # Phase 4/5: correct only above-average skews; damp near convergence.
+        # (>= rather than >: with strict inequality a two-slave system —
+        # where the lone relative skew IS the average — would never converge.)
+        for slave in others:
+            rel = report.relative_skews[slave.slave_id]
+            if rel < avg:
+                continue
+            # Floor, never round: a correction that overshoots the elected
+            # clock would wrongly promote this slave as the fastest.
+            if report.damped:
+                correction = int(rel * self.config.damping)
+            else:
+                correction = int(rel)
+            if correction > 0:
+                slave.adjust(correction)
+                report.corrections[slave.slave_id] = correction
+
+        self.history.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    def last_dispersion(self) -> float:
+        """Max−min measured skew in the most recent round (µs).
+
+        A master-side convergence proxy: the spread of the slave clocks as
+        seen through the probes.  Ground truth (simulator only) comes from
+        :meth:`repro.sim.deployment.SimDeployment.true_skew_spread`.
+        """
+        if not self.history:
+            raise RuntimeError("no rounds run yet")
+        skews = [s.skew_us for s in self.history[-1].samples.values()]
+        return max(skews) - min(skews)

@@ -1,0 +1,151 @@
+"""Clock models.
+
+A workstation clock as seen by ``gettimeofday`` differs from true time by an
+initial offset plus a slow frequency error (drift, parts-per-million), and is
+quantized to the timer resolution.  :class:`DriftingClock` models exactly
+that observable; everything the synchronization algorithms can learn about a
+clock, they learn through reads of it, so the model is sufficient for
+reproducing the paper's clock-sync measurements (substitution table,
+DESIGN.md §2).
+
+:class:`CorrectedClock` is the EXS-side view: raw local time plus "a
+correction value maintained by the EXS" (§3.2).  BRISK's algorithm only
+ever *advances* the correction; :meth:`CorrectedClock.advance` enforces
+that, while the Cristian baseline uses :meth:`CorrectedClock.step`, which
+may move the clock backwards (the behaviour BRISK avoids because a
+backwards step can reorder local events).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+TrueTimeFn = Callable[[], int]
+
+
+class PerfectClock:
+    """A clock that reads true time exactly (the simulator's reference)."""
+
+    __slots__ = ("_true_time",)
+
+    def __init__(self, true_time: TrueTimeFn) -> None:
+        self._true_time = true_time
+
+    def read(self) -> int:
+        """Current time in microseconds."""
+        return self._true_time()
+
+    def read_at(self, true_now: int) -> int:
+        """Reading this clock would give at true time *true_now* (which is
+        simply *true_now* for a perfect clock)."""
+        return true_now
+
+    def __call__(self) -> int:
+        return self.read()
+
+
+class DriftingClock:
+    """A hardware clock with offset, frequency drift, and quantization.
+
+    ``read() = quantize(offset + (1 + drift_ppm·1e-6) · true_time)``
+
+    Parameters
+    ----------
+    true_time:
+        Source of true time in microseconds (the simulator's clock, or
+        ``now_micros`` when modelling on top of the real clock).
+    offset_us:
+        Initial offset of this clock from true time.
+    drift_ppm:
+        Frequency error in parts per million.  ±50 ppm is typical of
+        mid-1990s workstation oscillators; a clock at +50 ppm gains
+        3 ms/minute, which is why the paper re-polls every 5 s.
+    quantum_us:
+        Reading granularity (``gettimeofday`` resolution).
+    """
+
+    __slots__ = ("_true_time", "offset_us", "drift_ppm", "quantum_us")
+
+    def __init__(
+        self,
+        true_time: TrueTimeFn,
+        offset_us: int = 0,
+        drift_ppm: float = 0.0,
+        quantum_us: int = 1,
+    ) -> None:
+        if quantum_us < 1:
+            raise ValueError("quantum must be >= 1 microsecond")
+        self._true_time = true_time
+        self.offset_us = offset_us
+        self.drift_ppm = drift_ppm
+        self.quantum_us = quantum_us
+
+    def read(self) -> int:
+        """Current *local* time in microseconds."""
+        return self.read_at(self._true_time())
+
+    def read_at(self, true_now: int) -> int:
+        """Reading this clock would give at true time *true_now*.
+
+        The simulator uses this to evaluate a clock at a message's arrival
+        instant without mutating simulation state.
+        """
+        raw = self.offset_us + true_now + true_now * self.drift_ppm * 1e-6
+        return int(raw) // self.quantum_us * self.quantum_us
+
+    def __call__(self) -> int:
+        return self.read()
+
+    def error_at(self, true_now: int) -> float:
+        """Exact (unquantized) error of this clock vs true time.
+
+        Only the simulator may call this — real algorithms never see true
+        time; it exists so benchmarks can report ground-truth skew.
+        """
+        return self.offset_us + true_now * self.drift_ppm * 1e-6
+
+
+class CorrectedClock:
+    """Raw local clock plus the EXS-maintained correction value.
+
+    This is the clock whose readings are embedded into record timestamps
+    (``X_TS``) and returned to clock-sync probes.
+    """
+
+    __slots__ = ("base", "correction_us", "corrections_applied")
+
+    def __init__(self, base: Callable[[], int]) -> None:
+        self.base = base
+        self.correction_us = 0
+        #: Number of corrections ever applied (round-trip observability).
+        self.corrections_applied = 0
+
+    def read(self) -> int:
+        """Corrected local time in microseconds."""
+        return self.base() + self.correction_us
+
+    def read_at(self, true_now: int) -> int:
+        """Corrected reading at true time *true_now* (simulator only;
+        requires a base clock exposing ``read_at``)."""
+        return self.base.read_at(true_now) + self.correction_us  # type: ignore[attr-defined]
+
+    def __call__(self) -> int:
+        return self.read()
+
+    def advance(self, delta_us: int) -> None:
+        """Apply a BRISK correction: strictly non-negative.
+
+        Raises :class:`ValueError` on a negative delta — a master that asks
+        a BRISK slave to step backwards is violating the §3.3 contract, and
+        silently accepting it would reintroduce the event-reordering hazard
+        the algorithm exists to avoid.
+        """
+        if delta_us < 0:
+            raise ValueError(f"BRISK corrections are advance-only, got {delta_us}")
+        self.correction_us += delta_us
+        self.corrections_applied += 1
+
+    def step(self, delta_us: int) -> None:
+        """Apply a signed correction (Cristian baseline; may step back)."""
+        self.correction_us += delta_us
+        self.corrections_applied += 1

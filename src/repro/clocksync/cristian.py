@@ -1,0 +1,89 @@
+"""Cristian's centralized clock synchronization — the baseline (ablation A3).
+
+The original algorithm the paper modifies: "a master polls the slaves,
+determines differences between its clock and the slaves' clocks, and updates
+the slave clocks".  Every slave is steered toward the *master's* clock each
+round, with a signed correction — slave clocks may step backwards, which is
+precisely the behaviour BRISK's variant (see
+:mod:`repro.clocksync.brisk_sync`) trades away for advance-only corrections
+toward the fastest slave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.clocksync.probes import (
+    ProbeSample,
+    ProbeStrategy,
+    SyncSlave,
+    probe_best_of,
+)
+
+
+@dataclass
+class CristianRoundReport:
+    """What one Cristian round observed and did."""
+
+    round_id: int
+    #: slave_id → minimum-RTT probe sample this round.
+    samples: dict[int, ProbeSample] = field(default_factory=dict)
+    #: slave_id → signed correction sent (negative = stepped back).
+    corrections: dict[int, int] = field(default_factory=dict)
+
+
+class CristianMaster:
+    """The unmodified master-slave algorithm.
+
+    Parameters
+    ----------
+    slaves:
+        The slave handles to keep synchronized.
+    probes_per_round:
+        How many probes per slave per round (minimum-RTT sample kept).
+    probe_strategy:
+        Sample-selection strategy; see :mod:`repro.clocksync.probes`.
+    max_step_us:
+        When set, corrections are clamped to +/- ``max_step_us`` per
+        round — the *amortized* adjustment of Cristian's published
+        algorithm, which slews clocks gradually instead of jumping them
+        (a jump would break local interval measurements).  ``None`` gives
+        the idealized instant-step variant.
+    """
+
+    def __init__(
+        self,
+        slaves: Sequence[SyncSlave],
+        probes_per_round: int = 4,
+        probe_strategy: ProbeStrategy = probe_best_of,
+        max_step_us: int | None = None,
+    ) -> None:
+        if not slaves:
+            raise ValueError("need at least one slave")
+        if max_step_us is not None and max_step_us < 1:
+            raise ValueError("max_step_us must be >= 1 when set")
+        self.slaves = list(slaves)
+        self.probes_per_round = probes_per_round
+        self.probe_strategy = probe_strategy
+        self.max_step_us = max_step_us
+        self.rounds_run = 0
+        self.history: list[CristianRoundReport] = []
+
+    def run_round(self) -> CristianRoundReport:
+        """Poll every slave, then steer each toward the master clock."""
+        self.rounds_run += 1
+        report = CristianRoundReport(round_id=self.rounds_run)
+        for slave in self.slaves:
+            sample = self.probe_strategy(slave, self.probes_per_round)
+            report.samples[slave.slave_id] = sample
+        for slave in self.slaves:
+            skew = report.samples[slave.slave_id].skew_us
+            correction = -round(skew)  # cancel the measured skew exactly
+            if self.max_step_us is not None:
+                correction = max(-self.max_step_us, min(self.max_step_us, correction))
+            if correction:
+                slave.adjust(correction)
+            report.corrections[slave.slave_id] = correction
+        self.history.append(report)
+        return report

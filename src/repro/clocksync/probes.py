@@ -1,0 +1,114 @@
+"""Cristian-style clock probing.
+
+Cristian's insight (the "probabilistic" in *Probabilistic clock
+synchronization*, 1989) is that a single request/reply round trip bounds the
+remote clock reading's error by half the round-trip time; probing repeatedly
+and keeping the **minimum-RTT** sample tightens that bound.  Both the
+baseline and BRISK's modified algorithm build on the same probe primitive,
+so it lives here once.
+
+The transport is abstracted behind :class:`SyncSlave`: the simulator
+implements it over simulated links, the real runtime over the TCP message
+connection (``TimeRequest``/``TimeReply``), and the unit tests over direct
+clock reads with synthetic delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeSample:
+    """One completed probe round trip.
+
+    ``skew_us`` is the estimated slave−master clock difference at the moment
+    the reply arrived: ``(slave_time + rtt/2) − master_arrival_time``.
+    ``rtt_us`` is the full round-trip time; the estimate's error bound is
+    ``rtt/2`` minus the minimum one-way delay.
+    """
+
+    skew_us: float
+    rtt_us: int
+
+
+@runtime_checkable
+class SyncSlave(Protocol):
+    """What the master needs from a slave: probing and correction."""
+
+    #: Stable identifier used in round reports.
+    slave_id: int
+
+    def probe(self) -> ProbeSample:
+        """Execute one request/reply round trip and return the sample."""
+
+    def adjust(self, correction_us: int) -> None:
+        """Deliver a clock correction to the slave."""
+
+
+def probe_best_of(slave: SyncSlave, attempts: int) -> ProbeSample:
+    """Probe *attempts* times; return the minimum-RTT sample.
+
+    The minimum-RTT sample has the tightest error bound, so Cristian-style
+    algorithms discard the rest.  ``attempts`` is the per-round repetition
+    the paper describes ("this is repeated a number of times for each slave
+    to average the results" — minimum-RTT selection dominates plain
+    averaging when delays are asymmetric, and both are supported:
+    see :func:`probe_average`).
+    """
+    if attempts < 1:
+        raise ValueError("need at least one probe attempt")
+    best: ProbeSample | None = None
+    for _ in range(attempts):
+        sample = slave.probe()
+        if best is None or sample.rtt_us < best.rtt_us:
+            best = sample
+    assert best is not None
+    return best
+
+
+def probe_average(slave: SyncSlave, attempts: int) -> ProbeSample:
+    """Probe *attempts* times; return the mean-skew sample (paper's wording).
+
+    Averaging suppresses symmetric jitter but is biased by asymmetric
+    delays; exposed so benchmark A4 can compare the two estimators.
+    """
+    if attempts < 1:
+        raise ValueError("need at least one probe attempt")
+    samples = [slave.probe() for _ in range(attempts)]
+    mean_skew = sum(s.skew_us for s in samples) / len(samples)
+    mean_rtt = round(sum(s.rtt_us for s in samples) / len(samples))
+    return ProbeSample(skew_us=mean_skew, rtt_us=mean_rtt)
+
+
+#: Signature shared by the two probe estimators above.
+ProbeStrategy = Callable[[SyncSlave, int], ProbeSample]
+
+
+class FunctionSlave:
+    """Adapter turning plain callables into a :class:`SyncSlave`.
+
+    Used by unit tests and the pure-algorithm benchmarks, where a slave is
+    just "a function that returns a sample" with no transport behind it.
+    """
+
+    __slots__ = ("slave_id", "_probe", "_adjust")
+
+    def __init__(
+        self,
+        slave_id: int,
+        probe: Callable[[], ProbeSample],
+        adjust: Callable[[int], None],
+    ) -> None:
+        self.slave_id = slave_id
+        self._probe = probe
+        self._adjust = adjust
+
+    def probe(self) -> ProbeSample:
+        """Delegate to the wrapped probe callable."""
+        return self._probe()
+
+    def adjust(self, correction_us: int) -> None:
+        """Delegate to the wrapped adjust callable."""
+        self._adjust(correction_us)

@@ -1,0 +1,63 @@
+"""BRISK core: the instrumentation-system kernel itself.
+
+The subpackage follows the paper's three-component model:
+
+* **LIS** (local instrumentation server): :mod:`repro.core.sensor`
+  (internal sensors / ``notice``), :mod:`repro.core.ringbuffer` (the shared
+  memory between application and external sensor), and :mod:`repro.core.exs`
+  (the external sensor that drains, corrects, batches).
+* **ISM** (instrumentation system manager): :mod:`repro.core.ism` composed
+  from :mod:`repro.core.sorting` (heap merge + adaptive time frame),
+  :mod:`repro.core.cre` (causally-related event matching) and
+  :mod:`repro.core.consumers` (memory buffer / PICL log / visual objects).
+* **TP** (transfer protocol) lives in :mod:`repro.wire`.
+"""
+
+from repro.core.records import (
+    FieldType,
+    EventRecord,
+    RecordSchema,
+    SYSTEM_FIELD_TYPES,
+)
+from repro.core.ringbuffer import RingBuffer, OverflowPolicy
+from repro.core.sensor import Sensor, compile_notice
+from repro.core.exs import ExternalSensor, ExsConfig
+from repro.core.sorting import OnlineSorter, SorterConfig
+from repro.core.cre import CausalMatcher, CreConfig
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.consumers import (
+    Consumer,
+    MemoryBufferConsumer,
+    PiclFileConsumer,
+    VisualObjectConsumer,
+    CallbackConsumer,
+)
+from repro.core.filtering import FilterSpec, FilteringConsumer
+from repro.core.catalog import EventCatalog
+
+__all__ = [
+    "FieldType",
+    "EventRecord",
+    "RecordSchema",
+    "SYSTEM_FIELD_TYPES",
+    "RingBuffer",
+    "OverflowPolicy",
+    "Sensor",
+    "compile_notice",
+    "ExternalSensor",
+    "ExsConfig",
+    "OnlineSorter",
+    "SorterConfig",
+    "CausalMatcher",
+    "CreConfig",
+    "InstrumentationManager",
+    "IsmConfig",
+    "Consumer",
+    "MemoryBufferConsumer",
+    "PiclFileConsumer",
+    "VisualObjectConsumer",
+    "CallbackConsumer",
+    "FilterSpec",
+    "FilteringConsumer",
+    "EventCatalog",
+]

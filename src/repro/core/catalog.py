@@ -1,0 +1,157 @@
+"""Event catalogs: self-describing traces.
+
+Event identifiers are integers on the wire (cheap), but humans and tools
+want names and declared schemas.  The paper's custom-macro utility writes
+generated NOTICE definitions "into the header file" — the catalog is that
+registry made first-class and shipped *in-band*: definitions travel as
+ordinary records under a reserved event id, so any consumer of a trace
+can reconstruct the catalog without side channels (the same pattern the
+function tracer uses for its name table).
+
+Definition record layout (event id :data:`CATALOG_EVENT_ID`)::
+
+    X_UINT    defined event id
+    X_STRING  name
+    X_STRING  schema as comma-separated FieldType names ("" = unspecified)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.records import EventRecord, FieldType, RecordSchema
+from repro.core.sensor import Sensor
+
+#: Reserved event id carrying catalog definitions.
+CATALOG_EVENT_ID = 0xF0E
+
+
+@dataclass(frozen=True, slots=True)
+class EventDefinition:
+    """One catalog entry."""
+
+    event_id: int
+    name: str
+    schema: RecordSchema | None = None
+
+
+def _schema_to_text(schema: RecordSchema | None) -> str:
+    if schema is None:
+        return ""
+    return ",".join(t.name for t in schema.field_types)
+
+
+def _schema_from_text(text: str) -> RecordSchema | None:
+    if not text:
+        return None
+    return RecordSchema(tuple(FieldType[name] for name in text.split(",")))
+
+
+class EventCatalog:
+    """Registry of event definitions, announcable through a sensor.
+
+    Producer side::
+
+        catalog = EventCatalog()
+        catalog.define(42, "cache.miss", RecordSchema((FieldType.X_INT,)))
+        catalog.announce(sensor)        # ships the definitions in-band
+
+    Consumer side::
+
+        catalog = EventCatalog.from_trace(records)
+        catalog.name_of(42)             # "cache.miss"
+    """
+
+    def __init__(self) -> None:
+        self._defs: dict[int, EventDefinition] = {}
+
+    # ------------------------------------------------------------------
+    def define(
+        self,
+        event_id: int,
+        name: str,
+        schema: RecordSchema | None = None,
+    ) -> EventDefinition:
+        """Register (or redefine) one event type."""
+        if event_id == CATALOG_EVENT_ID:
+            raise ValueError(
+                f"event id 0x{CATALOG_EVENT_ID:X} is reserved for the catalog"
+            )
+        definition = EventDefinition(event_id, name, schema)
+        self._defs[event_id] = definition
+        return definition
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def __contains__(self, event_id: int) -> bool:
+        return event_id in self._defs
+
+    @property
+    def definitions(self) -> tuple[EventDefinition, ...]:
+        """All entries, ordered by event id."""
+        return tuple(self._defs[k] for k in sorted(self._defs))
+
+    def name_of(self, event_id: int, default: str | None = None) -> str:
+        """Resolve an event id to its name (``default`` or ``event <id>``
+        when undefined)."""
+        if event_id == CATALOG_EVENT_ID:
+            return "catalog.define"
+        definition = self._defs.get(event_id)
+        if definition is not None:
+            return definition.name
+        return default if default is not None else f"event {event_id}"
+
+    def schema_of(self, event_id: int) -> RecordSchema | None:
+        """Declared schema, if any."""
+        definition = self._defs.get(event_id)
+        return definition.schema if definition else None
+
+    # ------------------------------------------------------------------
+    # in-band transport
+    # ------------------------------------------------------------------
+    def announce(self, sensor: Sensor) -> int:
+        """Emit every definition through *sensor*; returns records sent."""
+        sent = 0
+        for definition in self.definitions:
+            ok = sensor.notice(
+                CATALOG_EVENT_ID,
+                (FieldType.X_UINT, definition.event_id),
+                (FieldType.X_STRING, definition.name),
+                (FieldType.X_STRING, _schema_to_text(definition.schema)),
+            )
+            sent += 1 if ok else 0
+        return sent
+
+    def fold(self, record: EventRecord) -> bool:
+        """Absorb one record if it is a catalog definition.
+
+        Returns True when the record was a definition (callers typically
+        hide those from their event views).
+        """
+        if record.event_id != CATALOG_EVENT_ID or len(record.values) != 3:
+            return False
+        event_id, name, schema_text = record.values
+        try:
+            schema = _schema_from_text(schema_text)
+        except KeyError:
+            schema = None  # unknown type name from a newer producer
+        self._defs[event_id] = EventDefinition(event_id, name, schema)
+        return True
+
+    @classmethod
+    def from_trace(cls, records) -> "EventCatalog":
+        """Rebuild a catalog from any iterable of records."""
+        catalog = cls()
+        for record in records:
+            catalog.fold(record)
+        return catalog
+
+    # ------------------------------------------------------------------
+    def validate(self, record: EventRecord) -> bool:
+        """Check a record against its declared schema (True when valid or
+        undeclared — the catalog is advisory, not an admission filter)."""
+        schema = self.schema_of(record.event_id)
+        if schema is None:
+            return True
+        return schema.field_types == record.field_types

@@ -1,0 +1,253 @@
+"""Instrumentation-data consumers — the ISM's output side (§3.1, §3.5).
+
+"The default output mode of the ISM is writing to a memory buffer, which is
+then read by instrumentation data consumer tools.  Besides writing to
+memory, the BRISK ISM may log instrumentation data to trace files in the
+PICL ASCII format, or it may pass instrumentation data to a list of
+CORBA-enabled visual objects."
+
+Three consumers reproduce those modes:
+
+* :class:`MemoryBufferConsumer` — appends records in the *native* binary
+  layout ("the same binary structure used by the NOTICE macros") to a
+  growable buffer that tools read with :func:`repro.core.native.unpack_all`;
+* :class:`PiclFileConsumer` — the PICL ASCII trace log;
+* :class:`VisualObjectConsumer` — the CORBA path, substituted per DESIGN.md
+  §2 by in-process *visual objects*: any object with a
+  ``process_picl(line: str)`` method, called per record with the same PICL
+  string payload MICO would have carried.
+
+:class:`CallbackConsumer` is the generic extension point for
+"independently-built tools" (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol, TextIO, runtime_checkable
+
+from repro.core import native
+from repro.core.records import EventRecord
+from repro.picl.format import (
+    PiclWriter,
+    TimestampMode,
+    picl_to_line,
+    record_to_picl,
+)
+
+
+@runtime_checkable
+class Consumer(Protocol):
+    """What the ISM requires of an output sink."""
+
+    def deliver(self, record: EventRecord) -> None:
+        """Accept one sorted, causally-ordered record."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class MemoryBufferConsumer:
+    """The default output mode: native-layout records in a memory buffer.
+
+    The buffer is append-only while open; consumer tools either snapshot it
+    with :meth:`snapshot` / :meth:`records` or, in the shared-memory
+    runtime, attach to the same segment and decode incrementally.
+    """
+
+    def __init__(self, buffer: bytearray | None = None) -> None:
+        self.buffer = buffer if buffer is not None else bytearray()
+        self.delivered = 0
+
+    def deliver(self, record: EventRecord) -> None:
+        """Append one record to the buffer in native layout."""
+        self.buffer += native.pack_record(record)
+        self.delivered += 1
+
+    def close(self) -> None:
+        """Nothing to release; present for the protocol."""
+
+    def snapshot(self) -> bytes:
+        """Copy of the raw buffer contents."""
+        return bytes(self.buffer)
+
+    def records(self) -> list[EventRecord]:
+        """Decode every record currently in the buffer."""
+        return native.unpack_all(self.buffer)
+
+    def clear(self) -> None:
+        """Reset the buffer (tools call this after consuming a snapshot)."""
+        del self.buffer[:]
+
+
+class PiclFileConsumer:
+    """PICL ASCII trace logging."""
+
+    def __init__(
+        self,
+        stream: TextIO,
+        mode: TimestampMode = TimestampMode.UTC_MICROS,
+        epoch_us: int = 0,
+        *,
+        close_stream: bool = False,
+    ) -> None:
+        self._writer = PiclWriter(stream, mode, epoch_us)
+        self._stream = stream
+        self._close_stream = close_stream
+        self._closed = False
+
+    @property
+    def delivered(self) -> int:
+        """Trace lines written so far."""
+        return self._writer.lines_written
+
+    def deliver(self, record: EventRecord) -> None:
+        """Write one record as a PICL trace line."""
+        if self._closed:
+            raise RuntimeError("consumer is closed")
+        self._writer.write(record)
+
+    def close(self) -> None:
+        """Flush (and optionally close) the trace stream."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stream.flush()
+        if self._close_stream:
+            self._stream.close()
+
+
+@runtime_checkable
+class VisualObject(Protocol):
+    """The remote-visual-object interface (§3.5, CORBA substitution).
+
+    The real system invokes a CORBA method with the record rendered as a
+    PICL string; a visual object here is anything exposing the same method
+    in-process.
+    """
+
+    def process_picl(self, line: str) -> None:
+        """Handle one record, delivered as its PICL line."""
+
+
+class VisualObjectConsumer:
+    """Fans each record out to a list of visual objects as PICL strings.
+
+    A failing visual object is detached after ``max_errors`` consecutive
+    failures rather than wedging the ISM output stage — the CORBA analogue
+    is a dead remote object.
+    """
+
+    def __init__(
+        self,
+        visual_objects: Iterable[VisualObject] = (),
+        mode: TimestampMode = TimestampMode.RELATIVE_SECONDS,
+        epoch_us: int = 0,
+        max_errors: int = 3,
+    ) -> None:
+        self._objects: list[VisualObject] = list(visual_objects)
+        self._errors: dict[int, int] = {}
+        self.mode = mode
+        self.epoch_us = epoch_us
+        self.max_errors = max_errors
+        self.delivered = 0
+        self.detached = 0
+
+    def attach(self, obj: VisualObject) -> None:
+        """Register another visual object."""
+        self._objects.append(obj)
+
+    @property
+    def attached_count(self) -> int:
+        """Currently registered (not detached) visual objects."""
+        return len(self._objects)
+
+    def deliver(self, record: EventRecord) -> None:
+        """Render the record as PICL and fan it out to every object."""
+        line = picl_to_line(record_to_picl(record, self.mode, self.epoch_us))
+        self.delivered += 1
+        dead: list[VisualObject] = []
+        for obj in self._objects:
+            try:
+                obj.process_picl(line)
+                self._errors.pop(id(obj), None)
+            except Exception:
+                count = self._errors.get(id(obj), 0) + 1
+                self._errors[id(obj)] = count
+                if count >= self.max_errors:
+                    dead.append(obj)
+        for obj in dead:
+            self._objects.remove(obj)
+            self._errors.pop(id(obj), None)
+            self.detached += 1
+
+    def close(self) -> None:
+        """Detach every visual object."""
+        self._objects.clear()
+
+
+class CallbackConsumer:
+    """Adapter for arbitrary per-record callables."""
+
+    def __init__(self, callback: Callable[[EventRecord], None]) -> None:
+        self._callback = callback
+        self.delivered = 0
+
+    def deliver(self, record: EventRecord) -> None:
+        """Invoke the callback with the record."""
+        self._callback(record)
+        self.delivered += 1
+
+    def close(self) -> None:
+        """Nothing to release; present for the protocol."""
+
+
+class CollectingConsumer(CallbackConsumer):
+    """Collects records into a list — the workhorse of tests and examples."""
+
+    def __init__(self) -> None:
+        self.records: list[EventRecord] = []
+        super().__init__(self.records.append)
+
+
+class RecentWindowConsumer:
+    """Keeps only the most recent records — a live dashboard's backing store.
+
+    Bounded two ways: at most ``max_records``, and nothing older than
+    ``window_us`` relative to the newest record's timestamp.  Visual
+    objects that redraw periodically read :meth:`snapshot` instead of
+    accumulating the whole run.
+    """
+
+    def __init__(self, window_us: int = 10_000_000, max_records: int = 100_000):
+        if window_us < 1 or max_records < 1:
+            raise ValueError("window and record bound must be positive")
+        from collections import deque
+
+        self.window_us = window_us
+        self._window: deque[EventRecord] = deque(maxlen=max_records)
+        self.delivered = 0
+        self.evicted = 0
+
+    def deliver(self, record: EventRecord) -> None:
+        """Add the record and evict everything now out of the window."""
+        before = len(self._window)
+        at_capacity = before == self._window.maxlen
+        self._window.append(record)
+        if at_capacity:
+            self.evicted += 1  # deque dropped the oldest for us
+        self.delivered += 1
+        horizon = record.timestamp - self.window_us
+        while self._window and self._window[0].timestamp < horizon:
+            self._window.popleft()
+            self.evicted += 1
+
+    def close(self) -> None:
+        """Drop the window."""
+        self._window.clear()
+
+    def snapshot(self) -> list[EventRecord]:
+        """The current window, oldest first."""
+        return list(self._window)
+
+    def __len__(self) -> int:
+        return len(self._window)

@@ -1,0 +1,238 @@
+"""Causally-related event (CRE) matching (§3.2, §3.6).
+
+Applications mark causality with the system field types: an ``X_REASON``
+field publishes a ``u_long`` identifier, and an ``X_CONSEQ`` field declares
+that this event must follow the reason event carrying the same identifier.
+Clock synchronization cannot guarantee that timestamps respect causality —
+when the EXS clocks are further apart than the causal information's transit
+time, a *tachyon* appears: a consequence that seems to precede its reason.
+
+The ISM matches markers through a hash table as records come off the
+on-line sorter:
+
+* a consequence with no reason seen yet is **parked** until its reason is
+  processed — or until a timeout expires, "because its peer may have been
+  dropped";
+* when a reason arrives and a waiting consequence's timestamp is smaller,
+  the consequence's timestamp is **overridden by a larger value** (the
+  causality is authoritative over the clocks);
+* every tachyon is proof the clocks are not synchronized, so the matcher
+  immediately requests **an extra clock-synchronization round** through the
+  callback the ISM wires to :meth:`BriskSyncMaster.request_extra_round`.
+
+The paper notes the flip side (benchmark A5): instrumenting causally-related
+events *helps* BRISK keep the EXS clocks synchronized, reducing tachyons
+among the events that are not marked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.records import EventRecord
+
+
+@dataclass(frozen=True, slots=True)
+class CreConfig:
+    """Causal-matcher tuning knobs.
+
+    ``timeout_us`` bounds how long either kind of marked event is kept in
+    memory; ``epsilon_us`` is how far past the reason a tachyonic
+    consequence is pushed.
+    """
+
+    timeout_us: int = 5_000_000
+    epsilon_us: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout_us < 0:
+            raise ValueError("timeout_us must be non-negative")
+        if self.epsilon_us < 1:
+            raise ValueError("epsilon_us must be >= 1")
+
+
+@dataclass
+class CreStats:
+    """Counters maintained by the matcher."""
+
+    reasons_seen: int = 0
+    consequences_seen: int = 0
+    #: Consequences parked at least once awaiting their reason.
+    parked: int = 0
+    #: Timestamp overrides applied (tachyons corrected).
+    tachyons_fixed: int = 0
+    #: Parked consequences released by timeout (peer presumed dropped).
+    timed_out_consequences: int = 0
+    #: Reasons expired from the hash table by timeout.
+    timed_out_reasons: int = 0
+    #: Extra synchronization rounds requested.
+    sync_requests: int = 0
+
+
+@dataclass
+class _ParkedConseq:
+    record: EventRecord
+    parked_at: int
+    #: Identifiers still missing a reason.
+    waiting_for: set[int] = field(default_factory=set)
+
+
+class CausalMatcher:
+    """Hash-table matcher for reason/consequence markers.
+
+    ``on_tachyon`` is invoked (at most once per processed record) whenever a
+    timestamp override proves the clocks un-synchronized; the ISM connects
+    it to the sync master's extra-round request.
+    """
+
+    def __init__(
+        self,
+        config: CreConfig = CreConfig(),
+        on_tachyon: Callable[[], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.on_tachyon = on_tachyon
+        self.stats = CreStats()
+        # reason id → (timestamp of the reason event, when it was seen).
+        self._reasons: dict[int, tuple[int, int]] = {}
+        # reason id → parked consequences waiting on that id.
+        self._waiting: dict[int, list[_ParkedConseq]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def parked_count(self) -> int:
+        """Consequence records currently held."""
+        return sum(
+            1
+            for parked_list in self._waiting.values()
+            for _ in parked_list
+        )
+
+    def process(self, record: EventRecord, now: int) -> list[EventRecord]:
+        """Run one sorted record through the matcher.
+
+        Returns the records now ready for delivery, in order: the input
+        record (possibly timestamp-corrected) followed by any parked
+        consequences it released.  An empty list means the record was
+        parked.
+        """
+        if not record.is_causal:
+            return [record]
+
+        out: list[EventRecord] = []
+        released: list[EventRecord] = []
+        tachyon = False
+
+        reason_ids = record.reason_ids
+        conseq_ids = record.conseq_ids
+
+        # A consequence missing any reason is parked on all missing ids.
+        if conseq_ids:
+            self.stats.consequences_seen += 1
+            missing = {cid for cid in conseq_ids if cid not in self._reasons}
+            if missing:
+                parked = _ParkedConseq(
+                    record=record, parked_at=now, waiting_for=missing
+                )
+                for cid in missing:
+                    self._waiting.setdefault(cid, []).append(parked)
+                self.stats.parked += 1
+                # Reasons the record itself provides still register below —
+                # a parked record can unblock others even before delivery?
+                # No: causality says this record precedes them, and this
+                # record has not been delivered.  Register nothing yet; the
+                # release path handles its reasons.
+                return []
+            # All reasons present: enforce ordering against the latest one.
+            latest_reason_ts = max(self._reasons[cid][0] for cid in conseq_ids)
+            if record.timestamp <= latest_reason_ts:
+                record = record.with_timestamp(
+                    latest_reason_ts + self.config.epsilon_us
+                )
+                self.stats.tachyons_fixed += 1
+                tachyon = True
+
+        if reason_ids:
+            self.stats.reasons_seen += 1
+            for rid in reason_ids:
+                self._reasons[rid] = (record.timestamp, now)
+                waiters = self._waiting.pop(rid, None)
+                if waiters:
+                    freed, any_override = self._release_waiters(
+                        rid, record.timestamp, waiters
+                    )
+                    released.extend(freed)
+                    tachyon = tachyon or any_override
+
+        out.append(record)
+        out.extend(released)
+        if tachyon:
+            self._request_sync()
+        return out
+
+    def _release_waiters(
+        self,
+        reason_id: int,
+        reason_ts: int,
+        waiters: list[_ParkedConseq],
+    ) -> tuple[list[EventRecord], bool]:
+        """Release parked consequences whose last missing reason arrived.
+
+        Returns the released records and whether any timestamp override
+        (tachyon correction) was applied.
+        """
+        released: list[EventRecord] = []
+        any_override = False
+        for parked in waiters:
+            parked.waiting_for.discard(reason_id)
+            if parked.waiting_for:
+                continue  # still missing other reasons
+            record = parked.record
+            if record.timestamp <= reason_ts:
+                record = record.with_timestamp(reason_ts + self.config.epsilon_us)
+                self.stats.tachyons_fixed += 1
+                any_override = True
+            released.append(record)
+        return released, any_override
+
+    # ------------------------------------------------------------------
+    def expire(self, now: int) -> list[EventRecord]:
+        """Apply the timeout: drop stale reasons, release stale parked
+        consequences un-corrected.
+
+        Returns the timed-out consequences (they are still delivered — the
+        ISM never destroys data, it only gives up on reordering it).
+        """
+        cutoff = now - self.config.timeout_us
+        for rid in [r for r, (_, seen) in self._reasons.items() if seen < cutoff]:
+            del self._reasons[rid]
+            self.stats.timed_out_reasons += 1
+
+        released: list[EventRecord] = []
+        emptied: list[int] = []
+        seen_ids: set[int] = set()
+        for rid, waiters in self._waiting.items():
+            keep: list[_ParkedConseq] = []
+            for parked in waiters:
+                if parked.parked_at < cutoff:
+                    # Release once even when parked under several ids.
+                    key = id(parked)
+                    if key not in seen_ids:
+                        seen_ids.add(key)
+                        released.append(parked.record)
+                        self.stats.timed_out_consequences += 1
+                else:
+                    keep.append(parked)
+            if keep:
+                self._waiting[rid] = keep
+            else:
+                emptied.append(rid)
+        for rid in emptied:
+            del self._waiting[rid]
+        return released
+
+    def _request_sync(self) -> None:
+        self.stats.sync_requests += 1
+        if self.on_tachyon is not None:
+            self.on_tachyon()

@@ -1,0 +1,266 @@
+"""The external sensor (EXS) — the shipping half of the LIS (§3.2, §3.4).
+
+The EXS "runs as another process on the same node and may be assigned a
+lower priority".  Each poll cycle it:
+
+1. **drains** the ring buffer the internal sensors write into,
+2. applies the **delta-ts** correction — the clock-synchronization
+   correction value it maintains — to every record's timestamp (the
+   sensors stamp raw local ``gettimeofday`` time; the correction is added
+   "before sending the record to the ISM"),
+3. stamps its node identity,
+4. **batches** records under the configured latency control, and
+5. XDR-encodes batches for the transfer protocol.
+
+This class is transport- and scheduler-agnostic: :meth:`poll` consumes the
+ring and returns encoded batch payloads; the caller (the real runtime's
+process loop, or the simulator's EXS node) moves the bytes.  That split is
+what lets benchmarks measure the EXS's pure CPU cost (E2) separately from
+transport effects (E3/E4).
+
+The EXS is also the clock-sync *slave* endpoint: :meth:`on_time_request`
+answers Cristian probes with the corrected clock, and :meth:`on_adjust`
+applies advance-only corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core import native
+from repro.core.filtering import FilterState
+from repro.core.records import EventRecord
+from repro.core.ringbuffer import RingBuffer
+from repro.wire import protocol
+
+
+@dataclass(frozen=True, slots=True)
+class ExsConfig:
+    """External-sensor tuning knobs (§2: "batching, latency control").
+
+    Attributes
+    ----------
+    batch_max_records:
+        Ship a batch as soon as it holds this many records (throughput
+        knob: bigger batches amortize headers and syscalls).
+    batch_max_bytes:
+        Approximate payload cap per batch; a batch closes when exceeded.
+    flush_timeout_us:
+        Latency control: a non-empty pending batch is shipped once its
+        oldest record has waited this long, even if under-full.
+    drain_limit:
+        Max records pulled from the ring per poll, bounding the EXS's CPU
+        burst so a lower-priority EXS stays preemptible.
+    compress_meta / delta_ts:
+        Wire-format knobs forwarded to the transfer protocol (A1/E8).
+    """
+
+    batch_max_records: int = 256
+    batch_max_bytes: int = 32 * 1024
+    flush_timeout_us: int = 40_000
+    drain_limit: int = 4096
+    compress_meta: bool = True
+    delta_ts: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_max_records < 1:
+            raise ValueError("batch_max_records must be >= 1")
+        if self.batch_max_bytes < 64:
+            raise ValueError("batch_max_bytes must be >= 64")
+        if self.flush_timeout_us < 0:
+            raise ValueError("flush_timeout_us must be non-negative")
+        if self.drain_limit < 1:
+            raise ValueError("drain_limit must be >= 1")
+
+
+@dataclass
+class ExsStats:
+    """Shipping counters."""
+
+    records_drained: int = 0
+    records_shipped: int = 0
+    records_filtered: int = 0
+    batches_shipped: int = 0
+    bytes_shipped: int = 0
+    timeout_flushes: int = 0
+
+
+class ExternalSensor:
+    """Drain → correct → batch → encode pipeline for one node.
+
+    ``ring`` may be a single ring buffer or a sequence of them — the paper
+    has "multiple user processes ... using internal sensors" on each node,
+    each application process owning its own shared segment; the EXS drains
+    them all and merges the drained records by timestamp before batching.
+    """
+
+    def __init__(
+        self,
+        exs_id: int,
+        node_id: int,
+        ring: RingBuffer | Sequence[RingBuffer],
+        clock: CorrectedClock,
+        config: ExsConfig = ExsConfig(),
+    ) -> None:
+        self.exs_id = exs_id
+        self.node_id = node_id
+        self.rings: list[RingBuffer] = (
+            [ring] if isinstance(ring, RingBuffer) else list(ring)
+        )
+        if not self.rings:
+            raise ValueError("external sensor needs at least one ring")
+        self.clock = clock
+        self.config = config
+        self.stats = ExsStats()
+        #: Source-side filter pushed down by the ISM (None = keep all).
+        self.filter: FilterState | None = None
+        self._seq = 0
+        self._pending: list[EventRecord] = []
+        self._pending_bytes = 0
+        self._pending_oldest_local: int | None = None
+
+    @property
+    def ring(self) -> RingBuffer:
+        """The first ring (single-ring deployments' natural accessor)."""
+        return self.rings[0]
+
+    def add_ring(self, ring: RingBuffer) -> None:
+        """Attach another application process's ring buffer."""
+        self.rings.append(ring)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def hello(self) -> protocol.Hello:
+        """The connection preamble this EXS sends first."""
+        return protocol.Hello(exs_id=self.exs_id, node_id=self.node_id)
+
+    def poll(self, now_local: int | None = None) -> list[bytes]:
+        """Run one poll cycle; return encoded batch payloads ready to send.
+
+        *now_local* is this node's corrected-clock reading; defaults to
+        reading the clock (passed explicitly by the simulator so a poll is
+        deterministic).
+        """
+        if now_local is None:
+            now_local = self.clock.read()
+        correction = self.clock.correction_us
+        out: list[bytes] = []
+        drained = self._drain_all()
+        for payload in drained:
+            record, _ = native.unpack_record(payload)
+            self.stats.records_drained += 1
+            corrected = record.with_timestamp(record.timestamp + correction)
+            corrected = corrected.with_node(self.node_id)
+            if self.filter is not None and not self.filter.admit(corrected):
+                self.stats.records_filtered += 1
+                continue
+            self._pending.append(corrected)
+            self._pending_bytes += protocol.record_wire_size(
+                corrected,
+                compress_meta=self.config.compress_meta,
+                delta_ts=self.config.delta_ts,
+            )
+            if self._pending_oldest_local is None:
+                self._pending_oldest_local = now_local
+            if (
+                len(self._pending) >= self.config.batch_max_records
+                or self._pending_bytes >= self.config.batch_max_bytes
+            ):
+                out.append(self._close_batch())
+        # Latency control: ship a lingering partial batch.
+        if (
+            self._pending
+            and self._pending_oldest_local is not None
+            and now_local - self._pending_oldest_local >= self.config.flush_timeout_us
+        ):
+            self.stats.timeout_flushes += 1
+            out.append(self._close_batch())
+        return out
+
+    def flush(self) -> list[bytes]:
+        """Ship whatever is pending regardless of the knobs (shutdown)."""
+        out: list[bytes] = []
+        while any(self.rings):
+            out.extend(self.poll())
+        if self._pending:
+            out.append(self._close_batch())
+        return out
+
+    def _drain_all(self) -> list[bytes]:
+        """Pull up to the drain limit across all rings, merged by time.
+
+        With several application rings the drained records interleave;
+        sorting the drain by (embedded raw) timestamp keeps this EXS's
+        outgoing stream per-source-ordered, which the ISM's per-queue
+        merge relies on.  Native payloads carry the timestamp at a fixed
+        offset, so the sort key is read without full decoding.
+        """
+        if len(self.rings) == 1:
+            return self.rings[0].drain_bytes(self.config.drain_limit)
+        per_ring = max(1, self.config.drain_limit // len(self.rings))
+        drained: list[bytes] = []
+        for ring in self.rings:
+            drained.extend(ring.drain_bytes(per_ring))
+        drained.sort(key=native.timestamp_of)
+        return drained
+
+    def _close_batch(self) -> bytes:
+        records = self._pending
+        self._pending = []
+        self._pending_bytes = 0
+        self._pending_oldest_local = None
+        encoded = protocol.encode_batch_records(
+            self.exs_id,
+            self._seq,
+            records,
+            compress_meta=self.config.compress_meta,
+            delta_ts=self.config.delta_ts,
+        )
+        self._seq += 1
+        self.stats.records_shipped += len(records)
+        self.stats.batches_shipped += 1
+        self.stats.bytes_shipped += len(encoded)
+        return encoded
+
+    # ------------------------------------------------------------------
+    # clock-sync slave endpoint
+    # ------------------------------------------------------------------
+    def on_time_request(self, msg: protocol.TimeRequest) -> protocol.TimeReply:
+        """Answer a Cristian probe with the corrected clock reading."""
+        return protocol.TimeReply(probe_id=msg.probe_id, slave_time=self.clock.read())
+
+    def on_adjust(self, msg: protocol.Adjust) -> None:
+        """Apply a master correction (advance-only, per §3.3)."""
+        self.clock.advance(msg.correction)
+
+    def on_set_filter(self, msg: "protocol.SetFilter") -> None:
+        """Install (or clear) the ISM-pushed source-side filter."""
+        spec = msg.to_spec()
+        self.filter = None if spec.is_pass_through else FilterState(spec)
+
+
+def run_exs_loop(
+    exs: ExternalSensor,
+    send: Callable[[bytes], None],
+    should_stop: Callable[[], bool],
+    sleep: Callable[[float], None],
+    poll_interval_s: float = 0.040,
+) -> None:
+    """Reference EXS driver loop for real deployments.
+
+    Polls at *poll_interval_s* (defaulting to the 40 ms ``select`` wait the
+    paper measured as the worst-case latency floor), shipping each encoded
+    batch through *send*.  Extracted as a function so the multiprocessing
+    runtime and the tests drive identical logic.
+    """
+    while not should_stop():
+        batches = exs.poll()
+        for encoded in batches:
+            send(encoded)
+        if not batches:
+            sleep(poll_interval_s)
+    for encoded in exs.flush():
+        send(encoded)

@@ -1,0 +1,125 @@
+"""Event filtering: "users can only specify what to monitor" (§2).
+
+A :class:`FilterSpec` declares *what* to keep — by event id, node, and a
+sampling ratio — and is enforceable at two altitudes:
+
+* **at the external sensor** (the interesting case): the ISM pushes a
+  spec to an EXS over the control channel
+  (:class:`repro.wire.protocol.SetFilter`), and records that fail it are
+  dropped *before* XDR encoding and transfer — the §2 trade of
+  completeness against transfer volume, applied at the source;
+* **at a consumer** (:class:`FilteringConsumer`): a local view for one
+  tool without affecting what other consumers see.
+
+Sampling (``sample_every=N``) keeps every N-th record *per event id*, so
+a rare event is not starved by a chatty one sharing the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.records import EventRecord
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A declarative record filter.
+
+    Attributes
+    ----------
+    allowed_events:
+        When not None, only these event ids pass (whitelist).
+    blocked_events:
+        These event ids never pass (applied after the whitelist).
+    allowed_nodes:
+        When not None, only records from these nodes pass.
+    sample_every:
+        Keep one record in every ``sample_every`` per event id (1 = all).
+    """
+
+    allowed_events: frozenset[int] | None = None
+    blocked_events: frozenset[int] = frozenset()
+    allowed_nodes: frozenset[int] | None = None
+    sample_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        # Normalize plain iterables so callers can pass sets/lists.
+        for name in ("allowed_events", "allowed_nodes"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, frozenset):
+                object.__setattr__(self, name, frozenset(value))
+        if not isinstance(self.blocked_events, frozenset):
+            object.__setattr__(
+                self, "blocked_events", frozenset(self.blocked_events)
+            )
+
+    @property
+    def is_pass_through(self) -> bool:
+        """True when the spec cannot drop anything."""
+        return (
+            self.allowed_events is None
+            and not self.blocked_events
+            and self.allowed_nodes is None
+            and self.sample_every == 1
+        )
+
+    def admits(self, record: EventRecord) -> bool:
+        """Static (non-sampling) part of the filter."""
+        if self.allowed_events is not None and record.event_id not in self.allowed_events:
+            return False
+        if record.event_id in self.blocked_events:
+            return False
+        if self.allowed_nodes is not None and record.node_id not in self.allowed_nodes:
+            return False
+        return True
+
+
+class FilterState:
+    """A :class:`FilterSpec` plus the per-event sampling counters.
+
+    Separate from the spec so the spec stays a hashable value object that
+    can travel over the wire.
+    """
+
+    def __init__(self, spec: FilterSpec) -> None:
+        self.spec = spec
+        self._counters: dict[int, int] = {}
+        #: Records dropped by this filter.
+        self.dropped = 0
+        #: Records passed.
+        self.passed = 0
+
+    def admit(self, record: EventRecord) -> bool:
+        """Full filter decision, advancing sampling state."""
+        if not self.spec.admits(record):
+            self.dropped += 1
+            return False
+        n = self.spec.sample_every
+        if n > 1:
+            count = self._counters.get(record.event_id, 0)
+            self._counters[record.event_id] = count + 1
+            if count % n != 0:
+                self.dropped += 1
+                return False
+        self.passed += 1
+        return True
+
+
+class FilteringConsumer:
+    """Wrap a consumer with a local filter view."""
+
+    def __init__(self, inner, spec: FilterSpec) -> None:
+        self.inner = inner
+        self.state = FilterState(spec)
+
+    def deliver(self, record: EventRecord) -> None:
+        """Forward the record to the inner consumer when admitted."""
+        if self.state.admit(record):
+            self.inner.deliver(record)
+
+    def close(self) -> None:
+        """Close the wrapped consumer."""
+        self.inner.close()

@@ -1,0 +1,212 @@
+"""The instrumentation system manager (ISM) — the central component (§3.5).
+
+The ISM receives data batches from external sensors, keeps them in per-EXS
+queues ("the in-order arrival of these batches is guaranteed by the socket
+stream protocol"), merges the queues through the on-line sorter, runs the
+causally-related-event matcher over the sorted stream, and delivers each
+record to every configured consumer.
+
+Like the EXS, the manager core is transport-agnostic: real deployments feed
+it decoded :class:`~repro.wire.protocol.Message` objects from sockets
+(:mod:`repro.runtime.ism_proc`), the simulator feeds it from simulated
+links, and tests feed it directly.  ``now`` — ISM time in microseconds — is
+always passed in, never read from a wall clock, so every pipeline stage is
+deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.consumers import Consumer
+from repro.core.cre import CausalMatcher, CreConfig
+from repro.core.records import EventRecord
+from repro.core.sorting import OnlineSorter, SorterConfig
+from repro.wire import protocol
+
+
+@dataclass(frozen=True, slots=True)
+class IsmConfig:
+    """Manager configuration: sorter and CRE knobs plus housekeeping.
+
+    ``expire_interval_us`` throttles how often the CRE timeout scan runs;
+    the scan is linear in parked events, so running it on every tick would
+    tax the very resource (ISM CPU) the paper identifies as the bottleneck.
+    """
+
+    sorter: SorterConfig = SorterConfig()
+    cre: CreConfig = CreConfig()
+    expire_interval_us: int = 100_000
+    #: Consecutive delivery failures before a consumer is detached.
+    max_consumer_errors: int = 3
+
+    def __post_init__(self) -> None:
+        if self.expire_interval_us < 0:
+            raise ValueError("expire_interval_us must be non-negative")
+        if self.max_consumer_errors < 1:
+            raise ValueError("max_consumer_errors must be >= 1")
+
+
+@dataclass
+class IsmStats:
+    """Manager-level counters (queue/merge counters live in the sorter)."""
+
+    batches_received: int = 0
+    records_received: int = 0
+    records_delivered: int = 0
+    #: Batch sequence gaps per EXS — should stay zero over healthy TCP.
+    seq_gaps: int = 0
+    #: Records from sources that never sent a Hello.
+    unknown_source_records: int = 0
+    #: Exceptions raised by consumers during delivery (isolated).
+    consumer_errors: int = 0
+    #: Consumers detached after repeated failures.
+    consumers_detached: int = 0
+    last_seq: dict[int, int] = field(default_factory=dict)
+
+
+class InstrumentationManager:
+    """Queues → on-line sort → causal ordering → consumers."""
+
+    def __init__(
+        self,
+        config: IsmConfig = IsmConfig(),
+        consumers: list[Consumer] | None = None,
+        sync_master=None,
+    ) -> None:
+        self.config = config
+        self.consumers: list[Consumer] = list(consumers or [])
+        self.sorter = OnlineSorter(config.sorter)
+        self.cre = CausalMatcher(config.cre, on_tachyon=self._on_tachyon)
+        self.stats = IsmStats()
+        #: Optional :class:`repro.clocksync.BriskSyncMaster`; when present,
+        #: tachyons trigger its extra-round request (§3.6).
+        self.sync_master = sync_master
+        self._known_sources: dict[int, int] = {}  # exs_id → node_id
+        self._last_expire_now: int | None = None
+        self._consumer_strikes: dict[int, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def register_source(self, exs_id: int, node_id: int) -> None:
+        """Handle an EXS Hello: create its queue."""
+        self._known_sources[exs_id] = node_id
+        self.sorter.add_source(exs_id)
+
+    @property
+    def sources(self) -> dict[int, int]:
+        """Registered sources, ``exs_id → node_id``."""
+        return dict(self._known_sources)
+
+    def on_message(self, msg: protocol.Message, now: int) -> None:
+        """Dispatch one decoded protocol message at ISM time *now*."""
+        if isinstance(msg, protocol.Batch):
+            self.on_batch(msg, now)
+        elif isinstance(msg, protocol.Hello):
+            self.register_source(msg.exs_id, msg.node_id)
+        elif isinstance(msg, protocol.Bye):
+            pass  # the transport layer tears the connection down
+        else:
+            raise TypeError(
+                f"ISM cannot handle {type(msg).__name__}; clock-sync "
+                f"messages belong to the sync master loop"
+            )
+
+    def on_batch(self, batch: protocol.Batch, now: int) -> None:
+        """Queue a batch's records for sorting."""
+        self.stats.batches_received += 1
+        self.stats.records_received += len(batch.records)
+        if batch.exs_id not in self._known_sources:
+            # Tolerated (a Hello may have raced the first batch in tests),
+            # but counted: a real deployment treats it as a config smell.
+            self.stats.unknown_source_records += len(batch.records)
+            self.register_source(batch.exs_id, 0)
+        last = self.stats.last_seq.get(batch.exs_id)
+        if last is not None and batch.seq != last + 1:
+            self.stats.seq_gaps += 1
+        self.stats.last_seq[batch.exs_id] = batch.seq
+        # The wire format does not carry node identity per record — the
+        # stream implies it; stamp it back on from the Hello registration.
+        node_id = self._known_sources[batch.exs_id]
+        records = [r.with_node(node_id) for r in batch.records]
+        self.sorter.push_batch(batch.exs_id, records, now)
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> int:
+        """Advance the pipeline: release due records and deliver them.
+
+        Returns the number of records delivered to consumers this tick.
+        """
+        delivered = 0
+        for record in self.sorter.extract(now):
+            for ready in self.cre.process(record, now):
+                self._deliver(ready)
+                delivered += 1
+        if self._expire_due(now):
+            for ready in self.cre.expire(now):
+                self._deliver(ready)
+                delivered += 1
+        return delivered
+
+    def flush(self, now: int) -> int:
+        """Drain everything (shutdown): sorter, then parked CRE events."""
+        delivered = 0
+        for record in self.sorter.flush(now):
+            for ready in self.cre.process(record, now):
+                self._deliver(ready)
+                delivered += 1
+        # Force the timeout on whatever is still parked.
+        for ready in self.cre.expire(now + self.config.cre.timeout_us + 1):
+            self._deliver(ready)
+            delivered += 1
+        return delivered
+
+    def close(self) -> None:
+        """Close every consumer (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for consumer in self.consumers:
+            consumer.close()
+
+    # ------------------------------------------------------------------
+    def _deliver(self, record: EventRecord) -> None:
+        """Deliver to every consumer, isolating their failures.
+
+        A consumer that raises must not take the pipeline (or its sibling
+        consumers) down; after ``max_consumer_errors`` consecutive
+        failures it is detached — the same posture
+        :class:`~repro.core.consumers.VisualObjectConsumer` applies to its
+        remote objects, applied one level up.
+        """
+        self.stats.records_delivered += 1
+        dead: list[Consumer] = []
+        for consumer in self.consumers:
+            try:
+                consumer.deliver(record)
+                self._consumer_strikes.pop(id(consumer), None)
+            except Exception:
+                self.stats.consumer_errors += 1
+                strikes = self._consumer_strikes.get(id(consumer), 0) + 1
+                self._consumer_strikes[id(consumer)] = strikes
+                if strikes >= self.config.max_consumer_errors:
+                    dead.append(consumer)
+        for consumer in dead:
+            self.consumers.remove(consumer)
+            self._consumer_strikes.pop(id(consumer), None)
+            self.stats.consumers_detached += 1
+
+    def _expire_due(self, now: int) -> bool:
+        last = self._last_expire_now
+        if last is None or now - last >= self.config.expire_interval_us:
+            self._last_expire_now = now
+            return True
+        return False
+
+    def _on_tachyon(self) -> None:
+        if self.sync_master is not None:
+            self.sync_master.request_extra_round()

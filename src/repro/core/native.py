@@ -1,0 +1,186 @@
+"""Native binary record layout.
+
+This is the reproduction of "the same binary structure used by the NOTICE
+macros": the compact, *node-local* representation that internal sensors write
+into the shared-memory ring buffer and that the ISM writes into its output
+memory buffer for consumer tools.  It is deliberately distinct from the XDR
+wire format — memory transfers between processes on one node do not pay for
+heterogeneity, so this layout is little-endian with natural field sizes and
+no alignment padding.
+
+Layout of one record::
+
+    u32  total_length      (bytes, including this header)
+    u32  event_id
+    u32  node_id
+    u16  n_fields
+    u16  flags             (bit 0: record carries causal markers)
+    i64  timestamp         (microseconds UTC)
+    then per field:
+      u8   field type      (FieldType value)
+      payload              (native size; strings/opaque: u32 length + bytes)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.core.records import EventRecord, FieldType
+
+HEADER = struct.Struct("<IIIHHq")
+HEADER_SIZE = HEADER.size  # 24 bytes
+
+FLAG_CAUSAL = 0x0001
+
+# (struct code, size) per fixed-size field type.
+_FIELD_CODECS: dict[FieldType, struct.Struct] = {
+    FieldType.X_BYTE: struct.Struct("<b"),
+    FieldType.X_UBYTE: struct.Struct("<B"),
+    FieldType.X_SHORT: struct.Struct("<h"),
+    FieldType.X_USHORT: struct.Struct("<H"),
+    FieldType.X_INT: struct.Struct("<i"),
+    FieldType.X_UINT: struct.Struct("<I"),
+    FieldType.X_HYPER: struct.Struct("<q"),
+    FieldType.X_UHYPER: struct.Struct("<Q"),
+    FieldType.X_FLOAT: struct.Struct("<f"),
+    FieldType.X_DOUBLE: struct.Struct("<d"),
+    FieldType.X_TS: struct.Struct("<q"),
+    FieldType.X_REASON: struct.Struct("<I"),
+    FieldType.X_CONSEQ: struct.Struct("<I"),
+}
+
+_LEN = struct.Struct("<I")
+_TYPE = struct.Struct("<B")
+
+
+class NativeCodecError(ValueError):
+    """A buffer does not hold a valid native-layout record."""
+
+
+def pack_record(record: EventRecord) -> bytes:
+    """Serialize *record* into the native node-local layout."""
+    parts: list[bytes] = []
+    for ftype, value in zip(record.field_types, record.values):
+        parts.append(_TYPE.pack(ftype))
+        codec = _FIELD_CODECS.get(ftype)
+        if codec is not None:
+            parts.append(codec.pack(value))
+        elif ftype is FieldType.X_STRING:
+            data = value.encode("utf-8")
+            parts.append(_LEN.pack(len(data)))
+            parts.append(data)
+        else:  # X_OPAQUE
+            data = bytes(value)
+            parts.append(_LEN.pack(len(data)))
+            parts.append(data)
+    body = b"".join(parts)
+    flags = FLAG_CAUSAL if record.is_causal else 0
+    header = HEADER.pack(
+        HEADER_SIZE + len(body),
+        record.event_id,
+        record.node_id,
+        len(record.field_types),
+        flags,
+        record.timestamp,
+    )
+    return header + body
+
+
+def packed_size(record: EventRecord) -> int:
+    """Size in bytes :func:`pack_record` would produce, without packing."""
+    size = HEADER_SIZE
+    for ftype, value in zip(record.field_types, record.values):
+        size += 1
+        codec = _FIELD_CODECS.get(ftype)
+        if codec is not None:
+            size += codec.size
+        elif ftype is FieldType.X_STRING:
+            size += 4 + len(value.encode("utf-8"))
+        else:
+            size += 4 + len(value)
+    return size
+
+
+def unpack_record(buf, offset: int = 0) -> tuple[EventRecord, int]:
+    """Deserialize one record from *buf* at *offset*.
+
+    Returns ``(record, next_offset)``.  Raises :class:`NativeCodecError` on
+    truncation or an unknown field type.
+    """
+    view = memoryview(buf)
+    if offset + HEADER_SIZE > len(view):
+        raise NativeCodecError("truncated record header")
+    total, event_id, node_id, n_fields, _flags, timestamp = HEADER.unpack_from(
+        view, offset
+    )
+    end = offset + total
+    if total < HEADER_SIZE or end > len(view):
+        raise NativeCodecError(f"record length {total} out of bounds")
+    pos = offset + HEADER_SIZE
+    field_types: list[FieldType] = []
+    values: list[Any] = []
+    for _ in range(n_fields):
+        if pos + 1 > end:
+            raise NativeCodecError("truncated field type tag")
+        code = view[pos]
+        pos += 1
+        try:
+            ftype = FieldType(code)
+        except ValueError as exc:
+            raise NativeCodecError(f"unknown field type {code}") from exc
+        codec = _FIELD_CODECS.get(ftype)
+        if codec is not None:
+            if pos + codec.size > end:
+                raise NativeCodecError("truncated fixed field payload")
+            (value,) = codec.unpack_from(view, pos)
+            pos += codec.size
+        else:
+            if pos + 4 > end:
+                raise NativeCodecError("truncated length prefix")
+            (length,) = _LEN.unpack_from(view, pos)
+            pos += 4
+            if pos + length > end:
+                raise NativeCodecError("truncated variable field payload")
+            data = bytes(view[pos : pos + length])
+            pos += length
+            value = data.decode("utf-8") if ftype is FieldType.X_STRING else data
+        field_types.append(ftype)
+        values.append(value)
+    if pos != end:
+        raise NativeCodecError(f"{end - pos} stray bytes inside record")
+    record = EventRecord(
+        event_id=event_id,
+        timestamp=timestamp,
+        field_types=tuple(field_types),
+        values=tuple(values),
+        node_id=node_id,
+    )
+    return record, end
+
+
+#: Byte offset of the timestamp inside the native header (<IIIHHq).
+_TS_OFFSET = 16
+_TS = struct.Struct("<q")
+
+
+def timestamp_of(payload: bytes) -> int:
+    """Read a packed record's timestamp without decoding the record.
+
+    The EXS's multi-ring merge sorts drained payloads by this key; full
+    decoding happens later (once) on the batching path.
+    """
+    if len(payload) < HEADER_SIZE:
+        raise NativeCodecError("truncated record header")
+    return _TS.unpack_from(payload, _TS_OFFSET)[0]
+
+
+def unpack_all(buf) -> list[EventRecord]:
+    """Deserialize every record packed back-to-back in *buf*."""
+    records: list[EventRecord] = []
+    offset = 0
+    view = memoryview(buf)
+    while offset < len(view):
+        record, offset = unpack_record(view, offset)
+        records.append(record)
+    return records

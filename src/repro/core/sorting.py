@@ -1,0 +1,268 @@
+"""On-line sorting of instrumentation records (§3.5–3.6).
+
+The ISM keeps one FIFO queue per external sensor (in-order arrival within a
+queue is guaranteed by the TCP stream) and merges the queues with "a heap
+having one entry for each queue".  Merging alone is not enough: a record
+from a slow or quiet node may *arrive* after records with larger timestamps
+have already been delivered.  BRISK therefore delays every record for a
+**time frame** ``T`` after its creation before releasing it, and adapts
+``T`` on-line:
+
+* when two successively extracted records from *different* external sensors
+  come out in decreasing timestamp order, the time frame was too small:
+  ``T`` is increased (to at least the observed lateness);
+* otherwise ``T`` decays exponentially, shrinking the amount of data parked
+  in ISM memory.
+
+The resulting trade-off — event ordering versus delivery latency — is the
+subject of evaluation E7, which the paper explored "by varying four
+quantitative and qualitative parameters"; :class:`SorterConfig` exposes the
+same four knobs (initial frame, growth factor, decay constant, memory
+bound).
+
+A held-record bound reproduces the "event dropping" box of Figure 1: under
+overload the sorter force-releases the oldest records rather than letting
+ISM memory grow without bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.records import EventRecord
+from repro.util.stats import RunningStats
+
+
+@dataclass(frozen=True, slots=True)
+class SorterConfig:
+    """The on-line sorter's tuning knobs (the four parameters of E7).
+
+    Attributes
+    ----------
+    initial_frame_us:
+        Starting value of the time frame ``T``.
+    min_frame_us:
+        Floor that the exponential decay approaches; 0 means "decay toward
+        releasing immediately".
+    max_frame_us:
+        Cap on ``T`` so one pathological straggler cannot freeze delivery.
+    growth_factor:
+        Multiplier applied to the observed lateness when growing ``T``
+        (1.0 sets ``T`` to exactly the lateness that was just observed —
+        the strategy the paper recommends for latency-critical uses).
+    growth_signal:
+        Which lateness measurement drives growth — a qualitative E7 knob:
+
+        * ``"arrival"`` (default, the paper's recommended strategy): a
+          record arriving behind the release watermark grows ``T`` to its
+          *arrival lateness* ``now − ts``, the delay it would have needed
+          to be merged in order;
+        * ``"watermark"``: growth uses the timestamp regression observed at
+          extraction (``watermark_ts − ts``), a weaker signal that adapts
+          more slowly but holds ``T`` lower.
+    decay_lambda:
+        Exponential decay rate per second: between releases ``T`` shrinks
+        by ``exp(-decay_lambda · Δt)`` toward ``min_frame_us``.  A *small*
+        constant (long half-life) is what the paper found helps in
+        non-latency-critical applications.
+    max_held:
+        Bound on records parked in the sorter; beyond it the oldest are
+        force-released ("event dropping" from Figure 1 — nothing is lost,
+        but ordering may suffer).
+    """
+
+    initial_frame_us: int = 10_000
+    min_frame_us: int = 0
+    max_frame_us: int = 10_000_000
+    growth_factor: float = 1.0
+    decay_lambda: float = 0.1
+    max_held: int = 1_000_000
+    growth_signal: str = "arrival"
+
+    def __post_init__(self) -> None:
+        if self.initial_frame_us < 0 or self.min_frame_us < 0:
+            raise ValueError("time frames must be non-negative")
+        if self.max_frame_us < self.min_frame_us:
+            raise ValueError("max_frame_us < min_frame_us")
+        if self.growth_factor <= 0:
+            raise ValueError("growth_factor must be positive")
+        if self.decay_lambda < 0:
+            raise ValueError("decay_lambda must be non-negative")
+        if self.max_held < 1:
+            raise ValueError("max_held must be >= 1")
+        if self.growth_signal not in ("arrival", "watermark"):
+            raise ValueError("growth_signal must be 'arrival' or 'watermark'")
+
+
+@dataclass
+class SorterStats:
+    """Counters and distributions the sorter maintains as it runs."""
+
+    pushed: int = 0
+    released: int = 0
+    #: Out-of-order extractions observed (consecutive releases from
+    #: different sources with decreasing timestamps).
+    out_of_order: int = 0
+    #: Records force-released by the ``max_held`` bound.
+    forced: int = 0
+    #: Distribution of time spent parked in the sorter (µs).
+    hold_time_us: RunningStats = field(default_factory=RunningStats)
+    #: Distribution of observed lateness at out-of-order extractions (µs).
+    lateness_us: RunningStats = field(default_factory=RunningStats)
+
+
+class OnlineSorter:
+    """Heap merge of per-source queues with an adaptive release time frame.
+
+    Time never comes from a wall clock here: callers pass ``now`` (ISM time,
+    microseconds) into :meth:`push` and :meth:`extract`, which makes the
+    sorter equally usable from the real ISM loop, the simulator, and
+    deterministic tests.
+    """
+
+    def __init__(self, config: SorterConfig = SorterConfig()) -> None:
+        self.config = config
+        self.frame_us: float = float(config.initial_frame_us)
+        self.stats = SorterStats()
+        # exs_id → FIFO of (record, arrival_now); heads are mirrored in the
+        # heap as (timestamp, node, event, exs_id) entries.
+        self._queues: dict[int, deque[tuple[EventRecord, int]]] = {}
+        self._heap: list[tuple[tuple[int, int, int], int]] = []
+        self._last_released_ts: int | None = None
+        self._last_released_source: int | None = None
+        self._last_decay_now: int | None = None
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def add_source(self, exs_id: int) -> None:
+        """Register a source queue (idempotent)."""
+        self._queues.setdefault(exs_id, deque())
+
+    @property
+    def sources(self) -> tuple[int, ...]:
+        """Registered source identifiers."""
+        return tuple(self._queues)
+
+    @property
+    def held(self) -> int:
+        """Records currently parked across all queues."""
+        return sum(len(q) for q in self._queues.values())
+
+    def push(self, exs_id: int, record: EventRecord, now: int) -> None:
+        """Enqueue one record that just arrived from *exs_id* at ISM time
+        *now*."""
+        queue = self._queues.setdefault(exs_id, deque())
+        was_empty = not queue
+        queue.append((record, now))
+        self.stats.pushed += 1
+        if was_empty:
+            heapq.heappush(self._heap, (record.sort_key(), exs_id))
+        if (
+            self.config.growth_signal == "arrival"
+            and self._last_released_ts is not None
+            and record.timestamp < self._last_released_ts
+            and exs_id != self._last_released_source
+        ):
+            # This record is already behind the release watermark: it will
+            # be extracted out of order.  Grow T to the delay that would
+            # have held the watermark back long enough ("as large as the
+            # latest late event's lateness").
+            self._grow(now - record.timestamp)
+
+    def push_batch(
+        self, exs_id: int, records: Iterator[EventRecord] | list[EventRecord], now: int
+    ) -> None:
+        """Enqueue a whole batch (the ISM's per-message entry point)."""
+        for record in records:
+            self.push(exs_id, record, now)
+
+    # ------------------------------------------------------------------
+    # release
+    # ------------------------------------------------------------------
+    def extract(self, now: int) -> list[EventRecord]:
+        """Release every record whose time frame has expired, in merge order.
+
+        Returns the released records, oldest timestamp first.  Also applies
+        the ``max_held`` overload bound and advances the decay of ``T``.
+        """
+        self._decay(now)
+        released: list[EventRecord] = []
+        overload = self.held > self.config.max_held
+        while self._heap:
+            key, exs_id = self._heap[0]
+            ts = key[0]
+            if not overload and now < ts + int(self.frame_us):
+                break
+            heapq.heappop(self._heap)
+            queue = self._queues[exs_id]
+            record, arrival = queue.popleft()
+            if queue:
+                heapq.heappush(self._heap, (queue[0][0].sort_key(), exs_id))
+            self._account_release(record, exs_id, arrival, now, forced=overload)
+            released.append(record)
+            if overload:
+                overload = self.held > self.config.max_held
+        return released
+
+    def flush(self, now: int) -> list[EventRecord]:
+        """Release everything immediately (shutdown path)."""
+        released: list[EventRecord] = []
+        while self._heap:
+            _, exs_id = heapq.heappop(self._heap)
+            queue = self._queues[exs_id]
+            record, arrival = queue.popleft()
+            if queue:
+                heapq.heappush(self._heap, (queue[0][0].sort_key(), exs_id))
+            self._account_release(record, exs_id, arrival, now, forced=False)
+            released.append(record)
+        return released
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+    def _account_release(
+        self, record: EventRecord, exs_id: int, arrival: int, now: int, *, forced: bool
+    ) -> None:
+        self.stats.released += 1
+        if forced:
+            self.stats.forced += 1
+        self.stats.hold_time_us.add(now - arrival)
+        last_ts = self._last_released_ts
+        if (
+            last_ts is not None
+            and record.timestamp < last_ts
+            and exs_id != self._last_released_source
+        ):
+            lateness = last_ts - record.timestamp
+            self.stats.out_of_order += 1
+            self.stats.lateness_us.add(lateness)
+            if self.config.growth_signal == "watermark":
+                self._grow(lateness)
+        # Track the maximum released timestamp so one straggler's release
+        # does not reset the high-water mark used for disorder detection.
+        if last_ts is None or record.timestamp > last_ts:
+            self._last_released_ts = record.timestamp
+            self._last_released_source = exs_id
+
+    def _grow(self, lateness_us: int) -> None:
+        if lateness_us <= 0:
+            return
+        grown = lateness_us * self.config.growth_factor
+        self.frame_us = min(
+            float(self.config.max_frame_us), max(self.frame_us, grown)
+        )
+
+    def _decay(self, now: int) -> None:
+        last = self._last_decay_now
+        self._last_decay_now = now
+        if last is None or now <= last or self.config.decay_lambda == 0:
+            return
+        dt_seconds = (now - last) / 1_000_000
+        factor = math.exp(-self.config.decay_lambda * dt_seconds)
+        floor = float(self.config.min_frame_us)
+        self.frame_us = floor + (self.frame_us - floor) * factor

@@ -1,0 +1,170 @@
+"""Generic external sensors: system-level metrics (the JEWEL heritage).
+
+§1: "we have based the BRISK LIS implementation on JEWEL's internal and
+*generic external* sensors."  JEWEL's generic external sensors sample the
+*environment* — CPU load, memory, process accounting — rather than
+application events, so a trace can correlate application behaviour with
+the machine state underneath it.
+
+:class:`SystemMetricsSensor` reproduces that role: it samples Linux
+``/proc`` counters and emits ordinary BRISK records through the node's
+internal sensor, with catalog definitions announced in-band so consumers
+see named series.  Sampling is pull-based (``sample()``), so the caller —
+an EXS loop, a simulator tick, a thread — owns the cadence, keeping the
+component schedulable like every other BRISK piece (§2).
+
+Event ids (also announced via the catalog):
+
+======  =======================  =========================================
+id      name                     fields
+======  =======================  =========================================
+0xE10   sys.loadavg              X_DOUBLE load1, X_DOUBLE load5
+0xE11   sys.memory               X_UHYPER total_kb, X_UHYPER available_kb
+0xE12   proc.cpu                 X_DOUBLE utime_s, X_DOUBLE stime_s
+0xE13   proc.rss                 X_UHYPER resident_kb
+======  =======================  =========================================
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.core.catalog import EventCatalog
+from repro.core.records import FieldType, RecordSchema
+from repro.core.sensor import Sensor
+
+EV_LOADAVG = 0xE10
+EV_MEMORY = 0xE11
+EV_PROC_CPU = 0xE12
+EV_PROC_RSS = 0xE13
+
+
+def build_catalog() -> EventCatalog:
+    """Catalog entries for the system-metric event family."""
+    catalog = EventCatalog()
+    catalog.define(
+        EV_LOADAVG, "sys.loadavg",
+        RecordSchema((FieldType.X_DOUBLE, FieldType.X_DOUBLE)),
+    )
+    catalog.define(
+        EV_MEMORY, "sys.memory",
+        RecordSchema((FieldType.X_UHYPER, FieldType.X_UHYPER)),
+    )
+    catalog.define(
+        EV_PROC_CPU, "proc.cpu",
+        RecordSchema((FieldType.X_DOUBLE, FieldType.X_DOUBLE)),
+    )
+    catalog.define(
+        EV_PROC_RSS, "proc.rss",
+        RecordSchema((FieldType.X_UHYPER,)),
+    )
+    return catalog
+
+
+class SystemMetricsSensor:
+    """Sample host/process counters into BRISK records.
+
+    Parameters
+    ----------
+    sensor:
+        The internal sensor to emit through.
+    proc_root:
+        Filesystem root of procfs — overridable so tests (and non-Linux
+        hosts) can point at a synthetic tree.
+    announce:
+        Emit the catalog definitions on construction (default True).
+    """
+
+    def __init__(
+        self,
+        sensor: Sensor,
+        proc_root: str | os.PathLike = "/proc",
+        announce: bool = True,
+    ) -> None:
+        self.sensor = sensor
+        self.proc_root = pathlib.Path(proc_root)
+        #: Samples emitted per metric family.
+        self.emitted: dict[int, int] = {}
+        #: Read failures per metric family (missing/foreign procfs).
+        self.errors: dict[int, int] = {}
+        self._clock_ticks = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+        self._page_kb = (
+            os.sysconf("SC_PAGE_SIZE") // 1024 if hasattr(os, "sysconf") else 4
+        )
+        if announce:
+            build_catalog().announce(sensor)
+
+    # ------------------------------------------------------------------
+    def sample(self) -> int:
+        """Sample every available metric family; returns records emitted."""
+        emitted = 0
+        emitted += self._try(EV_LOADAVG, self._sample_loadavg)
+        emitted += self._try(EV_MEMORY, self._sample_memory)
+        emitted += self._try(EV_PROC_CPU, self._sample_proc_cpu)
+        emitted += self._try(EV_PROC_RSS, self._sample_proc_rss)
+        return emitted
+
+    def _try(self, event_id: int, fn) -> int:
+        try:
+            fn()
+        except (OSError, ValueError, IndexError):
+            # A monitoring component must not take the application down
+            # because procfs looks unfamiliar; count and continue.
+            self.errors[event_id] = self.errors.get(event_id, 0) + 1
+            return 0
+        self.emitted[event_id] = self.emitted.get(event_id, 0) + 1
+        return 1
+
+    # ------------------------------------------------------------------
+    def _sample_loadavg(self) -> None:
+        text = (self.proc_root / "loadavg").read_text()
+        load1, load5 = (float(x) for x in text.split()[:2])
+        self.sensor.notice(
+            EV_LOADAVG,
+            (FieldType.X_DOUBLE, load1),
+            (FieldType.X_DOUBLE, load5),
+        )
+
+    def _sample_memory(self) -> None:
+        total_kb = available_kb = None
+        with open(self.proc_root / "meminfo") as stream:
+            for line in stream:
+                if line.startswith("MemTotal:"):
+                    total_kb = int(line.split()[1])
+                elif line.startswith("MemAvailable:"):
+                    available_kb = int(line.split()[1])
+                if total_kb is not None and available_kb is not None:
+                    break
+        if total_kb is None or available_kb is None:
+            raise ValueError("meminfo missing MemTotal/MemAvailable")
+        self.sensor.notice(
+            EV_MEMORY,
+            (FieldType.X_UHYPER, total_kb),
+            (FieldType.X_UHYPER, available_kb),
+        )
+
+    def _stat_fields(self) -> list[str]:
+        text = (self.proc_root / "self" / "stat").read_text()
+        # The comm field may contain spaces; it is parenthesized, so split
+        # after the closing paren.
+        return text[text.rindex(")") + 2 :].split()
+
+    def _sample_proc_cpu(self) -> None:
+        fields = self._stat_fields()
+        # Post-comm indices: utime=11, stime=12 (0-based after state).
+        utime = int(fields[11]) / self._clock_ticks
+        stime = int(fields[12]) / self._clock_ticks
+        self.sensor.notice(
+            EV_PROC_CPU,
+            (FieldType.X_DOUBLE, utime),
+            (FieldType.X_DOUBLE, stime),
+        )
+
+    def _sample_proc_rss(self) -> None:
+        fields = self._stat_fields()
+        rss_pages = int(fields[21])
+        self.sensor.notice(
+            EV_PROC_RSS,
+            (FieldType.X_UHYPER, max(0, rss_pages) * self._page_kb),
+        )

@@ -1,0 +1,32 @@
+"""Transparent monitoring: automatic instrumentation of applications.
+
+§2: "Adding significant amounts of instrumentation code ... by users is
+subject to errors.  It is important that tools can be built based on the
+IS to instrument the target system automatically, so that the users can
+only specify what to monitor, from which aspect, and at which level."
+
+Three levels of automation, from explicit to fully transparent:
+
+* :func:`instrumented` / :class:`span` — decorator and context manager
+  emitting paired begin/end events around code regions;
+* :class:`FunctionTracer` — a ``sys.setprofile``-based tracer that emits
+  call/return events for functions matching module filters, with zero
+  edits to the target code;
+* :class:`CausalChannel` — a message-passing wrapper that automatically
+  marks sends as reasons and receives as consequences, so cross-node
+  causality flows into the ISM without the application managing ids.
+"""
+
+from repro.instrument.spans import instrumented, span, SpanEvents
+from repro.instrument.tracer import FunctionTracer, TracerEvents
+from repro.instrument.messaging import CausalChannel, CausalToken
+
+__all__ = [
+    "instrumented",
+    "span",
+    "SpanEvents",
+    "FunctionTracer",
+    "TracerEvents",
+    "CausalChannel",
+    "CausalToken",
+]

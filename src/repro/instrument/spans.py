@@ -1,0 +1,97 @@
+"""Span instrumentation: paired begin/end events around code regions.
+
+The lightest automation level — the user names a region once (decorator
+or ``with`` block) and BRISK emits matched begin/end records carrying a
+span identifier, so downstream tools (e.g.
+:func:`repro.analysis.statistics.utilization_timeline`) can reconstruct
+busy intervals.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.records import FieldType
+from repro.core.sensor import Sensor
+
+#: Process-wide span-instance counter; distinct across sensors so that
+#: begin/end pairs from nested or concurrent spans never collide.
+_span_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class SpanEvents:
+    """Event ids used by span instrumentation.
+
+    ``begin``/``end`` mirror PICL's block-begin/block-end convention.
+    """
+
+    begin: int = 0xB0
+    end: int = 0xB1
+
+
+def span(sensor: Sensor, label: str, events: SpanEvents = SpanEvents()):
+    """Context manager emitting begin/end records around its body.
+
+    The begin record carries ``(span_id, label)``; the end record carries
+    ``(span_id, label)`` too, so either endpoint suffices to identify the
+    region.  Events are emitted even when the body raises — an aborted
+    region still ends.
+    """
+    return _Span(sensor, label, events)
+
+
+class _Span:
+    __slots__ = ("sensor", "label", "events", "span_id")
+
+    def __init__(self, sensor: Sensor, label: str, events: SpanEvents):
+        self.sensor = sensor
+        self.label = label
+        self.events = events
+        self.span_id = 0
+
+    def __enter__(self) -> "_Span":
+        self.span_id = next(_span_counter)
+        self.sensor.notice(
+            self.events.begin,
+            (FieldType.X_UINT, self.span_id),
+            (FieldType.X_STRING, self.label),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.sensor.notice(
+            self.events.end,
+            (FieldType.X_UINT, self.span_id),
+            (FieldType.X_STRING, self.label),
+        )
+
+
+def instrumented(
+    sensor: Sensor,
+    label: str | None = None,
+    events: SpanEvents = SpanEvents(),
+) -> Callable:
+    """Decorator wrapping a function in a :func:`span`.
+
+    ``label`` defaults to the function's qualified name::
+
+        @instrumented(sensor)
+        def solve_block(block):
+            ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_label = label if label is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(sensor, span_label, events):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

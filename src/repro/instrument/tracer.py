@@ -1,0 +1,166 @@
+"""Fully transparent function tracing via ``sys.setprofile``.
+
+The user specifies *what* to monitor (module prefixes, a depth limit) —
+never touches the target code.  While the tracer is active, every call
+and return of a matching Python function emits an event record whose
+fields carry an interned function id; the function-name table travels as
+its own records so a trace is self-describing.
+
+Intrusion note: profile callbacks fire for *every* Python call, so the
+filter runs on the hot path.  The match result is cached per code object,
+which keeps the non-matching case to one dict lookup — the same "specify
+the level, pay only for it" posture as §2 demands.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.records import FieldType
+from repro.core.sensor import Sensor
+
+
+@dataclass(frozen=True, slots=True)
+class TracerEvents:
+    """Event ids used by the function tracer."""
+
+    call: int = 0xC0
+    ret: int = 0xC1
+    #: Emits the (function_id → name) mapping records.
+    define: int = 0xCF
+
+
+class FunctionTracer:
+    """Emit call/return events for functions in selected modules.
+
+    Parameters
+    ----------
+    sensor:
+        Destination internal sensor.
+    include:
+        Module-name prefixes to trace (e.g. ``("myapp.solver",)``).  An
+        empty sequence traces nothing — opt-in only.
+    max_depth:
+        Calls nested deeper than this (counting only *matching* frames)
+        are not emitted; bounds both intrusion and data volume.
+    """
+
+    def __init__(
+        self,
+        sensor: Sensor,
+        include: Sequence[str],
+        events: TracerEvents = TracerEvents(),
+        max_depth: int = 32,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.sensor = sensor
+        self.include = tuple(include)
+        self.events = events
+        self.max_depth = max_depth
+        self._function_ids: dict[int, int] = {}  # id(code) → function id
+        self._match_cache: dict[int, bool] = {}  # id(code) → traced?
+        self._names: dict[int, str] = {}
+        self._depth = 0
+        self._active = False
+        self._announced = False
+        #: Matching call events emitted.
+        self.calls_traced = 0
+        #: Matching calls skipped by the depth bound.
+        self.calls_skipped = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FunctionTracer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Install the profile hook (no-op if already active).
+
+        The first start also announces catalog definitions for the
+        tracer's event ids, so a consumer of the trace sees
+        ``tracer.call`` instead of a bare number.
+        """
+        if self._active:
+            return
+        if not self._announced:
+            from repro.core.catalog import EventCatalog
+
+            catalog = EventCatalog()
+            catalog.define(self.events.call, "tracer.call")
+            catalog.define(self.events.ret, "tracer.return")
+            catalog.define(self.events.define, "tracer.define")
+            catalog.announce(self.sensor)
+            self._announced = True
+        self._active = True
+        self._depth = 0
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        """Remove the profile hook (no-op if not active)."""
+        if not self._active:
+            return
+        self._active = False
+        sys.setprofile(None)
+
+    @property
+    def function_names(self) -> dict[int, str]:
+        """Interned ``function_id → qualified name`` table."""
+        return dict(self._names)
+
+    # ------------------------------------------------------------------
+    def _matches(self, frame) -> bool:
+        code = frame.f_code
+        cached = self._match_cache.get(id(code))
+        if cached is not None:
+            return cached
+        module = frame.f_globals.get("__name__", "")
+        matched = any(module.startswith(prefix) for prefix in self.include)
+        self._match_cache[id(code)] = matched
+        return matched
+
+    def _function_id(self, frame) -> int:
+        code = frame.f_code
+        fid = self._function_ids.get(id(code))
+        if fid is None:
+            fid = len(self._function_ids) + 1
+            self._function_ids[id(code)] = fid
+            name = f"{frame.f_globals.get('__name__', '?')}.{code.co_qualname}"
+            self._names[fid] = name
+            # Self-describing trace: ship the mapping as a record.
+            self.sensor.notice(
+                self.events.define,
+                (FieldType.X_UINT, fid),
+                (FieldType.X_STRING, name[:200]),
+            )
+        return fid
+
+    def _hook(self, frame, event: str, arg) -> None:
+        if event == "call":
+            if not self._matches(frame):
+                return
+            self._depth += 1
+            if self._depth > self.max_depth:
+                self.calls_skipped += 1
+                return
+            self.calls_traced += 1
+            self.sensor.notice(
+                self.events.call,
+                (FieldType.X_UINT, self._function_id(frame)),
+                (FieldType.X_USHORT, min(self._depth, 65535)),
+            )
+        elif event == "return":
+            if not self._matches(frame):
+                return
+            if self._depth <= self.max_depth:
+                self.sensor.notice(
+                    self.events.ret,
+                    (FieldType.X_UINT, self._function_id(frame)),
+                    (FieldType.X_USHORT, min(self._depth, 65535)),
+                )
+            self._depth = max(0, self._depth - 1)

@@ -1,0 +1,30 @@
+"""PICL trace format support.
+
+The ISM "may log instrumentation data to trace files in the PICL ASCII
+format" (P. H. Worley, *A new PICL trace file format*, ORNL/TM-12125, 1992),
+the lingua franca of 1990s performance-analysis tools (ParaGraph and
+friends).  :mod:`repro.picl.format` implements a writer and reader for the
+record subset BRISK emits.
+"""
+
+from repro.picl.format import (
+    PiclRecord,
+    PiclWriter,
+    PiclReader,
+    TimestampMode,
+    record_to_picl,
+    picl_to_line,
+    parse_line,
+    USER_EVENT_RECORD_TYPE,
+)
+
+__all__ = [
+    "PiclRecord",
+    "PiclWriter",
+    "PiclReader",
+    "TimestampMode",
+    "record_to_picl",
+    "picl_to_line",
+    "parse_line",
+    "USER_EVENT_RECORD_TYPE",
+]

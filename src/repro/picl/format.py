@@ -1,0 +1,305 @@
+"""PICL ASCII trace records (ORNL/TM-12125 subset).
+
+The new PICL trace format is line oriented; every line is a whitespace-
+separated record::
+
+    <record-type> <event-type> <timestamp> <node> <extra...>
+
+BRISK's instrumentation events map onto PICL *user-defined event* records
+(record type ``-3`` in the PICL family of "non-standard" types), with the
+dynamically-typed field payload carried in the data section::
+
+    -3 <event_id> <timestamp> <node_id> <n_fields> <type value>...
+
+* ``timestamp`` is printed either as microseconds of UTC (an integer) or as
+  floating-point seconds since the ISM started — the two output modes §3.5
+  describes.
+* Strings are quoted with C-style escaping so a PICL line remains one line.
+
+The reader accepts exactly what the writer produces and raises
+:class:`PiclParseError` otherwise; it exists so tests and downstream tools
+can round-trip traces, not to parse the full PICL zoo.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, TextIO
+
+from repro.core.records import EventRecord, FieldType
+from repro.util.timebase import MICROS_PER_SEC
+
+#: PICL record type used for BRISK user events.
+USER_EVENT_RECORD_TYPE = -3
+
+
+class TimestampMode(Enum):
+    """§3.5: "time-stamps either in the UTC format or as the (floating-
+    point) number of seconds since the ISM was run"."""
+
+    UTC_MICROS = "utc"
+    RELATIVE_SECONDS = "relative"
+
+
+class PiclParseError(ValueError):
+    """A line is not a valid BRISK-subset PICL record."""
+
+
+@dataclass(frozen=True, slots=True)
+class PiclRecord:
+    """Parsed form of one PICL line."""
+
+    record_type: int
+    event_type: int
+    timestamp: float | int
+    node: int
+    fields: tuple[tuple[FieldType, object], ...] = ()
+
+
+# ----------------------------------------------------------------------
+# value formatting
+# ----------------------------------------------------------------------
+
+def _quote(text: str) -> str:
+    out = ['"']
+    for ch in text:
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def _unquote(token: str) -> str:
+    if len(token) < 2 or token[0] != '"' or token[-1] != '"':
+        raise PiclParseError(f"malformed quoted string: {token!r}")
+    body = token[1:-1]
+    out: list[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            i += 1
+            if i >= len(body):
+                raise PiclParseError("dangling escape in string")
+            esc = body[i]
+            out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+        else:
+            out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _format_value(ftype: FieldType, value) -> str:
+    if ftype is FieldType.X_STRING:
+        return _quote(value)
+    if ftype is FieldType.X_OPAQUE:
+        return bytes(value).hex() or "-"
+    if ftype in (FieldType.X_FLOAT, FieldType.X_DOUBLE):
+        return repr(float(value))
+    return str(int(value))
+
+
+def _parse_value(ftype: FieldType, token: str):
+    if ftype is FieldType.X_STRING:
+        return _unquote(token)
+    if ftype is FieldType.X_OPAQUE:
+        return b"" if token == "-" else bytes.fromhex(token)
+    if ftype in (FieldType.X_FLOAT, FieldType.X_DOUBLE):
+        return float(token)
+    return int(token)
+
+
+# ----------------------------------------------------------------------
+# record <-> line
+# ----------------------------------------------------------------------
+
+def record_to_picl(
+    record: EventRecord,
+    mode: TimestampMode = TimestampMode.UTC_MICROS,
+    epoch_us: int = 0,
+) -> PiclRecord:
+    """Convert an event record into its PICL representation."""
+    if mode is TimestampMode.UTC_MICROS:
+        ts: float | int = record.timestamp
+    else:
+        ts = (record.timestamp - epoch_us) / MICROS_PER_SEC
+    return PiclRecord(
+        record_type=USER_EVENT_RECORD_TYPE,
+        event_type=record.event_id,
+        timestamp=ts,
+        node=record.node_id,
+        fields=tuple(zip(record.field_types, record.values)),
+    )
+
+
+def picl_to_line(picl: PiclRecord) -> str:
+    """Serialize a PICL record to its trace line (no newline)."""
+    if isinstance(picl.timestamp, int):
+        ts = str(picl.timestamp)
+    else:
+        ts = f"{picl.timestamp:.6f}"
+    parts = [
+        str(picl.record_type),
+        str(picl.event_type),
+        ts,
+        str(picl.node),
+        str(len(picl.fields)),
+    ]
+    for ftype, value in picl.fields:
+        parts.append(str(int(ftype)))
+        parts.append(_format_value(ftype, value))
+    return " ".join(parts)
+
+
+def _split_tokens(line: str) -> list[str]:
+    """Split on whitespace, keeping quoted strings as single tokens."""
+    tokens: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        if line[i].isspace():
+            i += 1
+            continue
+        if line[i] == '"':
+            j = i + 1
+            while j < n:
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == '"':
+                    break
+                j += 1
+            if j >= n:
+                raise PiclParseError("unterminated quoted string")
+            tokens.append(line[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            tokens.append(line[i:j])
+            i = j
+    return tokens
+
+
+def parse_line(line: str) -> PiclRecord:
+    """Parse one trace line back into a :class:`PiclRecord`."""
+    tokens = _split_tokens(line.strip())
+    if len(tokens) < 5:
+        raise PiclParseError(f"too few tokens: {line!r}")
+    try:
+        record_type = int(tokens[0])
+        event_type = int(tokens[1])
+        ts_token = tokens[2]
+        timestamp: float | int = (
+            float(ts_token) if ("." in ts_token or "e" in ts_token) else int(ts_token)
+        )
+        node = int(tokens[3])
+        n_fields = int(tokens[4])
+    except ValueError as exc:
+        raise PiclParseError(f"malformed header in {line!r}") from exc
+    expected = 5 + 2 * n_fields
+    if len(tokens) != expected:
+        raise PiclParseError(
+            f"expected {expected} tokens for {n_fields} fields, got {len(tokens)}"
+        )
+    fields: list[tuple[FieldType, object]] = []
+    for k in range(n_fields):
+        try:
+            ftype = FieldType(int(tokens[5 + 2 * k]))
+        except ValueError as exc:
+            raise PiclParseError(f"bad field type in {line!r}") from exc
+        fields.append((ftype, _parse_value(ftype, tokens[6 + 2 * k])))
+    return PiclRecord(
+        record_type=record_type,
+        event_type=event_type,
+        timestamp=timestamp,
+        node=node,
+        fields=tuple(fields),
+    )
+
+
+def picl_to_record(picl: PiclRecord) -> EventRecord:
+    """Rebuild an event record from a UTC-mode PICL record.
+
+    Relative-seconds traces cannot be converted back exactly (the epoch is
+    not stored in the line); passing one raises :class:`PiclParseError`.
+    """
+    if not isinstance(picl.timestamp, int):
+        raise PiclParseError(
+            "cannot rebuild EventRecord from relative-seconds timestamps"
+        )
+    types = tuple(t for t, _ in picl.fields)
+    values = tuple(v for _, v in picl.fields)
+    return EventRecord(
+        event_id=picl.event_type,
+        timestamp=picl.timestamp,
+        field_types=types,
+        values=values,
+        node_id=picl.node,
+    )
+
+
+# ----------------------------------------------------------------------
+# file objects
+# ----------------------------------------------------------------------
+
+class PiclWriter:
+    """Streams event records to a PICL trace file object."""
+
+    def __init__(
+        self,
+        stream: TextIO,
+        mode: TimestampMode = TimestampMode.UTC_MICROS,
+        epoch_us: int = 0,
+    ) -> None:
+        self._stream = stream
+        self.mode = mode
+        self.epoch_us = epoch_us
+        self.lines_written = 0
+
+    def write(self, record: EventRecord) -> None:
+        """Append one record as one trace line."""
+        line = picl_to_line(record_to_picl(record, self.mode, self.epoch_us))
+        self._stream.write(line)
+        self._stream.write("\n")
+        self.lines_written += 1
+
+    def write_all(self, records: Iterable[EventRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.write(record)
+
+
+class PiclReader:
+    """Iterates PICL records from a trace file object."""
+
+    def __init__(self, stream: TextIO) -> None:
+        self._stream = stream
+
+    def __iter__(self) -> Iterator[PiclRecord]:
+        for line in self._stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield parse_line(line)
+
+    def read_all(self) -> list[PiclRecord]:
+        """Read every record in the stream."""
+        return list(self)
+
+
+def dumps(records: Iterable[EventRecord], mode: TimestampMode = TimestampMode.UTC_MICROS, epoch_us: int = 0) -> str:
+    """Render records as a PICL trace string (tests/examples helper)."""
+    buf = io.StringIO()
+    PiclWriter(buf, mode, epoch_us).write_all(records)
+    return buf.getvalue()

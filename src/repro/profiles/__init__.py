@@ -1,0 +1,32 @@
+"""Profiling-mode monitoring: hybrid-approach emulation (§2).
+
+"BRISK should be able to emulate other methods/techniques (e.g., a hybrid
+monitoring approach for tracing or profiling) by a software, event-based
+monitoring approach."
+
+Tracing ships one record per event; profiling aggregates *in the LIS* and
+ships periodic summaries — trading detail for an order-of-magnitude less
+data volume and intrusion.  :class:`ProfilingSensor` implements that
+reduction on top of the ordinary internal sensor:
+
+* per-event-id accumulators (count / sum / min / max of a sample value),
+* summaries flushed as ordinary BRISK records on an interval or on demand,
+* :class:`ProfileDecoder` on the consumer side rebuilds the aggregate view
+  from the summary records.
+
+Benchmark A7 quantifies the volume/fidelity trade against full tracing.
+"""
+
+from repro.profiles.aggregate import (
+    ProfilingSensor,
+    ProfileDecoder,
+    ProfileSummary,
+    PROFILE_EVENT_ID,
+)
+
+__all__ = [
+    "ProfilingSensor",
+    "ProfileDecoder",
+    "ProfileSummary",
+    "PROFILE_EVENT_ID",
+]

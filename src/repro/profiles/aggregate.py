@@ -1,0 +1,170 @@
+"""In-LIS aggregation: the profiling half of the hybrid emulation.
+
+One :class:`ProfilingSensor` wraps an ordinary :class:`Sensor`.  The
+application calls :meth:`ProfilingSensor.sample` exactly where it would
+have called ``notice`` — but instead of a record per call, the sensor
+folds the sample into a per-event accumulator and only emits a *summary
+record* when the flush interval elapses (checked opportunistically on the
+sampling path, so no timer thread is needed — the same posture as the
+paper's schedulable, predictable components).
+
+Summary record layout (event id :data:`PROFILE_EVENT_ID`)::
+
+    X_UINT    profiled event id
+    X_UINT    sample count in the window
+    X_DOUBLE  sum of sample values
+    X_DOUBLE  minimum
+    X_DOUBLE  maximum
+    X_TS      window start (corrected microseconds)
+
+Consumers rebuild aggregates with :class:`ProfileDecoder`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.records import EventRecord, FieldType
+from repro.core.sensor import Sensor
+
+#: Event id reserved for profile summary records.
+PROFILE_EVENT_ID = 0xF0F
+
+
+@dataclass
+class _Accumulator:
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    window_start: int = 0
+
+    def fold(self, value: float) -> None:
+        """Accumulate one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+class ProfilingSensor:
+    """Aggregate samples per event id; emit periodic summary records.
+
+    Parameters
+    ----------
+    sensor:
+        The underlying internal sensor summaries are written through.
+    flush_interval_us:
+        Maximum age of an accumulator before the next sample on the same
+        hot path flushes it.
+    """
+
+    def __init__(self, sensor: Sensor, flush_interval_us: int = 1_000_000):
+        if flush_interval_us < 1:
+            raise ValueError("flush_interval_us must be positive")
+        self.sensor = sensor
+        self.flush_interval_us = flush_interval_us
+        self._accumulators: dict[int, _Accumulator] = {}
+        #: Samples folded (the events that did NOT become records).
+        self.samples = 0
+        #: Summary records emitted.
+        self.summaries_emitted = 0
+
+    # ------------------------------------------------------------------
+    def sample(self, event_id: int, value: float = 1.0) -> None:
+        """Fold one observation of *event_id* with *value*.
+
+        With the default ``value=1.0`` the profile is a pure event count;
+        passing durations/sizes yields timing/volume profiles.
+        """
+        now = self.sensor.clock()
+        acc = self._accumulators.get(event_id)
+        if acc is None:
+            acc = _Accumulator(window_start=now)
+            self._accumulators[event_id] = acc
+        acc.fold(float(value))
+        self.samples += 1
+        if now - acc.window_start >= self.flush_interval_us:
+            self._emit(event_id, acc, now)
+
+    def flush(self) -> int:
+        """Emit every non-empty accumulator now; returns summaries sent."""
+        now = self.sensor.clock()
+        emitted = 0
+        for event_id in list(self._accumulators):
+            acc = self._accumulators[event_id]
+            if acc.count:
+                self._emit(event_id, acc, now)
+                emitted += 1
+        return emitted
+
+    def _emit(self, event_id: int, acc: _Accumulator, now: int) -> None:
+        self.sensor.notice(
+            PROFILE_EVENT_ID,
+            (FieldType.X_UINT, event_id),
+            (FieldType.X_UINT, acc.count),
+            (FieldType.X_DOUBLE, acc.total),
+            (FieldType.X_DOUBLE, acc.minimum),
+            (FieldType.X_DOUBLE, acc.maximum),
+            (FieldType.X_TS, acc.window_start),
+        )
+        self.summaries_emitted += 1
+        self._accumulators[event_id] = _Accumulator(window_start=now)
+
+
+@dataclass
+class ProfileSummary:
+    """Rebuilt aggregate for one (node, event id) pair."""
+
+    node_id: int
+    event_id: int
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    windows: int = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean sample value across all folded windows."""
+        return self.total / self.count if self.count else 0.0
+
+
+class ProfileDecoder:
+    """Fold summary records back into per-(node, event) aggregates.
+
+    Usable directly as an ISM consumer: non-summary records pass through
+    to ``deliver`` untouched (counted in ``other_records``).
+    """
+
+    def __init__(self) -> None:
+        self.profiles: dict[tuple[int, int], ProfileSummary] = {}
+        self.other_records = 0
+
+    def deliver(self, record: EventRecord) -> None:
+        """Consumer-protocol entry point."""
+        if record.event_id != PROFILE_EVENT_ID:
+            self.other_records += 1
+            return
+        self.fold(record)
+
+    def close(self) -> None:
+        """Nothing to release; present for the consumer protocol."""
+
+    def fold(self, record: EventRecord) -> ProfileSummary:
+        """Fold one summary record; returns the updated aggregate."""
+        event_id, count, total, minimum, maximum, _start = record.values
+        key = (record.node_id, event_id)
+        summary = self.profiles.get(key)
+        if summary is None:
+            summary = ProfileSummary(node_id=record.node_id, event_id=event_id)
+            self.profiles[key] = summary
+        summary.count += count
+        summary.total += total
+        summary.minimum = min(summary.minimum, minimum)
+        summary.maximum = max(summary.maximum, maximum)
+        summary.windows += 1
+        return summary

@@ -1,0 +1,191 @@
+"""The external-sensor process.
+
+One EXS per node: attaches the node's shared ring, connects to the ISM,
+and loops — drain/batch/ship on the data path, answer ``TimeRequest`` and
+apply ``Adjust`` on the control path.  The loop structure mirrors the
+paper's EXS: a ``select`` wait bounded at 40 ms is both the idle sleep and
+the control-message poll, which is exactly why the paper's worst-case
+record latency bottoms out at the select timeout (benchmark E4).
+
+``exs_process_main`` is the ``multiprocessing.Process`` target used by the
+examples and the real-socket benchmarks; :class:`ExsProcess` is the same
+loop as an object for in-process use (threads, tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.runtime.shm import attach_shared_ring
+from repro.util.timebase import now_micros
+from repro.wire import protocol
+from repro.wire.tcp import ConnectionClosed, MessageConnection, connect
+
+
+class ExsProcess:
+    """Drive one external sensor against a live ISM connection."""
+
+    def __init__(
+        self,
+        exs: ExternalSensor,
+        conn: MessageConnection,
+        select_timeout_s: float = 0.040,
+    ) -> None:
+        self.exs = exs
+        self.conn = conn
+        self.select_timeout_s = select_timeout_s
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to flush and exit."""
+        self._stop.set()
+
+    def run(self) -> None:
+        """The EXS main loop; returns after a stop request or peer close."""
+        self.conn.send(self.exs.hello())
+        try:
+            while not self._stop.is_set():
+                shipped = self._pump_data()
+                # Idle or not, poll the control path; when idle this is
+                # also the 40 ms select sleep.
+                timeout = 0.0 if shipped else self.select_timeout_s
+                self._pump_control(timeout)
+            for encoded in self.exs.flush():
+                self.conn.send_raw(encoded)
+            self.conn.send(protocol.Bye(reason="exs stop"))
+        except (ConnectionClosed, BrokenPipeError, ConnectionResetError):
+            pass  # ISM went away; nothing left to ship to
+
+    # ------------------------------------------------------------------
+    def _pump_data(self) -> bool:
+        batches = self.exs.poll()
+        for encoded in batches:
+            self.conn.send_raw(encoded)
+        return bool(batches)
+
+    def _pump_control(self, timeout: float) -> None:
+        msg = self.conn.recv(timeout=timeout)
+        while msg is not None:
+            if isinstance(msg, protocol.TimeRequest):
+                self.conn.send(self.exs.on_time_request(msg))
+            elif isinstance(msg, protocol.Adjust):
+                self.exs.on_adjust(msg)
+            elif isinstance(msg, protocol.SetFilter):
+                self.exs.on_set_filter(msg)
+            elif isinstance(msg, protocol.Bye):
+                self._stop.set()
+                return
+            msg = self.conn.recv(timeout=0.0)
+
+
+class ReconnectingExs:
+    """Run an EXS with automatic reconnection.
+
+    The ring buffer is the durability layer: while the ISM is unreachable
+    the application keeps writing (until the ring fills and drops,
+    counted), and on reconnect the EXS resumes draining — records written
+    during the outage still ship.  Batch sequence numbers keep increasing
+    across connections, so the ISM's gap counter records exactly how many
+    batches (if any) died in flight with the old socket.
+    """
+
+    def __init__(
+        self,
+        exs: ExternalSensor,
+        host: str,
+        port: int,
+        select_timeout_s: float = 0.040,
+        max_attempts: int = 10,
+        backoff_s: float = 0.2,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 5.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.exs = exs
+        self.host = host
+        self.port = port
+        self.select_timeout_s = select_timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+        self._stop = threading.Event()
+        #: Successful connections established.
+        self.connections = 0
+        #: Failed connection attempts.
+        self.failed_attempts = 0
+
+    def stop(self) -> None:
+        """Stop after the current session (and stop retrying)."""
+        self._stop.set()
+
+    def run(self) -> None:
+        """Connect-run-reconnect until stopped or attempts exhausted."""
+        delay = self.backoff_s
+        attempts = 0
+        while not self._stop.is_set() and attempts < self.max_attempts:
+            try:
+                conn = connect(self.host, self.port)
+            except OSError:
+                attempts += 1
+                self.failed_attempts += 1
+                time.sleep(min(delay, self.max_backoff_s))
+                delay *= self.backoff_factor
+                continue
+            attempts = 0
+            delay = self.backoff_s
+            self.connections += 1
+            proc = ExsProcess(self.exs, conn, self.select_timeout_s)
+            # Share the stop flag so an outer stop() ends the inner loop.
+            proc._stop = self._stop  # noqa: SLF001 - deliberate wiring
+            try:
+                proc.run()
+            finally:
+                conn.close()
+            # proc.run() returns on stop or on peer loss; loop decides.
+
+
+def exs_process_main(
+    ring_name: str,
+    host: str,
+    port: int,
+    exs_id: int,
+    node_id: int,
+    stop_when_drained_records: int | None = None,
+    config: ExsConfig = ExsConfig(),
+    select_timeout_s: float = 0.040,
+) -> None:
+    """``multiprocessing.Process`` target: run an EXS until told to stop.
+
+    When *stop_when_drained_records* is given, the loop exits after having
+    shipped that many records (benchmark harness use); otherwise it runs
+    until the ISM closes the connection.
+    """
+    shared = attach_shared_ring(ring_name)
+    try:
+        clock = CorrectedClock(now_micros)
+        exs = ExternalSensor(exs_id, node_id, shared.ring, clock, config)
+        conn = connect(host, port)
+        proc = ExsProcess(exs, conn, select_timeout_s)
+        if stop_when_drained_records is None:
+            proc.run()
+        else:
+            threading.Thread(
+                target=_stop_after,
+                args=(proc, exs, stop_when_drained_records),
+                daemon=True,
+            ).start()
+            proc.run()
+        conn.close()
+    finally:
+        shared.close()
+
+
+def _stop_after(proc: ExsProcess, exs: ExternalSensor, target: int) -> None:
+    while exs.stats.records_shipped < target:
+        time.sleep(0.005)
+    proc.stop()

@@ -1,0 +1,283 @@
+"""The ISM server process.
+
+A single-threaded ``select`` loop — the paper's ISM is likewise one process
+whose CPU demand is the scalability bottleneck (E5).  The loop:
+
+* accepts external-sensor connections on a listening socket,
+* drains available messages from every connection into the
+  :class:`~repro.core.ism.InstrumentationManager`,
+* ticks the manager so sorted records flow to consumers,
+* periodically runs the BRISK clock-synchronization round over the same
+  connections (:class:`TcpSyncSlave` adapts a connection to the
+  :class:`~repro.clocksync.probes.SyncSlave` interface).
+
+Probes are blocking per slave (as in Cristian's algorithm); batches that
+arrive while the master waits for a ``TimeReply`` are queued into the
+manager rather than dropped or reordered.
+"""
+
+from __future__ import annotations
+
+import select
+import threading
+import time
+
+from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
+from repro.clocksync.probes import ProbeSample
+from repro.core.ism import InstrumentationManager
+from repro.util.timebase import now_micros
+from repro.wire import protocol
+from repro.wire.tcp import ConnectionClosed, MessageConnection, MessageListener
+
+
+class TcpSyncSlave:
+    """Clock-sync slave endpoint over a live EXS connection."""
+
+    def __init__(self, server: "IsmServer", conn: MessageConnection, slave_id: int):
+        self.server = server
+        self.conn = conn
+        self.slave_id = slave_id
+        self._probe_seq = 0
+
+    def probe(self, timeout_s: float = 1.0) -> ProbeSample:
+        """One blocking Cristian probe over the connection."""
+        self._probe_seq += 1
+        probe_id = self._probe_seq
+        t0 = now_micros()
+        self.conn.send(protocol.TimeRequest(probe_id=probe_id))
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"probe {probe_id} to EXS {self.slave_id}")
+            msg = self.conn.recv(timeout=remaining)
+            if msg is None:
+                continue
+            if isinstance(msg, protocol.TimeReply) and msg.probe_id == probe_id:
+                t1 = now_micros()
+                rtt = t1 - t0
+                skew = msg.slave_time + rtt / 2 - t1
+                return ProbeSample(skew_us=skew, rtt_us=rtt)
+            # A batch (or stale reply) raced the probe: feed it onward.
+            self.server.dispatch(msg)
+
+    def adjust(self, correction_us: int) -> None:
+        """Send the correction over the connection."""
+        self.conn.send(protocol.Adjust(correction=correction_us))
+
+
+class IsmServer:
+    """Accept EXS connections and pump them into the manager."""
+
+    def __init__(
+        self,
+        manager: InstrumentationManager,
+        listener: MessageListener,
+        sync_config: BriskSyncConfig | None = None,
+        sync_period_s: float = 5.0,
+        throttle=None,
+        throttle_period_s: float = 1.0,
+    ) -> None:
+        self.manager = manager
+        self.listener = listener
+        self.sync_config = sync_config
+        self.sync_period_s = sync_period_s
+        #: Optional :class:`repro.runtime.throttle.AutoThrottle`.  When
+        #: set, the server feeds it per-source receive counts every
+        #: ``throttle_period_s`` and it steers the sources via
+        #: :meth:`set_filter`.
+        self.throttle = throttle
+        self.throttle_period_s = throttle_period_s
+        self._next_throttle = time.monotonic() + throttle_period_s
+        self._per_source_counts: dict[int, int] = {}
+        self.connections: dict[int, MessageConnection] = {}
+        self.sync_master: BriskSyncMaster | None = None
+        self._conn_exs: dict[MessageConnection, int] = {}
+        self._pending: list[MessageConnection] = []
+        self._dead: set[MessageConnection] = set()
+        self._stop = threading.Event()
+        # First round runs as soon as a slave connects (warmup), then on
+        # the configured period.
+        self._next_sync = time.monotonic()
+        #: Connections that closed (normally or not) since start.
+        self.closed_connections = 0
+        #: Sync rounds completed across all master rebuilds.
+        self.sync_rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the serve loop to flush and exit."""
+        self._stop.set()
+
+    def dispatch(self, msg: protocol.Message) -> None:
+        """Feed one decoded message into the manager (clock-sync replies
+        are consumed inside probes and never reach here)."""
+        if isinstance(msg, (protocol.TimeReply,)):
+            return  # stale probe reply; drop
+        if isinstance(msg, protocol.Hello):
+            self.manager.register_source(msg.exs_id, msg.node_id)
+            return
+        if isinstance(msg, protocol.Batch):
+            self._per_source_counts[msg.exs_id] = (
+                self._per_source_counts.get(msg.exs_id, 0) + len(msg.records)
+            )
+        self.manager.on_message(msg, now_micros())
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        duration_s: float | None = None,
+        until_records: int | None = None,
+        expected_connections: int | None = None,
+    ) -> None:
+        """Run the server loop.
+
+        Stops on :meth:`stop`, after *duration_s*, after the manager has
+        received *until_records* records, or — when *expected_connections*
+        is given — once every expected connection has come and gone.
+        """
+        deadline = None if duration_s is None else time.monotonic() + duration_s
+        seen_connections = 0
+        while not self._stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if (
+                until_records is not None
+                and self.manager.stats.records_received >= until_records
+            ):
+                break
+            if (
+                expected_connections is not None
+                and seen_connections >= expected_connections
+                and not self.connections
+            ):
+                break
+            seen_connections += self._accept_ready()
+            self._pump_connections()
+            self.manager.tick(now_micros())
+            self._maybe_sync()
+            self._maybe_throttle()
+        # Drain in-flight data, then flush the pipeline.  Peers are told
+        # to stop only on an explicit stop() — a duration/record bound may
+        # just be a phase boundary, with serve() called again.
+        self._pump_connections()
+        if self._stop.is_set():
+            for conn in list(self.connections.values()):
+                try:
+                    conn.send(protocol.Bye(reason="ism shutdown"))
+                except OSError:
+                    pass  # peer already gone; the sweep handles it
+        self.manager.flush(now_micros())
+
+    # ------------------------------------------------------------------
+    def _accept_ready(self) -> int:
+        accepted = 0
+        while True:
+            conn = self.listener.accept(timeout=0.0)
+            if conn is None:
+                return accepted
+            # EXS id unknown until its Hello arrives.
+            self._pending.append(conn)
+            accepted += 1
+
+    def _pump_connections(self) -> None:
+        conns = self._pending + list(self.connections.values())
+        if not conns:
+            time.sleep(0.001)
+            return
+        try:
+            ready, _, _ = select.select(conns, [], [], 0.005)
+        except (OSError, ValueError):
+            # A connection died between listing and select; sweep it below.
+            ready = []
+        for conn in ready:
+            # Accumulate message by message: when the stream dies mid-read,
+            # everything decoded before the EOF must still be delivered.
+            msgs: list[protocol.Message] = []
+            closed = False
+            try:
+                for msg in conn.recv_available():
+                    msgs.append(msg)
+            except (ConnectionClosed, ConnectionResetError, protocol.ProtocolError):
+                closed = True
+            for msg in msgs:
+                self._route(conn, msg)
+            if closed:
+                self._drop(conn)
+
+    def _route(self, conn: MessageConnection, msg: protocol.Message) -> None:
+        if isinstance(msg, protocol.Hello):
+            self.manager.register_source(msg.exs_id, msg.node_id)
+            if conn in self._pending:
+                self._pending.remove(conn)
+            self.connections[msg.exs_id] = conn
+            self._conn_exs[conn] = msg.exs_id
+            self._rebuild_sync_master()
+            return
+        if isinstance(msg, protocol.Bye):
+            self._drop(conn)
+            return
+        self.dispatch(msg)
+
+    def _drop(self, conn: MessageConnection) -> None:
+        if conn in self._dead:
+            return  # already dropped (e.g. Bye routed, then EOF seen)
+        self._dead.add(conn)
+        exs_id = self._conn_exs.pop(conn, None)
+        if exs_id is not None:
+            self.connections.pop(exs_id, None)
+            self._rebuild_sync_master()
+        if conn in self._pending:
+            self._pending.remove(conn)
+        self.closed_connections += 1
+        conn.close()
+
+    # ------------------------------------------------------------------
+    def set_filter(self, exs_id: int, spec) -> bool:
+        """Push a source-side :class:`~repro.core.filtering.FilterSpec`
+        down to one connected external sensor (§2: the user specifies
+        what to monitor; the EXS drops the rest before transfer).
+
+        Returns False when that EXS is not currently connected.
+        """
+        conn = self.connections.get(exs_id)
+        if conn is None:
+            return False
+        conn.send(protocol.SetFilter.from_spec(spec))
+        return True
+
+    # ------------------------------------------------------------------
+    def _rebuild_sync_master(self) -> None:
+        if self.sync_config is None or not self.connections:
+            self.sync_master = None
+            self.manager.sync_master = None
+            return
+        slaves = [
+            TcpSyncSlave(self, conn, exs_id)
+            for exs_id, conn in self.connections.items()
+        ]
+        self.sync_master = BriskSyncMaster(slaves, self.sync_config)
+        self.manager.sync_master = self.sync_master
+
+    def _maybe_throttle(self) -> None:
+        if self.throttle is None:
+            return
+        if time.monotonic() < self._next_throttle:
+            return
+        self._next_throttle = time.monotonic() + self.throttle_period_s
+        self.throttle.observe(now_micros(), dict(self._per_source_counts))
+
+    def _maybe_sync(self) -> None:
+        master = self.sync_master
+        if master is None:
+            return
+        due = time.monotonic() >= self._next_sync
+        extra = master.consume_extra_round_request()
+        if not due and not extra:
+            return
+        self._next_sync = time.monotonic() + self.sync_period_s
+        try:
+            master.run_round()
+            self.sync_rounds_completed += 1
+        except (TimeoutError, ConnectionClosed, ConnectionResetError):
+            pass  # a slave vanished mid-round; the next pump sweeps it

@@ -1,0 +1,121 @@
+"""Shared-memory output: the ISM's default consumer mode, cross-process.
+
+§3.1/§3.5: "The default output mode of the ISM is writing to a memory
+buffer, which is then read by instrumentation data consumer tools" — the
+consumer tools being *separate processes*.  This module closes that loop:
+
+* :class:`SharedMemoryConsumer` — an ISM consumer writing native-layout
+  records into a named shared ring (the same SPSC ring the LIS uses,
+  which already provides cross-process semantics and drop accounting);
+* :class:`SharedMemoryReader` — the tool side: attach by segment name,
+  drain records, optionally block-poll.
+
+The ring's ``DROP_NEW`` policy applies the paper's posture to the output
+side too: a stalled tool loses records (counted) rather than stalling the
+ISM.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from repro.core import native
+from repro.core.records import EventRecord
+from repro.runtime.shm import SharedRing, attach_shared_ring, create_shared_ring
+
+
+class SharedMemoryConsumer:
+    """ISM consumer writing records to a named shared-memory ring.
+
+    Create it, hand it to the manager, and tell tools the segment
+    :attr:`name`.  Closing destroys the segment (the ISM owns it).
+    """
+
+    def __init__(self, capacity_bytes: int = 4 << 20, name: str | None = None):
+        self._shared: SharedRing = create_shared_ring(capacity_bytes, name)
+        self.delivered = 0
+        #: Records the ring could not take (tool too slow / absent).
+        self.dropped = 0
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """Segment name consumer tools attach to."""
+        return self._shared.name
+
+    def deliver(self, record: EventRecord) -> None:
+        """Push one record into the shared ring (drops are counted)."""
+        if self._closed:
+            raise RuntimeError("consumer is closed")
+        if self._shared.ring.push(record):
+            self.delivered += 1
+        else:
+            self.dropped += 1
+
+    def close(self) -> None:
+        """Destroy the shared segment (the ISM owns it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shared.close()
+
+
+class SharedMemoryReader:
+    """Consumer-tool side of the shared output buffer."""
+
+    def __init__(self, name: str) -> None:
+        self._shared = attach_shared_ring(name)
+        self.read_count = 0
+        self._closed = False
+
+    def drain(self, limit: int | None = None) -> list[EventRecord]:
+        """Read and decode everything currently available."""
+        records = self._shared.ring.drain(limit)
+        self.read_count += len(records)
+        return records
+
+    def poll(
+        self, timeout_s: float = 1.0, interval_s: float = 0.001
+    ) -> list[EventRecord]:
+        """Wait up to *timeout_s* for records; returns what arrived.
+
+        The ring has no cross-process wakeup primitive (neither did SysV
+        shared memory — the paper's EXS polls too), so this is a bounded
+        spin with a sleep.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            records = self.drain()
+            if records or time.monotonic() >= deadline:
+                return records
+            time.sleep(interval_s)
+
+    def stream(
+        self, stop_after: int | None = None, idle_timeout_s: float = 5.0
+    ) -> Iterator[EventRecord]:
+        """Yield records as they appear until idle for *idle_timeout_s*
+        (or *stop_after* records)."""
+        yielded = 0
+        while stop_after is None or yielded < stop_after:
+            batch = self.poll(timeout_s=idle_timeout_s)
+            if not batch:
+                return
+            for record in batch:
+                yield record
+                yielded += 1
+                if stop_after is not None and yielded >= stop_after:
+                    return
+
+    def close(self) -> None:
+        """Detach from the shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shared.close()
+
+    def __enter__(self) -> "SharedMemoryReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,134 @@
+"""Closed-loop monitoring control: automatic overload throttling.
+
+The §2 trade-off between throughput and completeness has a runtime face:
+when applications emit faster than the ISM can absorb, *something* must
+give.  BRISK's knobs make that something explicit — and because filters
+can be pushed to the source at runtime (:class:`~repro.wire.protocol.
+SetFilter`), the ISM can close the loop itself:
+
+:class:`AutoThrottle` watches the aggregate receive rate and adjusts each
+external sensor's sampling ratio to hold the rate near a target:
+
+* sustained rate above the target → double ``sample_every`` (halve the
+  volume) on the busiest sources;
+* rate comfortably below the target with sampling active → halve
+  ``sample_every`` (recover detail).
+
+This is monitoring *steering* in the Falcon sense, built purely from the
+kernel's own primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.filtering import FilterSpec
+
+
+@dataclass(frozen=True, slots=True)
+class ThrottleConfig:
+    """Control-loop parameters.
+
+    ``target_rate_hz`` is the aggregate record rate to hold; the loop acts
+    when the observed rate leaves the ``(low_water, high_water)`` band
+    around it.  ``max_sample_every`` caps how aggressively a source may be
+    thinned (beyond it, you are not monitoring any more).
+    """
+
+    target_rate_hz: float = 50_000.0
+    high_water: float = 1.2
+    low_water: float = 0.5
+    max_sample_every: int = 256
+
+    def __post_init__(self) -> None:
+        if self.target_rate_hz <= 0:
+            raise ValueError("target_rate_hz must be positive")
+        if not 0 < self.low_water < 1 <= self.high_water:
+            raise ValueError("need 0 < low_water < 1 <= high_water")
+        if self.max_sample_every < 1:
+            raise ValueError("max_sample_every must be >= 1")
+
+
+class AutoThrottle:
+    """Rate-driven sampling controller for one ISM.
+
+    Transport-agnostic: ``push_filter(exs_id, spec)`` is injected — the
+    real server passes :meth:`IsmServer.set_filter`, the simulator applies
+    the spec directly, tests record the calls.
+    """
+
+    def __init__(
+        self,
+        push_filter,
+        config: ThrottleConfig = ThrottleConfig(),
+    ) -> None:
+        self.push_filter = push_filter
+        self.config = config
+        #: exs_id → sampling ratio currently in force.
+        self.sample_every: dict[int, int] = {}
+        #: (time_us, rate, action) control-decision log.
+        self.decisions: list[tuple[int, float, str]] = []
+        self._last_counts: dict[int, int] | None = None
+        self._last_now: int | None = None
+
+    # ------------------------------------------------------------------
+    def observe(self, now_us: int, records_per_source: dict[int, int]) -> str:
+        """Feed one observation; returns the action taken.
+
+        ``records_per_source`` is cumulative per-EXS record counts (e.g.
+        from :class:`~repro.core.ism.IsmStats`); the controller differences
+        consecutive observations itself.
+        """
+        if self._last_counts is None or self._last_now is None:
+            self._last_counts = dict(records_per_source)
+            self._last_now = now_us
+            return "warmup"
+        dt_s = (now_us - self._last_now) / 1_000_000
+        if dt_s <= 0:
+            return "skipped"
+        deltas = {
+            exs_id: records_per_source.get(exs_id, 0)
+            - self._last_counts.get(exs_id, 0)
+            for exs_id in records_per_source
+        }
+        self._last_counts = dict(records_per_source)
+        self._last_now = now_us
+        rate = sum(deltas.values()) / dt_s
+
+        cfg = self.config
+        if rate > cfg.target_rate_hz * cfg.high_water:
+            action = self._tighten(deltas)
+        elif rate < cfg.target_rate_hz * cfg.low_water and any(
+            v > 1 for v in self.sample_every.values()
+        ):
+            action = self._relax()
+        else:
+            action = "hold"
+        self.decisions.append((now_us, rate, action))
+        return action
+
+    # ------------------------------------------------------------------
+    def _tighten(self, deltas: dict[int, int]) -> str:
+        busiest = max(deltas, key=lambda k: deltas[k], default=None)
+        if busiest is None:
+            return "hold"
+        current = self.sample_every.get(busiest, 1)
+        new = min(self.config.max_sample_every, current * 2)
+        if new == current:
+            return "saturated"
+        self._apply(busiest, new)
+        return f"tighten exs {busiest} -> 1/{new}"
+
+    def _relax(self) -> str:
+        # Recover detail on the most-thinned source first.
+        most_thinned = max(self.sample_every, key=lambda k: self.sample_every[k])
+        current = self.sample_every[most_thinned]
+        new = max(1, current // 2)
+        self._apply(most_thinned, new)
+        return f"relax exs {most_thinned} -> 1/{new}"
+
+    def _apply(self, exs_id: int, sample_every: int) -> None:
+        self.sample_every[exs_id] = sample_every
+        self.push_filter(exs_id, FilterSpec(sample_every=sample_every))
+        if sample_every == 1:
+            del self.sample_every[exs_id]

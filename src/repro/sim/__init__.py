@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's distributed experiments ran on eight Sun Ultra-1 workstations
+with free-running clocks on a 155 Mbps ATM LAN.  Neither non-synchronized
+hardware clocks nor LAN disturbance patterns can be re-created faithfully
+inside one host, so the distributed evaluations (E5 scaling, E6 clock-sync
+quality, E7 on-line sorting, A3–A5) run on this substrate instead: a
+seeded discrete-event simulator with
+
+* drifting per-node clocks (:mod:`repro.clocksync.clocks`),
+* latency/jitter/disturbance link models (:mod:`repro.sim.network`),
+* workload generators (:mod:`repro.sim.workload`), and
+* a full BRISK deployment — sensors, ring buffers, external sensors, ISM,
+  clock-sync master — wired over simulated links
+  (:mod:`repro.sim.deployment`).
+
+Everything observable by the algorithms (clock reads, message arrival
+times) flows through the same code paths as the real runtime; only the
+transport and the passage of time are simulated.  All randomness comes from
+one seeded generator, so every experiment is exactly reproducible.
+"""
+
+from repro.sim.engine import Simulator, SimError
+from repro.sim.network import LinkModel, DisturbanceModel
+from repro.sim.workload import (
+    PeriodicWorkload,
+    PoissonWorkload,
+    BurstyWorkload,
+    DelayedStream,
+    make_delayed_streams,
+)
+from repro.sim.deployment import SimDeployment, SimNode, DeploymentConfig
+
+__all__ = [
+    "Simulator",
+    "SimError",
+    "LinkModel",
+    "DisturbanceModel",
+    "PeriodicWorkload",
+    "PoissonWorkload",
+    "BurstyWorkload",
+    "DelayedStream",
+    "make_delayed_streams",
+    "SimDeployment",
+    "SimNode",
+    "DeploymentConfig",
+]

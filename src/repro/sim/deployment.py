@@ -1,0 +1,471 @@
+"""A complete simulated BRISK deployment.
+
+Wires every real component — sensors, ring buffers, external sensors, the
+ISM with its sorter/CRE pipeline, and the clock-synchronization master —
+over simulated clocks and links.  Only time and transport are simulated;
+the records flowing through are produced, XDR-encoded, shipped, decoded and
+sorted by exactly the production code paths.
+
+Time domains
+------------
+Three clocks coexist, as in the real system:
+
+* **true time** — the simulator's virtual clock (no component reads it),
+* **node-local time** — each node's :class:`DriftingClock`, read raw by
+  internal sensors and through a :class:`CorrectedClock` by the EXS,
+* **ISM time** — the manager's own (possibly drifting) clock, used as the
+  sorter's ``now`` and as the sync algorithm's reference point.
+
+Ground-truth metrics (true skew spread, end-to-end latency) are computed by
+the deployment from the simulator's clock; no algorithm ever sees them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
+from repro.clocksync.clocks import CorrectedClock, DriftingClock
+from repro.clocksync.cristian import CristianMaster
+from repro.clocksync.probes import ProbeSample
+from repro.core.consumers import Consumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.records import EventRecord, FieldType
+from repro.core.ringbuffer import OverflowPolicy, RingBuffer, HEADER_SIZE
+from repro.core.sensor import Sensor
+from repro.sim.engine import Simulator
+from repro.sim.network import LinkModel, LinkModelConfig
+from repro.wire import protocol
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentConfig:
+    """Deployment-wide knobs.
+
+    The defaults mirror the paper's setup: EXS poll period bounded by the
+    40 ms select wait, a 5 s clock-sync polling period, and ISM ticks fast
+    enough that the sorter's release granularity is not the bottleneck.
+    """
+
+    exs_poll_interval_us: int = 40_000
+    ism_tick_interval_us: int = 5_000
+    sync_period_us: int = 5_000_000
+    warmup_sync_rounds: int = 1
+    exs: ExsConfig = ExsConfig()
+    ism: IsmConfig = IsmConfig()
+    sync: BriskSyncConfig = BriskSyncConfig()
+    link: LinkModelConfig = LinkModelConfig()
+    ring_bytes: int = 1 << 20
+    track_latency: bool = False
+    #: Per-round slew bound for the Cristian baseline (None = instant step).
+    cristian_max_step_us: int | None = None
+    #: Modelled ISM CPU cost per received record (µs of virtual time).
+    #: Zero (default) = infinitely fast manager; positive values make the
+    #: ISM a finite server so saturation/overload studies (the paper's E5
+    #: bottleneck observation) can run in simulation.
+    ism_service_time_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exs_poll_interval_us < 1 or self.ism_tick_interval_us < 1:
+            raise ValueError("poll/tick intervals must be positive")
+        if self.sync_period_us < 1:
+            raise ValueError("sync_period_us must be positive")
+        if self.ring_bytes < HEADER_SIZE + 64:
+            raise ValueError("ring_bytes too small")
+
+
+class SimNode:
+    """One LIS: hardware clock, ring buffer, sensor, external sensor."""
+
+    def __init__(
+        self,
+        deployment: "SimDeployment",
+        node_id: int,
+        offset_us: int,
+        drift_ppm: float,
+        link: LinkModelConfig | None = None,
+    ) -> None:
+        cfg = deployment.config
+        sim = deployment.sim
+        link_config = link if link is not None else cfg.link
+        self.deployment = deployment
+        self.node_id = node_id
+        self.hw_clock = DriftingClock(sim.time_fn(), offset_us, drift_ppm)
+        self.corrected = CorrectedClock(self.hw_clock)
+        self.ring = RingBuffer(
+            bytearray(cfg.ring_bytes), OverflowPolicy.DROP_NEW
+        )
+        # Internal sensors stamp raw local time; the EXS corrects later.
+        self.sensor = Sensor(self.ring, node_id=node_id, clock=self.hw_clock.read)
+        self.exs = ExternalSensor(
+            exs_id=node_id,
+            node_id=node_id,
+            ring=self.ring,
+            clock=self.corrected,
+            config=cfg.exs,
+        )
+        self.uplink = LinkModel(link_config, sim.rng)
+        self.downlink = LinkModel(link_config, sim.rng)
+        self.workloads: list = []
+
+    # ------------------------------------------------------------------
+    def emit(self, seq: int, event_id: int = 1, n_fields: int = 6) -> None:
+        """The looping application's event: *n_fields* integer fields, the
+        first carrying the sequence number."""
+        values = (seq % 2**31,) + tuple(range(1, n_fields))
+        self.sensor.notice_ints(event_id, *values)
+        if self.deployment.config.track_latency:
+            self.deployment._emit_times[(self.node_id, event_id, values[0])] = (
+                self.deployment.sim.now
+            )
+
+    def true_clock_error(self, true_now: int) -> float:
+        """Ground truth: corrected-clock error vs true time (µs)."""
+        return self.corrected.read_at(true_now) - true_now
+
+
+class SimSyncSlave:
+    """Clock-sync slave endpoint over simulated links.
+
+    ``probe()`` performs a blocking request/reply: the reply's arrival is
+    simulated by advancing the engine (other traffic keeps flowing), after
+    which the master-side sample is computed exactly as the real master
+    would from its own clock readings.
+    """
+
+    __slots__ = ("deployment", "node", "slave_id", "_probe_seq")
+
+    def __init__(self, deployment: "SimDeployment", node: SimNode) -> None:
+        self.deployment = deployment
+        self.node = node
+        self.slave_id = node.node_id
+        self._probe_seq = 0
+
+    def probe(self) -> ProbeSample:
+        """One blocking Cristian probe over the simulated links."""
+        sim = self.deployment.sim
+        master = self.deployment.ism_clock
+        send = sim.now
+        t0 = master.read_at(send)
+        d1 = self.node.downlink.sample_delay(send)
+        # The slave answers from its corrected clock (§3.2: probes see the
+        # same clock that stamps records).
+        slave_time = self.node.corrected.read_at(send + d1)
+        d2 = self.node.uplink.sample_delay(send + d1)
+        arrival = send + d1 + d2
+        sim.run_until(arrival)  # master blocks; the rest of the world runs
+        t1 = master.read_at(arrival)
+        rtt = t1 - t0
+        skew = slave_time + rtt / 2 - t1
+        self._probe_seq += 1
+        return ProbeSample(skew_us=skew, rtt_us=rtt)
+
+    def adjust(self, correction_us: int) -> None:
+        """Deliver an advance-only correction after the link delay."""
+        sim = self.deployment.sim
+        delay = self.node.downlink.sample_delay(sim.now)
+        sim.schedule(
+            delay,
+            self.node.exs.on_adjust,
+            protocol.Adjust(correction=correction_us),
+        )
+
+
+class _SignedSimSyncSlave(SimSyncSlave):
+    """Slave variant for the Cristian baseline: signed corrections applied
+    with :meth:`CorrectedClock.step` (clocks may move backwards)."""
+
+    def adjust(self, correction_us: int) -> None:
+        """Deliver a signed Cristian correction after the link delay."""
+        sim = self.deployment.sim
+        delay = self.node.downlink.sample_delay(sim.now)
+        sim.schedule(delay, self.node.corrected.step, correction_us)
+
+
+@dataclass
+class DeploymentMetrics:
+    """Ground-truth observations collected while the deployment runs."""
+
+    #: (true_time_us, max-min corrected clock error across nodes).
+    skew_spread_samples: list[tuple[int, float]] = field(default_factory=list)
+    #: End-to-end event latency samples (µs), when ``track_latency``.
+    latency_us: list[int] = field(default_factory=list)
+    #: Records delivered to consumers.
+    delivered: int = 0
+    sync_rounds: int = 0
+    extra_sync_rounds: int = 0
+    #: Virtual CPU time the modelled ISM spent serving batches (µs).
+    ism_busy_us: int = 0
+
+
+class SimDeployment:
+    """N LIS nodes + one ISM + clock sync, running on a simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DeploymentConfig = DeploymentConfig(),
+        consumers: list[Consumer] | None = None,
+        ism_clock: DriftingClock | None = None,
+        sync_algorithm: str = "brisk",
+    ) -> None:
+        if sync_algorithm not in ("brisk", "cristian", "none"):
+            raise ValueError(f"unknown sync algorithm {sync_algorithm!r}")
+        self.sim = sim
+        self.config = config
+        self.nodes: list[SimNode] = []
+        self.ism_clock = ism_clock or DriftingClock(sim.time_fn())
+        self.metrics = DeploymentMetrics()
+        self.sync_algorithm = sync_algorithm
+        self.sync_master: BriskSyncMaster | CristianMaster | None = None
+        self._emit_times: dict[tuple[int, int, int], int] = {}
+        self._started = False
+        self._stops: list[Callable[[], None]] = []
+        self._ism_busy_until = 0
+        self._dead_nodes: set[int] = set()
+        self._node_poll_stops: dict[int, Callable[[], None]] = {}
+
+        sinks: list[Consumer] = list(consumers or [])
+        self.ism = InstrumentationManager(config.ism, sinks)
+        if config.track_latency:
+            from repro.core.consumers import CallbackConsumer
+
+            self.ism.consumers.append(CallbackConsumer(self._on_delivery))
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        offset_us: int = 0,
+        drift_ppm: float = 0.0,
+        link: LinkModelConfig | None = None,
+    ) -> SimNode:
+        """Create one LIS node with the given clock imperfections.
+
+        *link* overrides the deployment-wide link model for this node —
+        heterogeneous topologies (one distant/congested node among local
+        ones) are a routine monitoring scenario.
+        """
+        if self._started:
+            raise RuntimeError("cannot add nodes after start()")
+        node = SimNode(self, len(self.nodes) + 1, offset_us, drift_ppm, link)
+        self.nodes.append(node)
+        return node
+
+    def add_nodes(
+        self,
+        count: int,
+        max_offset_us: int = 50_000,
+        max_drift_ppm: float = 50.0,
+    ) -> list[SimNode]:
+        """Create *count* nodes with random clock offsets/drifts."""
+        rng = self.sim.rng
+        return [
+            self.add_node(
+                offset_us=rng.randint(-max_offset_us, max_offset_us),
+                drift_ppm=rng.uniform(-max_drift_ppm, max_drift_ppm),
+            )
+            for _ in range(count)
+        ]
+
+    def attach_workload(self, node: SimNode, workload, event_id: int = 1) -> None:
+        """Drive *node*'s sensor with *workload* once the deployment runs."""
+        if self._started:
+            # Workloads are started inside start(); attaching afterwards
+            # would register one that silently never runs.
+            raise RuntimeError("cannot attach workloads after start()")
+        node.workloads.append((workload, event_id))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Register sources, wire sync, and schedule all periodic loops."""
+        if self._started:
+            raise RuntimeError("already started")
+        self._started = True
+        cfg = self.config
+
+        for node in self.nodes:
+            self.ism.register_source(node.exs.exs_id, node.node_id)
+            stop_poll = self.sim.schedule_every(
+                cfg.exs_poll_interval_us,
+                self._poll_node,
+                node,
+                jitter_us=max(1, cfg.exs_poll_interval_us // 20),
+            )
+            self._stops.append(stop_poll)
+            self._node_poll_stops[node.node_id] = stop_poll
+            for workload, event_id in node.workloads:
+                workload.start(
+                    self.sim,
+                    lambda seq, n=node, e=event_id: n.emit(seq, e),
+                )
+
+        if self.sync_algorithm != "none" and self.nodes:
+            if self.sync_algorithm == "brisk":
+                slaves = [SimSyncSlave(self, n) for n in self.nodes]
+                self.sync_master = BriskSyncMaster(slaves, cfg.sync)
+            else:
+                slaves = [_SignedSimSyncSlave(self, n) for n in self.nodes]
+                self.sync_master = CristianMaster(
+                    slaves,
+                    probes_per_round=cfg.sync.probes_per_round,
+                    max_step_us=cfg.cristian_max_step_us,
+                )
+            self.ism.sync_master = self.sync_master
+            for _ in range(cfg.warmup_sync_rounds):
+                self.run_sync_round()
+            self._stops.append(
+                self.sim.schedule_every(cfg.sync_period_us, self.run_sync_round)
+            )
+
+        self._stops.append(
+            self.sim.schedule_every(cfg.ism_tick_interval_us, self._ism_tick)
+        )
+
+    def run(self, duration_s: float) -> None:
+        """Start (if needed) and run for *duration_s* simulated seconds."""
+        if not self._started:
+            self.start()
+        self.sim.run_for(round(duration_s * 1_000_000))
+
+    def stop(self) -> None:
+        """Stop workloads, cancel periodic loops, and flush the pipeline."""
+        for stop in self._stops:
+            stop()
+        self._stops.clear()
+        for node in self.nodes:
+            for workload, _ in node.workloads:
+                workload.stop()
+            for encoded in node.exs.flush():
+                self._ship(node, encoded)
+        # Let in-flight batches land — sized by the SLOWEST node's link,
+        # with generous headroom for jitter and serialization — then
+        # flush the ISM.
+        worst_delay = max(
+            (n.uplink.config.base_delay_us + 10 * n.uplink.config.jitter_mean_us
+             for n in self.nodes),
+            default=self.config.link.base_delay_us,
+        )
+        self.sim.run_for(2 * (worst_delay + 10_000) + 50_000)
+        self.ism.flush(self.ism_clock.read())
+
+    # ------------------------------------------------------------------
+    # periodic behaviour
+    # ------------------------------------------------------------------
+    def _poll_node(self, node: SimNode) -> None:
+        for encoded in node.exs.poll(node.corrected.read()):
+            self._ship(node, encoded)
+
+    def _ship(self, node: SimNode, encoded: bytes) -> None:
+        delay = node.uplink.sample_delay(self.sim.now, nbytes=len(encoded))
+        self.sim.schedule(delay, self._receive, encoded)
+
+    def _receive(self, encoded: bytes) -> None:
+        msg = protocol.decode_message(encoded)
+        service = self.config.ism_service_time_us
+        if service <= 0 or not isinstance(msg, protocol.Batch):
+            self.ism.on_message(msg, self.ism_clock.read())
+            return
+        # Finite-server model: a batch occupies the ISM CPU for
+        # service_time × records; arrivals queue behind the busy period.
+        start = max(self.sim.now, self._ism_busy_until)
+        done = start + max(1, round(service * len(msg.records)))
+        self._ism_busy_until = done
+        self.metrics.ism_busy_us += done - start
+        self.sim.schedule_at(done, self._deliver_batch, msg)
+
+    def _deliver_batch(self, msg: protocol.Batch) -> None:
+        self.ism.on_message(msg, self.ism_clock.read())
+
+    def _ism_tick(self) -> None:
+        self.metrics.delivered += self.ism.tick(self.ism_clock.read())
+        master = self.sync_master
+        if master is not None and isinstance(master, BriskSyncMaster):
+            if master.consume_extra_round_request():
+                self.metrics.extra_sync_rounds += 1
+                self.run_sync_round()
+
+    def run_sync_round(self) -> None:
+        """Execute one synchronous clock-sync round (blocking the master)."""
+        if self.sync_master is None:
+            return
+        self.sync_master.run_round()
+        self.metrics.sync_rounds += 1
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    @property
+    def alive_nodes(self) -> list[SimNode]:
+        """Nodes not killed by :meth:`kill_node`."""
+        return [n for n in self.nodes if n.node_id not in self._dead_nodes]
+
+    def kill_node(self, node: SimNode) -> None:
+        """Crash one LIS: workloads stop, its EXS never polls again.
+
+        Batches already in flight still arrive (the network does not know
+        the sender died), causal peers of its events eventually time out
+        in the matcher, and the clock-sync master stops polling it — the
+        failure modes a monitoring system must absorb without wedging.
+        """
+        if node.node_id in self._dead_nodes:
+            return
+        self._dead_nodes.add(node.node_id)
+        for workload, _ in node.workloads:
+            workload.stop()
+        stop_poll = self._node_poll_stops.pop(node.node_id, None)
+        if stop_poll is not None:
+            stop_poll()
+        self._rebuild_sync_master_alive()
+
+    def _rebuild_sync_master_alive(self) -> None:
+        if self.sync_master is None:
+            return
+        alive = self.alive_nodes
+        if not alive:
+            self.sync_master = None
+            self.ism.sync_master = None
+            return
+        if self.sync_algorithm == "brisk":
+            slaves = [SimSyncSlave(self, n) for n in alive]
+            self.sync_master = BriskSyncMaster(slaves, self.config.sync)
+        else:
+            slaves = [_SignedSimSyncSlave(self, n) for n in alive]
+            self.sync_master = CristianMaster(
+                slaves,
+                probes_per_round=self.config.sync.probes_per_round,
+                max_step_us=self.config.cristian_max_step_us,
+            )
+        self.ism.sync_master = self.sync_master
+
+    # ------------------------------------------------------------------
+    # ground-truth metrics
+    # ------------------------------------------------------------------
+    def true_skew_spread(self) -> float:
+        """Max−min corrected-clock error across live nodes, right now (µs)."""
+        now = self.sim.now
+        errors = [node.true_clock_error(now) for node in self.alive_nodes]
+        return max(errors) - min(errors) if errors else 0.0
+
+    def sample_skew_spread(self) -> None:
+        """Record the current spread into the metrics trace."""
+        self.metrics.skew_spread_samples.append(
+            (self.sim.now, self.true_skew_spread())
+        )
+
+    def monitor_skew(self, interval_us: int = 1_000_000) -> Callable[[], None]:
+        """Sample the skew spread periodically; returns a stop function."""
+        return self.sim.schedule_every(interval_us, self.sample_skew_spread)
+
+    def _on_delivery(self, record: EventRecord) -> None:
+        if not record.values or record.field_types[0] is not FieldType.X_INT:
+            return
+        key = (record.node_id, record.event_id, record.values[0])
+        emitted = self._emit_times.pop(key, None)
+        if emitted is not None:
+            self.metrics.latency_us.append(self.sim.now - emitted)

@@ -1,0 +1,160 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event calendar: time is integer microseconds (the same unit
+as every BRISK timestamp), events are ``(time, sequence, callback)`` heap
+entries, and all stochastic behaviour draws from one seeded
+``random.Random`` so a simulation is a pure function of its seed.
+
+The engine is intentionally synchronous-friendly: the clock-synchronization
+master is a *blocking* poller in BRISK, so experiment drivers interleave
+``run_until`` segments with synchronous probe exchanges (see
+:class:`repro.sim.deployment.SimSyncSlave`), instead of contorting the
+master into callback form.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable
+
+
+class SimError(RuntimeError):
+    """Misuse of the simulator (time moving backwards, etc.)."""
+
+
+class _Event:
+    """A scheduled callback; cancellation leaves a tombstone in the heap."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Event calendar with integer-microsecond virtual time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0
+        self._seq = 0
+        self._heap: list[_Event] = []
+        #: The single source of randomness for the whole simulation.
+        self.rng = random.Random(seed)
+        #: Events executed so far (debugging/reporting aid).
+        self.events_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    def time_fn(self) -> Callable[[], int]:
+        """A zero-argument callable reading virtual time — what the clock
+        models take as their ``true_time`` source."""
+        return lambda: self._now
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay_us: int, fn: Callable, *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` *delay_us* from now; returns a handle
+        whose :meth:`~_Event.cancel` unschedules it."""
+        if delay_us < 0:
+            raise SimError(f"cannot schedule {delay_us}us in the past")
+        return self.schedule_at(self._now + delay_us, fn, *args)
+
+    def schedule_at(self, time_us: int, fn: Callable, *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` at absolute virtual time *time_us*."""
+        if time_us < self._now:
+            raise SimError(
+                f"cannot schedule at {time_us} before now ({self._now})"
+            )
+        self._seq += 1
+        event = _Event(time_us, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_every(
+        self,
+        interval_us: int,
+        fn: Callable,
+        *args: Any,
+        start_delay_us: int | None = None,
+        jitter_us: int = 0,
+    ) -> Callable[[], None]:
+        """Schedule ``fn(*args)`` periodically; returns a stop function.
+
+        ``jitter_us`` adds uniform ±jitter to each period, which breaks the
+        lockstep artifacts that perfectly periodic pollers produce.
+        """
+        if interval_us <= 0:
+            raise SimError("interval must be positive")
+        stopped = False
+
+        def _fire() -> None:
+            if stopped:
+                return
+            fn(*args)
+            delay = interval_us
+            if jitter_us:
+                delay += self.rng.randint(-jitter_us, jitter_us)
+            self.schedule(max(1, delay), _fire)
+
+        def _stop() -> None:
+            nonlocal stopped
+            stopped = True
+
+        first = interval_us if start_delay_us is None else start_delay_us
+        self.schedule(max(0, first), _fire)
+        return _stop
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event; False when the calendar is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_run += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run_until(self, time_us: int) -> None:
+        """Run every event up to and including *time_us*, then set the
+        clock there (even if the calendar empties earlier).
+
+        Re-entrant: an event callback may itself call ``run_until`` with a
+        nearer horizon (the blocking clock-sync master does exactly that
+        while waiting for a probe reply); the outer call simply resumes
+        from the advanced clock.
+        """
+        if time_us < self._now:
+            raise SimError(f"run_until({time_us}) is in the past")
+        while self._heap and self._heap[0].time <= time_us:
+            self.step()
+        if time_us > self._now:
+            self._now = time_us
+
+    def run_for(self, duration_us: int) -> None:
+        """Advance virtual time by *duration_us*, running due events."""
+        self.run_until(self._now + duration_us)
+
+    def run_all(self, limit: int = 10_000_000) -> None:
+        """Run until the calendar empties (bounded by *limit* events)."""
+        for _ in range(limit):
+            if not self.step():
+                return
+        raise SimError(f"exceeded {limit} events; runaway schedule?")

@@ -1,0 +1,158 @@
+"""Network link models.
+
+What the clock-synchronization experiments need from the network is its
+*delay behaviour*: a base propagation+stack latency, random jitter, and
+occasional **disturbances** — the paper observed that the EXS clocks stayed
+within tens of microseconds "under light working conditions, and most of
+the time under 200 microseconds at times when disturbances of various
+sources in the LAN interfered".  :class:`DisturbanceModel` reproduces those
+interference episodes as randomly recurring bursts during which delays are
+inflated and asymmetric.
+
+Delays are sampled, never traced: a link is a distribution plus burst
+state, parameterized to a mid-90s switched LAN by default (~200 µs one-way
+base for small packets on 155 Mbps ATM with protocol stack overhead).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DisturbanceModel:
+    """Recurring LAN interference bursts.
+
+    While a burst is active, every sample gains ``extra_delay_us`` plus an
+    exponential tail of mean ``extra_jitter_us`` — heavy, asymmetric noise
+    of the kind that defeats naive skew estimation.
+
+    Attributes
+    ----------
+    mean_interval_us:
+        Mean time between burst starts (exponential).
+    mean_duration_us:
+        Mean burst length (exponential).
+    extra_delay_us / extra_jitter_us:
+        Added latency during a burst: fixed part + exponential tail.
+    """
+
+    mean_interval_us: int = 60_000_000
+    mean_duration_us: int = 2_000_000
+    extra_delay_us: int = 300
+    extra_jitter_us: int = 500
+
+    def __post_init__(self) -> None:
+        if self.mean_interval_us <= 0 or self.mean_duration_us <= 0:
+            raise ValueError("disturbance intervals must be positive")
+        if self.extra_delay_us < 0 or self.extra_jitter_us < 0:
+            raise ValueError("disturbance delays must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModelConfig:
+    """Static description of a link's delay distribution.
+
+    ``bandwidth_bytes_per_us`` adds serialization time for sized messages:
+    155 Mbps ATM moves ≈19 payload bytes per microsecond.
+    """
+
+    base_delay_us: int = 200
+    jitter_mean_us: int = 50
+    bandwidth_bytes_per_us: float = 19.0
+    disturbance: DisturbanceModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_delay_us < 1:
+            raise ValueError("base_delay_us must be >= 1")
+        if self.jitter_mean_us < 0:
+            raise ValueError("jitter_mean_us must be >= 0")
+        if self.bandwidth_bytes_per_us <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+class LinkModel:
+    """Stateful delay sampler for one unidirectional link.
+
+    ``sample_delay(now)`` returns a one-way delay in microseconds; burst
+    state is advanced lazily from *now*, so the model needs no scheduler
+    hooks and stays correct as long as ``now`` is non-decreasing (the
+    simulator guarantees that).
+    """
+
+    def __init__(
+        self,
+        config: LinkModelConfig = LinkModelConfig(),
+        rng: random.Random | None = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else random.Random(0)
+        self._burst_start: int | None = None
+        self._burst_end: int = -1
+        self._next_burst: int | None = None
+        #: Samples drawn (reporting aid).
+        self.samples = 0
+        #: Samples drawn while a disturbance burst was active.
+        self.disturbed_samples = 0
+
+    # ------------------------------------------------------------------
+    def in_burst(self, now: int) -> bool:
+        """Whether a disturbance burst covers *now* (advances burst state)."""
+        dist = self.config.disturbance
+        if dist is None:
+            return False
+        if self._next_burst is None:
+            self._next_burst = now + round(
+                self.rng.expovariate(1.0 / dist.mean_interval_us)
+            )
+        while now >= self._next_burst:
+            self._burst_start = self._next_burst
+            duration = max(
+                1, round(self.rng.expovariate(1.0 / dist.mean_duration_us))
+            )
+            self._burst_end = self._burst_start + duration
+            self._next_burst = self._burst_end + round(
+                self.rng.expovariate(1.0 / dist.mean_interval_us)
+            )
+        return self._burst_start is not None and self._burst_start <= now < self._burst_end
+
+    def sample_delay(self, now: int, nbytes: int = 0) -> int:
+        """Draw one one-way delay (µs) for an *nbytes* message entering at
+        *now* (``nbytes=0`` models a minimal control packet)."""
+        self.samples += 1
+        cfg = self.config
+        delay = cfg.base_delay_us + round(nbytes / cfg.bandwidth_bytes_per_us)
+        if cfg.jitter_mean_us:
+            delay += round(self.rng.expovariate(1.0 / cfg.jitter_mean_us))
+        if self.in_burst(now):
+            self.disturbed_samples += 1
+            dist = cfg.disturbance
+            assert dist is not None
+            delay += dist.extra_delay_us
+            if dist.extra_jitter_us:
+                delay += round(self.rng.expovariate(1.0 / dist.extra_jitter_us))
+        return max(1, delay)
+
+
+def lan_quiet(rng: random.Random) -> LinkModel:
+    """A quiet switched LAN: low jitter, no disturbances (E6's "light
+    working conditions")."""
+    return LinkModel(LinkModelConfig(base_delay_us=200, jitter_mean_us=30), rng)
+
+
+def lan_disturbed(rng: random.Random) -> LinkModel:
+    """A LAN with periodic interference episodes (E6's disturbed phase)."""
+    return LinkModel(
+        LinkModelConfig(
+            base_delay_us=200,
+            jitter_mean_us=50,
+            disturbance=DisturbanceModel(
+                mean_interval_us=30_000_000,
+                mean_duration_us=3_000_000,
+                extra_delay_us=400,
+                extra_jitter_us=800,
+            ),
+        ),
+        rng,
+    )

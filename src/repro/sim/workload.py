@@ -1,0 +1,261 @@
+"""Workload generators.
+
+Two families:
+
+* **Sensor drivers** (:class:`PeriodicWorkload`, :class:`PoissonWorkload`,
+  :class:`BurstyWorkload`) schedule instrumentation events on a simulated
+  node — the paper's "simple looping applications using sensors having six
+  fields of type integer", plus arrival patterns the looping app cannot
+  produce.
+* **Delayed streams** (:class:`DelayedStream`,
+  :func:`make_delayed_streams`) reproduce the evaluation's on-line-sorting
+  input: "streams of artificially delayed event records" — per-source
+  timestamp-ordered records whose *arrival* at the ISM is perturbed by
+  configurable delay, jitter, and straggler spikes.  Benchmark E7 sweeps
+  these against the sorter's four knobs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.records import EventRecord, FieldType
+from repro.sim.engine import Simulator
+
+#: An emit hook: the deployment maps it to ``sensor.notice_ints(...)``.
+EmitFn = Callable[[int], None]
+
+
+class _BaseWorkload:
+    """Shared start/stop bookkeeping for sensor drivers."""
+
+    def __init__(self, count: int | None = None) -> None:
+        self.count = count
+        self.emitted = 0
+        self._stopped = False
+
+    def stop(self) -> None:
+        """Stop generating further events."""
+        self._stopped = True
+
+    def _exhausted(self) -> bool:
+        return self._stopped or (self.count is not None and self.emitted >= self.count)
+
+
+class PeriodicWorkload(_BaseWorkload):
+    """Fixed-rate event source: one event every ``1/rate_hz`` seconds."""
+
+    def __init__(self, rate_hz: float, count: int | None = None) -> None:
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        super().__init__(count)
+        self.interval_us = max(1, round(1_000_000 / rate_hz))
+
+    def start(self, sim: Simulator, emit: EmitFn) -> None:
+        """Begin scheduling events on *sim*."""
+
+        def _fire() -> None:
+            if self._exhausted():
+                return
+            emit(self.emitted)
+            self.emitted += 1
+            sim.schedule(self.interval_us, _fire)
+
+        sim.schedule(self.interval_us, _fire)
+
+
+class PoissonWorkload(_BaseWorkload):
+    """Poisson event source with exponential inter-arrival times."""
+
+    def __init__(self, rate_hz: float, count: int | None = None) -> None:
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        super().__init__(count)
+        self.mean_interval_us = 1_000_000 / rate_hz
+
+    def start(self, sim: Simulator, emit: EmitFn) -> None:
+        """Begin scheduling events on *sim*."""
+
+        def _fire() -> None:
+            if self._exhausted():
+                return
+            emit(self.emitted)
+            self.emitted += 1
+            sim.schedule(self._next_gap(sim.rng), _fire)
+
+        sim.schedule(self._next_gap(sim.rng), _fire)
+
+    def _next_gap(self, rng: random.Random) -> int:
+        return max(1, round(rng.expovariate(1.0 / self.mean_interval_us)))
+
+
+class BurstyWorkload(_BaseWorkload):
+    """On/off source: bursts at ``burst_rate_hz`` separated by quiet gaps.
+
+    Stress input for the EXS batching knobs (A6) — a burst fills batches
+    instantly while the quiet phase exercises the latency-control flush.
+    """
+
+    def __init__(
+        self,
+        burst_rate_hz: float,
+        burst_len: int,
+        gap_us: int,
+        count: int | None = None,
+    ) -> None:
+        if burst_rate_hz <= 0 or burst_len < 1 or gap_us < 0:
+            raise ValueError("invalid bursty workload parameters")
+        super().__init__(count)
+        self.intra_us = max(1, round(1_000_000 / burst_rate_hz))
+        self.burst_len = burst_len
+        self.gap_us = gap_us
+
+    def start(self, sim: Simulator, emit: EmitFn) -> None:
+        """Begin scheduling events on *sim*."""
+        position = 0
+
+        def _fire() -> None:
+            nonlocal position
+            if self._exhausted():
+                return
+            emit(self.emitted)
+            self.emitted += 1
+            position += 1
+            if position < self.burst_len:
+                sim.schedule(self.intra_us, _fire)
+            else:
+                position = 0
+                sim.schedule(self.gap_us + self.intra_us, _fire)
+
+        sim.schedule(self.intra_us, _fire)
+
+
+# ----------------------------------------------------------------------
+# delayed streams (E7 input)
+# ----------------------------------------------------------------------
+
+@dataclass
+class DelayedStream:
+    """One source's records with their perturbed ISM arrival times.
+
+    ``items`` holds ``(record, arrival_us)`` with record timestamps
+    strictly increasing (the per-source in-order guarantee) while arrivals
+    carry the artificial delays.
+    """
+
+    source_id: int
+    items: list[tuple[EventRecord, int]] = field(default_factory=list)
+
+    @property
+    def max_lateness_us(self) -> int:
+        """Largest ``arrival − timestamp`` in the stream (the "latest late
+        event's lateness" the paper keys its recommended strategy on)."""
+        return max((arr - rec.timestamp for rec, arr in self.items), default=0)
+
+
+def make_delayed_streams(
+    rng: random.Random,
+    n_sources: int = 4,
+    rate_hz: float = 1_000.0,
+    duration_s: float = 2.0,
+    base_delay_us: int = 500,
+    jitter_mean_us: int = 200,
+    straggler_prob: float = 0.01,
+    straggler_extra_us: int = 20_000,
+    n_fields: int = 6,
+) -> list[DelayedStream]:
+    """Generate artificially delayed per-source event streams.
+
+    Per source, events are Poisson at *rate_hz* over *duration_s*; each
+    arrival is ``ts + base + Exp(jitter)`` with probability
+    *straggler_prob* of an extra ``Exp(straggler_extra)`` spike.  The knobs
+    map onto the paper's qualitative parameters: delay magnitude, delay
+    variance, straggler frequency, straggler magnitude.
+    """
+    if n_sources < 1:
+        raise ValueError("need at least one source")
+    horizon_us = round(duration_s * 1_000_000)
+    mean_gap = 1_000_000 / rate_hz
+    streams: list[DelayedStream] = []
+    for source in range(n_sources):
+        stream = DelayedStream(source_id=source)
+        ts = 0
+        seq = 0
+        last_arrival = 0
+        while True:
+            ts += max(1, round(rng.expovariate(1.0 / mean_gap)))
+            if ts >= horizon_us:
+                break
+            delay = base_delay_us
+            if jitter_mean_us:
+                delay += round(rng.expovariate(1.0 / jitter_mean_us))
+            if straggler_prob and rng.random() < straggler_prob:
+                delay += round(rng.expovariate(1.0 / straggler_extra_us))
+            record = EventRecord(
+                event_id=source,
+                timestamp=ts,
+                field_types=(FieldType.X_INT,) * n_fields,
+                values=tuple(range(seq, seq + n_fields)),
+                node_id=source,
+            )
+            # A stream socket preserves per-source FIFO: a delayed record
+            # holds everything behind it back (head-of-line blocking), it
+            # is never overtaken.
+            last_arrival = max(last_arrival, ts + delay)
+            stream.items.append((record, last_arrival))
+            seq += 1
+        streams.append(stream)
+    return streams
+
+
+class TraceWorkload(_BaseWorkload):
+    """Replay a recorded trace's arrival pattern as a workload.
+
+    Takes the inter-event gaps (and optionally event ids) from a recorded
+    trace — typically one node's slice of a production capture — and
+    re-drives a sensor with the same temporal pattern.  This is how
+    tuning studies (batching, sorting, throttling) run against *your*
+    workload instead of a synthetic one.
+    """
+
+    def __init__(self, records, count: int | None = None, replay_event_ids: bool = True):
+        super().__init__(count)
+        items = sorted(records, key=lambda r: r.timestamp)
+        if not items:
+            raise ValueError("cannot replay an empty trace")
+        base = items[0].timestamp
+        #: (offset_us, event_id) schedule relative to the first record.
+        self.schedule_ = [
+            (r.timestamp - base, r.event_id if replay_event_ids else 1)
+            for r in items
+        ]
+
+    def start(self, sim: Simulator, emit: EmitFn) -> None:
+        """Schedule the replayed events on *sim* (offsets from now)."""
+
+        def fire(seq: int, event_id: int) -> None:
+            if self._exhausted():
+                return
+            emit(seq)
+            self.emitted += 1
+
+        for seq, (offset, event_id) in enumerate(self.schedule_):
+            if self.count is not None and seq >= self.count:
+                break
+            sim.schedule(offset, fire, seq, event_id)
+
+
+def merge_by_arrival(
+    streams: list[DelayedStream],
+) -> list[tuple[int, EventRecord, int]]:
+    """Flatten streams into one arrival-ordered list of
+    ``(source_id, record, arrival_us)`` — the order the ISM would see."""
+    merged = [
+        (stream.source_id, record, arrival)
+        for stream in streams
+        for record, arrival in stream.items
+    ]
+    merged.sort(key=lambda item: (item[2], item[0], item[1].timestamp))
+    return merged

@@ -1,0 +1,13 @@
+"""Command-line tools built on the BRISK kernel.
+
+The off-the-shelf entry points a deployment needs on day one:
+
+* ``brisk-ism`` (:mod:`repro.tools.ism_cli`) — run an ISM server that
+  accepts external-sensor connections, synchronizes their clocks, and
+  logs the merged stream to a PICL trace;
+* ``brisk-trace-stats`` (:mod:`repro.tools.trace_stats_cli`) — summarize
+  a PICL trace: rates, per-node activity, causal structure;
+* ``brisk-replay`` (:mod:`repro.tools.replay_cli`) — re-run a recorded
+  trace through the on-line sorting pipeline (re-order a raw trace, or
+  rewrite timestamp modes).
+"""

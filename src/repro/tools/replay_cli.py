@@ -1,0 +1,98 @@
+"""``brisk-replay``: re-run a recorded trace through the sorting pipeline.
+
+Reads a UTC-mode PICL trace, feeds it through a fresh on-line sorter and
+causal matcher (as if the records were arriving live, in file order), and
+writes the re-ordered result.  Useful to:
+
+* repair an unsorted or causally-inconsistent raw trace offline,
+* convert timestamps to relative-seconds for tools that want them,
+* experiment with sorter knobs against a captured workload.
+
+Example::
+
+    brisk-replay raw.picl sorted.picl --time-frame-ms 50 --relative
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.consumers import PiclFileConsumer
+from repro.core.cre import CausalMatcher
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.sorting import SorterConfig
+from repro.picl.format import TimestampMode
+from repro.analysis.trace import Trace
+from repro.wire.protocol import Batch
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="brisk-replay",
+        description="Replay a PICL trace through the BRISK sorting pipeline.",
+    )
+    parser.add_argument("input", help="input PICL trace (UTC timestamps)")
+    parser.add_argument("output", help="output PICL trace")
+    parser.add_argument(
+        "--time-frame-ms", type=float, default=10.0,
+        help="initial sorting time frame, milliseconds",
+    )
+    parser.add_argument(
+        "--relative", action="store_true",
+        help="write relative-seconds timestamps (epoch = first record)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    with open(args.input) as stream:
+        # File order is the arrival order; do not pre-sort.
+        from repro.picl.format import PiclReader, picl_to_record
+
+        records = [picl_to_record(p) for p in PiclReader(stream)]
+    if not records:
+        print("empty input trace", file=sys.stderr)
+        open(args.output, "w").close()
+        return 0
+
+    epoch = min(r.timestamp for r in records)
+    mode = TimestampMode.RELATIVE_SECONDS if args.relative else TimestampMode.UTC_MICROS
+    out_stream = open(args.output, "w")
+    consumer = PiclFileConsumer(out_stream, mode, epoch_us=epoch, close_stream=True)
+    manager = InstrumentationManager(
+        IsmConfig(
+            sorter=SorterConfig(initial_frame_us=round(args.time_frame_ms * 1000))
+        ),
+        [consumer],
+    )
+    # One virtual source per node id; arrival time = the record's own
+    # timestamp (the best stand-in a file replay has).
+    for node_id in {r.node_id for r in records}:
+        manager.register_source(node_id, node_id)
+    for record in records:
+        manager.on_batch(
+            Batch(
+                exs_id=record.node_id,
+                seq=manager.stats.last_seq.get(record.node_id, -1) + 1,
+                records=(record,),
+            ),
+            now=record.timestamp,
+        )
+        manager.tick(record.timestamp)
+    manager.flush(max(r.timestamp for r in records))
+    manager.close()
+
+    print(
+        f"replayed {manager.stats.records_received} records; "
+        f"out-of-order extractions {manager.sorter.stats.out_of_order}; "
+        f"tachyons fixed {manager.cre.stats.tachyons_fixed}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""``brisk-report``: aggregate benchmark results into one document.
+
+Each evaluation benchmark writes its table to
+``benchmarks/results/<test>.txt`` (see ``benchmarks/conftest.py``); this
+tool collates them into a single markdown report ordered by experiment
+id, so refreshing the paper-vs-measured comparison after a benchmark run
+is one command::
+
+    pytest benchmarks/ --benchmark-only
+    brisk-report benchmarks/results -o results-report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: Experiment ordering: E1..E8 then A1..A8, then anything else.
+_ORDER = re.compile(r"test_(e\d+|a\d+)?", re.IGNORECASE)
+
+_EXPERIMENT_OF_FILE = {
+    "notice": "E1",
+    "a2_specialization": "E1/A2",
+    "exs": "E2",
+    "aggregate": "E5",
+    "sorter_throughput": "E7",
+    "throughput": "E3",
+    "latency": "E4",
+    "quiet_lan": "E6",
+    "disturbed_lan": "E6",
+    "a3": "E6/A3",
+    "growth_signal": "E7",
+    "decay_constant": "E7",
+    "initial_frame": "E7",
+    "delay_profile": "E7",
+    "sorter_throughput": "E7",
+    "paper_40": "E8",
+    "size_vs": "E8",
+    "size_per": "E8",
+    "batch_encode": "E8",
+    "batch_decode": "E8",
+    "bytes_saved": "A1",
+    "roundtrip_equivalence": "A1",
+    "conservative_rules": "A4",
+    "probe_estimators": "A4",
+    "causal_marking": "A5",
+    "batching_latency": "A6",
+    "profiling_vs": "A7",
+    "filter_placement": "A8",
+}
+
+
+def experiment_of(name: str) -> str:
+    """Best-effort experiment id for a result file name."""
+    stem = name.lower()
+    for needle, exp in _EXPERIMENT_OF_FILE.items():
+        if needle in stem:
+            return exp
+    return "misc"
+
+
+def _sort_key(item: tuple[str, pathlib.Path]):
+    exp = item[0]
+    kind = 0 if exp.startswith("E") else (1 if exp.startswith("A") else 2)
+    digits = re.findall(r"\d+", exp)
+    return (kind, int(digits[0]) if digits else 99, item[1].name)
+
+
+def build_report(results_dir: pathlib.Path) -> str:
+    """Render all result files into one markdown document."""
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        return "# BRISK benchmark report\n\n(no result files found)\n"
+    grouped = sorted(
+        ((experiment_of(f.stem), f) for f in files), key=_sort_key
+    )
+    lines = ["# BRISK benchmark report", ""]
+    current = None
+    for exp, path in grouped:
+        if exp != current:
+            lines.append(f"## {exp}")
+            lines.append("")
+            current = exp
+        body = path.read_text().splitlines()
+        title = body[0].lstrip("# ") if body else path.stem
+        lines.append(f"### `{title}`")
+        lines.append("")
+        lines.append("```")
+        lines.extend(line for line in body[1:] if line.strip() or True)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="brisk-report",
+        description="Collate benchmark result files into one markdown report.",
+    )
+    parser.add_argument(
+        "results_dir",
+        nargs="?",
+        default="benchmarks/results",
+        help="directory of *.txt result files",
+    )
+    parser.add_argument("-o", "--output", help="write here instead of stdout")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that quit early: not an error.
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(f"no such directory: {results_dir}", file=sys.stderr)
+        return 1
+    report = build_report(results_dir)
+    if args.output:
+        pathlib.Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

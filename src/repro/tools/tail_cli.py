@@ -1,0 +1,81 @@
+"""``brisk-tail``: follow an ISM's shared-memory output buffer live.
+
+The simplest possible instrumentation data consumer tool (§3.5): attach
+to the ISM's shared output segment and print each record as a PICL line
+as it is delivered::
+
+    brisk-ism ... &            # configured with a SharedMemoryConsumer
+    brisk-tail brisk_out       # segment name
+
+Stops after ``--count`` records or when the stream goes idle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.picl.format import TimestampMode, picl_to_line, record_to_picl
+from repro.runtime.shm_consumer import SharedMemoryReader
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="brisk-tail",
+        description="Follow an ISM shared-memory output buffer, printing PICL.",
+    )
+    parser.add_argument("segment", help="shared-memory segment name")
+    parser.add_argument(
+        "--count", type=int, default=None, help="stop after this many records"
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=5.0,
+        help="stop after this many idle seconds",
+    )
+    parser.add_argument(
+        "--relative", action="store_true",
+        help="print relative-seconds timestamps (epoch = first record seen)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that quit early: not an error.
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        reader = SharedMemoryReader(args.segment)
+    except FileNotFoundError:
+        print(f"no such shared segment: {args.segment}", file=sys.stderr)
+        return 1
+    mode = (
+        TimestampMode.RELATIVE_SECONDS if args.relative else TimestampMode.UTC_MICROS
+    )
+    epoch: int | None = None
+    printed = 0
+    try:
+        for record in reader.stream(
+            stop_after=args.count, idle_timeout_s=args.idle_timeout
+        ):
+            if epoch is None:
+                epoch = record.timestamp
+            print(picl_to_line(record_to_picl(record, mode, epoch_us=epoch)))
+            printed += 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        reader.close()
+    print(f"brisk-tail: {printed} records", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""``brisk-trace-stats``: summarize a PICL trace from the shell.
+
+Example::
+
+    brisk-trace-stats /tmp/run.picl --rates --causal
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.causality import build_causal_graph, find_causal_violations
+from repro.analysis.statistics import gap_statistics, node_activity, rate_series
+from repro.analysis.trace import Trace
+from repro.core.catalog import EventCatalog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="brisk-trace-stats",
+        description="Summarize a BRISK PICL trace (UTC timestamp mode).",
+    )
+    parser.add_argument("trace", help="PICL trace file")
+    parser.add_argument("--rates", action="store_true", help="print a rate timeline")
+    parser.add_argument(
+        "--bin-ms", type=float, default=1000.0, help="rate bin width, ms"
+    )
+    parser.add_argument("--causal", action="store_true", help="causal structure report")
+    parser.add_argument(
+        "--events", action="store_true",
+        help="per-event-type counts (named via in-band catalog definitions)",
+    )
+    parser.add_argument(
+        "--timeline", action="store_true",
+        help="render per-event ASCII timelines and a node heatmap",
+    )
+    parser.add_argument(
+        "--anomalies", action="store_true",
+        help="flag rate spikes/droughts and per-node silence gaps",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Output piped into a pager/head that quit early: not an error.
+        return 0
+
+
+def _main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    with open(args.trace) as stream:
+        trace = Trace.from_picl(stream)
+
+    summary = trace.summary()
+    print(f"records:       {summary.get('records', 0)}")
+    if not trace:
+        return 0
+    print(f"nodes:         {summary['nodes']} {list(trace.node_ids)}")
+    print(f"event types:   {summary['event_types']}")
+    print(f"duration:      {summary['duration_s']:.3f} s")
+    print(f"causal marks:  {summary['causal_records']}")
+    print(f"inversions:    {trace.count_inversions()}")
+
+    gaps = gap_statistics(trace)
+    if gaps.count:
+        print(
+            f"gaps:          mean {gaps.mean:.1f} us, "
+            f"min {gaps.minimum:.0f}, max {gaps.maximum:.0f}"
+        )
+
+    print("\nper-node activity:")
+    for node_id, info in node_activity(trace).items():
+        print(
+            f"  node {node_id}: {info['count']:>8} records "
+            f"({info['share'] * 100:5.1f}%), {info['rate_hz']:,.1f} ev/s"
+        )
+
+    if args.rates:
+        series = rate_series(trace, round(args.bin_ms * 1000))
+        top = series.peak_hz or 1.0
+        print("\nrate timeline:")
+        for start, rate in zip(series.bin_starts_us, series.rates_hz):
+            bar = "#" * round(40 * rate / top)
+            offset_s = (start - trace.start_us) / 1e6
+            print(f"  t+{offset_s:7.1f}s {bar:<40} {rate:10.1f} ev/s")
+
+    if args.events:
+        catalog = EventCatalog.from_trace(trace)
+        print("\nper-event-type counts:")
+        for event_id in trace.event_ids:
+            count = len(trace.events(event_id))
+            print(f"  {catalog.name_of(event_id):<32} {count:>8}")
+
+    if args.timeline:
+        from repro.analysis.timeline import (
+            render_event_timeline,
+            render_rate_heatmap,
+        )
+
+        print("\nevent timelines:")
+        print(render_event_timeline(trace))
+        print("\nnode heatmap:")
+        print(render_rate_heatmap(trace))
+
+    if args.anomalies:
+        from repro.analysis.anomaly import rate_anomalies, silence_gaps
+
+        anomalies = rate_anomalies(trace)
+        gaps = silence_gaps(trace, min_gap_us=max(1, trace.duration_us // 10))
+        print("\nanomalies:")
+        if not anomalies and not gaps:
+            print("  none detected")
+        for a in anomalies:
+            offset_s = (a.start_us - trace.start_us) / 1e6
+            print(
+                f"  {a.kind:<8} t+{offset_s:8.1f}s  {a.rate_hz:10,.1f} ev/s  "
+                f"(z={a.zscore:+.1f})"
+            )
+        for gap in gaps:
+            print(
+                f"  silence  node {gap.node_id}: "
+                f"t+{(gap.start_us - trace.start_us) / 1e6:.1f}s "
+                f"for {gap.duration_us / 1e6:.1f}s"
+            )
+
+    if args.causal:
+        graph = build_causal_graph(trace)
+        violations = find_causal_violations(trace)
+        print("\ncausal structure:")
+        print(f"  edges:                {graph.n_edges}")
+        print(f"  unmatched reasons:    {len(graph.unmatched_reason_ids)}")
+        print(f"  unmatched conseqs:    {len(graph.unmatched_conseq_ids)}")
+        print(f"  ordering violations:  {len(violations)}")
+        lags = graph.edge_lag_stats()
+        if lags.count:
+            print(
+                f"  reason->conseq lag:   mean {lags.mean:.1f} us, "
+                f"max {lags.maximum:.0f} us"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Shared utilities for the BRISK reproduction.
+
+The utilities here are substrate-neutral: they are used by the real runtime
+(wall-clock microsecond time base) and by the simulation substrate alike.
+"""
+
+from repro.util.timebase import (
+    MICROS_PER_SEC,
+    micros_to_seconds,
+    now_micros,
+    seconds_to_micros,
+)
+from repro.util.stats import RunningStats, Histogram, percentile
+
+__all__ = [
+    "MICROS_PER_SEC",
+    "micros_to_seconds",
+    "now_micros",
+    "seconds_to_micros",
+    "RunningStats",
+    "Histogram",
+    "percentile",
+]

@@ -1,0 +1,178 @@
+"""Small statistics helpers used by benchmarks and the evaluation harness.
+
+The paper reports ranges ("3.6 to 18.6 microseconds"), bounds ("under 200
+microseconds most of the time") and qualitative series.  These helpers give
+the benchmark harness a uniform way to compute and print such summaries
+without pulling a plotting stack into the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+class RunningStats:
+    """Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+
+    Suitable for hot paths: O(1) memory regardless of sample count, no list
+    retained.  Used by the EXS utilization bench and the simulator's metric
+    probes.
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Fold every sample of *xs* into the accumulator."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples seen so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        merged = RunningStats()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        merged.count = n
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.count / n
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / n
+        )
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.6g}, "
+            f"sd={self.stddev:.6g}, min={self.minimum:.6g}, "
+            f"max={self.maximum:.6g})"
+        )
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Return the *q*-th percentile (0..100) using linear interpolation.
+
+    Implemented directly (rather than via numpy) so the core library keeps
+    its zero-copy hot paths importable without numpy; benchmarks that already
+    hold numpy arrays may prefer ``numpy.percentile``.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    data = sorted(samples)
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * q / 100.0
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(data[lo])
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin histogram for latency/skew distributions.
+
+    Bins are half-open ``[edge[i], edge[i+1])``; samples below the first edge
+    are counted in ``underflow`` and samples at or above the last edge in
+    ``overflow`` so that nothing is silently dropped.
+    """
+
+    edges: Sequence[float]
+    counts: list[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise ValueError("histogram needs at least two bin edges")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError("histogram edges must be strictly increasing")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) - 1)
+        elif len(self.counts) != len(self.edges) - 1:
+            raise ValueError("counts length must be len(edges) - 1")
+
+    def add(self, x: float) -> None:
+        """Count one sample."""
+        if x < self.edges[0]:
+            self.underflow += 1
+            return
+        if x >= self.edges[-1]:
+            self.overflow += 1
+            return
+        # Binary search for the bin; bin count is small so this is plenty.
+        lo, hi = 0, len(self.counts)
+        while lo < hi - 1:
+            mid = (lo + hi) // 2
+            if x < self.edges[mid]:
+                hi = mid
+            else:
+                lo = mid
+        self.counts[lo] += 1
+
+    def extend(self, xs: Iterable[float]) -> None:
+        """Count every sample of *xs*."""
+        for x in xs:
+            self.add(x)
+
+    @property
+    def total(self) -> int:
+        """Total samples seen, including under/overflow."""
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of all samples strictly below *threshold*.
+
+        *threshold* must be one of the bin edges; the histogram cannot split
+        a bin.  Used to report paper-style bounds such as "under 200
+        microseconds most of the time".
+        """
+        if threshold not in self.edges:
+            raise ValueError(f"threshold {threshold} is not a bin edge")
+        if self.total == 0:
+            return 0.0
+        idx = list(self.edges).index(threshold)
+        below = self.underflow + sum(self.counts[:idx])
+        return below / self.total

@@ -1,0 +1,55 @@
+"""Microsecond time base.
+
+BRISK represents every timestamp as an eight-byte signed integer holding the
+number of microseconds of Universal Coordinated Time (the paper embeds a
+``longlong_t`` obtained from ``gettimeofday`` plus an EXS-maintained
+correction).  All timestamps in this code base are therefore plain Python
+``int`` microsecond counts; this module centralizes the conversions so that
+the unit never has to be guessed at a call site.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Number of microseconds per second.
+MICROS_PER_SEC: int = 1_000_000
+
+#: Largest value representable in the on-wire eight-byte signed timestamp.
+MAX_TIMESTAMP: int = 2**63 - 1
+
+#: Smallest value representable in the on-wire eight-byte signed timestamp.
+MIN_TIMESTAMP: int = -(2**63)
+
+
+def now_micros() -> int:
+    """Return the current UTC wall-clock time in integer microseconds.
+
+    This is the reproduction's ``gettimeofday``: real-runtime components
+    (sensors, external sensors, the ISM) stamp records with it.  Simulated
+    components never call it; they read a :class:`repro.sim.engine.Simulator`
+    clock instead.
+    """
+    return time.time_ns() // 1_000
+
+
+def seconds_to_micros(seconds: float) -> int:
+    """Convert a duration in (possibly fractional) seconds to microseconds."""
+    return round(seconds * MICROS_PER_SEC)
+
+
+def micros_to_seconds(micros: int) -> float:
+    """Convert an integer microsecond count to floating-point seconds."""
+    return micros / MICROS_PER_SEC
+
+
+def check_timestamp(ts: int) -> int:
+    """Validate that *ts* fits the on-wire eight-byte signed representation.
+
+    Returns *ts* unchanged so the call can be used inline.  Raises
+    :class:`ValueError` on overflow rather than silently wrapping, because a
+    wrapped timestamp would corrupt the ISM's on-line sort order.
+    """
+    if not MIN_TIMESTAMP <= ts <= MAX_TIMESTAMP:
+        raise ValueError(f"timestamp {ts} exceeds 64-bit signed range")
+    return ts

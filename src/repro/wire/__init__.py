@@ -1,0 +1,45 @@
+"""TP — BRISK's transfer protocol between LIS (external sensor) and ISM.
+
+:mod:`repro.wire.protocol` defines the message layer: XDR-encoded batches of
+instrumentation records with *compressed meta-information headers* (§3.4),
+plus the control messages carrying clock-synchronization polls and
+corrections.  :mod:`repro.wire.tcp` binds the message layer to real TCP
+stream sockets with record marking; the simulator carries the same message
+objects over simulated links instead.
+"""
+
+from repro.wire.protocol import (
+    MAGIC,
+    MsgType,
+    Batch,
+    Hello,
+    TimeRequest,
+    TimeReply,
+    Adjust,
+    Bye,
+    SetFilter,
+    encode_message,
+    decode_message,
+    encode_batch_records,
+    record_wire_size,
+)
+from repro.wire.tcp import MessageConnection, MessageListener, connect
+
+__all__ = [
+    "MAGIC",
+    "MsgType",
+    "Batch",
+    "Hello",
+    "TimeRequest",
+    "TimeReply",
+    "Adjust",
+    "Bye",
+    "SetFilter",
+    "encode_message",
+    "decode_message",
+    "encode_batch_records",
+    "record_wire_size",
+    "MessageConnection",
+    "MessageListener",
+    "connect",
+]

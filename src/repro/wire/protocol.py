@@ -1,0 +1,476 @@
+"""BRISK message layer: XDR batches with compressed meta headers (§3.4).
+
+The paper's transfer protocol does *not* use XDR "in the typical way, with
+rpcgen and static typing": every record is dynamically typed, so each record
+travels with a meta-information header describing its fields — and that
+header is *compressed*, because "minimizing the slack in instrumentation
+data messages is important".
+
+Record wire layout (compressed meta, the default)::
+
+    u32  event_id
+    u32  meta          n_fields in the top byte; six 4-bit type codes in
+                       the low 24 bits (extension words of eight codes each
+                       follow for records wider than six fields)
+    i64  timestamp     microseconds UTC (already EXS-corrected)
+    ...  field payloads, XDR-encoded per type
+
+A six-``X_INT``-field record therefore costs 4 + 4 + 8 + 6·4 = **40 bytes**,
+the figure the paper reports.  With compression disabled (ablation A1) the
+meta section degenerates to the naive XDR spelling — a counted array of
+uint32 type codes — costing ``4 + 4·n`` bytes instead of ``4·ceil`` words.
+
+An optional *delta timestamp* knob (one of the §2 tuning knobs; off by
+default to match the paper's 40-byte figure) encodes each timestamp as a
+32-bit delta against the batch's base timestamp, with an escape to the full
+form for out-of-range deltas.
+
+Control messages (``Hello``/``TimeRequest``/``TimeReply``/``Adjust``/``Bye``)
+share the connection with batches; the clock-synchronization algorithms in
+:mod:`repro.clocksync` speak them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Sequence
+
+from repro.core.records import (
+    EventRecord,
+    FieldType,
+    FIELD_TYPE_END,
+)
+from repro.xdr import XdrDecoder, XdrEncoder, XdrDecodeError
+
+#: Protocol magic: identifies a BRISK stream and its wire version.
+MAGIC = 0xB215C001
+
+#: Largest record width the meta header can express.
+MAX_WIRE_FIELDS = 255
+
+_I32_MIN, _I32_MAX = -(2**31), 2**31 - 1
+#: Escape sentinel for the delta-timestamp encoding.
+_DELTA_ESCAPE = _I32_MIN
+
+
+class MsgType(IntEnum):
+    """Top-level message discriminator."""
+
+    BATCH = 1        #: instrumentation data batch (EXS → ISM)
+    HELLO = 2        #: connection preamble (EXS → ISM)
+    TIME_REQ = 3     #: clock-sync probe (ISM → EXS)
+    TIME_REPLY = 4   #: clock-sync probe answer (EXS → ISM)
+    ADJUST = 5       #: clock correction (ISM → EXS)
+    BYE = 6          #: orderly shutdown (either direction)
+    SET_FILTER = 7   #: push a source-side record filter (ISM → EXS)
+
+
+class ProtocolError(XdrDecodeError):
+    """The stream is framed correctly but violates the BRISK protocol."""
+
+
+# ----------------------------------------------------------------------
+# message dataclasses
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """A batch of records from one external sensor.
+
+    ``seq`` increments per batch per EXS; the ISM checks it to detect
+    transport-level loss (impossible over healthy TCP, cheap to verify).
+    """
+
+    exs_id: int
+    seq: int
+    records: tuple[EventRecord, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """Connection preamble identifying the EXS and its node."""
+
+    exs_id: int
+    node_id: int
+    #: Event records/sec the sensor side was configured for; advisory,
+    #: lets the ISM size its queues.
+    advertised_rate: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class TimeRequest:
+    """Cristian-style probe: "what is your clock now?"."""
+
+    probe_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class TimeReply:
+    """Probe answer carrying the slave's (corrected) clock reading."""
+
+    probe_id: int
+    slave_time: int
+
+
+@dataclass(frozen=True, slots=True)
+class Adjust:
+    """Clock correction: the slave must *advance* its correction term.
+
+    ``correction`` is in microseconds and, per §3.3, is never negative —
+    BRISK only ever advances EXS clocks toward the fastest one.
+    """
+
+    correction: int
+    round_id: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Bye:
+    """Orderly shutdown; ``reason`` is advisory free text."""
+
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class SetFilter:
+    """Push a source-side record filter to an external sensor (§2).
+
+    The wire form mirrors :class:`repro.core.filtering.FilterSpec`:
+    ``allow_all_events`` distinguishes "no whitelist" from an empty one.
+    """
+
+    allow_all_events: bool = True
+    allowed_events: tuple[int, ...] = ()
+    blocked_events: tuple[int, ...] = ()
+    sample_every: int = 1
+
+    @classmethod
+    def from_spec(cls, spec) -> "SetFilter":
+        """Build the wire message from a ``FilterSpec``.
+
+        Node filtering is intentionally absent: an EXS only ever ships its
+        own node's records, so the knob is meaningless at the source.
+        """
+        return cls(
+            allow_all_events=spec.allowed_events is None,
+            allowed_events=tuple(sorted(spec.allowed_events or ())),
+            blocked_events=tuple(sorted(spec.blocked_events)),
+            sample_every=spec.sample_every,
+        )
+
+    def to_spec(self):
+        """Rebuild the ``FilterSpec`` on the receiving side."""
+        from repro.core.filtering import FilterSpec
+
+        return FilterSpec(
+            allowed_events=(
+                None if self.allow_all_events else frozenset(self.allowed_events)
+            ),
+            blocked_events=frozenset(self.blocked_events),
+            sample_every=self.sample_every,
+        )
+
+
+Message = Batch | Hello | TimeRequest | TimeReply | Adjust | Bye | SetFilter
+
+
+# ----------------------------------------------------------------------
+# field payload codecs
+# ----------------------------------------------------------------------
+
+def _encode_field(enc: XdrEncoder, ftype: FieldType, value) -> None:
+    if ftype in (
+        FieldType.X_BYTE,
+        FieldType.X_SHORT,
+        FieldType.X_INT,
+    ):
+        enc.pack_int(value)
+    elif ftype in (
+        FieldType.X_UBYTE,
+        FieldType.X_USHORT,
+        FieldType.X_UINT,
+        FieldType.X_REASON,
+        FieldType.X_CONSEQ,
+    ):
+        enc.pack_uint(value)
+    elif ftype is FieldType.X_HYPER or ftype is FieldType.X_TS:
+        enc.pack_hyper(value)
+    elif ftype is FieldType.X_UHYPER:
+        enc.pack_uhyper(value)
+    elif ftype is FieldType.X_FLOAT:
+        enc.pack_float(value)
+    elif ftype is FieldType.X_DOUBLE:
+        enc.pack_double(value)
+    elif ftype is FieldType.X_STRING:
+        enc.pack_string(value)
+    else:  # X_OPAQUE
+        enc.pack_opaque(bytes(value))
+
+
+def _decode_field(dec: XdrDecoder, ftype: FieldType):
+    if ftype in (FieldType.X_BYTE, FieldType.X_SHORT, FieldType.X_INT):
+        return dec.unpack_int()
+    if ftype in (
+        FieldType.X_UBYTE,
+        FieldType.X_USHORT,
+        FieldType.X_UINT,
+        FieldType.X_REASON,
+        FieldType.X_CONSEQ,
+    ):
+        return dec.unpack_uint()
+    if ftype is FieldType.X_HYPER or ftype is FieldType.X_TS:
+        return dec.unpack_hyper()
+    if ftype is FieldType.X_UHYPER:
+        return dec.unpack_uhyper()
+    if ftype is FieldType.X_FLOAT:
+        return dec.unpack_float()
+    if ftype is FieldType.X_DOUBLE:
+        return dec.unpack_double()
+    if ftype is FieldType.X_STRING:
+        return dec.unpack_string()
+    return dec.unpack_opaque()
+
+
+# ----------------------------------------------------------------------
+# meta header
+# ----------------------------------------------------------------------
+
+def _encode_meta_compressed(enc: XdrEncoder, types: Sequence[FieldType]) -> None:
+    """Pack the field-type list as nibbles: count byte + 6 codes in word 0,
+    then 8 codes per extension word."""
+    n = len(types)
+    word = n << 24
+    for i, t in enumerate(types[:6]):
+        word |= int(t) << (20 - 4 * i)
+    enc.pack_uint(word)
+    rest = types[6:]
+    for base in range(0, len(rest), 8):
+        chunk = rest[base : base + 8]
+        word = 0
+        for i, t in enumerate(chunk):
+            word |= int(t) << (28 - 4 * i)
+        # Unused nibbles carry the end sentinel so a truncated-width bug
+        # cannot decode as X_BYTE fields.
+        for i in range(len(chunk), 8):
+            word |= FIELD_TYPE_END << (28 - 4 * i)
+        enc.pack_uint(word)
+
+
+def _decode_meta_compressed(dec: XdrDecoder) -> tuple[FieldType, ...]:
+    word = dec.unpack_uint()
+    n = word >> 24
+    if n > MAX_WIRE_FIELDS:
+        raise ProtocolError(f"record claims {n} fields")
+    types: list[FieldType] = []
+    for i in range(min(n, 6)):
+        types.append(_nibble_to_type((word >> (20 - 4 * i)) & 0xF))
+    remaining = n - len(types)
+    while remaining > 0:
+        word = dec.unpack_uint()
+        for i in range(min(remaining, 8)):
+            types.append(_nibble_to_type((word >> (28 - 4 * i)) & 0xF))
+        remaining = n - len(types)
+    return tuple(types)
+
+
+def _nibble_to_type(nibble: int) -> FieldType:
+    if nibble == FIELD_TYPE_END:
+        raise ProtocolError("field count exceeds encoded type codes")
+    try:
+        return FieldType(nibble)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown field type code {nibble}") from exc
+
+
+def _encode_meta_plain(enc: XdrEncoder, types: Sequence[FieldType]) -> None:
+    """The naive rpcgen-style spelling: a counted array of uint32 codes."""
+    enc.pack_uint(len(types))
+    for t in types:
+        enc.pack_uint(int(t))
+
+
+def _decode_meta_plain(dec: XdrDecoder) -> tuple[FieldType, ...]:
+    n = dec.unpack_uint()
+    if n > MAX_WIRE_FIELDS:
+        raise ProtocolError(f"record claims {n} fields")
+    return tuple(_nibble_to_type(dec.unpack_uint()) for _ in range(n))
+
+
+# ----------------------------------------------------------------------
+# batch encode/decode
+# ----------------------------------------------------------------------
+
+_FLAG_COMPRESS_META = 0x1
+_FLAG_DELTA_TS = 0x2
+
+
+def encode_batch_records(
+    exs_id: int,
+    seq: int,
+    records: Sequence[EventRecord],
+    *,
+    compress_meta: bool = True,
+    delta_ts: bool = False,
+) -> bytes:
+    """Encode a data batch message (``MsgType.BATCH``) to bytes.
+
+    ``compress_meta`` and ``delta_ts`` are the §2 "tuning knobs" exercised
+    by ablations A1 and E8.
+    """
+    enc = XdrEncoder()
+    enc.pack_uint(MAGIC)
+    enc.pack_uint(MsgType.BATCH)
+    flags = (_FLAG_COMPRESS_META if compress_meta else 0) | (
+        _FLAG_DELTA_TS if delta_ts else 0
+    )
+    enc.pack_uint(flags)
+    enc.pack_uint(exs_id)
+    enc.pack_uint(seq)
+    enc.pack_uint(len(records))
+    base_ts = records[0].timestamp if records else 0
+    enc.pack_hyper(base_ts)
+    encode_meta = _encode_meta_compressed if compress_meta else _encode_meta_plain
+    for record in records:
+        enc.pack_uint(record.event_id)
+        encode_meta(enc, record.field_types)
+        if delta_ts:
+            delta = record.timestamp - base_ts
+            if _I32_MIN < delta <= _I32_MAX:
+                enc.pack_int(delta)
+            else:
+                enc.pack_int(_DELTA_ESCAPE)
+                enc.pack_hyper(record.timestamp)
+        else:
+            enc.pack_hyper(record.timestamp)
+        for ftype, value in zip(record.field_types, record.values):
+            _encode_field(enc, ftype, value)
+    return enc.getvalue()
+
+
+def _decode_batch(dec: XdrDecoder) -> Batch:
+    flags = dec.unpack_uint()
+    exs_id = dec.unpack_uint()
+    seq = dec.unpack_uint()
+    count = dec.unpack_uint()
+    base_ts = dec.unpack_hyper()
+    compress = bool(flags & _FLAG_COMPRESS_META)
+    delta_ts = bool(flags & _FLAG_DELTA_TS)
+    decode_meta = _decode_meta_compressed if compress else _decode_meta_plain
+    records: list[EventRecord] = []
+    for _ in range(count):
+        event_id = dec.unpack_uint()
+        types = decode_meta(dec)
+        if delta_ts:
+            delta = dec.unpack_int()
+            ts = dec.unpack_hyper() if delta == _DELTA_ESCAPE else base_ts + delta
+        else:
+            ts = dec.unpack_hyper()
+        values = tuple(_decode_field(dec, t) for t in types)
+        records.append(
+            EventRecord(
+                event_id=event_id,
+                timestamp=ts,
+                field_types=types,
+                values=values,
+            )
+        )
+    dec.done()
+    return Batch(exs_id=exs_id, seq=seq, records=tuple(records))
+
+
+def record_wire_size(
+    record: EventRecord, *, compress_meta: bool = True, delta_ts: bool = False
+) -> int:
+    """Per-record bytes on the wire (excluding the batch header).
+
+    Used by benchmark E8 to reproduce the paper's "each instrumentation data
+    record requires 40 bytes" figure.
+    """
+    n = len(record.field_types)
+    if compress_meta:
+        meta = 4 + 4 * max(0, -(-(n - 6) // 8)) if n > 6 else 4
+    else:
+        meta = 4 + 4 * n
+    ts = 4 if delta_ts else 8  # escape path ignored: sizes for in-range deltas
+    return 4 + meta + ts + record.schema.payload_wire_size(record.values)
+
+
+# ----------------------------------------------------------------------
+# control messages + top-level dispatch
+# ----------------------------------------------------------------------
+
+def encode_message(msg: Message, **batch_opts) -> bytes:
+    """Encode any protocol message to bytes (batch knobs via kwargs)."""
+    if isinstance(msg, Batch):
+        return encode_batch_records(msg.exs_id, msg.seq, msg.records, **batch_opts)
+    enc = XdrEncoder()
+    enc.pack_uint(MAGIC)
+    if isinstance(msg, Hello):
+        enc.pack_uint(MsgType.HELLO)
+        enc.pack_uint(msg.exs_id)
+        enc.pack_uint(msg.node_id)
+        enc.pack_uint(msg.advertised_rate)
+    elif isinstance(msg, TimeRequest):
+        enc.pack_uint(MsgType.TIME_REQ)
+        enc.pack_uint(msg.probe_id)
+    elif isinstance(msg, TimeReply):
+        enc.pack_uint(MsgType.TIME_REPLY)
+        enc.pack_uint(msg.probe_id)
+        enc.pack_hyper(msg.slave_time)
+    elif isinstance(msg, Adjust):
+        enc.pack_uint(MsgType.ADJUST)
+        enc.pack_hyper(msg.correction)
+        enc.pack_uint(msg.round_id)
+    elif isinstance(msg, Bye):
+        enc.pack_uint(MsgType.BYE)
+        enc.pack_string(msg.reason)
+    elif isinstance(msg, SetFilter):
+        enc.pack_uint(MsgType.SET_FILTER)
+        enc.pack_bool(msg.allow_all_events)
+        enc.pack_array(msg.allowed_events, enc.pack_uint)
+        enc.pack_array(msg.blocked_events, enc.pack_uint)
+        enc.pack_uint(msg.sample_every)
+    else:
+        raise TypeError(f"not a protocol message: {msg!r}")
+    return enc.getvalue()
+
+
+def decode_message(payload: bytes) -> Message:
+    """Decode one record-marked payload into its message object."""
+    dec = XdrDecoder(payload)
+    magic = dec.unpack_uint()
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:08X}")
+    kind = dec.unpack_uint()
+    if kind == MsgType.BATCH:
+        return _decode_batch(dec)
+    if kind == MsgType.HELLO:
+        msg = Hello(
+            exs_id=dec.unpack_uint(),
+            node_id=dec.unpack_uint(),
+            advertised_rate=dec.unpack_uint(),
+        )
+    elif kind == MsgType.TIME_REQ:
+        msg = TimeRequest(probe_id=dec.unpack_uint())
+    elif kind == MsgType.TIME_REPLY:
+        msg = TimeReply(probe_id=dec.unpack_uint(), slave_time=dec.unpack_hyper())
+    elif kind == MsgType.ADJUST:
+        msg = Adjust(correction=dec.unpack_hyper(), round_id=dec.unpack_uint())
+    elif kind == MsgType.BYE:
+        msg = Bye(reason=dec.unpack_string(max_length=4096))
+    elif kind == MsgType.SET_FILTER:
+        msg = SetFilter(
+            allow_all_events=dec.unpack_bool(),
+            allowed_events=tuple(
+                dec.unpack_array(dec.unpack_uint, max_length=65536)
+            ),
+            blocked_events=tuple(
+                dec.unpack_array(dec.unpack_uint, max_length=65536)
+            ),
+            sample_every=dec.unpack_uint(),
+        )
+    else:
+        raise ProtocolError(f"unknown message type {kind}")
+    dec.done()
+    return msg

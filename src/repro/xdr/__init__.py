@@ -1,0 +1,31 @@
+"""XDR (External Data Representation, RFC 4506) substrate.
+
+BRISK's transfer protocol is built on XDR so that instrumentation data can
+cross a heterogeneous network (different endianness, word sizes) unchanged.
+The paper relies on the Sun RPC XDR library; here the encoding is implemented
+from scratch:
+
+* :class:`XdrEncoder` / :class:`XdrDecoder` — the primitive type codecs
+  (everything is big-endian and padded to four-byte boundaries per the RFC),
+* :class:`RecordMarkingReader` / :func:`frame_record` — RFC 5531 record
+  marking, used by the TCP transport to delimit batches on a stream socket.
+
+The wire protocol in :mod:`repro.wire.protocol` composes these primitives
+into BRISK's batch format with compressed meta-information headers.
+"""
+
+from repro.xdr.errors import XdrError, XdrDecodeError, XdrEncodeError
+from repro.xdr.encode import XdrEncoder
+from repro.xdr.decode import XdrDecoder
+from repro.xdr.stream import RecordMarkingReader, frame_record, split_records
+
+__all__ = [
+    "XdrError",
+    "XdrDecodeError",
+    "XdrEncodeError",
+    "XdrEncoder",
+    "XdrDecoder",
+    "RecordMarkingReader",
+    "frame_record",
+    "split_records",
+]

@@ -1,0 +1,164 @@
+"""XDR decoder (RFC 4506).
+
+The decoder walks a ``bytes``/``memoryview`` without copying: every accessor
+advances an internal cursor and raises :class:`XdrDecodeError` on truncation
+or protocol violations (including non-zero padding, which the RFC requires
+receivers may check — we do, because silently accepting garbage padding has
+historically masked framing bugs in instrumentation streams).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.xdr.errors import XdrDecodeError
+
+_UNPACK_I32 = struct.Struct(">i").unpack_from
+_UNPACK_U32 = struct.Struct(">I").unpack_from
+_UNPACK_I64 = struct.Struct(">q").unpack_from
+_UNPACK_U64 = struct.Struct(">Q").unpack_from
+_UNPACK_F32 = struct.Struct(">f").unpack_from
+_UNPACK_F64 = struct.Struct(">d").unpack_from
+
+
+class XdrDecoder:
+    """Cursor-based XDR decoder over a byte buffer.
+
+    Example::
+
+        dec = XdrDecoder(payload)
+        magic = dec.unpack_uint()
+        count = dec.unpack_uint()
+        dec.done()   # raises if trailing bytes remain
+    """
+
+    __slots__ = ("_buf", "_pos")
+
+    def __init__(self, data: bytes | bytearray | memoryview) -> None:
+        self._buf = memoryview(data)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # cursor management
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> int:
+        """Current cursor offset into the buffer."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of bytes not yet consumed."""
+        return len(self._buf) - self._pos
+
+    def done(self) -> None:
+        """Assert the whole buffer has been consumed."""
+        if self._pos != len(self._buf):
+            raise XdrDecodeError(
+                f"{len(self._buf) - self._pos} unconsumed trailing bytes"
+            )
+
+    def _need(self, n: int) -> int:
+        pos = self._pos
+        if pos + n > len(self._buf):
+            raise XdrDecodeError(
+                f"truncated: need {n} bytes at offset {pos}, "
+                f"have {len(self._buf) - pos}"
+            )
+        self._pos = pos + n
+        return pos
+
+    # ------------------------------------------------------------------
+    # integral types
+    # ------------------------------------------------------------------
+    def unpack_int(self) -> int:
+        """Decode a 32-bit signed integer."""
+        return _UNPACK_I32(self._buf, self._need(4))[0]
+
+    def unpack_uint(self) -> int:
+        """Decode a 32-bit unsigned integer."""
+        return _UNPACK_U32(self._buf, self._need(4))[0]
+
+    def unpack_hyper(self) -> int:
+        """Decode a 64-bit signed integer."""
+        return _UNPACK_I64(self._buf, self._need(8))[0]
+
+    def unpack_uhyper(self) -> int:
+        """Decode a 64-bit unsigned integer."""
+        return _UNPACK_U64(self._buf, self._need(8))[0]
+
+    def unpack_bool(self) -> bool:
+        """Decode a boolean; values other than 0/1 are protocol errors."""
+        value = self.unpack_int()
+        if value not in (0, 1):
+            raise XdrDecodeError(f"bool must be 0 or 1, got {value}")
+        return bool(value)
+
+    def unpack_enum(self) -> int:
+        """Decode an enum (same representation as a signed int)."""
+        return self.unpack_int()
+
+    # ------------------------------------------------------------------
+    # floating point
+    # ------------------------------------------------------------------
+    def unpack_float(self) -> float:
+        """Decode an IEEE-754 single-precision float."""
+        return _UNPACK_F32(self._buf, self._need(4))[0]
+
+    def unpack_double(self) -> float:
+        """Decode an IEEE-754 double-precision float."""
+        return _UNPACK_F64(self._buf, self._need(8))[0]
+
+    # ------------------------------------------------------------------
+    # opaque / string
+    # ------------------------------------------------------------------
+    def unpack_fopaque(self, n: int) -> bytes:
+        """Decode fixed-length opaque data of exactly *n* bytes."""
+        pos = self._need(n)
+        data = bytes(self._buf[pos : pos + n])
+        self._skip_pad(n)
+        return data
+
+    def unpack_opaque(self, max_length: int | None = None) -> bytes:
+        """Decode variable-length opaque data.
+
+        *max_length* guards against hostile or corrupt length prefixes; the
+        wire protocol passes the batch payload size here so a flipped bit in
+        the length field cannot trigger a huge allocation.
+        """
+        n = self.unpack_uint()
+        if max_length is not None and n > max_length:
+            raise XdrDecodeError(f"opaque length {n} exceeds limit {max_length}")
+        if n > self.remaining:
+            raise XdrDecodeError(
+                f"opaque length {n} exceeds remaining {self.remaining} bytes"
+            )
+        return self.unpack_fopaque(n)
+
+    def unpack_string(self, max_length: int | None = None) -> str:
+        """Decode a string as UTF-8."""
+        try:
+            return self.unpack_opaque(max_length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise XdrDecodeError(f"invalid UTF-8 in string: {exc}") from exc
+
+    def _skip_pad(self, n: int) -> None:
+        pad = (4 - n % 4) % 4
+        if pad:
+            pos = self._need(pad)
+            if self._buf[pos : pos + pad] != b"\x00" * pad:
+                raise XdrDecodeError("non-zero XDR padding")
+
+    # ------------------------------------------------------------------
+    # arrays
+    # ------------------------------------------------------------------
+    def unpack_farray(self, n: int, unpack_item) -> list:
+        """Decode a fixed-length array using *unpack_item* per element."""
+        return [unpack_item() for _ in range(n)]
+
+    def unpack_array(self, unpack_item, max_length: int | None = None) -> list:
+        """Decode a variable-length (counted) array."""
+        n = self.unpack_uint()
+        if max_length is not None and n > max_length:
+            raise XdrDecodeError(f"array length {n} exceeds limit {max_length}")
+        return self.unpack_farray(n, unpack_item)

@@ -1,0 +1,177 @@
+"""XDR encoder (RFC 4506).
+
+All quantities are encoded big-endian; every item occupies a multiple of
+four bytes, with zero padding.  The encoder accumulates into a single
+``bytearray`` so a batch of records is built with no intermediate copies;
+``getvalue()`` snapshots the buffer and ``reset()`` recycles it, which the
+external sensor uses to reuse one encoder per connection.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.xdr.errors import XdrEncodeError
+
+_U32_MAX = 2**32 - 1
+_I32_MIN, _I32_MAX = -(2**31), 2**31 - 1
+_U64_MAX = 2**64 - 1
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+_PACK_I32 = struct.Struct(">i").pack
+_PACK_U32 = struct.Struct(">I").pack
+_PACK_I64 = struct.Struct(">q").pack
+_PACK_U64 = struct.Struct(">Q").pack
+_PACK_F32 = struct.Struct(">f").pack
+_PACK_F64 = struct.Struct(">d").pack
+
+_PAD = (b"", b"\x00\x00\x00", b"\x00\x00", b"\x00")
+
+
+class XdrEncoder:
+    """Incremental XDR encoder.
+
+    Example::
+
+        enc = XdrEncoder()
+        enc.pack_uint(0xB215C)     # protocol magic
+        enc.pack_int(-7)
+        enc.pack_string(b"hello")
+        payload = enc.getvalue()
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    # ------------------------------------------------------------------
+    # buffer management
+    # ------------------------------------------------------------------
+    def getvalue(self) -> bytes:
+        """Return the encoded bytes accumulated so far."""
+        return bytes(self._buf)
+
+    def reset(self) -> None:
+        """Discard accumulated bytes, keeping the allocation."""
+        del self._buf[:]
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    # ------------------------------------------------------------------
+    # integral types
+    # ------------------------------------------------------------------
+    def pack_int(self, value: int) -> None:
+        """Encode a 32-bit signed integer."""
+        if not _I32_MIN <= value <= _I32_MAX:
+            raise XdrEncodeError(f"int32 out of range: {value}")
+        self._buf += _PACK_I32(value)
+
+    def pack_uint(self, value: int) -> None:
+        """Encode a 32-bit unsigned integer."""
+        if not 0 <= value <= _U32_MAX:
+            raise XdrEncodeError(f"uint32 out of range: {value}")
+        self._buf += _PACK_U32(value)
+
+    def pack_hyper(self, value: int) -> None:
+        """Encode a 64-bit signed integer (XDR "hyper")."""
+        if not _I64_MIN <= value <= _I64_MAX:
+            raise XdrEncodeError(f"int64 out of range: {value}")
+        self._buf += _PACK_I64(value)
+
+    def pack_uhyper(self, value: int) -> None:
+        """Encode a 64-bit unsigned integer."""
+        if not 0 <= value <= _U64_MAX:
+            raise XdrEncodeError(f"uint64 out of range: {value}")
+        self._buf += _PACK_U64(value)
+
+    def pack_bool(self, value: bool) -> None:
+        """Encode a boolean as the RFC's 0/1 int."""
+        self._buf += _PACK_I32(1 if value else 0)
+
+    def pack_enum(self, value: int) -> None:
+        """Encode an enum (same representation as a signed int)."""
+        self.pack_int(value)
+
+    # ------------------------------------------------------------------
+    # floating point
+    # ------------------------------------------------------------------
+    def pack_float(self, value: float) -> None:
+        """Encode an IEEE-754 single-precision float."""
+        try:
+            self._buf += _PACK_F32(value)
+        except (OverflowError, struct.error) as exc:
+            raise XdrEncodeError(f"float32 cannot encode {value!r}") from exc
+
+    def pack_double(self, value: float) -> None:
+        """Encode an IEEE-754 double-precision float."""
+        try:
+            self._buf += _PACK_F64(value)
+        except struct.error as exc:
+            raise XdrEncodeError(f"float64 cannot encode {value!r}") from exc
+
+    # ------------------------------------------------------------------
+    # opaque / string
+    # ------------------------------------------------------------------
+    def pack_fopaque(self, n: int, data: bytes) -> None:
+        """Encode fixed-length opaque data of exactly *n* bytes (padded)."""
+        if len(data) != n:
+            raise XdrEncodeError(
+                f"fixed opaque expected {n} bytes, got {len(data)}"
+            )
+        self._buf += data
+        self._buf += _PAD[n % 4]
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Encode variable-length opaque data (length-prefixed, padded)."""
+        n = len(data)
+        if n > _U32_MAX:
+            raise XdrEncodeError("opaque longer than 2**32-1 bytes")
+        self._buf += _PACK_U32(n)
+        self._buf += data
+        pad = (4 - n % 4) % 4
+        if pad:
+            self._buf += b"\x00" * pad
+
+    def pack_string(self, data: bytes | str) -> None:
+        """Encode a string.  ``str`` input is encoded as UTF-8.
+
+        BRISK field type ``X_STRING`` carries null-terminated C strings; at
+        the Python level strings are just length-prefixed opaque data and the
+        terminator is not transmitted.
+        """
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self.pack_opaque(data)
+
+    # ------------------------------------------------------------------
+    # arrays
+    # ------------------------------------------------------------------
+    def pack_farray(self, n: int, values, pack_item) -> None:
+        """Encode a fixed-length array using *pack_item* per element."""
+        if len(values) != n:
+            raise XdrEncodeError(
+                f"fixed array expected {n} items, got {len(values)}"
+            )
+        for value in values:
+            pack_item(value)
+
+    def pack_array(self, values, pack_item) -> None:
+        """Encode a variable-length (counted) array."""
+        self.pack_uint(len(values))
+        for value in values:
+            pack_item(value)
+
+    # ------------------------------------------------------------------
+    # raw append (used by the wire protocol for pre-encoded sections)
+    # ------------------------------------------------------------------
+    def append_raw(self, data: bytes) -> None:
+        """Append already-aligned, already-encoded bytes verbatim.
+
+        The caller is responsible for four-byte alignment; this is used by
+        the batch framer to splice in record payloads encoded separately.
+        """
+        if len(data) % 4:
+            raise XdrEncodeError("raw section is not four-byte aligned")
+        self._buf += data

@@ -1,0 +1,24 @@
+"""Error types raised by the XDR codec layer."""
+
+from __future__ import annotations
+
+
+class XdrError(Exception):
+    """Base class for all XDR codec failures."""
+
+
+class XdrEncodeError(XdrError):
+    """A value cannot be represented in the requested XDR type.
+
+    Raised eagerly (e.g. integer out of range, string too long) so that a
+    malformed record is rejected at the sensor rather than producing a
+    corrupt batch the ISM would have to discard wholesale.
+    """
+
+
+class XdrDecodeError(XdrError):
+    """The byte stream is not a valid encoding of the requested XDR type.
+
+    Includes truncation (fewer bytes than the type requires) and protocol
+    violations such as non-zero padding.
+    """

@@ -1,0 +1,88 @@
+"""Record marking for XDR over stream transports (RFC 5531 §11).
+
+A TCP socket gives the ISM a byte stream with no message boundaries.  Record
+marking frames each batch as one *record* made of fragments; a fragment is a
+four-byte big-endian header whose top bit flags the last fragment and whose
+remaining 31 bits give the fragment length, followed by that many bytes.
+
+BRISK batches are far below the 2**31-1 fragment limit, so the writer emits
+single-fragment records; the reader nevertheless accepts multi-fragment
+records so it can interoperate with standard XDR stream producers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.xdr.errors import XdrDecodeError
+
+_HEADER = struct.Struct(">I")
+_LAST_FRAGMENT = 0x8000_0000
+_MAX_FRAGMENT = 0x7FFF_FFFF
+
+
+def frame_record(payload: bytes) -> bytes:
+    """Wrap *payload* as a single-fragment record-marked record."""
+    if len(payload) > _MAX_FRAGMENT:
+        raise ValueError("payload exceeds maximum fragment size")
+    return _HEADER.pack(_LAST_FRAGMENT | len(payload)) + payload
+
+
+def split_records(data: bytes) -> list[bytes]:
+    """Split a complete byte string into its record payloads.
+
+    Convenience for tests and file-based replay; raises on truncation.
+    """
+    reader = RecordMarkingReader()
+    records = list(reader.feed(data))
+    if reader.pending_bytes:
+        raise XdrDecodeError("trailing partial record in stream")
+    return records
+
+
+class RecordMarkingReader:
+    """Incremental record-marking deframer.
+
+    Feed arbitrary chunks as they arrive from the socket; complete record
+    payloads are yielded as soon as their final fragment closes.  State is
+    kept across calls so fragment and record boundaries may fall anywhere
+    relative to chunk boundaries.
+    """
+
+    __slots__ = ("_buf", "_fragments", "_max_record")
+
+    def __init__(self, max_record: int = 64 * 1024 * 1024) -> None:
+        self._buf = bytearray()
+        self._fragments: list[bytes] = []
+        #: Upper bound on a reassembled record; guards the ISM against a
+        #: corrupt length header committing it to an unbounded buffer.
+        self._max_record = max_record
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete record."""
+        return len(self._buf) + sum(len(f) for f in self._fragments)
+
+    def feed(self, chunk: bytes) -> Iterator[bytes]:
+        """Consume *chunk*; yield each completed record payload."""
+        self._buf += chunk
+        while True:
+            if len(self._buf) < 4:
+                return
+            (header,) = _HEADER.unpack_from(self._buf)
+            length = header & _MAX_FRAGMENT
+            if len(self._buf) < 4 + length:
+                return
+            fragment = bytes(self._buf[4 : 4 + length])
+            del self._buf[: 4 + length]
+            self._fragments.append(fragment)
+            assembled = sum(len(f) for f in self._fragments)
+            if assembled > self._max_record:
+                raise XdrDecodeError(
+                    f"record exceeds maximum size {self._max_record}"
+                )
+            if header & _LAST_FRAGMENT:
+                record = b"".join(self._fragments)
+                self._fragments.clear()
+                yield record

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the BRISK test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.records import EventRecord, FieldType
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseeded per test."""
+    return random.Random(0xB215C)
+
+
+def make_record(
+    event_id: int = 1,
+    timestamp: int = 1_000_000,
+    n_ints: int = 6,
+    node_id: int = 0,
+    **extra,
+) -> EventRecord:
+    """The paper's benchmark record: *n_ints* integer fields."""
+    return EventRecord(
+        event_id=event_id,
+        timestamp=timestamp,
+        field_types=(FieldType.X_INT,) * n_ints,
+        values=tuple(range(1, n_ints + 1)),
+        node_id=node_id,
+        **extra,
+    )
+
+
+def make_mixed_record(timestamp: int = 5_000_000) -> EventRecord:
+    """A record exercising every field-type family."""
+    return EventRecord(
+        event_id=9,
+        timestamp=timestamp,
+        field_types=(
+            FieldType.X_BYTE,
+            FieldType.X_USHORT,
+            FieldType.X_UINT,
+            FieldType.X_HYPER,
+            FieldType.X_FLOAT,
+            FieldType.X_DOUBLE,
+            FieldType.X_STRING,
+            FieldType.X_OPAQUE,
+        ),
+        values=(-5, 65_000, 2**31, -(2**40), 1.5, 3.25, "héllo", b"\x00\xff"),
+        node_id=3,
+    )

@@ -1,0 +1,166 @@
+"""Unit tests for causal-graph reconstruction and perturbation analysis."""
+
+import pytest
+
+from repro.analysis.causality import (
+    build_causal_graph,
+    causal_chains,
+    find_causal_violations,
+)
+from repro.analysis.perturbation import (
+    CompensationReport,
+    IntrusionModel,
+    compensate_trace,
+    estimate_intrusion,
+)
+from repro.analysis.trace import Trace
+from repro.core.records import EventRecord, FieldType
+
+from tests.conftest import make_record
+
+
+def reason(cid: int, ts: int, node: int = 1, event: int = 1) -> EventRecord:
+    return EventRecord(
+        event_id=event, timestamp=ts,
+        field_types=(FieldType.X_REASON,), values=(cid,), node_id=node,
+    )
+
+
+def conseq(cid: int, ts: int, node: int = 2, event: int = 2) -> EventRecord:
+    return EventRecord(
+        event_id=event, timestamp=ts,
+        field_types=(FieldType.X_CONSEQ,), values=(cid,), node_id=node,
+    )
+
+
+def relay(in_cid: int, out_cid: int, ts: int, node: int = 3) -> EventRecord:
+    """A hop: consumes one marker, publishes the next."""
+    return EventRecord(
+        event_id=3, timestamp=ts,
+        field_types=(FieldType.X_CONSEQ, FieldType.X_REASON),
+        values=(in_cid, out_cid), node_id=node,
+    )
+
+
+class TestCausalGraph:
+    def test_single_edge(self):
+        trace = Trace([reason(7, 100), conseq(7, 200)])
+        graph = build_causal_graph(trace)
+        assert graph.n_edges == 1
+        (edge,) = graph.graph.edges(data=True)
+        assert edge[2]["cid"] == 7
+        assert edge[2]["lag_us"] == 100
+
+    def test_fan_out(self):
+        trace = Trace(
+            [reason(7, 100)]
+            + [conseq(7, 200 + k, event=10 + k) for k in range(3)]
+        )
+        graph = build_causal_graph(trace)
+        assert graph.n_edges == 3
+
+    def test_unmatched_bookkeeping(self):
+        trace = Trace([reason(1, 100), conseq(2, 200)])
+        graph = build_causal_graph(trace)
+        assert graph.unmatched_reason_ids == {1}
+        assert graph.unmatched_conseq_ids == {2}
+        assert graph.n_edges == 0
+
+    def test_reused_marker_attaches_to_latest_reason(self):
+        trace = Trace(
+            [reason(7, 100), conseq(7, 150), reason(7, 200), conseq(7, 250)]
+        )
+        graph = build_causal_graph(trace)
+        assert graph.n_edges == 2
+        lags = sorted(d["lag_us"] for _, _, d in graph.graph.edges(data=True))
+        assert lags == [50, 50]
+
+    def test_edge_lag_stats(self):
+        trace = Trace([reason(1, 0), conseq(1, 300), reason(2, 0), conseq(2, 100)])
+        stats = build_causal_graph(trace).edge_lag_stats()
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(200.0)
+
+    def test_chain_reconstruction(self):
+        trace = Trace(
+            [reason(1, 0), relay(1, 2, 100), relay(2, 3, 200), conseq(3, 300)]
+        )
+        graph = build_causal_graph(trace)
+        chains = causal_chains(graph)
+        assert len(chains) == 1
+        assert len(chains[0]) == 4
+        labels = [graph.record(n).timestamp for n in chains[0]]
+        assert labels == [0, 100, 200, 300]
+
+    def test_min_length_filter(self):
+        trace = Trace([reason(1, 0), conseq(1, 100)])
+        assert causal_chains(build_causal_graph(trace), min_length=3) == []
+
+    def test_violation_detection(self):
+        ok = Trace([reason(1, 100), conseq(1, 200)])
+        assert find_causal_violations(ok) == []
+        bad = Trace([conseq(1, 50), reason(1, 100)])
+        violations = find_causal_violations(bad)
+        assert len(violations) == 1
+        assert violations[0][0] == 1
+
+
+class TestPerturbation:
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            IntrusionModel(base_cost_us=-1)
+        model = IntrusionModel(base_cost_us=5.0, per_field_cost_us=0.5)
+        assert model.cost_of(6) == pytest.approx(8.0)
+
+    def test_compensation_shifts_cumulatively(self):
+        model = IntrusionModel(base_cost_us=10.0)
+        records = [make_record(timestamp=1_000 + k * 100, n_ints=0) for k in range(3)]
+        trace = Trace(records)
+        fixed, report = compensate_trace(trace, model)
+        # Record k loses k * 10 µs (costs of the notices before it).
+        assert [r.timestamp for r in fixed] == [1_000, 1_090, 1_180]
+        assert report.events_compensated == 3
+        assert report.total_shift_us == pytest.approx(30.0)
+
+    def test_compensation_is_per_node(self):
+        model = IntrusionModel(base_cost_us=10.0)
+        records = [
+            make_record(timestamp=100, node_id=1, n_ints=0),
+            make_record(timestamp=110, node_id=2, n_ints=0),
+            make_record(timestamp=200, node_id=1, n_ints=0),
+            make_record(timestamp=210, node_id=2, n_ints=0),
+        ]
+        fixed, report = compensate_trace(Trace(records), model)
+        by_node = {
+            node: [r.timestamp for r in fixed.node(node)] for node in (1, 2)
+        }
+        assert by_node[1] == [100, 190]
+        assert by_node[2] == [110, 200]
+        assert report.per_node_shift_us == {1: 10.0, 2: 10.0}
+
+    def test_field_count_affects_cost(self):
+        model = IntrusionModel(base_cost_us=1.0, per_field_cost_us=1.0)
+        records = [
+            make_record(timestamp=0, n_ints=6),
+            make_record(timestamp=100, n_ints=0),
+        ]
+        fixed, _ = compensate_trace(Trace(records), model)
+        # Second record loses base(1) + 6 fields → 7 µs.
+        assert fixed[1].timestamp == 93
+
+    def test_preserves_per_node_order(self):
+        model = IntrusionModel(base_cost_us=50.0)
+        records = [make_record(timestamp=k * 60, n_ints=0) for k in range(10)]
+        fixed, _ = compensate_trace(Trace(records), model)
+        ts = [r.timestamp for r in fixed.node(0)]
+        assert ts == sorted(ts)
+
+    def test_empty_trace(self):
+        fixed, report = compensate_trace(Trace([]), IntrusionModel(1.0))
+        assert len(fixed) == 0
+        assert report.mean_shift_us == 0.0
+
+    def test_estimate_intrusion_measures_this_host(self):
+        model = estimate_intrusion(samples=500)
+        # Sanity: single-digit-to-tens of µs on any modern machine.
+        assert 0.0 < model.cost_of(6) < 200.0

@@ -1,0 +1,174 @@
+"""Unit tests for the Trace container and trace statistics."""
+
+import io
+
+import pytest
+
+from repro.analysis.statistics import (
+    gap_statistics,
+    node_activity,
+    rate_series,
+    utilization_timeline,
+)
+from repro.analysis.trace import Trace
+from repro.core import native
+from repro.core.records import EventRecord, FieldType
+from repro.picl.format import dumps
+
+from tests.conftest import make_record
+
+
+def sample_trace() -> Trace:
+    records = []
+    for node in (1, 2):
+        for k in range(10):
+            records.append(
+                make_record(
+                    event_id=node * 10 + (k % 2),
+                    timestamp=1_000_000 + k * 100_000 + node,
+                    node_id=node,
+                )
+            )
+    return Trace(records)
+
+
+class TestConstruction:
+    def test_sorts_by_default(self):
+        a = make_record(timestamp=200)
+        b = make_record(timestamp=100)
+        trace = Trace([a, b])
+        assert trace[0].timestamp == 100
+
+    def test_presorted_keeps_order(self):
+        a = make_record(timestamp=200)
+        b = make_record(timestamp=100)
+        trace = Trace([a, b], presorted=True)
+        assert trace[0].timestamp == 200
+        assert trace.count_inversions() == 1
+
+    def test_from_memory_buffer(self):
+        records = [make_record(event_id=i, timestamp=i) for i in range(5)]
+        buffer = b"".join(native.pack_record(r) for r in records)
+        trace = Trace.from_memory_buffer(buffer)
+        assert list(trace) == records
+
+    def test_from_picl(self):
+        records = [make_record(event_id=i, timestamp=i * 10) for i in range(3)]
+        trace = Trace.from_picl(io.StringIO(dumps(records)))
+        assert list(trace) == records
+
+
+class TestQueries:
+    def test_len_iter_getitem(self):
+        trace = sample_trace()
+        assert len(trace) == 20
+        assert isinstance(trace[0], EventRecord)
+        assert isinstance(trace[2:5], Trace)
+        assert len(trace[2:5]) == 3
+
+    def test_extents(self):
+        trace = sample_trace()
+        assert trace.start_us == 1_000_001
+        assert trace.end_us == 1_900_002
+        assert trace.duration_us == 900_001
+
+    def test_empty_extent_raises(self):
+        with pytest.raises(ValueError):
+            Trace([]).start_us
+
+    def test_node_ids_event_ids(self):
+        trace = sample_trace()
+        assert trace.node_ids == (1, 2)
+        assert trace.event_ids == (10, 11, 20, 21)
+
+    def test_node_filter(self):
+        trace = sample_trace().node(1)
+        assert len(trace) == 10
+        assert trace.node_ids == (1,)
+
+    def test_events_filter(self):
+        trace = sample_trace().events(10, 20)
+        assert all(r.event_id in (10, 20) for r in trace)
+        assert len(trace) == 10
+
+    def test_between(self):
+        trace = sample_trace().between(1_000_000, 1_300_000)
+        assert len(trace) == 6
+        assert all(1_000_000 <= r.timestamp < 1_300_000 for r in trace)
+
+    def test_causal_filter(self):
+        records = [
+            make_record(timestamp=1),
+            EventRecord(
+                event_id=2, timestamp=2,
+                field_types=(FieldType.X_REASON,), values=(5,),
+            ),
+        ]
+        assert len(Trace(records).causal()) == 1
+
+    def test_filters_compose(self):
+        trace = sample_trace().node(2).events(20).between(0, 2_000_000)
+        assert len(trace) == 5
+
+    def test_summary(self):
+        summary = sample_trace().summary()
+        assert summary["records"] == 20
+        assert summary["nodes"] == 2
+        assert Trace([]).summary() == {"records": 0}
+
+
+class TestStatistics:
+    def test_rate_series_uniform(self):
+        # 100 events over 1 second at 10 ms spacing.
+        records = [make_record(timestamp=i * 10_000) for i in range(100)]
+        series = rate_series(Trace(records), bin_width_us=100_000)
+        assert len(series.rates_hz) == 10
+        assert series.mean_hz == pytest.approx(100.0)
+        assert series.peak_hz == pytest.approx(100.0)
+
+    def test_rate_series_empty(self):
+        series = rate_series(Trace([]))
+        assert series.mean_hz == 0.0
+
+    def test_rate_series_validates_width(self):
+        with pytest.raises(ValueError):
+            rate_series(sample_trace(), bin_width_us=0)
+
+    def test_gap_statistics(self):
+        records = [make_record(timestamp=t) for t in (0, 100, 300)]
+        stats = gap_statistics(Trace(records))
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(150.0)
+
+    def test_node_activity_shares(self):
+        activity = node_activity(sample_trace())
+        assert set(activity) == {1, 2}
+        assert activity[1]["count"] == 10
+        assert activity[1]["share"] == pytest.approx(0.5)
+        assert node_activity(Trace([])) == {}
+
+    def test_utilization_timeline(self):
+        # Node 1 busy [0, 500_000) then idle to 1s.
+        records = [
+            make_record(event_id=100, timestamp=0, node_id=1),
+            make_record(event_id=101, timestamp=500_000, node_id=1),
+            make_record(event_id=1, timestamp=999_999, node_id=1),
+        ]
+        util = utilization_timeline(
+            Trace(records), start_event=100, end_event=101,
+            bin_width_us=250_000,
+        )
+        assert util[1][0] == pytest.approx(1.0)
+        assert util[1][1] == pytest.approx(1.0)
+        assert util[1][2] == pytest.approx(0.0)
+
+    def test_utilization_unmatched_start_runs_to_end(self):
+        records = [
+            make_record(event_id=100, timestamp=0, node_id=1),
+            make_record(event_id=1, timestamp=400_000, node_id=1),
+        ]
+        util = utilization_timeline(
+            Trace(records), 100, 101, bin_width_us=200_000
+        )
+        assert util[1][0] == pytest.approx(1.0)
+        assert util[1][-1] > 0.0

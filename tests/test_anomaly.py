@@ -1,0 +1,149 @@
+"""Unit tests for anomaly detection and span statistics."""
+
+import pytest
+
+from repro.analysis.anomaly import (
+    correlate_series,
+    rate_anomalies,
+    silence_gaps,
+)
+from repro.analysis.timeline import GanttSpan, span_statistics
+from repro.analysis.trace import Trace
+
+from tests.conftest import make_record
+
+
+def steady_with_spike() -> Trace:
+    """10 ev/s for 20 s, with a 200-event spike in second 10."""
+    records = []
+    for second in range(20):
+        for k in range(10):
+            records.append(
+                make_record(timestamp=second * 1_000_000 + k * 100_000)
+            )
+    records += [
+        make_record(timestamp=10_000_000 + k * 1_000) for k in range(200)
+    ]
+    return Trace(records)
+
+
+class TestRateAnomalies:
+    def test_spike_detected(self):
+        anomalies = rate_anomalies(steady_with_spike())
+        spikes = [a for a in anomalies if a.kind == "spike"]
+        assert len(spikes) == 1
+        assert spikes[0].start_us == 10_000_000
+        assert spikes[0].zscore > 3.5
+
+    def test_quiet_series_no_anomalies(self):
+        records = [make_record(timestamp=k * 100_000) for k in range(200)]
+        assert rate_anomalies(Trace(records)) == []
+
+    def test_drought_detected(self):
+        records = []
+        for second in range(20):
+            if second == 12:
+                continue  # one silent second in a steady stream
+            for k in range(50):
+                records.append(
+                    make_record(timestamp=second * 1_000_000 + k * 20_000)
+                )
+        anomalies = rate_anomalies(Trace(records), threshold=3.0)
+        droughts = [a for a in anomalies if a.kind == "drought"]
+        assert any(a.start_us == 12_000_000 for a in droughts)
+
+    def test_short_series_returns_nothing(self):
+        records = [make_record(timestamp=k) for k in range(3)]
+        assert rate_anomalies(Trace(records)) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            rate_anomalies(steady_with_spike(), threshold=0)
+
+
+class TestSilenceGaps:
+    def trace(self):
+        records = []
+        # Node 1 emits throughout; node 2 stops at t=3s.
+        for second in range(10):
+            records.append(
+                make_record(timestamp=second * 1_000_000, node_id=1)
+            )
+            if second < 3:
+                records.append(
+                    make_record(timestamp=second * 1_000_000 + 1, node_id=2)
+                )
+        return Trace(records)
+
+    def test_trailing_silence_detected(self):
+        gaps = silence_gaps(self.trace(), min_gap_us=5_000_000)
+        assert len(gaps) == 1
+        gap = gaps[0]
+        assert gap.node_id == 2
+        assert gap.start_us == 2_000_001
+        assert gap.end_us == 9_000_000
+        assert gap.duration_us == 6_999_999
+
+    def test_mid_stream_gap(self):
+        records = [
+            make_record(timestamp=t) for t in (0, 1_000_000, 9_000_000, 10_000_000)
+        ]
+        gaps = silence_gaps(Trace(records), min_gap_us=5_000_000)
+        assert [(g.start_us, g.end_us) for g in gaps] == [(1_000_000, 9_000_000)]
+
+    def test_no_gaps_when_dense(self):
+        records = [make_record(timestamp=k * 1_000) for k in range(100)]
+        assert silence_gaps(Trace(records), min_gap_us=1_000_000) == []
+
+    def test_empty_trace(self):
+        assert silence_gaps(Trace([])) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            silence_gaps(self.trace(), min_gap_us=0)
+
+
+class TestCorrelation:
+    def test_identical_patterns_correlate(self):
+        a = Trace(
+            [make_record(timestamp=k * 10_000, node_id=1) for k in range(100)]
+            + [make_record(timestamp=5_000_000 + k * 1_000, node_id=1) for k in range(100)]
+        )
+        b = Trace(
+            [make_record(timestamp=k * 10_000, node_id=2) for k in range(100)]
+            + [make_record(timestamp=5_000_000 + k * 1_000, node_id=2) for k in range(100)]
+        )
+        assert correlate_series(a, b) > 0.9
+
+    def test_opposite_patterns_anticorrelate(self):
+        a = Trace([make_record(timestamp=k * 1_000) for k in range(1000)])  # first second busy
+        quiet_then_busy = [
+            make_record(timestamp=1_000_000 + k * 1_000) for k in range(1000)
+        ]
+        b = Trace(quiet_then_busy)
+        assert correlate_series(a, b, bin_width_us=500_000) < 0
+
+    def test_empty_inputs(self):
+        a = Trace([make_record()])
+        assert correlate_series(Trace([]), a) == 0.0
+        assert correlate_series(a, Trace([])) == 0.0
+
+    def test_constant_series_zero(self):
+        a = Trace([make_record(timestamp=k * 1_000_000) for k in range(10)])
+        assert correlate_series(a, a) in (0.0, 1.0)  # constant → 0 by contract
+
+
+class TestSpanStatistics:
+    def test_per_label_durations(self):
+        spans = [
+            GanttSpan(1, "solve", 0, 100),
+            GanttSpan(1, "solve", 200, 350),
+            GanttSpan(2, "io", 0, 1_000),
+        ]
+        stats = span_statistics(spans)
+        assert stats["solve"].count == 2
+        assert stats["solve"].mean == pytest.approx(125.0)
+        assert stats["io"].maximum == 1_000
+
+    def test_empty(self):
+        assert span_statistics([]) == {}

@@ -1,0 +1,107 @@
+"""Unit tests for event catalogs (self-describing traces)."""
+
+import pytest
+
+from repro.core.catalog import CATALOG_EVENT_ID, EventCatalog, EventDefinition
+from repro.core.records import FieldType, RecordSchema
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+
+from tests.conftest import make_record
+
+SCHEMA = RecordSchema((FieldType.X_INT, FieldType.X_STRING))
+
+
+class TestRegistry:
+    def test_define_and_lookup(self):
+        catalog = EventCatalog()
+        catalog.define(42, "cache.miss", SCHEMA)
+        assert 42 in catalog
+        assert catalog.name_of(42) == "cache.miss"
+        assert catalog.schema_of(42) == SCHEMA
+        assert len(catalog) == 1
+
+    def test_unknown_id_fallback(self):
+        catalog = EventCatalog()
+        assert catalog.name_of(7) == "event 7"
+        assert catalog.name_of(7, default="?") == "?"
+        assert catalog.schema_of(7) is None
+
+    def test_redefine_overwrites(self):
+        catalog = EventCatalog()
+        catalog.define(1, "old")
+        catalog.define(1, "new")
+        assert catalog.name_of(1) == "new"
+        assert len(catalog) == 1
+
+    def test_reserved_id_rejected(self):
+        with pytest.raises(ValueError):
+            EventCatalog().define(CATALOG_EVENT_ID, "nope")
+
+    def test_definitions_sorted(self):
+        catalog = EventCatalog()
+        catalog.define(9, "nine")
+        catalog.define(1, "one")
+        assert [d.event_id for d in catalog.definitions] == [1, 9]
+
+
+class TestInBandTransport:
+    def test_announce_and_rebuild(self):
+        ring = ring_for_records(100)
+        sensor = Sensor(ring, node_id=1)
+        catalog = EventCatalog()
+        catalog.define(42, "cache.miss", SCHEMA)
+        catalog.define(43, "cache.hit")
+        assert catalog.announce(sensor) == 2
+
+        rebuilt = EventCatalog.from_trace(ring.drain())
+        assert rebuilt.name_of(42) == "cache.miss"
+        assert rebuilt.schema_of(42) == SCHEMA
+        assert rebuilt.schema_of(43) is None
+
+    def test_definitions_survive_the_wire(self):
+        from repro.wire import protocol
+
+        ring = ring_for_records(100)
+        sensor = Sensor(ring, node_id=1)
+        catalog = EventCatalog()
+        catalog.define(5, "phase.start", RecordSchema((FieldType.X_DOUBLE,)))
+        catalog.announce(sensor)
+        encoded = protocol.encode_batch_records(1, 0, ring.drain())
+        batch = protocol.decode_message(encoded)
+        rebuilt = EventCatalog.from_trace(batch.records)
+        assert rebuilt.name_of(5) == "phase.start"
+
+    def test_fold_ignores_ordinary_records(self):
+        catalog = EventCatalog()
+        assert not catalog.fold(make_record())
+        assert len(catalog) == 0
+
+    def test_fold_tolerates_unknown_type_names(self):
+        from repro.core.records import EventRecord
+
+        record = EventRecord(
+            event_id=CATALOG_EVENT_ID,
+            timestamp=0,
+            field_types=(FieldType.X_UINT, FieldType.X_STRING, FieldType.X_STRING),
+            values=(5, "future.event", "X_QUATERNION"),
+        )
+        catalog = EventCatalog()
+        assert catalog.fold(record)
+        assert catalog.name_of(5) == "future.event"
+        assert catalog.schema_of(5) is None
+
+
+class TestValidation:
+    def test_matching_schema_valid(self):
+        catalog = EventCatalog()
+        catalog.define(1, "six-ints", RecordSchema((FieldType.X_INT,) * 6))
+        assert catalog.validate(make_record(event_id=1))
+
+    def test_mismatched_schema_invalid(self):
+        catalog = EventCatalog()
+        catalog.define(1, "one-double", RecordSchema((FieldType.X_DOUBLE,)))
+        assert not catalog.validate(make_record(event_id=1))
+
+    def test_undeclared_always_valid(self):
+        assert EventCatalog().validate(make_record())

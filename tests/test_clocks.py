@@ -1,0 +1,116 @@
+"""Unit tests for the clock models."""
+
+import pytest
+
+from repro.clocksync.clocks import CorrectedClock, DriftingClock, PerfectClock
+
+
+class FakeTime:
+    """A controllable true-time source."""
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def __call__(self) -> int:
+        return self.value
+
+
+class TestPerfectClock:
+    def test_reads_true_time(self):
+        t = FakeTime(42)
+        clock = PerfectClock(t)
+        assert clock.read() == 42
+        t.value = 100
+        assert clock() == 100
+
+    def test_read_at(self):
+        assert PerfectClock(FakeTime()).read_at(555) == 555
+
+
+class TestDriftingClock:
+    def test_offset_applied(self):
+        clock = DriftingClock(FakeTime(1000), offset_us=50)
+        assert clock.read() == 1050
+
+    def test_negative_offset(self):
+        clock = DriftingClock(FakeTime(1000), offset_us=-200)
+        assert clock.read() == 800
+
+    def test_drift_accumulates_with_time(self):
+        t = FakeTime(0)
+        clock = DriftingClock(t, drift_ppm=100.0)  # gains 100 µs per second
+        t.value = 1_000_000
+        assert clock.read() == 1_000_100
+        t.value = 10_000_000
+        assert clock.read() == 10_001_000
+
+    def test_negative_drift(self):
+        t = FakeTime(1_000_000)
+        clock = DriftingClock(t, drift_ppm=-50.0)
+        assert clock.read() == 1_000_000 - 50
+
+    def test_quantization(self):
+        clock = DriftingClock(FakeTime(1_234_567), quantum_us=1000)
+        assert clock.read() == 1_234_000
+
+    def test_quantum_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DriftingClock(FakeTime(), quantum_us=0)
+
+    def test_read_at_matches_read(self):
+        t = FakeTime(5_000_000)
+        clock = DriftingClock(t, offset_us=123, drift_ppm=25.0)
+        assert clock.read_at(5_000_000) == clock.read()
+        assert clock.read_at(6_000_000) != clock.read()
+
+    def test_error_at_is_exact(self):
+        clock = DriftingClock(FakeTime(), offset_us=10, drift_ppm=50.0)
+        assert clock.error_at(0) == 10
+        assert clock.error_at(1_000_000) == pytest.approx(60.0)
+
+
+class TestCorrectedClock:
+    def test_correction_added_to_base(self):
+        t = FakeTime(1000)
+        corrected = CorrectedClock(DriftingClock(t, offset_us=-100))
+        assert corrected.read() == 900
+        corrected.advance(40)
+        assert corrected.read() == 940
+        assert corrected.correction_us == 40
+
+    def test_advance_rejects_negative(self):
+        corrected = CorrectedClock(DriftingClock(FakeTime()))
+        with pytest.raises(ValueError):
+            corrected.advance(-1)
+
+    def test_step_allows_negative(self):
+        corrected = CorrectedClock(DriftingClock(FakeTime(1000)))
+        corrected.step(-300)
+        assert corrected.read() == 700
+
+    def test_corrections_counted(self):
+        corrected = CorrectedClock(DriftingClock(FakeTime()))
+        corrected.advance(1)
+        corrected.advance(0)
+        corrected.step(-1)
+        assert corrected.corrections_applied == 3
+
+    def test_read_at_through_base(self):
+        t = FakeTime(0)
+        corrected = CorrectedClock(DriftingClock(t, offset_us=5))
+        corrected.advance(10)
+        assert corrected.read_at(100) == 115
+
+    def test_monotone_under_advances(self):
+        # Advance-only corrections can never make successive reads with
+        # non-decreasing true time go backwards.
+        t = FakeTime(0)
+        corrected = CorrectedClock(DriftingClock(t, drift_ppm=30.0))
+        last = corrected.read()
+        for step in range(1, 50):
+            t.value = step * 10_000
+            if step % 7 == 0:
+                corrected.advance(step)
+            now = corrected.read()
+            assert now >= last
+            last = now

@@ -1,0 +1,206 @@
+"""Unit tests for probing, Cristian's baseline, and BRISK's modified
+synchronization algorithm.
+
+These tests exercise the *algorithms* against hand-built slaves with exact,
+controllable skews; statistical convergence under jitter/drift is covered
+by the deployment integration tests and benchmark E6.
+"""
+
+import pytest
+
+from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
+from repro.clocksync.cristian import CristianMaster
+from repro.clocksync.probes import (
+    FunctionSlave,
+    ProbeSample,
+    probe_average,
+    probe_best_of,
+)
+
+
+class ExactSlave:
+    """A slave whose measured skew equals its true skew (no noise)."""
+
+    def __init__(self, slave_id: int, skew_us: float, rtt_us: int = 400):
+        self.slave_id = slave_id
+        self.skew_us = skew_us
+        self.rtt_us = rtt_us
+        self.corrections: list[int] = []
+
+    def probe(self) -> ProbeSample:
+        return ProbeSample(skew_us=self.skew_us, rtt_us=self.rtt_us)
+
+    def adjust(self, correction_us: int) -> None:
+        self.corrections.append(correction_us)
+        self.skew_us += correction_us
+
+
+class TestProbeStrategies:
+    def test_best_of_keeps_minimum_rtt(self):
+        samples = iter(
+            [
+                ProbeSample(skew_us=10.0, rtt_us=900),
+                ProbeSample(skew_us=5.0, rtt_us=300),
+                ProbeSample(skew_us=20.0, rtt_us=600),
+            ]
+        )
+        slave = FunctionSlave(1, lambda: next(samples), lambda c: None)
+        best = probe_best_of(slave, 3)
+        assert best == ProbeSample(skew_us=5.0, rtt_us=300)
+
+    def test_average_means_skew(self):
+        samples = iter(
+            [ProbeSample(skew_us=10.0, rtt_us=100), ProbeSample(skew_us=20.0, rtt_us=300)]
+        )
+        slave = FunctionSlave(1, lambda: next(samples), lambda c: None)
+        avg = probe_average(slave, 2)
+        assert avg.skew_us == pytest.approx(15.0)
+        assert avg.rtt_us == 200
+
+    def test_zero_attempts_rejected(self):
+        slave = ExactSlave(1, 0.0)
+        with pytest.raises(ValueError):
+            probe_best_of(slave, 0)
+        with pytest.raises(ValueError):
+            probe_average(slave, 0)
+
+
+class TestCristian:
+    def test_steers_every_slave_to_master(self):
+        slaves = [ExactSlave(i, skew) for i, skew in enumerate([500.0, -300.0, 0.0])]
+        master = CristianMaster(slaves, probes_per_round=1)
+        master.run_round()
+        assert slaves[0].skew_us == pytest.approx(0.0)
+        assert slaves[1].skew_us == pytest.approx(0.0)
+        # Signed corrections: the fast slave was stepped BACK.
+        assert slaves[0].corrections == [-500]
+        assert slaves[1].corrections == [300]
+        assert slaves[2].corrections == []  # zero correction not sent
+
+    def test_requires_slaves(self):
+        with pytest.raises(ValueError):
+            CristianMaster([])
+
+    def test_history_recorded(self):
+        master = CristianMaster([ExactSlave(1, 100.0)])
+        report = master.run_round()
+        assert report.round_id == 1
+        assert master.history == [report]
+        assert report.samples[1].skew_us == pytest.approx(100.0)
+
+
+class TestBriskSync:
+    def test_elects_most_ahead_clock(self):
+        slaves = [ExactSlave(1, 100.0), ExactSlave(2, 900.0), ExactSlave(3, -50.0)]
+        master = BriskSyncMaster(slaves)
+        report = master.run_round()
+        assert report.elected == 2
+
+    def test_elected_clock_never_corrected(self):
+        slaves = [ExactSlave(1, 100.0), ExactSlave(2, 900.0)]
+        master = BriskSyncMaster(slaves)
+        master.run_round()
+        assert slaves[2 - 1].corrections == []
+
+    def test_corrections_are_advance_only(self):
+        slaves = [ExactSlave(i, skew) for i, skew in enumerate([0.0, 800.0, -400.0])]
+        master = BriskSyncMaster(slaves)
+        for _ in range(6):
+            master.run_round()
+        for slave in slaves:
+            assert all(c > 0 for c in slave.corrections)
+
+    def test_only_above_average_skews_corrected(self):
+        # rel skews vs elected(=1000): [900, 100]; avg=500 → only the 900
+        # one is corrected this round.
+        slaves = [
+            ExactSlave(1, 1000.0),
+            ExactSlave(2, 100.0),
+            ExactSlave(3, 900.0),
+        ]
+        master = BriskSyncMaster(
+            slaves, BriskSyncConfig(threshold_us=100.0)
+        )
+        report = master.run_round()
+        assert report.elected == 1
+        assert slaves[1].corrections  # rel 900 > avg 500
+        assert not slaves[2].corrections  # rel 100 < avg 500
+
+    def test_full_correction_above_threshold(self):
+        slaves = [ExactSlave(1, 1000.0), ExactSlave(2, 0.0)]
+        master = BriskSyncMaster(slaves, BriskSyncConfig(threshold_us=100.0))
+        report = master.run_round()
+        assert not report.damped
+        # rel skew 1000, avg 1000 > threshold → full correction.
+        assert slaves[1].corrections == [1000]
+        assert slaves[1].skew_us == pytest.approx(1000.0)  # caught up
+
+    def test_damped_correction_near_convergence(self):
+        slaves = [ExactSlave(1, 50.0), ExactSlave(2, 0.0)]
+        master = BriskSyncMaster(
+            slaves, BriskSyncConfig(threshold_us=100.0, damping=0.7)
+        )
+        report = master.run_round()
+        assert report.damped
+        assert slaves[1].corrections == [int(50 * 0.7)]
+
+    def test_converges_to_fastest_clock(self):
+        slaves = [
+            ExactSlave(1, 2000.0),
+            ExactSlave(2, -1500.0),
+            ExactSlave(3, 300.0),
+            ExactSlave(4, 0.0),
+        ]
+        master = BriskSyncMaster(slaves, BriskSyncConfig(threshold_us=50.0))
+        for _ in range(30):
+            master.run_round()
+        skews = [s.skew_us for s in slaves]
+        assert max(skews) - min(skews) < 50.0
+        # Everyone converged UP to the fastest clock, not down to the master.
+        assert min(skews) > 1500.0
+
+    def test_converges_faster_than_dispersion_halving(self):
+        # The elected-reference scheme closes mutual dispersion quickly:
+        # within 10 exact rounds the ensemble is inside the threshold.
+        slaves = [ExactSlave(i, float(i * 700)) for i in range(8)]
+        master = BriskSyncMaster(slaves, BriskSyncConfig(threshold_us=100.0))
+        for _ in range(10):
+            master.run_round()
+        skews = [s.skew_us for s in slaves]
+        assert max(skews) - min(skews) <= 100.0 * 2
+
+    def test_single_slave_round_is_a_noop(self):
+        slave = ExactSlave(1, 500.0)
+        master = BriskSyncMaster([slave])
+        report = master.run_round()
+        assert report.elected == 1
+        assert slave.corrections == []
+
+    def test_extra_round_request_flag(self):
+        master = BriskSyncMaster([ExactSlave(1, 0.0)])
+        assert not master.consume_extra_round_request()
+        master.request_extra_round()
+        assert master.consume_extra_round_request()
+        assert not master.consume_extra_round_request()
+
+    def test_last_dispersion(self):
+        slaves = [ExactSlave(1, 100.0), ExactSlave(2, 400.0)]
+        master = BriskSyncMaster(slaves)
+        with pytest.raises(RuntimeError):
+            master.last_dispersion()
+        master.run_round()
+        assert master.last_dispersion() == pytest.approx(300.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BriskSyncConfig(probes_per_round=0)
+        with pytest.raises(ValueError):
+            BriskSyncConfig(damping=0.0)
+        with pytest.raises(ValueError):
+            BriskSyncConfig(damping=1.5)
+        with pytest.raises(ValueError):
+            BriskSyncConfig(threshold_us=-1.0)
+
+    def test_requires_slaves(self):
+        with pytest.raises(ValueError):
+            BriskSyncMaster([])

@@ -1,0 +1,140 @@
+"""Unit tests for trace comparison and trace-driven workload replay."""
+
+import pytest
+
+from repro.analysis.compare import compare_traces
+from repro.analysis.trace import Trace
+from repro.sim.engine import Simulator
+from repro.sim.workload import TraceWorkload
+
+from tests.conftest import make_record
+
+
+def trace_of(spec: list[tuple[int, int, int]]) -> Trace:
+    """(event_id, timestamp, node_id) triples → Trace."""
+    return Trace(
+        [make_record(event_id=e, timestamp=ts, node_id=n) for e, ts, n in spec]
+    )
+
+
+class TestCompareTraces:
+    def test_identical_traces(self):
+        a = trace_of([(1, 0, 1), (1, 100, 1), (2, 50, 2)])
+        comparison = compare_traces(a, a)
+        assert comparison.duration_ratio == 1.0
+        assert comparison.total_a == comparison.total_b == 3
+        assert all(d.count_delta == 0 for d in comparison.deltas)
+        assert comparison.only_in_a == comparison.only_in_b == ()
+
+    def test_count_changes_reported(self):
+        a = trace_of([(1, 0, 1), (1, 100, 1)])
+        b = trace_of([(1, 0, 1)] + [(1, k, 1) for k in range(1, 6)])
+        comparison = compare_traces(a, b)
+        (delta,) = comparison.deltas
+        assert delta.count_a == 2
+        assert delta.count_b == 6
+        assert delta.count_delta == 4
+        assert delta.count_ratio == pytest.approx(3.0)
+
+    def test_vanished_and_new_series(self):
+        a = trace_of([(1, 0, 1), (9, 10, 1)])
+        b = trace_of([(1, 0, 1), (7, 10, 2)])
+        comparison = compare_traces(a, b)
+        assert comparison.only_in_a == ((1, 9),)
+        assert comparison.only_in_b == ((2, 7),)
+
+    def test_regressions_filter(self):
+        a = trace_of([(1, 0, 1), (2, 10, 1), (2, 20, 1)])
+        b = trace_of(
+            [(1, 0, 1)] + [(2, k * 5, 1) for k in range(10)]
+        )
+        comparison = compare_traces(a, b)
+        regressions = comparison.regressions(threshold=2.0)
+        assert [(r.node_id, r.event_id) for r in regressions] == [(1, 2)]
+
+    def test_rates_use_each_traces_duration(self):
+        a = trace_of([(1, 0, 1), (1, 1_000_000, 1)])  # 2 records / 1 s
+        b = trace_of([(1, 0, 1), (1, 500_000, 1)])    # 2 records / 0.5 s
+        comparison = compare_traces(a, b)
+        (delta,) = comparison.deltas
+        assert delta.rate_b_hz == pytest.approx(delta.rate_a_hz * 2)
+
+    def test_summary_rows_render(self):
+        a = trace_of([(1, 0, 1)])
+        b = trace_of([(1, 0, 1), (1, 10, 1), (2, 20, 3)])
+        rows = compare_traces(a, b).summary_rows()
+        text = "\n".join(rows)
+        assert "records:  1 -> 3" in text
+        assert "new in B" in text
+
+    def test_empty_traces(self):
+        comparison = compare_traces(Trace([]), Trace([]))
+        assert comparison.total_a == 0
+        assert comparison.duration_ratio == 1.0
+
+
+class TestTraceWorkload:
+    def records(self):
+        return [
+            make_record(event_id=5, timestamp=1_000_000 + off)
+            for off in (0, 100, 300, 700)
+        ]
+
+    def test_replays_inter_arrival_pattern(self):
+        sim = Simulator()
+        times: list[int] = []
+        workload = TraceWorkload(self.records())
+        workload.start(sim, lambda seq: times.append(sim.now))
+        sim.run_all()
+        assert times == [0, 100, 300, 700]
+        assert workload.emitted == 4
+
+    def test_count_limit(self):
+        sim = Simulator()
+        seqs: list[int] = []
+        TraceWorkload(self.records(), count=2).start(sim, seqs.append)
+        sim.run_all()
+        assert seqs == [0, 1]
+
+    def test_stop_mid_replay(self):
+        sim = Simulator()
+        workload = TraceWorkload(self.records())
+        fired: list[int] = []
+
+        def emit(seq: int) -> None:
+            fired.append(seq)
+            if len(fired) == 2:
+                workload.stop()
+
+        workload.start(sim, emit)
+        sim.run_all()
+        assert len(fired) == 2
+
+    def test_unsorted_input_tolerated(self):
+        records = list(reversed(self.records()))
+        sim = Simulator()
+        times: list[int] = []
+        TraceWorkload(records).start(sim, lambda seq: times.append(sim.now))
+        sim.run_all()
+        assert times == [0, 100, 300, 700]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceWorkload([])
+
+    def test_end_to_end_through_deployment(self):
+        """A captured pattern drives a simulated node."""
+        from repro.core.consumers import CollectingConsumer
+        from repro.sim.deployment import DeploymentConfig, SimDeployment
+
+        captured = [
+            make_record(event_id=3, timestamp=k * 1_000) for k in range(50)
+        ]
+        sim = Simulator(seed=2)
+        collected = CollectingConsumer()
+        dep = SimDeployment(sim, DeploymentConfig(), [collected])
+        node = dep.add_node()
+        dep.attach_workload(node, TraceWorkload(captured))
+        dep.run(2.0)
+        dep.stop()
+        assert len(collected.records) == 50

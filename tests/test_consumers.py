@@ -1,0 +1,151 @@
+"""Unit tests for the ISM output consumers."""
+
+import io
+
+import pytest
+
+from repro.core import native
+from repro.core.consumers import (
+    CallbackConsumer,
+    CollectingConsumer,
+    Consumer,
+    MemoryBufferConsumer,
+    PiclFileConsumer,
+    VisualObjectConsumer,
+)
+from repro.picl.format import PiclReader, TimestampMode
+
+from tests.conftest import make_record
+
+
+class TestMemoryBufferConsumer:
+    def test_records_appended_in_native_layout(self):
+        consumer = MemoryBufferConsumer()
+        records = [make_record(event_id=i) for i in range(3)]
+        for record in records:
+            consumer.deliver(record)
+        assert consumer.records() == records
+        assert native.unpack_all(consumer.snapshot()) == records
+        assert consumer.delivered == 3
+
+    def test_clear(self):
+        consumer = MemoryBufferConsumer()
+        consumer.deliver(make_record())
+        consumer.clear()
+        assert consumer.records() == []
+
+    def test_external_buffer(self):
+        buf = bytearray()
+        consumer = MemoryBufferConsumer(buf)
+        consumer.deliver(make_record())
+        assert len(buf) > 0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(MemoryBufferConsumer(), Consumer)
+
+
+class TestPiclFileConsumer:
+    def test_writes_parseable_lines(self):
+        stream = io.StringIO()
+        consumer = PiclFileConsumer(stream)
+        consumer.deliver(make_record())
+        consumer.deliver(make_record(event_id=2))
+        assert consumer.delivered == 2
+        stream.seek(0)
+        assert len(PiclReader(stream).read_all()) == 2
+
+    def test_relative_mode(self):
+        stream = io.StringIO()
+        consumer = PiclFileConsumer(
+            stream, TimestampMode.RELATIVE_SECONDS, epoch_us=500_000
+        )
+        consumer.deliver(make_record(timestamp=1_500_000))
+        assert "1.000000" in stream.getvalue()
+
+    def test_close_idempotent_and_final(self):
+        stream = io.StringIO()
+        consumer = PiclFileConsumer(stream)
+        consumer.close()
+        consumer.close()
+        with pytest.raises(RuntimeError):
+            consumer.deliver(make_record())
+
+    def test_close_stream_option(self):
+        stream = io.StringIO()
+        PiclFileConsumer(stream, close_stream=True).close()
+        assert stream.closed
+
+
+class GoodVisual:
+    def __init__(self):
+        self.lines: list[str] = []
+
+    def process_picl(self, line: str) -> None:
+        self.lines.append(line)
+
+
+class FlakyVisual:
+    def process_picl(self, line: str) -> None:
+        raise RuntimeError("remote object died")
+
+
+class TestVisualObjectConsumer:
+    def test_fans_out_picl_strings(self):
+        a, b = GoodVisual(), GoodVisual()
+        consumer = VisualObjectConsumer([a, b])
+        consumer.deliver(make_record())
+        assert len(a.lines) == 1
+        assert a.lines == b.lines
+        assert a.lines[0].startswith("-3 ")
+
+    def test_attach(self):
+        consumer = VisualObjectConsumer()
+        visual = GoodVisual()
+        consumer.attach(visual)
+        consumer.deliver(make_record())
+        assert visual.lines
+
+    def test_failing_object_detached_after_max_errors(self):
+        good, bad = GoodVisual(), FlakyVisual()
+        consumer = VisualObjectConsumer([good, bad], max_errors=3)
+        for _ in range(5):
+            consumer.deliver(make_record())
+        assert consumer.detached == 1
+        assert consumer.attached_count == 1
+        assert len(good.lines) == 5  # unaffected by its dead peer
+
+    def test_error_count_resets_on_success(self):
+        class Intermittent:
+            def __init__(self):
+                self.calls = 0
+
+            def process_picl(self, line: str) -> None:
+                self.calls += 1
+                if self.calls % 2 == 0:
+                    raise RuntimeError("sometimes fails")
+
+        consumer = VisualObjectConsumer([Intermittent()], max_errors=3)
+        for _ in range(10):
+            consumer.deliver(make_record())
+        assert consumer.detached == 0  # never 3 consecutive failures
+
+    def test_close_clears_objects(self):
+        consumer = VisualObjectConsumer([GoodVisual()])
+        consumer.close()
+        assert consumer.attached_count == 0
+
+
+class TestCallbackConsumers:
+    def test_callback_invoked(self):
+        seen = []
+        consumer = CallbackConsumer(seen.append)
+        consumer.deliver(make_record())
+        assert len(seen) == 1
+        assert consumer.delivered == 1
+
+    def test_collecting_consumer(self):
+        consumer = CollectingConsumer()
+        records = [make_record(event_id=i) for i in range(4)]
+        for record in records:
+            consumer.deliver(record)
+        assert consumer.records == records

@@ -1,0 +1,193 @@
+"""Unit tests for the causally-related-event matcher."""
+
+import pytest
+
+from repro.core.cre import CausalMatcher, CreConfig
+from repro.core.records import EventRecord, FieldType
+
+from tests.conftest import make_record
+
+
+def reason(rid: int, ts: int, event_id: int = 1) -> EventRecord:
+    return EventRecord(
+        event_id=event_id,
+        timestamp=ts,
+        field_types=(FieldType.X_REASON,),
+        values=(rid,),
+    )
+
+
+def conseq(cid: int, ts: int, event_id: int = 2) -> EventRecord:
+    return EventRecord(
+        event_id=event_id,
+        timestamp=ts,
+        field_types=(FieldType.X_CONSEQ,),
+        values=(cid,),
+    )
+
+
+class TestPassThrough:
+    def test_plain_record_untouched(self):
+        matcher = CausalMatcher()
+        record = make_record()
+        assert matcher.process(record, now=0) == [record]
+
+    def test_stats_start_zero(self):
+        matcher = CausalMatcher()
+        assert matcher.stats.tachyons_fixed == 0
+        assert matcher.parked_count == 0
+
+
+class TestOrderedArrival:
+    def test_reason_then_conseq_flows_through(self):
+        matcher = CausalMatcher()
+        r = reason(7, ts=100)
+        c = conseq(7, ts=200)
+        assert matcher.process(r, now=100) == [r]
+        assert matcher.process(c, now=200) == [c]
+        assert matcher.stats.tachyons_fixed == 0
+
+    def test_tachyonic_conseq_timestamp_overridden(self):
+        fired = []
+        matcher = CausalMatcher(on_tachyon=lambda: fired.append(1))
+        matcher.process(reason(7, ts=100), now=100)
+        out = matcher.process(conseq(7, ts=90), now=110)  # before its reason!
+        assert len(out) == 1
+        assert out[0].timestamp == 101  # reason.ts + epsilon
+        assert matcher.stats.tachyons_fixed == 1
+        assert fired == [1]
+
+    def test_equal_timestamp_still_overridden(self):
+        matcher = CausalMatcher()
+        matcher.process(reason(7, ts=100), now=100)
+        out = matcher.process(conseq(7, ts=100), now=100)
+        assert out[0].timestamp == 101
+
+    def test_epsilon_configurable(self):
+        matcher = CausalMatcher(CreConfig(epsilon_us=50))
+        matcher.process(reason(7, ts=100), now=100)
+        out = matcher.process(conseq(7, ts=10), now=100)
+        assert out[0].timestamp == 150
+
+
+class TestParkedConsequences:
+    def test_conseq_without_reason_is_parked(self):
+        matcher = CausalMatcher()
+        assert matcher.process(conseq(9, ts=50), now=50) == []
+        assert matcher.parked_count == 1
+        assert matcher.stats.parked == 1
+
+    def test_reason_releases_parked_conseq(self):
+        matcher = CausalMatcher()
+        matcher.process(conseq(9, ts=50), now=50)
+        r = reason(9, ts=40)
+        out = matcher.process(r, now=60)
+        assert out[0] == r
+        assert out[1].timestamp == 50  # no override needed (50 > 40)
+        assert matcher.parked_count == 0
+
+    def test_released_conseq_overridden_when_tachyonic(self):
+        fired = []
+        matcher = CausalMatcher(on_tachyon=lambda: fired.append(1))
+        matcher.process(conseq(9, ts=50), now=50)
+        out = matcher.process(reason(9, ts=80), now=60)
+        assert out[1].timestamp == 81
+        assert matcher.stats.tachyons_fixed == 1
+        assert fired == [1]
+
+    def test_multiple_conseqs_released_together(self):
+        matcher = CausalMatcher()
+        matcher.process(conseq(9, ts=10, event_id=100), now=10)
+        matcher.process(conseq(9, ts=20, event_id=101), now=20)
+        out = matcher.process(reason(9, ts=5), now=30)
+        assert len(out) == 3
+        assert {r.event_id for r in out[1:]} == {100, 101}
+
+    def test_conseq_waiting_on_multiple_reasons(self):
+        record = EventRecord(
+            event_id=5,
+            timestamp=100,
+            field_types=(FieldType.X_CONSEQ, FieldType.X_CONSEQ),
+            values=(1, 2),
+        )
+        matcher = CausalMatcher()
+        assert matcher.process(record, now=100) == []
+        assert matcher.process(reason(1, ts=10), now=110)[1:] == []
+        out = matcher.process(reason(2, ts=20), now=120)
+        assert len(out) == 2  # the second reason plus the released conseq
+        assert out[1].event_id == 5
+
+    def test_record_with_reason_and_conseq_roles(self):
+        both = EventRecord(
+            event_id=5,
+            timestamp=100,
+            field_types=(FieldType.X_REASON, FieldType.X_CONSEQ),
+            values=(2, 1),
+        )
+        matcher = CausalMatcher()
+        matcher.process(reason(1, ts=50), now=50)
+        out = matcher.process(both, now=100)
+        assert out == [both]
+        # Its reason id (2) is now registered.
+        follow = matcher.process(conseq(2, ts=150), now=150)
+        assert follow == [conseq(2, ts=150)]
+
+
+class TestTimeouts:
+    def test_parked_conseq_released_on_timeout(self):
+        matcher = CausalMatcher(CreConfig(timeout_us=1_000))
+        c = conseq(9, ts=50)
+        matcher.process(c, now=50)
+        assert matcher.expire(now=1_000) == []
+        out = matcher.expire(now=1_051)
+        assert out == [c]  # delivered uncorrected, not destroyed
+        assert matcher.stats.timed_out_consequences == 1
+        assert matcher.parked_count == 0
+
+    def test_stale_reason_expired(self):
+        matcher = CausalMatcher(CreConfig(timeout_us=1_000))
+        matcher.process(reason(9, ts=50), now=50)
+        matcher.expire(now=2_000)
+        assert matcher.stats.timed_out_reasons == 1
+        # After expiry, a conseq for that id parks again.
+        assert matcher.process(conseq(9, ts=60), now=2_000) == []
+
+    def test_multi_id_conseq_released_once_on_timeout(self):
+        record = EventRecord(
+            event_id=5,
+            timestamp=100,
+            field_types=(FieldType.X_CONSEQ, FieldType.X_CONSEQ),
+            values=(1, 2),
+        )
+        matcher = CausalMatcher(CreConfig(timeout_us=100))
+        matcher.process(record, now=100)
+        out = matcher.expire(now=1_000)
+        assert out == [record]
+        assert matcher.stats.timed_out_consequences == 1
+        assert matcher.parked_count == 0
+
+
+class TestSyncRequests:
+    def test_sync_requested_once_per_processed_record(self):
+        fired = []
+        matcher = CausalMatcher(on_tachyon=lambda: fired.append(1))
+        # Two parked consequences, both tachyonic vs the same reason: one
+        # process() call must collapse to a single sync request.
+        matcher.process(conseq(9, ts=10, event_id=1), now=10)
+        matcher.process(conseq(9, ts=20, event_id=2), now=20)
+        matcher.process(reason(9, ts=500), now=30)
+        assert matcher.stats.tachyons_fixed == 2
+        assert fired == [1]
+
+    def test_no_sync_without_tachyon(self):
+        fired = []
+        matcher = CausalMatcher(on_tachyon=lambda: fired.append(1))
+        matcher.process(reason(1, ts=10), now=10)
+        matcher.process(conseq(1, ts=20), now=20)
+        assert fired == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CreConfig(timeout_us=-1)
+        with pytest.raises(ValueError):
+            CreConfig(epsilon_us=0)

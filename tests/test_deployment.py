@@ -1,0 +1,213 @@
+"""Integration tests: the full BRISK system on the simulation substrate."""
+
+import pytest
+
+from repro.core.consumers import CollectingConsumer
+from repro.core.records import FieldType
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.workload import PeriodicWorkload, PoissonWorkload
+
+
+def build(
+    n_nodes=3,
+    rate_hz=200,
+    seed=7,
+    sync="brisk",
+    config: DeploymentConfig | None = None,
+    **node_kwargs,
+):
+    sim = Simulator(seed=seed)
+    consumer = CollectingConsumer()
+    dep = SimDeployment(
+        sim, config or DeploymentConfig(), [consumer], sync_algorithm=sync
+    )
+    nodes = dep.add_nodes(n_nodes, **node_kwargs)
+    for node in nodes:
+        dep.attach_workload(node, PoissonWorkload(rate_hz=rate_hz))
+    return sim, dep, consumer
+
+
+class TestEndToEnd:
+    def test_all_events_delivered(self):
+        sim, dep, consumer = build(n_nodes=3, rate_hz=100)
+        dep.run(5.0)
+        dep.stop()
+        emitted = sum(n.sensor.emitted for n in dep.nodes)
+        assert emitted > 1000
+        assert len(consumer.records) == emitted
+
+    def test_output_is_time_sorted(self):
+        sim, dep, consumer = build(
+            n_nodes=4, rate_hz=200, max_offset_us=2_000, max_drift_ppm=5
+        )
+        dep.run(8.0)
+        dep.stop()
+        ts = [r.timestamp for r in consumer.records]
+        inversions = sum(1 for a, b in zip(ts, ts[1:]) if b < a)
+        # The sorter trades ordering against latency; residual disorder
+        # must be a small fraction once the frame adapts.
+        assert inversions / len(ts) < 0.01
+
+    def test_node_ids_preserved_end_to_end(self):
+        sim, dep, consumer = build(n_nodes=3, rate_hz=100)
+        dep.run(3.0)
+        dep.stop()
+        assert {r.node_id for r in consumer.records} == {1, 2, 3}
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            sim, dep, consumer = build(seed=99)
+            dep.run(3.0)
+            dep.stop()
+            return [(r.node_id, r.timestamp, r.values) for r in consumer.records]
+
+        assert run_once() == run_once()
+
+    def test_no_seq_gaps_over_reliable_links(self):
+        sim, dep, consumer = build()
+        dep.run(5.0)
+        dep.stop()
+        assert dep.ism.stats.seq_gaps == 0
+
+    def test_latency_tracking(self):
+        config = DeploymentConfig(track_latency=True)
+        sim, dep, consumer = build(config=config, rate_hz=100)
+        dep.run(5.0)
+        dep.stop()
+        lat = dep.metrics.latency_us
+        assert len(lat) > 100
+        assert all(l >= 0 for l in lat)
+        # End-to-end latency should be bounded by poll + flush + frame.
+        assert max(lat) < 2_000_000
+
+
+class TestClockSyncIntegration:
+    def test_brisk_sync_tightens_skew(self):
+        sim, dep, consumer = build(
+            n_nodes=8, rate_hz=50, max_offset_us=20_000, max_drift_ppm=5
+        )
+        dep.start()
+        initial = dep.true_skew_spread()
+        dep.run(60.0)
+        final = dep.true_skew_spread()
+        assert initial > 5_000
+        assert final < initial / 10
+        assert final < 1_000
+
+    def test_clocks_never_step_backwards_under_brisk(self):
+        sim, dep, consumer = build(n_nodes=4, max_offset_us=10_000)
+        readings = {n.node_id: [] for n in dep.nodes}
+        dep.start()
+        stop = sim.schedule_every(
+            100_000,
+            lambda: [
+                readings[n.node_id].append(n.corrected.read()) for n in dep.nodes
+            ],
+        )
+        dep.run(20.0)
+        for series in readings.values():
+            assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_cristian_baseline_runs(self):
+        sim, dep, consumer = build(
+            n_nodes=4, sync="cristian", max_offset_us=10_000, max_drift_ppm=5
+        )
+        dep.start()
+        dep.run(30.0)
+        assert dep.true_skew_spread() < 2_000
+        assert dep.metrics.sync_rounds >= 5
+
+    def test_no_sync_leaves_skew(self):
+        sim, dep, consumer = build(
+            n_nodes=4, sync="none", max_offset_us=10_000, max_drift_ppm=5
+        )
+        dep.run(10.0)
+        assert dep.true_skew_spread() > 5_000
+        assert dep.metrics.sync_rounds == 0
+
+    def test_skew_monitoring(self):
+        sim, dep, consumer = build(n_nodes=3)
+        dep.start()
+        dep.monitor_skew(interval_us=1_000_000)
+        dep.run(5.0)
+        assert len(dep.metrics.skew_spread_samples) == 5
+
+
+class TestCausalIntegration:
+    def test_tachyon_triggers_extra_round(self):
+        sim = Simulator(seed=5)
+        consumer = CollectingConsumer()
+        dep = SimDeployment(sim, DeploymentConfig(), [consumer])
+        # Two nodes, wildly skewed, NO warmup correction of the emitter.
+        a = dep.add_node(offset_us=0)
+        b = dep.add_node(offset_us=-500_000)  # half a second behind
+        dep.config = DeploymentConfig(warmup_sync_rounds=0)
+        dep.start()
+
+        def cause_and_effect():
+            a.sensor.notice_reason(1, 42)
+            sim.schedule(
+                1_000, lambda: b.sensor.notice_conseq(2, 42)
+            )
+
+        sim.schedule(100_000, cause_and_effect)
+        dep.run(3.0)
+        dep.stop()
+        assert dep.ism.cre.stats.tachyons_fixed >= 1
+        assert dep.metrics.extra_sync_rounds >= 1
+        by_event = {r.event_id: r for r in consumer.records}
+        assert by_event[2].timestamp > by_event[1].timestamp
+
+    def test_causal_pairs_ordered_in_output(self):
+        sim = Simulator(seed=6)
+        consumer = CollectingConsumer()
+        dep = SimDeployment(sim, DeploymentConfig(), [consumer])
+        a = dep.add_node(offset_us=5_000, drift_ppm=10)
+        b = dep.add_node(offset_us=-5_000, drift_ppm=-10)
+        dep.start()
+        n_pairs = 50
+
+        def emit_pair(k):
+            a.sensor.notice_reason(1, k)
+            sim.schedule(500, lambda: b.sensor.notice_conseq(2, k))
+
+        for k in range(n_pairs):
+            sim.schedule(50_000 + k * 20_000, emit_pair, k)
+        dep.run(5.0)
+        dep.stop()
+        position = {
+            (r.event_id, (r.reason_ids or r.conseq_ids)[0]): i
+            for i, r in enumerate(consumer.records)
+            if r.is_causal
+        }
+        for k in range(n_pairs):
+            assert position[(1, k)] < position[(2, k)]
+
+
+class TestScalingBehaviour:
+    @pytest.mark.parametrize("n_nodes", [1, 4, 8])
+    def test_throughput_scales_with_nodes(self, n_nodes):
+        sim, dep, consumer = build(n_nodes=n_nodes, rate_hz=300)
+        dep.run(5.0)
+        dep.stop()
+        emitted = sum(n.sensor.emitted for n in dep.nodes)
+        assert len(consumer.records) == emitted
+        assert emitted > 1_200 * n_nodes
+
+    def test_add_node_after_start_rejected(self):
+        sim, dep, consumer = build()
+        dep.start()
+        with pytest.raises(RuntimeError):
+            dep.add_node()
+
+    def test_double_start_rejected(self):
+        sim, dep, consumer = build()
+        dep.start()
+        with pytest.raises(RuntimeError):
+            dep.start()
+
+    def test_unknown_sync_algorithm_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SimDeployment(sim, sync_algorithm="ntp")

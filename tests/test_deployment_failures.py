@@ -1,0 +1,134 @@
+"""Integration tests: ISM overload modelling and node failure injection."""
+
+import pytest
+
+from repro.core.consumers import CollectingConsumer
+from repro.core.records import FieldType
+from repro.core.sorting import SorterConfig
+from repro.core.ism import IsmConfig
+from repro.core.cre import CreConfig
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.workload import PoissonWorkload
+
+
+class TestIsmServiceModel:
+    def run_at_rate(self, rate_hz: float, service_us: float) -> SimDeployment:
+        sim = Simulator(seed=8)
+        dep = SimDeployment(
+            sim,
+            DeploymentConfig(
+                ism_service_time_us=service_us,
+                exs_poll_interval_us=10_000,
+            ),
+            [CollectingConsumer()],
+        )
+        for node in dep.add_nodes(2, max_offset_us=100, max_drift_ppm=1):
+            dep.attach_workload(node, PoissonWorkload(rate_hz=rate_hz / 2))
+        dep.run(5.0)
+        return dep
+
+    def test_underload_delivers_everything(self):
+        # 1,000 ev/s at 20 µs/record = 2% utilization.
+        dep = self.run_at_rate(1_000, service_us=20.0)
+        dep.stop()
+        emitted = sum(n.sensor.emitted for n in dep.nodes)
+        assert dep.ism.stats.records_received == emitted
+        assert dep.metrics.ism_busy_us > 0
+
+    def test_busy_time_tracks_load(self):
+        light = self.run_at_rate(500, service_us=20.0)
+        heavy = self.run_at_rate(4_000, service_us=20.0)
+        assert heavy.metrics.ism_busy_us > 4 * light.metrics.ism_busy_us
+
+    def test_saturation_caps_delivery_rate(self):
+        # 10,000 ev/s offered at 500 µs/record = 5x overload: the modelled
+        # ISM can absorb at most 2,000 records/s.
+        dep = self.run_at_rate(10_000, service_us=500.0)
+        received = dep.ism.stats.records_received
+        assert received <= 2_000 * 5 * 1.1
+        # The server really was the bottleneck: busy ~the whole run.
+        assert dep.metrics.ism_busy_us >= 4_500_000
+
+    def test_zero_service_time_is_instant(self):
+        dep = self.run_at_rate(1_000, service_us=0.0)
+        assert dep.metrics.ism_busy_us == 0
+
+
+class TestNodeFailure:
+    def build(self, seed=3):
+        sim = Simulator(seed=seed)
+        collected = CollectingConsumer()
+        config = DeploymentConfig(
+            sync_period_us=2_000_000,
+            ism=IsmConfig(
+                sorter=SorterConfig(initial_frame_us=5_000),
+                cre=CreConfig(timeout_us=1_000_000),
+                expire_interval_us=100_000,
+            ),
+        )
+        dep = SimDeployment(sim, config, [collected])
+        nodes = dep.add_nodes(3, max_offset_us=5_000, max_drift_ppm=5)
+        for node in nodes:
+            dep.attach_workload(node, PoissonWorkload(rate_hz=200))
+        return sim, dep, collected
+
+    def test_survivors_keep_flowing_after_crash(self):
+        sim, dep, collected = self.build()
+        dep.start()
+        victim = dep.nodes[0]
+        sim.schedule(2_000_000, dep.kill_node, victim)
+        dep.run(6.0)
+        dep.stop()
+        survivors = {r.node_id for r in collected.records if r.timestamp > 0}
+        assert {2, 3} <= survivors
+        # The victim stopped emitting shortly after the crash.
+        victim_records = [r for r in collected.records if r.node_id == 1]
+        live_records = [r for r in collected.records if r.node_id == 2]
+        assert len(victim_records) < len(live_records)
+
+    def test_sync_continues_over_survivors(self):
+        sim, dep, collected = self.build()
+        dep.start()
+        sim.schedule(1_000_000, dep.kill_node, dep.nodes[0])
+        dep.run(20.0)
+        # Master rebuilt over 2 slaves and still converging.
+        assert dep.sync_master is not None
+        assert len(dep.sync_master.slaves) == 2
+        assert dep.true_skew_spread() < 2_000
+
+    def test_kill_is_idempotent(self):
+        sim, dep, _ = self.build()
+        dep.start()
+        dep.kill_node(dep.nodes[0])
+        dep.kill_node(dep.nodes[0])
+        assert len(dep.alive_nodes) == 2
+
+    def test_orphaned_causal_peers_time_out(self):
+        sim, dep, collected = self.build()
+        a, b = dep.nodes[0], dep.nodes[1]
+        dep.start()
+
+        def orphaned_conseq():
+            # b's consequence whose reason would have come from a — but a
+            # is about to die without ever publishing it.
+            b.sensor.notice_conseq(2, 424242)
+
+        sim.schedule(500_000, orphaned_conseq)
+        sim.schedule(600_000, dep.kill_node, a)
+        dep.run(5.0)
+        dep.stop()
+        # The parked consequence was released by timeout, not lost.
+        orphans = [r for r in collected.records if r.conseq_ids == (424242,)]
+        assert len(orphans) == 1
+        assert dep.ism.cre.stats.timed_out_consequences >= 1
+        assert dep.ism.cre.parked_count == 0
+
+    def test_all_nodes_dead_disables_sync(self):
+        sim, dep, _ = self.build()
+        dep.start()
+        for node in list(dep.nodes):
+            dep.kill_node(node)
+        assert dep.sync_master is None
+        assert dep.alive_nodes == []
+        dep.run(2.0)  # and nothing wedges

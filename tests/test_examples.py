@@ -1,0 +1,53 @@
+"""Every example must run clean — examples are executable documentation.
+
+Each example is executed as a real subprocess (its own interpreter, like
+a user would run it) and must exit 0.  ``clock_sync_study.py`` is skipped
+here only for suite runtime (it simulates 4 × 10 minutes); it is executed
+by the E6 benchmarks' code paths regardless.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "causal_tracing.py",
+    "sorting_tuning.py",
+    "transparent_monitoring.py",
+    "realtime_visualizer.py",
+    "stencil_monitoring.py",
+    "adaptive_monitoring.py",
+    "distributed_pipeline.py",
+    "cli_tools_demo.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs_clean(name):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example {name} missing"
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nSTDOUT:\n{result.stdout[-2000:]}\n"
+        f"STDERR:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_all_examples_are_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"clock_sync_study.py"}
+    assert on_disk == covered, (
+        "examples drifted out of sync with the test list: "
+        f"unlisted={on_disk - covered}, missing={covered - on_disk}"
+    )

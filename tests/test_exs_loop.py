@@ -1,0 +1,68 @@
+"""Unit tests for the reference EXS driver loop (`run_exs_loop`)."""
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.exs import ExsConfig, ExternalSensor, run_exs_loop
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.wire import protocol
+
+from tests.test_clocks import FakeTime
+
+
+def build(config=ExsConfig(batch_max_records=8, flush_timeout_us=0)):
+    t = FakeTime(1_000)
+    ring = ring_for_records(1_000)
+    sensor = Sensor(ring, node_id=2, clock=t)
+    exs = ExternalSensor(2, 2, ring, CorrectedClock(t), config)
+    return t, sensor, exs
+
+
+class TestRunExsLoop:
+    def test_ships_then_flushes_on_stop(self):
+        t, sensor, exs = build()
+        for k in range(20):
+            sensor.notice_ints(1, k)
+        sent: list[bytes] = []
+        iterations = [0]
+
+        def should_stop() -> bool:
+            iterations[0] += 1
+            return iterations[0] > 3
+
+        run_exs_loop(
+            exs,
+            send=sent.append,
+            should_stop=should_stop,
+            sleep=lambda s: None,
+        )
+        records = [
+            r
+            for payload in sent
+            for r in protocol.decode_message(payload).records
+        ]
+        assert len(records) == 20  # everything shipped incl. final flush
+
+    def test_sleeps_only_when_idle(self):
+        t, sensor, exs = build()
+        sleeps: list[float] = []
+        iterations = [0]
+
+        def should_stop() -> bool:
+            iterations[0] += 1
+            if iterations[0] == 2:
+                # Data appears between iterations 2 and 3.
+                sensor.notice_ints(1, 42)
+            return iterations[0] > 4
+
+        sent: list[bytes] = []
+        run_exs_loop(
+            exs,
+            send=sent.append,
+            should_stop=should_stop,
+            sleep=sleeps.append,
+            poll_interval_s=0.04,
+        )
+        # Idle iterations slept the select interval; the busy one did not.
+        assert sleeps.count(0.04) >= 2
+        assert len(sleeps) < 4
+        assert sent  # the record still went out

@@ -1,0 +1,194 @@
+"""Unit tests for event filtering and the multi-ring external sensor."""
+
+import pytest
+
+from repro.clocksync.clocks import CorrectedClock, DriftingClock
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.filtering import FilterSpec, FilterState, FilteringConsumer
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.wire import protocol
+
+from tests.conftest import make_record
+from tests.test_clocks import FakeTime
+
+
+class TestFilterSpec:
+    def test_pass_through_default(self):
+        spec = FilterSpec()
+        assert spec.is_pass_through
+        assert spec.admits(make_record())
+
+    def test_whitelist(self):
+        spec = FilterSpec(allowed_events={1, 2})
+        assert spec.admits(make_record(event_id=1))
+        assert not spec.admits(make_record(event_id=3))
+
+    def test_empty_whitelist_blocks_everything(self):
+        spec = FilterSpec(allowed_events=frozenset())
+        assert not spec.admits(make_record(event_id=1))
+
+    def test_blocklist_applies_after_whitelist(self):
+        spec = FilterSpec(allowed_events={1, 2}, blocked_events={2})
+        assert spec.admits(make_record(event_id=1))
+        assert not spec.admits(make_record(event_id=2))
+
+    def test_node_filter(self):
+        spec = FilterSpec(allowed_nodes={5})
+        assert spec.admits(make_record(node_id=5))
+        assert not spec.admits(make_record(node_id=6))
+
+    def test_normalizes_plain_iterables(self):
+        spec = FilterSpec(allowed_events=[1, 2], blocked_events=[3])
+        assert isinstance(spec.allowed_events, frozenset)
+        assert isinstance(spec.blocked_events, frozenset)
+        assert hash(spec)  # stays hashable
+
+    def test_sample_every_validation(self):
+        with pytest.raises(ValueError):
+            FilterSpec(sample_every=0)
+
+
+class TestFilterState:
+    def test_sampling_keeps_every_nth_per_event(self):
+        state = FilterState(FilterSpec(sample_every=3))
+        kept = [state.admit(make_record(event_id=1)) for _ in range(9)]
+        assert kept == [True, False, False] * 3
+        # A different event id has its own counter.
+        assert state.admit(make_record(event_id=2))
+
+    def test_counters(self):
+        state = FilterState(FilterSpec(blocked_events={9}))
+        state.admit(make_record(event_id=9))
+        state.admit(make_record(event_id=1))
+        assert state.dropped == 1
+        assert state.passed == 1
+
+
+class TestFilteringConsumer:
+    def test_inner_sees_only_admitted(self):
+        inner = CollectingConsumer()
+        consumer = FilteringConsumer(inner, FilterSpec(allowed_events={1}))
+        consumer.deliver(make_record(event_id=1))
+        consumer.deliver(make_record(event_id=2))
+        assert [r.event_id for r in inner.records] == [1]
+
+    def test_close_propagates(self):
+        class Closeable(CollectingConsumer):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        inner = Closeable()
+        FilteringConsumer(inner, FilterSpec()).close()
+        assert inner.closed
+
+
+class TestSetFilterMessage:
+    def test_roundtrip(self):
+        msg = protocol.SetFilter(
+            allow_all_events=False,
+            allowed_events=(1, 2, 3),
+            blocked_events=(9,),
+            sample_every=5,
+        )
+        assert protocol.decode_message(protocol.encode_message(msg)) == msg
+
+    def test_spec_roundtrip(self):
+        spec = FilterSpec(allowed_events={4, 5}, blocked_events={5}, sample_every=2)
+        rebuilt = protocol.SetFilter.from_spec(spec).to_spec()
+        assert rebuilt.allowed_events == spec.allowed_events
+        assert rebuilt.blocked_events == spec.blocked_events
+        assert rebuilt.sample_every == spec.sample_every
+
+    def test_allow_all_distinct_from_empty_whitelist(self):
+        allow_all = protocol.SetFilter(allow_all_events=True).to_spec()
+        block_all = protocol.SetFilter(allow_all_events=False).to_spec()
+        assert allow_all.admits(make_record())
+        assert not block_all.admits(make_record())
+
+
+def make_exs(rings, config=ExsConfig(batch_max_records=1000, flush_timeout_us=0)):
+    t = FakeTime(1_000_000)
+    clock = CorrectedClock(DriftingClock(t))
+    return t, ExternalSensor(1, 1, rings, clock, config)
+
+
+class TestExsFiltering:
+    def test_filter_applied_before_shipping(self):
+        ring = ring_for_records(100)
+        sensor = Sensor(ring, node_id=1, clock=FakeTime(5))
+        t, exs = make_exs(ring)
+        exs.on_set_filter(
+            protocol.SetFilter(allow_all_events=False, allowed_events=(1,))
+        )
+        sensor.notice_ints(1, 10)
+        sensor.notice_ints(2, 20)
+        sensor.notice_ints(1, 30)
+        batches = [protocol.decode_message(p) for p in exs.flush()]
+        shipped = [r.values[0] for b in batches for r in b.records]
+        assert shipped == [10, 30]
+        assert exs.stats.records_filtered == 1
+
+    def test_pass_through_filter_cleared(self):
+        ring = ring_for_records(100)
+        t, exs = make_exs(ring)
+        exs.on_set_filter(protocol.SetFilter(allow_all_events=False))
+        assert exs.filter is not None
+        exs.on_set_filter(protocol.SetFilter())  # reset to keep-all
+        assert exs.filter is None
+
+
+class TestMultiRingExs:
+    def test_drains_all_rings_merged_by_timestamp(self):
+        clock_a, clock_b = FakeTime(0), FakeTime(0)
+        ring_a, ring_b = ring_for_records(100), ring_for_records(100)
+        sensor_a = Sensor(ring_a, node_id=1, clock=clock_a)
+        sensor_b = Sensor(ring_b, node_id=1, clock=clock_b)
+        # Interleaved timestamps across the two application processes.
+        for ts in (10, 30, 50):
+            clock_a.value = ts
+            sensor_a.notice_ints(1, ts)
+        for ts in (20, 40, 60):
+            clock_b.value = ts
+            sensor_b.notice_ints(2, ts)
+        t, exs = make_exs([ring_a, ring_b])
+        batches = [protocol.decode_message(p) for p in exs.flush()]
+        shipped = [r.values[0] for b in batches for r in b.records]
+        assert shipped == [10, 20, 30, 40, 50, 60]
+        assert exs.stats.records_drained == 6
+
+    def test_add_ring_later(self):
+        ring_a = ring_for_records(100)
+        t, exs = make_exs(ring_a)
+        ring_b = ring_for_records(100)
+        exs.add_ring(ring_b)
+        Sensor(ring_b, node_id=1, clock=FakeTime(1)).notice_ints(9, 1)
+        batches = [protocol.decode_message(p) for p in exs.flush()]
+        assert sum(len(b.records) for b in batches) == 1
+
+    def test_single_ring_accessor(self):
+        ring = ring_for_records(100)
+        _, exs = make_exs(ring)
+        assert exs.ring is ring
+
+    def test_requires_a_ring(self):
+        with pytest.raises(ValueError):
+            make_exs([])
+
+    def test_drain_limit_shared_across_rings(self):
+        rings = [ring_for_records(1000) for _ in range(4)]
+        clock = FakeTime(1)
+        for ring in rings:
+            sensor = Sensor(ring, node_id=1, clock=clock)
+            for k in range(10):
+                sensor.notice_ints(1, k)
+        t, exs = make_exs(
+            rings, ExsConfig(batch_max_records=1000, drain_limit=8,
+                             flush_timeout_us=10**9)
+        )
+        exs.poll(now_local=1)
+        # 8 // 4 rings = 2 records pulled per ring this cycle.
+        assert exs.stats.records_drained == 8

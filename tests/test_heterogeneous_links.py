@@ -1,0 +1,62 @@
+"""Integration tests: heterogeneous per-node links.
+
+One slow/distant node among fast local ones is the bread-and-butter
+monitoring scenario: its records arrive late, and the ISM's adaptive
+time frame must stretch to cover exactly that straggler — no more.
+"""
+
+import pytest
+
+from repro.core.consumers import CollectingConsumer
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.network import LinkModelConfig
+from repro.sim.workload import PoissonWorkload
+
+FAST = LinkModelConfig(base_delay_us=200, jitter_mean_us=20)
+SLOW = LinkModelConfig(base_delay_us=20_000, jitter_mean_us=2_000)
+
+
+class TestHeterogeneousLinks:
+    def build(self, slow_links: bool):
+        sim = Simulator(seed=4)
+        collected = CollectingConsumer()
+        dep = SimDeployment(
+            sim, DeploymentConfig(link=FAST, exs_poll_interval_us=10_000),
+            [collected],
+        )
+        for k in range(3):
+            dep.add_node()
+        dep.add_node(link=SLOW if slow_links else None)
+        for node in dep.nodes:
+            dep.attach_workload(node, PoissonWorkload(rate_hz=200))
+        return sim, dep, collected
+
+    def test_per_node_link_override_applies(self):
+        sim, dep, _ = self.build(slow_links=True)
+        assert dep.nodes[3].uplink.config is SLOW
+        assert dep.nodes[0].uplink.config is FAST
+
+    def test_all_records_still_delivered(self):
+        sim, dep, collected = self.build(slow_links=True)
+        dep.run(10.0)
+        dep.stop()
+        emitted = sum(n.sensor.emitted for n in dep.nodes)
+        assert len(collected.records) == emitted
+        assert {r.node_id for r in collected.records} == {1, 2, 3, 4}
+
+    def test_straggler_stretches_the_time_frame(self):
+        sim_f, dep_fast, _ = self.build(slow_links=False)
+        dep_fast.run(10.0)
+        sim_s, dep_slow, _ = self.build(slow_links=True)
+        dep_slow.run(10.0)
+        # The slow node's ~20 ms extra transit forces a larger frame.
+        assert dep_slow.ism.sorter.frame_us > dep_fast.ism.sorter.frame_us + 10_000
+
+    def test_output_still_mostly_ordered(self):
+        sim, dep, collected = self.build(slow_links=True)
+        dep.run(10.0)
+        dep.stop()
+        ts = [r.timestamp for r in collected.records]
+        inversions = sum(1 for a, b in zip(ts, ts[1:]) if b < a)
+        assert inversions / len(ts) < 0.02

@@ -1,0 +1,252 @@
+"""Unit tests for transparent instrumentation: spans, tracer, channels."""
+
+import pytest
+
+from repro.core.records import FieldType
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.instrument.messaging import CausalChannel, CausalToken
+from repro.instrument.spans import SpanEvents, instrumented, span
+from repro.instrument.tracer import FunctionTracer, TracerEvents
+
+
+def make_sensor(node_id: int = 1) -> Sensor:
+    return Sensor(ring_for_records(10_000), node_id=node_id)
+
+
+class TestSpans:
+    def test_span_emits_begin_end_pair(self):
+        sensor = make_sensor()
+        with span(sensor, "solve"):
+            pass
+        begin = sensor.ring.pop()
+        end = sensor.ring.pop()
+        assert begin.event_id == SpanEvents().begin
+        assert end.event_id == SpanEvents().end
+        assert begin.values[0] == end.values[0]  # same span id
+        assert begin.values[1] == "solve"
+        assert end.timestamp >= begin.timestamp
+
+    def test_span_ends_on_exception(self):
+        sensor = make_sensor()
+        with pytest.raises(RuntimeError):
+            with span(sensor, "crashy"):
+                raise RuntimeError("boom")
+        records = sensor.ring.drain()
+        assert [r.event_id for r in records] == [
+            SpanEvents().begin, SpanEvents().end,
+        ]
+
+    def test_nested_spans_have_distinct_ids(self):
+        sensor = make_sensor()
+        with span(sensor, "outer"):
+            with span(sensor, "inner"):
+                pass
+        records = sensor.ring.drain()
+        ids = {r.values[0] for r in records}
+        assert len(ids) == 2
+        # outer-begin, inner-begin, inner-end, outer-end
+        assert [r.values[1] for r in records] == [
+            "outer", "inner", "inner", "outer",
+        ]
+
+    def test_decorator_uses_qualname(self):
+        sensor = make_sensor()
+
+        @instrumented(sensor)
+        def compute(x):
+            return x * 2
+
+        assert compute(21) == 42
+        begin = sensor.ring.pop()
+        assert "compute" in begin.values[1]
+
+    def test_decorator_custom_label_and_events(self):
+        sensor = make_sensor()
+        events = SpanEvents(begin=5, end=6)
+
+        @instrumented(sensor, label="phase-1", events=events)
+        def go():
+            pass
+
+        go()
+        records = sensor.ring.drain()
+        assert [r.event_id for r in records] == [5, 6]
+        assert records[0].values[1] == "phase-1"
+
+
+def _workload_a(n: int) -> int:
+    total = 0
+    for k in range(n):
+        total += _workload_b(k)
+    return total
+
+
+def _workload_b(k: int) -> int:
+    return k * k
+
+
+class TestFunctionTracer:
+    def test_traces_matching_module_only(self):
+        sensor = make_sensor()
+        with FunctionTracer(sensor, include=(__name__,)) as tracer:
+            _workload_a(3)
+        assert tracer.calls_traced == 4  # _workload_a + 3 × _workload_b
+        records = sensor.ring.drain()
+        calls = [r for r in records if r.event_id == TracerEvents().call]
+        rets = [r for r in records if r.event_id == TracerEvents().ret]
+        assert len(calls) == len(rets) == 4
+
+    def test_emits_function_name_table(self):
+        sensor = make_sensor()
+        with FunctionTracer(sensor, include=(__name__,)) as tracer:
+            _workload_a(1)
+        defines = [
+            r for r in sensor.ring.drain()
+            if r.event_id == TracerEvents().define
+        ]
+        names = {r.values[1] for r in defines}
+        assert any("_workload_a" in n for n in names)
+        assert any("_workload_b" in n for n in names)
+        assert set(tracer.function_names.values()) == names
+
+    def test_nothing_traced_without_includes(self):
+        from repro.core.catalog import CATALOG_EVENT_ID
+
+        sensor = make_sensor()
+        with FunctionTracer(sensor, include=()) as tracer:
+            _workload_a(2)
+        assert tracer.calls_traced == 0
+        # Only the tracer's own catalog announcements are in the ring.
+        leftover = sensor.ring.drain()
+        assert all(r.event_id == CATALOG_EVENT_ID for r in leftover)
+
+    def test_catalog_announced_once(self):
+        from repro.core.catalog import CATALOG_EVENT_ID, EventCatalog
+
+        sensor = make_sensor()
+        tracer = FunctionTracer(sensor, include=())
+        tracer.start()
+        tracer.stop()
+        tracer.start()
+        tracer.stop()
+        records = sensor.ring.drain()
+        defs = [r for r in records if r.event_id == CATALOG_EVENT_ID]
+        assert len(defs) == 3  # call/return/define, announced once
+        catalog = EventCatalog.from_trace(defs)
+        assert catalog.name_of(TracerEvents().call) == "tracer.call"
+
+    def test_depth_limit(self):
+        sensor = make_sensor()
+
+        def recurse(n):
+            if n:
+                recurse(n - 1)
+
+        with FunctionTracer(sensor, include=(__name__,), max_depth=3) as tracer:
+            recurse(10)
+        assert tracer.calls_traced == 3
+        assert tracer.calls_skipped == 8
+
+    def test_depth_field_recorded(self):
+        sensor = make_sensor()
+        with FunctionTracer(sensor, include=(__name__,)):
+            _workload_a(1)
+        calls = [
+            r for r in sensor.ring.drain()
+            if r.event_id == TracerEvents().call
+        ]
+        depths = [r.values[1] for r in calls]
+        assert depths == [1, 2]
+
+    def test_start_stop_idempotent(self):
+        tracer = FunctionTracer(make_sensor(), include=())
+        tracer.start()
+        tracer.start()
+        tracer.stop()
+        tracer.stop()
+
+    def test_max_depth_validation(self):
+        with pytest.raises(ValueError):
+            FunctionTracer(make_sensor(), include=(), max_depth=0)
+
+
+class TestCausalChannel:
+    def test_send_emits_reason_recv_emits_conseq(self):
+        sender = make_sensor(node_id=1)
+        receiver = make_sensor(node_id=2)
+        tx = CausalChannel(sender)
+        rx = CausalChannel(receiver)
+        token = tx.note_send(tag=42)
+        rx.note_recv(token, tag=42)
+        sent = sender.ring.pop()
+        received = receiver.ring.pop()
+        assert sent.reason_ids == (token.cid,)
+        assert received.conseq_ids == (token.cid,)
+        assert sent.values[1] == received.values[1] == 42
+        assert tx.sends == rx.receives == 1
+
+    def test_ids_unique_across_nodes(self):
+        a = CausalChannel(make_sensor(node_id=1))
+        b = CausalChannel(make_sensor(node_id=2))
+        ids_a = {a.note_send().cid for _ in range(100)}
+        ids_b = {b.note_send().cid for _ in range(100)}
+        assert not ids_a & ids_b
+
+    def test_ids_unique_within_node(self):
+        channel = CausalChannel(make_sensor(node_id=3))
+        ids = [channel.note_send().cid for _ in range(1000)]
+        assert len(set(ids)) == 1000
+
+    def test_token_pack_roundtrip(self):
+        token = CausalToken(cid=0xDEADBEEF, origin_node=17)
+        assert CausalToken.unpack(token.pack()) == token
+
+    def test_token_unpack_validates_length(self):
+        with pytest.raises(ValueError):
+            CausalToken.unpack(b"short")
+
+    def test_node_id_must_fit_node_bits(self):
+        sensor = make_sensor(node_id=2048)
+        with pytest.raises(ValueError):
+            CausalChannel(sensor, node_bits=10)
+
+    def test_node_bits_validation(self):
+        with pytest.raises(ValueError):
+            CausalChannel(make_sensor(), node_bits=0)
+
+    def test_end_to_end_through_ism(self):
+        """Channel markers survive the full pipeline and order causally."""
+        from repro.core.consumers import CollectingConsumer
+        from repro.sim.deployment import DeploymentConfig, SimDeployment
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=4)
+        collected = CollectingConsumer()
+        dep = SimDeployment(
+            sim, DeploymentConfig(warmup_sync_rounds=0), [collected]
+        )
+        node_a = dep.add_node(offset_us=50_000)
+        node_b = dep.add_node(offset_us=-50_000)
+        tx = CausalChannel(node_a.sensor)
+        rx = CausalChannel(node_b.sensor)
+        dep.start()
+
+        def exchange():
+            token = tx.note_send()
+            sim.schedule(500, rx.note_recv, token)
+
+        for k in range(10):
+            sim.schedule(100_000 + k * 100_000, exchange)
+        dep.run(3.0)
+        dep.stop()
+        sends = [r for r in collected.records if r.reason_ids]
+        recvs = [r for r in collected.records if r.conseq_ids]
+        assert len(sends) == len(recvs) == 10
+        order = {(tuple(r.reason_ids), tuple(r.conseq_ids)): i
+                 for i, r in enumerate(collected.records) if r.is_causal}
+        for send in sends:
+            cid = send.reason_ids[0]
+            send_pos = order[((cid,), ())]
+            recv_pos = order[((), (cid,))]
+            assert send_pos < recv_pos

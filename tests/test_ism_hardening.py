@@ -1,0 +1,108 @@
+"""Tests for ISM consumer fault isolation and related hardening."""
+
+import pytest
+
+from repro.core.consumers import CollectingConsumer
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.sorting import SorterConfig
+from repro.wire import protocol
+
+from tests.conftest import make_record
+
+
+class FlakyConsumer:
+    """Fails on every delivery."""
+
+    def __init__(self):
+        self.attempts = 0
+
+    def deliver(self, record):
+        self.attempts += 1
+        raise RuntimeError("sink exploded")
+
+    def close(self):
+        pass
+
+
+class IntermittentConsumer:
+    """Fails every other delivery — never three in a row."""
+
+    def __init__(self):
+        self.ok = 0
+        self.calls = 0
+
+    def deliver(self, record):
+        self.calls += 1
+        if self.calls % 2 == 0:
+            raise RuntimeError("hiccup")
+        self.ok += 1
+
+    def close(self):
+        pass
+
+
+def build(*consumers, max_errors=3):
+    manager = InstrumentationManager(
+        IsmConfig(
+            sorter=SorterConfig(initial_frame_us=0),
+            max_consumer_errors=max_errors,
+        ),
+        list(consumers),
+    )
+    manager.register_source(1, 1)
+    return manager
+
+
+def feed(manager, n=10):
+    records = tuple(make_record(timestamp=100 + k) for k in range(n))
+    manager.on_batch(protocol.Batch(exs_id=1, seq=0, records=records), now=0)
+    manager.tick(now=10**9)
+
+
+class TestConsumerIsolation:
+    def test_failing_consumer_does_not_break_siblings(self):
+        good = CollectingConsumer()
+        bad = FlakyConsumer()
+        manager = build(bad, good)
+        feed(manager, n=10)
+        assert len(good.records) == 10  # unaffected
+        assert manager.stats.consumer_errors >= 3
+
+    def test_failing_consumer_detached_after_strikes(self):
+        bad = FlakyConsumer()
+        manager = build(bad, CollectingConsumer(), max_errors=3)
+        feed(manager, n=10)
+        assert bad not in manager.consumers
+        assert bad.attempts == 3  # not called again after detach
+        assert manager.stats.consumers_detached == 1
+
+    def test_intermittent_consumer_survives(self):
+        flaky = IntermittentConsumer()
+        manager = build(flaky, max_errors=3)
+        feed(manager, n=20)
+        assert flaky in manager.consumers
+        assert flaky.ok == 10
+        assert manager.stats.consumers_detached == 0
+
+    def test_max_errors_config_validation(self):
+        with pytest.raises(ValueError):
+            IsmConfig(max_consumer_errors=0)
+
+    def test_pipeline_counters_unaffected_by_consumer_failures(self):
+        manager = build(FlakyConsumer())
+        feed(manager, n=5)
+        assert manager.stats.records_delivered == 5
+
+
+class TestDeploymentGuards:
+    def test_attach_workload_after_start_rejected(self):
+        from repro.core.consumers import CollectingConsumer
+        from repro.sim.deployment import DeploymentConfig, SimDeployment
+        from repro.sim.engine import Simulator
+        from repro.sim.workload import PeriodicWorkload
+
+        dep = SimDeployment(Simulator(), DeploymentConfig(), [CollectingConsumer()])
+        node = dep.add_node()
+        dep.start()
+        with pytest.raises(RuntimeError):
+            dep.attach_workload(node, PeriodicWorkload(rate_hz=1))

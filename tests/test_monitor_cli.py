@@ -1,0 +1,124 @@
+"""Integration tests for the ``brisk-monitor`` transparent-monitoring CLI."""
+
+import threading
+
+import pytest
+
+from repro.analysis.trace import Trace
+from repro.core.consumers import CollectingConsumer
+from repro.core.ism import InstrumentationManager
+from repro.instrument.tracer import TracerEvents
+from repro.runtime.ism_proc import IsmServer
+from repro.tools import monitor_cli
+from repro.wire.tcp import MessageListener
+
+SCRIPT = """\
+def fib(n):
+    return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+def work():
+    return [fib(k) for k in range(8)]
+
+if __name__ == "__main__":
+    import sys
+    result = work()
+    assert result[7] == 13
+    sys.stdout.write(f"args={sys.argv[1:]}\\n")
+"""
+
+
+@pytest.fixture
+def script(tmp_path):
+    path = tmp_path / "app.py"
+    path.write_text(SCRIPT)
+    return path
+
+
+class TestMonitorToPicl:
+    def test_writes_trace_of_script_functions(self, script, tmp_path, capsys):
+        out = tmp_path / "run.picl"
+        rc = monitor_cli.main(
+            ["--picl", str(out), "--include", "__main__", str(script)]
+        )
+        assert rc == 0
+        with open(out) as stream:
+            trace = Trace.from_picl(stream)
+        calls = trace.events(TracerEvents().call)
+        assert len(calls) > 10  # fib recursion traced
+        defines = trace.events(TracerEvents().define)
+        names = {r.values[1] for r in defines}
+        assert any("fib" in n for n in names)
+        assert any("work" in n for n in names)
+
+    def test_default_output_path(self, script, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = monitor_cli.main([str(script)])
+        assert rc == 0
+        assert (tmp_path / (script.name + ".picl")).exists() or (
+            script.with_suffix(".py.picl")
+        ).exists()
+
+    def test_script_args_forwarded(self, script, tmp_path, capsys):
+        out = tmp_path / "run.picl"
+        monitor_cli.main(["--picl", str(out), str(script), "hello", "world"])
+        assert "args=['hello', 'world']" in capsys.readouterr().out
+
+    def test_depth_limit_respected(self, script, tmp_path):
+        out = tmp_path / "run.picl"
+        monitor_cli.main(
+            ["--picl", str(out), "--max-depth", "2", str(script)]
+        )
+        with open(out) as stream:
+            trace = Trace.from_picl(stream)
+        depths = [
+            r.values[1] for r in trace.events(TracerEvents().call)
+        ]
+        assert depths and max(depths) <= 2
+
+    def test_script_exit_code_propagates(self, tmp_path):
+        failing = tmp_path / "fail.py"
+        failing.write_text("import sys\nsys.exit(3)\n")
+        rc = monitor_cli.main(["--picl", str(tmp_path / "x.picl"), str(failing)])
+        assert rc == 3
+
+
+class TestSystemMetricsFlag:
+    def test_metrics_records_in_trace(self, script, tmp_path):
+        import pathlib
+
+        if not pathlib.Path("/proc/self/stat").exists():
+            pytest.skip("no procfs on this platform")
+        from repro.core.system_sensor import EV_LOADAVG
+
+        out = tmp_path / "run.picl"
+        rc = monitor_cli.main(
+            ["--picl", str(out), "--system-metrics", "0.01", str(script)]
+        )
+        assert rc == 0
+        with open(out) as stream:
+            trace = Trace.from_picl(stream)
+        assert len(trace.events(EV_LOADAVG)) >= 1
+
+
+class TestMonitorToIsm:
+    def test_ships_to_live_ism(self, script, tmp_path):
+        collected = CollectingConsumer()
+        manager = InstrumentationManager(consumers=[collected])
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+        server_thread = threading.Thread(
+            target=server.serve,
+            kwargs={"duration_s": 30.0, "expected_connections": 1},
+            daemon=True,
+        )
+        server_thread.start()
+        rc = monitor_cli.main(
+            ["--ism", f"{host}:{port}", "--node-id", "7", str(script)]
+        )
+        server_thread.join(timeout=30)
+        listener.close()
+        assert rc == 0
+        assert not server_thread.is_alive()
+        assert manager.stats.records_received > 10
+        assert all(r.node_id == 7 for r in collected.records)

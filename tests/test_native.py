@@ -1,0 +1,96 @@
+"""Unit tests for the native (node-local) binary record layout."""
+
+import pytest
+
+from repro.core import native
+from repro.core.records import EventRecord, FieldType
+
+from tests.conftest import make_mixed_record, make_record
+
+
+class TestPackUnpack:
+    def test_roundtrip_six_ints(self):
+        record = make_record(node_id=4)
+        packed = native.pack_record(record)
+        decoded, consumed = native.unpack_record(packed)
+        assert decoded == record
+        assert consumed == len(packed)
+
+    def test_roundtrip_all_field_types(self):
+        record = make_mixed_record()
+        decoded, _ = native.unpack_record(native.pack_record(record))
+        assert decoded == record
+
+    def test_roundtrip_empty_record(self):
+        record = EventRecord(event_id=3, timestamp=-5)
+        decoded, _ = native.unpack_record(native.pack_record(record))
+        assert decoded == record
+
+    def test_packed_size_matches_pack(self):
+        for record in (make_record(), make_mixed_record(), EventRecord(0, 0)):
+            assert native.packed_size(record) == len(native.pack_record(record))
+
+    def test_negative_timestamp_roundtrip(self):
+        record = make_record(timestamp=-(2**62))
+        decoded, _ = native.unpack_record(native.pack_record(record))
+        assert decoded.timestamp == -(2**62)
+
+    def test_causal_flag_set(self):
+        record = EventRecord(
+            event_id=1,
+            timestamp=0,
+            field_types=(FieldType.X_REASON,),
+            values=(9,),
+        )
+        packed = native.pack_record(record)
+        header = native.HEADER.unpack_from(packed)
+        assert header[4] & native.FLAG_CAUSAL
+        plain = native.pack_record(make_record())
+        assert not native.HEADER.unpack_from(plain)[4] & native.FLAG_CAUSAL
+
+    def test_offset_decoding(self):
+        a = native.pack_record(make_record(event_id=1))
+        b = native.pack_record(make_record(event_id=2))
+        buf = a + b
+        rec_a, next_off = native.unpack_record(buf, 0)
+        rec_b, end = native.unpack_record(buf, next_off)
+        assert (rec_a.event_id, rec_b.event_id) == (1, 2)
+        assert end == len(buf)
+
+    def test_unpack_all(self):
+        records = [make_record(event_id=i) for i in range(5)]
+        buf = b"".join(native.pack_record(r) for r in records)
+        assert native.unpack_all(buf) == records
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        packed = native.pack_record(make_record())
+        with pytest.raises(native.NativeCodecError):
+            native.unpack_record(packed[: native.HEADER_SIZE - 1])
+
+    def test_truncated_body(self):
+        packed = native.pack_record(make_record())
+        with pytest.raises(native.NativeCodecError):
+            native.unpack_record(packed[:-1])
+
+    def test_unknown_field_type(self):
+        packed = bytearray(native.pack_record(make_record(n_ints=1)))
+        packed[native.HEADER_SIZE] = 0xEE  # corrupt the field tag
+        with pytest.raises(native.NativeCodecError):
+            native.unpack_record(bytes(packed))
+
+    def test_length_out_of_bounds(self):
+        packed = bytearray(native.pack_record(make_record()))
+        packed[0:4] = (len(packed) + 100).to_bytes(4, "little")
+        with pytest.raises(native.NativeCodecError):
+            native.unpack_record(bytes(packed))
+
+    def test_stray_bytes_inside_record(self):
+        record = make_record(n_ints=1)
+        packed = bytearray(native.pack_record(record))
+        # Claim one field but lengthen the record.
+        packed[0:4] = (len(packed) + 4).to_bytes(4, "little")
+        packed += b"\x00\x00\x00\x00"
+        with pytest.raises(native.NativeCodecError):
+            native.unpack_record(bytes(packed))

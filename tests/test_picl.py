@@ -1,0 +1,131 @@
+"""Unit tests for PICL trace format reading and writing."""
+
+import io
+
+import pytest
+
+from repro.core.records import EventRecord, FieldType
+from repro.picl.format import (
+    PiclParseError,
+    PiclReader,
+    PiclWriter,
+    TimestampMode,
+    USER_EVENT_RECORD_TYPE,
+    dumps,
+    parse_line,
+    picl_to_line,
+    picl_to_record,
+    record_to_picl,
+)
+
+from tests.conftest import make_mixed_record, make_record
+
+
+class TestConversion:
+    def test_record_maps_to_user_event(self):
+        picl = record_to_picl(make_record(node_id=3))
+        assert picl.record_type == USER_EVENT_RECORD_TYPE
+        assert picl.event_type == 1
+        assert picl.node == 3
+        assert picl.timestamp == 1_000_000
+
+    def test_utc_mode_keeps_integer_micros(self):
+        picl = record_to_picl(make_record(timestamp=123), TimestampMode.UTC_MICROS)
+        assert picl.timestamp == 123
+        assert isinstance(picl.timestamp, int)
+
+    def test_relative_mode_floating_seconds(self):
+        picl = record_to_picl(
+            make_record(timestamp=2_500_000),
+            TimestampMode.RELATIVE_SECONDS,
+            epoch_us=500_000,
+        )
+        assert picl.timestamp == pytest.approx(2.0)
+
+    def test_picl_to_record_roundtrip(self):
+        record = make_record(node_id=2)
+        assert picl_to_record(record_to_picl(record)) == record
+
+    def test_picl_to_record_rejects_relative(self):
+        picl = record_to_picl(make_record(), TimestampMode.RELATIVE_SECONDS)
+        with pytest.raises(PiclParseError):
+            picl_to_record(picl)
+
+
+class TestLineFormat:
+    def test_line_roundtrip_six_ints(self):
+        picl = record_to_picl(make_record())
+        assert parse_line(picl_to_line(picl)) == picl
+
+    def test_line_roundtrip_all_types(self):
+        picl = record_to_picl(make_mixed_record())
+        parsed = parse_line(picl_to_line(picl))
+        for (t1, v1), (t2, v2) in zip(picl.fields, parsed.fields):
+            assert t1 == t2
+            if t1 is FieldType.X_FLOAT:
+                assert v2 == pytest.approx(v1)
+            else:
+                assert v2 == v1
+
+    def test_string_with_spaces_and_quotes(self):
+        record = EventRecord(
+            event_id=1,
+            timestamp=0,
+            field_types=(FieldType.X_STRING,),
+            values=('say "hi"\tnow\nok \\ done',),
+        )
+        picl = record_to_picl(record)
+        assert parse_line(picl_to_line(picl)) == picl
+
+    def test_empty_opaque(self):
+        record = EventRecord(
+            event_id=1,
+            timestamp=0,
+            field_types=(FieldType.X_OPAQUE,),
+            values=(b"",),
+        )
+        picl = record_to_picl(record)
+        assert parse_line(picl_to_line(picl)) == picl
+
+    def test_relative_timestamp_formatting(self):
+        picl = record_to_picl(
+            make_record(timestamp=1_234_567), TimestampMode.RELATIVE_SECONDS
+        )
+        line = picl_to_line(picl)
+        assert "1.234567" in line
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "-3 1 2",  # too few tokens
+            "-3 1 2 3 1",  # claims one field, provides none
+            "-3 1 2 3 1 99 5",  # unknown field type code
+            "x 1 2 3 0",  # non-numeric record type
+            '-3 1 2 3 1 10 "unterminated',
+        ],
+    )
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(PiclParseError):
+            parse_line(line)
+
+
+class TestStreams:
+    def test_writer_reader_roundtrip(self):
+        records = [make_record(event_id=i, timestamp=i * 100) for i in range(5)]
+        buf = io.StringIO()
+        writer = PiclWriter(buf)
+        writer.write_all(records)
+        assert writer.lines_written == 5
+        buf.seek(0)
+        parsed = PiclReader(buf).read_all()
+        assert [picl_to_record(p) for p in parsed] == records
+
+    def test_reader_skips_comments_and_blanks(self):
+        text = "# header comment\n\n" + dumps([make_record()])
+        parsed = PiclReader(io.StringIO(text)).read_all()
+        assert len(parsed) == 1
+
+    def test_dumps_one_line_per_record(self):
+        text = dumps([make_record(), make_record()])
+        assert text.count("\n") == 2

@@ -1,0 +1,140 @@
+"""Unit tests for profiling-mode sensors (hybrid-approach emulation)."""
+
+import pytest
+
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.profiles.aggregate import (
+    PROFILE_EVENT_ID,
+    ProfileDecoder,
+    ProfilingSensor,
+)
+
+from tests.conftest import make_record
+from tests.test_clocks import FakeTime
+
+
+def make_profiling_sensor(flush_us: int = 1_000_000):
+    t = FakeTime(0)
+    sensor = Sensor(ring_for_records(10_000), node_id=4, clock=t)
+    return t, sensor, ProfilingSensor(sensor, flush_interval_us=flush_us)
+
+
+class TestProfilingSensor:
+    def test_samples_do_not_emit_records(self):
+        t, sensor, prof = make_profiling_sensor()
+        for _ in range(100):
+            prof.sample(7)
+        assert prof.samples == 100
+        assert prof.summaries_emitted == 0
+        assert not sensor.ring
+
+    def test_flush_interval_emits_summary(self):
+        t, sensor, prof = make_profiling_sensor(flush_us=1_000)
+        prof.sample(7, 2.0)
+        t.value = 1_500  # past the interval
+        prof.sample(7, 4.0)
+        assert prof.summaries_emitted == 1
+        record = sensor.ring.pop()
+        assert record.event_id == PROFILE_EVENT_ID
+        event_id, count, total, mn, mx, start = record.values
+        assert (event_id, count) == (7, 2)
+        assert total == pytest.approx(6.0)
+        assert (mn, mx) == (2.0, 4.0)
+        assert start == 0
+
+    def test_manual_flush(self):
+        t, sensor, prof = make_profiling_sensor()
+        prof.sample(1)
+        prof.sample(2, 5.0)
+        assert prof.flush() == 2
+        assert prof.summaries_emitted == 2
+        # Flushing again with empty accumulators emits nothing.
+        assert prof.flush() == 0
+
+    def test_separate_accumulators_per_event(self):
+        t, sensor, prof = make_profiling_sensor()
+        prof.sample(1, 10.0)
+        prof.sample(2, 20.0)
+        prof.flush()
+        records = sensor.ring.drain()
+        by_event = {r.values[0]: r.values for r in records}
+        assert by_event[1][2] == pytest.approx(10.0)
+        assert by_event[2][2] == pytest.approx(20.0)
+
+    def test_window_resets_after_emit(self):
+        t, sensor, prof = make_profiling_sensor(flush_us=1_000)
+        prof.sample(7, 100.0)
+        t.value = 2_000
+        prof.sample(7, 1.0)  # triggers flush of the 2-sample window
+        t.value = 2_100
+        prof.sample(7, 2.0)
+        prof.flush()
+        records = sensor.ring.drain()
+        assert len(records) == 2
+        # Second window holds only the post-flush sample.
+        assert records[1].values[1] == 1
+        assert records[1].values[2] == pytest.approx(2.0)
+
+    def test_interval_validation(self):
+        t, sensor, _ = make_profiling_sensor()
+        with pytest.raises(ValueError):
+            ProfilingSensor(sensor, flush_interval_us=0)
+
+
+class TestProfileDecoder:
+    def test_roundtrip_through_records(self):
+        t, sensor, prof = make_profiling_sensor()
+        for value in (1.0, 3.0, 5.0):
+            prof.sample(9, value)
+        prof.flush()
+        decoder = ProfileDecoder()
+        for record in sensor.ring.drain():
+            decoder.deliver(record)
+        summary = decoder.profiles[(4, 9)]
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.windows == 1
+
+    def test_multiple_windows_fold(self):
+        t, sensor, prof = make_profiling_sensor(flush_us=10)
+        prof.sample(9, 1.0)
+        t.value = 100
+        prof.sample(9, 3.0)  # folds, then flushes window 1 (2 samples)
+        t.value = 105
+        prof.sample(9, 5.0)  # lands in window 2
+        prof.flush()
+        decoder = ProfileDecoder()
+        for record in sensor.ring.drain():
+            decoder.deliver(record)
+        summary = decoder.profiles[(4, 9)]
+        assert summary.count == 3
+        assert summary.windows == 2
+        assert summary.total == pytest.approx(9.0)
+
+    def test_non_summary_records_pass_through(self):
+        decoder = ProfileDecoder()
+        decoder.deliver(make_record())
+        assert decoder.other_records == 1
+        assert decoder.profiles == {}
+
+    def test_usable_as_ism_consumer(self):
+        from repro.core.consumers import Consumer
+
+        assert isinstance(ProfileDecoder(), Consumer)
+
+
+class TestVolumeReduction:
+    def test_profiling_ships_far_fewer_records(self):
+        """The §2 claim: profiling emulation cuts data volume."""
+        t, sensor, prof = make_profiling_sensor(flush_us=1_000_000)
+        n = 10_000
+        for k in range(n):
+            t.value = k * 100  # 10 kHz sampling for 1 simulated second
+            prof.sample(7, float(k))
+        prof.flush()
+        summaries = len(sensor.ring.drain())
+        assert summaries <= 2
+        assert n / summaries >= 5_000  # >5000x reduction

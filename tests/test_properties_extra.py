@@ -1,0 +1,178 @@
+"""Property-based tests for the extension subsystems.
+
+Complements ``test_properties.py`` (core invariants) with properties of
+filtering, the event catalog, trace queries, and the profiling sensor.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import native
+from repro.core.catalog import EventCatalog
+from repro.core.filtering import FilterSpec, FilterState
+from repro.core.records import EventRecord, FieldType, RecordSchema
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.analysis.trace import Trace
+from repro.profiles.aggregate import ProfileDecoder, ProfilingSensor
+
+from tests.conftest import make_record
+from tests.test_clocks import FakeTime
+
+
+def simple_records(draw_ids):
+    return [
+        make_record(event_id=e, timestamp=ts, node_id=n)
+        for e, ts, n in draw_ids
+    ]
+
+
+record_keys = st.lists(
+    st.tuples(
+        st.integers(0, 5),        # event id
+        st.integers(0, 10_000),   # timestamp
+        st.integers(0, 3),        # node id
+    ),
+    max_size=60,
+)
+
+
+class TestFilteringProperties:
+    @given(record_keys, st.integers(1, 7))
+    @settings(max_examples=80)
+    def test_sampling_keeps_exactly_one_in_n_per_event(self, keys, n):
+        state = FilterState(FilterSpec(sample_every=n))
+        records = simple_records(keys)
+        kept_by_event: dict[int, int] = {}
+        seen_by_event: dict[int, int] = {}
+        for record in records:
+            seen_by_event[record.event_id] = (
+                seen_by_event.get(record.event_id, 0) + 1
+            )
+            if state.admit(record):
+                kept_by_event[record.event_id] = (
+                    kept_by_event.get(record.event_id, 0) + 1
+                )
+        for event_id, seen in seen_by_event.items():
+            expected = -(-seen // n)  # ceil: the first of each group passes
+            assert kept_by_event.get(event_id, 0) == expected
+        assert state.passed + state.dropped == len(records)
+
+    @given(
+        record_keys,
+        st.sets(st.integers(0, 5)),
+        st.sets(st.integers(0, 5)),
+    )
+    @settings(max_examples=80)
+    def test_whitelist_blocklist_semantics(self, keys, allowed, blocked):
+        spec = FilterSpec(
+            allowed_events=frozenset(allowed), blocked_events=frozenset(blocked)
+        )
+        for record in simple_records(keys):
+            expected = (
+                record.event_id in allowed and record.event_id not in blocked
+            )
+            assert spec.admits(record) == expected
+
+
+class TestCatalogProperties:
+    names = st.text(
+        alphabet=st.characters(blacklist_characters="\x00", codec="utf-8"),
+        min_size=1,
+        max_size=30,
+    )
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 1000).filter(lambda i: i != 0xF0E),
+            names,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60)
+    def test_announce_rebuild_roundtrip(self, mapping):
+        catalog = EventCatalog()
+        for event_id, name in mapping.items():
+            catalog.define(event_id, name, RecordSchema((FieldType.X_INT,)))
+        ring = ring_for_records(4_000, approx_record_bytes=160)
+        sensor = Sensor(ring, node_id=1, clock=FakeTime(1))
+        catalog.announce(sensor)
+        rebuilt = EventCatalog.from_trace(ring.drain())
+        assert len(rebuilt) == len(mapping)
+        for event_id, name in mapping.items():
+            assert rebuilt.name_of(event_id) == name
+            assert rebuilt.schema_of(event_id) == RecordSchema((FieldType.X_INT,))
+
+
+class TestTraceProperties:
+    @given(record_keys)
+    @settings(max_examples=80)
+    def test_filters_partition_the_trace(self, keys):
+        trace = Trace(simple_records(keys))
+        # Node filters partition: every record is in exactly one node view.
+        total = sum(len(trace.node(n)) for n in trace.node_ids)
+        assert total == len(trace)
+        # Event filters partition too.
+        total = sum(len(trace.events(e)) for e in trace.event_ids)
+        assert total == len(trace)
+
+    @given(record_keys, st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=80)
+    def test_between_is_a_clean_slice(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        trace = Trace(simple_records(keys))
+        window = trace.between(lo, hi)
+        assert all(lo <= r.timestamp < hi for r in window)
+        expected = sum(1 for r in trace if lo <= r.timestamp < hi)
+        assert len(window) == expected
+
+    @given(record_keys)
+    @settings(max_examples=60)
+    def test_trace_is_always_sorted(self, keys):
+        trace = Trace(simple_records(keys))
+        ts = [r.timestamp for r in trace]
+        assert ts == sorted(ts)
+        assert trace.count_inversions() == 0
+
+
+class TestNativePeekProperty:
+    @given(st.integers(-(2**62), 2**62))
+    @settings(max_examples=100)
+    def test_timestamp_of_matches_full_decode(self, ts):
+        record = make_record(timestamp=ts)
+        payload = native.pack_record(record)
+        assert native.timestamp_of(payload) == ts
+
+
+class TestProfilingProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.floats(-1e6, 1e6)), max_size=80
+        )
+    )
+    @settings(max_examples=60)
+    def test_summaries_conserve_count_and_sum(self, samples):
+        t = FakeTime(0)
+        ring = ring_for_records(2_000)
+        sensor = Sensor(ring, node_id=1, clock=t)
+        profiler = ProfilingSensor(sensor, flush_interval_us=100)
+        per_event: dict[int, list[float]] = {}
+        for k, (event_id, value) in enumerate(samples):
+            t.value = k * 37  # crosses flush windows at odd phases
+            profiler.sample(event_id, value)
+            per_event.setdefault(event_id, []).append(value)
+        profiler.flush()
+        decoder = ProfileDecoder()
+        for record in ring.drain():
+            decoder.deliver(record)
+        import pytest
+
+        for event_id, values in per_event.items():
+            summary = decoder.profiles[(1, event_id)]
+            assert summary.count == len(values)
+            # Window splits change the float summation order; conserve to
+            # within rounding, exactly for min/max.
+            assert summary.total == pytest.approx(sum(values), rel=1e-12, abs=1e-9)
+            assert summary.minimum == min(values)
+            assert summary.maximum == max(values)

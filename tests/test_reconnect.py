@@ -1,0 +1,114 @@
+"""Integration tests for EXS automatic reconnection."""
+
+import threading
+import time
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime.exs_proc import ReconnectingExs
+from repro.runtime.ism_proc import IsmServer
+from repro.util.timebase import now_micros
+from repro.wire.tcp import MessageListener
+
+import pytest
+
+
+def make_lis():
+    ring = ring_for_records(50_000)
+    sensor = Sensor(ring, node_id=1)
+    exs = ExternalSensor(
+        1, 1, ring, CorrectedClock(now_micros),
+        ExsConfig(batch_max_records=32, flush_timeout_us=2_000),
+    )
+    return sensor, exs
+
+
+def serve_phase(listener, manager, until_records):
+    server = IsmServer(manager, listener)
+    server.serve(duration_s=20.0, until_records=until_records)
+    return server
+
+
+class TestReconnectingExs:
+    def test_survives_ism_restart(self):
+        sensor, exs = make_lis()
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+            [CollectingConsumer()],
+        )
+        listener = MessageListener()
+        host, port = listener.address
+
+        runner = ReconnectingExs(
+            exs, host, port,
+            select_timeout_s=0.002,
+            max_attempts=50,
+            backoff_s=0.02,
+            max_backoff_s=0.1,
+        )
+        thread = threading.Thread(target=runner.run, daemon=True)
+        thread.start()
+        try:
+            # Phase 1: normal flow.
+            for k in range(100):
+                sensor.notice_ints(1, k)
+            serve_phase(listener, manager, until_records=100)
+            assert manager.stats.records_received == 100
+
+            # "Crash" the ISM: close the listener and all its accepted
+            # connections by letting the server object go; reopen on the
+            # SAME port so the EXS's retry loop can find it again.
+            listener.close()
+            time.sleep(0.1)
+            # Records written during the outage buffer in the ring.
+            for k in range(100, 200):
+                sensor.notice_ints(1, k)
+            listener = MessageListener(host, port)
+
+            serve_phase(listener, manager, until_records=200)
+            assert manager.stats.records_received == 200
+            assert runner.connections >= 2
+        finally:
+            runner.stop()
+            thread.join(timeout=10)
+            listener.close()
+
+    def test_gives_up_after_max_attempts(self):
+        sensor, exs = make_lis()
+        # Nothing listens on this port.
+        probe = MessageListener()
+        host, port = probe.address
+        probe.close()
+        runner = ReconnectingExs(
+            exs, host, port, max_attempts=3, backoff_s=0.01, max_backoff_s=0.02
+        )
+        t0 = time.monotonic()
+        runner.run()  # returns instead of spinning forever
+        assert time.monotonic() - t0 < 5.0
+        assert runner.failed_attempts == 3
+        assert runner.connections == 0
+
+    def test_stop_interrupts_retries(self):
+        sensor, exs = make_lis()
+        probe = MessageListener()
+        host, port = probe.address
+        probe.close()
+        runner = ReconnectingExs(
+            exs, host, port, max_attempts=10_000, backoff_s=0.05
+        )
+        thread = threading.Thread(target=runner.run, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        runner.stop()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_validation(self):
+        sensor, exs = make_lis()
+        with pytest.raises(ValueError):
+            ReconnectingExs(exs, "127.0.0.1", 1, max_attempts=0)

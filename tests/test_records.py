@@ -1,0 +1,201 @@
+"""Unit tests for event records, field types, and schemas."""
+
+import pytest
+
+from repro.core.records import (
+    DEFAULT_MAX_FIELDS,
+    EventRecord,
+    FIELD_TYPE_END,
+    FieldType,
+    RecordSchema,
+    SYSTEM_FIELD_TYPES,
+    validate_field,
+)
+
+from tests.conftest import make_record
+
+
+class TestFieldTypeSystem:
+    def test_all_type_codes_fit_in_a_nibble(self):
+        # The compressed meta header packs two codes per byte.
+        for ftype in FieldType:
+            assert 0 <= ftype < FIELD_TYPE_END
+
+    def test_paper_claims_over_ten_basic_types(self):
+        basic = [t for t in FieldType if t not in SYSTEM_FIELD_TYPES]
+        assert len(basic) > 10
+
+    def test_three_system_types(self):
+        assert SYSTEM_FIELD_TYPES == {
+            FieldType.X_TS,
+            FieldType.X_REASON,
+            FieldType.X_CONSEQ,
+        }
+
+    def test_default_dynamic_field_limit_is_eight(self):
+        assert DEFAULT_MAX_FIELDS == 8
+
+
+class TestValidateField:
+    @pytest.mark.parametrize(
+        "ftype,good,bad",
+        [
+            (FieldType.X_BYTE, -128, -129),
+            (FieldType.X_UBYTE, 255, 256),
+            (FieldType.X_SHORT, 32767, 32768),
+            (FieldType.X_USHORT, 65535, -1),
+            (FieldType.X_INT, -(2**31), 2**31),
+            (FieldType.X_UINT, 2**32 - 1, 2**32),
+            (FieldType.X_HYPER, 2**63 - 1, 2**63),
+            (FieldType.X_UHYPER, 2**64 - 1, -1),
+            (FieldType.X_REASON, 0, -1),
+            (FieldType.X_CONSEQ, 2**32 - 1, 2**32),
+        ],
+    )
+    def test_integer_ranges(self, ftype, good, bad):
+        validate_field(ftype, good)
+        with pytest.raises(ValueError):
+            validate_field(ftype, bad)
+
+    def test_int_field_rejects_bool(self):
+        # bool is an int subclass; silently encoding True as 1 would lose
+        # type information on the consumer side.
+        with pytest.raises(TypeError):
+            validate_field(FieldType.X_INT, True)
+
+    def test_float_fields_accept_ints(self):
+        validate_field(FieldType.X_DOUBLE, 3)
+        validate_field(FieldType.X_FLOAT, 3.5)
+
+    def test_float_field_rejects_str(self):
+        with pytest.raises(TypeError):
+            validate_field(FieldType.X_FLOAT, "1.5")
+
+    def test_string_rejects_embedded_nul(self):
+        with pytest.raises(ValueError):
+            validate_field(FieldType.X_STRING, "a\x00b")
+
+    def test_string_rejects_bytes(self):
+        with pytest.raises(TypeError):
+            validate_field(FieldType.X_STRING, b"bytes")
+
+    def test_opaque_accepts_bytes_like(self):
+        validate_field(FieldType.X_OPAQUE, b"x")
+        validate_field(FieldType.X_OPAQUE, bytearray(b"x"))
+        validate_field(FieldType.X_OPAQUE, memoryview(b"x"))
+
+    def test_opaque_rejects_str(self):
+        with pytest.raises(TypeError):
+            validate_field(FieldType.X_OPAQUE, "text")
+
+
+class TestRecordSchema:
+    def test_validate_matching_values(self):
+        schema = RecordSchema((FieldType.X_INT, FieldType.X_STRING))
+        schema.validate((1, "a"))
+
+    def test_validate_wrong_arity(self):
+        schema = RecordSchema((FieldType.X_INT,))
+        with pytest.raises(ValueError):
+            schema.validate((1, 2))
+
+    def test_schema_is_hashable(self):
+        a = RecordSchema((FieldType.X_INT,) * 6)
+        b = RecordSchema((FieldType.X_INT,) * 6)
+        assert a == b and hash(a) == hash(b)
+
+    def test_rejects_non_fieldtype_entries(self):
+        with pytest.raises(TypeError):
+            RecordSchema((4,))  # int 4 == X_INT value, but not the enum
+
+    def test_causal_and_ts_flags(self):
+        assert RecordSchema((FieldType.X_REASON,)).is_causal
+        assert RecordSchema((FieldType.X_CONSEQ,)).is_causal
+        assert not RecordSchema((FieldType.X_INT,)).is_causal
+        assert RecordSchema((FieldType.X_TS,)).has_embedded_ts
+
+    def test_payload_wire_size_six_ints(self):
+        schema = RecordSchema((FieldType.X_INT,) * 6)
+        assert schema.payload_wire_size((1,) * 6) == 24
+
+    def test_payload_wire_size_string_padded(self):
+        schema = RecordSchema((FieldType.X_STRING,))
+        assert schema.payload_wire_size(("abcde",)) == 4 + 5 + 3
+
+
+class TestEventRecord:
+    def test_basic_construction(self):
+        record = make_record()
+        assert record.event_id == 1
+        assert len(record.values) == 6
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EventRecord(
+                event_id=1,
+                timestamp=0,
+                field_types=(FieldType.X_INT,),
+                values=(1, 2),
+            )
+
+    def test_event_id_range(self):
+        with pytest.raises(ValueError):
+            EventRecord(event_id=2**32, timestamp=0)
+
+    def test_timestamp_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            EventRecord(event_id=0, timestamp=2**63)
+
+    def test_reason_and_conseq_accessors(self):
+        record = EventRecord(
+            event_id=1,
+            timestamp=0,
+            field_types=(FieldType.X_REASON, FieldType.X_INT, FieldType.X_CONSEQ),
+            values=(10, 5, 20),
+        )
+        assert record.reason_ids == (10,)
+        assert record.conseq_ids == (20,)
+        assert record.is_causal
+
+    def test_with_timestamp_returns_new_record(self):
+        record = make_record(timestamp=100)
+        shifted = record.with_timestamp(150)
+        assert shifted.timestamp == 150
+        assert record.timestamp == 100  # frozen original untouched
+
+    def test_with_timestamp_shifts_embedded_ts_fields(self):
+        record = EventRecord(
+            event_id=1,
+            timestamp=100,
+            field_types=(FieldType.X_TS, FieldType.X_INT),
+            values=(100, 7),
+        )
+        shifted = record.with_timestamp(130)
+        assert shifted.values == (130, 7)
+
+    def test_with_timestamp_noop_returns_self(self):
+        record = make_record(timestamp=100)
+        assert record.with_timestamp(100) is record
+
+    def test_with_node(self):
+        record = make_record()
+        assert record.with_node(5).node_id == 5
+        assert record.with_node(0) is record
+
+    def test_sort_key_orders_by_timestamp_then_ties(self):
+        a = make_record(timestamp=1, node_id=2)
+        b = make_record(timestamp=2, node_id=1)
+        assert a.sort_key() < b.sort_key()
+        same_ts_1 = make_record(timestamp=5, node_id=1)
+        same_ts_2 = make_record(timestamp=5, node_id=2)
+        assert same_ts_1.sort_key() < same_ts_2.sort_key()
+
+    def test_fields_of_type(self):
+        record = EventRecord(
+            event_id=1,
+            timestamp=0,
+            field_types=(FieldType.X_INT, FieldType.X_STRING, FieldType.X_INT),
+            values=(1, "x", 2),
+        )
+        assert record.fields_of_type(FieldType.X_INT) == (1, 2)
+        assert record.fields_of_type(FieldType.X_DOUBLE) == ()

@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark report aggregator."""
+
+import pathlib
+
+from repro.tools.report_cli import build_report, experiment_of, main
+
+
+class TestExperimentMapping:
+    def test_known_files(self):
+        assert experiment_of("test_notice_dynamic_six_ints") == "E1"
+        assert experiment_of("test_aggregate_throughput_vs_nodes") == "E5"
+        assert experiment_of("test_quiet_lan_skew") == "E6"
+        assert experiment_of("test_filter_placement") == "A8"
+
+    def test_unknown_files(self):
+        assert experiment_of("test_something_else") == "misc"
+
+
+class TestBuildReport:
+    def make_results(self, tmp_path: pathlib.Path) -> pathlib.Path:
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "test_quiet_lan_skew.txt").write_text(
+            "# bench::test_quiet_lan_skew\nmedian 79 us\n"
+        )
+        (results / "test_filter_placement.txt").write_text(
+            "# bench::test_filter_placement\nsource wins\n"
+        )
+        (results / "test_notice_dynamic_six_ints.txt").write_text(
+            "# bench::test_notice_dynamic_six_ints\n10.7 us\n"
+        )
+        return results
+
+    def test_groups_and_orders_experiments(self, tmp_path):
+        report = build_report(self.make_results(tmp_path))
+        # E-sections precede A-sections, in numeric order.
+        assert report.index("## E1") < report.index("## E6")
+        assert report.index("## E6") < report.index("## A8")
+        assert "median 79 us" in report
+        assert "source wins" in report
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert "(no result files found)" in build_report(empty)
+
+    def test_main_writes_output(self, tmp_path, capsys):
+        results = self.make_results(tmp_path)
+        out = tmp_path / "report.md"
+        assert main([str(results), "-o", str(out)]) == 0
+        assert out.read_text().startswith("# BRISK benchmark report")
+
+    def test_main_stdout(self, tmp_path, capsys):
+        results = self.make_results(tmp_path)
+        assert main([str(results)]) == 0
+        assert "# BRISK benchmark report" in capsys.readouterr().out
+
+    def test_main_missing_dir(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 1

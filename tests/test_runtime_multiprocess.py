@@ -1,0 +1,116 @@
+"""True multi-process integration: spawned application + EXS processes
+against an in-process ISM server, over shared memory and real sockets.
+
+This is the deployment the paper describes — application and external
+sensor as separate OS processes sharing a memory segment — compressed to
+one node for CI practicality.
+"""
+
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.core.consumers import CollectingConsumer
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime import attach_shared_ring, create_shared_ring
+from repro.runtime.exs_proc import exs_process_main
+from repro.runtime.ism_proc import IsmServer
+from repro.wire.tcp import MessageListener
+
+
+def _app_main(ring_name: str, n_records: int, node_id: int) -> None:
+    shared = attach_shared_ring(ring_name)
+    try:
+        sensor = Sensor(shared.ring, node_id=node_id)
+        sent = 0
+        while sent < n_records:
+            if sensor.notice_ints(7, sent, 2, 3, 4, 5, 6):
+                sent += 1
+            else:
+                time.sleep(0.001)  # ring full; let the EXS catch up
+    finally:
+        shared.close()
+
+
+@pytest.fixture(scope="module")
+def mp_ctx():
+    return mp.get_context("spawn")
+
+
+class TestMultiProcess:
+    def test_single_node_pipeline(self, mp_ctx):
+        n = 10_000
+        shared = create_shared_ring(1 << 20)
+        consumer = CollectingConsumer()
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=1_000)), [consumer]
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+        app = mp_ctx.Process(target=_app_main, args=(shared.name, n, 1))
+        exs = mp_ctx.Process(
+            target=exs_process_main, args=(shared.name, host, port, 1, 1, n)
+        )
+        app.start()
+        exs.start()
+        try:
+            server.serve(duration_s=60.0, until_records=n)
+        finally:
+            app.join(timeout=10)
+            exs.join(timeout=10)
+            if exs.is_alive():
+                exs.terminate()
+            listener.close()
+            shared.close()
+        assert manager.stats.records_received == n
+        assert manager.stats.seq_gaps == 0
+        values = [r.values[0] for r in consumer.records]
+        assert sorted(values) == list(range(n))  # nothing lost or duplicated
+        assert values == sorted(values)  # delivered in order
+
+    def test_two_nodes_merge(self, mp_ctx):
+        n_per_node = 4_000
+        shares = [create_shared_ring(1 << 20) for _ in range(2)]
+        consumer = CollectingConsumer()
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=2_000)), [consumer]
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+        procs = []
+        for idx, shared in enumerate(shares, start=1):
+            procs.append(
+                mp_ctx.Process(target=_app_main, args=(shared.name, n_per_node, idx))
+            )
+            procs.append(
+                mp_ctx.Process(
+                    target=exs_process_main,
+                    args=(shared.name, host, port, idx, idx, n_per_node),
+                )
+            )
+        for p in procs:
+            p.start()
+        try:
+            server.serve(duration_s=60.0, until_records=2 * n_per_node)
+        finally:
+            for p in procs:
+                p.join(timeout=10)
+                if p.is_alive():
+                    p.terminate()
+            listener.close()
+            for shared in shares:
+                shared.close()
+        assert manager.stats.records_received == 2 * n_per_node
+        by_node = {1: [], 2: []}
+        for record in consumer.records:
+            by_node[record.node_id].append(record.values[0])
+        for node_values in by_node.values():
+            assert node_values == sorted(node_values)
+        ts = [r.timestamp for r in consumer.records]
+        inversions = sum(1 for a, b in zip(ts, ts[1:]) if b < a)
+        assert inversions / len(ts) < 0.02

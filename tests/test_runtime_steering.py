@@ -1,0 +1,108 @@
+"""Integration test: live filter steering over real sockets."""
+
+import threading
+import time
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.filtering import FilterSpec
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime import ExsProcess, IsmServer, create_shared_ring
+from repro.util.timebase import now_micros
+from repro.wire.tcp import MessageListener, connect
+
+
+class TestLiveFilterSteering:
+    def test_set_filter_takes_effect_mid_stream(self):
+        collected = CollectingConsumer()
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)), [collected]
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+
+        shared = create_shared_ring(1 << 20)
+        sensor = Sensor(shared.ring, node_id=1)
+        exs = ExternalSensor(
+            1, 1, shared.ring, CorrectedClock(now_micros),
+            ExsConfig(batch_max_records=32, flush_timeout_us=2_000),
+        )
+        proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.002)
+        exs_thread = threading.Thread(target=proc.run, daemon=True)
+        exs_thread.start()
+
+        try:
+            # Phase 1: both event types flow.
+            for k in range(200):
+                sensor.notice_ints(1, k)
+                sensor.notice_ints(2, k)
+            server.serve(duration_s=10.0, until_records=400)
+            assert manager.stats.records_received == 400
+
+            # Steer: drop event 2 at the source.
+            assert server.set_filter(1, FilterSpec(blocked_events={2}))
+            # Give the EXS a moment to apply the control message.
+            deadline = time.monotonic() + 5.0
+            while exs.filter is None and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert exs.filter is not None
+
+            # Phase 2: only event 1 should arrive.
+            for k in range(200):
+                sensor.notice_ints(1, 1_000 + k)
+                sensor.notice_ints(2, 1_000 + k)
+            server.serve(duration_s=10.0, until_records=600)
+            assert manager.stats.records_received == 600
+            assert exs.stats.records_filtered == 200
+        finally:
+            proc.stop()
+            exs_thread.join(timeout=5)
+            listener.close()
+            shared.close()
+
+        manager.flush(now_micros())
+        phase2 = [r for r in collected.records if r.values[0] >= 1_000]
+        assert phase2
+        assert {r.event_id for r in phase2} == {1}
+
+    def test_stop_byes_the_exs_loop(self):
+        manager = InstrumentationManager(consumers=[CollectingConsumer()])
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+        shared = create_shared_ring(1 << 16)
+        exs = ExternalSensor(1, 1, shared.ring, CorrectedClock(now_micros))
+        proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.002)
+        exs_thread = threading.Thread(target=proc.run, daemon=True)
+        server_thread = threading.Thread(
+            target=server.serve, kwargs={"duration_s": 20.0}, daemon=True
+        )
+        try:
+            server_thread.start()
+            exs_thread.start()
+            deadline = time.monotonic() + 5.0
+            while not server.connections and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.connections
+            server.stop()
+            server_thread.join(timeout=10)
+            # The Bye reaches the EXS loop and stops it — no local stop().
+            exs_thread.join(timeout=10)
+            assert not exs_thread.is_alive()
+        finally:
+            proc.stop()
+            listener.close()
+            shared.close()
+
+    def test_set_filter_unknown_exs_returns_false(self):
+        manager = InstrumentationManager(consumers=[CollectingConsumer()])
+        listener = MessageListener()
+        server = IsmServer(manager, listener)
+        try:
+            assert not server.set_filter(99, FilterSpec())
+        finally:
+            listener.close()

@@ -1,0 +1,143 @@
+"""Unit tests for internal sensors and NOTICE specialization."""
+
+import pytest
+
+from repro.core import native
+from repro.core.records import FieldType, RecordSchema
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor, compile_notice
+
+
+def fixed_clock(value: int = 123_456):
+    return lambda: value
+
+
+class TestDynamicNotice:
+    def test_notice_writes_record(self):
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, node_id=3, clock=fixed_clock())
+        assert sensor.notice(
+            5, (FieldType.X_INT, 1), (FieldType.X_STRING, "hi")
+        )
+        record = ring.pop()
+        assert record.event_id == 5
+        assert record.timestamp == 123_456
+        assert record.node_id == 3
+        assert record.values == (1, "hi")
+
+    def test_notice_validates_fields(self):
+        sensor = Sensor(ring_for_records(16))
+        with pytest.raises(ValueError):
+            sensor.notice(1, (FieldType.X_BYTE, 1000))
+
+    def test_notice_enforces_default_field_limit(self):
+        sensor = Sensor(ring_for_records(16))
+        fields = [(FieldType.X_INT, i) for i in range(9)]
+        with pytest.raises(ValueError):
+            sensor.notice(1, *fields)
+
+    def test_notice_ints_convenience(self):
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, clock=fixed_clock())
+        sensor.notice_ints(2, 10, 20, 30)
+        record = ring.pop()
+        assert record.field_types == (FieldType.X_INT,) * 3
+        assert record.values == (10, 20, 30)
+
+    def test_notice_reason_and_conseq(self):
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, clock=fixed_clock())
+        sensor.notice_reason(1, 77)
+        sensor.notice_conseq(2, 77, (FieldType.X_INT, 5))
+        reason = ring.pop()
+        conseq = ring.pop()
+        assert reason.reason_ids == (77,)
+        assert conseq.conseq_ids == (77,)
+        assert conseq.values[1] == 5
+
+    def test_counters_track_emitted_and_dropped(self):
+        ring = ring_for_records(4, approx_record_bytes=32)
+        sensor = Sensor(ring, clock=fixed_clock())
+        while sensor.notice_ints(1, 1, 2, 3, 4, 5, 6):
+            pass
+        assert sensor.dropped == 1
+        assert sensor.emitted > 0
+        assert ring.dropped == 1
+
+    def test_notice_record_stamps_time_and_node(self):
+        from tests.conftest import make_record
+
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, node_id=9, clock=fixed_clock(555))
+        sensor.notice_record(make_record(timestamp=1))
+        record = ring.pop()
+        assert record.timestamp == 555
+        assert record.node_id == 9
+
+
+class TestCompiledNotice:
+    def test_specialized_matches_dynamic_output(self):
+        schema = RecordSchema((FieldType.X_INT,) * 6)
+        fast = compile_notice(schema)
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, node_id=2, clock=fixed_clock())
+        fast(sensor, 5, 1, 2, 3, 4, 5, 6)
+        sensor.notice_ints(5, 1, 2, 3, 4, 5, 6)
+        fast_record = ring.pop()
+        dyn_record = ring.pop()
+        assert fast_record == dyn_record
+
+    def test_specialized_bytes_identical_to_dynamic(self):
+        schema = RecordSchema((FieldType.X_UINT, FieldType.X_DOUBLE))
+        fast = compile_notice(schema)
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, node_id=1, clock=fixed_clock())
+        fast(sensor, 3, 42, 2.5)
+        fast_bytes = ring.pop_bytes()
+        sensor.notice(3, (FieldType.X_UINT, 42), (FieldType.X_DOUBLE, 2.5))
+        dyn_bytes = ring.pop_bytes()
+        assert fast_bytes == dyn_bytes
+
+    def test_specialized_exceeds_dynamic_field_limit(self):
+        # The custom-macro tool may generate wider records than the stock
+        # eight-field macros.
+        schema = RecordSchema((FieldType.X_INT,) * 12)
+        fast = compile_notice(schema)
+        ring = ring_for_records(16, approx_record_bytes=256)
+        sensor = Sensor(ring, clock=fixed_clock())
+        fast(sensor, 1, *range(12))
+        assert ring.pop().values == tuple(range(12))
+
+    def test_variable_length_schema(self):
+        schema = RecordSchema((FieldType.X_STRING, FieldType.X_INT))
+        fast = compile_notice(schema)
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, clock=fixed_clock())
+        fast(sensor, 1, "event text", 7)
+        record = ring.pop()
+        assert record.values == ("event text", 7)
+
+    def test_causal_schema_sets_flag(self):
+        schema = RecordSchema((FieldType.X_REASON, FieldType.X_INT))
+        fast = compile_notice(schema)
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, clock=fixed_clock())
+        fast(sensor, 1, 99, 5)
+        payload = ring.pop_bytes()
+        assert native.HEADER.unpack_from(payload)[4] & native.FLAG_CAUSAL
+
+    def test_specialized_counts_drops(self):
+        schema = RecordSchema((FieldType.X_INT,) * 6)
+        fast = compile_notice(schema)
+        ring = ring_for_records(4, approx_record_bytes=32)
+        sensor = Sensor(ring, clock=fixed_clock())
+        while fast(sensor, 1, 1, 2, 3, 4, 5, 6):
+            pass
+        assert sensor.dropped == 1
+
+    def test_accepts_plain_sequence_schema(self):
+        fast = compile_notice([FieldType.X_INT])
+        ring = ring_for_records(16)
+        sensor = Sensor(ring, clock=fixed_clock())
+        fast(sensor, 1, 5)
+        assert ring.pop().values == (5,)

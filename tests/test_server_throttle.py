@@ -1,0 +1,76 @@
+"""Integration test: AutoThrottle wired into a live IsmServer."""
+
+import threading
+import time
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime import AutoThrottle, ExsProcess, IsmServer, ThrottleConfig
+from repro.util.timebase import now_micros
+from repro.wire.tcp import MessageListener, connect
+
+
+class TestServerThrottleIntegration:
+    def test_overload_triggers_source_sampling(self):
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+            [CollectingConsumer()],
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+        server.throttle = AutoThrottle(
+            server.set_filter,
+            ThrottleConfig(target_rate_hz=500.0, max_sample_every=16),
+        )
+        server.throttle_period_s = 0.1
+        server._next_throttle = time.monotonic()
+
+        ring = ring_for_records(200_000)
+        sensor = Sensor(ring, node_id=1)
+        exs = ExternalSensor(
+            1, 1, ring, CorrectedClock(now_micros),
+            ExsConfig(batch_max_records=128, flush_timeout_us=2_000),
+        )
+        proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.002)
+        exs_thread = threading.Thread(target=proc.run, daemon=True)
+
+        stop_producing = threading.Event()
+
+        def producer():
+            k = 0
+            while not stop_producing.is_set():
+                sensor.notice_ints(1, k % 2**31)
+                k += 1
+                if k % 500 == 0:
+                    time.sleep(0.001)  # ~hundreds of kHz offered, >> target
+
+        producer_thread = threading.Thread(target=producer, daemon=True)
+        try:
+            exs_thread.start()
+            producer_thread.start()
+            # Serve until the throttle has reacted to the overload.
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline and not server.throttle.sample_every:
+                server.serve(duration_s=0.3)
+            assert server.throttle.sample_every.get(1, 1) > 1
+            assert any(
+                action.startswith("tighten")
+                for _, _, action in server.throttle.decisions
+            )
+            # The EXS really did install the filter and is dropping.
+            assert exs.filter is not None
+            prev_filtered = exs.stats.records_filtered
+            server.serve(duration_s=0.5)
+            assert exs.stats.records_filtered > prev_filtered
+        finally:
+            stop_producing.set()
+            producer_thread.join(timeout=5)
+            proc.stop()
+            exs_thread.join(timeout=5)
+            listener.close()

@@ -1,0 +1,172 @@
+"""Tests for the shared-memory output buffer and the brisk-tail tool."""
+
+import multiprocessing as mp
+import threading
+
+import pytest
+
+from repro.core.consumers import Consumer
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.sorting import SorterConfig
+from repro.runtime.shm_consumer import SharedMemoryConsumer, SharedMemoryReader
+from repro.tools import tail_cli
+from repro.wire import protocol
+
+from tests.conftest import make_record
+
+
+class TestSharedMemoryConsumer:
+    def test_records_cross_to_reader(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=64 * 1024)
+        try:
+            reader = SharedMemoryReader(consumer.name)
+            try:
+                records = [make_record(event_id=i, timestamp=i) for i in range(5)]
+                for record in records:
+                    consumer.deliver(record)
+                assert reader.drain() == records
+                assert consumer.delivered == 5
+            finally:
+                reader.close()
+        finally:
+            consumer.close()
+
+    def test_satisfies_consumer_protocol(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=4096)
+        try:
+            assert isinstance(consumer, Consumer)
+        finally:
+            consumer.close()
+
+    def test_slow_tool_drops_counted(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=4096)
+        try:
+            while consumer.dropped == 0:
+                consumer.deliver(make_record())
+            assert consumer.delivered > 0
+        finally:
+            consumer.close()
+
+    def test_closed_consumer_rejects(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=4096)
+        consumer.close()
+        with pytest.raises(RuntimeError):
+            consumer.deliver(make_record())
+        consumer.close()  # idempotent
+
+    def test_usable_as_ism_output(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=256 * 1024)
+        try:
+            reader = SharedMemoryReader(consumer.name)
+            try:
+                manager = InstrumentationManager(
+                    IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+                    [consumer],
+                )
+                manager.register_source(1, 1)
+                records = tuple(
+                    make_record(event_id=5, timestamp=100 + k) for k in range(20)
+                )
+                manager.on_message(
+                    protocol.Batch(exs_id=1, seq=0, records=records), now=0
+                )
+                manager.tick(now=10**9)
+                received = reader.drain()
+                assert len(received) == 20
+                assert all(r.node_id == 1 for r in received)
+            finally:
+                reader.close()
+        finally:
+            consumer.close()
+
+    def test_poll_waits_for_data(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=64 * 1024)
+        try:
+            reader = SharedMemoryReader(consumer.name)
+            try:
+                timer = threading.Timer(
+                    0.1, consumer.deliver, [make_record(event_id=9)]
+                )
+                timer.start()
+                records = reader.poll(timeout_s=5.0)
+                timer.join()
+                assert [r.event_id for r in records] == [9]
+            finally:
+                reader.close()
+        finally:
+            consumer.close()
+
+    def test_poll_times_out_empty(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=4096)
+        try:
+            reader = SharedMemoryReader(consumer.name)
+            try:
+                assert reader.poll(timeout_s=0.05) == []
+            finally:
+                reader.close()
+        finally:
+            consumer.close()
+
+    def test_stream_stops_after_count(self):
+        consumer = SharedMemoryConsumer(capacity_bytes=64 * 1024)
+        try:
+            reader = SharedMemoryReader(consumer.name)
+            try:
+                for k in range(10):
+                    consumer.deliver(make_record(event_id=k))
+                out = list(reader.stream(stop_after=4))
+                assert [r.event_id for r in out] == [0, 1, 2, 3]
+            finally:
+                reader.close()
+        finally:
+            consumer.close()
+
+
+def _reader_process(name: str, count: int, queue) -> None:
+    reader = SharedMemoryReader(name)
+    try:
+        records = list(reader.stream(stop_after=count, idle_timeout_s=10.0))
+        queue.put([r.event_id for r in records])
+    finally:
+        reader.close()
+
+
+class TestCrossProcess:
+    def test_tool_in_another_process(self):
+        ctx = mp.get_context("spawn")
+        consumer = SharedMemoryConsumer(capacity_bytes=256 * 1024)
+        queue = ctx.Queue()
+        tool = ctx.Process(
+            target=_reader_process, args=(consumer.name, 50, queue)
+        )
+        tool.start()
+        try:
+            for k in range(50):
+                consumer.deliver(make_record(event_id=k))
+            ids = queue.get(timeout=30)
+            assert ids == list(range(50))
+        finally:
+            tool.join(timeout=10)
+            if tool.is_alive():
+                tool.terminate()
+            consumer.close()
+
+
+class TestTailCli:
+    def test_prints_picl_lines(self, capsys):
+        consumer = SharedMemoryConsumer(capacity_bytes=64 * 1024)
+        try:
+            for k in range(3):
+                consumer.deliver(make_record(event_id=k, timestamp=1000 + k))
+            rc = tail_cli.main(
+                [consumer.name, "--count", "3", "--idle-timeout", "2"]
+            )
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert len(out.strip().splitlines()) == 3
+            assert out.startswith("-3 0 1000")
+        finally:
+            consumer.close()
+
+    def test_missing_segment(self, capsys):
+        assert tail_cli.main(["definitely_not_a_segment"]) == 1

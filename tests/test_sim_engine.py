@@ -1,0 +1,182 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(30, seen.append, "c")
+        sim.schedule(10, seen.append, "a")
+        sim.schedule(20, seen.append, "b")
+        sim.run_all()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_among_simultaneous_events(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abc":
+            sim.schedule(5, seen.append, tag)
+        sim.run_all()
+        assert seen == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(100, lambda: times.append(sim.now))
+        sim.run_all()
+        assert times == [100]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, seen.append, "x")
+        handle.cancel()
+        sim.run_all()
+        assert seen == []
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(10, chain, 0)
+        sim.run_all()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 40
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, 1)
+        sim.schedule(30, seen.append, 2)
+        sim.run_until(20)
+        assert seen == [1]
+        assert sim.now == 20
+        sim.run_until(30)
+        assert seen == [1, 2]
+
+    def test_inclusive_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(20, seen.append, 1)
+        sim.run_until(20)
+        assert seen == [1]
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.run_for(50)
+        sim.run_for(25)
+        assert sim.now == 75
+
+    def test_past_horizon_rejected(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimError):
+            sim.run_until(50)
+
+    def test_reentrant_run_until(self):
+        # A callback advancing the clock past the outer horizon (the
+        # blocking sync master pattern) must not rewind time.
+        sim = Simulator()
+        seen = []
+
+        def blocking_event():
+            sim.run_until(sim.now + 100)  # overshoots the outer horizon
+            seen.append(sim.now)
+
+        sim.schedule(40, blocking_event)
+        sim.run_until(50)
+        assert seen == [140]
+        assert sim.now == 140
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0, forever)
+
+        sim.schedule(0, forever)
+        with pytest.raises(SimError):
+            sim.run_all(limit=100)
+
+
+class TestPeriodic:
+    def test_schedule_every_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(10, lambda: ticks.append(sim.now))
+        sim.run_until(55)
+        assert ticks == [10, 20, 30, 40, 50]
+
+    def test_stop_function(self):
+        sim = Simulator()
+        ticks = []
+        stop = sim.schedule_every(10, lambda: ticks.append(sim.now))
+        sim.run_until(25)
+        stop()
+        sim.run_until(100)
+        assert ticks == [10, 20]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(10, lambda: ticks.append(sim.now), start_delay_us=0)
+        sim.run_until(15)
+        assert ticks == [0, 10]
+
+    def test_jitter_stays_periodic_on_average(self):
+        sim = Simulator(seed=1)
+        ticks = []
+        sim.schedule_every(100, lambda: ticks.append(sim.now), jitter_us=10)
+        sim.run_until(10_000)
+        assert 85 <= len(ticks) <= 115
+        gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+        assert all(90 <= g <= 110 for g in gaps)
+
+    def test_invalid_interval(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.schedule_every(0, lambda: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            trace = []
+            sim.schedule_every(
+                10, lambda: trace.append((sim.now, sim.rng.random())), jitter_us=3
+            )
+            sim.run_until(1000)
+            return trace
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_time_fn_tracks_now(self):
+        sim = Simulator()
+        fn = sim.time_fn()
+        assert fn() == 0
+        sim.run_until(123)
+        assert fn() == 123

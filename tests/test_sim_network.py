@@ -1,0 +1,110 @@
+"""Unit tests for link and disturbance models."""
+
+import random
+
+import pytest
+
+from repro.sim.network import (
+    DisturbanceModel,
+    LinkModel,
+    LinkModelConfig,
+    lan_disturbed,
+    lan_quiet,
+)
+
+
+class TestLinkModel:
+    def test_delay_at_least_base(self):
+        link = LinkModel(LinkModelConfig(base_delay_us=200, jitter_mean_us=50))
+        for t in range(0, 10_000, 100):
+            assert link.sample_delay(t) >= 200
+
+    def test_no_jitter_is_deterministic(self):
+        link = LinkModel(LinkModelConfig(base_delay_us=300, jitter_mean_us=0))
+        assert link.sample_delay(0) == 300
+        assert link.sample_delay(10) == 300
+
+    def test_jitter_mean_approximately_respected(self):
+        link = LinkModel(
+            LinkModelConfig(base_delay_us=100, jitter_mean_us=50),
+            random.Random(3),
+        )
+        samples = [link.sample_delay(i) for i in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 140 <= mean <= 160
+
+    def test_bandwidth_adds_serialization_time(self):
+        link = LinkModel(
+            LinkModelConfig(base_delay_us=100, jitter_mean_us=0, bandwidth_bytes_per_us=19.0)
+        )
+        small = link.sample_delay(0, nbytes=0)
+        large = link.sample_delay(0, nbytes=19_000)
+        assert large - small == 1000
+
+    def test_sample_counter(self):
+        link = LinkModel()
+        link.sample_delay(0)
+        link.sample_delay(1)
+        assert link.samples == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LinkModelConfig(base_delay_us=0)
+        with pytest.raises(ValueError):
+            LinkModelConfig(jitter_mean_us=-1)
+        with pytest.raises(ValueError):
+            LinkModelConfig(bandwidth_bytes_per_us=0)
+
+
+class TestDisturbances:
+    def test_bursts_inflate_delay(self):
+        config = LinkModelConfig(
+            base_delay_us=100,
+            jitter_mean_us=0,
+            disturbance=DisturbanceModel(
+                mean_interval_us=10_000,
+                mean_duration_us=5_000,
+                extra_delay_us=1_000,
+                extra_jitter_us=0,
+            ),
+        )
+        link = LinkModel(config, random.Random(5))
+        samples = [link.sample_delay(t) for t in range(0, 200_000, 100)]
+        quiet = [s for s in samples if s == 100]
+        noisy = [s for s in samples if s >= 1_100]
+        assert quiet and noisy
+        assert len(quiet) + len(noisy) == len(samples)  # nothing in between
+
+    def test_disturbed_sample_counter(self):
+        link = lan_disturbed(random.Random(1))
+        for t in range(0, 300_000_000, 50_000):
+            link.in_burst(t)
+            link.sample_delay(t)
+        assert 0 < link.disturbed_samples < link.samples
+
+    def test_quiet_lan_never_disturbed(self):
+        link = lan_quiet(random.Random(1))
+        for t in range(0, 10_000_000, 10_000):
+            assert not link.in_burst(t)
+        assert link.disturbed_samples == 0
+
+    def test_burst_state_advances_with_time(self):
+        config = LinkModelConfig(
+            base_delay_us=10,
+            jitter_mean_us=0,
+            disturbance=DisturbanceModel(
+                mean_interval_us=1_000, mean_duration_us=1_000
+            ),
+        )
+        link = LinkModel(config, random.Random(2))
+        states = [link.in_burst(t) for t in range(0, 50_000, 10)]
+        # Both phases observed, and transitions happen.
+        assert True in states and False in states
+        flips = sum(1 for a, b in zip(states, states[1:]) if a != b)
+        assert flips >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DisturbanceModel(mean_interval_us=0)
+        with pytest.raises(ValueError):
+            DisturbanceModel(extra_delay_us=-1)

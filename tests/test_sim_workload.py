@@ -1,0 +1,136 @@
+"""Unit tests for workload generators and delayed streams."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.workload import (
+    BurstyWorkload,
+    DelayedStream,
+    PeriodicWorkload,
+    PoissonWorkload,
+    make_delayed_streams,
+    merge_by_arrival,
+)
+
+
+class TestPeriodic:
+    def test_exact_rate(self):
+        sim = Simulator()
+        count = [0]
+        PeriodicWorkload(rate_hz=1000).start(sim, lambda seq: count.__setitem__(0, seq + 1))
+        sim.run_until(1_000_000)
+        assert count[0] == 1000
+
+    def test_count_limit(self):
+        sim = Simulator()
+        seqs = []
+        PeriodicWorkload(rate_hz=1000, count=5).start(sim, seqs.append)
+        sim.run_until(10_000_000)
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_stop(self):
+        sim = Simulator()
+        seqs = []
+        wl = PeriodicWorkload(rate_hz=1000)
+        wl.start(sim, seqs.append)
+        sim.run_until(5_000)
+        wl.stop()
+        sim.run_until(1_000_000)
+        assert len(seqs) == 5
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PeriodicWorkload(rate_hz=0)
+
+
+class TestPoisson:
+    def test_rate_approximately_respected(self):
+        sim = Simulator(seed=11)
+        seqs = []
+        PoissonWorkload(rate_hz=2_000).start(sim, seqs.append)
+        sim.run_until(5_000_000)  # 5 s → ~10,000 events
+        assert 9_000 <= len(seqs) <= 11_000
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            seqs = []
+            PoissonWorkload(rate_hz=500).start(sim, seqs.append)
+            sim.run_until(1_000_000)
+            return len(seqs)
+
+        assert run(3) == run(3)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        sim = Simulator()
+        times = []
+        BurstyWorkload(burst_rate_hz=10_000, burst_len=5, gap_us=100_000).start(
+            sim, lambda seq: times.append(sim.now)
+        )
+        sim.run_until(1_000_000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        intra = [g for g in gaps if g < 1_000]
+        inter = [g for g in gaps if g >= 100_000]
+        assert intra and inter
+        assert len(intra) + len(inter) == len(gaps)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BurstyWorkload(burst_rate_hz=0, burst_len=1, gap_us=0)
+        with pytest.raises(ValueError):
+            BurstyWorkload(burst_rate_hz=10, burst_len=0, gap_us=0)
+
+
+class TestDelayedStreams:
+    def test_per_source_timestamps_increase(self):
+        streams = make_delayed_streams(random.Random(1), n_sources=3)
+        for stream in streams:
+            ts = [rec.timestamp for rec, _ in stream.items]
+            assert ts == sorted(ts)
+            assert len(set(ts)) == len(ts)  # strictly increasing
+
+    def test_arrivals_after_timestamps(self):
+        streams = make_delayed_streams(random.Random(1), base_delay_us=100)
+        for stream in streams:
+            for rec, arrival in stream.items:
+                assert arrival >= rec.timestamp + 100
+
+    def test_max_lateness(self):
+        stream = DelayedStream(source_id=0)
+        assert stream.max_lateness_us == 0
+        streams = make_delayed_streams(random.Random(1))
+        for s in streams:
+            lateness = [arr - rec.timestamp for rec, arr in s.items]
+            assert s.max_lateness_us == max(lateness)
+
+    def test_stragglers_increase_max_lateness(self):
+        quiet = make_delayed_streams(
+            random.Random(2), straggler_prob=0.0, jitter_mean_us=0
+        )
+        spiky = make_delayed_streams(
+            random.Random(2), straggler_prob=0.2, straggler_extra_us=50_000,
+            jitter_mean_us=0,
+        )
+        assert max(s.max_lateness_us for s in spiky) > max(
+            s.max_lateness_us for s in quiet
+        )
+
+    def test_merge_by_arrival_sorted(self):
+        streams = make_delayed_streams(random.Random(3), n_sources=4)
+        merged = merge_by_arrival(streams)
+        arrivals = [arr for _, _, arr in merged]
+        assert arrivals == sorted(arrivals)
+        assert len(merged) == sum(len(s.items) for s in streams)
+
+    def test_source_count_validation(self):
+        with pytest.raises(ValueError):
+            make_delayed_streams(random.Random(1), n_sources=0)
+
+    def test_deterministic(self):
+        a = make_delayed_streams(random.Random(9))
+        b = make_delayed_streams(random.Random(9))
+        assert [s.items for s in a] == [s.items for s in b]

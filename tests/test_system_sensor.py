@@ -1,0 +1,141 @@
+"""Unit tests for the generic external (system metrics) sensor."""
+
+import pathlib
+
+import pytest
+
+from repro.core.catalog import CATALOG_EVENT_ID, EventCatalog
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.core.system_sensor import (
+    EV_LOADAVG,
+    EV_MEMORY,
+    EV_PROC_CPU,
+    EV_PROC_RSS,
+    SystemMetricsSensor,
+    build_catalog,
+)
+
+
+@pytest.fixture
+def fake_proc(tmp_path: pathlib.Path) -> pathlib.Path:
+    (tmp_path / "loadavg").write_text("0.52 0.58 0.59 1/257 12345\n")
+    (tmp_path / "meminfo").write_text(
+        "MemTotal:       16384000 kB\n"
+        "MemFree:         1234567 kB\n"
+        "MemAvailable:    8192000 kB\n"
+    )
+    self_dir = tmp_path / "self"
+    self_dir.mkdir()
+    # pid (comm with space) state ppid pgrp session tty tpgid flags minflt
+    # cminflt majflt cmajflt utime stime ...
+    stat_fields = ["R", "1", "1", "1", "0", "-1", "4194304"]
+    stat_fields += ["10", "0", "0", "0"]          # minflt..cmajflt
+    stat_fields += ["250", "50"]                   # utime, stime (ticks)
+    stat_fields += ["0"] * 7                       # cutime..starttime
+    stat_fields += ["99999999", "4096"]            # vsize, rss pages
+    (self_dir / "stat").write_text(
+        "4242 (python (test)) " + " ".join(stat_fields) + "\n"
+    )
+    return tmp_path
+
+
+def make_sensor():
+    ring = ring_for_records(1_000)
+    return Sensor(ring, node_id=1), ring
+
+
+class TestSampling:
+    def test_samples_all_families(self, fake_proc):
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(sensor, proc_root=fake_proc)
+        emitted = metrics.sample()
+        assert emitted == 4
+        records = {r.event_id: r for r in ring.drain() if r.event_id != CATALOG_EVENT_ID}
+        assert set(records) == {EV_LOADAVG, EV_MEMORY, EV_PROC_CPU, EV_PROC_RSS}
+
+    def test_loadavg_values(self, fake_proc):
+        sensor, ring = make_sensor()
+        SystemMetricsSensor(sensor, proc_root=fake_proc, announce=False).sample()
+        loadavg = next(r for r in ring.drain() if r.event_id == EV_LOADAVG)
+        assert loadavg.values == (0.52, 0.58)
+
+    def test_memory_values(self, fake_proc):
+        sensor, ring = make_sensor()
+        SystemMetricsSensor(sensor, proc_root=fake_proc, announce=False).sample()
+        memory = next(r for r in ring.drain() if r.event_id == EV_MEMORY)
+        assert memory.values == (16_384_000, 8_192_000)
+
+    def test_proc_cpu_scaled_by_clock_ticks(self, fake_proc):
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(sensor, proc_root=fake_proc, announce=False)
+        metrics.sample()
+        cpu = next(r for r in ring.drain() if r.event_id == EV_PROC_CPU)
+        assert cpu.values[0] == pytest.approx(250 / metrics._clock_ticks)
+        assert cpu.values[1] == pytest.approx(50 / metrics._clock_ticks)
+
+    def test_rss_scaled_to_kb(self, fake_proc):
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(sensor, proc_root=fake_proc, announce=False)
+        metrics.sample()
+        rss = next(r for r in ring.drain() if r.event_id == EV_PROC_RSS)
+        assert rss.values[0] == 4096 * metrics._page_kb
+
+    def test_comm_with_spaces_and_parens_parsed(self, fake_proc):
+        # The fixture's comm is "(python (test))" — the classic stat
+        # parsing trap; rindex(')') handles it.
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(sensor, proc_root=fake_proc, announce=False)
+        assert metrics.sample() == 4
+        assert metrics.errors == {}
+
+
+class TestRobustness:
+    def test_missing_procfs_counts_errors_not_raises(self, tmp_path):
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(
+            sensor, proc_root=tmp_path / "nope", announce=False
+        )
+        assert metrics.sample() == 0
+        assert sum(metrics.errors.values()) == 4
+        assert ring.drain() == []
+
+    def test_partial_procfs(self, tmp_path):
+        (tmp_path / "loadavg").write_text("1.0 2.0 3.0 1/2 3\n")
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(sensor, proc_root=tmp_path, announce=False)
+        assert metrics.sample() == 1
+        assert metrics.emitted == {EV_LOADAVG: 1}
+
+    def test_malformed_meminfo(self, tmp_path):
+        (tmp_path / "meminfo").write_text("Nonsense: 42\n")
+        sensor, _ = make_sensor()
+        metrics = SystemMetricsSensor(sensor, proc_root=tmp_path, announce=False)
+        metrics.sample()
+        assert EV_MEMORY in metrics.errors
+
+
+class TestCatalogIntegration:
+    def test_catalog_announced_on_construction(self, fake_proc):
+        sensor, ring = make_sensor()
+        SystemMetricsSensor(sensor, proc_root=fake_proc)
+        defs = [r for r in ring.drain() if r.event_id == CATALOG_EVENT_ID]
+        catalog = EventCatalog.from_trace(defs)
+        assert catalog.name_of(EV_LOADAVG) == "sys.loadavg"
+        assert catalog.name_of(EV_PROC_RSS) == "proc.rss"
+
+    def test_build_catalog_schemas(self):
+        catalog = build_catalog()
+        assert len(catalog) == 4
+        assert len(catalog.schema_of(EV_MEMORY)) == 2
+
+    def test_real_procfs_when_available(self):
+        if not pathlib.Path("/proc/self/stat").exists():
+            pytest.skip("no procfs on this platform")
+        sensor, ring = make_sensor()
+        metrics = SystemMetricsSensor(sensor, announce=False)
+        emitted = metrics.sample()
+        assert emitted >= 3  # loadavg/meminfo/stat all standard on Linux
+        records = ring.drain()
+        cpu = next(r for r in records if r.event_id == EV_PROC_CPU)
+        assert cpu.values[0] >= 0.0

@@ -1,0 +1,191 @@
+"""Integration tests for the command-line tools."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.analysis.trace import Trace
+from repro.core.records import EventRecord, FieldType
+from repro.picl.format import dumps
+from repro.tools import ism_cli, replay_cli, trace_stats_cli
+from repro.wire import protocol
+from repro.wire.tcp import connect
+
+from tests.conftest import make_record
+
+
+@pytest.fixture
+def picl_file(tmp_path):
+    records = []
+    for node in (1, 2):
+        for k in range(20):
+            records.append(
+                make_record(
+                    event_id=node,
+                    timestamp=1_000_000 + k * 50_000 + node * 7,
+                    node_id=node,
+                )
+            )
+    # A causal pair for the --causal report.
+    records.append(
+        EventRecord(
+            event_id=9, timestamp=1_100_000,
+            field_types=(FieldType.X_REASON,), values=(77,), node_id=1,
+        )
+    )
+    records.append(
+        EventRecord(
+            event_id=10, timestamp=1_150_000,
+            field_types=(FieldType.X_CONSEQ,), values=(77,), node_id=2,
+        )
+    )
+    path = tmp_path / "run.picl"
+    path.write_text(dumps(sorted(records, key=lambda r: r.sort_key())))
+    return path
+
+
+class TestTraceStatsCli:
+    def test_basic_summary(self, picl_file, capsys):
+        assert trace_stats_cli.main([str(picl_file)]) == 0
+        out = capsys.readouterr().out
+        assert "records:       42" in out
+        assert "nodes:         2" in out
+        assert "per-node activity" in out
+
+    def test_rates_and_causal_flags(self, picl_file, capsys):
+        assert (
+            trace_stats_cli.main([str(picl_file), "--rates", "--causal"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "rate timeline:" in out
+        assert "causal structure:" in out
+        assert "edges:                1" in out
+
+    def test_empty_trace(self, tmp_path, capsys):
+        empty = tmp_path / "empty.picl"
+        empty.write_text("")
+        assert trace_stats_cli.main([str(empty)]) == 0
+        assert "records:       0" in capsys.readouterr().out
+
+
+class TestReplayCli:
+    def test_reorders_a_shuffled_trace(self, tmp_path, capsys):
+        # Arrival order deliberately scrambled across nodes.
+        records = [
+            make_record(timestamp=ts, node_id=node, event_id=node)
+            for node, ts in [(1, 300), (2, 100), (1, 400), (2, 200)]
+        ]
+        raw = tmp_path / "raw.picl"
+        raw.write_text(dumps(records))
+        out_path = tmp_path / "sorted.picl"
+        assert replay_cli.main([str(raw), str(out_path)]) == 0
+        with open(out_path) as stream:
+            replayed = Trace.from_picl(stream)
+        assert [r.timestamp for r in replayed] == [100, 200, 300, 400]
+        assert "replayed 4 records" in capsys.readouterr().out
+
+    def test_relative_mode_output(self, tmp_path):
+        raw = tmp_path / "raw.picl"
+        raw.write_text(dumps([make_record(timestamp=2_000_000)]))
+        out_path = tmp_path / "rel.picl"
+        assert replay_cli.main([str(raw), str(out_path), "--relative"]) == 0
+        assert "0.000000" in out_path.read_text()
+
+    def test_empty_input(self, tmp_path, capsys):
+        raw = tmp_path / "raw.picl"
+        raw.write_text("")
+        out_path = tmp_path / "out.picl"
+        assert replay_cli.main([str(raw), str(out_path)]) == 0
+        assert out_path.read_text() == ""
+
+
+class TestIsmCliShmOut:
+    def test_shared_output_segment_readable_while_serving(self, capsys):
+        from repro.runtime.shm_consumer import SharedMemoryReader
+
+        result = {}
+
+        def run_server():
+            result["rc"] = ism_cli.main(
+                [
+                    "--port", "0",
+                    "--shm-out", "brisk_test_out",
+                    "--sync-period", "0",
+                    "--until-records", "5",
+                    "--duration", "20",
+                ]
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        port = None
+        deadline = time.time() + 10
+        while port is None and time.time() < deadline:
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if line.startswith("brisk-ism listening on"):
+                    port = int(line.rsplit(":", 1)[1])
+            time.sleep(0.05)
+        assert port is not None
+
+        reader = SharedMemoryReader("brisk_test_out")
+        try:
+            conn = connect("127.0.0.1", port)
+            conn.send(protocol.Hello(exs_id=1, node_id=1))
+            records = tuple(
+                make_record(event_id=3, timestamp=k) for k in range(5)
+            )
+            conn.send(protocol.Batch(exs_id=1, seq=0, records=records))
+            received = reader.poll(timeout_s=10.0)
+            assert len(received) == 5
+            thread.join(timeout=15)
+            conn.close()
+            assert result["rc"] == 0
+        finally:
+            reader.close()
+
+
+class TestIsmCli:
+    def test_serves_and_logs_picl(self, tmp_path, capsys):
+        out_path = tmp_path / "ism.picl"
+        result = {}
+
+        def run_server():
+            result["rc"] = ism_cli.main(
+                [
+                    "--port", "0",
+                    "--picl", str(out_path),
+                    "--sync-period", "0",
+                    "--until-records", "10",
+                    "--duration", "20",
+                ]
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        # Parse the announced port from stdout.
+        port = None
+        deadline = time.time() + 10
+        while port is None and time.time() < deadline:
+            out = capsys.readouterr().out
+            for line in out.splitlines():
+                if line.startswith("brisk-ism listening on"):
+                    port = int(line.rsplit(":", 1)[1])
+            time.sleep(0.05)
+        assert port is not None, "server never announced its port"
+
+        conn = connect("127.0.0.1", port)
+        conn.send(protocol.Hello(exs_id=1, node_id=1))
+        records = tuple(
+            make_record(event_id=5, timestamp=1_000 + k) for k in range(10)
+        )
+        conn.send(protocol.Batch(exs_id=1, seq=0, records=records))
+        thread.join(timeout=15)
+        conn.close()
+        assert not thread.is_alive()
+        assert result["rc"] == 0
+        with open(out_path) as stream:
+            trace = Trace.from_picl(stream)
+        assert len(trace) == 10

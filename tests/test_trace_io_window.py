@@ -1,0 +1,96 @@
+"""Tests for native trace files and the recent-window consumer."""
+
+import pytest
+
+from repro.analysis.trace import Trace
+from repro.core.consumers import Consumer, RecentWindowConsumer
+
+from tests.conftest import make_mixed_record, make_record
+
+
+class TestNativeTraceFile:
+    def test_roundtrip(self, tmp_path):
+        records = [make_record(event_id=i, timestamp=i * 10) for i in range(100)]
+        records.append(make_mixed_record(timestamp=10_000))
+        trace = Trace(records)
+        path = tmp_path / "trace.bin"
+        written = trace.save_native(path)
+        assert written == path.stat().st_size > 0
+        assert Trace.from_native_file(path) == trace
+
+    def test_smaller_than_picl_for_binary_payloads(self, tmp_path):
+        # Binary payloads hex-escape in PICL (2 chars/byte); native stores
+        # them raw, so it wins clearly there.
+        from repro.core.records import EventRecord, FieldType
+
+        records = [
+            EventRecord(
+                event_id=i,
+                timestamp=1_700_000_000_000_000 + i,
+                field_types=(FieldType.X_OPAQUE,),
+                values=(bytes(range(100)),),
+            )
+            for i in range(200)
+        ]
+        trace = Trace(records)
+        bin_path = tmp_path / "t.bin"
+        picl_path = tmp_path / "t.picl"
+        trace.save_native(bin_path)
+        with open(picl_path, "w") as stream:
+            trace.to_picl(stream)
+        assert bin_path.stat().st_size < picl_path.stat().st_size
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        assert Trace([]).save_native(path) == 0
+        assert len(Trace.from_native_file(path)) == 0
+
+
+class TestRecentWindowConsumer:
+    def test_keeps_only_window(self):
+        window = RecentWindowConsumer(window_us=1_000)
+        for ts in (0, 500, 900, 1_500, 2_000):
+            window.deliver(make_record(timestamp=ts))
+        kept = [r.timestamp for r in window.snapshot()]
+        # Horizon at 2_000 - 1_000 = 1_000: only 1_500 and 2_000 remain.
+        assert kept == [1_500, 2_000]
+        assert window.evicted == 3
+        assert window.delivered == 5
+
+    def test_record_cap(self):
+        window = RecentWindowConsumer(window_us=10**9, max_records=3)
+        for ts in range(5):
+            window.deliver(make_record(timestamp=ts))
+        assert len(window) == 3
+        assert [r.timestamp for r in window.snapshot()] == [2, 3, 4]
+        assert window.evicted == 2
+
+    def test_satisfies_consumer_protocol(self):
+        assert isinstance(RecentWindowConsumer(), Consumer)
+
+    def test_close_clears(self):
+        window = RecentWindowConsumer()
+        window.deliver(make_record())
+        window.close()
+        assert len(window) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecentWindowConsumer(window_us=0)
+        with pytest.raises(ValueError):
+            RecentWindowConsumer(max_records=0)
+
+    def test_works_as_ism_output(self):
+        from repro.core.ism import InstrumentationManager, IsmConfig
+        from repro.core.sorting import SorterConfig
+        from repro.wire import protocol
+
+        window = RecentWindowConsumer(window_us=100)
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)), [window]
+        )
+        manager.register_source(1, 1)
+        records = tuple(make_record(timestamp=k * 50) for k in range(10))
+        manager.on_batch(protocol.Batch(exs_id=1, seq=0, records=records), now=0)
+        manager.tick(now=10**9)
+        assert len(window) <= 3  # only the newest 100 µs survive

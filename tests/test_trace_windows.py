@@ -1,0 +1,88 @@
+"""Unit tests for trace phase splitting and windowing."""
+
+import pytest
+
+from repro.analysis.trace import Trace
+from repro.tools import trace_stats_cli
+from repro.picl.format import dumps
+
+from tests.conftest import make_record
+
+
+def burst_trace() -> Trace:
+    # Two bursts separated by a 1-second gap.
+    records = [make_record(timestamp=k * 1_000) for k in range(10)]
+    records += [make_record(timestamp=1_009_000 + k * 1_000) for k in range(5)]
+    return Trace(records)
+
+
+class TestSplitByGap:
+    def test_splits_at_large_gaps(self):
+        phases = burst_trace().split_by_gap(gap_threshold_us=100_000)
+        assert [len(p) for p in phases] == [10, 5]
+        assert phases[0].end_us < phases[1].start_us
+
+    def test_no_split_when_threshold_large(self):
+        phases = burst_trace().split_by_gap(gap_threshold_us=10_000_000)
+        assert len(phases) == 1
+        assert len(phases[0]) == 15
+
+    def test_every_gap_splits_when_threshold_tiny(self):
+        phases = burst_trace().split_by_gap(gap_threshold_us=1)
+        assert len(phases) == 15
+
+    def test_empty_trace(self):
+        assert Trace([]).split_by_gap(1_000) == []
+
+    def test_phases_conserve_records(self):
+        trace = burst_trace()
+        phases = trace.split_by_gap(50_000)
+        assert sum(len(p) for p in phases) == len(trace)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            burst_trace().split_by_gap(0)
+
+
+class TestIterWindows:
+    def test_windows_tile_extent(self):
+        trace = burst_trace()
+        windows = list(trace.iter_windows(width_us=500_000))
+        assert sum(len(w) for _, w in windows) == len(trace)
+        starts = [start for start, _ in windows]
+        assert starts == sorted(starts)
+        assert all(
+            b - a == 500_000 for a, b in zip(starts, starts[1:])
+        )
+
+    def test_empty_windows_reported(self):
+        trace = burst_trace()
+        windows = list(trace.iter_windows(width_us=100_000))
+        assert any(len(w) == 0 for _, w in windows)  # the quiet middle
+
+    def test_empty_trace_yields_nothing(self):
+        assert list(Trace([]).iter_windows(1_000)) == []
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            list(burst_trace().iter_windows(0))
+
+
+class TestTimelineCliFlag:
+    def test_timeline_sections_render(self, tmp_path, capsys):
+        path = tmp_path / "t.picl"
+        path.write_text(dumps(list(burst_trace())))
+        assert trace_stats_cli.main([str(path), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "event timelines:" in out
+        assert "node heatmap:" in out
+        assert "peak" in out
+
+    def test_anomalies_section_renders(self, tmp_path, capsys):
+        path = tmp_path / "t.picl"
+        path.write_text(dumps(list(burst_trace())))
+        assert trace_stats_cli.main([str(path), "--anomalies"]) == 0
+        out = capsys.readouterr().out
+        assert "anomalies:" in out
+        # The burst trace's 1-second hole is a silence gap.
+        assert "silence" in out

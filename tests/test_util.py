@@ -1,0 +1,140 @@
+"""Unit tests for time base and statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import Histogram, RunningStats, percentile
+from repro.util.timebase import (
+    MICROS_PER_SEC,
+    check_timestamp,
+    micros_to_seconds,
+    now_micros,
+    seconds_to_micros,
+)
+
+
+class TestTimebase:
+    def test_now_micros_is_monotonic_enough(self):
+        a = now_micros()
+        b = now_micros()
+        assert b >= a
+        assert a > 1_500_000_000 * MICROS_PER_SEC  # after 2017, sanity
+
+    def test_conversions_roundtrip(self):
+        assert seconds_to_micros(1.5) == 1_500_000
+        assert micros_to_seconds(2_500_000) == 2.5
+        assert seconds_to_micros(micros_to_seconds(123_456)) == 123_456
+
+    def test_check_timestamp_bounds(self):
+        assert check_timestamp(0) == 0
+        assert check_timestamp(2**63 - 1) == 2**63 - 1
+        with pytest.raises(ValueError):
+            check_timestamp(2**63)
+        with pytest.raises(ValueError):
+            check_timestamp(-(2**63) - 1)
+
+
+class TestRunningStats:
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.count == 8
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.138, abs=1e-3)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_two_pass_computation(self, xs):
+        stats = RunningStats()
+        stats.extend(xs)
+        mean = sum(xs) / len(xs)
+        var = sum((x - mean) ** 2 for x in xs) / (len(xs) - 1)
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
+        assert stats.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), max_size=50),
+        st.lists(st.floats(-1e6, 1e6), max_size=50),
+    )
+    def test_merge_equals_concatenation(self, xs, ys):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == c.count
+        assert merged.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-4)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_element(self):
+        assert percentile([7], 99) == 7
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestHistogram:
+    def test_binning(self):
+        hist = Histogram(edges=[0, 10, 20, 30])
+        hist.extend([5, 15, 15, 25, -1, 30, 100])
+        assert hist.counts == [1, 2, 1]
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+        assert hist.total == 7
+
+    def test_boundary_goes_to_upper_bin(self):
+        hist = Histogram(edges=[0, 10, 20])
+        hist.add(10)
+        assert hist.counts == [0, 1]
+
+    def test_fraction_below(self):
+        hist = Histogram(edges=[0, 100, 200, 400])
+        hist.extend([50, 150, 150, 350])
+        assert hist.fraction_below(200) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            hist.fraction_below(123)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[1])
+        with pytest.raises(ValueError):
+            Histogram(edges=[1, 1])
+        with pytest.raises(ValueError):
+            Histogram(edges=[0, 10], counts=[1, 2])
+
+    def test_many_bins_binary_search(self):
+        edges = list(range(0, 1001, 10))
+        hist = Histogram(edges=edges)
+        for x in range(0, 1000):
+            hist.add(x + 0.5)
+        assert all(c == 10 for c in hist.counts)

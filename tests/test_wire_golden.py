@@ -1,0 +1,111 @@
+"""Golden-vector tests locking the wire format.
+
+The byte layout is a protocol contract: implementations on other
+platforms (or future versions of this one) must produce these exact
+bytes.  If one of these tests fails, the wire format changed — that is
+a compatibility break, not a refactor.
+"""
+
+from repro.core.records import EventRecord, FieldType
+from repro.wire import protocol
+from tests.conftest import make_record
+
+
+def test_six_int_batch_golden():
+    record = EventRecord(
+        event_id=0x07,
+        timestamp=0x0102030405060708,
+        field_types=(FieldType.X_INT,) * 6,
+        values=(1, 2, 3, 4, 5, 6),
+    )
+    encoded = protocol.encode_batch_records(0x0A, 0x0B, [record])
+    expected = bytes.fromhex(
+        "b215c001"          # magic
+        "00000001"          # msg type BATCH
+        "00000001"          # flags: compressed meta
+        "0000000a"          # exs id
+        "0000000b"          # seq
+        "00000001"          # one record
+        "0102030405060708"  # base ts (first record's)
+        "00000007"          # event id
+        "06444444"          # meta: n=6, six X_INT (4) nibbles
+        "0102030405060708"  # timestamp
+        "000000010000000200000003"
+        "000000040000000500000006"
+    )
+    assert encoded == expected
+    assert len(encoded) - 32 == 40  # the paper's 40-byte record
+
+
+def test_meta_nibble_packing_golden():
+    record = EventRecord(
+        event_id=1,
+        timestamp=0,
+        field_types=(FieldType.X_BYTE, FieldType.X_DOUBLE, FieldType.X_STRING),
+        values=(0, 0.0, ""),
+    )
+    encoded = protocol.encode_batch_records(1, 0, [record])
+    # meta word: count 3 in top byte, codes 0 (X_BYTE), 9 (X_DOUBLE),
+    # 10 (X_STRING) in successive nibbles, zero-padded low bits.
+    meta_offset = 4 * 6 + 8 + 4  # header words + base ts + event id
+    assert encoded[meta_offset : meta_offset + 4] == bytes.fromhex("030 9a000".replace(" ", ""))
+
+
+def test_control_messages_golden():
+    assert protocol.encode_message(
+        protocol.TimeRequest(probe_id=0x1234)
+    ) == bytes.fromhex("b215c001" "00000003" "00001234")
+    assert protocol.encode_message(
+        protocol.TimeReply(probe_id=1, slave_time=-1)
+    ) == bytes.fromhex("b215c001" "00000004" "00000001" "ffffffffffffffff")
+    assert protocol.encode_message(
+        protocol.Adjust(correction=0x10, round_id=2)
+    ) == bytes.fromhex("b215c001" "00000005" "0000000000000010" "00000002")
+    assert protocol.encode_message(protocol.Bye(reason="ok")) == bytes.fromhex(
+        "b215c001" "00000006" "00000002" "6f6b0000"
+    )
+    assert protocol.encode_message(protocol.Hello(exs_id=1, node_id=2)) == (
+        bytes.fromhex("b215c001" "00000002" "00000001" "00000002" "00000000")
+    )
+
+
+def test_set_filter_golden():
+    msg = protocol.SetFilter(
+        allow_all_events=False,
+        allowed_events=(7,),
+        blocked_events=(),
+        sample_every=3,
+    )
+    assert protocol.encode_message(msg) == bytes.fromhex(
+        "b215c001"  # magic
+        "00000007"  # SET_FILTER
+        "00000000"  # allow_all_events = False
+        "00000001" "00000007"  # allowed: [7]
+        "00000000"  # blocked: []
+        "00000003"  # sample_every
+    )
+
+
+def test_delta_ts_golden():
+    records = [
+        make_record(timestamp=1_000_000),
+        make_record(timestamp=1_000_100),
+    ]
+    encoded = protocol.encode_batch_records(1, 0, records, delta_ts=True)
+    # First record delta 0, second delta 100 — four bytes each.
+    assert bytes.fromhex("00000000") in encoded
+    assert bytes.fromhex("00000064") in encoded
+    # And the full-width timestamps appear only once (base_ts).
+    assert encoded.count((1_000_000).to_bytes(8, "big")) == 1
+
+
+def test_string_padding_golden():
+    record = EventRecord(
+        event_id=1,
+        timestamp=0,
+        field_types=(FieldType.X_STRING,),
+        values=("abc",),
+    )
+    encoded = protocol.encode_batch_records(1, 0, [record])
+    # length 3, "abc", one zero pad byte.
+    assert encoded.endswith(bytes.fromhex("00000003" "61626300"))

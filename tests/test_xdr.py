@@ -1,0 +1,231 @@
+"""Unit tests for the XDR encoder/decoder (RFC 4506 conformance)."""
+
+import math
+import struct
+
+import pytest
+
+from repro.xdr import (
+    XdrDecodeError,
+    XdrDecoder,
+    XdrEncodeError,
+    XdrEncoder,
+)
+
+
+def roundtrip(pack, unpack, value):
+    enc = XdrEncoder()
+    pack(enc, value)
+    dec = XdrDecoder(enc.getvalue())
+    result = unpack(dec)
+    dec.done()
+    return result
+
+
+class TestIntegers:
+    @pytest.mark.parametrize("value", [0, 1, -1, 2**31 - 1, -(2**31)])
+    def test_int_roundtrip(self, value):
+        assert roundtrip(XdrEncoder.pack_int, XdrDecoder.unpack_int, value) == value
+
+    @pytest.mark.parametrize("value", [2**31, -(2**31) - 1])
+    def test_int_range_rejected(self, value):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_int(value)
+
+    @pytest.mark.parametrize("value", [0, 1, 2**32 - 1])
+    def test_uint_roundtrip(self, value):
+        assert roundtrip(XdrEncoder.pack_uint, XdrDecoder.unpack_uint, value) == value
+
+    @pytest.mark.parametrize("value", [-1, 2**32])
+    def test_uint_range_rejected(self, value):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_uint(value)
+
+    @pytest.mark.parametrize("value", [0, 2**62, -(2**62), 2**63 - 1, -(2**63)])
+    def test_hyper_roundtrip(self, value):
+        assert (
+            roundtrip(XdrEncoder.pack_hyper, XdrDecoder.unpack_hyper, value) == value
+        )
+
+    def test_hyper_range_rejected(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_hyper(2**63)
+
+    @pytest.mark.parametrize("value", [0, 2**64 - 1])
+    def test_uhyper_roundtrip(self, value):
+        assert (
+            roundtrip(XdrEncoder.pack_uhyper, XdrDecoder.unpack_uhyper, value)
+            == value
+        )
+
+    def test_int_is_big_endian(self):
+        enc = XdrEncoder()
+        enc.pack_int(1)
+        assert enc.getvalue() == b"\x00\x00\x00\x01"
+
+    def test_int_occupies_four_bytes(self):
+        enc = XdrEncoder()
+        enc.pack_int(-1)
+        assert len(enc.getvalue()) == 4
+
+
+class TestBoolEnum:
+    def test_bool_roundtrip(self):
+        for value in (True, False):
+            assert (
+                roundtrip(XdrEncoder.pack_bool, XdrDecoder.unpack_bool, value)
+                is value
+            )
+
+    def test_bool_rejects_other_values(self):
+        dec = XdrDecoder(struct.pack(">i", 2))
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_bool()
+
+    def test_enum_roundtrip(self):
+        assert roundtrip(XdrEncoder.pack_enum, XdrDecoder.unpack_enum, -7) == -7
+
+
+class TestFloats:
+    def test_double_roundtrip_exact(self):
+        for value in (0.0, 1.5, -math.pi, 1e300, float("inf")):
+            assert (
+                roundtrip(XdrEncoder.pack_double, XdrDecoder.unpack_double, value)
+                == value
+            )
+
+    def test_double_nan(self):
+        result = roundtrip(
+            XdrEncoder.pack_double, XdrDecoder.unpack_double, float("nan")
+        )
+        assert math.isnan(result)
+
+    def test_float_single_precision(self):
+        result = roundtrip(XdrEncoder.pack_float, XdrDecoder.unpack_float, 0.1)
+        assert result == pytest.approx(0.1, rel=1e-6)
+        assert result != 0.1  # precision was genuinely reduced
+
+    def test_float_ieee_bytes(self):
+        enc = XdrEncoder()
+        enc.pack_float(1.0)
+        assert enc.getvalue() == b"\x3f\x80\x00\x00"
+
+
+class TestOpaqueString:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3, 4, 5, 255])
+    def test_opaque_roundtrip_and_padding(self, length):
+        data = bytes(range(256))[:length]
+        enc = XdrEncoder()
+        enc.pack_opaque(data)
+        encoded = enc.getvalue()
+        assert len(encoded) % 4 == 0
+        assert len(encoded) == 4 + length + (4 - length % 4) % 4
+        dec = XdrDecoder(encoded)
+        assert dec.unpack_opaque() == data
+        dec.done()
+
+    def test_fopaque_roundtrip(self):
+        enc = XdrEncoder()
+        enc.pack_fopaque(5, b"hello")
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_fopaque(5) == b"hello"
+        dec.done()
+
+    def test_fopaque_wrong_length_rejected(self):
+        with pytest.raises(XdrEncodeError):
+            XdrEncoder().pack_fopaque(4, b"hello")
+
+    def test_nonzero_padding_rejected(self):
+        # "hello" padded with garbage instead of zeros.
+        raw = struct.pack(">I", 5) + b"hello" + b"\x01\x02\x03"
+        dec = XdrDecoder(raw)
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_opaque()
+
+    def test_string_utf8_roundtrip(self):
+        assert (
+            roundtrip(XdrEncoder.pack_string, XdrDecoder.unpack_string, "héllo ∀")
+            == "héllo ∀"
+        )
+
+    def test_string_invalid_utf8_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"\xff\xfe")
+        dec = XdrDecoder(enc.getvalue())
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_string()
+
+    def test_opaque_length_limit(self):
+        enc = XdrEncoder()
+        enc.pack_opaque(b"x" * 100)
+        dec = XdrDecoder(enc.getvalue())
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_opaque(max_length=99)
+
+    def test_opaque_hostile_length_prefix(self):
+        # Length prefix claims 2**31 bytes; decoder must not allocate it.
+        raw = struct.pack(">I", 2**31) + b"abcd"
+        dec = XdrDecoder(raw)
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_opaque()
+
+
+class TestArrays:
+    def test_farray_roundtrip(self):
+        enc = XdrEncoder()
+        enc.pack_farray(3, [1, 2, 3], enc.pack_int)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_farray(3, dec.unpack_int) == [1, 2, 3]
+
+    def test_farray_wrong_length(self):
+        enc = XdrEncoder()
+        with pytest.raises(XdrEncodeError):
+            enc.pack_farray(2, [1, 2, 3], enc.pack_int)
+
+    def test_array_roundtrip(self):
+        enc = XdrEncoder()
+        enc.pack_array([10, 20], enc.pack_uint)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_array(dec.unpack_uint) == [10, 20]
+
+    def test_array_length_limit(self):
+        enc = XdrEncoder()
+        enc.pack_array([1] * 10, enc.pack_int)
+        dec = XdrDecoder(enc.getvalue())
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_array(dec.unpack_int, max_length=9)
+
+
+class TestCursor:
+    def test_truncated_read_raises(self):
+        dec = XdrDecoder(b"\x00\x00")
+        with pytest.raises(XdrDecodeError):
+            dec.unpack_int()
+
+    def test_done_rejects_trailing_bytes(self):
+        dec = XdrDecoder(b"\x00\x00\x00\x01\xff")
+        dec.unpack_int()
+        with pytest.raises(XdrDecodeError):
+            dec.done()
+
+    def test_position_and_remaining(self):
+        dec = XdrDecoder(b"\x00" * 12)
+        assert dec.remaining == 12
+        dec.unpack_int()
+        assert dec.position == 4
+        assert dec.remaining == 8
+
+    def test_encoder_reset_reuses_buffer(self):
+        enc = XdrEncoder()
+        enc.pack_int(1)
+        enc.reset()
+        assert len(enc) == 0
+        enc.pack_int(2)
+        assert enc.getvalue() == b"\x00\x00\x00\x02"
+
+    def test_append_raw_requires_alignment(self):
+        enc = XdrEncoder()
+        with pytest.raises(XdrEncodeError):
+            enc.append_raw(b"abc")
+        enc.append_raw(b"abcd")
+        assert enc.getvalue() == b"abcd"

@@ -1,0 +1,87 @@
+"""Unit tests for RFC 5531 record marking (stream framing)."""
+
+import struct
+
+import pytest
+
+from repro.xdr import (
+    RecordMarkingReader,
+    XdrDecodeError,
+    frame_record,
+    split_records,
+)
+
+
+class TestFraming:
+    def test_frame_sets_last_fragment_bit(self):
+        frame = frame_record(b"abc")
+        (header,) = struct.unpack(">I", frame[:4])
+        assert header & 0x8000_0000
+        assert header & 0x7FFF_FFFF == 3
+        assert frame[4:] == b"abc"
+
+    def test_empty_payload(self):
+        assert split_records(frame_record(b"")) == [b""]
+
+    def test_multiple_records(self):
+        data = frame_record(b"one") + frame_record(b"two") + frame_record(b"three")
+        assert split_records(data) == [b"one", b"two", b"three"]
+
+
+class TestIncrementalReader:
+    def test_byte_at_a_time(self):
+        data = frame_record(b"hello") + frame_record(b"world")
+        reader = RecordMarkingReader()
+        records = []
+        for i in range(len(data)):
+            records.extend(reader.feed(data[i : i + 1]))
+        assert records == [b"hello", b"world"]
+        assert reader.pending_bytes == 0
+
+    def test_chunk_spanning_boundary(self):
+        data = frame_record(b"aaaa") + frame_record(b"bbbb")
+        reader = RecordMarkingReader()
+        records = list(reader.feed(data[:6]))
+        assert records == []
+        records = list(reader.feed(data[6:]))
+        assert records == [b"aaaa", b"bbbb"]
+
+    def test_multi_fragment_record(self):
+        # Two fragments: "hel" (more follows) + "lo" (last).
+        data = (
+            struct.pack(">I", 3) + b"hel" + struct.pack(">I", 0x8000_0000 | 2) + b"lo"
+        )
+        reader = RecordMarkingReader()
+        assert list(reader.feed(data)) == [b"hello"]
+
+    def test_pending_partial_record_detected(self):
+        data = frame_record(b"abcdef")[:-2]
+        with pytest.raises(XdrDecodeError):
+            split_records(data)
+
+    def test_oversize_record_rejected(self):
+        reader = RecordMarkingReader(max_record=8)
+        with pytest.raises(XdrDecodeError):
+            list(reader.feed(frame_record(b"x" * 9)))
+
+    def test_oversize_limit_counts_reassembled_size(self):
+        reader = RecordMarkingReader(max_record=4)
+        # Two 3-byte fragments of one record exceed the 4-byte limit.
+        data = struct.pack(">I", 3) + b"abc" + struct.pack(">I", 0x8000_0000 | 3) + b"def"
+        with pytest.raises(XdrDecodeError):
+            list(reader.feed(data))
+
+    def test_payload_too_large_to_frame(self):
+        class Huge(bytes):
+            # Fake a 2 GiB payload without allocating one.
+            def __len__(self) -> int:
+                return 0x8000_0000
+
+        with pytest.raises(ValueError):
+            frame_record(Huge())
+
+    def test_reader_resumes_after_each_record(self):
+        reader = RecordMarkingReader()
+        out1 = list(reader.feed(frame_record(b"1")))
+        out2 = list(reader.feed(frame_record(b"2")))
+        assert (out1, out2) == ([b"1"], [b"2"])
