@@ -1,0 +1,70 @@
+"""Codec-regression guard: the specialized wire codec must never be slower.
+
+A fast smoke benchmark (no pytest-benchmark fixture, plain best-of-N
+timing; total runtime well under a second) that fails if the
+schema-specialized codec path loses to — or silently stops beating — the
+seed dynamic path, so a refactor cannot quietly bypass or regress the
+fast path.  Byte identity is asserted in the same breath: a fast path
+that wins by changing the wire format is also a failure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.records import EventRecord, FieldType
+from repro.wire import protocol
+
+_N_RECORDS = 256
+_REPEATS = 7
+
+
+def _records() -> list[EventRecord]:
+    return [
+        EventRecord(
+            event_id=7,
+            timestamp=1_000_000 + i,
+            field_types=(FieldType.X_INT,) * 6,
+            values=(i, 2, 3, 4, 5, 6),
+        )
+        for i in range(_N_RECORDS)
+    ]
+
+
+def _best(fn, repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_specialized_encode_not_slower_than_dynamic():
+    records = _records()
+    fast_bytes = protocol.encode_batch_records(1, 0, records)
+    slow_bytes = protocol.encode_batch_records(1, 0, records, use_fastpath=False)
+    assert fast_bytes == slow_bytes  # identical wire output, or no deal
+
+    fast = _best(lambda: protocol.encode_batch_records(1, 0, records))
+    slow = _best(
+        lambda: protocol.encode_batch_records(1, 0, records, use_fastpath=False)
+    )
+    assert fast <= slow, (
+        f"specialized encode ({fast * 1e6:.0f} µs/batch) slower than "
+        f"dynamic ({slow * 1e6:.0f} µs/batch)"
+    )
+
+
+def test_specialized_decode_not_slower_than_dynamic():
+    payload = protocol.encode_batch_records(1, 0, _records())
+    assert protocol.decode_message(payload) == protocol.decode_message(
+        payload, use_fastpath=False
+    )
+
+    fast = _best(lambda: protocol.decode_message(payload))
+    slow = _best(lambda: protocol.decode_message(payload, use_fastpath=False))
+    assert fast <= slow, (
+        f"specialized decode ({fast * 1e6:.0f} µs/batch) slower than "
+        f"dynamic ({slow * 1e6:.0f} µs/batch)"
+    )

@@ -8,8 +8,19 @@ This reproduces the exact figure and sweeps record width and field types,
 plus the encode/decode speed of the codec itself.
 """
 
+import time
+
 from repro.core.records import EventRecord, FieldType
 from repro.wire import protocol
+
+
+def _best(fn, rounds: int = 40) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def int_record(n_fields: int) -> EventRecord:
@@ -81,6 +92,10 @@ def test_batch_encode_speed(benchmark, report):
     payload = benchmark(protocol.encode_batch_records, 1, 0, records)
     rate = 256 / benchmark.stats.stats.mean
     report.row(f"encode: {rate:,.0f} records/s ({len(payload)} B per 256-record batch)")
+    seed = 256 / _best(
+        lambda: protocol.encode_batch_records(1, 0, records, use_fastpath=False)
+    )
+    report.row(f"seed dynamic path: {seed:,.0f} records/s")
 
 
 def test_batch_decode_speed(benchmark, report):
@@ -90,3 +105,5 @@ def test_batch_decode_speed(benchmark, report):
     assert len(batch.records) == 256
     rate = 256 / benchmark.stats.stats.mean
     report.row(f"decode: {rate:,.0f} records/s")
+    seed = 256 / _best(lambda: protocol.decode_message(payload, use_fastpath=False))
+    report.row(f"seed dynamic path: {seed:,.0f} records/s")

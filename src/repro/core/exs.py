@@ -34,6 +34,7 @@ from repro.core.filtering import FilterState
 from repro.core.records import EventRecord
 from repro.core.ringbuffer import RingBuffer
 from repro.wire import protocol
+from repro.xdr import XdrEncoder
 
 
 @dataclass(frozen=True, slots=True)
@@ -120,6 +121,9 @@ class ExternalSensor:
         self._pending: list[EventRecord] = []
         self._pending_bytes = 0
         self._pending_oldest_local: int | None = None
+        # One encoder per sensor, reset per batch: batches reuse the same
+        # buffer allocation instead of growing a fresh bytearray each time.
+        self._encoder = XdrEncoder()
 
     @property
     def ring(self) -> RingBuffer:
@@ -218,6 +222,7 @@ class ExternalSensor:
             records,
             compress_meta=self.config.compress_meta,
             delta_ts=self.config.delta_ts,
+            enc=self._encoder,
         )
         self._seq += 1
         self.stats.records_shipped += len(records)

@@ -26,7 +26,7 @@ from __future__ import annotations
 import struct
 from typing import Any
 
-from repro.core.records import EventRecord, FieldType
+from repro.core.records import EventRecord, FieldType, intern_schema
 
 HEADER = struct.Struct("<IIIHHq")
 HEADER_SIZE = HEADER.size  # 24 bytes
@@ -149,12 +149,16 @@ def unpack_record(buf, offset: int = 0) -> tuple[EventRecord, int]:
         values.append(value)
     if pos != end:
         raise NativeCodecError(f"{end - pos} stray bytes inside record")
-    record = EventRecord(
-        event_id=event_id,
-        timestamp=timestamp,
-        field_types=tuple(field_types),
-        values=tuple(values),
-        node_id=node_id,
+    # Interning gives every record of one schema the same field-type tuple
+    # (so the wire codec's identity checks hit), and the struct widths above
+    # already bound every value — from_wire skips the redundant revalidation
+    # on this per-record EXS hot path.
+    record = EventRecord.from_wire(
+        event_id,
+        timestamp,
+        intern_schema(tuple(field_types)).field_types,
+        tuple(values),
+        node_id,
     )
     return record, end
 

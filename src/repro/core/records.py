@@ -189,6 +189,32 @@ class RecordSchema:
         return total
 
 
+#: Interned schemas, keyed by their (canonical) field-type tuple.  Interning
+#: makes ``EventRecord.schema`` O(1) after first use and gives the wire
+#: layer's per-schema codec cache a stable identity to key on.  The cap is a
+#: backstop against an adversarial stream minting unbounded distinct schemas;
+#: past it schemas are still built, just not retained.
+_SCHEMA_CACHE: dict[tuple[FieldType, ...], RecordSchema] = {}
+_SCHEMA_CACHE_CAP = 4096
+
+
+def intern_schema(field_types: Sequence[FieldType]) -> RecordSchema:
+    """Return the canonical :class:`RecordSchema` for *field_types*.
+
+    Equal field-type tuples yield the *same* schema object, and the
+    returned schema's ``field_types`` is the canonical tuple — callers on
+    hot paths (the EXS drain loop, the wire decoder) substitute it for
+    their own copy so later identity checks short-circuit.
+    """
+    ft = field_types if type(field_types) is tuple else tuple(field_types)
+    schema = _SCHEMA_CACHE.get(ft)
+    if schema is None:
+        schema = RecordSchema(ft)
+        if len(_SCHEMA_CACHE) < _SCHEMA_CACHE_CAP:
+            _SCHEMA_CACHE[schema.field_types] = schema
+    return schema
+
+
 @dataclass(frozen=True, slots=True)
 class EventRecord:
     """One instrumentation event.
@@ -222,12 +248,42 @@ class EventRecord:
             )
 
     # ------------------------------------------------------------------
+    # construction from trusted sources
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_wire(
+        cls,
+        event_id: int,
+        timestamp: int,
+        field_types: tuple[FieldType, ...],
+        values: tuple[Any, ...],
+        node_id: int = 0,
+    ) -> "EventRecord":
+        """Build a record from already-validated data, skipping validation.
+
+        Decoded wire payloads were validated once at the sensor and again
+        structurally by the codec (field widths bound every integral value,
+        so range checks cannot fail); re-running ``__post_init__`` per
+        record is pure overhead on the ISM's decode hot path.  Only use
+        this with values that came out of a codec — hand-built records must
+        go through the normal constructor.
+        """
+        rec = object.__new__(cls)
+        _set = object.__setattr__
+        _set(rec, "event_id", event_id)
+        _set(rec, "timestamp", timestamp)
+        _set(rec, "field_types", field_types)
+        _set(rec, "values", values)
+        _set(rec, "node_id", node_id)
+        return rec
+
+    # ------------------------------------------------------------------
     # derived views
     # ------------------------------------------------------------------
     @property
     def schema(self) -> RecordSchema:
-        """The record's schema (types only, not values)."""
-        return RecordSchema(self.field_types)
+        """The record's schema (types only, not values), interned."""
+        return intern_schema(self.field_types)
 
     def fields_of_type(self, ftype: FieldType) -> tuple[Any, ...]:
         """All values whose field type equals *ftype*, in order."""

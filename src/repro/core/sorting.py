@@ -132,6 +132,10 @@ class OnlineSorter:
         # heap as (timestamp, node, event, exs_id) entries.
         self._queues: dict[int, deque[tuple[EventRecord, int]]] = {}
         self._heap: list[tuple[tuple[int, int, int], int]] = []
+        # Running count of parked records: maintained on push/pop so the
+        # `held` property (read per extract iteration under overload) is
+        # O(1) instead of a sum over every queue.
+        self._held = 0
         self._last_released_ts: int | None = None
         self._last_released_source: int | None = None
         self._last_decay_now: int | None = None
@@ -150,8 +154,8 @@ class OnlineSorter:
 
     @property
     def held(self) -> int:
-        """Records currently parked across all queues."""
-        return sum(len(q) for q in self._queues.values())
+        """Records currently parked across all queues (O(1))."""
+        return self._held
 
     def push(self, exs_id: int, record: EventRecord, now: int) -> None:
         """Enqueue one record that just arrived from *exs_id* at ISM time
@@ -159,6 +163,7 @@ class OnlineSorter:
         queue = self._queues.setdefault(exs_id, deque())
         was_empty = not queue
         queue.append((record, now))
+        self._held += 1
         self.stats.pushed += 1
         if was_empty:
             heapq.heappush(self._heap, (record.sort_key(), exs_id))
@@ -192,7 +197,7 @@ class OnlineSorter:
         """
         self._decay(now)
         released: list[EventRecord] = []
-        overload = self.held > self.config.max_held
+        overload = self._held > self.config.max_held
         while self._heap:
             key, exs_id = self._heap[0]
             ts = key[0]
@@ -201,12 +206,13 @@ class OnlineSorter:
             heapq.heappop(self._heap)
             queue = self._queues[exs_id]
             record, arrival = queue.popleft()
+            self._held -= 1
             if queue:
                 heapq.heappush(self._heap, (queue[0][0].sort_key(), exs_id))
             self._account_release(record, exs_id, arrival, now, forced=overload)
             released.append(record)
             if overload:
-                overload = self.held > self.config.max_held
+                overload = self._held > self.config.max_held
         return released
 
     def flush(self, now: int) -> list[EventRecord]:
@@ -216,6 +222,7 @@ class OnlineSorter:
             _, exs_id = heapq.heappop(self._heap)
             queue = self._queues[exs_id]
             record, arrival = queue.popleft()
+            self._held -= 1
             if queue:
                 heapq.heappush(self._heap, (queue[0][0].sort_key(), exs_id))
             self._account_release(record, exs_id, arrival, now, forced=False)

@@ -53,8 +53,7 @@ class ExsProcess:
                 # also the 40 ms select sleep.
                 timeout = 0.0 if shipped else self.select_timeout_s
                 self._pump_control(timeout)
-            for encoded in self.exs.flush():
-                self.conn.send_raw(encoded)
+            self.conn.send_many(self.exs.flush())
             self.conn.send(protocol.Bye(reason="exs stop"))
         except (ConnectionClosed, BrokenPipeError, ConnectionResetError):
             pass  # ISM went away; nothing left to ship to
@@ -62,8 +61,9 @@ class ExsProcess:
     # ------------------------------------------------------------------
     def _pump_data(self) -> bool:
         batches = self.exs.poll()
-        for encoded in batches:
-            self.conn.send_raw(encoded)
+        if batches:
+            # All of this poll's batches leave in one vectored send.
+            self.conn.send_many(batches)
         return bool(batches)
 
     def _pump_control(self, timeout: float) -> None:

@@ -109,9 +109,13 @@ class IsmServer:
         """Ask the serve loop to flush and exit."""
         self._stop.set()
 
-    def dispatch(self, msg: protocol.Message) -> None:
+    def dispatch(self, msg: protocol.Message, now: int | None = None) -> None:
         """Feed one decoded message into the manager (clock-sync replies
-        are consumed inside probes and never reach here)."""
+        are consumed inside probes and never reach here).
+
+        *now* is the arrival timestamp; the pump loop reads the clock once
+        per cycle and passes it through rather than per message.
+        """
         if isinstance(msg, (protocol.TimeReply,)):
             return  # stale probe reply; drop
         if isinstance(msg, protocol.Hello):
@@ -121,7 +125,7 @@ class IsmServer:
             self._per_source_counts[msg.exs_id] = (
                 self._per_source_counts.get(msg.exs_id, 0) + len(msg.records)
             )
-        self.manager.on_message(msg, now_micros())
+        self.manager.on_message(msg, now_micros() if now is None else now)
 
     # ------------------------------------------------------------------
     def serve(
@@ -190,6 +194,7 @@ class IsmServer:
         except (OSError, ValueError):
             # A connection died between listing and select; sweep it below.
             ready = []
+        now = now_micros()
         for conn in ready:
             # Accumulate message by message: when the stream dies mid-read,
             # everything decoded before the EOF must still be delivered.
@@ -201,11 +206,13 @@ class IsmServer:
             except (ConnectionClosed, ConnectionResetError, protocol.ProtocolError):
                 closed = True
             for msg in msgs:
-                self._route(conn, msg)
+                self._route(conn, msg, now)
             if closed:
                 self._drop(conn)
 
-    def _route(self, conn: MessageConnection, msg: protocol.Message) -> None:
+    def _route(
+        self, conn: MessageConnection, msg: protocol.Message, now: int | None = None
+    ) -> None:
         if isinstance(msg, protocol.Hello):
             self.manager.register_source(msg.exs_id, msg.node_id)
             if conn in self._pending:
@@ -217,7 +224,7 @@ class IsmServer:
         if isinstance(msg, protocol.Bye):
             self._drop(conn)
             return
-        self.dispatch(msg)
+        self.dispatch(msg, now)
 
     def _drop(self, conn: MessageConnection) -> None:
         if conn in self._dead:

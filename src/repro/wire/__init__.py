@@ -19,6 +19,7 @@ from repro.wire.protocol import (
     Bye,
     SetFilter,
     encode_message,
+    encode_message_view,
     decode_message,
     encode_batch_records,
     record_wire_size,
@@ -36,6 +37,7 @@ __all__ = [
     "Bye",
     "SetFilter",
     "encode_message",
+    "encode_message_view",
     "decode_message",
     "encode_batch_records",
     "record_wire_size",

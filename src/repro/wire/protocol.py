@@ -32,6 +32,7 @@ share the connection with batches; the clock-synchronization algorithms in
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Sequence
@@ -41,6 +42,7 @@ from repro.core.records import (
     FieldType,
     FIELD_TYPE_END,
 )
+from repro.wire import fastcodec
 from repro.xdr import XdrDecoder, XdrEncoder, XdrDecodeError
 
 #: Protocol magic: identifies a BRISK stream and its wire version.
@@ -305,6 +307,25 @@ _FLAG_COMPRESS_META = 0x1
 _FLAG_DELTA_TS = 0x2
 
 
+def _encode_record_dynamic(
+    enc: XdrEncoder, record: EventRecord, encode_meta, delta_ts: bool, base_ts: int
+) -> None:
+    """The seed per-field encode path; also the fast path's fallback."""
+    enc.pack_uint(record.event_id)
+    encode_meta(enc, record.field_types)
+    if delta_ts:
+        delta = record.timestamp - base_ts
+        if _I32_MIN < delta <= _I32_MAX:
+            enc.pack_int(delta)
+        else:
+            enc.pack_int(_DELTA_ESCAPE)
+            enc.pack_hyper(record.timestamp)
+    else:
+        enc.pack_hyper(record.timestamp)
+    for ftype, value in zip(record.field_types, record.values):
+        _encode_field(enc, ftype, value)
+
+
 def encode_batch_records(
     exs_id: int,
     seq: int,
@@ -312,13 +333,24 @@ def encode_batch_records(
     *,
     compress_meta: bool = True,
     delta_ts: bool = False,
+    use_fastpath: bool = True,
+    enc: XdrEncoder | None = None,
 ) -> bytes:
     """Encode a data batch message (``MsgType.BATCH``) to bytes.
 
     ``compress_meta`` and ``delta_ts`` are the §2 "tuning knobs" exercised
-    by ablations A1 and E8.
+    by ablations A1 and E8.  With the default knobs, runs of consecutive
+    same-schema records are emitted through the precompiled per-schema
+    codec (:mod:`repro.wire.fastcodec`) — one ``Struct.pack`` per record;
+    schemas with variable-length fields, the ablation modes, and
+    ``use_fastpath=False`` all take the seed dynamic path.  Output is
+    byte-identical either way.  Pass a reusable *enc* (it is reset) to
+    amortize buffer allocation across batches.
     """
-    enc = XdrEncoder()
+    if enc is None:
+        enc = XdrEncoder()
+    else:
+        enc.reset()
     enc.pack_uint(MAGIC)
     enc.pack_uint(MsgType.BATCH)
     flags = (_FLAG_COMPRESS_META if compress_meta else 0) | (
@@ -330,25 +362,74 @@ def encode_batch_records(
     enc.pack_uint(len(records))
     base_ts = records[0].timestamp if records else 0
     enc.pack_hyper(base_ts)
-    encode_meta = _encode_meta_compressed if compress_meta else _encode_meta_plain
-    for record in records:
-        enc.pack_uint(record.event_id)
-        encode_meta(enc, record.field_types)
-        if delta_ts:
-            delta = record.timestamp - base_ts
-            if _I32_MIN < delta <= _I32_MAX:
-                enc.pack_int(delta)
-            else:
-                enc.pack_int(_DELTA_ESCAPE)
-                enc.pack_hyper(record.timestamp)
-        else:
-            enc.pack_hyper(record.timestamp)
-        for ftype, value in zip(record.field_types, record.values):
-            _encode_field(enc, ftype, value)
+    if use_fastpath and compress_meta and not delta_ts:
+        append = enc.append_raw
+        last_types: tuple | None = None
+        codec: fastcodec.SchemaCodec | None = None
+        for record in records:
+            ft = record.field_types
+            if ft != last_types:
+                codec = fastcodec.codec_for_types(ft)
+                last_types = ft
+            if codec is not None:
+                try:
+                    mw = codec.meta_words
+                    if len(mw) == 1:
+                        append(
+                            codec.pack(
+                                record.event_id,
+                                mw[0],
+                                record.timestamp,
+                                *record.values,
+                            )
+                        )
+                    else:
+                        append(
+                            codec.pack(
+                                record.event_id,
+                                *mw,
+                                record.timestamp,
+                                *record.values,
+                            )
+                        )
+                    continue
+                except (struct.error, OverflowError):
+                    # Out-of-domain value (e.g. an overflowing X_FLOAT):
+                    # re-encode dynamically for the canonical error.
+                    pass
+            _encode_record_dynamic(
+                enc, record, _encode_meta_compressed, delta_ts, base_ts
+            )
+    else:
+        encode_meta = (
+            _encode_meta_compressed if compress_meta else _encode_meta_plain
+        )
+        for record in records:
+            _encode_record_dynamic(enc, record, encode_meta, delta_ts, base_ts)
     return enc.getvalue()
 
 
-def _decode_batch(dec: XdrDecoder) -> Batch:
+def _decode_record_dynamic(
+    dec: XdrDecoder, decode_meta, delta_ts: bool, base_ts: int
+) -> EventRecord:
+    """The seed per-field decode path; also the fast path's fallback."""
+    event_id = dec.unpack_uint()
+    types = decode_meta(dec)
+    if delta_ts:
+        delta = dec.unpack_int()
+        ts = dec.unpack_hyper() if delta == _DELTA_ESCAPE else base_ts + delta
+    else:
+        ts = dec.unpack_hyper()
+    values = tuple(_decode_field(dec, t) for t in types)
+    return EventRecord(
+        event_id=event_id,
+        timestamp=ts,
+        field_types=types,
+        values=values,
+    )
+
+
+def _decode_batch(dec: XdrDecoder, *, use_fastpath: bool = True) -> Batch:
     flags = dec.unpack_uint()
     exs_id = dec.unpack_uint()
     seq = dec.unpack_uint()
@@ -358,23 +439,34 @@ def _decode_batch(dec: XdrDecoder) -> Batch:
     delta_ts = bool(flags & _FLAG_DELTA_TS)
     decode_meta = _decode_meta_compressed if compress else _decode_meta_plain
     records: list[EventRecord] = []
-    for _ in range(count):
-        event_id = dec.unpack_uint()
-        types = decode_meta(dec)
-        if delta_ts:
-            delta = dec.unpack_int()
-            ts = dec.unpack_hyper() if delta == _DELTA_ESCAPE else base_ts + delta
-        else:
-            ts = dec.unpack_hyper()
-        values = tuple(_decode_field(dec, t) for t in types)
-        records.append(
-            EventRecord(
-                event_id=event_id,
-                timestamp=ts,
-                field_types=types,
-                values=values,
-            )
-        )
+    append = records.append
+    if use_fastpath and compress and not delta_ts:
+        # Zero-copy batch decode: whole records unpack straight out of the
+        # buffer via the cached per-schema struct; the XdrDecoder cursor is
+        # only engaged for records the cache cannot specialize.
+        mv = dec.buffer
+        end = len(mv)
+        pos = dec.position
+        peek = fastcodec.peek_codec
+        from_wire = EventRecord.from_wire
+        for _ in range(count):
+            codec = peek(mv, pos, end)
+            if codec is not None:
+                try:
+                    vals = codec.unpack_from(mv, pos)
+                except struct.error:
+                    codec = None  # truncated: dynamic path raises canonically
+            if codec is not None:
+                pos += codec.size
+                append(from_wire(vals[0], vals[1], codec.field_types, vals[2:]))
+            else:
+                dec.seek(pos)
+                append(_decode_record_dynamic(dec, decode_meta, delta_ts, base_ts))
+                pos = dec.position
+        dec.seek(pos)
+    else:
+        for _ in range(count):
+            append(_decode_record_dynamic(dec, decode_meta, delta_ts, base_ts))
     dec.done()
     return Batch(exs_id=exs_id, seq=seq, records=tuple(records))
 
@@ -385,7 +477,8 @@ def record_wire_size(
     """Per-record bytes on the wire (excluding the batch header).
 
     Used by benchmark E8 to reproduce the paper's "each instrumentation data
-    record requires 40 bytes" figure.
+    record requires 40 bytes" figure, and by the EXS's batch accounting on
+    every record — fixed-size schemas answer from the codec cache in O(1).
     """
     n = len(record.field_types)
     if compress_meta:
@@ -393,7 +486,12 @@ def record_wire_size(
     else:
         meta = 4 + 4 * n
     ts = 4 if delta_ts else 8  # escape path ignored: sizes for in-range deltas
-    return 4 + meta + ts + record.schema.payload_wire_size(record.values)
+    codec = fastcodec.codec_for_types(record.field_types)
+    if codec is not None:
+        payload = codec.payload_size
+    else:
+        payload = record.schema.payload_wire_size(record.values)
+    return 4 + meta + ts + payload
 
 
 # ----------------------------------------------------------------------
@@ -402,8 +500,28 @@ def record_wire_size(
 
 def encode_message(msg: Message, **batch_opts) -> bytes:
     """Encode any protocol message to bytes (batch knobs via kwargs)."""
+    return _encode_message(msg, **batch_opts).getvalue()
+
+
+def encode_message_view(msg: Message, **batch_opts) -> memoryview:
+    """Encode any protocol message, returning a zero-copy view.
+
+    The view aliases the encoder's internal buffer (no ``bytes`` snapshot);
+    the TCP transport hands it straight to the socket layer.  The buffer
+    stays alive as long as the view does.
+    """
+    return _encode_message(msg, **batch_opts).getbuffer()
+
+
+def _encode_message(msg: Message, **batch_opts) -> XdrEncoder:
     if isinstance(msg, Batch):
-        return encode_batch_records(msg.exs_id, msg.seq, msg.records, **batch_opts)
+        enc = batch_opts.pop("enc", None)
+        if enc is None:  # no `or`: an empty reusable encoder is falsy
+            enc = XdrEncoder()
+        encode_batch_records(
+            msg.exs_id, msg.seq, msg.records, enc=enc, **batch_opts
+        )
+        return enc
     enc = XdrEncoder()
     enc.pack_uint(MAGIC)
     if isinstance(msg, Hello):
@@ -433,18 +551,24 @@ def encode_message(msg: Message, **batch_opts) -> bytes:
         enc.pack_uint(msg.sample_every)
     else:
         raise TypeError(f"not a protocol message: {msg!r}")
-    return enc.getvalue()
+    return enc
 
 
-def decode_message(payload: bytes) -> Message:
-    """Decode one record-marked payload into its message object."""
+def decode_message(
+    payload: bytes | bytearray | memoryview, *, use_fastpath: bool = True
+) -> Message:
+    """Decode one record-marked payload into its message object.
+
+    ``use_fastpath=False`` forces the seed per-field decode loop (the
+    codec-guard benchmark and the byte-identity tests compare against it).
+    """
     dec = XdrDecoder(payload)
     magic = dec.unpack_uint()
     if magic != MAGIC:
         raise ProtocolError(f"bad magic 0x{magic:08X}")
     kind = dec.unpack_uint()
     if kind == MsgType.BATCH:
-        return _decode_batch(dec)
+        return _decode_batch(dec, use_fastpath=use_fastpath)
     if kind == MsgType.HELLO:
         msg = Hello(
             exs_id=dec.unpack_uint(),

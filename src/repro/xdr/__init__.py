@@ -17,7 +17,12 @@ into BRISK's batch format with compressed meta-information headers.
 from repro.xdr.errors import XdrError, XdrDecodeError, XdrEncodeError
 from repro.xdr.encode import XdrEncoder
 from repro.xdr.decode import XdrDecoder
-from repro.xdr.stream import RecordMarkingReader, frame_record, split_records
+from repro.xdr.stream import (
+    RecordMarkingReader,
+    frame_header,
+    frame_record,
+    split_records,
+)
 
 __all__ = [
     "XdrError",
@@ -26,6 +31,7 @@ __all__ = [
     "XdrEncoder",
     "XdrDecoder",
     "RecordMarkingReader",
+    "frame_header",
     "frame_record",
     "split_records",
 ]

@@ -51,6 +51,24 @@ class XdrDecoder:
         """Number of bytes not yet consumed."""
         return len(self._buf) - self._pos
 
+    @property
+    def buffer(self) -> memoryview:
+        """The underlying buffer, for codecs that read it directly.
+
+        The schema-specialized batch decoder unpacks whole records against
+        this view with its own offset, then re-syncs the cursor via
+        :meth:`seek`.
+        """
+        return self._buf
+
+    def seek(self, pos: int) -> None:
+        """Move the cursor to absolute offset *pos*."""
+        if not 0 <= pos <= len(self._buf):
+            raise XdrDecodeError(
+                f"seek to {pos} outside buffer of {len(self._buf)} bytes"
+            )
+        self._pos = pos
+
     def done(self) -> None:
         """Assert the whole buffer has been consumed."""
         if self._pos != len(self._buf):

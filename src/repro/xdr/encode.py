@@ -52,6 +52,16 @@ class XdrEncoder:
         """Return the encoded bytes accumulated so far."""
         return bytes(self._buf)
 
+    def getbuffer(self) -> memoryview:
+        """Zero-copy view of the encoded bytes accumulated so far.
+
+        Unlike :meth:`getvalue` this does not snapshot — the transport
+        writes the buffer straight to the socket.  While any returned view
+        is alive the underlying buffer cannot grow, so release (drop) the
+        view before packing more data or calling :meth:`reset`.
+        """
+        return memoryview(self._buf)
+
     def reset(self) -> None:
         """Discard accumulated bytes, keeping the allocation."""
         del self._buf[:]

@@ -22,11 +22,20 @@ _LAST_FRAGMENT = 0x8000_0000
 _MAX_FRAGMENT = 0x7FFF_FFFF
 
 
+def frame_header(length: int) -> bytes:
+    """The four-byte single-fragment record mark for a *length*-byte payload.
+
+    Split out from :func:`frame_record` so the transport can vector-send
+    ``[header, payload]`` without copying the payload into a new frame.
+    """
+    if length > _MAX_FRAGMENT:
+        raise ValueError("payload exceeds maximum fragment size")
+    return _HEADER.pack(_LAST_FRAGMENT | length)
+
+
 def frame_record(payload: bytes) -> bytes:
     """Wrap *payload* as a single-fragment record-marked record."""
-    if len(payload) > _MAX_FRAGMENT:
-        raise ValueError("payload exceeds maximum fragment size")
-    return _HEADER.pack(_LAST_FRAGMENT | len(payload)) + payload
+    return frame_header(len(payload)) + payload
 
 
 def split_records(data: bytes) -> list[bytes]:

@@ -9,6 +9,7 @@ from repro.core.records import (
     FieldType,
     RecordSchema,
     SYSTEM_FIELD_TYPES,
+    intern_schema,
     validate_field,
 )
 
@@ -199,3 +200,37 @@ class TestEventRecord:
         )
         assert record.fields_of_type(FieldType.X_INT) == (1, 2)
         assert record.fields_of_type(FieldType.X_DOUBLE) == ()
+
+
+class TestSchemaInterning:
+    def test_equal_records_share_one_schema_object(self):
+        a = EventRecord(
+            event_id=1, timestamp=0,
+            field_types=(FieldType.X_INT, FieldType.X_DOUBLE), values=(1, 2.0),
+        )
+        b = EventRecord(
+            event_id=2, timestamp=5,
+            field_types=(FieldType.X_INT, FieldType.X_DOUBLE), values=(9, 0.5),
+        )
+        assert a.field_types is not b.field_types  # distinct input tuples...
+        assert a.schema is b.schema                # ...one interned schema
+        assert a.schema is a.schema                # stable across accesses
+
+    def test_interned_schema_is_canonical(self):
+        ft = (FieldType.X_UINT, FieldType.X_STRING)
+        schema = intern_schema(ft)
+        assert intern_schema(list(ft)) is schema
+        assert schema.field_types == ft
+
+    def test_intern_still_validates(self):
+        with pytest.raises(TypeError):
+            intern_schema(("not-a-type",))
+
+    def test_from_wire_matches_validated_constructor(self):
+        built = EventRecord(
+            event_id=3, timestamp=77,
+            field_types=(FieldType.X_INT,), values=(5,), node_id=2,
+        )
+        trusted = EventRecord.from_wire(3, 77, (FieldType.X_INT,), (5,), 2)
+        assert trusted == built
+        assert trusted.sort_key() == built.sort_key()

@@ -200,3 +200,39 @@ class TestConfigValidation:
     def test_rejects_bad_config(self, kwargs):
         with pytest.raises(ValueError):
             SorterConfig(**kwargs)
+
+
+class TestHeldCounter:
+    def test_held_tracks_push_and_extract(self):
+        sorter = OnlineSorter(SorterConfig(initial_frame_us=10**9))
+        for i in range(10):
+            sorter.push(i % 3, make_record(timestamp=i), now=i)
+        assert sorter.held == 10
+        sorter.flush(now=100)
+        assert sorter.held == 0
+
+    def test_overload_force_release_triggers_at_exactly_max_held(self):
+        # Frame far in the future: nothing releases except under overload.
+        config = SorterConfig(initial_frame_us=10**9, max_held=5)
+        sorter = OnlineSorter(config)
+        for i in range(5):
+            sorter.push(1, make_record(timestamp=i), now=i)
+        # Exactly at the bound: no force release.
+        assert sorter.extract(now=10) == []
+        assert sorter.stats.forced == 0
+        assert sorter.held == 5
+        # One past the bound: force-release back down to exactly max_held.
+        sorter.push(2, make_record(timestamp=100), now=100)
+        released = sorter.extract(now=101)
+        assert len(released) == 1
+        assert sorter.stats.forced == 1
+        assert sorter.held == config.max_held
+
+    def test_held_matches_queue_sum_under_interleaving(self):
+        sorter = OnlineSorter(SorterConfig(initial_frame_us=50))
+        for i in range(20):
+            sorter.push(i % 4, make_record(timestamp=i * 10), now=i * 10)
+            if i % 5 == 4:
+                sorter.extract(now=i * 10 + 60)
+        expected = sum(len(q) for q in sorter._queues.values())
+        assert sorter.held == expected

@@ -229,3 +229,18 @@ class TestCursor:
             enc.append_raw(b"abc")
         enc.append_raw(b"abcd")
         assert enc.getvalue() == b"abcd"
+
+
+class TestEncoderGetbuffer:
+    def test_getbuffer_matches_getvalue_without_copy(self):
+        enc = XdrEncoder()
+        enc.pack_uint(7)
+        enc.pack_string("payload")
+        view = enc.getbuffer()
+        assert isinstance(view, memoryview)
+        assert bytes(view) == enc.getvalue()
+        # The view aliases the live buffer: growth is blocked while exported.
+        with pytest.raises(BufferError):
+            enc.pack_uint(1)
+        view.release()
+        enc.pack_uint(1)  # fine again once released
