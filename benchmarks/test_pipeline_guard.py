@@ -1,0 +1,243 @@
+"""Pipeline-regression guard: the staged ISM ingestion must never be slower.
+
+A fast smoke benchmark (no pytest-benchmark fixture, plain best-of-N
+timing; total runtime a few seconds) that fails if any stage of the
+pipelined receive path — bulk ring drain, schema-specialized native
+decode, batched sort/deliver, or the end-to-end TCP stream — loses to
+the per-record path it replaced, or falls below the throughput floor
+recorded on the benchmark host.  Equivalence is asserted in the same
+breath: a stage that wins by changing records or bytes is also a
+failure.
+
+The absolute floors derive from ``benchmarks/results`` after PR 2
+(E3 single-stream socket ≈ 87–123k ev/s, E5 8-EXS aggregate ≈ 100k ev/s,
+seed ≈ 53k / 48k); they sit far enough under the measured numbers to
+absorb host noise while still catching a regression back to seed-level
+throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core import native
+from repro.core.consumers import CallbackConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.records import EventRecord, FieldType
+from repro.core.ringbuffer import HEADER_SIZE, OverflowPolicy, RingBuffer
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime.exs_proc import ExsProcess
+from repro.runtime.ism_proc import IsmServer
+from repro.util.timebase import now_micros
+from repro.wire import protocol
+from repro.wire.tcp import MessageListener, connect
+
+_REPEATS = 7
+
+#: Recorded floors (events/second on the benchmark host; see module
+#: docstring).  Chosen ≈ 2x the seed's numbers and well under the
+#: post-pipeline measurements so only a real regression trips them.
+_E3_SOCKET_FLOOR_EV_S = 40_000
+_E5_FANIN_FLOOR_EV_S = 100_000
+
+
+def _best(fn, repeats: int = _REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _records(n: int, node_id: int = 0) -> list[EventRecord]:
+    return [
+        EventRecord(
+            event_id=7,
+            timestamp=1_000_000 + i,
+            field_types=(FieldType.X_INT,) * 6,
+            values=(i, 2, 3, 4, 5, 6),
+            node_id=node_id,
+        )
+        for i in range(n)
+    ]
+
+
+def _filled_ring(n: int) -> RingBuffer:
+    ring = RingBuffer(bytearray(HEADER_SIZE + (1 << 20)), OverflowPolicy.DROP_NEW)
+    for record in _records(n):
+        ring.push(record)
+    return ring
+
+
+# ----------------------------------------------------------------------
+# stage guards: batch path vs the per-record path it replaced
+# ----------------------------------------------------------------------
+
+def test_bulk_drain_not_slower_than_per_record_pop():
+    n = 2048
+    bulk_ring = _filled_ring(n)
+    bulk_payloads = bulk_ring.drain_bytes()
+    pop_ring = _filled_ring(n)
+    pop_payloads = []
+    while (payload := pop_ring.pop_bytes()) is not None:
+        pop_payloads.append(payload)
+    assert bulk_payloads == pop_payloads  # identical bytes, or no deal
+
+    bulk = _best(lambda: _filled_ring(n).drain_bytes())
+
+    def per_record():
+        ring = _filled_ring(n)
+        while ring.pop_bytes() is not None:
+            pass
+
+    assert bulk <= _best(per_record), "bulk drain lost to per-record pops"
+
+
+def test_specialized_native_decode_not_slower_than_dynamic():
+    payloads = [native.pack_record(r) for r in _records(512)]
+    # Warm the specialization cache, then race it against a run with the
+    # cache held empty (the seed per-field loop).
+    fast_records = [native.unpack_record(p)[0] for p in payloads]
+    saved = native._SPECIALIZED
+    native._SPECIALIZED = {}
+    try:
+        slow_records = [native.unpack_record(p)[0] for p in payloads]
+        assert fast_records == slow_records
+        slow = _best(lambda: [native.unpack_record(p) for p in payloads])
+    finally:
+        native._SPECIALIZED = saved
+    fast = _best(lambda: [native.unpack_record(p) for p in payloads])
+    assert fast <= slow, (
+        f"specialized native decode ({fast * 1e6:.0f} µs) slower than "
+        f"per-field loop ({slow * 1e6:.0f} µs)"
+    )
+
+
+def _pump(manager: InstrumentationManager, payloads: list[bytes]) -> None:
+    now = 2_000_000_000
+    for payload in payloads:
+        manager.on_message(protocol.decode_message(payload), now)
+        manager.tick(now)
+        now += 1000
+    manager.flush(now)
+
+
+def test_batched_delivery_not_slower_than_per_record():
+    records = _records(10_000)
+    payloads = [
+        protocol.encode_batch_records(1, seq, records[i : i + 250])
+        for seq, i in enumerate(range(0, len(records), 250))
+    ]
+
+    def run(delivery_batch: int) -> tuple[list[EventRecord], float]:
+        out: list[EventRecord] = []
+        manager = InstrumentationManager(
+            IsmConfig(
+                sorter=SorterConfig(initial_frame_us=0),
+                delivery_batch=delivery_batch,
+            ),
+            [CallbackConsumer(out.append)],
+        )
+        manager.register_source(1, 1)
+        elapsed = _best(lambda: _pump(manager, payloads), repeats=1)
+        return out, elapsed
+
+    batched_out, _ = run(1024)
+    per_record_out, _ = run(1)
+    assert batched_out == per_record_out  # identical delivery, or no deal
+
+    batched = _best(lambda: run(1024)[1], repeats=3)
+    per_record = _best(lambda: run(1)[1], repeats=3)
+    assert batched <= per_record * 1.10, (
+        f"batched delivery ({batched * 1e3:.1f} ms) slower than "
+        f"per-record ({per_record * 1e3:.1f} ms)"
+    )
+
+
+# ----------------------------------------------------------------------
+# throughput floors: E3 single stream and E5-style 8-source fan-in
+# ----------------------------------------------------------------------
+
+def test_e3_socket_throughput_floor():
+    n_events = 20_000
+    received = [0]
+    manager = InstrumentationManager(
+        IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+        [CallbackConsumer(lambda r: received.__setitem__(0, received[0] + 1))],
+    )
+    listener = MessageListener()
+    host, port = listener.address
+    server = IsmServer(manager, listener)
+    ring = RingBuffer(bytearray(HEADER_SIZE + (1 << 22)), OverflowPolicy.DROP_NEW)
+    sensor = Sensor(ring, node_id=1)
+    exs = ExternalSensor(
+        1, 1, ring, CorrectedClock(now_micros),
+        ExsConfig(batch_max_records=250, flush_timeout_us=1_000,
+                  drain_limit=100_000),
+    )
+    emitted = 0
+    while emitted < n_events:
+        if sensor.notice_ints(7, emitted, 2, 3, 4, 5, 6):
+            emitted += 1
+    proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.001)
+    thread = threading.Thread(target=proc.run, daemon=True)
+    t0 = time.perf_counter()
+    thread.start()
+    server.serve(duration_s=30.0, until_records=n_events)
+    elapsed = time.perf_counter() - t0
+    proc.stop()
+    thread.join(timeout=5)
+    listener.close()
+    assert received[0] == n_events
+    rate = n_events / elapsed
+    assert rate >= _E3_SOCKET_FLOOR_EV_S, (
+        f"E3 single-stream socket throughput {rate:,.0f} ev/s fell below "
+        f"the recorded floor {_E3_SOCKET_FLOOR_EV_S:,} ev/s"
+    )
+
+
+def test_e5_fanin_sort_deliver_floor():
+    # The E5-specific risk is the 8-way merge: per-record heap traffic
+    # across 8 FIFO queues.  Feed 8 interleaved sources straight into the
+    # manager (no transport — process spawn noise has no place in a
+    # guard) and floor the aggregate decode+sort+deliver rate.
+    n_sources = 8
+    per_source = 5_000
+    payloads: list[bytes] = []
+    for src in range(1, n_sources + 1):
+        records = _records(per_source, node_id=src)
+        payloads.extend(
+            protocol.encode_batch_records(src, seq, records[i : i + 250])
+            for seq, i in enumerate(range(0, per_source, 250))
+        )
+    # Interleave sources the way concurrent streams arrive.
+    batches_per_source = per_source // 250
+    order = [
+        payloads[src * batches_per_source + b]
+        for b in range(batches_per_source)
+        for src in range(n_sources)
+    ]
+
+    def run() -> int:
+        delivered = [0]
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0, max_held=10**6)),
+            [CallbackConsumer(lambda r: delivered.__setitem__(0, delivered[0] + 1))],
+        )
+        for src in range(1, n_sources + 1):
+            manager.register_source(src, src)
+        _pump(manager, order)
+        return delivered[0]
+
+    assert run() == n_sources * per_source
+    elapsed = _best(run, repeats=3)
+    rate = n_sources * per_source / elapsed
+    assert rate >= _E5_FANIN_FLOOR_EV_S, (
+        f"8-source fan-in rate {rate:,.0f} ev/s fell below the recorded "
+        f"floor {_E5_FANIN_FLOOR_EV_S:,} ev/s"
+    )

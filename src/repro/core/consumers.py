@@ -23,7 +23,7 @@ Three consumers reproduce those modes:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Protocol, TextIO, runtime_checkable
+from typing import Callable, Iterable, Protocol, Sequence, TextIO, runtime_checkable
 
 from repro.core import native
 from repro.core.records import EventRecord
@@ -46,6 +46,14 @@ class Consumer(Protocol):
         """Flush and release resources (idempotent)."""
 
 
+# Consumers may additionally expose ``deliver_many(records)`` — the ISM's
+# staged delivery path hands such consumers a whole released slice in one
+# call (one try/except, one method dispatch) instead of looping ``deliver``.
+# The contract: ``deliver_many(rs)`` must be observably equivalent to
+# ``for r in rs: deliver(r)`` on success; on failure the ISM charges one
+# error strike per failed *slice* rather than per record.
+
+
 class MemoryBufferConsumer:
     """The default output mode: native-layout records in a memory buffer.
 
@@ -62,6 +70,11 @@ class MemoryBufferConsumer:
         """Append one record to the buffer in native layout."""
         self.buffer += native.pack_record(record)
         self.delivered += 1
+
+    def deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Append a slice of records in one buffer extension."""
+        self.buffer += b"".join(map(native.pack_record, records))
+        self.delivered += len(records)
 
     def close(self) -> None:
         """Nothing to release; present for the protocol."""
@@ -105,6 +118,12 @@ class PiclFileConsumer:
         if self._closed:
             raise RuntimeError("consumer is closed")
         self._writer.write(record)
+
+    def deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Write a slice of records as one buffered stream write."""
+        if self._closed:
+            raise RuntimeError("consumer is closed")
+        self._writer.write_all(records)
 
     def close(self) -> None:
         """Flush (and optionally close) the trace stream."""
@@ -208,6 +227,11 @@ class CollectingConsumer(CallbackConsumer):
         self.records: list[EventRecord] = []
         super().__init__(self.records.append)
 
+    def deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Collect a whole slice in one list extension."""
+        self.records.extend(records)
+        self.delivered += len(records)
+
 
 class RecentWindowConsumer:
     """Keeps only the most recent records — a live dashboard's backing store.
@@ -251,3 +275,87 @@ class RecentWindowConsumer:
 
     def __len__(self) -> int:
         return len(self._window)
+
+
+class QueuedConsumer:
+    """Hands delivery slices to an inner consumer on a writer thread.
+
+    The ISM delivery stage must not stall behind a slow sink (a disk
+    flush, a chatty visual object); this wrapper queues each delivered
+    slice on a *bounded* queue drained by a background thread.  The bound
+    is the backpressure knob: when the sink falls ``max_queued_batches``
+    slices behind, :meth:`deliver_many` blocks the pipeline rather than
+    letting the queue grow without limit.
+
+    A sink failure is surfaced on the *next* delivery call (the writer
+    thread cannot raise into the pipeline), where the ISM's strike
+    accounting sees it like any other consumer error; the worker keeps
+    draining after a failure so a blocked producer is never deadlocked.
+    """
+
+    def __init__(self, inner: Consumer, max_queued_batches: int = 64) -> None:
+        if max_queued_batches < 1:
+            raise ValueError("max_queued_batches must be >= 1")
+        import queue
+        import threading
+
+        self._inner = inner
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queued_batches)
+        self._error: BaseException | None = None
+        self._closed = False
+        self.delivered = 0
+        self._worker = threading.Thread(
+            target=self._run, name="brisk-queued-consumer", daemon=True
+        )
+        self._worker.start()
+
+    def _run(self) -> None:
+        inner = self._inner
+        deliver_many = getattr(inner, "deliver_many", None)
+        q = self._queue
+        while True:
+            batch = q.get()
+            if batch is None:
+                return
+            try:
+                if deliver_many is not None:
+                    deliver_many(batch)
+                else:
+                    for record in batch:
+                        inner.deliver(record)
+            except BaseException as exc:  # surfaced on the next deliver
+                self._error = exc
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            exc, self._error = self._error, None
+            raise exc
+
+    def deliver(self, record: EventRecord) -> None:
+        """Queue one record for the writer thread."""
+        self.deliver_many((record,))
+
+    def deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Queue a slice for the writer thread (blocks when the bound is
+        hit — that is the backpressure)."""
+        if self._closed:
+            raise RuntimeError("consumer is closed")
+        self._raise_pending()
+        if not records:
+            return
+        self._queue.put(list(records))
+        self.delivered += len(records)
+
+    def pending_batches(self) -> int:
+        """Slices queued but not yet handed to the sink (approximate)."""
+        return self._queue.qsize()
+
+    def close(self) -> None:
+        """Drain the queue, stop the worker, close the inner consumer."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # sentinel: processed after queued slices
+        self._worker.join()
+        self._inner.close()
+        self._raise_pending()

@@ -28,9 +28,9 @@ among the events that are not marked.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.core.records import EventRecord
+from repro.core.records import EventRecord, FieldType
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +98,11 @@ class CausalMatcher:
         self._reasons: dict[int, tuple[int, int]] = {}
         # reason id → parked consequences waiting on that id.
         self._waiting: dict[int, list[_ParkedConseq]] = {}
+        # field-type tuple → carries causal markers?  The wire decoder
+        # interns schemas, so the same tuple object recurs and the batch
+        # path answers "not causal" with one dict hit instead of building
+        # the reason/consequence id tuples per record.
+        self._schema_causal: dict[tuple, bool] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +174,37 @@ class CausalMatcher:
         out.extend(released)
         if tachyon:
             self._request_sync()
+        return out
+
+    def process_many(
+        self, records: Sequence[EventRecord], now: int
+    ) -> list[EventRecord]:
+        """Run a sorted batch through the matcher in one call.
+
+        Record-for-record equivalent to ``process`` in a loop (the output
+        is the concatenation, in order, of each record's ready list); the
+        win is that non-causal records — the overwhelming majority in any
+        real stream — are passed through on a per-schema cache hit without
+        touching the hash tables or building marker-id tuples.
+        """
+        causal_cache = self._schema_causal
+        process = self.process
+        out: list[EventRecord] = []
+        append = out.append
+        for record in records:
+            field_types = record.field_types
+            causal = causal_cache.get(field_types)
+            if causal is None:
+                causal = (
+                    FieldType.X_REASON in field_types
+                    or FieldType.X_CONSEQ in field_types
+                )
+                if len(causal_cache) < 4096:  # adversarial-schema backstop
+                    causal_cache[field_types] = causal
+            if causal:
+                out.extend(process(record, now))
+            else:
+                append(record)
         return out
 
     def _release_waiters(

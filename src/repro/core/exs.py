@@ -153,25 +153,38 @@ class ExternalSensor:
         correction = self.clock.correction_us
         out: list[bytes] = []
         drained = self._drain_all()
+        self.stats.records_drained += len(drained)
+        # Hot-loop hoists: attribute lookups and config reads happen once
+        # per poll, not once per record.
+        node_id = self.node_id
+        record_filter = self.filter
+        config = self.config
+        compress_meta = config.compress_meta
+        delta_ts = config.delta_ts
+        batch_max_records = config.batch_max_records
+        batch_max_bytes = config.batch_max_bytes
+        unpack_stamped = native.unpack_record_stamped
+        wire_size = protocol.record_wire_size
         for payload in drained:
-            record, _ = native.unpack_record(payload)
-            self.stats.records_drained += 1
-            corrected = record.with_timestamp(record.timestamp + correction)
-            corrected = corrected.with_node(self.node_id)
-            if self.filter is not None and not self.filter.admit(corrected):
+            # Decode + correction + node stamping fused into one trusted
+            # construction: the payload was validated when the sensor
+            # packed it, so the validated-copy constructors are pure
+            # overhead here.  Records embedding X_TS user fields keep the
+            # slow path inside the fused decoder — those field values must
+            # shift with the timestamp.
+            corrected = unpack_stamped(payload, node_id, correction)
+            if record_filter is not None and not record_filter.admit(corrected):
                 self.stats.records_filtered += 1
                 continue
             self._pending.append(corrected)
-            self._pending_bytes += protocol.record_wire_size(
-                corrected,
-                compress_meta=self.config.compress_meta,
-                delta_ts=self.config.delta_ts,
+            self._pending_bytes += wire_size(
+                corrected, compress_meta=compress_meta, delta_ts=delta_ts
             )
             if self._pending_oldest_local is None:
                 self._pending_oldest_local = now_local
             if (
-                len(self._pending) >= self.config.batch_max_records
-                or self._pending_bytes >= self.config.batch_max_bytes
+                len(self._pending) >= batch_max_records
+                or self._pending_bytes >= batch_max_bytes
             ):
                 out.append(self._close_batch())
         # Latency control: ship a lingering partial batch.
@@ -202,12 +215,26 @@ class ExternalSensor:
         merge relies on.  Native payloads carry the timestamp at a fixed
         offset, so the sort key is read without full decoding.
         """
+        limit = self.config.drain_limit
         if len(self.rings) == 1:
-            return self.rings[0].drain_bytes(self.config.drain_limit)
-        per_ring = max(1, self.config.drain_limit // len(self.rings))
+            return self.rings[0].drain_bytes(limit)
+        per_ring = max(1, limit // len(self.rings))
         drained: list[bytes] = []
         for ring in self.rings:
             drained.extend(ring.drain_bytes(per_ring))
+        # Second pass: an even split starves a busy ring whenever its
+        # siblings are idle — their unused quota went nowhere.  Hand the
+        # leftover to rings that still hold records, in order, so the poll
+        # always moves up to the full drain limit when the data exists.
+        leftover = limit - len(drained)
+        if leftover > 0:
+            for ring in self.rings:
+                more = ring.drain_bytes(leftover)
+                if more:
+                    drained.extend(more)
+                    leftover -= len(more)
+                    if leftover <= 0:
+                        break
         drained.sort(key=native.timestamp_of)
         return drained
 

@@ -17,6 +17,7 @@ deterministic under test.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.consumers import Consumer
 from repro.core.cre import CausalMatcher, CreConfig
@@ -39,12 +40,20 @@ class IsmConfig:
     expire_interval_us: int = 100_000
     #: Consecutive delivery failures before a consumer is detached.
     max_consumer_errors: int = 3
+    #: Records handed to the consumer fan-out per delivery call — the
+    #: staged pipeline's delivery batch size.  A tick that released more
+    #: than this many records delivers them in slices so one huge merge
+    #: cannot hand a consumer an unbounded list (memory) or starve a
+    #: bounded-queue writer thread of steady work.
+    delivery_batch: int = 1024
 
     def __post_init__(self) -> None:
         if self.expire_interval_us < 0:
             raise ValueError("expire_interval_us must be non-negative")
         if self.max_consumer_errors < 1:
             raise ValueError("max_consumer_errors must be >= 1")
+        if self.delivery_batch < 1:
+            raise ValueError("delivery_batch must be >= 1")
 
 
 @dataclass
@@ -129,9 +138,20 @@ class InstrumentationManager:
         self.stats.last_seq[batch.exs_id] = batch.seq
         # The wire format does not carry node identity per record — the
         # stream implies it; stamp it back on from the Hello registration.
+        # Stamping runs vectorized over the decoded list: records already
+        # carrying the node pass through, the rest are rebuilt through the
+        # trusted ``from_wire`` constructor (their fields were validated
+        # structurally by the codec) instead of re-validating every field
+        # per record via ``with_node``.
         node_id = self._known_sources[batch.exs_id]
-        records = [r.with_node(node_id) for r in batch.records]
-        self.sorter.push_batch(batch.exs_id, records, now)
+        from_wire = EventRecord.from_wire
+        records: Sequence[EventRecord] = [
+            r
+            if r.node_id == node_id
+            else from_wire(r.event_id, r.timestamp, r.field_types, r.values, node_id)
+            for r in batch.records
+        ]
+        self.sorter.push_many(batch.exs_id, records, now)
 
     # ------------------------------------------------------------------
     # delivery
@@ -140,30 +160,26 @@ class InstrumentationManager:
         """Advance the pipeline: release due records and deliver them.
 
         Returns the number of records delivered to consumers this tick.
+        The whole tick is staged batch-wise: one bulk sorter extraction,
+        one CRE pass over the released list, one bulk delivery fan-out.
         """
-        delivered = 0
-        for record in self.sorter.extract(now):
-            for ready in self.cre.process(record, now):
-                self._deliver(ready)
-                delivered += 1
+        ready = self.cre.process_many(self.sorter.extract_ready_batch(now), now)
         if self._expire_due(now):
-            for ready in self.cre.expire(now):
-                self._deliver(ready)
-                delivered += 1
-        return delivered
+            expired = self.cre.expire(now)
+            if expired:
+                ready.extend(expired)
+        if ready:
+            self._deliver_many(ready)
+        return len(ready)
 
     def flush(self, now: int) -> int:
         """Drain everything (shutdown): sorter, then parked CRE events."""
-        delivered = 0
-        for record in self.sorter.flush(now):
-            for ready in self.cre.process(record, now):
-                self._deliver(ready)
-                delivered += 1
+        ready = self.cre.process_many(self.sorter.flush(now), now)
         # Force the timeout on whatever is still parked.
-        for ready in self.cre.expire(now + self.config.cre.timeout_us + 1):
-            self._deliver(ready)
-            delivered += 1
-        return delivered
+        ready.extend(self.cre.expire(now + self.config.cre.timeout_us + 1))
+        if ready:
+            self._deliver_many(ready)
+        return len(ready)
 
     def close(self) -> None:
         """Close every consumer (idempotent)."""
@@ -198,6 +214,66 @@ class InstrumentationManager:
         for consumer in dead:
             self.consumers.remove(consumer)
             self._consumer_strikes.pop(id(consumer), None)
+            self.stats.consumers_detached += 1
+
+    def _deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Fan a released batch out to the consumers in delivery slices.
+
+        Record-for-record equivalent to calling :meth:`_deliver` per
+        record: every consumer sees the same records in the same order,
+        and the consecutive-failure strike accounting is preserved — a
+        consumer without :meth:`~repro.core.consumers.Consumer.
+        deliver_many` still gets per-record ``deliver`` calls with
+        per-record strikes, so an intermittent failure pattern detaches
+        (or survives) exactly as it did on the per-record path.
+        """
+        batch = self.config.delivery_batch
+        if len(records) <= batch:
+            self._deliver_chunk(records)
+            return
+        for start in range(0, len(records), batch):
+            self._deliver_chunk(records[start : start + batch])
+
+    def _deliver_chunk(self, chunk: Sequence[EventRecord]) -> None:
+        self.stats.records_delivered += len(chunk)
+        strikes_map = self._consumer_strikes
+        max_errors = self.config.max_consumer_errors
+        dead: list[Consumer] = []
+        for consumer in self.consumers:
+            cid = id(consumer)
+            deliver_many = getattr(consumer, "deliver_many", None)
+            if deliver_many is not None:
+                try:
+                    deliver_many(chunk)
+                    strikes_map.pop(cid, None)
+                except Exception:
+                    # One strike per failed chunk: a bulk consumer opts in
+                    # to coarser failure granularity for the batching win.
+                    self.stats.consumer_errors += 1
+                    strikes = strikes_map.get(cid, 0) + 1
+                    strikes_map[cid] = strikes
+                    if strikes >= max_errors:
+                        dead.append(consumer)
+                continue
+            deliver = consumer.deliver
+            strikes = strikes_map.get(cid, 0)
+            for record in chunk:
+                try:
+                    deliver(record)
+                    strikes = 0
+                except Exception:
+                    self.stats.consumer_errors += 1
+                    strikes += 1
+                    if strikes >= max_errors:
+                        dead.append(consumer)
+                        break
+            if strikes:
+                strikes_map[cid] = strikes
+            else:
+                strikes_map.pop(cid, None)
+        for consumer in dead:
+            self.consumers.remove(consumer)
+            strikes_map.pop(id(consumer), None)
             self.stats.consumers_detached += 1
 
     def _expire_due(self, now: int) -> bool:

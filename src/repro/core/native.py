@@ -58,6 +58,58 @@ class NativeCodecError(ValueError):
     """A buffer does not hold a valid native-layout record."""
 
 
+class _BodyCodec:
+    """Precompiled decoder for one fixed-size schema's record body.
+
+    The per-field decode loop pays a ``FieldType`` enum construction and a
+    dict lookup per field; for a fixed-size schema the whole body layout is
+    known, so one interleaved ``struct`` (tag byte + payload per field)
+    unpacks everything in a single call.  The unpacked tag bytes are
+    compared against the schema's expected tags — a full match proves the
+    body *is* this schema (parsing is deterministic left-to-right), so
+    same-(total, n_fields) schemas can never be confused.
+    """
+
+    __slots__ = ("unpack_from", "tags", "field_types")
+
+    def __init__(self, field_types: tuple[FieldType, ...]) -> None:
+        fmt = "<" + "".join(
+            "B" + _FIELD_CODECS[ftype].format[-1] for ftype in field_types
+        )
+        self.unpack_from = struct.Struct(fmt).unpack_from
+        self.tags = tuple(int(ftype) for ftype in field_types)
+        self.field_types = field_types
+
+
+#: Specialized body decoders, bucketed by (total_length, n_fields) — the two
+#: header fields that are free to read.  Several fixed-size schemas can share
+#: a bucket; the tag comparison in the fast path picks the right one.
+_SPECIALIZED: dict[tuple[int, int], list[_BodyCodec]] = {}
+_MAX_SPECIALIZED_BUCKETS = 1024
+_MAX_CODECS_PER_BUCKET = 8
+
+
+def _maybe_specialize(
+    total: int, n_fields: int, field_types: tuple[FieldType, ...]
+) -> None:
+    """Register a fast decoder for a schema the slow path just parsed."""
+    for ftype in field_types:
+        if ftype not in _FIELD_CODECS:
+            return  # variable-size field: layout not determined by schema
+    key = (total, n_fields)
+    bucket = _SPECIALIZED.get(key)
+    if bucket is None:
+        if len(_SPECIALIZED) >= _MAX_SPECIALIZED_BUCKETS:
+            return
+        bucket = _SPECIALIZED[key] = []
+    elif len(bucket) >= _MAX_CODECS_PER_BUCKET:
+        return
+    for codec in bucket:
+        if codec.field_types == field_types:
+            return
+    bucket.append(_BodyCodec(field_types))
+
+
 def pack_record(record: EventRecord) -> bytes:
     """Serialize *record* into the native node-local layout."""
     parts: list[bytes] = []
@@ -107,16 +159,35 @@ def unpack_record(buf, offset: int = 0) -> tuple[EventRecord, int]:
 
     Returns ``(record, next_offset)``.  Raises :class:`NativeCodecError` on
     truncation or an unknown field type.
+
+    Records whose schema has been seen before (and holds only fixed-size
+    fields) decode through a precompiled whole-body struct instead of the
+    per-field loop — the EXS drains thousands of same-schema records per
+    poll, so the specialized path dominates in steady state.
     """
-    view = memoryview(buf)
-    if offset + HEADER_SIZE > len(view):
+    buf_len = len(buf)
+    if offset + HEADER_SIZE > buf_len:
         raise NativeCodecError("truncated record header")
     total, event_id, node_id, n_fields, _flags, timestamp = HEADER.unpack_from(
-        view, offset
+        buf, offset
     )
     end = offset + total
-    if total < HEADER_SIZE or end > len(view):
+    if total < HEADER_SIZE or end > buf_len:
         raise NativeCodecError(f"record length {total} out of bounds")
+    bucket = _SPECIALIZED.get((total, n_fields))
+    if bucket is not None:
+        body_at = offset + HEADER_SIZE
+        for codec in bucket:
+            # end <= buf_len and the codec's struct size is exactly
+            # total - HEADER_SIZE (both derive from the same fixed-size
+            # schema), so unpack_from cannot overrun.
+            vals = codec.unpack_from(buf, body_at)
+            if vals[0::2] == codec.tags:
+                record = EventRecord.from_wire(
+                    event_id, timestamp, codec.field_types, vals[1::2], node_id
+                )
+                return record, end
+    view = memoryview(buf)
     pos = offset + HEADER_SIZE
     field_types: list[FieldType] = []
     values: list[Any] = []
@@ -153,14 +224,63 @@ def unpack_record(buf, offset: int = 0) -> tuple[EventRecord, int]:
     # (so the wire codec's identity checks hit), and the struct widths above
     # already bound every value — from_wire skips the redundant revalidation
     # on this per-record EXS hot path.
+    interned = intern_schema(tuple(field_types)).field_types
+    _maybe_specialize(total, n_fields, interned)
     record = EventRecord.from_wire(
         event_id,
         timestamp,
-        intern_schema(tuple(field_types)).field_types,
+        interned,
         tuple(values),
         node_id,
     )
     return record, end
+
+
+def unpack_record_stamped(
+    buf, node_id: int, correction: int = 0
+) -> EventRecord:
+    """Decode one whole-buffer record with node and clock stamping fused in.
+
+    The EXS poll loop decodes a ring payload and immediately rebuilds the
+    record with the clock correction applied and its node identity stamped;
+    fusing both into the decode constructs each record once instead of
+    twice.  Records carrying :attr:`FieldType.X_TS` user fields under a
+    non-zero correction take the validated copy path — their field values
+    must shift with the timestamp.
+    """
+    buf_len = len(buf)
+    if HEADER_SIZE > buf_len:
+        raise NativeCodecError("truncated record header")
+    total, event_id, _node, n_fields, _flags, timestamp = HEADER.unpack_from(buf, 0)
+    if HEADER_SIZE <= total <= buf_len:
+        bucket = _SPECIALIZED.get((total, n_fields))
+        if bucket is not None:
+            for codec in bucket:
+                vals = codec.unpack_from(buf, HEADER_SIZE)
+                if vals[0::2] == codec.tags:
+                    field_types = codec.field_types
+                    if correction and FieldType.X_TS in field_types:
+                        break  # X_TS values must shift: full path below
+                    return EventRecord.from_wire(
+                        event_id,
+                        timestamp + correction,
+                        field_types,
+                        vals[1::2],
+                        node_id,
+                    )
+    record, _ = unpack_record(buf)
+    if correction and FieldType.X_TS in record.field_types:
+        shifted = record.with_timestamp(record.timestamp + correction)
+        if shifted.node_id != node_id:
+            shifted = shifted.with_node(node_id)
+        return shifted
+    return EventRecord.from_wire(
+        record.event_id,
+        record.timestamp + correction,
+        record.field_types,
+        record.values,
+        node_id,
+    )
 
 
 #: Byte offset of the timestamp inside the native header (<IIIHHq).

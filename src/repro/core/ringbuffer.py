@@ -277,13 +277,42 @@ class RingBuffer:
         This is the EXS hot path: the external sensor re-encodes to XDR from
         the serialized form, so decoding into :class:`EventRecord` objects
         here would be pure overhead.
+
+        The whole drain runs against one head snapshot and publishes the
+        consumed tail once at the end: records pushed mid-drain are picked
+        up by the next poll, and the header round-trips (a shared-memory
+        struct unpack/pack pair per record on the per-record path) collapse
+        to one per drain.  Safe under both policies: with ``DROP_NEW`` the
+        producer never moves the tail, and ``OVERWRITE_OLD`` is restricted
+        to single-process rings where no concurrent producer exists.
         """
+        if limit is not None and limit <= 0:
+            return []
         out: list[bytes] = []
-        while limit is None or len(out) < limit:
-            payload = self.pop_bytes()
-            if payload is None:
+        view = self._view
+        data_size = self._data_size
+        unpack_len = _LEN.unpack_from
+        tail = self.tail
+        head = self.head
+        while tail != head:
+            offset = tail % data_size
+            contiguous = data_size - offset
+            if contiguous < _LEN_SIZE:
+                tail += contiguous
+                offset = 0
+            else:
+                (length,) = unpack_len(view, HEADER_SIZE + offset)
+                if length == _SKIP_MARKER:
+                    tail += contiguous
+                    offset = 0
+            base = HEADER_SIZE + offset
+            (length,) = unpack_len(view, base)
+            out.append(bytes(view[base + _LEN_SIZE : base + _LEN_SIZE + length]))
+            tail += _LEN_SIZE + length
+            if limit is not None and len(out) >= limit:
                 break
-            out.append(payload)
+        if out:
+            self._set_tail(tail)
         return out
 
     def __iter__(self) -> Iterator[EventRecord]:

@@ -31,7 +31,7 @@ import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.core.records import EventRecord
 from repro.util.stats import RunningStats
@@ -179,12 +179,55 @@ class OnlineSorter:
             # latest late event's lateness").
             self._grow(now - record.timestamp)
 
+    def push_many(
+        self,
+        exs_id: int,
+        records: Sequence[EventRecord],
+        now: int,
+    ) -> None:
+        """Enqueue a whole batch with batch-level bookkeeping.
+
+        Equivalent, record for record, to calling :meth:`push` in a loop —
+        the property tests assert the released sequence *and* the adapted
+        time frame are identical — but the deque extend, held/pushed
+        counters, heap maintenance, and the arrival-lateness growth signal
+        all run once per batch instead of once per record:
+
+        * at most one heap push happens (the queue head can only go from
+          absent to present once per batch);
+        * the growth signal reduces to a single :meth:`_grow` with the
+          batch's worst lateness, because ``_grow`` is a monotone max and
+          the release watermark cannot move while records are only pushed.
+        """
+        if not records:
+            return
+        queue = self._queues.get(exs_id)
+        if queue is None:
+            queue = self._queues.setdefault(exs_id, deque())
+        was_empty = not queue
+        queue.extend((record, now) for record in records)
+        n = len(records)
+        self._held += n
+        self.stats.pushed += n
+        if was_empty:
+            heapq.heappush(self._heap, (records[0].sort_key(), exs_id))
+        last_ts = self._last_released_ts
+        if (
+            self.config.growth_signal == "arrival"
+            and last_ts is not None
+            and exs_id != self._last_released_source
+        ):
+            min_ts = min(record.timestamp for record in records)
+            if min_ts < last_ts:
+                self._grow(now - min_ts)
+
     def push_batch(
         self, exs_id: int, records: Iterator[EventRecord] | list[EventRecord], now: int
     ) -> None:
         """Enqueue a whole batch (the ISM's per-message entry point)."""
-        for record in records:
-            self.push(exs_id, record, now)
+        if type(records) is not list and type(records) is not tuple:
+            records = list(records)
+        self.push_many(exs_id, records, now)
 
     # ------------------------------------------------------------------
     # release
@@ -194,26 +237,61 @@ class OnlineSorter:
 
         Returns the released records, oldest timestamp first.  Also applies
         the ``max_held`` overload bound and advances the decay of ``T``.
+
+        Heap maintenance is batch-aware: while a single source holds every
+        parked record (the common single-stream case) due records drain
+        straight off its FIFO with no heap traffic at all, and in the
+        multi-source merge a release costs one ``heapreplace`` sift instead
+        of a pop + push.  Heap keys end in the source id, so entry order is
+        strict and both spellings release the exact per-record sequence.
         """
         self._decay(now)
         released: list[EventRecord] = []
-        overload = self._held > self.config.max_held
-        while self._heap:
-            key, exs_id = self._heap[0]
-            ts = key[0]
-            if not overload and now < ts + int(self.frame_us):
+        append = released.append
+        heap = self._heap
+        queues = self._queues
+        max_held = self.config.max_held
+        account = self._account_release
+        overload = self._held > max_held
+        while heap:
+            key, exs_id = heap[0]
+            if not overload and now < key[0] + int(self.frame_us):
                 break
-            heapq.heappop(self._heap)
-            queue = self._queues[exs_id]
+            queue = queues[exs_id]
+            if len(heap) == 1:
+                # Single active source: its FIFO is the merge order.
+                while queue:
+                    record, arrival = queue[0]
+                    if not overload and now < record.timestamp + int(self.frame_us):
+                        break
+                    queue.popleft()
+                    self._held -= 1
+                    account(record, exs_id, arrival, now, forced=overload)
+                    append(record)
+                    if overload:
+                        overload = self._held > max_held
+                if queue:
+                    heap[0] = (queue[0][0].sort_key(), exs_id)
+                else:
+                    heap.pop()
+                continue
             record, arrival = queue.popleft()
             self._held -= 1
             if queue:
-                heapq.heappush(self._heap, (queue[0][0].sort_key(), exs_id))
-            self._account_release(record, exs_id, arrival, now, forced=overload)
-            released.append(record)
+                heapq.heapreplace(heap, (queue[0][0].sort_key(), exs_id))
+            else:
+                heapq.heappop(heap)
+            account(record, exs_id, arrival, now, forced=overload)
+            append(record)
             if overload:
-                overload = self._held > self.config.max_held
+                overload = self._held > max_held
         return released
+
+    def extract_ready_batch(self, now: int) -> list[EventRecord]:
+        """Alias for :meth:`extract` naming the staged-pipeline contract:
+        one call releases the whole due batch with batch-level heap and
+        frame-decay bookkeeping."""
+        return self.extract(now)
 
     def flush(self, now: int) -> list[EventRecord]:
         """Release everything immediately (shutdown path)."""

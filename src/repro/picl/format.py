@@ -275,9 +275,23 @@ class PiclWriter:
         self.lines_written += 1
 
     def write_all(self, records: Iterable[EventRecord]) -> None:
-        """Append many records."""
-        for record in records:
-            self.write(record)
+        """Append many records in one stream write.
+
+        Byte-identical to calling :meth:`write` per record; the batch
+        renders every line first and hands the stream a single string, so
+        a buffered file does one flush-check instead of two per record.
+        """
+        mode = self.mode
+        epoch_us = self.epoch_us
+        lines = [
+            picl_to_line(record_to_picl(record, mode, epoch_us))
+            for record in records
+        ]
+        if not lines:
+            return
+        lines.append("")  # trailing newline after the final line
+        self._stream.write("\n".join(lines))
+        self.lines_written += len(lines) - 1
 
 
 class PiclReader:

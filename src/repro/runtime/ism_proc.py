@@ -1,19 +1,29 @@
 """The ISM server process.
 
-A single-threaded ``select`` loop — the paper's ISM is likewise one process
-whose CPU demand is the scalability bottleneck (E5).  The loop:
+A ``select`` loop — the paper's ISM is likewise one process whose CPU
+demand is the scalability bottleneck (E5).  Receive is staged per cycle:
 
-* accepts external-sensor connections on a listening socket,
-* drains available messages from every connection into the
-  :class:`~repro.core.ism.InstrumentationManager`,
-* ticks the manager so sorted records flow to consumers,
-* periodically runs the BRISK clock-synchronization round over the same
-  connections (:class:`TcpSyncSlave` adapts a connection to the
-  :class:`~repro.clocksync.probes.SyncSlave` interface).
+1. **framing** — one ``select`` over the listener and every connection;
+   each readable socket is drained through its reusable ``recv_into``
+   buffer and every complete frame payload sliced out
+   (:meth:`~repro.wire.tcp.MessageConnection.recv_frames`);
+2. **decode** — each connection's payload list is batch-decoded, inline
+   by default, or on a small thread pool when ``decode_workers`` is set
+   and several connections have data in the same cycle (decode is pure
+   CPU over private buffers, so it parallelizes without locks);
+3. **route** — decoded messages enter the
+   :class:`~repro.core.ism.InstrumentationManager` in arrival order, per
+   connection; then the manager ticks so sorted records flow to consumers.
 
-Probes are blocking per slave (as in Cristian's algorithm); batches that
-arrive while the master waits for a ``TimeReply`` are queued into the
-manager rather than dropped or reordered.
+The single-threaded default (``decode_workers=0``) is byte- and
+order-identical to the per-message receive loop it replaced.
+
+The loop also periodically runs the BRISK clock-synchronization round over
+the same connections (:class:`TcpSyncSlave` adapts a connection to the
+:class:`~repro.clocksync.probes.SyncSlave` interface).  Probes are blocking
+per slave (as in Cristian's algorithm); batches that arrive while the
+master waits for a ``TimeReply`` are queued into the manager rather than
+dropped or reordered.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 import select
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
 from repro.clocksync.probes import ProbeSample
@@ -28,6 +39,7 @@ from repro.core.ism import InstrumentationManager
 from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import ConnectionClosed, MessageConnection, MessageListener
+from repro.xdr import XdrDecodeError
 
 
 class TcpSyncSlave:
@@ -77,11 +89,18 @@ class IsmServer:
         sync_period_s: float = 5.0,
         throttle=None,
         throttle_period_s: float = 1.0,
+        decode_workers: int = 0,
     ) -> None:
+        if decode_workers < 0:
+            raise ValueError("decode_workers must be >= 0")
         self.manager = manager
         self.listener = listener
         self.sync_config = sync_config
         self.sync_period_s = sync_period_s
+        #: Decode-stage thread pool size; 0 decodes inline on the pump
+        #: thread (the default — byte/order-identical to the seed loop).
+        self.decode_workers = decode_workers
+        self._executor: ThreadPoolExecutor | None = None
         #: Optional :class:`repro.runtime.throttle.AutoThrottle`.  When
         #: set, the server feeds it per-source receive counts every
         #: ``throttle_period_s`` and it steers the sources via
@@ -93,6 +112,10 @@ class IsmServer:
         self.connections: dict[int, MessageConnection] = {}
         self.sync_master: BriskSyncMaster | None = None
         self._conn_exs: dict[MessageConnection, int] = {}
+        #: Node each connection's Hello advertised — handed to the decode
+        #: stage so batch records come out pre-stamped with their node
+        #: (the manager's stamping pass then finds nothing to rebuild).
+        self._conn_node: dict[MessageConnection, int] = {}
         self._pending: list[MessageConnection] = []
         self._dead: set[MessageConnection] = set()
         self._stop = threading.Event()
@@ -142,36 +165,48 @@ class IsmServer:
         """
         deadline = None if duration_s is None else time.monotonic() + duration_s
         seen_connections = 0
-        while not self._stop.is_set():
-            if deadline is not None and time.monotonic() >= deadline:
-                break
-            if (
-                until_records is not None
-                and self.manager.stats.records_received >= until_records
-            ):
-                break
-            if (
-                expected_connections is not None
-                and seen_connections >= expected_connections
-                and not self.connections
-            ):
-                break
-            seen_connections += self._accept_ready()
+        if self.decode_workers > 0 and self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.decode_workers, thread_name_prefix="ism-decode"
+            )
+        try:
+            while not self._stop.is_set():
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                if (
+                    until_records is not None
+                    and self.manager.stats.records_received >= until_records
+                ):
+                    break
+                if (
+                    expected_connections is not None
+                    and seen_connections >= expected_connections
+                    and not self.connections
+                    and not self._pending
+                ):
+                    # "Come and gone" includes accepted connections whose
+                    # Hello has not been read yet — they have come.
+                    break
+                seen_connections += self._pump_connections()
+                self.manager.tick(now_micros())
+                self._maybe_sync()
+                self._maybe_throttle()
+            # Drain in-flight data, then flush the pipeline.  Peers are
+            # told to stop only on an explicit stop() — a duration/record
+            # bound may just be a phase boundary, with serve() called
+            # again.
             self._pump_connections()
-            self.manager.tick(now_micros())
-            self._maybe_sync()
-            self._maybe_throttle()
-        # Drain in-flight data, then flush the pipeline.  Peers are told
-        # to stop only on an explicit stop() — a duration/record bound may
-        # just be a phase boundary, with serve() called again.
-        self._pump_connections()
-        if self._stop.is_set():
-            for conn in list(self.connections.values()):
-                try:
-                    conn.send(protocol.Bye(reason="ism shutdown"))
-                except OSError:
-                    pass  # peer already gone; the sweep handles it
-        self.manager.flush(now_micros())
+            if self._stop.is_set():
+                for conn in list(self.connections.values()):
+                    try:
+                        conn.send(protocol.Bye(reason="ism shutdown"))
+                    except OSError:
+                        pass  # peer already gone; the sweep handles it
+            self.manager.flush(now_micros())
+        finally:
+            executor, self._executor = self._executor, None
+            if executor is not None:
+                executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     def _accept_ready(self) -> int:
@@ -184,31 +219,101 @@ class IsmServer:
             self._pending.append(conn)
             accepted += 1
 
-    def _pump_connections(self) -> None:
+    def _pump_connections(self) -> int:
+        """One staged pump cycle; returns connections accepted.
+
+        The listener shares the ``select`` with the connections, so a new
+        EXS interrupts the wait instead of queueing behind it.
+        """
         conns = self._pending + list(self.connections.values())
-        if not conns:
-            time.sleep(0.001)
-            return
         try:
-            ready, _, _ = select.select(conns, [], [], 0.005)
+            ready, _, _ = select.select([self.listener, *conns], [], [], 0.005)
         except (OSError, ValueError):
-            # A connection died between listing and select; sweep it below.
+            # A connection died between listing and select; sweep it on a
+            # later cycle when its read fails.
             ready = []
+        accepted = 0
         now = now_micros()
-        for conn in ready:
-            # Accumulate message by message: when the stream dies mid-read,
-            # everything decoded before the EOF must still be delivered.
-            msgs: list[protocol.Message] = []
+        ready_conns: list[MessageConnection] = []
+        for sock in ready:
+            if sock is self.listener:
+                accepted = self._accept_ready()
+            else:
+                ready_conns.append(sock)
+        if accepted:
+            # Pump just-accepted connections in the same cycle — their
+            # Hello is usually already buffered, and serve()'s
+            # expected_connections accounting assumes accept and first
+            # read happen together.
+            try:
+                fresh, _, _ = select.select(self._pending[-accepted:], [], [], 0.0)
+                ready_conns.extend(fresh)
+            except (OSError, ValueError):
+                pass
+        # Stage 1 — framing: drain each readable socket through its
+        # reusable buffer, slicing out every complete frame payload.
+        staged: list[list] = []  # [conn, msgs, payloads, closed]
+        for sock in ready_conns:
+            payloads: list[bytes] = []
             closed = False
             try:
-                for msg in conn.recv_available():
-                    msgs.append(msg)
-            except (ConnectionClosed, ConnectionResetError, protocol.ProtocolError):
+                payloads = sock.recv_frames(timeout=0.0, assume_ready=True)
+            except (ConnectionClosed, ConnectionResetError, XdrDecodeError):
                 closed = True
+            # Messages a blocking probe already decoded come first so the
+            # per-connection order is preserved.
+            staged.append([sock, sock.drain_inbox(), payloads, closed])
+        # Stage 2 — decode: batch-decode each connection's payloads.  The
+        # pool only helps when several connections brought data in the
+        # same cycle; otherwise inline decode skips the handoff cost.
+        executor = self._executor
+        conn_node = self._conn_node
+        if executor is not None and sum(1 for s in staged if s[2]) >= 2:
+            futures = [
+                (s, executor.submit(self._decode_payloads, s[2], conn_node.get(s[0], 0)))
+                for s in staged
+                if s[2]
+            ]
+            for s, future in futures:
+                msgs, bad = future.result()
+                s[1].extend(msgs)
+                s[3] = s[3] or bad
+        else:
+            for s in staged:
+                if s[2]:
+                    msgs, bad = self._decode_payloads(s[2], conn_node.get(s[0], 0))
+                    s[1].extend(msgs)
+                    s[3] = s[3] or bad
+        # Stage 3 — route in arrival order, then sweep dead connections.
+        for conn, msgs, _payloads, closed in staged:
             for msg in msgs:
                 self._route(conn, msg, now)
             if closed:
                 self._drop(conn)
+        return accepted
+
+    @staticmethod
+    def _decode_payloads(
+        payloads: list[bytes], node_id: int = 0
+    ) -> tuple[list[protocol.Message], bool]:
+        """Decode stage: payloads → messages, in order.
+
+        Stops at the first malformed payload — everything decoded before
+        it is still delivered, and the flag tells the route stage to drop
+        the connection (the stream past a bad payload is untrustworthy).
+
+        *node_id* is the connection's Hello-advertised node, pre-stamped
+        onto decoded batch records (a stale hint is corrected by the
+        manager's stamping pass).
+        """
+        msgs: list[protocol.Message] = []
+        append = msgs.append
+        try:
+            for payload in payloads:
+                append(protocol.decode_message(payload, node_id=node_id))
+        except XdrDecodeError:
+            return msgs, True
+        return msgs, False
 
     def _route(
         self, conn: MessageConnection, msg: protocol.Message, now: int | None = None
@@ -219,6 +324,7 @@ class IsmServer:
                 self._pending.remove(conn)
             self.connections[msg.exs_id] = conn
             self._conn_exs[conn] = msg.exs_id
+            self._conn_node[conn] = msg.node_id
             self._rebuild_sync_master()
             return
         if isinstance(msg, protocol.Bye):
@@ -230,6 +336,7 @@ class IsmServer:
         if conn in self._dead:
             return  # already dropped (e.g. Bye routed, then EOF seen)
         self._dead.add(conn)
+        self._conn_node.pop(conn, None)
         exs_id = self._conn_exs.pop(conn, None)
         if exs_id is not None:
             self.connections.pop(exs_id, None)

@@ -410,7 +410,7 @@ def encode_batch_records(
 
 
 def _decode_record_dynamic(
-    dec: XdrDecoder, decode_meta, delta_ts: bool, base_ts: int
+    dec: XdrDecoder, decode_meta, delta_ts: bool, base_ts: int, node_id: int = 0
 ) -> EventRecord:
     """The seed per-field decode path; also the fast path's fallback."""
     event_id = dec.unpack_uint()
@@ -426,10 +426,13 @@ def _decode_record_dynamic(
         timestamp=ts,
         field_types=types,
         values=values,
+        node_id=node_id,
     )
 
 
-def _decode_batch(dec: XdrDecoder, *, use_fastpath: bool = True) -> Batch:
+def _decode_batch(
+    dec: XdrDecoder, *, use_fastpath: bool = True, node_id: int = 0
+) -> Batch:
     flags = dec.unpack_uint()
     exs_id = dec.unpack_uint()
     seq = dec.unpack_uint()
@@ -458,17 +461,30 @@ def _decode_batch(dec: XdrDecoder, *, use_fastpath: bool = True) -> Batch:
                     codec = None  # truncated: dynamic path raises canonically
             if codec is not None:
                 pos += codec.size
-                append(from_wire(vals[0], vals[1], codec.field_types, vals[2:]))
+                append(
+                    from_wire(vals[0], vals[1], codec.field_types, vals[2:], node_id)
+                )
             else:
                 dec.seek(pos)
-                append(_decode_record_dynamic(dec, decode_meta, delta_ts, base_ts))
+                append(
+                    _decode_record_dynamic(dec, decode_meta, delta_ts, base_ts, node_id)
+                )
                 pos = dec.position
         dec.seek(pos)
     else:
         for _ in range(count):
-            append(_decode_record_dynamic(dec, decode_meta, delta_ts, base_ts))
+            append(
+                _decode_record_dynamic(dec, decode_meta, delta_ts, base_ts, node_id)
+            )
     dec.done()
     return Batch(exs_id=exs_id, seq=seq, records=tuple(records))
+
+
+#: Fixed-size schemas have one wire size per (schema, knobs) — answered
+#: from here after the first computation so the EXS's per-record batch
+#: accounting costs a dict hit, not meta math plus a codec lookup.
+_WIRE_SIZE_CACHE: dict[tuple, int] = {}
+_WIRE_SIZE_CACHE_MAX = 4096
 
 
 def record_wire_size(
@@ -480,6 +496,10 @@ def record_wire_size(
     record requires 40 bytes" figure, and by the EXS's batch accounting on
     every record — fixed-size schemas answer from the codec cache in O(1).
     """
+    key = (record.field_types, compress_meta, delta_ts)
+    size = _WIRE_SIZE_CACHE.get(key)
+    if size is not None:
+        return size
     n = len(record.field_types)
     if compress_meta:
         meta = 4 + 4 * max(0, -(-(n - 6) // 8)) if n > 6 else 4
@@ -488,10 +508,11 @@ def record_wire_size(
     ts = 4 if delta_ts else 8  # escape path ignored: sizes for in-range deltas
     codec = fastcodec.codec_for_types(record.field_types)
     if codec is not None:
-        payload = codec.payload_size
-    else:
-        payload = record.schema.payload_wire_size(record.values)
-    return 4 + meta + ts + payload
+        size = 4 + meta + ts + codec.payload_size
+        if len(_WIRE_SIZE_CACHE) < _WIRE_SIZE_CACHE_MAX:
+            _WIRE_SIZE_CACHE[key] = size
+        return size
+    return 4 + meta + ts + record.schema.payload_wire_size(record.values)
 
 
 # ----------------------------------------------------------------------
@@ -555,12 +576,21 @@ def _encode_message(msg: Message, **batch_opts) -> XdrEncoder:
 
 
 def decode_message(
-    payload: bytes | bytearray | memoryview, *, use_fastpath: bool = True
+    payload: bytes | bytearray | memoryview,
+    *,
+    use_fastpath: bool = True,
+    node_id: int = 0,
 ) -> Message:
     """Decode one record-marked payload into its message object.
 
     ``use_fastpath=False`` forces the seed per-field decode loop (the
     codec-guard benchmark and the byte-identity tests compare against it).
+
+    *node_id* pre-stamps decoded batch records with the node the stream
+    implies (the wire format does not carry node identity per record).
+    The ISM pump passes each connection's Hello-advertised node so the
+    manager's stamping pass finds records already stamped; a wrong hint
+    is corrected there, so this is purely a fast path.
     """
     dec = XdrDecoder(payload)
     magic = dec.unpack_uint()
@@ -568,7 +598,7 @@ def decode_message(
         raise ProtocolError(f"bad magic 0x{magic:08X}")
     kind = dec.unpack_uint()
     if kind == MsgType.BATCH:
-        return _decode_batch(dec, use_fastpath=use_fastpath)
+        return _decode_batch(dec, use_fastpath=use_fastpath, node_id=node_id)
     if kind == MsgType.HELLO:
         msg = Hello(
             exs_id=dec.unpack_uint(),
@@ -598,3 +628,21 @@ def decode_message(
         raise ProtocolError(f"unknown message type {kind}")
     dec.done()
     return msg
+
+
+def decode_messages(
+    payloads: Sequence[bytes | bytearray | memoryview],
+    *,
+    use_fastpath: bool = True,
+    node_id: int = 0,
+) -> list[Message]:
+    """Decode a list of record-marked payloads, in order.
+
+    The staged receive path's decode stage: one framing pass hands every
+    complete payload here in a single call.  Raises on the first malformed
+    payload — callers that must keep the prefix decode incrementally.
+    """
+    return [
+        decode_message(p, use_fastpath=use_fastpath, node_id=node_id)
+        for p in payloads
+    ]

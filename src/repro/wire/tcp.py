@@ -20,11 +20,13 @@ import socket
 from typing import Iterator, Sequence
 
 from repro.wire import protocol
-from repro.xdr import RecordMarkingReader, frame_header, frame_record
+from repro.xdr import RecordMarkingReader, XdrDecodeError, frame_header, frame_record
 
 #: Default select timeout (seconds) — the paper's 40 ms worst case.
 DEFAULT_SELECT_TIMEOUT = 0.040
 
+#: Default receive-buffer ("frame buffer") size: one kernel drain per
+#: readiness wakeup up to this many bytes.
 _RECV_CHUNK = 256 * 1024
 
 #: Stay safely under typical IOV_MAX when vector-sending many frames.
@@ -36,14 +38,35 @@ class ConnectionClosed(ConnectionError):
 
 
 class MessageConnection:
-    """A framed, message-typed wrapper around one connected TCP socket."""
+    """A framed, message-typed wrapper around one connected TCP socket.
 
-    def __init__(self, sock: socket.socket) -> None:
+    The receive side is staged: :meth:`recv_frames` drains the kernel into
+    one reusable ``recv_into`` buffer and slices out *every* complete frame
+    per readiness wakeup (no per-message ``select``), returning raw payload
+    bytes for a separate decode stage.  :meth:`recv` /
+    :meth:`recv_available` decode on top of the same machinery for callers
+    that want :class:`~repro.wire.protocol.Message` objects directly.
+
+    *recv_buffer_bytes* is the frame-buffer knob: how many bytes one
+    wakeup pulls from the kernel before handing off to decode.
+    """
+
+    def __init__(
+        self, sock: socket.socket, recv_buffer_bytes: int = _RECV_CHUNK
+    ) -> None:
+        if recv_buffer_bytes < 4096:
+            raise ValueError("recv_buffer_bytes must be >= 4096")
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._sendmsg = getattr(sock, "sendmsg", None)
         self._reader = RecordMarkingReader()
         self._inbox: list[protocol.Message] = []
+        # Reusable receive buffer: recv_into avoids allocating a fresh
+        # bytes object per kernel drain; the deframer copies out only the
+        # completed frame payloads.
+        self._rbuf = bytearray(recv_buffer_bytes)
+        self._rview = memoryview(self._rbuf)
+        self._eof = False
         #: Bytes sent/received, for the throughput benches.
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -90,6 +113,59 @@ class MessageConnection:
         self.bytes_sent += total
 
     # ------------------------------------------------------------------
+    def recv_frames(
+        self, timeout: float | None = 0.0, *, assume_ready: bool = False
+    ) -> list[bytes]:
+        """Drain the socket; return every complete frame payload read.
+
+        One readiness wakeup pulls up to the receive buffer's worth of
+        bytes out of the kernel and slices out all complete frames — the
+        batch-oriented receive primitive the ISM's staged pipeline is
+        built on.  Returns ``[]`` when *timeout* elapses with nothing to
+        read.  *assume_ready* skips the initial ``select`` when the caller
+        already multiplexed this socket as readable.
+
+        Raises :class:`ConnectionClosed` once the peer has shut the stream
+        down and every frame received before the EOF has been returned.
+        """
+        if self._eof:
+            raise ConnectionClosed("peer closed connection")
+        frames: list[bytes] = []
+        while True:
+            if not assume_ready:
+                ready, _, _ = select.select([self._sock], [], [], timeout)
+                if not ready:
+                    return frames
+            assume_ready = False
+            timeout = 0.0
+            n = self._sock.recv_into(self._rview)
+            if n == 0:
+                self._eof = True
+                if frames:
+                    return frames  # next call raises
+                raise ConnectionClosed("peer closed connection")
+            self.bytes_received += n
+            try:
+                frames.extend(self._reader.feed_frames(self._rview[:n]))
+            except XdrDecodeError:
+                if frames:
+                    # Deliver what deframed cleanly; the poisoned reader
+                    # re-raises on the next call.
+                    return frames
+                raise
+            if n < len(self._rbuf):
+                # The kernel buffer is drained (a full read suggests more
+                # is waiting; a short one that it is not) — hand what we
+                # have to the decode stage instead of busy-polling.
+                return frames
+
+    def drain_inbox(self) -> list[protocol.Message]:
+        """Take every already-decoded message buffered by :meth:`recv`."""
+        if not self._inbox:
+            return []
+        msgs, self._inbox = self._inbox, []
+        return msgs
+
     def recv(self, timeout: float | None = DEFAULT_SELECT_TIMEOUT):
         """Return the next message, or None if *timeout* elapses first.
 
@@ -99,25 +175,29 @@ class MessageConnection:
         if self._inbox:
             return self._inbox.pop(0)
         while True:
-            ready, _, _ = select.select([self._sock], [], [], timeout)
-            if not ready:
-                return None
-            chunk = self._sock.recv(_RECV_CHUNK)
-            if not chunk:
-                raise ConnectionClosed("peer closed connection")
-            self.bytes_received += len(chunk)
-            for payload in self._reader.feed(chunk):
-                self._inbox.append(protocol.decode_message(payload))
-            if self._inbox:
+            before = self.bytes_received
+            frames = self.recv_frames(timeout)
+            if frames:
+                self._inbox.extend(protocol.decode_message(p) for p in frames)
                 return self._inbox.pop(0)
+            if self.bytes_received == before:
+                return None  # the select timed out with nothing to read
+            # Partial frame read: wait out another timeout for the rest.
 
     def recv_available(self) -> Iterator[protocol.Message]:
-        """Drain every message that can be read without blocking."""
+        """Drain every message that can be read without blocking.
+
+        Buffered messages (and frames already sitting in the deframer) are
+        yielded before the socket is touched again; the socket itself is
+        polled once per kernel drain, not once per message.
+        """
         while True:
-            msg = self.recv(timeout=0.0)
-            if msg is None:
+            while self._inbox:
+                yield self._inbox.pop(0)
+            frames = self.recv_frames(timeout=0.0)
+            if not frames:
                 return
-            yield msg
+            self._inbox.extend(protocol.decode_message(p) for p in frames)
 
     # ------------------------------------------------------------------
     def fileno(self) -> int:
@@ -140,18 +220,34 @@ class MessageConnection:
 
 
 class MessageListener:
-    """Listening endpoint for the ISM; accepts EXS connections."""
+    """Listening endpoint for the ISM; accepts EXS connections.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16):
+    *recv_buffer_bytes* is handed to every accepted connection — the
+    server-side frame-buffer knob.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 16,
+        recv_buffer_bytes: int = _RECV_CHUNK,
+    ):
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen(backlog)
+        self._recv_buffer_bytes = recv_buffer_bytes
 
     @property
     def address(self) -> tuple[str, int]:
         """The bound (host, port) — port is kernel-chosen when 0 was asked."""
         return self._sock.getsockname()
+
+    def fileno(self) -> int:
+        """Expose the listening fd so the ISM's pump can multiplex accepts
+        into the same ``select`` as the connection reads."""
+        return self._sock.fileno()
 
     def accept(self, timeout: float | None = None) -> MessageConnection | None:
         """Accept one connection, or None if *timeout* elapses."""
@@ -159,7 +255,7 @@ class MessageListener:
         if not ready:
             return None
         conn, _addr = self._sock.accept()
-        return MessageConnection(conn)
+        return MessageConnection(conn, recv_buffer_bytes=self._recv_buffer_bytes)
 
     def close(self) -> None:
         """Stop listening (idempotent)."""

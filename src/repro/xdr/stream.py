@@ -18,6 +18,7 @@ from typing import Iterator
 from repro.xdr.errors import XdrDecodeError
 
 _HEADER = struct.Struct(">I")
+_UNPACK_HEADER = _HEADER.unpack_from
 _LAST_FRAGMENT = 0x8000_0000
 _MAX_FRAGMENT = 0x7FFF_FFFF
 
@@ -54,44 +55,95 @@ class RecordMarkingReader:
     """Incremental record-marking deframer.
 
     Feed arbitrary chunks as they arrive from the socket; complete record
-    payloads are yielded as soon as their final fragment closes.  State is
+    payloads come back as soon as their final fragment closes.  State is
     kept across calls so fragment and record boundaries may fall anywhere
     relative to chunk boundaries.
+
+    :meth:`feed_frames` is the batch entry point the ISM's staged receive
+    path uses: one call slices *every* complete frame out of the chunk with
+    a single cursor scan (no per-frame buffer compaction), which is what
+    lets one ``recv`` wakeup hand a whole list of batch payloads to the
+    decode stage.  :meth:`feed` is the original generator spelling on top
+    of it.
     """
 
-    __slots__ = ("_buf", "_fragments", "_max_record")
+    __slots__ = ("_buf", "_fragments", "_frag_bytes", "_max_record", "_error")
 
     def __init__(self, max_record: int = 64 * 1024 * 1024) -> None:
         self._buf = bytearray()
         self._fragments: list[bytes] = []
+        self._frag_bytes = 0
         #: Upper bound on a reassembled record; guards the ISM against a
         #: corrupt length header committing it to an unbounded buffer.
         self._max_record = max_record
+        # A stream error found *after* complete frames in the same chunk is
+        # deferred so those frames are still delivered; it re-raises on the
+        # next call (the stream is unusable past the bad header anyway).
+        self._error: XdrDecodeError | None = None
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered that do not yet form a complete record."""
-        return len(self._buf) + sum(len(f) for f in self._fragments)
+        return len(self._buf) + self._frag_bytes
 
     def feed(self, chunk: bytes) -> Iterator[bytes]:
         """Consume *chunk*; yield each completed record payload."""
-        self._buf += chunk
-        while True:
-            if len(self._buf) < 4:
-                return
-            (header,) = _HEADER.unpack_from(self._buf)
-            length = header & _MAX_FRAGMENT
-            if len(self._buf) < 4 + length:
-                return
-            fragment = bytes(self._buf[4 : 4 + length])
-            del self._buf[: 4 + length]
-            self._fragments.append(fragment)
-            assembled = sum(len(f) for f in self._fragments)
-            if assembled > self._max_record:
-                raise XdrDecodeError(
-                    f"record exceeds maximum size {self._max_record}"
-                )
-            if header & _LAST_FRAGMENT:
-                record = b"".join(self._fragments)
-                self._fragments.clear()
-                yield record
+        yield from self.feed_frames(chunk)
+        if self._error is not None:
+            raise self._error
+
+    def feed_frames(self, chunk) -> list[bytes]:
+        """Consume *chunk*; return every record payload it completed.
+
+        Frames parsed before a malformed header are returned; the error is
+        raised on the *next* call, so a transport can deliver everything
+        that arrived intact ahead of the failure (matching the generator
+        semantics of :meth:`feed`).  When the chunk opens with the error,
+        it raises immediately.  A reader that has erred stays poisoned:
+        every later call re-raises.
+        """
+        if self._error is not None:
+            raise self._error
+        if self._buf:
+            self._buf += chunk
+            data: bytes | bytearray = self._buf
+            buffered = True
+        else:
+            data = chunk
+            buffered = False
+        frames: list[bytes] = []
+        pos = 0
+        end = len(data)
+        with memoryview(data) as view:
+            while end - pos >= 4:
+                (header,) = _UNPACK_HEADER(view, pos)
+                length = header & _MAX_FRAGMENT
+                if end - pos - 4 < length:
+                    break
+                if self._frag_bytes + length > self._max_record:
+                    self._error = XdrDecodeError(
+                        f"record exceeds maximum size {self._max_record}"
+                    )
+                    pos = end  # poison the rest of the stream
+                    break
+                fragment = bytes(view[pos + 4 : pos + 4 + length])
+                pos += 4 + length
+                if header & _LAST_FRAGMENT:
+                    if self._fragments:
+                        self._fragments.append(fragment)
+                        frames.append(b"".join(self._fragments))
+                        self._fragments.clear()
+                        self._frag_bytes = 0
+                    else:
+                        frames.append(fragment)
+                else:
+                    self._fragments.append(fragment)
+                    self._frag_bytes += length
+        # Keep only the unconsumed tail (partial header or partial frame).
+        if buffered:
+            del self._buf[:pos]
+        elif pos < end:
+            self._buf += memoryview(chunk)[pos:]
+        if self._error is not None and not frames:
+            raise self._error
+        return frames
