@@ -201,6 +201,73 @@ def test_e3_socket_throughput_floor():
     )
 
 
+def _socket_stream_elapsed(n_events: int, acked: bool) -> float:
+    """One fresh single-stream socket run; returns wall-clock seconds.
+
+    ``acked=False`` reproduces the seed's fire-and-forget transport
+    (no acks, no resume handshake, no heartbeats, an outbox deep enough
+    to never backpressure); ``acked=True`` is the default guaranteed
+    path.
+    """
+    from repro.runtime.exs_proc import ExsOutbox
+
+    received = [0]
+    manager = InstrumentationManager(
+        IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+        [CallbackConsumer(lambda r: received.__setitem__(0, received[0] + 1))],
+    )
+    listener = MessageListener()
+    host, port = listener.address
+    server = IsmServer(manager, listener, ack_batches=acked)
+    ring = RingBuffer(bytearray(HEADER_SIZE + (1 << 22)), OverflowPolicy.DROP_NEW)
+    sensor = Sensor(ring, node_id=1)
+    exs = ExternalSensor(
+        1, 1, ring, CorrectedClock(now_micros),
+        ExsConfig(batch_max_records=250, flush_timeout_us=1_000,
+                  drain_limit=100_000),
+    )
+    emitted = 0
+    while emitted < n_events:
+        if sensor.notice_ints(7, emitted, 2, 3, 4, 5, 6):
+            emitted += 1
+    if acked:
+        proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.001)
+    else:
+        proc = ExsProcess(
+            exs,
+            connect(host, port),
+            select_timeout_s=0.001,
+            outbox=ExsOutbox(depth=1_000_000),
+            resume=False,
+            ack_timeout_s=None,
+            heartbeat_interval_s=None,
+        )
+    thread = threading.Thread(target=proc.run, daemon=True)
+    t0 = time.perf_counter()
+    thread.start()
+    server.serve(duration_s=30.0, until_records=n_events)
+    elapsed = time.perf_counter() - t0
+    proc.stop()
+    thread.join(timeout=5)
+    listener.close()
+    assert received[0] == n_events
+    return elapsed
+
+
+def test_acked_path_within_ten_percent_of_fire_and_forget():
+    """The delivery guarantees must be nearly free at steady state: one
+    cumulative Ack per pump cycle and an outbox append per batch.  Race
+    the default acked path against the seed's fire-and-forget transport
+    and fail if the guaranteed path costs more than 10%."""
+    n_events = 20_000
+    acked = _best(lambda: _socket_stream_elapsed(n_events, acked=True), repeats=3)
+    bare = _best(lambda: _socket_stream_elapsed(n_events, acked=False), repeats=3)
+    assert acked <= bare * 1.10, (
+        f"acked path ({n_events / acked:,.0f} ev/s) more than 10% slower "
+        f"than fire-and-forget ({n_events / bare:,.0f} ev/s)"
+    )
+
+
 def test_e5_fanin_sort_deliver_floor():
     # The E5-specific risk is the 8-way merge: per-record heap traffic
     # across 8 FIFO queues.  Feed 8 interleaved sources straight into the

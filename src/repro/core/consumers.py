@@ -93,7 +93,17 @@ class MemoryBufferConsumer:
 
 
 class PiclFileConsumer:
-    """PICL ASCII trace logging."""
+    """PICL ASCII trace logging.
+
+    *fsync_on_flush* makes every delivered slice durable before the
+    pipeline moves on (``flush`` + ``fsync`` per slice) — a killed ISM
+    then loses at most the slice that was mid-write, and that torn tail is
+    exactly what :class:`~repro.picl.format.PiclReader`'s
+    ``tolerate_torn_tail`` accepts.  For whole-file atomicity use
+    :meth:`open_durable`, which writes to ``<path>.part`` and renames into
+    place on close, so *path* either does not exist yet or is a complete,
+    parseable trace.
+    """
 
     def __init__(
         self,
@@ -102,11 +112,41 @@ class PiclFileConsumer:
         epoch_us: int = 0,
         *,
         close_stream: bool = False,
+        fsync_on_flush: bool = False,
     ) -> None:
         self._writer = PiclWriter(stream, mode, epoch_us)
         self._stream = stream
         self._close_stream = close_stream
+        self._fsync_on_flush = fsync_on_flush
+        self._part_path: str | None = None
+        self._final_path: str | None = None
         self._closed = False
+
+    @classmethod
+    def open_durable(
+        cls,
+        path,
+        mode: TimestampMode = TimestampMode.UTC_MICROS,
+        epoch_us: int = 0,
+        *,
+        fsync_on_flush: bool = True,
+    ) -> "PiclFileConsumer":
+        """Crash-safe trace file: tmp + fsync + atomic rename on close."""
+        import os
+
+        final_path = os.fspath(path)
+        part_path = final_path + ".part"
+        stream = open(part_path, "w", encoding="ascii")
+        consumer = cls(
+            stream,
+            mode,
+            epoch_us,
+            close_stream=True,
+            fsync_on_flush=fsync_on_flush,
+        )
+        consumer._part_path = part_path
+        consumer._final_path = final_path
+        return consumer
 
     @property
     def delivered(self) -> int:
@@ -118,21 +158,45 @@ class PiclFileConsumer:
         if self._closed:
             raise RuntimeError("consumer is closed")
         self._writer.write(record)
+        if self._fsync_on_flush:
+            self._writer.sync()
 
     def deliver_many(self, records: Sequence[EventRecord]) -> None:
         """Write a slice of records as one buffered stream write."""
         if self._closed:
             raise RuntimeError("consumer is closed")
         self._writer.write_all(records)
+        if self._fsync_on_flush:
+            self._writer.sync()
 
     def close(self) -> None:
-        """Flush (and optionally close) the trace stream."""
+        """Flush (and optionally close) the trace stream; a durable
+        consumer then renames the ``.part`` file into its final place."""
         if self._closed:
             return
         self._closed = True
-        self._stream.flush()
+        if self._final_path is not None:
+            self._writer.sync()
+        else:
+            self._stream.flush()
         if self._close_stream:
             self._stream.close()
+        if self._final_path is not None and self._part_path is not None:
+            import os
+
+            os.replace(self._part_path, self._final_path)
+            # Make the rename itself durable, not just the bytes.
+            dir_path = os.path.dirname(self._final_path) or "."
+            try:
+                dir_fd = os.open(dir_path, os.O_RDONLY)
+            except OSError:
+                return
+            try:
+                os.fsync(dir_fd)
+            except OSError:
+                pass
+            finally:
+                os.close(dir_fd)
 
 
 @runtime_checkable
@@ -351,11 +415,18 @@ class QueuedConsumer:
         return self._queue.qsize()
 
     def close(self) -> None:
-        """Drain the queue, stop the worker, close the inner consumer."""
+        """Drain the queue, stop the worker, close the inner consumer.
+
+        A sink error from the final queued slices must survive the inner
+        close — even one that itself raises — or the very failure most
+        worth hearing about (the last writes before shutdown) vanishes.
+        """
         if self._closed:
             return
         self._closed = True
         self._queue.put(None)  # sentinel: processed after queued slices
         self._worker.join()
-        self._inner.close()
-        self._raise_pending()
+        try:
+            self._inner.close()
+        finally:
+            self._raise_pending()

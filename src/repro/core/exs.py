@@ -130,6 +130,26 @@ class ExternalSensor:
         """The first ring (single-ring deployments' natural accessor)."""
         return self.rings[0]
 
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next closed batch will carry.
+
+        The acked transfer protocol reads it right after :meth:`poll` to
+        label the just-encoded payloads: a poll that produced ``k``
+        batches used sequences ``next_seq - k .. next_seq - 1``.
+        """
+        return self._seq
+
+    def resume_from(self, next_seq: int) -> None:
+        """Fast-forward the batch sequence counter (never backwards).
+
+        A restarted EXS resuming into an ISM that remembers a higher
+        admitted seq adopts ``last_admitted + 1`` so its fresh batches
+        are not mistaken for retransmits of delivered ones.
+        """
+        if next_seq > self._seq:
+            self._seq = next_seq
+
     def add_ring(self, ring: RingBuffer) -> None:
         """Attach another application process's ring buffer."""
         self.rings.append(ring)

@@ -65,6 +65,11 @@ class IsmStats:
     records_delivered: int = 0
     #: Batch sequence gaps per EXS — should stay zero over healthy TCP.
     seq_gaps: int = 0
+    #: Retransmitted batches dropped by the admission dedup (at-least-once
+    #: wire converging to exactly-once delivery).
+    duplicate_batches: int = 0
+    #: Records inside those duplicate batches.
+    records_deduped: int = 0
     #: Records from sources that never sent a Hello.
     unknown_source_records: int = 0
     #: Exceptions raised by consumers during delivery (isolated).
@@ -92,6 +97,11 @@ class InstrumentationManager:
         #: tachyons trigger its extra-round request (§3.6).
         self.sync_master = sync_master
         self._known_sources: dict[int, int] = {}  # exs_id → node_id
+        # exs_id → highest admitted batch seq.  Retransmits at or below
+        # this watermark are dropped before the sorter; the value is what
+        # Ack/HelloReply carry back to the EXS, and what resume_state()
+        # exports so a restarted ISM can keep validating the stream.
+        self._admitted: dict[int, int] = {}
         self._last_expire_now: int | None = None
         self._consumer_strikes: dict[int, int] = {}
         self._closed = False
@@ -109,6 +119,33 @@ class InstrumentationManager:
         """Registered sources, ``exs_id → node_id``."""
         return dict(self._known_sources)
 
+    # ------------------------------------------------------------------
+    # delivery-guarantee state
+    # ------------------------------------------------------------------
+    def admitted_seq(self, exs_id: int) -> int | None:
+        """Highest admitted batch seq for *exs_id* (None = no state)."""
+        return self._admitted.get(exs_id)
+
+    def resume_state(self) -> dict[int, int]:
+        """Snapshot of per-EXS admission watermarks.
+
+        Feed it to :meth:`load_resume_state` on a replacement manager so a
+        restarted ISM keeps deduplicating retransmits instead of treating
+        the resumed stream as brand new.
+        """
+        return dict(self._admitted)
+
+    def load_resume_state(self, state: dict[int, int]) -> None:
+        """Adopt admission watermarks saved by a previous incarnation.
+
+        Watermarks only ever move forward: an entry lower than what this
+        manager has already admitted is ignored.
+        """
+        for exs_id, seq in state.items():
+            current = self._admitted.get(exs_id)
+            if current is None or seq > current:
+                self._admitted[int(exs_id)] = int(seq)
+
     def on_message(self, msg: protocol.Message, now: int) -> None:
         """Dispatch one decoded protocol message at ISM time *now*."""
         if isinstance(msg, protocol.Batch):
@@ -117,6 +154,8 @@ class InstrumentationManager:
             self.register_source(msg.exs_id, msg.node_id)
         elif isinstance(msg, protocol.Bye):
             pass  # the transport layer tears the connection down
+        elif isinstance(msg, protocol.Heartbeat):
+            pass  # liveness only; the transport layer tracks activity
         else:
             raise TypeError(
                 f"ISM cannot handle {type(msg).__name__}; clock-sync "
@@ -124,8 +163,21 @@ class InstrumentationManager:
             )
 
     def on_batch(self, batch: protocol.Batch, now: int) -> None:
-        """Queue a batch's records for sorting."""
+        """Queue a batch's records for sorting.
+
+        Batches at or below the admission watermark are retransmits of
+        already-admitted data (the acked transfer protocol resends
+        unacked batches after a reconnect); they are counted and dropped,
+        which is what turns the at-least-once wire into exactly-once
+        delivery.  Batch framing is atomic on the wire — the deframer
+        never yields a partial batch — so whole-batch dedup suffices.
+        """
         self.stats.batches_received += 1
+        admitted = self._admitted.get(batch.exs_id)
+        if admitted is not None and batch.seq <= admitted:
+            self.stats.duplicate_batches += 1
+            self.stats.records_deduped += len(batch.records)
+            return
         self.stats.records_received += len(batch.records)
         if batch.exs_id not in self._known_sources:
             # Tolerated (a Hello may have raced the first batch in tests),
@@ -136,6 +188,7 @@ class InstrumentationManager:
         if last is not None and batch.seq != last + 1:
             self.stats.seq_gaps += 1
         self.stats.last_seq[batch.exs_id] = batch.seq
+        self._admitted[batch.exs_id] = batch.seq
         # The wire format does not carry node identity per record — the
         # stream implies it; stamp it back on from the Hello registration.
         # Stamping runs vectorized over the decoded list: records already

@@ -24,6 +24,7 @@ can round-trip traces, not to parse the full PICL zoo.
 from __future__ import annotations
 
 import io
+import os
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator, TextIO
@@ -293,19 +294,60 @@ class PiclWriter:
         self._stream.write("\n".join(lines))
         self.lines_written += len(lines) - 1
 
+    def sync(self) -> None:
+        """Flush the stream and ``fsync`` it to stable storage.
+
+        A no-op past the flush for streams without a real file descriptor
+        (``StringIO``); the crash-safe trace consumer calls this after
+        each delivered slice so a killed ISM loses at most the slice in
+        flight.
+        """
+        self._stream.flush()
+        fileno = getattr(self._stream, "fileno", None)
+        if fileno is None:
+            return
+        try:
+            os.fsync(fileno())
+        except (OSError, io.UnsupportedOperation):
+            pass  # not a real file (pipe to a gone reader, StringIO, ...)
+
 
 class PiclReader:
-    """Iterates PICL records from a trace file object."""
+    """Iterates PICL records from a trace file object.
 
-    def __init__(self, stream: TextIO) -> None:
+    *tolerate_torn_tail* accepts the one corruption a crash of the
+    *writer* can legitimately produce in a line-oriented append-only
+    trace: a final line cut short mid-write.  With it set, a parse error
+    on the **last** line of the stream is swallowed (counted in
+    ``torn_lines``) instead of raised; a malformed line anywhere earlier
+    still raises — that is real corruption, not a crash artifact.
+    """
+
+    def __init__(self, stream: TextIO, *, tolerate_torn_tail: bool = False) -> None:
         self._stream = stream
+        self.tolerate_torn_tail = tolerate_torn_tail
+        #: Torn final lines swallowed (0 or 1 per stream).
+        self.torn_lines = 0
 
     def __iter__(self) -> Iterator[PiclRecord]:
+        deferred: PiclParseError | None = None
         for line in self._stream:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            yield parse_line(line)
+            if deferred is not None:
+                # The bad line was *not* the tail after all.
+                raise deferred
+            try:
+                parsed = parse_line(line)
+            except PiclParseError as exc:
+                if not self.tolerate_torn_tail:
+                    raise
+                deferred = exc
+                continue
+            yield parsed
+        if deferred is not None:
+            self.torn_lines += 1
 
     def read_all(self) -> list[PiclRecord]:
         """Read every record in the stream."""

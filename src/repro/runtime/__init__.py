@@ -20,7 +20,13 @@ against real sockets and a real kernel scheduler.
 """
 
 from repro.runtime.shm import SharedRing, create_shared_ring, attach_shared_ring
-from repro.runtime.exs_proc import ExsProcess, ReconnectingExs, exs_process_main
+from repro.runtime.exs_proc import (
+    ExsOutbox,
+    ExsProcess,
+    ReconnectingExs,
+    exs_process_main,
+    resilient_exs_main,
+)
 from repro.runtime.ism_proc import IsmServer, TcpSyncSlave
 from repro.runtime.throttle import AutoThrottle, ThrottleConfig
 from repro.runtime.shm_consumer import SharedMemoryConsumer, SharedMemoryReader
@@ -31,9 +37,11 @@ __all__ = [
     "SharedRing",
     "create_shared_ring",
     "attach_shared_ring",
+    "ExsOutbox",
     "ExsProcess",
     "ReconnectingExs",
     "exs_process_main",
+    "resilient_exs_main",
     "IsmServer",
     "TcpSyncSlave",
     "AutoThrottle",

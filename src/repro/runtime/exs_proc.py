@@ -7,6 +7,17 @@ paper's EXS: a ``select`` wait bounded at 40 ms is both the idle sleep and
 the control-message poll, which is exactly why the paper's worst-case
 record latency bottoms out at the select timeout (benchmark E4).
 
+On top of the paper's transport the runtime adds end-to-end delivery
+guarantees: every encoded batch is parked in a bounded in-flight
+:class:`ExsOutbox` until the ISM's cumulative :class:`~repro.wire.
+protocol.Ack` covers it, a reconnect replays the ``Hello`` →
+``HelloReply`` resume handshake and retransmits everything still unacked,
+and a stalled acknowledgment stream (``ack_timeout_s``) forces a
+reconnect instead of letting a hung peer strand the outbox.  The ring
+buffer remains the durability layer behind the outbox: while the outbox
+is full the EXS simply stops draining, so un-shipped records wait in
+shared memory rather than in unbounded process heap.
+
 ``exs_process_main`` is the ``multiprocessing.Process`` target used by the
 examples and the real-socket benchmarks; :class:`ExsProcess` is the same
 loop as an object for in-process use (threads, tests).
@@ -14,8 +25,11 @@ loop as an object for in-process use (threads, tests).
 
 from __future__ import annotations
 
+import random
 import threading
 import time
+from collections import deque
+from dataclasses import replace
 
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.exs import ExsConfig, ExternalSensor
@@ -24,20 +38,114 @@ from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import ConnectionClosed, MessageConnection, connect
 
+#: Exceptions that mean "the peer (or the path to it) is gone".
+_PEER_LOST = (ConnectionClosed, BrokenPipeError, ConnectionResetError, OSError)
+
+
+class ExsOutbox:
+    """Bounded window of encoded-but-unacknowledged batches.
+
+    Entries are ``(seq, payload)`` in strictly increasing seq order; the
+    ISM's acks are cumulative, so :meth:`ack` pops a prefix.  The outbox
+    outlives any single connection — :class:`ReconnectingExs` hands the
+    same instance to every session so unacked batches survive the socket
+    they were first sent on.
+
+    ``depth`` is a soft bound: the pump stops *draining the ring* once the
+    outbox is full, but a single poll may overshoot by one poll's worth of
+    batches (the ring, not the outbox, is the backpressure buffer).
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth < 1:
+            raise ValueError("outbox depth must be >= 1")
+        self.depth = depth
+        self._entries: deque[tuple[int, bytes]] = deque()
+        #: Batches released by acks since start.
+        self.acked_batches = 0
+        #: Payloads re-sent by resume retransmission.
+        self.retransmitted_batches = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def unacked(self) -> int:
+        """Batches currently in flight (sent, not yet acked)."""
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """Whether the pump should stop draining the ring."""
+        return len(self._entries) >= self.depth
+
+    def append(self, seq: int, payload: bytes) -> None:
+        """Park one just-sent batch until an ack covers it."""
+        if self._entries and seq <= self._entries[-1][0]:
+            raise ValueError(
+                f"outbox seqs must increase: {seq} after {self._entries[-1][0]}"
+            )
+        self._entries.append((seq, payload))
+
+    def ack(self, up_to_seq: int) -> int:
+        """Release every entry with ``seq <= up_to_seq``; returns count."""
+        released = 0
+        entries = self._entries
+        while entries and entries[0][0] <= up_to_seq:
+            entries.popleft()
+            released += 1
+        self.acked_batches += released
+        return released
+
+    def pending_payloads(self) -> list[bytes]:
+        """Unacked payloads in seq order (the retransmission set)."""
+        return [payload for _, payload in self._entries]
+
+    def pending_seqs(self) -> list[int]:
+        """Unacked batch sequence numbers, in order."""
+        return [seq for seq, _ in self._entries]
+
 
 class ExsProcess:
-    """Drive one external sensor against a live ISM connection."""
+    """Drive one external sensor against a live ISM connection.
+
+    *outbox* holds encoded batches until acked (a fresh one is created
+    when not given; pass a shared instance to keep in-flight state across
+    reconnects).  *resume* runs the Hello/HelloReply handshake and
+    retransmits unacked batches before the main loop.  *ack_timeout_s*
+    bounds how long the outbox may sit unacked with no progress before
+    the connection is declared hung (None disables).
+    *heartbeat_interval_s* keeps an idle connection visibly alive for the
+    ISM's idle-deadline sweep (None disables).
+    """
 
     def __init__(
         self,
         exs: ExternalSensor,
         conn: MessageConnection,
         select_timeout_s: float = 0.040,
+        *,
+        outbox: ExsOutbox | None = None,
+        resume: bool = True,
+        ack_timeout_s: float | None = 5.0,
+        heartbeat_interval_s: float | None = 1.0,
+        hello_reply_timeout_s: float = 2.0,
     ) -> None:
+        if ack_timeout_s is not None and ack_timeout_s <= 0:
+            raise ValueError("ack_timeout_s must be positive or None")
+        if heartbeat_interval_s is not None and heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive or None")
         self.exs = exs
         self.conn = conn
         self.select_timeout_s = select_timeout_s
+        self.outbox = outbox if outbox is not None else ExsOutbox()
+        self.resume = resume
+        self.ack_timeout_s = ack_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.hello_reply_timeout_s = hello_reply_timeout_s
         self._stop = threading.Event()
+        self._last_ack_progress = time.monotonic()
+        self._last_send = time.monotonic()
 
     def stop(self) -> None:
         """Ask the loop to flush and exit."""
@@ -45,51 +153,155 @@ class ExsProcess:
 
     def run(self) -> None:
         """The EXS main loop; returns after a stop request or peer close."""
-        self.conn.send(self.exs.hello())
         try:
+            # Advertise ack consumption: this loop always drains control
+            # traffic, so the ISM may safely write replies and acks back.
+            self.conn.send(replace(self.exs.hello(), wants_ack=True))
+            self._last_send = time.monotonic()
+            if self.resume:
+                self._resume_session()
+            self._last_ack_progress = time.monotonic()
             while not self._stop.is_set():
                 shipped = self._pump_data()
+                self._maybe_heartbeat()
+                self._check_ack_deadline()
                 # Idle or not, poll the control path; when idle this is
                 # also the 40 ms select sleep.
                 timeout = 0.0 if shipped else self.select_timeout_s
                 self._pump_control(timeout)
-            self.conn.send_many(self.exs.flush())
-            self.conn.send(protocol.Bye(reason="exs stop"))
-        except (ConnectionClosed, BrokenPipeError, ConnectionResetError):
-            pass  # ISM went away; nothing left to ship to
+            self._shutdown_flush()
+        except _PEER_LOST:
+            pass  # ISM went away; unacked batches stay in the outbox
 
     # ------------------------------------------------------------------
+    def _resume_session(self) -> None:
+        """Wait for the HelloReply resume point, then retransmit.
+
+        A legacy ISM that never answers degrades gracefully: after
+        ``hello_reply_timeout_s`` every unacked batch is retransmitted
+        anyway (at-least-once; the upgraded ISM's dedup restores
+        exactly-once).
+        """
+        deadline = time.monotonic() + self.hello_reply_timeout_s
+        reply: protocol.HelloReply | None = None
+        while reply is None and not self._stop.is_set():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            msg = self.conn.recv(timeout=min(self.select_timeout_s, remaining))
+            if msg is None:
+                continue
+            if isinstance(msg, protocol.HelloReply):
+                reply = msg
+            else:
+                self._handle_control(msg)
+        if reply is not None and reply.last_seq >= 0:
+            self.outbox.ack(reply.last_seq)
+            # A restarted EXS adopts the ISM's watermark so fresh batches
+            # are not mistaken for retransmits of delivered ones.
+            self.exs.resume_from(reply.last_seq + 1)
+        pending = self.outbox.pending_payloads()
+        if pending:
+            self.conn.send_many(pending)
+            self.outbox.retransmitted_batches += len(pending)
+            self._last_send = time.monotonic()
+
     def _pump_data(self) -> bool:
+        if self.outbox.full:
+            # Backpressure: leave records in the ring until acks free a
+            # slot.  Still return False so the control pump sleeps and
+            # gives the ack a chance to arrive.
+            return False
         batches = self.exs.poll()
         if batches:
+            first_seq = self.exs.next_seq - len(batches)
+            for i, payload in enumerate(batches):
+                self.outbox.append(first_seq + i, payload)
             # All of this poll's batches leave in one vectored send.
             self.conn.send_many(batches)
+            self._last_send = time.monotonic()
         return bool(batches)
 
     def _pump_control(self, timeout: float) -> None:
         msg = self.conn.recv(timeout=timeout)
         while msg is not None:
-            if isinstance(msg, protocol.TimeRequest):
-                self.conn.send(self.exs.on_time_request(msg))
-            elif isinstance(msg, protocol.Adjust):
-                self.exs.on_adjust(msg)
-            elif isinstance(msg, protocol.SetFilter):
-                self.exs.on_set_filter(msg)
-            elif isinstance(msg, protocol.Bye):
-                self._stop.set()
+            self._handle_control(msg)
+            if self._stop.is_set():
                 return
             msg = self.conn.recv(timeout=0.0)
 
+    def _handle_control(self, msg: protocol.Message) -> None:
+        if isinstance(msg, protocol.Ack):
+            if self.outbox.ack(msg.up_to_seq):
+                self._last_ack_progress = time.monotonic()
+        elif isinstance(msg, protocol.TimeRequest):
+            self.conn.send(self.exs.on_time_request(msg))
+            self._last_send = time.monotonic()
+        elif isinstance(msg, protocol.Adjust):
+            self.exs.on_adjust(msg)
+        elif isinstance(msg, protocol.SetFilter):
+            self.exs.on_set_filter(msg)
+        elif isinstance(msg, protocol.HelloReply):
+            pass  # late duplicate; the resume handshake already ran
+        elif isinstance(msg, protocol.Bye):
+            self._stop.set()
+
+    def _maybe_heartbeat(self) -> None:
+        interval = self.heartbeat_interval_s
+        if interval is None:
+            return
+        now = time.monotonic()
+        if now - self._last_send >= interval:
+            self.conn.send(protocol.Heartbeat(exs_id=self.exs.exs_id))
+            self._last_send = now
+
+    def _check_ack_deadline(self) -> None:
+        if self.ack_timeout_s is None or not self.outbox.unacked:
+            self._last_ack_progress = time.monotonic()
+            return
+        if time.monotonic() - self._last_ack_progress > self.ack_timeout_s:
+            # The peer is reachable enough to keep the socket open but has
+            # stopped admitting: treat it as hung and force a reconnect.
+            raise ConnectionClosed(
+                f"no ack progress in {self.ack_timeout_s}s with "
+                f"{self.outbox.unacked} batches in flight"
+            )
+
+    def _shutdown_flush(self) -> None:
+        """Flush the ring, wait (bounded) for the acks, then say Bye."""
+        payloads = self.exs.flush()
+        if payloads:
+            first_seq = self.exs.next_seq - len(payloads)
+            for i, payload in enumerate(payloads):
+                self.outbox.append(first_seq + i, payload)
+            self.conn.send_many(payloads)
+        # Confirmed shutdown: give the ISM one ack window to cover the
+        # tail so a clean stop is loss-free end to end.  A peer that never
+        # acks (legacy, or already gone) just costs the timeout.
+        if self.outbox.unacked and self.ack_timeout_s is not None:
+            deadline = time.monotonic() + self.ack_timeout_s
+            while self.outbox.unacked and time.monotonic() < deadline:
+                msg = self.conn.recv(timeout=self.select_timeout_s)
+                while msg is not None:
+                    self._handle_control(msg)
+                    msg = self.conn.recv(timeout=0.0)
+        self.conn.send(protocol.Bye(reason="exs stop"))
+
 
 class ReconnectingExs:
-    """Run an EXS with automatic reconnection.
+    """Run an EXS with automatic reconnection and resumable delivery.
 
-    The ring buffer is the durability layer: while the ISM is unreachable
-    the application keeps writing (until the ring fills and drops,
-    counted), and on reconnect the EXS resumes draining — records written
-    during the outage still ship.  Batch sequence numbers keep increasing
-    across connections, so the ISM's gap counter records exactly how many
-    batches (if any) died in flight with the old socket.
+    The ring buffer is the durability layer for unpolled records: while
+    the ISM is unreachable the application keeps writing (until the ring
+    fills and drops, counted), and on reconnect the EXS resumes draining.
+    The shared :class:`ExsOutbox` is the durability layer for records
+    already drained: batches the old socket never got acked are
+    retransmitted on the new one after the ``HelloReply`` resume
+    handshake, so a connection drop mid-flight loses nothing.
+
+    Reconnect backoff uses *decorrelated jitter* (each delay drawn
+    uniformly from ``[backoff_s, 3 × previous]``, capped) so N sensors
+    orphaned by one ISM restart do not hammer it back in lockstep.
     """
 
     def __init__(
@@ -102,6 +314,11 @@ class ReconnectingExs:
         backoff_s: float = 0.2,
         backoff_factor: float = 2.0,
         max_backoff_s: float = 5.0,
+        *,
+        outbox_depth: int = 64,
+        ack_timeout_s: float | None = 5.0,
+        heartbeat_interval_s: float | None = 1.0,
+        jitter_rng: random.Random | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -113,6 +330,11 @@ class ReconnectingExs:
         self.backoff_s = backoff_s
         self.backoff_factor = backoff_factor
         self.max_backoff_s = max_backoff_s
+        self.ack_timeout_s = ack_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        #: In-flight batches shared across every session this runner opens.
+        self.outbox = ExsOutbox(outbox_depth)
+        self._rng = jitter_rng if jitter_rng is not None else random.Random()
         self._stop = threading.Event()
         #: Successful connections established.
         self.connections = 0
@@ -122,6 +344,13 @@ class ReconnectingExs:
     def stop(self) -> None:
         """Stop after the current session (and stop retrying)."""
         self._stop.set()
+
+    def _next_backoff(self, delay: float) -> float:
+        """Decorrelated jitter (AWS style): uniform in [base, 3·prev]."""
+        return min(
+            self.max_backoff_s,
+            self._rng.uniform(self.backoff_s, max(self.backoff_s, delay * 3)),
+        )
 
     def run(self) -> None:
         """Connect-run-reconnect until stopped or attempts exhausted."""
@@ -134,19 +363,37 @@ class ReconnectingExs:
                 attempts += 1
                 self.failed_attempts += 1
                 time.sleep(min(delay, self.max_backoff_s))
-                delay *= self.backoff_factor
+                delay = self._next_backoff(delay)
                 continue
-            attempts = 0
-            delay = self.backoff_s
             self.connections += 1
-            proc = ExsProcess(self.exs, conn, self.select_timeout_s)
+            session_start = time.monotonic()
+            proc = ExsProcess(
+                self.exs,
+                conn,
+                self.select_timeout_s,
+                outbox=self.outbox,
+                resume=True,
+                ack_timeout_s=self.ack_timeout_s,
+                heartbeat_interval_s=self.heartbeat_interval_s,
+            )
             # Share the stop flag so an outer stop() ends the inner loop.
             proc._stop = self._stop  # noqa: SLF001 - deliberate wiring
             try:
                 proc.run()
             finally:
                 conn.close()
-            # proc.run() returns on stop or on peer loss; loop decides.
+            # proc.run() returns on stop or on peer loss.  A session that
+            # died faster than one backoff period counts as a failed
+            # attempt — a proxy or half-up peer that accepts and instantly
+            # drops would otherwise drive a zero-delay reconnect spin.
+            if time.monotonic() - session_start < self.backoff_s:
+                attempts += 1
+                if not self._stop.is_set():
+                    time.sleep(min(delay, self.max_backoff_s))
+                delay = self._next_backoff(delay)
+            else:
+                attempts = 0
+                delay = self.backoff_s
 
 
 def exs_process_main(
@@ -185,7 +432,66 @@ def exs_process_main(
         shared.close()
 
 
+def resilient_exs_main(
+    ring_name: str,
+    host: str,
+    port: int,
+    exs_id: int,
+    node_id: int,
+    stop_when_acked_records: int | None = None,
+    config: ExsConfig = ExsConfig(),
+    select_timeout_s: float = 0.040,
+    max_attempts: int = 1_000,
+    backoff_s: float = 0.02,
+    max_backoff_s: float = 0.5,
+    outbox_depth: int = 64,
+    ack_timeout_s: float = 2.0,
+) -> None:
+    """``multiprocessing.Process`` target with full delivery guarantees.
+
+    Runs a :class:`ReconnectingExs` (outbox + resume + retransmit) and —
+    when *stop_when_acked_records* is given — exits only once that many
+    records have been shipped *and every in-flight batch is acked*, so a
+    chaos harness can kill connections at will and still assert
+    exactly-once delivery of the whole workload.
+    """
+    shared = attach_shared_ring(ring_name)
+    try:
+        clock = CorrectedClock(now_micros)
+        exs = ExternalSensor(exs_id, node_id, shared.ring, clock, config)
+        runner = ReconnectingExs(
+            exs,
+            host,
+            port,
+            select_timeout_s=select_timeout_s,
+            max_attempts=max_attempts,
+            backoff_s=backoff_s,
+            max_backoff_s=max_backoff_s,
+            outbox_depth=outbox_depth,
+            ack_timeout_s=ack_timeout_s,
+        )
+        if stop_when_acked_records is not None:
+            threading.Thread(
+                target=_stop_when_acked,
+                args=(runner, exs, stop_when_acked_records),
+                daemon=True,
+            ).start()
+        runner.run()
+    finally:
+        shared.close()
+
+
 def _stop_after(proc: ExsProcess, exs: ExternalSensor, target: int) -> None:
     while exs.stats.records_shipped < target:
         time.sleep(0.005)
     proc.stop()
+
+
+def _stop_when_acked(
+    runner: ReconnectingExs, exs: ExternalSensor, target: int
+) -> None:
+    while not (
+        exs.stats.records_shipped >= target and runner.outbox.unacked == 0
+    ):
+        time.sleep(0.005)
+    runner.stop()

@@ -90,9 +90,13 @@ class IsmServer:
         throttle=None,
         throttle_period_s: float = 1.0,
         decode_workers: int = 0,
+        ack_batches: bool = True,
+        idle_deadline_s: float | None = None,
     ) -> None:
         if decode_workers < 0:
             raise ValueError("decode_workers must be >= 0")
+        if idle_deadline_s is not None and idle_deadline_s <= 0:
+            raise ValueError("idle_deadline_s must be positive or None")
         self.manager = manager
         self.listener = listener
         self.sync_config = sync_config
@@ -107,6 +111,25 @@ class IsmServer:
         #: :meth:`set_filter`.
         self.throttle = throttle
         self.throttle_period_s = throttle_period_s
+        #: Acknowledge admitted batches back to each EXS (cumulative
+        #: :class:`~repro.wire.protocol.Ack`, one per source per pump
+        #: cycle).  Off reproduces the seed's fire-and-forget transport.
+        self.ack_batches = ack_batches
+        #: Drop a connection whose peer has been silent this long
+        #: (heartbeats count as activity).  None disables the sweep.
+        self.idle_deadline_s = idle_deadline_s
+        #: Sources with new admissions this cycle, awaiting an Ack.
+        self._ack_pending: set[int] = set()
+        #: Sources whose Hello advertised ``wants_ack`` — the only peers
+        #: ever written to outside the clock-sync path.  A fire-and-forget
+        #: sender that never reads must never be written to: once it
+        #: closes, our write draws an RST that can discard its
+        #: still-buffered batches in our own receive queue.
+        self._ack_enabled: set[int] = set()
+        #: monotonic() of each connection's last inbound traffic.
+        self._last_activity: dict[MessageConnection, float] = {}
+        #: Connections dropped by the idle-deadline sweep.
+        self.idle_drops = 0
         self._next_throttle = time.monotonic() + throttle_period_s
         self._per_source_counts: dict[int, int] = {}
         self.connections: dict[int, MessageConnection] = {}
@@ -141,6 +164,8 @@ class IsmServer:
         """
         if isinstance(msg, (protocol.TimeReply,)):
             return  # stale probe reply; drop
+        if isinstance(msg, protocol.Heartbeat):
+            return  # liveness only; activity was noted at the socket
         if isinstance(msg, protocol.Hello):
             self.manager.register_source(msg.exs_id, msg.node_id)
             return
@@ -148,6 +173,11 @@ class IsmServer:
             self._per_source_counts[msg.exs_id] = (
                 self._per_source_counts.get(msg.exs_id, 0) + len(msg.records)
             )
+            if self.ack_batches and msg.exs_id in self._ack_enabled:
+                # Queue the ack *before* admission so a retransmit of an
+                # already-admitted batch still re-sends the (evidently
+                # lost) ack that would release it from the EXS outbox.
+                self._ack_pending.add(msg.exs_id)
         self.manager.on_message(msg, now_micros() if now is None else now)
 
     # ------------------------------------------------------------------
@@ -217,6 +247,7 @@ class IsmServer:
                 return accepted
             # EXS id unknown until its Hello arrives.
             self._pending.append(conn)
+            self._last_activity[conn] = time.monotonic()
             accepted += 1
 
     def _pump_connections(self) -> int:
@@ -229,9 +260,11 @@ class IsmServer:
         try:
             ready, _, _ = select.select([self.listener, *conns], [], [], 0.005)
         except (OSError, ValueError):
-            # A connection died between listing and select; sweep it on a
-            # later cycle when its read fails.
-            ready = []
+            # One bad fd poisons the whole batched select.  Probe each
+            # socket individually and evict the broken ones now — waiting
+            # for a lucky sweep would starve every healthy connection for
+            # as long as the bad fd sticks around.
+            ready = self._probe_sockets(conns)
         accepted = 0
         now = now_micros()
         ready_conns: list[MessageConnection] = []
@@ -252,6 +285,7 @@ class IsmServer:
                 pass
         # Stage 1 — framing: drain each readable socket through its
         # reusable buffer, slicing out every complete frame payload.
+        mono_now = time.monotonic()
         staged: list[list] = []  # [conn, msgs, payloads, closed]
         for sock in ready_conns:
             payloads: list[bytes] = []
@@ -262,7 +296,10 @@ class IsmServer:
                 closed = True
             # Messages a blocking probe already decoded come first so the
             # per-connection order is preserved.
-            staged.append([sock, sock.drain_inbox(), payloads, closed])
+            inbox = sock.drain_inbox()
+            if payloads or inbox:
+                self._last_activity[sock] = mono_now
+            staged.append([sock, inbox, payloads, closed])
         # Stage 2 — decode: batch-decode each connection's payloads.  The
         # pool only helps when several connections brought data in the
         # same cycle; otherwise inline decode skips the handoff cost.
@@ -290,7 +327,60 @@ class IsmServer:
                 self._route(conn, msg, now)
             if closed:
                 self._drop(conn)
+        # Acks ride once per cycle (not per batch) so the acked path adds
+        # O(cycles) sends, invisible next to the batch stream itself.
+        self._flush_acks()
+        self._sweep_idle(mono_now)
         return accepted
+
+    def _probe_sockets(
+        self, conns: list[MessageConnection]
+    ) -> list[MessageConnection | MessageListener]:
+        """Per-socket 0-timeout probes; evict sockets whose fd is broken."""
+        ready: list[MessageConnection | MessageListener] = []
+        try:
+            r, _, _ = select.select([self.listener], [], [], 0.0)
+            ready.extend(r)
+        except (OSError, ValueError):
+            pass  # listener itself is sick; serve() bounds end the loop
+        for conn in conns:
+            try:
+                r, _, _ = select.select([conn], [], [], 0.0)
+            except (OSError, ValueError):
+                self._drop(conn)
+            else:
+                ready.extend(r)
+        return ready
+
+    def _flush_acks(self) -> None:
+        """Send one cumulative Ack per source that admitted this cycle."""
+        if not self._ack_pending:
+            return
+        pending, self._ack_pending = self._ack_pending, set()
+        for exs_id in pending:
+            conn = self.connections.get(exs_id)
+            if conn is None:
+                continue  # source vanished before its ack; resume covers it
+            up_to = self.manager.admitted_seq(exs_id)
+            if up_to is None:
+                continue
+            try:
+                conn.send(protocol.Ack(exs_id=exs_id, up_to_seq=up_to))
+            except OSError:
+                self._drop(conn)
+
+    def _sweep_idle(self, mono_now: float) -> None:
+        """Drop connections silent past the idle deadline (hung peers)."""
+        if self.idle_deadline_s is None:
+            return
+        stale = [
+            conn
+            for conn, last in self._last_activity.items()
+            if mono_now - last > self.idle_deadline_s
+        ]
+        for conn in stale:
+            self.idle_drops += 1
+            self._drop(conn)
 
     @staticmethod
     def _decode_payloads(
@@ -325,6 +415,23 @@ class IsmServer:
             self.connections[msg.exs_id] = conn
             self._conn_exs[conn] = msg.exs_id
             self._conn_node[conn] = msg.node_id
+            if self.ack_batches and msg.wants_ack:
+                self._ack_enabled.add(msg.exs_id)
+                # Resume handshake: tell the EXS where this manager's
+                # history ends so it can drop acked outbox entries and
+                # retransmit the rest.  -1 = no state, the whole outbox
+                # is unconfirmed.
+                last = self.manager.admitted_seq(msg.exs_id)
+                try:
+                    conn.send(
+                        protocol.HelloReply(
+                            exs_id=msg.exs_id,
+                            last_seq=-1 if last is None else last,
+                        )
+                    )
+                except OSError:
+                    self._drop(conn)
+                    return
             self._rebuild_sync_master()
             return
         if isinstance(msg, protocol.Bye):
@@ -336,10 +443,12 @@ class IsmServer:
         if conn in self._dead:
             return  # already dropped (e.g. Bye routed, then EOF seen)
         self._dead.add(conn)
+        self._last_activity.pop(conn, None)
         self._conn_node.pop(conn, None)
         exs_id = self._conn_exs.pop(conn, None)
         if exs_id is not None:
             self.connections.pop(exs_id, None)
+            self._ack_enabled.discard(exs_id)
             self._rebuild_sync_master()
         if conn in self._pending:
             self._pending.remove(conn)

@@ -21,7 +21,12 @@ one seeded generator, so every experiment is exactly reproducible.
 """
 
 from repro.sim.engine import Simulator, SimError
-from repro.sim.network import LinkModel, DisturbanceModel
+from repro.sim.network import (
+    LinkModel,
+    DisturbanceModel,
+    FaultInjector,
+    FaultWindow,
+)
 from repro.sim.workload import (
     PeriodicWorkload,
     PoissonWorkload,
@@ -36,6 +41,8 @@ __all__ = [
     "SimError",
     "LinkModel",
     "DisturbanceModel",
+    "FaultInjector",
+    "FaultWindow",
     "PeriodicWorkload",
     "PoissonWorkload",
     "BurstyWorkload",

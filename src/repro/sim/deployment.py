@@ -36,7 +36,7 @@ from repro.core.records import EventRecord, FieldType
 from repro.core.ringbuffer import OverflowPolicy, RingBuffer, HEADER_SIZE
 from repro.core.sensor import Sensor
 from repro.sim.engine import Simulator
-from repro.sim.network import LinkModel, LinkModelConfig
+from repro.sim.network import FaultInjector, LinkModel, LinkModelConfig
 from repro.wire import protocol
 
 
@@ -198,6 +198,8 @@ class DeploymentMetrics:
     extra_sync_rounds: int = 0
     #: Virtual CPU time the modelled ISM spent serving batches (µs).
     ism_busy_us: int = 0
+    #: Batches a fault injector swallowed on the simulated wire.
+    batches_dropped: int = 0
 
 
 class SimDeployment:
@@ -210,6 +212,7 @@ class SimDeployment:
         consumers: list[Consumer] | None = None,
         ism_clock: DriftingClock | None = None,
         sync_algorithm: str = "brisk",
+        chaos: "FaultInjector | None" = None,
     ) -> None:
         if sync_algorithm not in ("brisk", "cristian", "none"):
             raise ValueError(f"unknown sync algorithm {sync_algorithm!r}")
@@ -226,6 +229,9 @@ class SimDeployment:
         self._ism_busy_until = 0
         self._dead_nodes: set[int] = set()
         self._node_poll_stops: dict[int, Callable[[], None]] = {}
+        #: Optional :class:`~repro.sim.network.FaultInjector` applied to
+        #: every shipped batch; assign before (or during) the run.
+        self.chaos = chaos
 
         sinks: list[Consumer] = list(consumers or [])
         self.ism = InstrumentationManager(config.ism, sinks)
@@ -362,8 +368,19 @@ class SimDeployment:
             self._ship(node, encoded)
 
     def _ship(self, node: SimNode, encoded: bytes) -> None:
+        extra = 0
+        if self.chaos is not None:
+            verdict = self.chaos.apply(self.sim.now)
+            if verdict is None:
+                # Dropped on the (simulated) wire.  The simulator's
+                # transport has no retransmission, so this surfaces at the
+                # ISM as a sequence gap — the detection side of the
+                # delivery guarantees the socket runtime recovers from.
+                self.metrics.batches_dropped += 1
+                return
+            extra = verdict
         delay = node.uplink.sample_delay(self.sim.now, nbytes=len(encoded))
-        self.sim.schedule(delay, self._receive, encoded)
+        self.sim.schedule(delay + extra, self._receive, encoded)
 
     def _receive(self, encoded: bytes) -> None:
         msg = protocol.decode_message(encoded)

@@ -135,6 +135,65 @@ class LinkModel:
         return max(1, delay)
 
 
+@dataclass(frozen=True, slots=True)
+class FaultWindow:
+    """One scheduled fault episode on the EXS→ISM path.
+
+    During ``[start_us, end_us)`` every shipped batch is either **dropped**
+    (``mode="drop"`` — a partitioned or severed link; the payload never
+    arrives and the ISM sees a sequence gap) or **delayed** by an extra
+    ``extra_delay_us`` (``mode="delay"`` — congestion or rerouting; the
+    payload arrives late, exercising the sorter's stability window).
+    """
+
+    start_us: int
+    end_us: int
+    mode: str = "drop"
+    extra_delay_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_us <= self.start_us:
+            raise ValueError("fault window must have end_us > start_us")
+        if self.mode not in ("drop", "delay"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.mode == "delay" and self.extra_delay_us <= 0:
+            raise ValueError("delay windows need extra_delay_us > 0")
+
+    def covers(self, now: int) -> bool:
+        return self.start_us <= now < self.end_us
+
+
+class FaultInjector:
+    """Deterministic fault schedule for a simulated deployment.
+
+    The simulator's transport is a function call, so faults are injected
+    where the real network would lose or delay them: at ship time.
+    ``apply(now)`` returns ``None`` when the batch must be dropped, or the
+    extra delay (µs, possibly 0) to add to the link's own sample.
+    Windows are checked in order; the first one covering *now* wins.
+    """
+
+    def __init__(self, windows: list[FaultWindow] | None = None) -> None:
+        self.windows: list[FaultWindow] = list(windows or [])
+        #: Batches swallowed by drop windows.
+        self.batches_dropped = 0
+        #: Batches held back by delay windows.
+        self.batches_delayed = 0
+
+    def add_window(self, window: FaultWindow) -> None:
+        self.windows.append(window)
+
+    def apply(self, now: int) -> int | None:
+        for window in self.windows:
+            if window.covers(now):
+                if window.mode == "drop":
+                    self.batches_dropped += 1
+                    return None
+                self.batches_delayed += 1
+                return window.extra_delay_us
+        return 0
+
+
 def lan_quiet(rng: random.Random) -> LinkModel:
     """A quiet switched LAN: low jitter, no disturbances (E6's "light
     working conditions")."""

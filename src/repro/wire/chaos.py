@@ -1,0 +1,276 @@
+"""Fault injection for the real-socket transport: a chaos TCP proxy.
+
+:class:`ChaosProxy` sits between an EXS and the ISM listener and breaks
+the connection on purpose — cutting the stream at a random *byte* offset
+(so frames are severed mid-header or mid-payload, not politely between
+records), delaying chunks, or refusing service entirely during a
+partition.  The delivery-guarantee tests run real EXS/ISM processes
+through it and assert that the acked, resumable transfer protocol turns
+this hostile wire into exactly-once delivery.
+
+The proxy is deliberately dumb about the protocol: it forwards opaque
+byte chunks.  That is the point — the cut offsets are chosen against the
+raw stream, so every alignment bug in the framing/resume path is fair
+game.
+
+All randomness flows from one seeded :class:`random.Random`, so a failing
+chaos run replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+
+__all__ = ["ChaosConfig", "ChaosProxy"]
+
+_CHUNK = 16 * 1024
+
+
+class ChaosConfig:
+    """Knobs for one :class:`ChaosProxy`.
+
+    Attributes
+    ----------
+    cut_after_bytes:
+        ``(lo, hi)`` — each proxied connection is severed after forwarding
+        a number of upstream bytes drawn uniformly from this range.
+        ``None`` disables cutting.
+    delay_s:
+        ``(lo, hi)`` — every forwarded chunk sleeps a uniform draw from
+        this range first (latency/jitter injection).  ``None`` disables.
+    seed:
+        Seed for the proxy's private RNG (replayable chaos).
+    """
+
+    def __init__(
+        self,
+        cut_after_bytes: tuple[int, int] | None = None,
+        delay_s: tuple[float, float] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if cut_after_bytes is not None:
+            lo, hi = cut_after_bytes
+            if lo < 1 or hi < lo:
+                raise ValueError("cut_after_bytes must be (lo, hi) with 1 <= lo <= hi")
+        if delay_s is not None:
+            lo, hi = delay_s
+            if lo < 0 or hi < lo:
+                raise ValueError("delay_s must be (lo, hi) with 0 <= lo <= hi")
+        self.cut_after_bytes = cut_after_bytes
+        self.delay_s = delay_s
+        self.seed = seed
+
+
+class ChaosProxy:
+    """A TCP proxy that injects faults between a client and *upstream*.
+
+    Accepts on its own port, opens one upstream connection per client, and
+    shuttles bytes both ways — until the configured cut budget for the
+    connection is spent, at which point **both** sockets are torn down
+    abruptly (mid-frame, no goodbye).  :meth:`partition` makes the proxy
+    refuse (accept-then-close) new connections until :meth:`heal`.
+
+    Counters (`connections_proxied`, `connections_cut`,
+    `connections_refused`, `bytes_forwarded`) let tests assert the chaos
+    actually happened — a chaos test whose faults never fired proves
+    nothing.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        config: ChaosConfig | None = None,
+        listen_host: str = "127.0.0.1",
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.config = config if config is not None else ChaosConfig()
+        self._rng = random.Random(self.config.seed)
+        self._listener = socket.create_server((listen_host, 0))
+        self._listener.settimeout(0.2)
+        self._partitioned = threading.Event()
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()  # guards _rng and the counters
+        self._threads: list[threading.Thread] = []
+        self._conn_sockets: list[socket.socket] = []
+        self.connections_proxied = 0
+        self.connections_cut = 0
+        self.connections_refused = 0
+        self.bytes_forwarded = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) clients should connect to instead of upstream."""
+        return self._listener.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def partition(self) -> None:
+        """Start refusing new connections (network partition)."""
+        self._partitioned.set()
+
+    def heal(self) -> None:
+        """End the partition; new connections proxy normally again."""
+        self._partitioned.clear()
+
+    def stop(self) -> None:
+        """Tear everything down; joins the worker threads."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            sockets = list(self._conn_sockets)
+        for sock in sockets:
+            _hard_close(sock)
+        self._accept_thread.join(timeout=2.0)
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            if self._partitioned.is_set():
+                with self._lock:
+                    self.connections_refused += 1
+                _hard_close(client)
+                continue
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=2.0
+                )
+            except OSError:
+                with self._lock:
+                    self.connections_refused += 1
+                _hard_close(client)
+                continue
+            with self._lock:
+                self.connections_proxied += 1
+                self._conn_sockets.extend((client, upstream))
+                cut = self.config.cut_after_bytes
+                budget = self._rng.randint(*cut) if cut is not None else None
+            # The cut budget is shared by both directions through one
+            # mutable cell so the severed offset is a property of the
+            # connection, wherever the bytes happen to be flowing.
+            cell = _BudgetCell(budget)
+            for src, dst, name in (
+                (client, upstream, "chaos-up"),
+                (upstream, client, "chaos-down"),
+            ):
+                t = threading.Thread(
+                    target=self._shuttle,
+                    args=(src, dst, cell),
+                    name=name,
+                    daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+
+    def _shuttle(
+        self, src: socket.socket, dst: socket.socket, cell: "_BudgetCell"
+    ) -> None:
+        try:
+            src.settimeout(0.2)
+        except OSError:
+            # The sibling shuttle already tore the connection down before
+            # this thread got scheduled.
+            _hard_close(dst)
+            return
+        while not self._stopping.is_set():
+            try:
+                chunk = src.recv(_CHUNK)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not chunk:
+                break
+            delay = self.config.delay_s
+            if delay is not None:
+                with self._lock:
+                    pause = self._rng.uniform(*delay)
+                if self._stopping.wait(pause):
+                    break
+            verdict = cell.spend(len(chunk))
+            if verdict is not None:
+                # Forward the prefix up to the budget, then sever both
+                # sockets mid-stream: the receiver sees a torn frame.
+                cut_at, first = verdict
+                try:
+                    if cut_at:
+                        dst.sendall(chunk[:cut_at])
+                except OSError:
+                    pass
+                with self._lock:
+                    self.bytes_forwarded += cut_at
+                    if first:
+                        # One cut per connection, however many shuttles
+                        # notice the spent budget.
+                        self.connections_cut += 1
+                break
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                break
+            with self._lock:
+                self.bytes_forwarded += len(chunk)
+        _hard_close(src)
+        _hard_close(dst)
+
+
+class _BudgetCell:
+    """Thread-safe countdown shared by a connection's two shuttles.
+
+    ``spend(n)`` returns None while budget remains after spending *n*,
+    or ``(offset, first)`` once the budget runs out — *offset* is where
+    within this chunk the cut lands (0 ≤ offset < n) and *first* is True
+    only for the shuttle that actually exhausted the budget, so the cut
+    is counted once per connection.  A ``None`` budget never cuts.
+    """
+
+    def __init__(self, budget: int | None) -> None:
+        self._budget = budget
+        self._cut = False
+        self._lock = threading.Lock()
+
+    def spend(self, n: int) -> tuple[int, bool] | None:
+        with self._lock:
+            if self._budget is None:
+                return None
+            if self._cut:
+                return (0, False)
+            if n < self._budget:
+                self._budget -= n
+                return None
+            cut_at = self._budget
+            self._budget = 0
+            self._cut = True
+            return (cut_at, True)
+
+
+def _hard_close(sock: socket.socket) -> None:
+    """Abrupt close: best-effort RST-ish teardown, never raises."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -66,6 +66,9 @@ class MsgType(IntEnum):
     ADJUST = 5       #: clock correction (ISM → EXS)
     BYE = 6          #: orderly shutdown (either direction)
     SET_FILTER = 7   #: push a source-side record filter (ISM → EXS)
+    ACK = 8          #: cumulative batch acknowledgment (ISM → EXS)
+    HELLO_REPLY = 9  #: resume point answering a Hello (ISM → EXS)
+    HEARTBEAT = 10   #: idle-liveness beacon (EXS → ISM)
 
 
 class ProtocolError(XdrDecodeError):
@@ -98,6 +101,54 @@ class Hello:
     #: Event records/sec the sensor side was configured for; advisory,
     #: lets the ISM size its queues.
     advertised_rate: int = 0
+    #: Whether the sender consumes :class:`Ack`/:class:`HelloReply`
+    #: traffic.  Encoded as a trailing word only when True, so a plain
+    #: Hello is byte-identical to the original wire format and a
+    #: fire-and-forget sender that never reads is never written to
+    #: (writing to a peer that already closed raises an RST that can
+    #: discard its still-buffered batches).
+    wants_ack: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Cumulative batch acknowledgment (ISM → EXS).
+
+    ``up_to_seq`` is the highest batch sequence number the ISM has
+    *admitted* (pushed past dedup into the sorter) for this EXS; every
+    batch with ``seq <= up_to_seq`` may be released from the sender's
+    in-flight outbox.  Acks are sent once per pump cycle, not per batch,
+    so the acknowledgment traffic stays O(cycles) rather than O(batches).
+    """
+
+    exs_id: int
+    up_to_seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class HelloReply:
+    """Answer to a Hello carrying the ISM's resume point (ISM → EXS).
+
+    ``last_seq`` is the last admitted batch sequence for this EXS, or
+    ``-1`` when the ISM holds no state for it (first contact, or a
+    restarted ISM without resume state).  A reconnecting EXS drops
+    outbox entries up to ``last_seq`` and retransmits the remainder, so
+    the at-least-once wire converges to exactly-once delivery.
+    """
+
+    exs_id: int
+    last_seq: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Heartbeat:
+    """Idle-liveness beacon (EXS → ISM).
+
+    Sent when the data path has been quiet for the heartbeat interval so
+    the ISM's idle-deadline sweep can tell a quiet peer from a hung one.
+    """
+
+    exs_id: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -174,7 +225,18 @@ class SetFilter:
         )
 
 
-Message = Batch | Hello | TimeRequest | TimeReply | Adjust | Bye | SetFilter
+Message = (
+    Batch
+    | Hello
+    | HelloReply
+    | Ack
+    | Heartbeat
+    | TimeRequest
+    | TimeReply
+    | Adjust
+    | Bye
+    | SetFilter
+)
 
 
 # ----------------------------------------------------------------------
@@ -550,6 +612,20 @@ def _encode_message(msg: Message, **batch_opts) -> XdrEncoder:
         enc.pack_uint(msg.exs_id)
         enc.pack_uint(msg.node_id)
         enc.pack_uint(msg.advertised_rate)
+        if msg.wants_ack:
+            # Trailing extension word; absent = False (legacy framing).
+            enc.pack_uint(1)
+    elif isinstance(msg, Ack):
+        enc.pack_uint(MsgType.ACK)
+        enc.pack_uint(msg.exs_id)
+        enc.pack_uint(msg.up_to_seq)
+    elif isinstance(msg, HelloReply):
+        enc.pack_uint(MsgType.HELLO_REPLY)
+        enc.pack_uint(msg.exs_id)
+        enc.pack_int(msg.last_seq)
+    elif isinstance(msg, Heartbeat):
+        enc.pack_uint(MsgType.HEARTBEAT)
+        enc.pack_uint(msg.exs_id)
     elif isinstance(msg, TimeRequest):
         enc.pack_uint(MsgType.TIME_REQ)
         enc.pack_uint(msg.probe_id)
@@ -604,7 +680,14 @@ def decode_message(
             exs_id=dec.unpack_uint(),
             node_id=dec.unpack_uint(),
             advertised_rate=dec.unpack_uint(),
+            wants_ack=dec.remaining >= 4 and bool(dec.unpack_uint()),
         )
+    elif kind == MsgType.ACK:
+        msg = Ack(exs_id=dec.unpack_uint(), up_to_seq=dec.unpack_uint())
+    elif kind == MsgType.HELLO_REPLY:
+        msg = HelloReply(exs_id=dec.unpack_uint(), last_seq=dec.unpack_int())
+    elif kind == MsgType.HEARTBEAT:
+        msg = Heartbeat(exs_id=dec.unpack_uint())
     elif kind == MsgType.TIME_REQ:
         msg = TimeRequest(probe_id=dec.unpack_uint())
     elif kind == MsgType.TIME_REPLY:

@@ -75,6 +75,91 @@ class TestPiclFileConsumer:
         PiclFileConsumer(stream, close_stream=True).close()
         assert stream.closed
 
+    def test_fsync_on_flush_accepts_fdless_streams(self):
+        stream = io.StringIO()
+        consumer = PiclFileConsumer(stream, fsync_on_flush=True)
+        consumer.deliver(make_record())
+        consumer.deliver_many([make_record(event_id=2)])
+        stream.seek(0)
+        assert len(PiclReader(stream).read_all()) == 2
+
+
+class TestDurablePiclFile:
+    def test_open_durable_atomic_rename(self, tmp_path):
+        path = tmp_path / "trace.picl"
+        consumer = PiclFileConsumer.open_durable(path)
+        consumer.deliver_many([make_record(event_id=i) for i in range(3)])
+        # Until close, only the .part file exists — a crash here leaves
+        # no half-written final trace.
+        assert not path.exists()
+        assert (path.parent / "trace.picl.part").exists()
+        consumer.close()
+        assert path.exists()
+        assert not (path.parent / "trace.picl.part").exists()
+        with open(path, encoding="ascii") as fh:
+            assert len(PiclReader(fh).read_all()) == 3
+
+    def test_durable_part_file_parseable_after_simulated_kill(self, tmp_path):
+        """fsync-per-slice means the .part file of a killed ISM is
+        complete up to the last delivered slice; a torn final line (the
+        slice mid-write at kill time) is tolerated by the reader."""
+        path = tmp_path / "trace.picl"
+        consumer = PiclFileConsumer.open_durable(path)
+        consumer.deliver_many([make_record(event_id=i) for i in range(5)])
+        # Simulate the kill: no close(), append a torn line like an
+        # interrupted write would leave.
+        part = path.parent / "trace.picl.part"
+        with open(part, "a", encoding="ascii") as fh:
+            fh.write("-3 9 123")  # cut off mid-record
+        with open(part, encoding="ascii") as fh:
+            reader = PiclReader(fh, tolerate_torn_tail=True)
+            assert len(reader.read_all()) == 5
+            assert reader.torn_lines == 1
+
+    def test_torn_line_mid_file_still_raises(self, tmp_path):
+        from repro.picl.format import PiclParseError, dumps
+
+        path = tmp_path / "trace.picl"
+        good = dumps([make_record(event_id=1)])
+        path.write_text(good + "-3 broken\n" + good, encoding="ascii")
+        with open(path, encoding="ascii") as fh:
+            with pytest.raises(PiclParseError):
+                PiclReader(fh, tolerate_torn_tail=True).read_all()
+
+
+class _ExplodingSink:
+    """Fails on delivery AND on close — the worst-behaved inner sink."""
+
+    def __init__(self, close_raises=False):
+        self.close_raises = close_raises
+
+    def deliver(self, record):
+        raise RuntimeError("sink write failed")
+
+    def close(self):
+        if self.close_raises:
+            raise OSError("sink close failed")
+
+
+class TestQueuedConsumerCloseErrors:
+    def test_close_surfaces_pending_sink_error(self):
+        from repro.core.consumers import QueuedConsumer
+
+        queued = QueuedConsumer(_ExplodingSink())
+        queued.deliver(make_record())
+        with pytest.raises(RuntimeError, match="sink write failed"):
+            queued.close()
+
+    def test_pending_error_survives_failing_inner_close(self):
+        """The final-slice failure must not be masked by a close() that
+        also raises — the write error is the one the operator needs."""
+        from repro.core.consumers import QueuedConsumer
+
+        queued = QueuedConsumer(_ExplodingSink(close_raises=True))
+        queued.deliver(make_record())
+        with pytest.raises(RuntimeError, match="sink write failed"):
+            queued.close()
+
 
 class GoodVisual:
     def __init__(self):

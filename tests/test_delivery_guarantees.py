@@ -1,0 +1,360 @@
+"""End-to-end delivery guarantees: acks, resume, dedup, exactly-once.
+
+The acked transfer protocol turns the at-least-once wire (retransmit
+everything unacked after reconnect) into exactly-once delivery via the
+ISM's per-source admission watermark.  These tests pin each layer: the
+wire messages, the EXS outbox, the manager's dedup, the socket runtime's
+ack/resume handshake, and — via hypothesis — idempotence of the dedup
+under arbitrary realistic retransmit interleavings.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.records import EventRecord, FieldType
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime.exs_proc import ExsOutbox, ExsProcess
+from repro.runtime.ism_proc import IsmServer
+from repro.util.timebase import now_micros
+from repro.wire import protocol
+from repro.wire.tcp import MessageListener, connect
+
+from tests.conftest import make_record
+
+
+# ----------------------------------------------------------------------
+# wire messages
+# ----------------------------------------------------------------------
+
+class TestAckProtocol:
+    def test_ack_roundtrip(self):
+        msg = protocol.Ack(exs_id=7, up_to_seq=12345)
+        assert protocol.decode_message(protocol.encode_message(msg)) == msg
+
+    def test_hello_reply_roundtrip(self):
+        msg = protocol.HelloReply(exs_id=3, last_seq=99)
+        assert protocol.decode_message(protocol.encode_message(msg)) == msg
+        fresh = protocol.HelloReply(exs_id=3, last_seq=-1)
+        assert protocol.decode_message(protocol.encode_message(fresh)) == fresh
+
+    def test_heartbeat_roundtrip(self):
+        msg = protocol.Heartbeat(exs_id=5)
+        assert protocol.decode_message(protocol.encode_message(msg)) == msg
+
+    def test_hello_wants_ack_roundtrip(self):
+        msg = protocol.Hello(exs_id=1, node_id=2, wants_ack=True)
+        assert protocol.decode_message(protocol.encode_message(msg)) == msg
+
+    def test_hello_without_wants_ack_is_legacy_bytes(self):
+        # The trailing capability word is only emitted when set, so a
+        # plain Hello stays byte-identical to the original wire format.
+        legacy = protocol.encode_message(protocol.Hello(exs_id=1, node_id=2))
+        flagged = protocol.encode_message(
+            protocol.Hello(exs_id=1, node_id=2, wants_ack=True)
+        )
+        assert len(flagged) == len(legacy) + 4
+        decoded = protocol.decode_message(legacy)
+        assert decoded.wants_ack is False
+
+
+# ----------------------------------------------------------------------
+# the EXS outbox
+# ----------------------------------------------------------------------
+
+class TestExsOutbox:
+    def test_cumulative_ack_releases_prefix(self):
+        box = ExsOutbox(depth=8)
+        for seq in range(5):
+            box.append(seq, b"p%d" % seq)
+        assert box.unacked == 5
+        assert box.ack(2) == 3
+        assert box.pending_seqs() == [3, 4]
+        assert box.ack(10) == 2
+        assert box.unacked == 0
+        assert box.acked_batches == 5
+
+    def test_stale_ack_is_noop(self):
+        box = ExsOutbox()
+        box.append(5, b"x")
+        assert box.ack(4) == 0
+        assert box.unacked == 1
+
+    def test_full_backpressure_flag(self):
+        box = ExsOutbox(depth=2)
+        box.append(0, b"a")
+        assert not box.full
+        box.append(1, b"b")
+        assert box.full
+
+    def test_seqs_must_increase(self):
+        box = ExsOutbox()
+        box.append(3, b"a")
+        with pytest.raises(ValueError):
+            box.append(3, b"dup")
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            ExsOutbox(depth=0)
+
+
+# ----------------------------------------------------------------------
+# manager-side dedup and resume state
+# ----------------------------------------------------------------------
+
+def _batch(seq: int, *, exs_id: int = 1, value: int | None = None):
+    record = EventRecord(
+        event_id=1,
+        timestamp=1_000 + seq,
+        field_types=(FieldType.X_INT,),
+        values=(seq if value is None else value,),
+        node_id=1,
+    )
+    return protocol.Batch(exs_id=exs_id, seq=seq, records=(record,))
+
+
+def _manager():
+    sink = CollectingConsumer()
+    manager = InstrumentationManager(
+        IsmConfig(sorter=SorterConfig(initial_frame_us=0)), [sink]
+    )
+    manager.register_source(1, 1)
+    return manager, sink
+
+
+class TestManagerDedup:
+    def test_retransmit_of_admitted_batch_is_dropped(self):
+        manager, sink = _manager()
+        manager.on_batch(_batch(0), now=0)
+        manager.on_batch(_batch(1), now=0)
+        manager.on_batch(_batch(1), now=0)  # retransmit
+        manager.on_batch(_batch(0), now=0)  # older retransmit
+        manager.tick(now=10**9)
+        assert [r.values[0] for r in sink.records] == [0, 1]
+        assert manager.stats.duplicate_batches == 2
+        assert manager.stats.records_deduped == 2
+        assert manager.stats.records_received == 2
+        assert manager.stats.seq_gaps == 0
+
+    def test_admitted_seq_tracks_watermark(self):
+        manager, _ = _manager()
+        assert manager.admitted_seq(1) is None
+        manager.on_batch(_batch(0), now=0)
+        assert manager.admitted_seq(1) == 0
+        manager.on_batch(_batch(3), now=0)  # gap: still admitted
+        assert manager.admitted_seq(1) == 3
+        assert manager.stats.seq_gaps == 1
+
+    def test_dedup_is_per_source(self):
+        manager, sink = _manager()
+        manager.register_source(2, 2)
+        manager.on_batch(_batch(0, exs_id=1), now=0)
+        manager.on_batch(_batch(0, exs_id=2), now=0)
+        manager.tick(now=10**9)
+        assert len(sink.records) == 2
+        assert manager.stats.duplicate_batches == 0
+
+    def test_resume_state_roundtrip(self):
+        manager, _ = _manager()
+        manager.on_batch(_batch(0), now=0)
+        manager.on_batch(_batch(1), now=0)
+        state = manager.resume_state()
+        assert state == {1: 1}
+
+        successor, sink = _manager()
+        successor.load_resume_state(state)
+        assert successor.admitted_seq(1) == 1
+        successor.on_batch(_batch(1), now=0)  # retransmit across restart
+        successor.on_batch(_batch(2), now=0)
+        successor.tick(now=10**9)
+        assert [r.values[0] for r in sink.records] == [2]
+        assert successor.stats.duplicate_batches == 1
+
+    def test_load_resume_state_never_regresses(self):
+        manager, _ = _manager()
+        manager.on_batch(_batch(5), now=0)
+        manager.load_resume_state({1: 3})
+        assert manager.admitted_seq(1) == 5
+
+
+# ----------------------------------------------------------------------
+# property: dedup is idempotent under realistic retransmit interleavings
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_dedup_exactly_once_under_retransmit_interleavings(data):
+    """Any sequence of sessions, each resuming from at-or-before the
+    ack watermark and replaying a contiguous run of batches, delivers
+    every batch exactly once and in order.
+
+    The constraint mirrors the real transport: batches flow FIFO per
+    connection and a reconnecting EXS retransmits from ``ack + 1`` (or
+    earlier, when the ack itself was lost) — it never invents a gap.
+    """
+    n_batches = data.draw(st.integers(min_value=1, max_value=16), label="n")
+    manager, sink = _manager()
+
+    admitted = -1  # highest admitted seq, mirrors manager._admitted
+    sessions = 0
+    while admitted < n_batches - 1 and sessions < 64:
+        sessions += 1
+        # A session resumes no later than right past the watermark …
+        start = data.draw(
+            st.integers(min_value=max(0, admitted - 2), max_value=admitted + 1),
+            label="start",
+        )
+        # … and sends a contiguous run (possibly cut short mid-stream).
+        end = data.draw(
+            st.integers(min_value=start, max_value=n_batches), label="end"
+        )
+        for seq in range(start, end):
+            manager.on_batch(_batch(seq), now=0)
+        admitted = max(admitted, end - 1)
+    # Termination guard: deliver whatever a bounded adversary left over.
+    for seq in range(admitted + 1, n_batches):
+        manager.on_batch(_batch(seq), now=0)
+
+    manager.tick(now=10**9)
+    assert [r.values[0] for r in sink.records] == list(range(n_batches))
+    assert manager.stats.records_received == n_batches
+    assert manager.stats.seq_gaps == 0
+
+
+# ----------------------------------------------------------------------
+# socket runtime: ack flow, resume handshake, stall deadline
+# ----------------------------------------------------------------------
+
+def _make_lis(n_capacity: int = 10_000):
+    ring = ring_for_records(n_capacity)
+    sensor = Sensor(ring, node_id=1)
+    exs = ExternalSensor(
+        1,
+        1,
+        ring,
+        CorrectedClock(now_micros),
+        ExsConfig(batch_max_records=16, flush_timeout_us=1_000),
+    )
+    return sensor, exs
+
+
+class TestAckedSocketPath:
+    def test_acks_drain_the_outbox(self):
+        sensor, exs = _make_lis()
+        manager, sink = _manager()
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+
+        for k in range(200):
+            sensor.notice_ints(1, k)
+
+        proc = ExsProcess(exs, connect(host, port), select_timeout_s=0.002)
+        exs_thread = threading.Thread(target=proc.run, daemon=True)
+        exs_thread.start()
+        try:
+            server.serve(duration_s=10.0, until_records=200)
+            # Give the last ack one more pump to reach the EXS.
+            deadline = time.monotonic() + 5.0
+            while proc.outbox.unacked and time.monotonic() < deadline:
+                server.serve(duration_s=0.05)
+        finally:
+            proc.stop()
+            exs_thread.join(timeout=10)
+            listener.close()
+        assert manager.stats.records_received == 200
+        assert proc.outbox.unacked == 0
+        assert proc.outbox.acked_batches > 0
+        assert manager.stats.duplicate_batches == 0
+
+    def test_ack_timeout_forces_disconnect(self):
+        """A peer that accepts batches but never acks is declared hung."""
+        sensor, exs = _make_lis()
+        listener = MessageListener()
+        host, port = listener.address
+        # A "server" that reads nothing and never writes: the EXS must
+        # give up on its own ack deadline rather than wait forever.
+        accepted = []
+
+        def silent_server():
+            conn = listener.accept(timeout=5.0)
+            if conn is not None:
+                accepted.append(conn)
+                time.sleep(10.0)
+
+        server_thread = threading.Thread(target=silent_server, daemon=True)
+        server_thread.start()
+
+        for k in range(50):
+            sensor.notice_ints(1, k)
+        proc = ExsProcess(
+            exs,
+            connect(host, port),
+            select_timeout_s=0.002,
+            ack_timeout_s=0.3,
+            hello_reply_timeout_s=0.1,
+        )
+        t0 = time.monotonic()
+        proc.run()  # returns once the ack deadline trips
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0
+        assert proc.outbox.unacked > 0  # nothing was ever acked
+        listener.close()
+        for conn in accepted:
+            conn.close()
+
+    def test_resume_retransmits_into_restarted_ism_exactly_once(self):
+        """Kill the server mid-stream; the reconnect resumes and the
+        manager's watermark dedupes the overlap."""
+        sensor, exs = _make_lis()
+        manager, sink = _manager()
+        listener = MessageListener()
+        host, port = listener.address
+
+        from repro.runtime.exs_proc import ReconnectingExs
+
+        runner = ReconnectingExs(
+            exs,
+            host,
+            port,
+            select_timeout_s=0.002,
+            max_attempts=100,
+            backoff_s=0.01,
+            max_backoff_s=0.05,
+            ack_timeout_s=1.0,
+        )
+        thread = threading.Thread(target=runner.run, daemon=True)
+        thread.start()
+        try:
+            for k in range(150):
+                sensor.notice_ints(1, k)
+            server = IsmServer(manager, listener)
+            server.serve(duration_s=10.0, until_records=150)
+            assert manager.stats.records_received == 150
+
+            # Hard restart on the same port; the manager (and its
+            # watermark) survives, as in a warm ISM failover.
+            listener.close()
+            time.sleep(0.05)
+            for k in range(150, 300):
+                sensor.notice_ints(1, k)
+            listener = MessageListener(host, port)
+            server = IsmServer(manager, listener)
+            server.serve(duration_s=10.0, until_records=300)
+
+            assert manager.stats.records_received == 300
+            values = sorted(r.values[0] for r in sink.records)
+            assert values == list(range(300))
+        finally:
+            runner.stop()
+            thread.join(timeout=10)
+            listener.close()

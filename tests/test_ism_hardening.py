@@ -94,6 +94,103 @@ class TestConsumerIsolation:
         assert manager.stats.records_delivered == 5
 
 
+class TestServerSocketHardening:
+    """Dead-fd eviction and idle-deadline sweeps in the IsmServer pump."""
+
+    @staticmethod
+    def _server(**kwargs):
+        from repro.core.consumers import CollectingConsumer
+        from repro.runtime.ism_proc import IsmServer
+        from repro.wire.tcp import MessageListener
+
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+            [CollectingConsumer()],
+        )
+        listener = MessageListener()
+        return IsmServer(manager, listener, **kwargs), listener
+
+    def test_dead_fd_evicted_without_starving_peers(self):
+        """A connection whose fd goes bad poisons the batched select; the
+        pump must evict just that connection and keep serving the rest in
+        the same cycle instead of spinning on select errors."""
+        from repro.wire import tcp
+
+        server, listener = self._server()
+        host, port = listener.address
+        c1 = tcp.connect(host, port)
+        c2 = tcp.connect(host, port)
+        try:
+            c1.send(protocol.Hello(exs_id=1, node_id=1))
+            c2.send(protocol.Hello(exs_id=2, node_id=2))
+            for _ in range(50):
+                server._pump_connections()
+                if len(server.connections) == 2:
+                    break
+            assert set(server.connections) == {1, 2}
+
+            # Sabotage exs 1's server-side socket: a closed socket's
+            # fileno() is -1, which makes select.select raise.
+            server.connections[1]._sock.close()
+            record = make_record(event_id=1, node_id=2)
+            c2.send(protocol.Batch(exs_id=2, seq=0, records=(record,)))
+            for _ in range(50):
+                server._pump_connections()
+                if server.manager.stats.records_received:
+                    break
+            # The healthy peer was served and the bad fd is gone.
+            assert server.manager.stats.records_received == 1
+            assert 1 not in server.connections
+            assert 2 in server.connections
+        finally:
+            c1.close()
+            c2.close()
+            listener.close()
+
+    def test_idle_deadline_drops_silent_connection(self):
+        import time
+
+        from repro.wire import tcp
+
+        server, listener = self._server(idle_deadline_s=0.05)
+        host, port = listener.address
+        conn = tcp.connect(host, port)
+        try:
+            conn.send(protocol.Hello(exs_id=1, node_id=1))
+            for _ in range(50):
+                server._pump_connections()
+                if 1 in server.connections:
+                    break
+            time.sleep(0.12)  # silent past the deadline
+            server._pump_connections()
+            assert server.idle_drops == 1
+            assert 1 not in server.connections
+        finally:
+            conn.close()
+            listener.close()
+
+    def test_heartbeat_counts_as_activity(self):
+        import time
+
+        from repro.wire import tcp
+
+        server, listener = self._server(idle_deadline_s=0.3)
+        host, port = listener.address
+        conn = tcp.connect(host, port)
+        try:
+            conn.send(protocol.Hello(exs_id=1, node_id=1))
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                conn.send(protocol.Heartbeat(exs_id=1))
+                server._pump_connections()
+                time.sleep(0.02)
+            assert server.idle_drops == 0
+            assert 1 in server.connections
+        finally:
+            conn.close()
+            listener.close()
+
+
 class TestDeploymentGuards:
     def test_attach_workload_after_start_rejected(self):
         from repro.core.consumers import CollectingConsumer

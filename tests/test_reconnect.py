@@ -112,3 +112,46 @@ class TestReconnectingExs:
         sensor, exs = make_lis()
         with pytest.raises(ValueError):
             ReconnectingExs(exs, "127.0.0.1", 1, max_attempts=0)
+
+    def test_backoff_uses_decorrelated_jitter(self):
+        """Backoff delays are drawn from [base, 3·previous] (capped), and
+        two runners with different RNGs diverge — no reconnect lockstep
+        after a shared ISM outage."""
+        import random
+
+        sensor, exs = make_lis()
+        runner = ReconnectingExs(
+            exs,
+            "127.0.0.1",
+            1,
+            backoff_s=0.1,
+            max_backoff_s=2.0,
+            jitter_rng=random.Random(1),
+        )
+        delay = runner.backoff_s
+        for _ in range(100):
+            nxt = runner._next_backoff(delay)
+            assert runner.backoff_s <= nxt <= min(2.0, max(0.1, delay * 3))
+            delay = nxt
+
+        sensor2, exs2 = make_lis()
+        other = ReconnectingExs(
+            exs2,
+            "127.0.0.1",
+            1,
+            backoff_s=0.1,
+            max_backoff_s=2.0,
+            jitter_rng=random.Random(2),
+        )
+        mine = [runner._next_backoff(0.1) for _ in range(10)]
+        theirs = [other._next_backoff(0.1) for _ in range(10)]
+        assert mine != theirs
+
+    def test_shared_outbox_survives_sessions(self):
+        """The outbox is owned by the runner, not a session: batches left
+        unacked when one connection dies are retransmitted on the next."""
+        sensor, exs = make_lis()
+        runner = ReconnectingExs(exs, "127.0.0.1", 1, max_attempts=1)
+        runner.outbox.append(0, b"payload")
+        runner.run()  # no listener: the attempt fails
+        assert runner.outbox.unacked == 1  # nothing silently dropped

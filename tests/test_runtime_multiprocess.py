@@ -16,8 +16,9 @@ from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.sensor import Sensor
 from repro.core.sorting import SorterConfig
 from repro.runtime import attach_shared_ring, create_shared_ring
-from repro.runtime.exs_proc import exs_process_main
+from repro.runtime.exs_proc import exs_process_main, resilient_exs_main
 from repro.runtime.ism_proc import IsmServer
+from repro.wire.chaos import ChaosConfig, ChaosProxy
 from repro.wire.tcp import MessageListener
 
 
@@ -114,3 +115,58 @@ class TestMultiProcess:
         ts = [r.timestamp for r in consumer.records]
         inversions = sum(1 for a, b in zip(ts, ts[1:]) if b < a)
         assert inversions / len(ts) < 0.02
+
+    @pytest.mark.timeout(180)
+    def test_chaos_kill_restart_exactly_once(self, mp_ctx):
+        """The acceptance-criteria chaos run with real OS processes: an
+        application and a resilient EXS process ship through a ChaosProxy
+        that severs connections at random byte offsets, while the ISM
+        listener is torn down and restarted mid-run.  Every record must
+        appear exactly once in the final output."""
+        n = 3_000
+        shared = create_shared_ring(1 << 20)
+        consumer = CollectingConsumer()
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=1_000)), [consumer]
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        proxy = ChaosProxy(
+            host, port, ChaosConfig(cut_after_bytes=(8_000, 24_000), seed=11)
+        )
+        proxy_host, proxy_port = proxy.address
+        app = mp_ctx.Process(target=_app_main, args=(shared.name, n, 1))
+        exs = mp_ctx.Process(
+            target=resilient_exs_main,
+            args=(shared.name, proxy_host, proxy_port, 1, 1, n),
+        )
+        app.start()
+        exs.start()
+        try:
+            # Phase 1: stream through the cutting proxy until roughly half
+            # the workload has been admitted.
+            server = IsmServer(manager, listener)
+            server.serve(duration_s=60.0, until_records=n // 2)
+
+            # ISM crash mid-run: listener and server die, the manager
+            # (admission watermark + consumer) survives as warm state, a
+            # fresh server comes back on the same port.
+            listener.close()
+            time.sleep(0.1)
+            listener = MessageListener(host, port)
+            server = IsmServer(manager, listener)
+            server.serve(duration_s=60.0, until_records=n)
+        finally:
+            app.join(timeout=20)
+            exs.join(timeout=30)
+            if app.is_alive():
+                app.terminate()
+            if exs.is_alive():
+                exs.terminate()
+            proxy.stop()
+            listener.close()
+            shared.close()
+        assert manager.stats.records_received == n
+        values = [r.values[0] for r in consumer.records]
+        assert sorted(values) == list(range(n))  # exactly once, all of them
+        assert values == sorted(values)  # and in order
