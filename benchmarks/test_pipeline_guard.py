@@ -201,20 +201,27 @@ def test_e3_socket_throughput_floor():
     )
 
 
-def _socket_stream_elapsed(n_events: int, acked: bool) -> float:
+def _socket_stream_elapsed(
+    n_events: int, acked: bool, metrics: bool = False
+) -> float:
     """One fresh single-stream socket run; returns wall-clock seconds.
 
     ``acked=False`` reproduces the seed's fire-and-forget transport
     (no acks, no resume handshake, no heartbeats, an outbox deep enough
     to never backpressure); ``acked=True`` is the default guaranteed
-    path.
+    path.  ``metrics=True`` additionally wires a full
+    :class:`~repro.obs.metrics.MetricsRegistry` over both ends — the
+    EXS poll/drain timers and the ISM tick timer plus all pull gauges —
+    to price the observability layer's hot-path cost.
     """
+    from repro.obs.metrics import MetricsRegistry
     from repro.runtime.exs_proc import ExsOutbox
 
     received = [0]
     manager = InstrumentationManager(
         IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
         [CallbackConsumer(lambda r: received.__setitem__(0, received[0] + 1))],
+        metrics=MetricsRegistry() if metrics else None,
     )
     listener = MessageListener()
     host, port = listener.address
@@ -225,6 +232,7 @@ def _socket_stream_elapsed(n_events: int, acked: bool) -> float:
         1, 1, ring, CorrectedClock(now_micros),
         ExsConfig(batch_max_records=250, flush_timeout_us=1_000,
                   drain_limit=100_000),
+        metrics=MetricsRegistry() if metrics else None,
     )
     emitted = 0
     while emitted < n_events:
@@ -265,6 +273,30 @@ def test_acked_path_within_ten_percent_of_fire_and_forget():
     assert acked <= bare * 1.10, (
         f"acked path ({n_events / acked:,.0f} ev/s) more than 10% slower "
         f"than fire-and-forget ({n_events / bare:,.0f} ev/s)"
+    )
+
+
+def test_metrics_enabled_within_five_percent_of_metrics_off():
+    """Self-observability must be nearly free on the hot path: stage
+    timers are two ``perf_counter_ns`` calls per EXS poll / ISM tick, and
+    every occupancy metric is a pull gauge that costs nothing until a
+    snapshot is taken.  Race the E3 single-stream run with a fully wired
+    registry on both ends against the metrics-off default.
+
+    Run-to-run variance of the socket pipeline (scheduler, TCP, GC) is
+    far larger than the effect under test, so the arms are sampled as
+    back-to-back pairs and judged on the *cleanest* pair: a real hot-path
+    regression slows every pair, while a load spike dirties only some."""
+    n_events = 20_000
+    ratios = []
+    for _ in range(5):
+        off = _socket_stream_elapsed(n_events, acked=True)
+        on = _socket_stream_elapsed(n_events, acked=True, metrics=True)
+        ratios.append(on / off)
+    assert min(ratios) <= 1.05, (
+        f"metrics-enabled pipeline more than 5% slower than metrics-off "
+        f"in every paired run (on/off ratios: "
+        f"{', '.join(f'{r:.3f}' for r in ratios)})"
     )
 
 

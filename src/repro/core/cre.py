@@ -103,6 +103,9 @@ class CausalMatcher:
         # path answers "not causal" with one dict hit instead of building
         # the reason/consequence id tuples per record.
         self._schema_causal: dict[tuple, bool] = {}
+        # Unique consequence records currently parked, maintained on
+        # park/release/expire so observability reads are O(1).
+        self._parked_now = 0
 
     # ------------------------------------------------------------------
     @property
@@ -113,6 +116,22 @@ class CausalMatcher:
             for parked_list in self._waiting.values()
             for _ in parked_list
         )
+
+    @property
+    def parked_now(self) -> int:
+        """Unique parked consequence records, O(1) (a record waiting on
+        several reasons counts once, unlike :attr:`parked_count`)."""
+        return self._parked_now
+
+    @property
+    def reason_table_size(self) -> int:
+        """Reason identifiers currently remembered, O(1)."""
+        return len(self._reasons)
+
+    @property
+    def waiting_table_size(self) -> int:
+        """Reason identifiers with at least one waiter, O(1)."""
+        return len(self._waiting)
 
     def process(self, record: EventRecord, now: int) -> list[EventRecord]:
         """Run one sorted record through the matcher.
@@ -143,6 +162,7 @@ class CausalMatcher:
                 for cid in missing:
                     self._waiting.setdefault(cid, []).append(parked)
                 self.stats.parked += 1
+                self._parked_now += 1
                 # Reasons the record itself provides still register below —
                 # a parked record can unblock others even before delivery?
                 # No: causality says this record precedes them, and this
@@ -224,6 +244,7 @@ class CausalMatcher:
             parked.waiting_for.discard(reason_id)
             if parked.waiting_for:
                 continue  # still missing other reasons
+            self._parked_now -= 1
             record = parked.record
             if record.timestamp <= reason_ts:
                 record = record.with_timestamp(reason_ts + self.config.epsilon_us)
@@ -258,6 +279,7 @@ class CausalMatcher:
                         seen_ids.add(key)
                         released.append(parked.record)
                         self.stats.timed_out_consequences += 1
+                        self._parked_now -= 1
                 else:
                     keep.append(parked)
             if keep:

@@ -25,6 +25,7 @@ applies advance-only corrections.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -104,6 +105,7 @@ class ExternalSensor:
         ring: RingBuffer | Sequence[RingBuffer],
         clock: CorrectedClock,
         config: ExsConfig = ExsConfig(),
+        metrics=None,
     ) -> None:
         self.exs_id = exs_id
         self.node_id = node_id
@@ -124,6 +126,21 @@ class ExternalSensor:
         # One encoder per sensor, reset per batch: batches reuse the same
         # buffer allocation instead of growing a fresh bytearray each time.
         self._encoder = XdrEncoder()
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`.  When None
+        #: (the default) the data path carries zero observability cost —
+        #: every hot-path hook is behind one ``is not None`` check.
+        self.metrics = metrics
+        self._poll_timer = None
+        self._drain_hist = None
+        if metrics is not None:
+            from repro.obs import collect
+
+            collect.wire_exs(metrics, self)
+            # Self-time per poll (intrusion accounting) and per-drain
+            # latency: how long records sat in the EXS before a batch
+            # closed is visible in ``exs.drain_us``'s mean/max.
+            self._poll_timer = metrics.timer("exs.poll_us")
+            self._drain_hist = metrics.histogram("exs.drain_us")
 
     @property
     def ring(self) -> RingBuffer:
@@ -172,7 +189,11 @@ class ExternalSensor:
             now_local = self.clock.read()
         correction = self.clock.correction_us
         out: list[bytes] = []
+        timer = self._poll_timer
+        t0 = timer.start() if timer is not None else 0
         drained = self._drain_all()
+        if timer is not None and drained:
+            self._drain_hist.observe((time.perf_counter_ns() - t0) / 1_000.0)
         self.stats.records_drained += len(drained)
         # Hot-loop hoists: attribute lookups and config reads happen once
         # per poll, not once per record.
@@ -215,6 +236,12 @@ class ExternalSensor:
         ):
             self.stats.timeout_flushes += 1
             out.append(self._close_batch())
+        # Record self-time only for polls that did work: empty polls run
+        # at select-loop frequency, and observing each would cost more
+        # than the poll itself (the metrics-off/on ≤5% benchmark guard
+        # polices exactly this).
+        if timer is not None and (drained or out):
+            timer.stop(t0)
         return out
 
     def flush(self) -> list[bytes]:

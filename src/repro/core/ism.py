@@ -87,12 +87,23 @@ class InstrumentationManager:
         config: IsmConfig = IsmConfig(),
         consumers: list[Consumer] | None = None,
         sync_master=None,
+        metrics=None,
     ) -> None:
         self.config = config
         self.consumers: list[Consumer] = list(consumers or [])
         self.sorter = OnlineSorter(config.sorter)
         self.cre = CausalMatcher(config.cre, on_tachyon=self._on_tachyon)
         self.stats = IsmStats()
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry` wired over
+        #: the manager, its sorter, CRE tables, and consumer list.  When
+        #: None the pipeline pays nothing (one ``is not None`` per tick).
+        self.metrics = metrics
+        self._tick_timer = None
+        if metrics is not None:
+            from repro.obs import collect
+
+            collect.wire_manager(metrics, self)
+            self._tick_timer = metrics.timer("ism.tick_us")
         #: Optional :class:`repro.clocksync.BriskSyncMaster`; when present,
         #: tachyons trigger its extra-round request (§3.6).
         self.sync_master = sync_master
@@ -216,6 +227,8 @@ class InstrumentationManager:
         The whole tick is staged batch-wise: one bulk sorter extraction,
         one CRE pass over the released list, one bulk delivery fan-out.
         """
+        timer = self._tick_timer
+        t0 = timer.start() if timer is not None else 0
         ready = self.cre.process_many(self.sorter.extract_ready_batch(now), now)
         if self._expire_due(now):
             expired = self.cre.expire(now)
@@ -223,6 +236,10 @@ class InstrumentationManager:
                 ready.extend(expired)
         if ready:
             self._deliver_many(ready)
+        # Idle ticks run at pump frequency; observing each would dominate
+        # the tick itself, so only work is timed.
+        if timer is not None and ready:
+            timer.stop(t0)
         return len(ready)
 
     def flush(self, now: int) -> int:

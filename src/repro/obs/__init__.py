@@ -1,0 +1,45 @@
+"""Self-observability for the instrumentation system (DESIGN.md §5.6).
+
+The IS watches itself with the same discipline it applies to monitored
+applications: lock-light instruments on every pipeline stage
+(:mod:`repro.obs.metrics`), pull-gauge wiring over the live objects
+(:mod:`repro.obs.collect`), a reporter that dogfoods the snapshots as
+BRISK event records through the ring→EXS→ISM path
+(:mod:`repro.obs.reporter`), and plain-text table rendering for the
+``brisk-stats`` tool and the ISM stats endpoint
+(:mod:`repro.obs.render`).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    FixedHistogram,
+    Gauge,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    StageTimer,
+)
+from repro.obs.reporter import (
+    METRICS_EVENT_ID,
+    MetricsReporter,
+    is_metric_record,
+    metric_from_record,
+    snapshot_from_records,
+)
+from repro.obs.render import render_snapshot
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "FixedHistogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "StageTimer",
+    "METRICS_EVENT_ID",
+    "MetricsReporter",
+    "is_metric_record",
+    "metric_from_record",
+    "snapshot_from_records",
+    "render_snapshot",
+]

@@ -1,0 +1,465 @@
+"""Lock-light metric primitives for the IS's self-observability layer.
+
+BRISK's posture is "specify the level of instrumentation, pay only for it"
+(§2) — and that must hold for the instrumentation system's *own*
+instrumentation.  Three constraints shape this module:
+
+* **lock-light** — every instrument is single-writer (the pipeline stage
+  that owns it); readers take snapshots that tolerate torn reads the same
+  way the ring buffer's monotonic head/tail counters do.  No instrument
+  takes a lock on the hot path.
+* **O(1) memory** — histograms have fixed buckets and a Welford
+  accumulator; no sample list is ever retained, so a registry's footprint
+  is independent of how long the pipeline has run.
+* **mergeable snapshots** — per-stage (or per-process) snapshots combine
+  with :meth:`MetricsSnapshot.merge`: counters add, histogram buckets add,
+  and the moment statistics merge via the parallel Welford combination in
+  :meth:`repro.util.stats.RunningStats.merge`, so a fleet view is the same
+  O(1)-sized object as a single stage's view.
+
+:class:`Counter` deliberately *behaves like an int* (comparisons,
+``int()``, ``+=``) so pipeline components can replace their ad-hoc integer
+counters with registered instruments without changing any call site or
+test that reads them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.util.stats import RunningStats
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "FixedHistogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "StageTimer",
+    "DEFAULT_US_EDGES",
+]
+
+#: Default bucket edges for microsecond-scale stage timings: spans the
+#: sub-50 µs hot-path costs through the paper's 40 ms select wait.
+DEFAULT_US_EDGES: tuple[float, ...] = (
+    10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, 40_000.0, 100_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter that reads like an int.
+
+    Single-writer by convention (the owning stage); ``+=`` and
+    :meth:`inc` are the write API.  All the integer comparisons are
+    implemented so code and tests that previously held a bare ``int``
+    attribute keep working unchanged when the attribute becomes a
+    registered ``Counter``.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (negative increments are a bug, not an API)."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    # -- int-like surface ------------------------------------------------
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Counter):
+            return self.value == other.value
+        return self.value == other
+
+    def __hash__(self) -> int:  # identity: counters are mutable
+        return object.__hash__(self)
+
+    def __lt__(self, other) -> bool:
+        return self.value < int(other)
+
+    def __le__(self, other) -> bool:
+        return self.value <= int(other)
+
+    def __gt__(self, other) -> bool:
+        return self.value > int(other)
+
+    def __ge__(self, other) -> bool:
+        return self.value >= int(other)
+
+    def __add__(self, other) -> int:
+        return self.value + int(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> int:
+        return self.value - int(other)
+
+    def __rsub__(self, other) -> int:
+        return int(other) - self.value
+
+    def __iadd__(self, n: int) -> "Counter":
+        self.value += int(n)
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value, spec)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time scalar (queue depth, time frame, occupancy)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSnapshot:
+    """Immutable view of a :class:`FixedHistogram` at one instant.
+
+    Carries the full Welford state (not just the mean) so two snapshots
+    merge exactly: ``a.merge(b)`` equals the snapshot a single histogram
+    would have produced after seeing both sample streams.
+    """
+
+    edges: tuple[float, ...]
+    counts: tuple[int, ...]
+    underflow: int
+    overflow: int
+    stats: RunningStats
+
+    @property
+    def count(self) -> int:
+        """Total samples observed (including under/overflow)."""
+        return self.stats.count
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    @property
+    def maximum(self) -> float:
+        return self.stats.maximum
+
+    @property
+    def minimum(self) -> float:
+        return self.stats.minimum
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots of same-shaped histograms."""
+        if self.edges != other.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        return HistogramSnapshot(
+            edges=self.edges,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            underflow=self.underflow + other.underflow,
+            overflow=self.overflow + other.overflow,
+            stats=self.stats.merge(other.stats),
+        )
+
+
+class FixedHistogram:
+    """Fixed-bucket histogram + Welford moments; O(1) memory forever.
+
+    Buckets are half-open ``[edge[i], edge[i+1])`` with explicit under-
+    and overflow counts so no sample is silently dropped.  ``observe`` is
+    the single-writer hot-path call: one binary search over a dozen edges
+    plus the four Welford updates.
+    """
+
+    __slots__ = ("name", "edges", "counts", "underflow", "overflow", "stats")
+
+    def __init__(
+        self, name: str, edges: Sequence[float] = DEFAULT_US_EDGES
+    ) -> None:
+        edges = tuple(float(e) for e in edges)
+        if len(edges) < 2:
+            raise ValueError("histogram needs at least two bucket edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.name = name
+        self.edges = edges
+        self.counts = [0] * (len(edges) - 1)
+        self.underflow = 0
+        self.overflow = 0
+        self.stats = RunningStats()
+
+    def observe(self, x: float) -> None:
+        """Fold one sample in."""
+        self.stats.add(x)
+        edges = self.edges
+        if x < edges[0]:
+            self.underflow += 1
+            return
+        if x >= edges[-1]:
+            self.overflow += 1
+            return
+        lo, hi = 0, len(edges) - 1
+        while lo < hi - 1:
+            mid = (lo + hi) // 2
+            if x < edges[mid]:
+                hi = mid
+            else:
+                lo = mid
+        self.counts[lo] += 1
+
+    @property
+    def count(self) -> int:
+        """Total samples observed."""
+        return self.stats.count
+
+    def snapshot(self) -> HistogramSnapshot:
+        """An immutable copy of the current state."""
+        return HistogramSnapshot(
+            edges=self.edges,
+            counts=tuple(self.counts),
+            underflow=self.underflow,
+            overflow=self.overflow,
+            stats=self.stats.copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedHistogram({self.name!r}, n={self.stats.count}, "
+            f"mean={self.stats.mean:.3g})"
+        )
+
+
+class StageTimer:
+    """Self-time accounting for one pipeline stage (intrusion metric).
+
+    The paper's §4 evaluation treats perceived overhead as a first-class
+    measurement; this is the same posture applied to our own kernel: each
+    instrumented stage records how many nanoseconds it spent doing
+    observability-visible work, and the registry turns the total into a
+    busy fraction of wall-clock time.
+
+    Usage on a hot path (no context-manager allocation)::
+
+        t0 = timer.start()
+        ...stage work...
+        timer.stop(t0)
+    """
+
+    __slots__ = ("hist", "total_ns")
+
+    def __init__(self, hist: FixedHistogram) -> None:
+        self.hist = hist
+        self.total_ns = 0
+
+    def start(self) -> int:
+        """Begin a measurement; returns the token to pass to :meth:`stop`."""
+        return time.perf_counter_ns()
+
+    def stop(self, t0: int) -> None:
+        """End a measurement started at *t0*."""
+        dt = time.perf_counter_ns() - t0
+        self.total_ns += dt
+        self.hist.observe(dt / 1_000.0)  # histogram is in microseconds
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """One registry's instruments, frozen at a point in time.
+
+    ``values`` holds counters and gauges; ``histograms`` the distribution
+    instruments.  ``scalars()`` flattens everything into (name, float)
+    pairs — the form the :class:`~repro.obs.reporter.MetricsReporter`
+    ships as BRISK event records.
+    """
+
+    values: Mapping[str, float]
+    histograms: Mapping[str, HistogramSnapshot]
+    #: Wall-clock seconds the registry had been live when snapped.
+    uptime_s: float = 0.0
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine with another snapshot (shards, stages, processes).
+
+        Scalars add — the natural combination for counters and for the
+        additive gauges (queue depths, bytes, held records) this layer
+        uses; same-named histograms merge via parallel Welford.
+        """
+        values = dict(self.values)
+        for name, value in other.values.items():
+            values[name] = values.get(name, 0) + value
+        hists = dict(self.histograms)
+        for name, snap in other.histograms.items():
+            mine = hists.get(name)
+            hists[name] = snap if mine is None else mine.merge(snap)
+        return MetricsSnapshot(
+            values=values,
+            histograms=hists,
+            uptime_s=max(self.uptime_s, other.uptime_s),
+        )
+
+    def scalars(self) -> Iterator[tuple[str, float]]:
+        """Flatten to (name, value) pairs, histograms as .count/.mean/.max."""
+        for name in sorted(self.values):
+            yield name, float(self.values[name])
+        for name in sorted(self.histograms):
+            snap = self.histograms[name]
+            yield f"{name}.count", float(snap.count)
+            if snap.count:
+                yield f"{name}.mean", float(snap.mean)
+                yield f"{name}.max", float(snap.maximum)
+
+    def get(self, name: str, default: float | None = None) -> float | None:
+        """Scalar lookup by name (counters and gauges only)."""
+        value = self.values.get(name, default)
+        return value if value is None else float(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values or name in self.histograms
+
+
+class MetricsRegistry:
+    """Name → instrument map for one process (or one simulated world).
+
+    Instruments come in two flavours:
+
+    * **push** — :meth:`counter`, :meth:`gauge`, :meth:`histogram` return
+      objects the owning stage updates on its hot path;
+    * **pull** — :meth:`gauge_fn` registers a callable evaluated only at
+      :meth:`snapshot` time, which is how zero-cost occupancy metrics
+      (ring fill, sorter depth, CRE table size) are wired: the pipeline
+      pays nothing until somebody actually looks.
+
+    Registration is idempotent by name: asking for an existing name
+    returns the existing instrument, so a reconnect that re-wires a stage
+    does not shadow the counts accumulated so far.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._gauge_fns: dict[str, Callable[[], float]] = {}
+        self._histograms: dict[str, FixedHistogram] = {}
+        self._timers: dict[str, StageTimer] = {}
+        self._started_monotonic = time.monotonic()
+
+    # -- registration ----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def adopt_counter(self, counter: Counter) -> Counter:
+        """Register an externally created counter under its own name."""
+        self._counters[counter.name] = counter
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the push-style gauge *name*."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a pull-style gauge: *fn* runs only at snapshot time."""
+        self._gauge_fns[name] = fn
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_US_EDGES
+    ) -> FixedHistogram:
+        """Get or create the histogram *name*."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = FixedHistogram(name, edges)
+        return hist
+
+    def timer(
+        self, name: str, edges: Sequence[float] = DEFAULT_US_EDGES
+    ) -> StageTimer:
+        """Get or create a self-time stage timer over histogram *name*."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = StageTimer(self.histogram(name, edges))
+        return timer
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def uptime_s(self) -> float:
+        """Wall-clock seconds since the registry was created."""
+        return time.monotonic() - self._started_monotonic
+
+    def intrusion_fractions(self) -> dict[str, float]:
+        """Per-stage self-time as a fraction of registry wall-clock life.
+
+        The intrusion inventory of the IS itself: how much of the elapsed
+        time each instrumented stage spent on its own work.  Stages that
+        have not recorded anything are omitted.
+        """
+        elapsed_ns = self.uptime_s * 1e9
+        if elapsed_ns <= 0:
+            return {}
+        return {
+            name: timer.total_ns / elapsed_ns
+            for name, timer in self._timers.items()
+            if timer.total_ns
+        }
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every instrument (pull gauges are evaluated now).
+
+        A pull gauge whose underlying object has died (closed socket,
+        detached ring) is skipped rather than poisoning the whole
+        snapshot — observability must never take the pipeline down.
+        """
+        values: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            values[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            values[name] = float(gauge.value)
+        for name, fn in self._gauge_fns.items():
+            try:
+                values[name] = float(fn())
+            except Exception:
+                continue
+        for name, fraction in self.intrusion_fractions().items():
+            values[f"{name}.busy_fraction"] = fraction
+        return MetricsSnapshot(
+            values=values,
+            histograms={
+                name: hist.snapshot()
+                for name, hist in self._histograms.items()
+            },
+            uptime_s=self.uptime_s,
+        )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of metrics snapshots.
+
+One screenful of aligned tables, grouped by the dotted metric-name
+prefix (``ring.*``, ``exs.*``, ``sorter.*`` ...), is what ``brisk-stats``
+and the ISM's periodic stats print show.  Deliberately dependency-free:
+the output goes to terminals and log files, not dashboards.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import HistogramSnapshot, MetricsSnapshot
+
+__all__ = ["render_snapshot", "render_histogram"]
+
+
+def _fmt(value: float) -> str:
+    """Numbers people can read: integers without a trailing .0, small
+    fractions with enough digits to be non-zero."""
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if 0 < abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:,.2f}"
+
+
+def render_histogram(name: str, snap: HistogramSnapshot, width: int = 30) -> str:
+    """One histogram as an ASCII bar chart with its moment summary."""
+    lines = [
+        f"{name}: n={snap.count} mean={_fmt(snap.mean)} "
+        f"min={_fmt(snap.minimum) if snap.count else '-'} "
+        f"max={_fmt(snap.maximum) if snap.count else '-'}"
+    ]
+    peak = max([*snap.counts, snap.underflow, snap.overflow, 1])
+    rows: list[tuple[str, int]] = []
+    if snap.underflow:
+        rows.append((f"< {_fmt(snap.edges[0])}", snap.underflow))
+    rows.extend(
+        (f"[{_fmt(lo)}, {_fmt(hi)})", count)
+        for lo, hi, count in zip(snap.edges, snap.edges[1:], snap.counts)
+        if count
+    )
+    if snap.overflow:
+        rows.append((f">= {_fmt(snap.edges[-1])}", snap.overflow))
+    label_width = max((len(label) for label, _ in rows), default=0)
+    for label, count in rows:
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"  {label:<{label_width}}  {count:>10,}  {bar}")
+    return "\n".join(lines)
+
+
+def render_snapshot(snapshot: MetricsSnapshot, histograms: bool = True) -> str:
+    """Render a snapshot as grouped, aligned name/value tables."""
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for name, value in sorted(snapshot.values.items()):
+        prefix = name.split(".", 1)[0]
+        groups.setdefault(prefix, []).append((name, value))
+    lines: list[str] = []
+    if snapshot.uptime_s:
+        lines.append(f"uptime: {snapshot.uptime_s:.1f}s")
+    for prefix in sorted(groups):
+        rows = groups[prefix]
+        name_width = max(len(name) for name, _ in rows)
+        lines.append(f"-- {prefix} " + "-" * max(1, 40 - len(prefix)))
+        lines.extend(
+            f"  {name:<{name_width}}  {_fmt(value):>14}" for name, value in rows
+        )
+    if histograms and snapshot.histograms:
+        lines.append("-- distributions " + "-" * 27)
+        for name in sorted(snapshot.histograms):
+            lines.append(render_histogram(name, snapshot.histograms[name]))
+    return "\n".join(lines)

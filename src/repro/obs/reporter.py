@@ -1,0 +1,155 @@
+"""Dogfooding: the IS's metrics travel as ordinary BRISK event records.
+
+The paper's ISM "may pass instrumentation data to a list of CORBA-enabled
+visual objects" — but nothing in the architecture distinguishes *whose*
+events those are.  The :class:`MetricsReporter` exploits that: it emits
+each metric scalar as a two-field event record (``X_STRING`` name,
+``X_DOUBLE`` value) through a normal internal sensor, so the snapshots
+ride the very ring→EXS→ISM path they describe, get clock-corrected,
+sorted, and CRE-checked like any application event, and land in the PICL
+trace where ``brisk-stats --picl`` (or any PICL tool) can read them back.
+
+A monitoring pipeline that cannot carry its own health data is not
+trustworthy; one that can proves the full data path end to end on every
+reporting interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.records import EventRecord, FieldType
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+__all__ = [
+    "METRICS_EVENT_ID",
+    "MetricsReporter",
+    "is_metric_record",
+    "metric_from_record",
+    "snapshot_from_records",
+]
+
+#: Event id carried by self-emitted metric records.  Ordinary application
+#: event ids are small; this sits far outside the benchmark workloads'
+#: range while remaining a plain u32 any consumer can filter on.
+METRICS_EVENT_ID = 0x0B_0B5
+
+
+class MetricsReporter:
+    """Periodically emit a registry's snapshot as BRISK event records.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to snapshot.
+    sensor:
+        Any object with the internal-sensor ``notice`` signature
+        (``notice(event_id, *(ftype, value))`` returning bool) — a real
+        :class:`~repro.core.sensor.Sensor` in deployments, a stub in
+        tests.
+    interval_us:
+        Emission period in the caller's time domain (``maybe_emit`` is
+        driven with the same ``now`` the rest of the pipeline uses, so
+        the simulator gets deterministic reporting for free).
+    event_id:
+        Event id to stamp; consumers filter metric records on it.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sensor,
+        interval_us: int = 1_000_000,
+        event_id: int = METRICS_EVENT_ID,
+    ) -> None:
+        if interval_us < 1:
+            raise ValueError("interval_us must be positive")
+        self.registry = registry
+        self.sensor = sensor
+        self.interval_us = interval_us
+        self.event_id = event_id
+        #: Snapshots emitted since start.
+        self.emissions = 0
+        #: Metric records the ring refused (counted, never retried: a
+        #: reporter that fights the application for ring space would be
+        #: its own intrusion problem).
+        self.records_dropped = 0
+        self._last_emit: int | None = None
+
+    def maybe_emit(self, now: int) -> bool:
+        """Emit a snapshot if the interval has elapsed; returns whether."""
+        last = self._last_emit
+        if last is not None and now - last < self.interval_us:
+            return False
+        self.emit_now(now)
+        return True
+
+    def emit_now(self, now: int) -> int:
+        """Snapshot the registry and emit every scalar; returns records
+        written (drops are counted, not raised)."""
+        self._last_emit = now
+        self.emissions += 1
+        written = 0
+        notice = self.sensor.notice
+        event_id = self.event_id
+        for name, value in self.registry.snapshot().scalars():
+            if notice(
+                event_id,
+                (FieldType.X_STRING, name),
+                (FieldType.X_DOUBLE, float(value)),
+            ):
+                written += 1
+            else:
+                self.records_dropped += 1
+        return written
+
+
+# ----------------------------------------------------------------------
+# decoding self-emitted records (the PICL round-trip's read side)
+# ----------------------------------------------------------------------
+
+def is_metric_record(
+    record: EventRecord, event_id: int = METRICS_EVENT_ID
+) -> bool:
+    """Whether *record* is a self-emitted metric sample."""
+    return (
+        record.event_id == event_id
+        and len(record.field_types) == 2
+        and record.field_types[0] is FieldType.X_STRING
+        and record.field_types[1] in (FieldType.X_DOUBLE, FieldType.X_FLOAT)
+    )
+
+
+def metric_from_record(
+    record: EventRecord, event_id: int = METRICS_EVENT_ID
+) -> tuple[str, float] | None:
+    """Decode one metric record to ``(name, value)``; None if it is not
+    one."""
+    if not is_metric_record(record, event_id):
+        return None
+    return str(record.values[0]), float(record.values[1])
+
+
+def snapshot_from_records(
+    records: Iterable[EventRecord], event_id: int = METRICS_EVENT_ID
+) -> dict[str, float]:
+    """Fold a record stream back into a name→value scalar map.
+
+    Later samples win, so feeding a whole trace yields the final reported
+    state — the inverse of :meth:`MetricsReporter.emit_now` over the last
+    emission.  Histogram-derived scalars come back under their flattened
+    names (``foo.count``/``foo.mean``/``foo.max``).
+    """
+    out: dict[str, float] = {}
+    for record in records:
+        decoded = metric_from_record(record, event_id)
+        if decoded is not None:
+            out[decoded[0]] = decoded[1]
+    return out
+
+
+def scalars_snapshot(values: Mapping[str, float]) -> MetricsSnapshot:
+    """Wrap a decoded scalar map back into a :class:`MetricsSnapshot`
+    so the rendering layer can print round-tripped metrics with the same
+    tables it uses for live registries."""
+    return MetricsSnapshot(values=dict(values), histograms={})

@@ -33,6 +33,7 @@ from dataclasses import replace
 
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.exs import ExsConfig, ExternalSensor
+from repro.obs.metrics import Counter
 from repro.runtime.shm import attach_shared_ring
 from repro.util.timebase import now_micros
 from repro.wire import protocol
@@ -61,10 +62,10 @@ class ExsOutbox:
             raise ValueError("outbox depth must be >= 1")
         self.depth = depth
         self._entries: deque[tuple[int, bytes]] = deque()
-        #: Batches released by acks since start.
-        self.acked_batches = 0
-        #: Payloads re-sent by resume retransmission.
-        self.retransmitted_batches = 0
+        #: Batches released by acks since start (int-like counter).
+        self.acked_batches = Counter("outbox.acked_batches")
+        #: Payloads re-sent by resume retransmission (int-like counter).
+        self.retransmitted_batches = Counter("outbox.retransmitted_batches")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,6 +131,7 @@ class ExsProcess:
         ack_timeout_s: float | None = 5.0,
         heartbeat_interval_s: float | None = 1.0,
         hello_reply_timeout_s: float = 2.0,
+        reporter=None,
     ) -> None:
         if ack_timeout_s is not None and ack_timeout_s <= 0:
             raise ValueError("ack_timeout_s must be positive or None")
@@ -143,6 +145,16 @@ class ExsProcess:
         self.ack_timeout_s = ack_timeout_s
         self.heartbeat_interval_s = heartbeat_interval_s
         self.hello_reply_timeout_s = hello_reply_timeout_s
+        #: Optional :class:`repro.obs.reporter.MetricsReporter` whose
+        #: sensor writes into this EXS's ring: each loop iteration gives
+        #: it a chance to emit, so the node's own health records ride the
+        #: same drain→batch→ship path as application events.
+        self.reporter = reporter
+        if reporter is not None and self.exs.metrics is not None:
+            from repro.obs import collect
+
+            collect.wire_outbox(self.exs.metrics, self.outbox)
+            collect.wire_connection(self.exs.metrics, conn)
         self._stop = threading.Event()
         self._last_ack_progress = time.monotonic()
         self._last_send = time.monotonic()
@@ -161,7 +173,10 @@ class ExsProcess:
             if self.resume:
                 self._resume_session()
             self._last_ack_progress = time.monotonic()
+            reporter = self.reporter
             while not self._stop.is_set():
+                if reporter is not None:
+                    reporter.maybe_emit(now_micros())
                 shipped = self._pump_data()
                 self._maybe_heartbeat()
                 self._check_ack_deadline()
@@ -336,10 +351,10 @@ class ReconnectingExs:
         self.outbox = ExsOutbox(outbox_depth)
         self._rng = jitter_rng if jitter_rng is not None else random.Random()
         self._stop = threading.Event()
-        #: Successful connections established.
-        self.connections = 0
-        #: Failed connection attempts.
-        self.failed_attempts = 0
+        #: Successful connections established (int-like counter).
+        self.connections = Counter("wire.connections_established")
+        #: Failed connection attempts (int-like counter).
+        self.failed_attempts = Counter("wire.failed_attempts")
 
     def stop(self) -> None:
         """Stop after the current session (and stop retrying)."""

@@ -36,6 +36,9 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
 from repro.clocksync.probes import ProbeSample
 from repro.core.ism import InstrumentationManager
+from repro.obs import collect
+from repro.obs.metrics import Counter, MetricsRegistry, MetricsSnapshot
+from repro.obs.render import render_snapshot
 from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import ConnectionClosed, MessageConnection, MessageListener
@@ -92,11 +95,16 @@ class IsmServer:
         decode_workers: int = 0,
         ack_batches: bool = True,
         idle_deadline_s: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        stats_interval_s: float | None = None,
+        stats_sink=None,
     ) -> None:
         if decode_workers < 0:
             raise ValueError("decode_workers must be >= 0")
         if idle_deadline_s is not None and idle_deadline_s <= 0:
             raise ValueError("idle_deadline_s must be positive or None")
+        if stats_interval_s is not None and stats_interval_s <= 0:
+            raise ValueError("stats_interval_s must be positive or None")
         self.manager = manager
         self.listener = listener
         self.sync_config = sync_config
@@ -128,8 +136,10 @@ class IsmServer:
         self._ack_enabled: set[int] = set()
         #: monotonic() of each connection's last inbound traffic.
         self._last_activity: dict[MessageConnection, float] = {}
-        #: Connections dropped by the idle-deadline sweep.
-        self.idle_drops = 0
+        #: Connections dropped by the idle-deadline sweep (int-like
+        #: :class:`~repro.obs.metrics.Counter`, registered when metrics
+        #: are on).
+        self.idle_drops = Counter("ism.idle_drops")
         self._next_throttle = time.monotonic() + throttle_period_s
         self._per_source_counts: dict[int, int] = {}
         self.connections: dict[int, MessageConnection] = {}
@@ -146,9 +156,77 @@ class IsmServer:
         # the configured period.
         self._next_sync = time.monotonic()
         #: Connections that closed (normally or not) since start.
-        self.closed_connections = 0
+        self.closed_connections = Counter("wire.closed_connections")
         #: Sync rounds completed across all master rebuilds.
-        self.sync_rounds_completed = 0
+        self.sync_rounds_completed = Counter("sync.rounds_completed")
+        #: Wire traffic of connections already closed (live connections
+        #: are summed at snapshot time; these keep the totals monotonic).
+        self._closed_bytes = 0
+        self._closed_frames = 0
+        #: Self-observability registry; None until enabled.  Pass one in,
+        #: set ``stats_interval_s`` (a registry is then created), or call
+        #: :meth:`metrics_snapshot` — the programmatic stats endpoint —
+        #: which wires one lazily.
+        self.metrics: MetricsRegistry | None = None
+        self.stats_interval_s = stats_interval_s
+        #: Where the periodic stats table goes (callable taking one
+        #: string); default prints to stdout.
+        self.stats_sink = stats_sink if stats_sink is not None else print
+        self._next_stats = (
+            None
+            if stats_interval_s is None
+            else time.monotonic() + stats_interval_s
+        )
+        self._pump_hist = None
+        if metrics is not None or stats_interval_s is not None:
+            self._enable_metrics(metrics or MetricsRegistry())
+
+    # ------------------------------------------------------------------
+    # self-observability
+    # ------------------------------------------------------------------
+    def _enable_metrics(self, registry: MetricsRegistry) -> None:
+        self.metrics = registry
+        registry.adopt_counter(self.idle_drops)
+        registry.adopt_counter(self.closed_connections)
+        registry.adopt_counter(self.sync_rounds_completed)
+        if self.manager.metrics is not registry:
+            collect.wire_manager(registry, self.manager)
+        registry.gauge_fn("wire.connections", lambda: len(self.connections))
+        registry.gauge_fn(
+            "wire.pending_connections", lambda: len(self._pending)
+        )
+        registry.gauge_fn(
+            "wire.bytes_received",
+            lambda: self._closed_bytes
+            + sum(c.bytes_received for c in self.connections.values()),
+        )
+        registry.gauge_fn(
+            "wire.frames_received",
+            lambda: self._closed_frames
+            + sum(c.frames_received for c in self.connections.values()),
+        )
+        #: Pump cycle duration includes the (bounded) select wait, so it
+        #: is a latency metric, not a busy-time metric — intrusion
+        #: accounting uses the manager's per-stage timers instead.
+        self._pump_hist = registry.histogram("ism.pump_cycle_us")
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The ISM stats endpoint: a merged snapshot of everything the
+        server can see — manager counters, sorter/CRE depth, consumer
+        queues, wire traffic.  Wires a registry lazily on first call, so
+        any running server can be inspected without prior setup."""
+        if self.metrics is None:
+            self._enable_metrics(MetricsRegistry())
+        return self.metrics.snapshot()
+
+    def _maybe_stats(self) -> None:
+        if self._next_stats is None or time.monotonic() < self._next_stats:
+            return
+        self._next_stats = time.monotonic() + self.stats_interval_s
+        self.stats_sink(
+            "-- brisk-ism stats " + "-" * 24 + "\n"
+            + render_snapshot(self.metrics_snapshot())
+        )
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
@@ -217,10 +295,15 @@ class IsmServer:
                     # "Come and gone" includes accepted connections whose
                     # Hello has not been read yet — they have come.
                     break
+                pump_hist = self._pump_hist
+                t0 = time.perf_counter_ns() if pump_hist is not None else 0
                 seen_connections += self._pump_connections()
                 self.manager.tick(now_micros())
+                if pump_hist is not None:
+                    pump_hist.observe((time.perf_counter_ns() - t0) / 1_000.0)
                 self._maybe_sync()
                 self._maybe_throttle()
+                self._maybe_stats()
             # Drain in-flight data, then flush the pipeline.  Peers are
             # told to stop only on an explicit stop() — a duration/record
             # bound may just be a phase boundary, with serve() called
@@ -453,6 +536,8 @@ class IsmServer:
         if conn in self._pending:
             self._pending.remove(conn)
         self.closed_connections += 1
+        self._closed_bytes += conn.bytes_received
+        self._closed_frames += conn.frames_received
         conn.close()
 
     # ------------------------------------------------------------------

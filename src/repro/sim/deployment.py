@@ -35,6 +35,9 @@ from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.records import EventRecord, FieldType
 from repro.core.ringbuffer import OverflowPolicy, RingBuffer, HEADER_SIZE
 from repro.core.sensor import Sensor
+from repro.obs.collect import wire_exs, wire_manager, wire_sensor
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.reporter import MetricsReporter
 from repro.sim.engine import Simulator
 from repro.sim.network import FaultInjector, LinkModel, LinkModelConfig
 from repro.wire import protocol
@@ -66,6 +69,11 @@ class DeploymentConfig:
     #: ISM a finite server so saturation/overload studies (the paper's E5
     #: bottleneck observation) can run in simulation.
     ism_service_time_us: float = 0.0
+    #: Self-observability reporting period (virtual µs); 0 disables.
+    #: When on, a registry is wired over the manager and every node, and
+    #: node 1's sensor emits the snapshots as BRISK event records through
+    #: the normal ring→EXS→ISM path (the IS monitoring itself).
+    metrics_interval_us: int = 0
 
     def __post_init__(self) -> None:
         if self.exs_poll_interval_us < 1 or self.ism_tick_interval_us < 1:
@@ -74,6 +82,8 @@ class DeploymentConfig:
             raise ValueError("sync_period_us must be positive")
         if self.ring_bytes < HEADER_SIZE + 64:
             raise ValueError("ring_bytes too small")
+        if self.metrics_interval_us < 0:
+            raise ValueError("metrics_interval_us must be non-negative")
 
 
 class SimNode:
@@ -232,6 +242,11 @@ class SimDeployment:
         #: Optional :class:`~repro.sim.network.FaultInjector` applied to
         #: every shipped batch; assign before (or during) the run.
         self.chaos = chaos
+        #: Self-observability registry (wired in :meth:`start` when the
+        #: config asks for it, or lazily by :meth:`metrics_snapshot`).
+        self.obs: MetricsRegistry | None = None
+        #: The dogfooding reporter, when metrics_interval_us > 0.
+        self.reporter: MetricsReporter | None = None
 
         sinks: list[Consumer] = list(consumers or [])
         self.ism = InstrumentationManager(config.ism, sinks)
@@ -333,6 +348,19 @@ class SimDeployment:
             self.sim.schedule_every(cfg.ism_tick_interval_us, self._ism_tick)
         )
 
+        if cfg.metrics_interval_us > 0 and self.nodes:
+            self._wire_observability()
+            self.reporter = MetricsReporter(
+                self.obs,
+                self.nodes[0].sensor,
+                interval_us=cfg.metrics_interval_us,
+            )
+            self._stops.append(
+                self.sim.schedule_every(
+                    cfg.metrics_interval_us, self._emit_metrics
+                )
+            )
+
     def run(self, duration_s: float) -> None:
         """Start (if needed) and run for *duration_s* simulated seconds."""
         if not self._started:
@@ -413,6 +441,30 @@ class SimDeployment:
             return
         self.sync_master.run_round()
         self.metrics.sync_rounds += 1
+
+    # ------------------------------------------------------------------
+    # self-observability
+    # ------------------------------------------------------------------
+    def _wire_observability(self) -> None:
+        if self.obs is not None:
+            return
+        registry = MetricsRegistry()
+        wire_manager(registry, self.ism)
+        for node in self.nodes:
+            prefix = f"node{node.node_id}"
+            wire_sensor(registry, node.sensor, prefix=f"{prefix}.sensor")
+            wire_exs(registry, node.exs, prefix=f"{prefix}.exs")
+        self.obs = registry
+
+    def _emit_metrics(self) -> None:
+        self.reporter.emit_now(self.sim.now)
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Current self-observability snapshot (wired lazily, so any
+        deployment — metrics interval configured or not — can be
+        inspected mid-run)."""
+        self._wire_observability()
+        return self.obs.snapshot()
 
     # ------------------------------------------------------------------
     # failure injection

@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--throttle-rate", type=float, default=None,
         help="enable auto-throttling toward this aggregate events/second",
     )
+    parser.add_argument(
+        "--stats-interval", type=float, default=None,
+        help="print a self-observability metrics table every N seconds",
+    )
     return parser
 
 
@@ -112,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         BriskSyncConfig() if args.sync_period > 0 else None
     )
     server = IsmServer(
-        manager, listener, sync_config, sync_period_s=args.sync_period or 5.0
+        manager, listener, sync_config, sync_period_s=args.sync_period or 5.0,
+        stats_interval_s=args.stats_interval,
     )
     if args.throttle_rate:
         from repro.runtime.throttle import AutoThrottle, ThrottleConfig
@@ -133,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         f"received {stats.records_received} records in "
         f"{stats.batches_received} batches from {len(manager.sources)} EXS; "
         f"delivered {stats.records_delivered}; "
-        f"sync rounds {server.sync_rounds_completed}",
+        f"sync rounds {int(server.sync_rounds_completed)}",
         flush=True,
     )
     return 0

@@ -1,0 +1,161 @@
+"""``brisk-stats``: render the instrumentation system's own metrics.
+
+Three modes::
+
+    # Watch a simulated deployment monitor itself: live metric tables at
+    # every reporting interval, then the snapshot decoded back from the
+    # self-emitted records that rode the pipeline.
+    brisk-stats sim --nodes 4 --duration 10 --rate 200
+
+    # Decode self-emitted metric records out of a PICL trace.
+    brisk-stats picl /tmp/run.picl
+
+    # Snapshot a live shared-memory output segment (brisk-ism --shm-out).
+    brisk-stats shm brisk-out-1234
+
+The ``sim`` mode doubles as the smoke proof for the observability layer:
+ring/EXS/sorter/CRE gauges move while the run progresses, and the metric
+records round-trip LIS→EXS→ISM→PICL like any application event.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.render import render_snapshot
+from repro.obs.reporter import (
+    METRICS_EVENT_ID,
+    scalars_snapshot,
+    snapshot_from_records,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="brisk-stats",
+        description="Render BRISK self-observability metrics.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    sim = sub.add_parser("sim", help="run a simulated deployment and watch it")
+    sim.add_argument("--nodes", type=int, default=4, help="LIS node count")
+    sim.add_argument(
+        "--duration", type=float, default=10.0, help="simulated seconds"
+    )
+    sim.add_argument(
+        "--rate", type=float, default=200.0, help="events/second per node"
+    )
+    sim.add_argument(
+        "--interval", type=float, default=1.0,
+        help="metrics reporting interval, simulated seconds",
+    )
+    sim.add_argument("--seed", type=int, default=7, help="simulation seed")
+    sim.add_argument(
+        "--quiet", action="store_true",
+        help="only print the final snapshot and round-trip check",
+    )
+
+    picl = sub.add_parser("picl", help="decode metric records from a trace")
+    picl.add_argument("path", help="PICL trace file")
+    picl.add_argument(
+        "--event-id", type=int, default=METRICS_EVENT_ID,
+        help="event id carried by metric records",
+    )
+
+    shm = sub.add_parser("shm", help="snapshot a shared output segment")
+    shm.add_argument("name", help="segment name (printed by brisk-ism)")
+    shm.add_argument(
+        "--event-id", type=int, default=METRICS_EVENT_ID,
+        help="event id carried by metric records",
+    )
+    return parser
+
+
+def _run_sim(args) -> int:
+    from repro.core.consumers import CollectingConsumer
+    from repro.sim.deployment import DeploymentConfig, SimDeployment
+    from repro.sim.engine import Simulator
+    from repro.sim.workload import PeriodicWorkload
+
+    sim = Simulator(seed=args.seed)
+    interval_us = max(1, round(args.interval * 1_000_000))
+    config = DeploymentConfig(metrics_interval_us=interval_us)
+    collected = CollectingConsumer()
+    deployment = SimDeployment(sim, config, consumers=[collected])
+    for node in deployment.add_nodes(args.nodes):
+        deployment.attach_workload(node, PeriodicWorkload(args.rate))
+    deployment.start()
+
+    slices = max(1, round(args.duration / args.interval))
+    for _ in range(slices):
+        deployment.run(args.interval)
+        if not args.quiet:
+            print(f"== t={sim.now / 1e6:.1f}s " + "=" * 30)
+            print(render_snapshot(deployment.metrics_snapshot()))
+    deployment.stop()
+
+    print("== final snapshot " + "=" * 26)
+    print(render_snapshot(deployment.metrics_snapshot()))
+    round_tripped = snapshot_from_records(collected.records)
+    print()
+    print(
+        f"== self-emitted metrics decoded from the delivered stream "
+        f"({deployment.reporter.emissions} emissions) =="
+    )
+    print(render_snapshot(scalars_snapshot(round_tripped)))
+    return 0 if round_tripped else 1
+
+
+def _run_picl(args) -> int:
+    from repro.picl.format import PiclReader, picl_to_record
+
+    with open(args.path, "r", encoding="ascii") as stream:
+        records = [
+            picl_to_record(r)
+            for r in PiclReader(stream, tolerate_torn_tail=True)
+        ]
+    scalars = snapshot_from_records(records, event_id=args.event_id)
+    if not scalars:
+        print(
+            f"no metric records (event id {args.event_id}) in {args.path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_snapshot(scalars_snapshot(scalars)))
+    return 0
+
+
+def _run_shm(args) -> int:
+    from repro.runtime.shm_consumer import SharedMemoryReader
+
+    reader = SharedMemoryReader(args.name)
+    try:
+        records = reader.drain()
+    finally:
+        reader.close()
+    scalars = snapshot_from_records(records, event_id=args.event_id)
+    if not scalars:
+        print(
+            f"no metric records (event id {args.event_id}) in segment "
+            f"{args.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_snapshot(scalars_snapshot(scalars)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.mode == "sim":
+        return _run_sim(args)
+    if args.mode == "picl":
+        return _run_picl(args)
+    return _run_shm(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

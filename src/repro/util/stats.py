@@ -61,6 +61,20 @@ class RunningStats:
         """Unbiased sample standard deviation."""
         return math.sqrt(self.variance)
 
+    def copy(self) -> "RunningStats":
+        """Return an independent accumulator with the same state.
+
+        Snapshots taken by the observability layer must not alias the
+        live accumulator a hot path keeps updating.
+        """
+        dup = RunningStats()
+        dup.count = self.count
+        dup._mean = self._mean
+        dup._m2 = self._m2
+        dup.minimum = self.minimum
+        dup.maximum = self.maximum
+        return dup
+
     def merge(self, other: "RunningStats") -> "RunningStats":
         """Return a new accumulator equivalent to seeing both sample sets."""
         merged = RunningStats()

@@ -70,6 +70,10 @@ class MessageConnection:
         #: Bytes sent/received, for the throughput benches.
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: Frames sent/received — with the byte counters these give the
+        #: observability layer mean frame sizes without touching payloads.
+        self.frames_sent = 0
+        self.frames_received = 0
 
     # ------------------------------------------------------------------
     def send(self, msg: protocol.Message, **batch_opts) -> None:
@@ -111,6 +115,7 @@ class MessageConnection:
                 joined = b"".join(bytes(p) for p in parts)
                 self._sock.sendall(memoryview(joined)[sent:])
         self.bytes_sent += total
+        self.frames_sent += len(payloads)
 
     # ------------------------------------------------------------------
     def recv_frames(
@@ -145,8 +150,10 @@ class MessageConnection:
                     return frames  # next call raises
                 raise ConnectionClosed("peer closed connection")
             self.bytes_received += n
+            before_frames = len(frames)
             try:
                 frames.extend(self._reader.feed_frames(self._rview[:n]))
+                self.frames_received += len(frames) - before_frames
             except XdrDecodeError:
                 if frames:
                     # Deliver what deframed cleanly; the poisoned reader

@@ -3,16 +3,52 @@
 from __future__ import annotations
 
 import random
+import time
+from typing import Any, Callable
 
 import pytest
 
 from repro.core.records import EventRecord, FieldType
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden conformance artifacts instead of comparing",
+    )
+
+
 @pytest.fixture
 def rng() -> random.Random:
     """A deterministic RNG; reseeded per test."""
     return random.Random(0xB215C)
+
+
+def wait_until(
+    predicate: Callable[[], Any],
+    timeout: float = 5.0,
+    interval: float = 0.005,
+    message: str | None = None,
+) -> Any:
+    """Poll *predicate* until it returns a truthy value, then return it.
+
+    The suite's replacement for fixed ``time.sleep`` waits on real
+    threads and processes: it converges as soon as the condition holds
+    (fast machines don't pay the worst case) and only fails after a
+    generous *timeout* (slow machines don't flake).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or f"condition not met within {timeout}s: {predicate}"
+            )
+        time.sleep(interval)
 
 
 def make_record(

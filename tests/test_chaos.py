@@ -30,6 +30,7 @@ from repro.sim import (
     Simulator,
 )
 from repro.util.timebase import now_micros
+from tests.conftest import wait_until
 from repro.wire.chaos import ChaosConfig, ChaosProxy
 from repro.wire.tcp import MessageListener
 
@@ -85,10 +86,7 @@ class TestChaosProxy:
             assert proxy.connections_proxied == 1
             # The shuttle threads update counters after forwarding; give
             # them a beat to record the 4 bytes up + 4 bytes back.
-            deadline = time.monotonic() + 5.0
-            while proxy.bytes_forwarded < 8 and time.monotonic() < deadline:
-                time.sleep(0.01)
-            assert proxy.bytes_forwarded >= 8
+            wait_until(lambda: proxy.bytes_forwarded >= 8)
         finally:
             proxy.stop()
             srv.close()
@@ -114,10 +112,7 @@ class TestChaosProxy:
                 pass
             assert len(got) <= 10
             client.close()
-            deadline = time.monotonic() + 5.0
-            while proxy.connections_cut == 0 and time.monotonic() < deadline:
-                time.sleep(0.01)
-            assert proxy.connections_cut == 1
+            wait_until(lambda: proxy.connections_cut == 1)
         finally:
             proxy.stop()
             srv.close()
@@ -293,10 +288,18 @@ class TestChaosExactlyOnce:
 
             # ISM crash: listener goes away mid-run, comes back on the
             # same port; the proxy keeps cutting throughout.
+            before_conn = int(runner.connections)
+            before_fail = int(runner.failed_attempts)
             listener.close()
             for k in range(n_phase, 2 * n_phase):
                 sensor.notice_ints(1, k)
-            time.sleep(0.05)
+            # The runner must actually experience the outage: either a
+            # reconnect attempt through the proxy dies against the closed
+            # upstream, or the connect itself is refused.
+            wait_until(
+                lambda: runner.connections > before_conn
+                or runner.failed_attempts > before_fail
+            )
             listener = MessageListener(host, port)
             proxy.upstream_port = port  # same port; explicit for clarity
             server = IsmServer(manager, listener)

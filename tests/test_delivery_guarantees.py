@@ -25,6 +25,7 @@ from repro.core.sensor import Sensor
 from repro.core.sorting import SorterConfig
 from repro.runtime.exs_proc import ExsOutbox, ExsProcess
 from repro.runtime.ism_proc import IsmServer
+from tests.conftest import wait_until
 from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import MessageListener, connect
@@ -284,12 +285,13 @@ class TestAckedSocketPath:
         # A "server" that reads nothing and never writes: the EXS must
         # give up on its own ack deadline rather than wait forever.
         accepted = []
+        release_server = threading.Event()
 
         def silent_server():
             conn = listener.accept(timeout=5.0)
             if conn is not None:
                 accepted.append(conn)
-                time.sleep(10.0)
+                release_server.wait(10.0)  # hung peer until the test ends
 
         server_thread = threading.Thread(target=silent_server, daemon=True)
         server_thread.start()
@@ -308,6 +310,8 @@ class TestAckedSocketPath:
         elapsed = time.monotonic() - t0
         assert elapsed < 5.0
         assert proc.outbox.unacked > 0  # nothing was ever acked
+        release_server.set()
+        server_thread.join(timeout=5)
         listener.close()
         for conn in accepted:
             conn.close()
@@ -344,7 +348,11 @@ class TestAckedSocketPath:
             # Hard restart on the same port; the manager (and its
             # watermark) survives, as in a warm ISM failover.
             listener.close()
-            time.sleep(0.05)
+            for conn in list(server.connections.values()):
+                conn.close()  # the crash takes the accepted sockets too
+            # Wait until the runner has noticed the outage: its reconnect
+            # attempt against the closed port fails.
+            wait_until(lambda: runner.failed_attempts >= 1)
             for k in range(150, 300):
                 sensor.notice_ints(1, k)
             listener = MessageListener(host, port)

@@ -1,0 +1,127 @@
+"""Golden-trace conformance: the full pipeline is byte-stable.
+
+A seeded simulated deployment — drifting clocks, BRISK sync, on-line
+sorting, CRE, self-observability reporting — must produce *exactly* the
+same PICL trace on every run, on every machine.  The golden artifact is
+checked in at ``tests/data/golden_pipeline.picl``; any change to wire
+framing, codec output, sorter policy, sync corrections, or the metrics
+reporter that alters delivered bytes shows up as a diff here, on purpose.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_pipeline.py \
+        --regen-golden
+
+and eyeball the diff before committing it.
+
+Determinism ground rules baked into the scenario:
+
+* ``decay_lambda=0`` — frame decay goes through ``math.exp``, the one
+  libm call in the delivery path; zero keeps platform ULP differences
+  out of the trace.
+* the metrics reporter runs on *virtual* time and the simulation wires
+  no stage timers, so no wall-clock quantity can leak into the records.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.core.consumers import CollectingConsumer, PiclFileConsumer
+from repro.core.ism import IsmConfig
+from repro.core.sorting import SorterConfig
+from repro.obs.reporter import is_metric_record, snapshot_from_records
+from repro.picl.format import PiclReader, TimestampMode, picl_to_record
+from repro.sim.deployment import DeploymentConfig, SimDeployment
+from repro.sim.engine import Simulator
+from repro.sim.workload import PeriodicWorkload
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_pipeline.picl"
+
+SEED = 0xB215C
+NODES = 3
+RATE_HZ = 120.0
+DURATION_S = 4.0
+
+
+def run_pipeline() -> tuple[str, list]:
+    """One deterministic end-to-end run; returns (picl_text, records)."""
+    sim = Simulator(seed=SEED)
+    config = DeploymentConfig(
+        ism=IsmConfig(sorter=SorterConfig(decay_lambda=0.0)),
+        metrics_interval_us=1_000_000,
+    )
+    stream = io.StringIO()
+    picl = PiclFileConsumer(stream, TimestampMode.UTC_MICROS, epoch_us=0)
+    collected = CollectingConsumer()
+    deployment = SimDeployment(sim, config, consumers=[picl, collected])
+    for node in deployment.add_nodes(NODES):
+        deployment.attach_workload(node, PeriodicWorkload(RATE_HZ))
+    deployment.start()
+    deployment.run(DURATION_S)
+    deployment.stop()
+    return stream.getvalue(), collected.records
+
+
+@pytest.fixture(scope="module")
+def pipeline_output():
+    return run_pipeline()
+
+
+class TestGoldenTrace:
+    def test_trace_matches_golden(self, pipeline_output, pytestconfig):
+        text, _ = pipeline_output
+        if pytestconfig.getoption("--regen-golden"):
+            GOLDEN_PATH.parent.mkdir(exist_ok=True)
+            GOLDEN_PATH.write_text(text, encoding="ascii")
+            pytest.skip(f"regenerated {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"golden trace missing; regenerate with --regen-golden"
+        )
+        golden = GOLDEN_PATH.read_text(encoding="ascii")
+        assert text == golden, (
+            "pipeline output diverged from the golden trace; if the "
+            "change is intentional, rerun with --regen-golden and "
+            "review the diff"
+        )
+
+    def test_run_is_reproducible_in_process(self, pipeline_output):
+        """Two runs in the same interpreter agree byte-for-byte."""
+        text, _ = pipeline_output
+        again, _ = run_pipeline()
+        assert text == again
+
+    def test_golden_trace_parses_completely(self, pipeline_output):
+        text, records = pipeline_output
+        parsed = PiclReader(io.StringIO(text)).read_all()
+        assert len(parsed) == len(records)
+        assert len(parsed) > NODES * RATE_HZ * DURATION_S * 0.9
+
+    def test_trace_is_time_sorted(self, pipeline_output):
+        text, _ = pipeline_output
+        ts = [r.timestamp for r in PiclReader(io.StringIO(text)).read_all()]
+        inversions = sum(1 for a, b in zip(ts, ts[1:]) if b < a)
+        assert inversions / len(ts) < 0.01
+
+    def test_metrics_round_trip_through_picl(self, pipeline_output):
+        """Self-emitted metrics survive the full path *and* PICL encoding."""
+        text, _ = pipeline_output
+        parsed = [
+            picl_to_record(r)
+            for r in PiclReader(io.StringIO(text)).read_all()
+        ]
+        metric_records = [r for r in parsed if is_metric_record(r)]
+        assert metric_records, "no self-observability records in the trace"
+        decoded = snapshot_from_records(parsed)
+        assert decoded["sorter.pushed"] > 0
+        assert decoded["cre.reason_table"] >= 0
+        for node in range(1, NODES + 1):
+            assert decoded[f"node{node}.sensor.emitted"] > 0
+
+    def test_all_nodes_represented(self, pipeline_output):
+        text, _ = pipeline_output
+        parsed = PiclReader(io.StringIO(text)).read_all()
+        assert {r.node for r in parsed} == set(range(1, NODES + 1))

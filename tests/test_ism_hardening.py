@@ -7,7 +7,7 @@ from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.sorting import SorterConfig
 from repro.wire import protocol
 
-from tests.conftest import make_record
+from tests.conftest import make_record, wait_until
 
 
 class FlakyConsumer:
@@ -161,8 +161,12 @@ class TestServerSocketHardening:
                 server._pump_connections()
                 if 1 in server.connections:
                     break
-            time.sleep(0.12)  # silent past the deadline
-            server._pump_connections()
+            # Stay silent; keep pumping until the deadline fires.
+            def idle_dropped():
+                server._pump_connections()
+                return server.idle_drops >= 1
+
+            wait_until(idle_dropped)
             assert server.idle_drops == 1
             assert 1 not in server.connections
         finally:
@@ -179,6 +183,8 @@ class TestServerSocketHardening:
         conn = tcp.connect(host, port)
         try:
             conn.send(protocol.Hello(exs_id=1, node_id=1))
+            # Pacing, not a synchronization wait: heartbeats every 20 ms
+            # hold the connection alive well past the 0.3 s deadline.
             deadline = time.monotonic() + 1.0
             while time.monotonic() < deadline:
                 conn.send(protocol.Heartbeat(exs_id=1))

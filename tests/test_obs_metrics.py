@@ -1,0 +1,367 @@
+"""The self-observability layer: instruments, registry, reporter, render."""
+
+import math
+
+import pytest
+
+from repro.core.records import FieldType
+from repro.core.ringbuffer import OverflowPolicy, RingBuffer
+from repro.core.sensor import Sensor
+from repro.obs.metrics import (
+    DEFAULT_US_EDGES,
+    Counter,
+    FixedHistogram,
+    Gauge,
+    MetricsRegistry,
+    MetricsSnapshot,
+    StageTimer,
+)
+from repro.obs.render import render_histogram, render_snapshot
+from repro.obs.reporter import (
+    METRICS_EVENT_ID,
+    MetricsReporter,
+    is_metric_record,
+    metric_from_record,
+    scalars_snapshot,
+    snapshot_from_records,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c == 0
+        c.inc()
+        c.inc(4)
+        assert c == 5
+
+    def test_int_like_surface(self):
+        """Existing ``+= 1`` / comparison call sites must keep working."""
+        c = Counter("x", 3)
+        c += 2
+        assert isinstance(c, Counter)  # __iadd__ mutates, never rebinds to int
+        assert int(c) == 5
+        assert c > 4 and c >= 5 and c < 6 and c <= 5 and c != 4
+        assert c + 1 == 6 and 1 + c == 6 and c - 2 == 3 and 7 - c == 2
+        assert list(range(c)) == [0, 1, 2, 3, 4]  # __index__
+
+    def test_identity_hash(self):
+        a, b = Counter("x", 1), Counter("x", 1)
+        assert len({a, b}) == 2
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("depth")
+        assert g.value == 0.0
+        g.set(7.5)
+        assert g.value == 7.5
+
+
+class TestFixedHistogram:
+    def test_bucket_assignment(self):
+        h = FixedHistogram("lat", edges=(10.0, 100.0))
+        for x in (5, 10, 50, 100, 500):
+            h.observe(x)
+        snap = h.snapshot()
+        # Buckets are half-open [edges[i], edges[i+1]).
+        assert snap.counts == (2,)
+        assert snap.underflow == 1
+        assert snap.overflow == 2
+        assert snap.count == 5
+        assert snap.maximum == 500
+
+    def test_edges_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            FixedHistogram("bad", edges=(10.0, 10.0))
+        with pytest.raises(ValueError):
+            FixedHistogram("bad", edges=(10.0,))
+
+    def test_merge_adds_buckets_and_stats(self):
+        a = FixedHistogram("lat", edges=DEFAULT_US_EDGES)
+        b = FixedHistogram("lat", edges=DEFAULT_US_EDGES)
+        xs, ys = [3, 18, 90, 20_000], [7, 44, 800_000]
+        for x in xs:
+            a.observe(x)
+        for y in ys:
+            b.observe(y)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.count == len(xs) + len(ys)
+        assert merged.maximum == 800_000
+        assert merged.mean == pytest.approx(
+            sum(xs + ys) / len(xs + ys)
+        )
+        assert sum(merged.counts) + merged.overflow + merged.underflow == 7
+
+    def test_merge_rejects_different_edges(self):
+        a = FixedHistogram("lat", edges=(1.0, 2.0)).snapshot()
+        b = FixedHistogram("lat", edges=(1.0, 3.0)).snapshot()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_snapshot_is_isolated_from_later_observes(self):
+        h = FixedHistogram("lat", edges=(10.0, 100.0))
+        h.observe(5)
+        snap = h.snapshot()
+        h.observe(50)
+        h.observe(1e6)
+        assert snap.count == 1
+        assert snap.maximum == 5
+
+
+class TestStageTimer:
+    def test_accumulates_busy_time(self):
+        timer = StageTimer(FixedHistogram("stage_us", DEFAULT_US_EDGES))
+        t0 = timer.start()
+        x = sum(range(1000))
+        timer.stop(t0)
+        assert x == 499500
+        assert timer.total_ns > 0
+        assert timer.hist.snapshot().count == 1
+
+
+class TestMetricsRegistry:
+    def test_instruments_idempotent_by_name(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+        assert r.timer("t") is r.timer("t")
+
+    def test_snapshot_scalars(self):
+        r = MetricsRegistry()
+        r.counter("dropped").inc(3)
+        r.gauge("depth").set(2.0)
+        r.gauge_fn("live", lambda: 9)
+        snap = r.snapshot()
+        values = dict(snap.scalars())
+        assert values["dropped"] == 3.0
+        assert values["depth"] == 2.0
+        assert values["live"] == 9.0
+        assert snap.get("dropped") == 3.0
+        assert "depth" in snap
+
+    def test_failing_gauge_fn_is_skipped(self):
+        r = MetricsRegistry()
+        r.counter("ok").inc()
+        r.gauge_fn("boom", lambda: 1 / 0)
+        snap = r.snapshot()
+        assert snap.get("ok") == 1.0
+        assert "boom" not in snap
+
+    def test_adopt_counter(self):
+        r = MetricsRegistry()
+        c = Counter("ext.count", 4)
+        r.adopt_counter(c)
+        assert r.snapshot().get("ext.count") == 4.0
+
+    def test_intrusion_fractions(self):
+        r = MetricsRegistry()
+        timer = r.timer("stage_us")
+        t0 = timer.start()
+        sum(range(10_000))
+        timer.stop(t0)
+        fractions = r.intrusion_fractions()
+        assert 0.0 < fractions["stage_us"] <= 1.0
+        # The snapshot publishes them with a .busy_fraction suffix.
+        assert "stage_us.busy_fraction" in r.snapshot()
+
+    def test_uptime_monotonic(self):
+        r = MetricsRegistry()
+        assert r.snapshot().uptime_s >= 0.0
+
+
+class TestSnapshotMerge:
+    def test_merge_sums_scalars_and_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(5)
+        b.counter("only_b").inc(1)
+        a.histogram("h").observe(10)
+        b.histogram("h").observe(30)
+        merged = a.snapshot().merge(b.snapshot())
+        assert merged.get("n") == 7.0
+        assert merged.get("only_b") == 1.0
+        assert merged.histograms["h"].count == 2
+        assert merged.histograms["h"].mean == pytest.approx(20.0)
+
+
+class TestReporterRoundTrip:
+    def _pipeline(self):
+        ring = RingBuffer(bytearray(64 * 1024), OverflowPolicy.DROP_NEW)
+        sensor = Sensor(ring, node_id=1, clock=lambda: 42)
+        return ring, sensor
+
+    def test_emits_metric_records_through_sensor(self):
+        ring, sensor = self._pipeline()
+        registry = MetricsRegistry()
+        registry.counter("stage.dropped").inc(3)
+        registry.gauge("queue.depth").set(2.0)
+        reporter = MetricsReporter(registry, sensor, interval_us=1_000_000)
+
+        assert reporter.maybe_emit(now=0)  # first call always fires
+        assert not reporter.maybe_emit(now=500_000)  # inside the interval
+        assert reporter.maybe_emit(now=1_000_000)
+        assert int(reporter.emissions) == 2
+
+        records = ring.drain()
+        assert records
+        assert all(is_metric_record(r) for r in records)
+        decoded = snapshot_from_records(records)
+        assert decoded["stage.dropped"] == 3.0
+        assert decoded["queue.depth"] == 2.0
+
+    def test_later_samples_win(self):
+        ring, sensor = self._pipeline()
+        registry = MetricsRegistry()
+        c = registry.counter("n")
+        reporter = MetricsReporter(registry, sensor)
+        c.inc(1)
+        reporter.emit_now(now=0)
+        c.inc(9)
+        reporter.emit_now(now=1)
+        assert snapshot_from_records(ring.drain())["n"] == 10.0
+
+    def test_non_metric_records_ignored(self):
+        ring, sensor = self._pipeline()
+        sensor.notice(7, (FieldType.X_INT, 1))
+        sensor.notice(
+            METRICS_EVENT_ID, (FieldType.X_INT, 1), (FieldType.X_INT, 2)
+        )  # right id, wrong field types
+        records = ring.drain()
+        assert not any(is_metric_record(r) for r in records)
+        assert snapshot_from_records(records) == {}
+
+    def test_metric_from_record(self):
+        ring, sensor = self._pipeline()
+        MetricsReporter(
+            scalars_registry({"a.b": 1.25}), sensor
+        ).emit_now(now=0)
+        (record,) = ring.drain()
+        assert metric_from_record(record) == ("a.b", 1.25)
+
+
+def scalars_registry(values):
+    registry = MetricsRegistry()
+    for name, value in values.items():
+        registry.gauge(name).set(value)
+    return registry
+
+
+class TestRender:
+    def test_render_snapshot_groups_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("ring.dropped").inc(2)
+        registry.gauge("ring.used_bytes").set(1024)
+        registry.counter("wire.bytes_sent").inc(5_000_000)
+        out = render_snapshot(registry.snapshot())
+        assert "ring" in out and "wire" in out
+        assert "1,024" in out
+        assert "5,000,000" in out
+
+    def test_render_histogram_bars(self):
+        h = FixedHistogram("lat_us", edges=(10.0, 100.0, 1000.0))
+        for x in (5, 50, 50, 500):
+            h.observe(x)
+        out = render_histogram("lat_us", h.snapshot())
+        assert "lat_us" in out
+        assert "n=4" in out
+
+    def test_scalars_snapshot_wraps_decoded_map(self):
+        snap = scalars_snapshot({"a": 1.0})
+        assert isinstance(snap, MetricsSnapshot)
+        assert snap.get("a") == 1.0
+
+
+class TestSimIntegration:
+    def test_sim_deployment_self_observes(self):
+        from repro.core.consumers import CollectingConsumer
+        from repro.sim.deployment import DeploymentConfig, SimDeployment
+        from repro.sim.engine import Simulator
+        from repro.sim.workload import PeriodicWorkload
+
+        sim = Simulator(seed=3)
+        collected = CollectingConsumer()
+        dep = SimDeployment(
+            sim,
+            DeploymentConfig(metrics_interval_us=1_000_000),
+            consumers=[collected],
+        )
+        for node in dep.add_nodes(2):
+            dep.attach_workload(node, PeriodicWorkload(100.0))
+        dep.start()
+        dep.run(3.0)
+        dep.stop()
+
+        snap = dep.metrics_snapshot()
+        assert snap.get("sorter.pushed") > 0
+        assert snap.get("node1.sensor.emitted") > 0
+        assert snap.get("node1.exs.ring.capacity_bytes") > 0
+        assert snap.get("cre.reason_table") is not None
+
+        decoded = snapshot_from_records(collected.records)
+        assert decoded, "self-emitted metrics must ride the pipeline"
+        assert decoded["sorter.pushed"] > 0
+        # Application records and metric records coexist in the stream.
+        assert any(not is_metric_record(r) for r in collected.records)
+
+    def test_sim_metrics_deterministic(self):
+        from repro.core.consumers import CollectingConsumer
+        from repro.sim.deployment import DeploymentConfig, SimDeployment
+        from repro.sim.engine import Simulator
+        from repro.sim.workload import PeriodicWorkload
+
+        def run_once():
+            sim = Simulator(seed=11)
+            collected = CollectingConsumer()
+            dep = SimDeployment(
+                sim,
+                DeploymentConfig(metrics_interval_us=500_000),
+                consumers=[collected],
+            )
+            for node in dep.add_nodes(2):
+                dep.attach_workload(node, PeriodicWorkload(150.0))
+            dep.start()
+            dep.run(2.0)
+            dep.stop()
+            return sorted(
+                snapshot_from_records(collected.records).items()
+            )
+
+        assert run_once() == run_once()
+
+
+class TestIsmStatsEndpoint:
+    def test_metrics_snapshot_lazily_wires(self):
+        from repro.core.ism import InstrumentationManager
+        from repro.runtime.ism_proc import IsmServer
+        from repro.wire.tcp import MessageListener
+
+        listener = MessageListener("127.0.0.1", 0)
+        try:
+            server = IsmServer(InstrumentationManager(), listener)
+            snap = server.metrics_snapshot()
+            assert snap.get("wire.connections") == 0.0
+            assert snap.get("ism.records_received") == 0.0
+            assert "sorter.held" in snap
+        finally:
+            listener.close()
+
+    def test_stats_interval_validation(self):
+        from repro.core.ism import InstrumentationManager
+        from repro.runtime.ism_proc import IsmServer
+        from repro.wire.tcp import MessageListener
+
+        listener = MessageListener("127.0.0.1", 0)
+        try:
+            with pytest.raises(ValueError):
+                IsmServer(
+                    InstrumentationManager(), listener, stats_interval_s=0
+                )
+        finally:
+            listener.close()

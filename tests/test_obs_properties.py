@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the self-observability layer.
+
+Three invariant families the metrics subsystem's correctness rests on:
+
+* **parallel Welford** — ``RunningStats.merge`` over an arbitrary split of
+  a sample stream agrees with single-stream accumulation (count exactly;
+  mean/M2 to floating-point tolerance);
+* **histogram merge** — associative and commutative, with sample
+  conservation (every observation lands in exactly one bin, under- and
+  overflow included);
+* **counter/snapshot monotonicity** — counters never go down, and
+  successive registry snapshots observe non-decreasing values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import Counter, FixedHistogram, MetricsRegistry
+from repro.util.stats import RunningStats
+
+# Finite, sane-magnitude floats: the instruments measure real quantities
+# (microseconds, bytes, depths), not denormals or 1e300 outliers.
+samples = st.lists(
+    st.floats(
+        min_value=-1e9,
+        max_value=1e9,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    max_size=200,
+)
+
+edge_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=2,
+    max_size=12,
+    unique=True,
+).map(lambda xs: tuple(sorted(xs)))
+
+
+def stats_of(xs):
+    acc = RunningStats()
+    acc.extend(xs)
+    return acc
+
+
+def assert_stats_equal(a: RunningStats, b: RunningStats) -> None:
+    assert a.count == b.count
+    assert math.isclose(a.mean, b.mean, rel_tol=1e-9, abs_tol=1e-6)
+    # M2 (hence variance) accumulates rounding differently per order;
+    # allow a tolerance scaled to the magnitude of the samples.
+    assert math.isclose(a.variance, b.variance, rel_tol=1e-6, abs_tol=1e-3)
+    if a.count:
+        assert a.minimum == b.minimum
+        assert a.maximum == b.maximum
+
+
+class TestRunningStatsMerge:
+    @given(xs=samples, split=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=200)
+    def test_merge_equals_single_stream(self, xs, split):
+        split = min(split, len(xs))
+        merged = stats_of(xs[:split]).merge(stats_of(xs[split:]))
+        assert_stats_equal(merged, stats_of(xs))
+
+    @given(xs=samples, ys=samples)
+    def test_merge_commutes(self, xs, ys):
+        a, b = stats_of(xs), stats_of(ys)
+        assert_stats_equal(a.merge(b), b.merge(a))
+
+    @given(xs=samples, ys=samples, zs=samples)
+    def test_merge_associates(self, xs, ys, zs):
+        a, b, c = stats_of(xs), stats_of(ys), stats_of(zs)
+        assert_stats_equal(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+    @given(xs=samples)
+    def test_merge_with_empty_is_identity(self, xs):
+        a = stats_of(xs)
+        assert_stats_equal(a.merge(RunningStats()), a)
+        assert_stats_equal(RunningStats().merge(a), a)
+
+
+def hist_of(edges, xs):
+    h = FixedHistogram("h", edges)
+    for x in xs:
+        h.observe(x)
+    return h.snapshot()
+
+
+class TestHistogramMerge:
+    @given(edges=edge_lists, xs=samples, ys=samples, zs=samples)
+    @settings(max_examples=100)
+    def test_merge_associates(self, edges, xs, ys, zs):
+        a, b, c = (hist_of(edges, s) for s in (xs, ys, zs))
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.counts == right.counts
+        assert left.underflow == right.underflow
+        assert left.overflow == right.overflow
+        assert_stats_equal(left.stats, right.stats)
+
+    @given(edges=edge_lists, xs=samples, ys=samples)
+    def test_merge_commutes(self, edges, xs, ys):
+        a, b = hist_of(edges, xs), hist_of(edges, ys)
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.counts == ba.counts
+        assert ab.underflow == ba.underflow
+        assert ab.overflow == ba.overflow
+        assert_stats_equal(ab.stats, ba.stats)
+
+    @given(edges=edge_lists, xs=samples, ys=samples)
+    def test_merge_conserves_samples(self, edges, xs, ys):
+        merged = hist_of(edges, xs).merge(hist_of(edges, ys))
+        binned = sum(merged.counts) + merged.underflow + merged.overflow
+        assert binned == len(xs) + len(ys)
+        assert merged.count == len(xs) + len(ys)
+
+    @given(edges=edge_lists, xs=samples)
+    def test_every_sample_lands_in_exactly_one_bin(self, edges, xs):
+        snap = hist_of(edges, xs)
+        assert sum(snap.counts) + snap.underflow + snap.overflow == len(xs)
+        assert snap.count == len(xs)
+
+
+class TestCounterMonotonicity:
+    @given(increments=st.lists(st.integers(min_value=0, max_value=10**6)))
+    def test_counter_never_decreases(self, increments):
+        c = Counter("n")
+        seen = 0
+        for n in increments:
+            c.inc(n)
+            assert c.value >= seen
+            seen = c.value
+        assert c.value == sum(increments)
+
+    @given(
+        increments=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            max_size=50,
+        )
+    )
+    def test_snapshot_sequence_is_monotone(self, increments):
+        registry = MetricsRegistry()
+        previous: dict[str, float] = {}
+        for name, n in increments:
+            registry.counter(name).inc(n)
+            snap = registry.snapshot()
+            for key, floor in previous.items():
+                assert snap.get(key, 0.0) >= floor
+            previous = {k: snap.get(k) for k in ("a", "b", "c") if k in snap}
+        final = registry.snapshot()
+        totals: dict[str, int] = {}
+        for name, n in increments:
+            totals[name] = totals.get(name, 0) + n
+        for name, total in totals.items():
+            assert final.get(name) == float(total)

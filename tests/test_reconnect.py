@@ -17,6 +17,8 @@ from repro.wire.tcp import MessageListener
 
 import pytest
 
+from tests.conftest import wait_until
+
 
 def make_lis():
     ring = ring_for_records(50_000)
@@ -64,7 +66,9 @@ class TestReconnectingExs:
             # connections by letting the server object go; reopen on the
             # SAME port so the EXS's retry loop can find it again.
             listener.close()
-            time.sleep(0.1)
+            # Wait for the runner to notice the dead connection: its
+            # first reconnect attempt against the closed port fails.
+            wait_until(lambda: runner.failed_attempts >= 1)
             # Records written during the outage buffer in the ring.
             for k in range(100, 200):
                 sensor.notice_ints(1, k)
@@ -103,7 +107,8 @@ class TestReconnectingExs:
         )
         thread = threading.Thread(target=runner.run, daemon=True)
         thread.start()
-        time.sleep(0.1)
+        # Ensure the runner is inside its retry loop before stopping it.
+        wait_until(lambda: runner.failed_attempts >= 1)
         runner.stop()
         thread.join(timeout=5)
         assert not thread.is_alive()

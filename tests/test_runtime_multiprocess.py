@@ -152,6 +152,9 @@ class TestMultiProcess:
             # (admission watermark + consumer) survives as warm state, a
             # fresh server comes back on the same port.
             listener.close()
+            # Deliberate outage window (not a synchronization wait): the
+            # port stays closed long enough that the EXS process actually
+            # experiences the crash and exercises its reconnect path.
             time.sleep(0.1)
             listener = MessageListener(host, port)
             server = IsmServer(manager, listener)

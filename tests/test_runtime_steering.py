@@ -13,6 +13,7 @@ from repro.core.sorting import SorterConfig
 from repro.runtime import ExsProcess, IsmServer, create_shared_ring
 from repro.util.timebase import now_micros
 from repro.wire.tcp import MessageListener, connect
+from tests.conftest import wait_until
 
 
 class TestLiveFilterSteering:
@@ -46,10 +47,7 @@ class TestLiveFilterSteering:
             # Steer: drop event 2 at the source.
             assert server.set_filter(1, FilterSpec(blocked_events={2}))
             # Give the EXS a moment to apply the control message.
-            deadline = time.monotonic() + 5.0
-            while exs.filter is None and time.monotonic() < deadline:
-                time.sleep(0.005)
-            assert exs.filter is not None
+            wait_until(lambda: exs.filter is not None)
 
             # Phase 2: only event 1 should arrive.
             for k in range(200):
@@ -84,10 +82,7 @@ class TestLiveFilterSteering:
         try:
             server_thread.start()
             exs_thread.start()
-            deadline = time.monotonic() + 5.0
-            while not server.connections and time.monotonic() < deadline:
-                time.sleep(0.01)
-            assert server.connections
+            wait_until(lambda: server.connections)
             server.stop()
             server_thread.join(timeout=10)
             # The Bye reaches the EXS loop and stops it — no local stop().

@@ -13,7 +13,20 @@ from repro.tools import ism_cli, replay_cli, trace_stats_cli
 from repro.wire import protocol
 from repro.wire.tcp import connect
 
-from tests.conftest import make_record
+from tests.conftest import make_record, wait_until
+
+
+def announced_port(capsys) -> int:
+    """Wait for brisk-ism to print its bound port and return it."""
+    found: dict[str, int] = {}
+
+    def scan():
+        for line in capsys.readouterr().out.splitlines():
+            if line.startswith("brisk-ism listening on"):
+                found["port"] = int(line.rsplit(":", 1)[1])
+        return found.get("port")
+
+    return wait_until(scan, timeout=10, message="server never announced its port")
 
 
 @pytest.fixture
@@ -120,15 +133,7 @@ class TestIsmCliShmOut:
 
         thread = threading.Thread(target=run_server, daemon=True)
         thread.start()
-        port = None
-        deadline = time.time() + 10
-        while port is None and time.time() < deadline:
-            out = capsys.readouterr().out
-            for line in out.splitlines():
-                if line.startswith("brisk-ism listening on"):
-                    port = int(line.rsplit(":", 1)[1])
-            time.sleep(0.05)
-        assert port is not None
+        port = announced_port(capsys)
 
         reader = SharedMemoryReader("brisk_test_out")
         try:
@@ -165,16 +170,7 @@ class TestIsmCli:
 
         thread = threading.Thread(target=run_server, daemon=True)
         thread.start()
-        # Parse the announced port from stdout.
-        port = None
-        deadline = time.time() + 10
-        while port is None and time.time() < deadline:
-            out = capsys.readouterr().out
-            for line in out.splitlines():
-                if line.startswith("brisk-ism listening on"):
-                    port = int(line.rsplit(":", 1)[1])
-            time.sleep(0.05)
-        assert port is not None, "server never announced its port"
+        port = announced_port(capsys)
 
         conn = connect("127.0.0.1", port)
         conn.send(protocol.Hello(exs_id=1, node_id=1))
