@@ -12,7 +12,7 @@ runs by construction) do not pollute the comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.statistics import gap_statistics
 from repro.analysis.trace import Trace

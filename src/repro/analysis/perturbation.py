@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from repro.analysis.trace import Trace
 from repro.core.records import FieldType, RecordSchema
-from repro.core.ringbuffer import OverflowPolicy, RingBuffer, HEADER_SIZE
+from repro.core.ringbuffer import HEADER_SIZE, OverflowPolicy, RingBuffer
 from repro.core.sensor import Sensor, compile_notice
 
 
@@ -69,10 +69,14 @@ def estimate_intrusion(
         values = tuple(range(n_fields))
         if specialized:
             fast = compile_notice(RecordSchema((FieldType.X_INT,) * n_fields))
-            call = lambda: fast(sensor, 1, *values)
+
+            def call() -> None:
+                fast(sensor, 1, *values)
         else:
             fields = tuple((FieldType.X_INT, v) for v in values)
-            call = lambda: sensor.notice(1, *fields)
+
+            def call() -> None:
+                sensor.notice(1, *fields)
         call()  # warm the path
         t0 = time.perf_counter()
         for _ in range(samples):

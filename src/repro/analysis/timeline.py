@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.statistics import rate_series
 from repro.analysis.trace import Trace
 
 #: Intensity ramp for the heatmap (space = idle).

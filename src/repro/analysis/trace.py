@@ -15,7 +15,7 @@ Queries return new :class:`Trace` objects so analyses compose:
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Iterable, Iterator, Sequence, TextIO
+from typing import Callable, Iterable, Iterator, TextIO
 
 from repro.core import native
 from repro.core.records import EventRecord

@@ -14,12 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.clocksync.probes import (
-    ProbeSample,
-    ProbeStrategy,
-    SyncSlave,
-    probe_best_of,
-)
+from repro.clocksync.probes import ProbeSample, ProbeStrategy, SyncSlave, probe_best_of
 
 
 @dataclass

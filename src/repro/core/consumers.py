@@ -27,12 +27,7 @@ from typing import Callable, Iterable, Protocol, Sequence, TextIO, runtime_check
 
 from repro.core import native
 from repro.core.records import EventRecord
-from repro.picl.format import (
-    PiclWriter,
-    TimestampMode,
-    picl_to_line,
-    record_to_picl,
-)
+from repro.picl.format import PiclWriter, TimestampMode, picl_to_line, record_to_picl
 
 
 @runtime_checkable

@@ -17,7 +17,7 @@ a rare event is not starved by a chatty one sharing the stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.records import EventRecord
 

@@ -17,7 +17,7 @@ Type codes fit in four bits, which is what makes the transfer protocol's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Any, Iterator, Sequence
 

@@ -1,0 +1,52 @@
+"""brisk-lint: AST-based invariant checking for this repository.
+
+The last several PRs each hand-established an invariant the codebase now
+silently depends on — byte-identical codec fast paths, select-loop pump
+discipline, no-swallowed-errors delivery, and a wall-clock-free
+deterministic simulation that a golden PICL trace is byte-stable against.
+``brisk-lint`` machine-checks those contracts on every commit: it parses
+the source tree once into ASTs and runs pluggable project-specific
+checkers over it.
+
+Rule families (see ``docs/static-analysis.md`` for the full catalogue):
+
+=========  =============================================================
+``BRK0xx``  pragma hygiene (malformed / reason-less / unused pragmas)
+``BRK1xx``  wire conformance (encode/decode symmetry, type-id registry,
+            trailing-word-only extensions)
+``BRK2xx``  determinism (no wall clock / ambient randomness in the
+            simulation-reachable zone)
+``BRK3xx``  select-loop pump discipline (no blocking calls in pumps)
+``BRK4xx``  exception hygiene (no silently swallowed broad excepts)
+``BRK5xx``  instrument registration (every obs instrument registered,
+            metric names consistent)
+=========  =============================================================
+
+Findings are suppressed either by an inline pragma with a reason::
+
+    something_flagged()  # brisk-lint: disable=BRK401 (why it is fine)
+
+or by an entry in the checked-in ``lint-baseline.toml``; ``--fail-on-new``
+(the CI mode) fails only on findings in neither.
+"""
+
+from repro.lint.engine import (
+    Checker,
+    Finding,
+    SourceFile,
+    SourceTree,
+    load_tree,
+)
+from repro.lint.checkers import all_checkers
+from repro.lint.runner import LintResult, run_lint
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintResult",
+    "SourceFile",
+    "SourceTree",
+    "all_checkers",
+    "load_tree",
+    "run_lint",
+]

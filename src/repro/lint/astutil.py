@@ -1,0 +1,105 @@
+"""Shared AST helpers for brisk-lint checkers.
+
+The workhorse is :class:`ImportMap`: it resolves local names back to the
+qualified names they were imported as, so a checker banning
+``time.monotonic`` also catches ``from time import monotonic as mono``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "ImportMap",
+    "dotted_name",
+    "walk_functions",
+    "calls_in",
+    "enclosing_function_names",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias → qualified name, from a module's import statements.
+
+    ``import time`` maps ``time`` → ``time``; ``import numpy as np`` maps
+    ``np`` → ``numpy``; ``from time import monotonic as mono`` maps
+    ``mono`` → ``time.monotonic``.  :meth:`resolve` then expands a
+    reference like ``np.random.default_rng`` to its fully qualified
+    spelling.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Qualified name a Name/Attribute reference points at, or None."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self._aliases.get(head)
+        if base is None:
+            return dotted  # not imported: already as qualified as it gets
+        return f"{base}.{rest}" if rest else base
+
+
+def walk_functions(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in the module, any nesting."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call expression under *node* (inclusive)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def enclosing_function_names(tree: ast.AST) -> dict[int, str]:
+    """Map each statement line to the name of its innermost function.
+
+    Built once per file; checkers use it to phrase findings
+    ("in ``_pump_connections``") without re-walking the AST.
+    """
+    out: dict[int, str] = {}
+
+    def visit(node: ast.AST, current: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child.name)
+            else:
+                if hasattr(child, "lineno"):
+                    out.setdefault(child.lineno, current)
+                visit(child, current)
+
+    visit(tree, "<module>")
+    return out

@@ -1,0 +1,95 @@
+"""Baseline file handling: let the tree start clean, gate what is new.
+
+The baseline (``lint-baseline.toml``) records accepted pre-existing
+findings by *fingerprint* — a hash of the rule, the file, and the text of
+the flagged line — so pure line drift (code inserted above) does not
+un-baseline an entry, while editing the flagged line itself does, forcing
+a fresh look.  ``--fail-on-new`` fails only on findings not in the
+baseline; ``--write-baseline`` regenerates it.
+
+Read via :mod:`tomllib`; written with a purpose-built emitter (the
+stdlib has no TOML writer and this repo adds no dependencies).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.lint.engine import Finding
+
+__all__ = ["BaselineEntry", "load_baseline", "write_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    rule: str
+    path: str
+    line: int          #: informational; fingerprints, not lines, match
+    reason: str = ""
+
+
+def load_baseline(path: Path) -> dict[str, BaselineEntry]:
+    """fingerprint → entry; an absent file is an empty baseline."""
+    if not path.exists():
+        return {}
+    data = tomllib.loads(path.read_text(encoding="utf-8"))
+    out: dict[str, BaselineEntry] = {}
+    for raw in data.get("finding", []):
+        entry = BaselineEntry(
+            fingerprint=str(raw["fingerprint"]),
+            rule=str(raw["rule"]),
+            path=str(raw["path"]),
+            line=int(raw.get("line", 0)),
+            reason=str(raw.get("reason", "")),
+        )
+        out[entry.fingerprint] = entry
+    return out
+
+
+def _toml_str(value: str) -> str:
+    escaped = (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+    return f'"{escaped}"'
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[tuple[Finding, str]],
+    reasons: Mapping[str, str] | None = None,
+) -> int:
+    """Write ``(finding, fingerprint)`` pairs; returns entries written.
+
+    *reasons* maps fingerprints to justification strings; entries from a
+    previous baseline keep their reasons across a regeneration.
+    """
+    reasons = reasons or {}
+    entries = sorted(
+        {fp: f for f, fp in findings}.items(),
+        key=lambda item: (item[1].path, item[1].line, item[1].rule),
+    )
+    lines = [
+        "# brisk-lint baseline: accepted pre-existing findings, by fingerprint.",
+        "# Regenerate with `python -m repro.lint --write-baseline`; entries",
+        "# disappear automatically when the underlying finding is fixed.",
+        "",
+    ]
+    for fingerprint, finding in entries:
+        lines.append("[[finding]]")
+        lines.append(f"fingerprint = {_toml_str(fingerprint)}")
+        lines.append(f"rule = {_toml_str(finding.rule)}")
+        lines.append(f"path = {_toml_str(finding.path)}")
+        lines.append(f"line = {finding.line}")
+        reason = reasons.get(fingerprint, "")
+        if reason:
+            lines.append(f"reason = {_toml_str(reason)}")
+        lines.append("")
+    path.write_text("\n".join(lines), encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,137 @@
+"""BRK4xx — exception hygiene: no silently swallowed broad excepts.
+
+The delivery-guarantees work fixed a bug class where a broad ``except``
+discarded the error entirely (``QueuedConsumer.close`` dropping pending
+sink errors).  The contract since then: a handler that catches *broadly*
+(bare ``except:``, ``except Exception``, ``except BaseException``) must
+leave evidence — re-raise, log, or count the error on something — before
+moving on.  Narrow handlers (``except OSError``) are out of scope: they
+document exactly which failure is expected and are routinely used for
+"peer went away" paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.astutil import ImportMap, dotted_name
+from repro.lint.engine import Checker, Finding, SourceFile, SourceTree
+
+__all__ = ["ExceptionHygieneChecker"]
+
+_BROAD = {"Exception", "BaseException"}
+_LOGGING_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+}
+#: Call names that count as recording the failure.
+_RECORDING_METHODS = _LOGGING_METHODS | {"inc", "observe", "print"}
+
+
+def _is_broad(handler: ast.ExceptHandler, imports: ImportMap) -> str | None:
+    """The broad exception name this handler catches, or None."""
+    if handler.type is None:
+        return "bare except"
+    types: list[ast.expr]
+    if isinstance(handler.type, ast.Tuple):
+        types = list(handler.type.elts)
+    else:
+        types = [handler.type]
+    for node in types:
+        qual = imports.resolve(node) or dotted_name(node) or ""
+        leaf = qual.rsplit(".", 1)[-1]
+        if leaf in _BROAD:
+            return leaf
+    return None
+
+
+def _handler_leaves_evidence(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises, logs, or counts the error.
+
+    Accepted evidence, anywhere in the handler body:
+
+    * ``raise`` (re-raise or translate);
+    * a call to a logging-shaped method (``.warning()``, ``logger.error()``,
+      ``log()``, ``print()``, ...) or to ``.inc()`` / ``.observe()``;
+    * a counting write: ``x += n`` or an assignment whose value contains
+      an addition (the ``count = strikes.get(k, 0) + 1`` idiom);
+    * any use of the bound exception name (``except ... as exc`` where
+      ``exc`` is referenced: stored, appended, chained — the error object
+      demonstrably went *somewhere*).
+    """
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+            return True
+        if isinstance(node, (ast.Assign, ast.AnnAssign)) and node.value is not None:
+            if any(
+                isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Add)
+                for sub in ast.walk(node.value)
+            ):
+                return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in _RECORDING_METHODS or leaf.startswith("log"):
+                return True
+        if bound and isinstance(node, ast.Name) and node.id == bound:
+            if isinstance(node.ctx, ast.Load):
+                return True
+    return False
+
+
+class ExceptionHygieneChecker(Checker):
+    name = "exception-hygiene"
+    rules = {
+        "BRK401": "broad except swallows the error without logging or counting",
+        "BRK402": "bare except: catches everything, including KeyboardInterrupt",
+    }
+
+    def check(self, tree: SourceTree) -> Iterable[Finding]:
+        for source_file in tree:
+            if source_file.tree is None:
+                continue
+            yield from self._check_file(source_file)
+
+    def _check_file(self, source_file: SourceFile) -> Iterator[Finding]:
+        imports = ImportMap(source_file.tree)
+        for node in ast.walk(source_file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _is_broad(node, imports)
+            if broad is None:
+                continue
+            if broad == "bare except":
+                yield Finding(
+                    rule="BRK402",
+                    path=source_file.rel_path,
+                    line=node.lineno,
+                    message="bare 'except:' also catches KeyboardInterrupt/SystemExit",
+                    hint="catch Exception (and log or count it), or a narrower type",
+                )
+                continue
+            if _handler_leaves_evidence(node):
+                continue
+            yield Finding(
+                rule="BRK401",
+                path=source_file.rel_path,
+                line=node.lineno,
+                message=(
+                    f"'except {broad}' discards the error without logging "
+                    "or counting it"
+                ),
+                hint=(
+                    "increment a metrics Counter, log the exception, or "
+                    "re-raise; a deliberate swallow needs "
+                    "'# brisk-lint: disable=BRK401 (reason)'"
+                ),
+            )

@@ -1,0 +1,198 @@
+"""BRK5xx — instrument registration: every obs instrument is reachable.
+
+The self-observability layer only earns its keep if every instrument a
+stage constructs actually shows up in a :class:`~repro.obs.metrics.
+MetricsRegistry` snapshot.  Two decidable contracts:
+
+* **BRK501** — a ``Counter``/``Gauge``/``FixedHistogram`` constructed
+  directly (outside ``repro/obs`` itself) must have **registration
+  evidence** somewhere in the tree: the attribute it is assigned to is
+  either passed to ``adopt_counter(...)`` or read inside a
+  ``gauge_fn(...)`` closure (the ``collect.wire_*`` idiom).  An
+  instrument nobody wires is dark data.
+* **BRK502** — a statically-known metric name must be constructed with a
+  **string-literal** first argument (auditable namespace), and one name
+  must not be claimed by two different instrument kinds (a ``counter``
+  and a ``gauge_fn`` fighting over ``ism.foo`` would make merged
+  snapshots silently additive-vs-sampled nonsense).
+
+Instruments obtained *from* a registry (``registry.counter(...)``,
+``.gauge``/``.histogram``/``.timer``) are registered by construction and
+only participate in the name-collision check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import Checker, Finding, SourceTree
+
+__all__ = ["InstrumentRegistrationChecker"]
+
+_DIRECT_CTORS = {"Counter", "Gauge", "FixedHistogram"}
+_REGISTRY_FACTORIES = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "histogram",
+    "timer": "histogram",     # a timer wraps a histogram of the same name
+    "gauge_fn": "gauge",
+}
+#: Files whose constructions are definitionally fine (the obs layer
+#: itself, where instruments are built *by* the registry).
+_EXEMPT_PREFIXES = ("src/repro/obs/", "src/repro/lint/")
+
+
+def _literal_name(call: ast.Call) -> str | None:
+    """The instrument name if it is a plain string literal or an f-string
+    whose placeholders we can't fold (returns None for the latter)."""
+    if call.args:
+        arg = call.args[0]
+    else:
+        named = [k for k in call.keywords if k.arg == "name"]
+        if not named:
+            return None
+        arg = named[0].value
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    return None
+
+
+def _is_name_literalish(call: ast.Call) -> bool:
+    """Literal, f-string, or name-variable first argument all count as an
+    intentional name; only a *missing* name argument is flagged."""
+    return bool(call.args) or any(k.arg == "name" for k in call.keywords)
+
+
+class InstrumentRegistrationChecker(Checker):
+    name = "instrument-registration"
+    rules = {
+        "BRK501": "directly constructed instrument never registered on a registry",
+        "BRK502": "metric name collides across instrument kinds or is not a literal",
+    }
+
+    def check(self, tree: SourceTree) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        # Pass 1 — registration evidence: attribute names that reach a
+        # registry anywhere in the tree.
+        adopted_attrs: set[str] = set()       # adopt_counter(x.attr)
+        gauge_read_attrs: set[str] = set()    # attrs read inside gauge_fn lambdas
+        for source_file in tree:
+            if source_file.tree is None:
+                continue
+            for node in ast.walk(source_file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                leaf = (dotted_name(node.func) or "").rsplit(".", 1)[-1]
+                if leaf == "adopt_counter":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Attribute):
+                            adopted_attrs.add(arg.attr)
+                elif leaf == "gauge_fn":
+                    for arg in [*node.args[1:], *[k.value for k in node.keywords]]:
+                        for sub in ast.walk(arg):
+                            if isinstance(sub, ast.Attribute):
+                                gauge_read_attrs.add(sub.attr)
+        evidence = adopted_attrs | gauge_read_attrs
+
+        # Pass 2 — direct constructions + name bookkeeping.
+        #: name → (kind, rel_path, line) of first claim
+        claims: dict[str, tuple[str, str, int]] = {}
+        for source_file in tree:
+            if source_file.tree is None:
+                continue
+            exempt = source_file.rel_path.startswith(_EXEMPT_PREFIXES)
+            for node in ast.walk(source_file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func_name = dotted_name(node.func) or ""
+                leaf = func_name.rsplit(".", 1)[-1]
+                if leaf in _DIRECT_CTORS and not exempt:
+                    findings.extend(
+                        self._check_direct(source_file, node, leaf, evidence)
+                    )
+                    kind = leaf.lower().replace("fixedhistogram", "histogram")
+                elif leaf in _REGISTRY_FACTORIES and "." in func_name:
+                    kind = _REGISTRY_FACTORIES[leaf]
+                else:
+                    continue
+                name = _literal_name(node)
+                if name is None:
+                    continue
+                prior = claims.get(name)
+                if prior is None:
+                    claims[name] = (kind, source_file.rel_path, node.lineno)
+                elif prior[0] != kind:
+                    findings.append(
+                        Finding(
+                            rule="BRK502",
+                            path=source_file.rel_path,
+                            line=node.lineno,
+                            message=(
+                                f"metric {name!r} is a {kind} here but a "
+                                f"{prior[0]} at {prior[1]}:{prior[2]}"
+                            ),
+                            hint="one name, one instrument kind — rename one side",
+                        )
+                    )
+        return findings
+
+    def _check_direct(self, source_file, node: ast.Call, ctor: str, evidence):
+        if not _is_name_literalish(node):
+            yield Finding(
+                rule="BRK502",
+                path=source_file.rel_path,
+                line=node.lineno,
+                message=f"{ctor} constructed without a name argument",
+                hint="instruments need a dotted literal name (e.g. 'ism.idle_drops')",
+            )
+            return
+        # Find the attribute the instrument lands on: self.X = Counter(...)
+        parent_attr = self._assigned_attr(source_file, node)
+        if parent_attr is None:
+            # Not assigned to an attribute (local/expression): nothing can
+            # wire it later, so it must be registered at the call site —
+            # which only registry factories do.
+            yield Finding(
+                rule="BRK501",
+                path=source_file.rel_path,
+                line=node.lineno,
+                message=(
+                    f"{ctor} is constructed but not stored on an attribute "
+                    "any registry wiring could reach"
+                ),
+                hint=(
+                    "create it via registry.counter()/gauge()/histogram(), or "
+                    "assign it to an attribute that collect.wire_* / "
+                    "adopt_counter registers"
+                ),
+            )
+            return
+        if parent_attr not in evidence:
+            yield Finding(
+                rule="BRK501",
+                path=source_file.rel_path,
+                line=node.lineno,
+                message=(
+                    f"{ctor} on attribute '{parent_attr}' has no registration "
+                    "evidence (no adopt_counter / gauge_fn reads it anywhere)"
+                ),
+                hint=(
+                    "register it: registry.adopt_counter(obj."
+                    f"{parent_attr}) or a collect.wire_* gauge_fn reading it"
+                ),
+            )
+
+    @staticmethod
+    def _assigned_attr(source_file, call: ast.Call) -> str | None:
+        """The attribute name a ``x.attr = Ctor(...)`` assignment targets."""
+        for node in ast.walk(source_file.tree):
+            if isinstance(node, ast.Assign) and node.value is call:
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        return target.attr
+            elif isinstance(node, ast.AnnAssign) and node.value is call:
+                if isinstance(node.target, ast.Attribute):
+                    return node.target.attr
+        return None

@@ -1,0 +1,525 @@
+"""BRK1xx — wire conformance: the protocol module's structural contract.
+
+``wire/protocol.py`` centralizes every message's encode and decode; the
+compatibility story (PR 3's trailing-word ``Hello.wants_ack`` extension)
+depends on three structural invariants this checker enforces on any
+module that defines a ``Message`` union and a ``MsgType`` enum:
+
+* **BRK101** — *symmetric field order*: the sequence of ``msg.<field>``
+  reads in a class's encode branch must equal the keyword order of its
+  decode constructor call (decoding XDR is order-sensitive; a transposed
+  pair still type-checks and still round-trips in the same build, then
+  corrupts against any other build).
+* **BRK102** — *type-id registry*: every union member maps to exactly one
+  ``MsgType`` member, packed in its encode branch and tested in its
+  decode branch, with no enum member claimed twice and no duplicate enum
+  values.
+* **BRK103** — *trailing-word-only extensions*: a conditionally encoded
+  field must be the **last** field on the wire and its decode must guard
+  on ``dec.remaining`` — that is the only evolution scheme that keeps old
+  payloads byte-identical and old decoders tolerant.
+* **BRK104** — *unencoded field*: a dataclass field that appears in
+  neither the encode nor the decode path silently defaults on receive.
+
+Delegated paths are followed one level: an encode branch that hands
+``msg.<field>`` arguments to a helper (``encode_batch_records``) takes
+its field order from those arguments, and a decode branch that returns a
+helper call (``_decode_batch``) is resolved by finding the message-class
+constructor inside that helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lint.astutil import dotted_name
+from repro.lint.engine import Checker, Finding, SourceFile, SourceTree
+
+__all__ = ["WireConformanceChecker"]
+
+
+@dataclass
+class _EncodeEvent:
+    field: str
+    line: int
+    conditional: bool
+
+
+@dataclass
+class _MessageInfo:
+    name: str
+    line: int = 0
+    fields: list[str] = field(default_factory=list)
+    encode_events: list[_EncodeEvent] = field(default_factory=list)
+    encode_type_ids: list[str] = field(default_factory=list)
+    encode_line: int = 0
+    decode_keywords: list[str] = field(default_factory=list)
+    decode_guarded: set[str] = field(default_factory=set)
+    decode_type_ids: list[str] = field(default_factory=list)
+    decode_line: int = 0
+    has_encode: bool = False
+    has_decode: bool = False
+
+
+def _msg_attr_loads(node: ast.AST, var: str) -> list[tuple[str, int]]:
+    """``(field, line)`` for every ``<var>.<field>`` read under *node*."""
+    out = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == var
+        ):
+            out.append((sub.attr, sub.lineno, sub.col_offset))
+    # ast.walk order is breadth-first, not source order; sort by position
+    # so multi-field statements yield fields in the order they are packed.
+    out.sort(key=lambda item: (item[1], item[2]))
+    return [(attr, line) for attr, line, _ in out]
+
+
+def _msgtype_refs(node: ast.AST) -> list[str]:
+    """Names of ``MsgType.X`` members referenced under *node*."""
+    out = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "MsgType"
+        ):
+            out.append(sub.attr)
+    return out
+
+
+def _union_members(tree: ast.AST) -> tuple[list[str], int] | None:
+    """Class names in a module-level ``Message = A | B | ...``."""
+    for node in tree.body:  # type: ignore[attr-defined]
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "Message"
+        ):
+            names: list[str] = []
+            stack = [node.value]
+            while stack:
+                value = stack.pop()
+                if isinstance(value, ast.BinOp) and isinstance(value.op, ast.BitOr):
+                    stack.extend([value.right, value.left])
+                elif isinstance(value, ast.Name):
+                    names.append(value.id)
+            if names:
+                return names, node.lineno
+    return None
+
+
+class WireConformanceChecker(Checker):
+    name = "wire-conformance"
+    rules = {
+        "BRK101": "encode/decode field order is not symmetric",
+        "BRK102": "message type-id registration is missing, duplicated, or mismatched",
+        "BRK103": "conditionally encoded field is not a guarded trailing word",
+        "BRK104": "dataclass field appears in neither encode nor decode path",
+    }
+
+    def check(self, tree: SourceTree) -> Iterable[Finding]:
+        for source_file in tree:
+            if source_file.tree is None:
+                continue
+            union = _union_members(source_file.tree)
+            if union is None:
+                continue
+            yield from self._check_module(source_file, union[0])
+
+    # ------------------------------------------------------------------
+    def _check_module(
+        self, source_file: SourceFile, members: list[str]
+    ) -> Iterator[Finding]:
+        module = source_file.tree
+        infos = {name: _MessageInfo(name) for name in members}
+        functions = {
+            node.name: node
+            for node in ast.walk(module)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        yield from self._check_enum_values(source_file, module)
+        self._collect_dataclass_fields(module, infos)
+        self._collect_encode(functions, infos)
+        self._collect_decode(functions, infos)
+
+        claimed: dict[str, str] = {}
+        for info in infos.values():
+            yield from self._report_type_ids(source_file, info, claimed)
+            if info.has_encode and info.has_decode:
+                yield from self._report_field_order(source_file, info)
+            if info.fields:
+                yield from self._report_dark_fields(source_file, info)
+
+    # ------------------------------------------------------------------
+    def _check_enum_values(
+        self, source_file: SourceFile, module: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module):
+            if not (isinstance(node, ast.ClassDef) and node.name == "MsgType"):
+                continue
+            seen: dict[int, str] = {}
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                    and isinstance(stmt.targets[0], ast.Name)
+                ):
+                    value = stmt.value.value
+                    member = stmt.targets[0].id
+                    if value in seen:
+                        yield Finding(
+                            rule="BRK102",
+                            path=source_file.rel_path,
+                            line=stmt.lineno,
+                            message=(
+                                f"MsgType.{member} reuses wire value {value} "
+                                f"already held by MsgType.{seen[value]}"
+                            ),
+                            hint="every message needs a unique wire discriminator",
+                        )
+                    else:
+                        seen[value] = member
+
+    @staticmethod
+    def _collect_dataclass_fields(
+        module: ast.AST, infos: dict[str, _MessageInfo]
+    ) -> None:
+        for node in ast.walk(module):
+            if isinstance(node, ast.ClassDef) and node.name in infos:
+                info = infos[node.name]
+                info.line = node.lineno
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        info.fields.append(stmt.target.id)
+
+    # -- encode side ----------------------------------------------------
+    def _collect_encode(
+        self,
+        functions: dict[str, ast.FunctionDef],
+        infos: dict[str, _MessageInfo],
+    ) -> None:
+        encode_fn = functions.get("_encode_message") or functions.get(
+            "encode_message"
+        )
+        if encode_fn is None:
+            return
+        for node in ast.walk(encode_fn):
+            if not isinstance(node, ast.If):
+                continue
+            cls = self._isinstance_target(node.test, infos)
+            if cls is None:
+                continue
+            info = infos[cls]
+            info.has_encode = True
+            info.encode_line = node.lineno
+            self._extract_encode_events(node.body, info, functions, depth=0)
+
+    @staticmethod
+    def _isinstance_target(
+        test: ast.expr, infos: dict[str, _MessageInfo]
+    ) -> str | None:
+        if not (
+            isinstance(test, ast.Call)
+            and isinstance(test.func, ast.Name)
+            and test.func.id == "isinstance"
+            and len(test.args) == 2
+        ):
+            return None
+        target = test.args[1]
+        candidates = (
+            [e for e in target.elts if isinstance(e, ast.Name)]
+            if isinstance(target, ast.Tuple)
+            else ([target] if isinstance(target, ast.Name) else [])
+        )
+        for candidate in candidates:
+            if candidate.id in infos:
+                return candidate.id
+        return None
+
+    def _extract_encode_events(
+        self,
+        body: list[ast.stmt],
+        info: _MessageInfo,
+        functions: dict[str, ast.FunctionDef],
+        depth: int,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                # `if msg.<field>:` guarding packs is a conditional
+                # encoding of that field, even when the packed value is a
+                # presence flag rather than the field itself.
+                guard_fields = _msg_attr_loads(stmt.test, "msg")
+                packs_inside = any(
+                    isinstance(sub, ast.Call)
+                    and (dotted_name(sub.func) or "").rsplit(".", 1)[-1].startswith(
+                        "pack"
+                    )
+                    for sub in ast.walk(stmt)
+                )
+                if guard_fields and packs_inside:
+                    # A field named both in the guard and in the body is
+                    # one event: the per-field dedup below collapses it.
+                    for fname, line in guard_fields:
+                        if not any(e.field == fname for e in info.encode_events):
+                            info.encode_events.append(
+                                _EncodeEvent(fname, line, conditional=True)
+                            )
+                    self._extract_encode_events(
+                        stmt.body, info, functions, depth + 1
+                    )
+                else:
+                    self._extract_encode_events(
+                        stmt.body, info, functions, depth + 1
+                    )
+                    self._extract_encode_events(
+                        stmt.orelse, info, functions, depth + 1
+                    )
+                continue
+            info.encode_type_ids.extend(_msgtype_refs(stmt))
+            for fname, line in _msg_attr_loads(stmt, "msg"):
+                if not any(e.field == fname for e in info.encode_events):
+                    info.encode_events.append(
+                        _EncodeEvent(fname, line, conditional=depth > 0)
+                    )
+            # One-level delegation: follow helpers that receive msg.<attr>
+            # arguments (they pack the type id and the payload).
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id in functions
+                    and any(_msg_attr_loads(a, "msg") for a in sub.args)
+                ):
+                    info.encode_type_ids.extend(
+                        _msgtype_refs(functions[sub.func.id])
+                    )
+
+    # -- decode side ----------------------------------------------------
+    def _collect_decode(
+        self,
+        functions: dict[str, ast.FunctionDef],
+        infos: dict[str, _MessageInfo],
+    ) -> None:
+        decode_fn = functions.get("decode_message")
+        if decode_fn is None:
+            return
+        class_names = set(infos)
+        for node in ast.walk(decode_fn):
+            if not isinstance(node, ast.If):
+                continue
+            type_id = self._kind_comparison(node.test)
+            if type_id is None:
+                continue
+            ctor = self._find_ctor(node.body, class_names, functions)
+            if ctor is None:
+                continue
+            cls, call, line = ctor
+            info = infos[cls]
+            info.has_decode = True
+            info.decode_line = line
+            info.decode_type_ids.append(type_id)
+            for kw in call.keywords:
+                if kw.arg is None:
+                    continue
+                info.decode_keywords.append(kw.arg)
+                if any(
+                    isinstance(sub, ast.Attribute) and sub.attr == "remaining"
+                    for sub in ast.walk(kw.value)
+                ):
+                    info.decode_guarded.add(kw.arg)
+
+    @staticmethod
+    def _kind_comparison(test: ast.expr) -> str | None:
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "kind"
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            refs = _msgtype_refs(test.comparators[0])
+            if refs:
+                return refs[0]
+        return None
+
+    def _find_ctor(
+        self,
+        body: list[ast.stmt],
+        class_names: set[str],
+        functions: dict[str, ast.FunctionDef],
+        follow: bool = True,
+    ) -> tuple[str, ast.Call, int] | None:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call) or not isinstance(
+                    sub.func, ast.Name
+                ):
+                    continue
+                if sub.func.id in class_names:
+                    return sub.func.id, sub, sub.lineno
+                if follow and sub.func.id in functions:
+                    inner = self._find_ctor(
+                        functions[sub.func.id].body,
+                        class_names,
+                        functions,
+                        follow=False,
+                    )
+                    if inner is not None:
+                        return inner
+        return None
+
+    # -- reporting ------------------------------------------------------
+    def _report_type_ids(
+        self,
+        source_file: SourceFile,
+        info: _MessageInfo,
+        claimed: dict[str, str],
+    ) -> Iterator[Finding]:
+        line = info.encode_line or info.line or 1
+        encode_ids = [t for t in dict.fromkeys(info.encode_type_ids)]
+        decode_ids = [t for t in dict.fromkeys(info.decode_type_ids)]
+        if not info.has_encode and not info.has_decode:
+            yield Finding(
+                rule="BRK102",
+                path=source_file.rel_path,
+                line=info.line or 1,
+                message=(
+                    f"{info.name} is in the Message union but has neither an "
+                    "encode branch nor a decode branch"
+                ),
+                hint="register it in _encode_message and decode_message",
+            )
+            return
+        for missing, side in (
+            (not info.has_encode, "encode"),
+            (not info.has_decode, "decode"),
+        ):
+            if missing:
+                yield Finding(
+                    rule="BRK102",
+                    path=source_file.rel_path,
+                    line=line,
+                    message=f"{info.name} has no {side} branch",
+                    hint=f"add the {side} side or drop it from the union",
+                )
+        if encode_ids and decode_ids and encode_ids[0] != decode_ids[0]:
+            yield Finding(
+                rule="BRK102",
+                path=source_file.rel_path,
+                line=line,
+                message=(
+                    f"{info.name} encodes as MsgType.{encode_ids[0]} but "
+                    f"decodes on MsgType.{decode_ids[0]}"
+                ),
+                hint="encode and decode must dispatch on the same member",
+            )
+        for type_id in encode_ids[:1]:
+            owner = claimed.get(type_id)
+            if owner is not None and owner != info.name:
+                yield Finding(
+                    rule="BRK102",
+                    path=source_file.rel_path,
+                    line=line,
+                    message=(
+                        f"MsgType.{type_id} is claimed by both {owner} "
+                        f"and {info.name}"
+                    ),
+                    hint="one wire discriminator per message class",
+                )
+            else:
+                claimed[type_id] = info.name
+
+    def _report_field_order(
+        self, source_file: SourceFile, info: _MessageInfo
+    ) -> Iterator[Finding]:
+        encode_fields = [e.field for e in info.encode_events]
+        if encode_fields != info.decode_keywords:
+            yield Finding(
+                rule="BRK101",
+                path=source_file.rel_path,
+                line=info.decode_line or info.encode_line,
+                message=(
+                    f"{info.name} encodes fields {encode_fields} but decodes "
+                    f"{info.decode_keywords}"
+                ),
+                hint=(
+                    "XDR decoding is order-sensitive: make the decode "
+                    "constructor's keyword order match the encode pack order"
+                ),
+            )
+        # Trailing-word rule: conditional events must be a suffix, and
+        # guarded on the decode side.
+        events = info.encode_events
+        first_conditional = next(
+            (i for i, e in enumerate(events) if e.conditional), None
+        )
+        if first_conditional is not None:
+            if any(not e.conditional for e in events[first_conditional:]):
+                bad = events[first_conditional]
+                yield Finding(
+                    rule="BRK103",
+                    path=source_file.rel_path,
+                    line=bad.line,
+                    message=(
+                        f"{info.name}.{bad.field} is conditionally encoded "
+                        "before unconditional fields"
+                    ),
+                    hint=(
+                        "extensions must be trailing words: old decoders stop "
+                        "early, old payloads stay byte-identical"
+                    ),
+                )
+            for event in events[first_conditional:]:
+                if (
+                    event.conditional
+                    and event.field in info.decode_keywords
+                    and event.field not in info.decode_guarded
+                ):
+                    yield Finding(
+                        rule="BRK103",
+                        path=source_file.rel_path,
+                        line=info.decode_line or event.line,
+                        message=(
+                            f"{info.name}.{event.field} is optional on the "
+                            "wire but its decode does not guard on "
+                            "dec.remaining"
+                        ),
+                        hint=(
+                            "decode trailing extensions as "
+                            "'dec.remaining >= N and ...' so legacy payloads "
+                            "still parse"
+                        ),
+                    )
+
+    def _report_dark_fields(
+        self, source_file: SourceFile, info: _MessageInfo
+    ) -> Iterator[Finding]:
+        if not (info.has_encode and info.has_decode):
+            return
+        encoded = {e.field for e in info.encode_events}
+        decoded = set(info.decode_keywords)
+        for fname in info.fields:
+            if fname not in encoded and fname not in decoded:
+                yield Finding(
+                    rule="BRK104",
+                    path=source_file.rel_path,
+                    line=info.line,
+                    message=(
+                        f"{info.name}.{fname} appears in neither the encode "
+                        "nor the decode path"
+                    ),
+                    hint=(
+                        "encode it (trailing word if optional) or remove the "
+                        "field — a silently defaulting field is wire data loss"
+                    ),
+                )

@@ -1,0 +1,229 @@
+"""The ``brisk-lint`` command line (also ``python -m repro.lint``).
+
+Exit codes: 0 — clean (every finding baselined or pragma-suppressed);
+1 — new findings; 2 — usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import write_baseline
+from repro.lint.checkers import all_checkers
+from repro.lint.engine import PRAGMA_RULES
+from repro.lint.runner import run_lint
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="brisk-lint",
+        description=(
+            "AST-based invariant checker for the BRISK codebase: wire "
+            "conformance, determinism, pump-loop discipline, exception "
+            "hygiene, instrument registration."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root anchoring relative paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline TOML (default: <root>/lint-baseline.toml when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help=(
+            "CI mode: exit 1 only on findings not in the baseline "
+            "(this is also the default behaviour; the flag states intent)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="only run these rules/checkers (BRK4, BRK401, exception-hygiene)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="skip these rules/checkers",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print baselined and pragma-suppressed findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+_ROOT_MARKERS = ("pyproject.toml", ".git", "lint-baseline.toml")
+
+
+def _detect_root(paths: list[Path]) -> Path:
+    """Anchor for relative paths when ``--root`` is not given.
+
+    The cwd when every target sits under it (the common case: running
+    from the repo root); otherwise the nearest marker-bearing ancestor
+    of the first target, so ``brisk-lint /elsewhere/repo/src`` works
+    from any directory.
+    """
+    cwd = Path.cwd().resolve()
+    resolved = [p.resolve() for p in paths]
+    if all(p == cwd or cwd in p.parents for p in resolved):
+        return cwd
+    start = resolved[0] if resolved[0].is_dir() else resolved[0].parent
+    for candidate in (start, *start.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return start
+
+
+def _list_rules() -> None:
+    print("engine (pragma hygiene):")
+    for rule, description in sorted(PRAGMA_RULES.items()):
+        print(f"  {rule}  {description}")
+    for checker in all_checkers():
+        print(f"{checker.name}:")
+        for rule, description in sorted(checker.rules.items()):
+            print(f"  {rule}  {description}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print(f"brisk-lint: no such path: {missing[0]}", file=sys.stderr)
+            return 2
+        root = args.root.resolve() if args.root else _detect_root(paths)
+    else:
+        root = (args.root or Path.cwd()).resolve()
+        paths = [root / "src"]
+        if not paths[0].exists():
+            print(f"brisk-lint: no such path: {paths[0]}", file=sys.stderr)
+            return 2
+    outside = [p for p in paths if (r := p.resolve()) != root and root not in r.parents]
+    if outside:
+        print(
+            f"brisk-lint: {outside[0]} is outside the root {root} "
+            "(pass --root to anchor relative paths)",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = root / "lint-baseline.toml"
+        baseline_path = default if default.exists() else None
+    if args.no_baseline:
+        baseline_path = None
+
+    try:
+        result = run_lint(
+            [Path(p) for p in paths],
+            root=root,
+            baseline_path=None if args.write_baseline else baseline_path,
+            select=args.select,
+            ignore=args.ignore,
+        )
+    except Exception as exc:  # reported to stderr below; exits 2, not swallowed
+        print(f"brisk-lint: internal error: {exc!r}", file=sys.stderr)
+        print("rerun with python -X dev -m repro.lint for a traceback", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or root / "lint-baseline.toml"
+        pairs = [
+            (f, result.fingerprint_of(f))
+            for f in result.new + result.baselined
+        ]
+        count = write_baseline(target, pairs)
+        print(f"brisk-lint: wrote {count} finding(s) to {target}")
+        return 0
+
+    if args.format == "json":
+        payload = {
+            "files_checked": result.files_checked,
+            "new": [
+                {**vars(f), "fingerprint": result.fingerprint_of(f)}
+                for f in result.new
+            ],
+            "baselined": [
+                {**vars(f), "fingerprint": result.fingerprint_of(f)}
+                for f in result.baselined
+            ],
+            "pragma_suppressed": [vars(f) for f in result.pragma_suppressed],
+            "stale_baseline": [vars(e) for e in result.stale_baseline],
+        }
+        print(json.dumps(payload, indent=2))
+        return result.exit_code
+
+    for finding in result.new:
+        print(finding.render())
+    if args.show_suppressed:
+        for finding in result.baselined:
+            print(f"[baselined] {finding.render()}")
+        for finding in result.pragma_suppressed:
+            print(f"[pragma] {finding.render()}")
+    summary = (
+        f"brisk-lint: {result.files_checked} file(s), "
+        f"{len(result.new)} new finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.pragma_suppressed)} pragma-suppressed"
+    )
+    if result.stale_baseline:
+        summary += (
+            f"; {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} "
+            "(fixed — rerun --write-baseline to prune)"
+        )
+    print(summary)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""Core machinery of brisk-lint: parsed files, pragmas, findings, checkers.
+
+The source tree is parsed **once** into ASTs (:func:`load_tree`); every
+checker then walks the shared :class:`SourceTree`.  Suppression pragmas
+are extracted with :mod:`tokenize` (not a regex over raw text) so a string
+literal containing ``brisk-lint`` can never suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Pragma",
+    "SourceFile",
+    "SourceTree",
+    "load_tree",
+    "PRAGMA_RULES",
+]
+
+#: Rule ids owned by the engine itself (pragma hygiene).
+PRAGMA_RULES: Mapping[str, str] = {
+    "BRK001": "malformed brisk-lint pragma",
+    "BRK002": "pragma is missing its (reason)",
+    "BRK003": "pragma suppresses nothing (unused)",
+}
+
+_PRAGMA_RE = re.compile(
+    r"#\s*brisk-lint:\s*(?P<verb>[\w-]+)\s*=\s*(?P<rules>[\w*,\s]+?)"
+    r"\s*(?:\((?P<reason>.*)\))?\s*$"
+)
+_PRAGMA_MARKER = re.compile(r"#\s*brisk-lint\b")
+_RULE_ID_RE = re.compile(r"^BRK\d{3}$|^\*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          #: e.g. ``"BRK401"``
+    path: str          #: repo-relative posix path
+    line: int          #: 1-indexed
+    message: str       #: what is wrong
+    hint: str = ""     #: how to fix it
+
+    def fingerprint(self, source_line: str = "", occurrence: int = 0) -> str:
+        """Stable identity for baselining: survives pure line drift.
+
+        Hashes the rule, path, the *text* of the flagged line, and an
+        occurrence index distinguishing identical lines in one file — so
+        inserting code above a baselined finding does not un-baseline it,
+        while editing the flagged line itself does.
+        """
+        blob = f"{self.rule}|{self.path}|{source_line.strip()}|{occurrence}"
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}"
+        out = f"{loc}: {self.rule} {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# brisk-lint: ...`` comment."""
+
+    verb: str                 #: ``disable`` | ``disable-next`` | ``disable-file``
+    rules: tuple[str, ...]    #: rule ids, or ``("*",)``
+    reason: str               #: required; empty string means missing
+    line: int                 #: line the comment sits on
+    applies_to: int | None    #: line findings must be on; None = whole file
+    used: bool = False        #: did it suppress at least one finding?
+
+    def matches(self, finding: Finding) -> bool:
+        if self.applies_to is not None and finding.line != self.applies_to:
+            return False
+        return "*" in self.rules or finding.rule in self.rules
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its suppression pragmas."""
+
+    path: Path                 #: absolute
+    rel_path: str              #: repo-relative, posix separators
+    text: str
+    tree: ast.AST | None       #: None when the file failed to parse
+    lines: Sequence[str] = field(default_factory=list)
+    pragmas: list[Pragma] = field(default_factory=list)
+    #: Findings produced while *loading* (syntax errors, bad pragmas).
+    load_findings: list[Finding] = field(default_factory=list)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Consume a pragma matching *finding* (marks it used)."""
+        hit = False
+        for pragma in self.pragmas:
+            if pragma.matches(finding):
+                pragma.used = True
+                hit = True
+        return hit
+
+
+class SourceTree:
+    """All parsed files, shared by every checker."""
+
+    def __init__(self, root: Path, files: list[SourceFile]) -> None:
+        self.root = root
+        self.files = files
+        self._by_rel = {f.rel_path: f for f in files}
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+    def get(self, rel_path: str) -> SourceFile | None:
+        return self._by_rel.get(rel_path)
+
+    def matching(self, *suffixes: str) -> Iterator[SourceFile]:
+        """Files whose repo-relative path ends with one of *suffixes*."""
+        for f in self.files:
+            if any(f.rel_path.endswith(s) for s in suffixes):
+                yield f
+
+    def under(self, *prefixes: str) -> Iterator[SourceFile]:
+        """Files whose repo-relative path starts with one of *prefixes*."""
+        for f in self.files:
+            if any(f.rel_path.startswith(p) for p in prefixes):
+                yield f
+
+
+class Checker:
+    """Base class for one rule family.
+
+    Subclasses set :attr:`rules` (rule id → one-line description) and
+    implement :meth:`check`.  The runner instantiates each checker once
+    per run; checkers must not mutate the tree.
+    """
+
+    #: rule id → short human description (drives ``--list-rules``).
+    rules: Mapping[str, str] = {}
+    #: Checker name (kebab-case), for ``--select`` by family.
+    name: str = ""
+
+    def check(self, tree: SourceTree) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# loading
+# ----------------------------------------------------------------------
+
+def _parse_pragmas(source_file: SourceFile) -> None:
+    """Extract ``# brisk-lint:`` comments via tokenize.
+
+    * ``disable=RULE[,RULE...] (reason)`` on a code line applies to that
+      line; on a line of its own it applies to the next code line.
+    * ``disable-next=...`` always applies to the following code line.
+    * ``disable-file=...`` applies to the whole file.
+
+    A pragma without a parenthesised reason is itself a finding (BRK002):
+    suppressions must say *why* or they rot into folklore.
+    """
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source_file.text).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # the parse failure is already reported
+    #: lines that hold at least one non-comment token
+    code_lines = sorted(
+        {
+            t.start[0]
+            for t in tokens
+            if t.type
+            not in (
+                tokenize.COMMENT,
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            )
+        }
+    )
+
+    def next_code_line(after: int) -> int | None:
+        for line in code_lines:
+            if line > after:
+                return line
+        return None
+
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or not _PRAGMA_MARKER.search(tok.string):
+            continue
+        lineno = tok.start[0]
+        m = _PRAGMA_RE.search(tok.string)
+        if m is None or m.group("verb") not in (
+            "disable",
+            "disable-next",
+            "disable-file",
+        ):
+            source_file.load_findings.append(
+                Finding(
+                    rule="BRK001",
+                    path=source_file.rel_path,
+                    line=lineno,
+                    message=f"malformed brisk-lint pragma: {tok.string.strip()!r}",
+                    hint=(
+                        "use '# brisk-lint: disable=BRK401 (reason)' — "
+                        "verbs: disable, disable-next, disable-file"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            r.strip() for r in m.group("rules").split(",") if r.strip()
+        )
+        bad = [r for r in rules if not _RULE_ID_RE.match(r)]
+        if bad or not rules:
+            source_file.load_findings.append(
+                Finding(
+                    rule="BRK001",
+                    path=source_file.rel_path,
+                    line=lineno,
+                    message=f"pragma names invalid rule id(s): {bad or '(none)'}",
+                    hint="rule ids look like BRK401; '*' disables all rules",
+                )
+            )
+            continue
+        reason = (m.group("reason") or "").strip()
+        if not reason:
+            source_file.load_findings.append(
+                Finding(
+                    rule="BRK002",
+                    path=source_file.rel_path,
+                    line=lineno,
+                    message="pragma has no (reason)",
+                    hint=(
+                        "append a parenthesised justification: "
+                        "# brisk-lint: disable=BRK401 (sink errors counted upstream)"
+                    ),
+                )
+            )
+            # Still honoured, so a missing reason surfaces as exactly one
+            # finding instead of one plus everything it meant to suppress.
+        verb = m.group("verb")
+        own_line_is_code = lineno in code_lines
+        if verb == "disable-file":
+            applies_to: int | None = None
+        elif verb == "disable-next" or not own_line_is_code:
+            applies_to = next_code_line(lineno)
+            if applies_to is None:
+                continue  # trailing pragma with nothing to govern
+        else:
+            applies_to = lineno
+        source_file.pragmas.append(
+            Pragma(
+                verb=verb,
+                rules=rules,
+                reason=reason,
+                line=lineno,
+                applies_to=applies_to,
+            )
+        )
+
+
+def load_file(path: Path, root: Path) -> SourceFile:
+    """Parse one file; a syntax error becomes a finding, not a crash."""
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(root).as_posix()
+    source_file = SourceFile(
+        path=path,
+        rel_path=rel,
+        text=text,
+        tree=None,
+        lines=text.splitlines(),
+    )
+    try:
+        source_file.tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        source_file.load_findings.append(
+            Finding(
+                rule="BRK000",
+                path=rel,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+    _parse_pragmas(source_file)
+    return source_file
+
+
+def load_tree(paths: Sequence[Path], root: Path | None = None) -> SourceTree:
+    """Parse every ``*.py`` under *paths* (files or directories) once.
+
+    *root* anchors the repo-relative paths findings and baselines use;
+    it defaults to the common parent that makes paths stable (cwd).
+    """
+    root = (root or Path.cwd()).resolve()
+    seen: set[Path] = set()
+    files: list[SourceFile] = []
+    for path in paths:
+        path = path.resolve()
+        candidates = (
+            sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        )
+        for candidate in candidates:
+            if candidate in seen or candidate.suffix != ".py":
+                continue
+            seen.add(candidate)
+            files.append(load_file(candidate, root))
+    return SourceTree(root, files)

@@ -1,0 +1,174 @@
+"""Run checkers over a tree and classify findings against suppressions."""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import BaselineEntry, load_baseline
+from repro.lint.checkers import all_checkers
+from repro.lint.engine import Checker, Finding, SourceTree, load_tree
+
+__all__ = ["LintResult", "run_lint", "fingerprint_findings"]
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, already classified."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    pragma_suppressed: list[Finding] = field(default_factory=list)
+    #: fingerprint per finding, across all three lists.
+    fingerprints: dict[int, str] = field(default_factory=dict)
+    files_checked: int = 0
+    #: Baseline entries whose finding no longer exists (fixed): candidates
+    #: for pruning at the next --write-baseline.
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        return sorted(
+            [*self.new, *self.baselined, *self.pragma_suppressed],
+            key=lambda f: (f.path, f.line, f.rule),
+        )
+
+    def fingerprint_of(self, finding: Finding) -> str:
+        return self.fingerprints.get(id(finding), "")
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+
+def fingerprint_findings(
+    tree: SourceTree, findings: Sequence[Finding]
+) -> dict[int, str]:
+    """Stable fingerprints, disambiguating identical lines by occurrence."""
+    tally: _TallyCounter[tuple[str, str, str]] = _TallyCounter()
+    out: dict[int, str] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        source_file = tree.get(finding.path)
+        line_text = source_file.line_text(finding.line) if source_file else ""
+        key = (finding.rule, finding.path, line_text.strip())
+        occurrence = tally[key]
+        tally[key] += 1
+        out[id(finding)] = finding.fingerprint(line_text, occurrence)
+    return out
+
+
+def run_lint(
+    paths: Sequence[Path],
+    *,
+    root: Path | None = None,
+    baseline_path: Path | None = None,
+    checkers: Sequence[Checker] | None = None,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    tree: SourceTree | None = None,
+) -> LintResult:
+    """Parse once, run every checker, classify each finding.
+
+    *select*/*ignore* filter by rule id or checker name prefix
+    (``BRK4``, ``BRK401``, ``exception-hygiene``).  Pass a prebuilt
+    *tree* to lint an already-parsed corpus (tests do).
+    """
+    if tree is None:
+        tree = load_tree(paths, root=root)
+    checkers = list(all_checkers() if checkers is None else checkers)
+    findings: list[Finding] = []
+    for source_file in tree:
+        findings.extend(source_file.load_findings)
+    for checker in checkers:
+        if select and not _family_selected(checker, select):
+            continue
+        if ignore and _family_ignored(checker, ignore):
+            continue
+        findings.extend(checker.check(tree))
+    findings = [f for f in findings if _rule_selected(f.rule, select, ignore)]
+
+    # Unused-pragma pass (after all checkers so "used" is final).
+    result = LintResult(files_checked=len(tree.files))
+    kept: list[Finding] = []
+    for finding in findings:
+        source_file = tree.get(finding.path)
+        if source_file is not None and source_file.suppressed(finding):
+            result.pragma_suppressed.append(finding)
+        else:
+            kept.append(finding)
+    if _rule_selected("BRK003", select, ignore):
+        for source_file in tree:
+            for pragma in source_file.pragmas:
+                if not pragma.used:
+                    kept.append(
+                        Finding(
+                            rule="BRK003",
+                            path=source_file.rel_path,
+                            line=pragma.line,
+                            message=(
+                                "pragma suppresses nothing "
+                                f"(rules {', '.join(pragma.rules)})"
+                            ),
+                            hint="delete it — stale suppressions hide future bugs",
+                        )
+                    )
+
+    all_classified = [*kept, *result.pragma_suppressed]
+    result.fingerprints = fingerprint_findings(tree, all_classified)
+    baseline = (
+        load_baseline(baseline_path) if baseline_path is not None else {}
+    )
+    seen_fingerprints: set[str] = set()
+    for finding in kept:
+        fingerprint = result.fingerprints[id(finding)]
+        seen_fingerprints.add(fingerprint)
+        if fingerprint in baseline:
+            result.baselined.append(finding)
+        else:
+            result.new.append(finding)
+    result.stale_baseline = [
+        entry
+        for fingerprint, entry in sorted(baseline.items())
+        if fingerprint not in seen_fingerprints
+    ]
+    result.new.sort(key=lambda f: (f.path, f.line, f.rule))
+    result.baselined.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result
+
+
+def _family_selected(checker: Checker, patterns: Sequence[str]) -> bool:
+    for pattern in patterns:
+        if pattern == checker.name:
+            return True
+        if any(rule.startswith(pattern) for rule in checker.rules):
+            return True
+    return False
+
+
+def _family_ignored(checker: Checker, patterns: Sequence[str]) -> bool:
+    """Skip a whole checker only when *everything* it reports is ignored
+    (ignoring one rule of a family must not silence its siblings —
+    findings are filtered per-rule afterwards)."""
+    if checker.name in patterns:
+        return True
+    return all(
+        any(rule.startswith(p) for p in patterns if p.startswith("BRK"))
+        for rule in checker.rules
+    )
+
+
+def _rule_selected(
+    rule: str, select: Sequence[str], ignore: Sequence[str]
+) -> bool:
+    if any(rule.startswith(p) for p in ignore if p.startswith("BRK")):
+        return False
+    if not select:
+        return True
+    brk_patterns = [p for p in select if p.startswith("BRK")]
+    if rule.startswith("BRK0"):
+        return True  # engine rules ride along with any selection
+    if not brk_patterns:
+        return True  # selection was by checker name; rule filter not used
+    return any(rule.startswith(p) for p in brk_patterns)

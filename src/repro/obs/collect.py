@@ -26,6 +26,8 @@ Metric namespace (the inventory DESIGN.md §5.6 documents):
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
@@ -42,7 +44,7 @@ __all__ = [
 ]
 
 
-def wire_ring(registry: MetricsRegistry, ring, prefix: str = "ring") -> None:
+def wire_ring(registry: MetricsRegistry, ring: Any, prefix: str = "ring") -> None:
     """Ring-buffer occupancy and overflow accounting (all O(1) reads)."""
     registry.gauge_fn(f"{prefix}.used_bytes", lambda: ring.used)
     registry.gauge_fn(f"{prefix}.free_bytes", lambda: ring.free)
@@ -55,13 +57,13 @@ def wire_ring(registry: MetricsRegistry, ring, prefix: str = "ring") -> None:
     )
 
 
-def wire_sensor(registry: MetricsRegistry, sensor, prefix: str = "sensor") -> None:
+def wire_sensor(registry: MetricsRegistry, sensor: Any, prefix: str = "sensor") -> None:
     """Internal-sensor emit/drop counts."""
     registry.gauge_fn(f"{prefix}.emitted", lambda: sensor.emitted)
     registry.gauge_fn(f"{prefix}.dropped", lambda: sensor.dropped)
 
 
-def wire_exs(registry: MetricsRegistry, exs, prefix: str = "exs") -> None:
+def wire_exs(registry: MetricsRegistry, exs: Any, prefix: str = "exs") -> None:
     """External-sensor shipping counters plus its ring(s)."""
     stats = exs.stats
     registry.gauge_fn(f"{prefix}.records_drained", lambda: stats.records_drained)
@@ -76,7 +78,7 @@ def wire_exs(registry: MetricsRegistry, exs, prefix: str = "exs") -> None:
         wire_ring(registry, ring, prefix=f"{prefix}.{suffix}")
 
 
-def wire_outbox(registry: MetricsRegistry, outbox, prefix: str = "outbox") -> None:
+def wire_outbox(registry: MetricsRegistry, outbox: Any, prefix: str = "outbox") -> None:
     """In-flight depth and release accounting of an acked-transfer outbox."""
     registry.gauge_fn(f"{prefix}.unacked", lambda: outbox.unacked)
     registry.gauge_fn(f"{prefix}.depth", lambda: outbox.depth)
@@ -87,7 +89,7 @@ def wire_outbox(registry: MetricsRegistry, outbox, prefix: str = "outbox") -> No
     )
 
 
-def wire_connection(registry: MetricsRegistry, conn, prefix: str = "wire") -> None:
+def wire_connection(registry: MetricsRegistry, conn: Any, prefix: str = "wire") -> None:
     """Byte and frame counts of one message connection."""
     registry.gauge_fn(f"{prefix}.bytes_sent", lambda: conn.bytes_sent)
     registry.gauge_fn(f"{prefix}.bytes_received", lambda: conn.bytes_received)
@@ -95,7 +97,7 @@ def wire_connection(registry: MetricsRegistry, conn, prefix: str = "wire") -> No
     registry.gauge_fn(f"{prefix}.frames_received", lambda: conn.frames_received)
 
 
-def wire_sorter(registry: MetricsRegistry, sorter, prefix: str = "sorter") -> None:
+def wire_sorter(registry: MetricsRegistry, sorter: Any, prefix: str = "sorter") -> None:
     """On-line sorter: parked depth, adaptive frame ``T``, disorder stats."""
     stats = sorter.stats
     registry.gauge_fn(f"{prefix}.held", lambda: sorter.held)
@@ -109,7 +111,7 @@ def wire_sorter(registry: MetricsRegistry, sorter, prefix: str = "sorter") -> No
     )
 
 
-def wire_cre(registry: MetricsRegistry, cre, prefix: str = "cre") -> None:
+def wire_cre(registry: MetricsRegistry, cre: Any, prefix: str = "cre") -> None:
     """Causal matcher: table sizes (O(1)), parked depth, tachyons."""
     stats = cre.stats
     registry.gauge_fn(f"{prefix}.reason_table", lambda: cre.reason_table_size)
@@ -125,7 +127,7 @@ def wire_cre(registry: MetricsRegistry, cre, prefix: str = "cre") -> None:
     registry.gauge_fn(f"{prefix}.sync_requests", lambda: stats.sync_requests)
 
 
-def wire_consumers(registry: MetricsRegistry, consumers, prefix: str = "consumer") -> None:
+def wire_consumers(registry: MetricsRegistry, consumers: Any, prefix: str = "consumer") -> None:
     """Per-sink delivered counts; queue depth for queued consumers.
 
     *consumers* must be the live list (the manager's own), so sinks
@@ -147,7 +149,7 @@ def wire_consumers(registry: MetricsRegistry, consumers, prefix: str = "consumer
     registry.gauge_fn(f"{prefix}.delivered", delivered)
 
 
-def wire_manager(registry: MetricsRegistry, manager, prefix: str = "ism") -> None:
+def wire_manager(registry: MetricsRegistry, manager: Any, prefix: str = "ism") -> None:
     """Everything the manager owns: intake counters, sorter, CRE, sinks."""
     stats = manager.stats
     registry.gauge_fn(f"{prefix}.batches_received", lambda: stats.batches_received)
@@ -169,7 +171,7 @@ def wire_manager(registry: MetricsRegistry, manager, prefix: str = "ism") -> Non
     wire_consumers(registry, manager.consumers)
 
 
-def wire_reconnector(registry: MetricsRegistry, runner, prefix: str = "wire") -> None:
+def wire_reconnector(registry: MetricsRegistry, runner: Any, prefix: str = "wire") -> None:
     """Reconnecting-EXS session accounting plus its shared outbox."""
     registry.gauge_fn(f"{prefix}.connections", lambda: int(runner.connections))
     registry.gauge_fn(

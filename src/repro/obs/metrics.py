@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence, SupportsInt
 
 from repro.util.stats import RunningStats
+from repro.util.timebase import monotonic_s
 
 __all__ = [
     "Counter",
@@ -90,27 +91,27 @@ class Counter:
     def __hash__(self) -> int:  # identity: counters are mutable
         return object.__hash__(self)
 
-    def __lt__(self, other) -> bool:
+    def __lt__(self, other: SupportsInt) -> bool:
         return self.value < int(other)
 
-    def __le__(self, other) -> bool:
+    def __le__(self, other: SupportsInt) -> bool:
         return self.value <= int(other)
 
-    def __gt__(self, other) -> bool:
+    def __gt__(self, other: SupportsInt) -> bool:
         return self.value > int(other)
 
-    def __ge__(self, other) -> bool:
+    def __ge__(self, other: SupportsInt) -> bool:
         return self.value >= int(other)
 
-    def __add__(self, other) -> int:
+    def __add__(self, other: SupportsInt) -> int:
         return self.value + int(other)
 
     __radd__ = __add__
 
-    def __sub__(self, other) -> int:
+    def __sub__(self, other: SupportsInt) -> int:
         return self.value - int(other)
 
-    def __rsub__(self, other) -> int:
+    def __rsub__(self, other: SupportsInt) -> int:
         return int(other) - self.value
 
     def __iadd__(self, n: int) -> "Counter":
@@ -362,15 +363,26 @@ class MetricsRegistry:
     Registration is idempotent by name: asking for an existing name
     returns the existing instrument, so a reconnect that re-wires a stage
     does not shadow the counts accumulated so far.
+
+    *time_fn* is the registry's notion of elapsed seconds, used for
+    :attr:`uptime_s` and the intrusion fractions.  It defaults to the
+    sanctioned OS monotonic clock; a simulated deployment injects its
+    virtual clock instead so that uptime — and everything derived from it
+    — is deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, time_fn: Callable[[], float] | None = None) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._gauge_fns: dict[str, Callable[[], float]] = {}
         self._histograms: dict[str, FixedHistogram] = {}
         self._timers: dict[str, StageTimer] = {}
-        self._started_monotonic = time.monotonic()
+        self._time_fn = time_fn if time_fn is not None else monotonic_s
+        self._started_s = self._time_fn()
+        #: Pull gauges whose callable raised at snapshot time; exported
+        #: as ``obs.snapshot_gauge_errors`` (only once nonzero) so a dead
+        #: gauge is visible instead of silently absent.
+        self._gauge_errors = Counter("obs.snapshot_gauge_errors")
 
     # -- registration ----------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -417,8 +429,8 @@ class MetricsRegistry:
     # -- reading ---------------------------------------------------------
     @property
     def uptime_s(self) -> float:
-        """Wall-clock seconds since the registry was created."""
-        return time.monotonic() - self._started_monotonic
+        """Seconds since the registry was created, on its own clock."""
+        return self._time_fn() - self._started_s
 
     def intrusion_fractions(self) -> dict[str, float]:
         """Per-stage self-time as a fraction of registry wall-clock life.
@@ -441,7 +453,9 @@ class MetricsRegistry:
 
         A pull gauge whose underlying object has died (closed socket,
         detached ring) is skipped rather than poisoning the whole
-        snapshot — observability must never take the pipeline down.
+        snapshot — observability must never take the pipeline down — but
+        each skip increments ``obs.snapshot_gauge_errors`` so the loss
+        is visible.
         """
         values: dict[str, float] = {}
         for name, counter in self._counters.items():
@@ -452,7 +466,9 @@ class MetricsRegistry:
             try:
                 values[name] = float(fn())
             except Exception:
-                continue
+                self._gauge_errors.inc()
+        if self._gauge_errors.value:
+            values[self._gauge_errors.name] = float(self._gauge_errors.value)
         for name, fraction in self.intrusion_fractions().items():
             values[f"{name}.busy_fraction"] = fraction
         return MetricsSnapshot(

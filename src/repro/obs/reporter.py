@@ -16,7 +16,7 @@ reporting interval.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.core.records import EventRecord, FieldType
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
@@ -58,7 +58,7 @@ class MetricsReporter:
     def __init__(
         self,
         registry: MetricsRegistry,
-        sensor,
+        sensor: Any,
         interval_us: int = 1_000_000,
         event_id: int = METRICS_EVENT_ID,
     ) -> None:

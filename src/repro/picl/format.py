@@ -354,7 +354,11 @@ class PiclReader:
         return list(self)
 
 
-def dumps(records: Iterable[EventRecord], mode: TimestampMode = TimestampMode.UTC_MICROS, epoch_us: int = 0) -> str:
+def dumps(
+    records: Iterable[EventRecord],
+    mode: TimestampMode = TimestampMode.UTC_MICROS,
+    epoch_us: int = 0,
+) -> str:
     """Render records as a PICL trace string (tests/examples helper)."""
     buf = io.StringIO()
     PiclWriter(buf, mode, epoch_us).write_all(records)

@@ -23,7 +23,7 @@ Consumers rebuild aggregates with :class:`ProfileDecoder`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.records import EventRecord, FieldType
 from repro.core.sensor import Sensor

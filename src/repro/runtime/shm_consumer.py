@@ -20,7 +20,6 @@ from __future__ import annotations
 import time
 from typing import Iterator
 
-from repro.core import native
 from repro.core.records import EventRecord
 from repro.runtime.shm import SharedRing, attach_shared_ring, create_shared_ring
 

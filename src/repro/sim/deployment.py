@@ -33,13 +33,14 @@ from repro.core.consumers import Consumer
 from repro.core.exs import ExsConfig, ExternalSensor
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.records import EventRecord, FieldType
-from repro.core.ringbuffer import OverflowPolicy, RingBuffer, HEADER_SIZE
+from repro.core.ringbuffer import HEADER_SIZE, OverflowPolicy, RingBuffer
 from repro.core.sensor import Sensor
 from repro.obs.collect import wire_exs, wire_manager, wire_sensor
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.reporter import MetricsReporter
 from repro.sim.engine import Simulator
-from repro.sim.network import FaultInjector, LinkModel, LinkModelConfig
+from repro.sim.network import LinkModel, LinkModelConfig
+from repro.util.timebase import micros_to_seconds
 from repro.wire import protocol
 
 
@@ -448,7 +449,12 @@ class SimDeployment:
     def _wire_observability(self) -> None:
         if self.obs is not None:
             return
-        registry = MetricsRegistry()
+        # Virtual-time clock: registry uptime (and intrusion fractions)
+        # must be a function of simulated time, not of how fast the host
+        # happens to run the simulation.
+        registry = MetricsRegistry(
+            time_fn=lambda: micros_to_seconds(self.sim.now)
+        )
         wire_manager(registry, self.ism)
         for node in self.nodes:
             prefix = f"node{node.node_id}"

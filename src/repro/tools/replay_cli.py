@@ -19,11 +19,9 @@ import argparse
 import sys
 
 from repro.core.consumers import PiclFileConsumer
-from repro.core.cre import CausalMatcher
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.sorting import SorterConfig
 from repro.picl.format import TimestampMode
-from repro.analysis.trace import Trace
 from repro.wire.protocol import Batch
 
 

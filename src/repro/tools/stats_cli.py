@@ -24,11 +24,7 @@ import argparse
 import sys
 
 from repro.obs.render import render_snapshot
-from repro.obs.reporter import (
-    METRICS_EVENT_ID,
-    scalars_snapshot,
-    snapshot_from_records,
-)
+from repro.obs.reporter import METRICS_EVENT_ID, scalars_snapshot, snapshot_from_records
 
 
 def build_parser() -> argparse.ArgumentParser:

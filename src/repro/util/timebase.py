@@ -33,6 +33,18 @@ def now_micros() -> int:
     return time.time_ns() // 1_000
 
 
+def monotonic_s() -> float:
+    """Sanctioned monotonic-seconds clock for self-timing.
+
+    Components that measure their own elapsed life (metrics registry
+    uptime, intrusion fractions) take an injectable time function
+    defaulting to this one, so a simulated world can substitute virtual
+    time and stay deterministic while real-runtime processes get the OS
+    monotonic clock.
+    """
+    return time.monotonic()
+
+
 def seconds_to_micros(seconds: float) -> int:
     """Convert a duration in (possibly fractional) seconds to microseconds."""
     return round(seconds * MICROS_PER_SEC)

@@ -33,7 +33,7 @@ from __future__ import annotations
 import struct
 from typing import Sequence
 
-from repro.core.records import FieldType, FIELD_TYPE_END, intern_schema
+from repro.core.records import FIELD_TYPE_END, FieldType, intern_schema
 
 #: struct format per fixed-size field type; mirrors the dynamic
 #: ``_encode_field``/``_decode_field`` dispatch in ``protocol``.
@@ -125,7 +125,7 @@ _by_types: dict[tuple, SchemaCodec | None] = {}
 _by_meta: dict[int | tuple[int, ...], object] = {}
 
 
-def _meta_key(words: tuple[int, ...]):
+def _meta_key(words: tuple[int, ...]) -> int | tuple[int, ...]:
     return words[0] if len(words) == 1 else words
 
 
@@ -179,7 +179,7 @@ def peek_codec(mv: memoryview, pos: int, end: int) -> SchemaCodec | None:
     return entry if type(entry) is SchemaCodec else None
 
 
-def _build_for_meta(key) -> object:
+def _build_for_meta(key: int | tuple[int, ...]) -> object:
     types = _parse_meta_words((key,) if type(key) is int else key)
     entry: object = _DYNAMIC
     if types is not None and compressed_meta_words(types) == (

@@ -35,15 +35,14 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
-from repro.core.records import (
-    EventRecord,
-    FieldType,
-    FIELD_TYPE_END,
-)
+if TYPE_CHECKING:
+    from repro.core.filtering import FilterSpec
+
+from repro.core.records import FIELD_TYPE_END, EventRecord, FieldType
 from repro.wire import fastcodec
-from repro.xdr import XdrDecoder, XdrEncoder, XdrDecodeError
+from repro.xdr import XdrDecodeError, XdrDecoder, XdrEncoder
 
 #: Protocol magic: identifies a BRISK stream and its wire version.
 MAGIC = 0xB215C001
@@ -199,7 +198,7 @@ class SetFilter:
     sample_every: int = 1
 
     @classmethod
-    def from_spec(cls, spec) -> "SetFilter":
+    def from_spec(cls, spec: "FilterSpec") -> "SetFilter":
         """Build the wire message from a ``FilterSpec``.
 
         Node filtering is intentionally absent: an EXS only ever ships its
@@ -212,7 +211,7 @@ class SetFilter:
             sample_every=spec.sample_every,
         )
 
-    def to_spec(self):
+    def to_spec(self) -> "FilterSpec":
         """Rebuild the ``FilterSpec`` on the receiving side."""
         from repro.core.filtering import FilterSpec
 
@@ -243,7 +242,7 @@ Message = (
 # field payload codecs
 # ----------------------------------------------------------------------
 
-def _encode_field(enc: XdrEncoder, ftype: FieldType, value) -> None:
+def _encode_field(enc: XdrEncoder, ftype: FieldType, value: Any) -> None:
     if ftype in (
         FieldType.X_BYTE,
         FieldType.X_SHORT,
@@ -272,7 +271,7 @@ def _encode_field(enc: XdrEncoder, ftype: FieldType, value) -> None:
         enc.pack_opaque(bytes(value))
 
 
-def _decode_field(dec: XdrDecoder, ftype: FieldType):
+def _decode_field(dec: XdrDecoder, ftype: FieldType) -> int | float | str | bytes:
     if ftype in (FieldType.X_BYTE, FieldType.X_SHORT, FieldType.X_INT):
         return dec.unpack_int()
     if ftype in (
@@ -370,7 +369,11 @@ _FLAG_DELTA_TS = 0x2
 
 
 def _encode_record_dynamic(
-    enc: XdrEncoder, record: EventRecord, encode_meta, delta_ts: bool, base_ts: int
+    enc: XdrEncoder,
+    record: EventRecord,
+    encode_meta: Callable[[XdrEncoder, Sequence[FieldType]], None],
+    delta_ts: bool,
+    base_ts: int,
 ) -> None:
     """The seed per-field encode path; also the fast path's fallback."""
     enc.pack_uint(record.event_id)
@@ -472,7 +475,11 @@ def encode_batch_records(
 
 
 def _decode_record_dynamic(
-    dec: XdrDecoder, decode_meta, delta_ts: bool, base_ts: int, node_id: int = 0
+    dec: XdrDecoder,
+    decode_meta: Callable[[XdrDecoder], tuple[FieldType, ...]],
+    delta_ts: bool,
+    base_ts: int,
+    node_id: int = 0,
 ) -> EventRecord:
     """The seed per-field decode path; also the fast path's fallback."""
     event_id = dec.unpack_uint()
@@ -581,12 +588,12 @@ def record_wire_size(
 # control messages + top-level dispatch
 # ----------------------------------------------------------------------
 
-def encode_message(msg: Message, **batch_opts) -> bytes:
+def encode_message(msg: Message, **batch_opts: Any) -> bytes:
     """Encode any protocol message to bytes (batch knobs via kwargs)."""
     return _encode_message(msg, **batch_opts).getvalue()
 
 
-def encode_message_view(msg: Message, **batch_opts) -> memoryview:
+def encode_message_view(msg: Message, **batch_opts: Any) -> memoryview:
     """Encode any protocol message, returning a zero-copy view.
 
     The view aliases the encoder's internal buffer (no ``bytes`` snapshot);
@@ -596,7 +603,7 @@ def encode_message_view(msg: Message, **batch_opts) -> memoryview:
     return _encode_message(msg, **batch_opts).getbuffer()
 
 
-def _encode_message(msg: Message, **batch_opts) -> XdrEncoder:
+def _encode_message(msg: Message, **batch_opts: Any) -> XdrEncoder:
     if isinstance(msg, Batch):
         enc = batch_opts.pop("enc", None)
         if enc is None:  # no `or`: an empty reusable encoder is falsy

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import select
 import socket
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.wire import protocol
-from repro.xdr import RecordMarkingReader, XdrDecodeError, frame_header, frame_record
+from repro.xdr import RecordMarkingReader, XdrDecodeError, frame_header
 
 #: Default select timeout (seconds) — the paper's 40 ms worst case.
 DEFAULT_SELECT_TIMEOUT = 0.040
@@ -76,7 +76,7 @@ class MessageConnection:
         self.frames_received = 0
 
     # ------------------------------------------------------------------
-    def send(self, msg: protocol.Message, **batch_opts) -> None:
+    def send(self, msg: protocol.Message, **batch_opts: Any) -> None:
         """Encode, frame, and send one message (blocking until queued).
 
         The encoded payload travels as a zero-copy :class:`memoryview`
@@ -173,7 +173,9 @@ class MessageConnection:
         msgs, self._inbox = self._inbox, []
         return msgs
 
-    def recv(self, timeout: float | None = DEFAULT_SELECT_TIMEOUT):
+    def recv(
+        self, timeout: float | None = DEFAULT_SELECT_TIMEOUT
+    ) -> protocol.Message | None:
         """Return the next message, or None if *timeout* elapses first.
 
         ``timeout=None`` blocks indefinitely.  Raises
@@ -222,7 +224,7 @@ class MessageConnection:
     def __enter__(self) -> "MessageConnection":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -239,7 +241,7 @@ class MessageListener:
         port: int = 0,
         backlog: int = 16,
         recv_buffer_bytes: int = _RECV_CHUNK,
-    ):
+    ) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -271,7 +273,7 @@ class MessageListener:
     def __enter__(self) -> "MessageListener":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 

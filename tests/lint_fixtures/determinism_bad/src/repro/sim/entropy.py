@@ -1,0 +1,25 @@
+"""Fixture: ambient time and entropy inside the deterministic zone."""
+import os
+import random
+import time
+from time import monotonic as mono
+
+
+def stamp():
+    return time.time()  # BRK201 wall clock
+
+
+def stamp_alias():
+    return mono()  # BRK201 via import alias resolution
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)  # BRK202 shared ambient RNG
+
+
+def fresh_rng():
+    return random.Random()  # BRK203 unseeded -> OS entropy
+
+
+def token():
+    return os.urandom(8)  # BRK201 ambient entropy

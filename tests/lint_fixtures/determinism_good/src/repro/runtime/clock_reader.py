@@ -1,0 +1,11 @@
+"""Fixture: outside the zone, real clocks are legitimate (true negative)."""
+import random
+import time
+
+
+def real_now() -> float:
+    return time.time()  # runtime/ is not in the deterministic zone
+
+
+def real_jitter() -> float:
+    return random.uniform(0.0, 0.1)

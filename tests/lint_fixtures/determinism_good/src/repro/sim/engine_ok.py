@@ -1,0 +1,22 @@
+"""Fixture: sanctioned idioms the determinism checker must stay quiet on."""
+import random
+import time
+
+from repro.util.timebase import now_micros
+
+
+class World:
+    def __init__(self, seed: int, rng: random.Random | None = None):
+        # Seeded construction is the sanctioned way to get randomness.
+        self.rng = rng if rng is not None else random.Random(seed)
+
+    def draw(self) -> float:
+        return self.rng.random()
+
+    def self_time_ns(self) -> int:
+        # perf_counter is duration measurement, never a timestamp source.
+        return time.perf_counter_ns()
+
+
+def sanctioned_clock() -> int:
+    return now_micros()

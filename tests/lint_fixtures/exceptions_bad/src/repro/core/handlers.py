@@ -1,0 +1,22 @@
+"""Fixture: broad excepts that silently discard the error."""
+
+
+def swallow(job):
+    try:
+        job()
+    except Exception:  # BRK401: no log, no count, no re-raise
+        pass
+
+
+def swallow_tuple(job):
+    try:
+        return job()
+    except (ValueError, Exception):  # BRK401: broad via tuple member
+        return None
+
+
+def catch_everything(job):
+    try:
+        job()
+    except:  # BRK402: bare except also catches KeyboardInterrupt
+        pass

@@ -1,0 +1,47 @@
+"""Fixture: handlers that leave evidence, and narrow excepts (negatives)."""
+import logging
+
+log = logging.getLogger(__name__)
+
+
+class Stage:
+    def __init__(self):
+        self.errors = 0
+        self.strikes = {}
+        self.last_error = None
+
+    def counted(self, job):
+        try:
+            job()
+        except Exception:
+            self.errors += 1  # counting write is evidence
+
+    def striked(self, job, key):
+        try:
+            job()
+        except Exception:
+            self.strikes[key] = self.strikes.get(key, 0) + 1
+
+    def logged(self, job):
+        try:
+            job()
+        except Exception:
+            log.warning("job failed")
+
+    def stored(self, job):
+        try:
+            job()
+        except Exception as exc:
+            self.last_error = exc  # the error object went somewhere
+
+    def translated(self, job):
+        try:
+            job()
+        except Exception as exc:
+            raise RuntimeError("job failed") from exc
+
+    def narrow(self, sock):
+        try:
+            sock.close()
+        except OSError:
+            pass  # narrow handler: out of scope by design

@@ -1,0 +1,16 @@
+"""Fixture: dark instruments and name collisions."""
+from repro.obs.metrics import Counter, Gauge
+
+
+class Stage:
+    def __init__(self, registry):
+        # BRK501: no adopt_counter / gauge_fn reads 'orphan_hits' anywhere.
+        self.orphan_hits = Counter("stage.orphan_hits")
+        # BRK501: a local can never be wired to a registry later.
+        scratch = Counter("stage.scratch")
+        scratch.inc()
+        # BRK502: constructed without any name argument.
+        self.anon = Gauge()
+        # BRK502: same name claimed as a counter and as a gauge.
+        registry.counter("stage.mixed")
+        registry.gauge("stage.mixed")

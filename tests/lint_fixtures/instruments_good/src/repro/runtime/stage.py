@@ -1,0 +1,18 @@
+"""Fixture: instruments with registration evidence (both wiring idioms)."""
+from repro.obs.metrics import Counter
+
+
+class Stage:
+    def __init__(self):
+        self.hits = Counter("stage.hits")
+        self.depth = 0
+
+
+def wire_stage(registry, stage, prefix="stage"):
+    # Idiom 1: adopt an externally created counter.
+    registry.adopt_counter(stage.hits)
+    # Idiom 2: a pull gauge_fn closure reading an attribute.
+    registry.gauge_fn(f"{prefix}.depth", lambda: float(stage.depth))
+    # Registry factories are registered by construction.
+    registry.counter(f"{prefix}.polls")
+    registry.histogram("stage.latency_us")

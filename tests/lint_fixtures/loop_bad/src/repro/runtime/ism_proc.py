@@ -1,0 +1,17 @@
+"""Fixture: pump-loop discipline violations in a scoped file."""
+import select
+import time
+
+
+class BadPump:
+    def pump(self, socks, timeout):
+        readable, _, _ = select.select(socks, [], [], timeout)
+        time.sleep(0.01)  # BRK301: sleeping inside a select-driven pump
+        for sock in readable:
+            sock.recv(4096)
+
+    def drain_one(self, sock):
+        return sock.recv(4096)  # BRK302: no select guard in this function
+
+    def wait_for_work(self, queue):
+        return queue.get()  # BRK303: unbounded blocking get

@@ -1,0 +1,34 @@
+"""Fixture: disciplined pump idioms the loop checker must accept."""
+import queue as queue_mod
+import select
+import time
+
+
+class GoodPump:
+    def pump(self, socks, timeout):
+        # The select guard and the read live in the same function.
+        readable, _, _ = select.select(socks, [], [], timeout)
+        for sock in readable:
+            sock.recv(4096)
+
+    def accept_ready(self, listener):
+        # An explicit timeout= bounds the wait by construction (the
+        # listener wrapper runs its own select under that bound).
+        return listener.accept(timeout=0.0)
+
+    def poll_queue(self, work):
+        try:
+            return work.get(timeout=0.05)
+        except queue_mod.Empty:
+            return None
+
+    def try_queue(self, work):
+        try:
+            return work.get(block=False)
+        except queue_mod.Empty:
+            return None
+
+    def backoff(self):
+        # No select in this function: sleeping here is reconnect backoff,
+        # not pump latency.
+        time.sleep(0.2)

@@ -1,0 +1,31 @@
+"""Fixture: pragma grammar — suppressions that work, and ones that are findings."""
+
+
+def deliberate_swallow(job):
+    try:
+        job()
+    except Exception:  # brisk-lint: disable=BRK401 (fixture: sink errors are intentional here)
+        pass
+
+
+def next_line_form(job):
+    try:
+        job()
+    # brisk-lint: disable-next=BRK401 (fixture: own-line pragma governs the next code line)
+    except Exception:
+        pass
+
+
+def reasonless(job):
+    try:
+        job()
+    except Exception:  # brisk-lint: disable=BRK401
+        pass  # the missing (reason) is itself a BRK002 finding, but still suppresses
+
+
+def clean_function():  # brisk-lint: disable=BRK401 (fixture: nothing here violates, so BRK003)
+    return 1
+
+
+def broken_pragma(job):  # brisk-lint: disable BRK401 (missing '=' makes this BRK001)
+    return job()

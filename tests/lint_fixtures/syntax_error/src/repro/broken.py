@@ -1,0 +1,5 @@
+"""Fixture: a file that does not parse (BRK000)."""
+
+
+def incomplete(:
+    pass

@@ -1,0 +1,64 @@
+"""Fixture: a wire module violating every BRK1xx contract."""
+import enum
+from dataclasses import dataclass
+
+
+class MsgType(enum.IntEnum):
+    PING = 1
+    PONG = 2
+    LEGACY = 3
+    DARK = 4
+    ALIAS = 4  # duplicate type id -> BRK102
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    a: int
+    b: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    x: int
+    extra: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Legacy:
+    n: int
+
+
+@dataclass(frozen=True, slots=True)
+class Dark:
+    val: int
+    unused: int = 0  # encoded nowhere, decoded nowhere -> BRK104
+
+
+Message = Ping | Pong | Legacy | Dark
+
+
+def _encode_message(enc, msg):
+    if isinstance(msg, Ping):
+        enc.pack_uint(MsgType.PING)
+        enc.pack_uint(msg.b)  # decode reads (a, b) -> BRK101 order mismatch
+        enc.pack_uint(msg.a)
+    elif isinstance(msg, Pong):
+        enc.pack_uint(MsgType.PONG)
+        if msg.extra:  # conditional word that is NOT trailing -> BRK103
+            enc.pack_uint(msg.extra)
+        enc.pack_uint(msg.x)
+    elif isinstance(msg, Dark):
+        enc.pack_uint(MsgType.DARK)
+        enc.pack_uint(msg.val)
+    # Legacy has no encode branch -> BRK102
+
+
+def decode_message(dec):
+    kind = dec.unpack_uint()
+    if kind == MsgType.PING:
+        return Ping(a=dec.unpack_uint(), b=dec.unpack_uint())
+    if kind == MsgType.PONG:
+        return Pong(extra=dec.unpack_uint(), x=dec.unpack_uint())
+    if kind == MsgType.DARK:
+        return Dark(val=dec.unpack_uint())
+    raise ValueError(kind)

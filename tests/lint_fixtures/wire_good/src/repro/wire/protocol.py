@@ -1,0 +1,47 @@
+"""Fixture: a minimal wire module satisfying every BRK1xx contract."""
+import enum
+from dataclasses import dataclass
+
+
+class MsgType(enum.IntEnum):
+    PING = 1
+    HELLO = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    a: int
+    b: int
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    node_id: int
+    wants_ack: bool = False
+
+
+Message = Ping | Hello
+
+
+def _encode_message(enc, msg):
+    if isinstance(msg, Ping):
+        enc.pack_uint(MsgType.PING)
+        enc.pack_uint(msg.a)
+        enc.pack_uint(msg.b)
+    elif isinstance(msg, Hello):
+        enc.pack_uint(MsgType.HELLO)
+        enc.pack_uint(msg.node_id)
+        if msg.wants_ack:  # trailing word only: legal extension point
+            enc.pack_uint(1)
+
+
+def decode_message(dec):
+    kind = dec.unpack_uint()
+    if kind == MsgType.PING:
+        return Ping(a=dec.unpack_uint(), b=dec.unpack_uint())
+    if kind == MsgType.HELLO:
+        return Hello(
+            node_id=dec.unpack_uint(),
+            wants_ack=dec.remaining >= 4 and bool(dec.unpack_uint()),
+        )
+    raise ValueError(kind)

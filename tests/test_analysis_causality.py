@@ -1,12 +1,9 @@
 """Unit tests for causal-graph reconstruction and perturbation analysis."""
 
 import pytest
+from tests.conftest import make_record
 
-from repro.analysis.causality import (
-    build_causal_graph,
-    causal_chains,
-    find_causal_violations,
-)
+from repro.analysis.causality import build_causal_graph, causal_chains, find_causal_violations
 from repro.analysis.perturbation import (
     CompensationReport,
     IntrusionModel,
@@ -15,8 +12,6 @@ from repro.analysis.perturbation import (
 )
 from repro.analysis.trace import Trace
 from repro.core.records import EventRecord, FieldType
-
-from tests.conftest import make_record
 
 
 def reason(cid: int, ts: int, node: int = 1, event: int = 1) -> EventRecord:

@@ -3,6 +3,7 @@
 import io
 
 import pytest
+from tests.conftest import make_record
 
 from repro.analysis.statistics import (
     gap_statistics,
@@ -14,8 +15,6 @@ from repro.analysis.trace import Trace
 from repro.core import native
 from repro.core.records import EventRecord, FieldType
 from repro.picl.format import dumps
-
-from tests.conftest import make_record
 
 
 def sample_trace() -> Trace:

@@ -1,16 +1,11 @@
 """Unit tests for anomaly detection and span statistics."""
 
 import pytest
+from tests.conftest import make_record
 
-from repro.analysis.anomaly import (
-    correlate_series,
-    rate_anomalies,
-    silence_gaps,
-)
+from repro.analysis.anomaly import correlate_series, rate_anomalies, silence_gaps
 from repro.analysis.timeline import GanttSpan, span_statistics
 from repro.analysis.trace import Trace
-
-from tests.conftest import make_record
 
 
 def steady_with_spike() -> Trace:

@@ -1,13 +1,12 @@
 """Unit tests for event catalogs (self-describing traces)."""
 
 import pytest
+from tests.conftest import make_record
 
-from repro.core.catalog import CATALOG_EVENT_ID, EventCatalog, EventDefinition
+from repro.core.catalog import CATALOG_EVENT_ID, EventCatalog
 from repro.core.records import FieldType, RecordSchema
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
-
-from tests.conftest import make_record
 
 SCHEMA = RecordSchema((FieldType.X_INT, FieldType.X_STRING))
 

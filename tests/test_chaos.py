@@ -8,9 +8,9 @@ All chaos is seeded, so a failure replays deterministically.
 
 import socket
 import threading
-import time
 
 import pytest
+from tests.conftest import wait_until
 
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.consumers import CollectingConsumer
@@ -30,7 +30,6 @@ from repro.sim import (
     Simulator,
 )
 from repro.util.timebase import now_micros
-from tests.conftest import wait_until
 from repro.wire.chaos import ChaosConfig, ChaosProxy
 from repro.wire.tcp import MessageListener
 

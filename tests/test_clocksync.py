@@ -10,12 +10,7 @@ import pytest
 
 from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
 from repro.clocksync.cristian import CristianMaster
-from repro.clocksync.probes import (
-    FunctionSlave,
-    ProbeSample,
-    probe_average,
-    probe_best_of,
-)
+from repro.clocksync.probes import FunctionSlave, ProbeSample, probe_average, probe_best_of
 
 
 class ExactSlave:

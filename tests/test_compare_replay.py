@@ -1,13 +1,12 @@
 """Unit tests for trace comparison and trace-driven workload replay."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.analysis.compare import compare_traces
 from repro.analysis.trace import Trace
 from repro.sim.engine import Simulator
 from repro.sim.workload import TraceWorkload
-
-from tests.conftest import make_record
 
 
 def trace_of(spec: list[tuple[int, int, int]]) -> Trace:

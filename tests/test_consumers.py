@@ -3,6 +3,7 @@
 import io
 
 import pytest
+from tests.conftest import make_record
 
 from repro.core import native
 from repro.core.consumers import (
@@ -14,8 +15,6 @@ from repro.core.consumers import (
     VisualObjectConsumer,
 )
 from repro.picl.format import PiclReader, TimestampMode
-
-from tests.conftest import make_record
 
 
 class TestMemoryBufferConsumer:

@@ -1,11 +1,10 @@
 """Unit tests for the causally-related-event matcher."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.core.cre import CausalMatcher, CreConfig
 from repro.core.records import EventRecord, FieldType
-
-from tests.conftest import make_record
 
 
 def reason(rid: int, ts: int, event_id: int = 1) -> EventRecord:

@@ -14,6 +14,7 @@ import time
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+from tests.conftest import wait_until
 
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.consumers import CollectingConsumer
@@ -25,12 +26,10 @@ from repro.core.sensor import Sensor
 from repro.core.sorting import SorterConfig
 from repro.runtime.exs_proc import ExsOutbox, ExsProcess
 from repro.runtime.ism_proc import IsmServer
-from tests.conftest import wait_until
 from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import MessageListener, connect
 
-from tests.conftest import make_record
 
 
 # ----------------------------------------------------------------------

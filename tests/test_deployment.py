@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core.consumers import CollectingConsumer
-from repro.core.records import FieldType
 from repro.sim.deployment import DeploymentConfig, SimDeployment
 from repro.sim.engine import Simulator
-from repro.sim.workload import PeriodicWorkload, PoissonWorkload
+from repro.sim.workload import PoissonWorkload
 
 
 def build(

@@ -1,12 +1,10 @@
 """Integration tests: ISM overload modelling and node failure injection."""
 
-import pytest
 
 from repro.core.consumers import CollectingConsumer
-from repro.core.records import FieldType
-from repro.core.sorting import SorterConfig
-from repro.core.ism import IsmConfig
 from repro.core.cre import CreConfig
+from repro.core.ism import IsmConfig
+from repro.core.sorting import SorterConfig
 from repro.sim.deployment import DeploymentConfig, SimDeployment
 from repro.sim.engine import Simulator
 from repro.sim.workload import PoissonWorkload

@@ -1,6 +1,7 @@
 """Unit tests for the external sensor (drain/correct/batch/encode)."""
 
 import pytest
+from tests.test_clocks import FakeTime
 
 from repro.clocksync.clocks import CorrectedClock, DriftingClock
 from repro.core.exs import ExsConfig, ExternalSensor
@@ -8,8 +9,6 @@ from repro.core.records import FieldType
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
 from repro.wire import protocol
-
-from tests.test_clocks import FakeTime
 
 
 def make_lis(

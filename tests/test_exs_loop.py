@@ -1,12 +1,12 @@
 """Unit tests for the reference EXS driver loop (`run_exs_loop`)."""
 
+from tests.test_clocks import FakeTime
+
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.exs import ExsConfig, ExternalSensor, run_exs_loop
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
 from repro.wire import protocol
-
-from tests.test_clocks import FakeTime
 
 
 def build(config=ExsConfig(batch_max_records=8, flush_timeout_us=0)):

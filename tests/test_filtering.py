@@ -1,17 +1,16 @@
 """Unit tests for event filtering and the multi-ring external sensor."""
 
 import pytest
+from tests.conftest import make_record
+from tests.test_clocks import FakeTime
 
 from repro.clocksync.clocks import CorrectedClock, DriftingClock
 from repro.core.consumers import CollectingConsumer
 from repro.core.exs import ExsConfig, ExternalSensor
-from repro.core.filtering import FilterSpec, FilterState, FilteringConsumer
+from repro.core.filtering import FilteringConsumer, FilterSpec, FilterState
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
 from repro.wire import protocol
-
-from tests.conftest import make_record
-from tests.test_clocks import FakeTime
 
 
 class TestFilterSpec:

@@ -5,7 +5,6 @@ monitoring scenario: its records arrive late, and the ISM's adaptive
 time frame must stretch to cover exactly that straggler — no more.
 """
 
-import pytest
 
 from repro.core.consumers import CollectingConsumer
 from repro.sim.deployment import DeploymentConfig, SimDeployment

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.records import FieldType
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
 from repro.instrument.messaging import CausalChannel, CausalToken

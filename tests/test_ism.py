@@ -1,6 +1,8 @@
 """Unit tests for the instrumentation system manager."""
 
 import pytest
+from tests.conftest import make_record
+from tests.test_clocksync import ExactSlave
 
 from repro.clocksync.brisk_sync import BriskSyncMaster
 from repro.core.consumers import CollectingConsumer
@@ -9,9 +11,6 @@ from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.records import EventRecord, FieldType
 from repro.core.sorting import SorterConfig
 from repro.wire import protocol
-
-from tests.conftest import make_record
-from tests.test_clocksync import ExactSlave
 
 
 def batch(exs_id: int, seq: int, records) -> protocol.Batch:

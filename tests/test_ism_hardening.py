@@ -1,13 +1,12 @@
 """Tests for ISM consumer fault isolation and related hardening."""
 
 import pytest
+from tests.conftest import make_record, wait_until
 
 from repro.core.consumers import CollectingConsumer
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.sorting import SorterConfig
 from repro.wire import protocol
-
-from tests.conftest import make_record, wait_until
 
 
 class FlakyConsumer:

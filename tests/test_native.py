@@ -1,11 +1,10 @@
 """Unit tests for the native (node-local) binary record layout."""
 
 import pytest
+from tests.conftest import make_mixed_record, make_record
 
 from repro.core import native
 from repro.core.records import EventRecord, FieldType
-
-from tests.conftest import make_mixed_record, make_record
 
 
 class TestPackUnpack:

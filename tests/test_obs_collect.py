@@ -1,9 +1,7 @@
 """Wiring the metrics registry over real pipeline objects, and the
 ``brisk-stats`` tool end to end."""
 
-import io
 
-import pytest
 
 from repro.core.ringbuffer import HEADER_SIZE, OverflowPolicy, RingBuffer
 from repro.obs import collect
@@ -109,7 +107,6 @@ class TestStatsCli:
         assert "no metric records" in err
 
     def test_shm_mode_reads_live_segment(self, capsys):
-        from repro.core.records import FieldType
         from repro.core.sensor import Sensor
         from repro.obs.metrics import MetricsRegistry
         from repro.obs.reporter import MetricsReporter

@@ -1,6 +1,5 @@
 """The self-observability layer: instruments, registry, reporter, render."""
 
-import math
 
 import pytest
 

@@ -3,22 +3,21 @@
 import io
 
 import pytest
+from tests.conftest import make_mixed_record, make_record
 
 from repro.core.records import EventRecord, FieldType
 from repro.picl.format import (
+    USER_EVENT_RECORD_TYPE,
     PiclParseError,
     PiclReader,
     PiclWriter,
     TimestampMode,
-    USER_EVENT_RECORD_TYPE,
     dumps,
     parse_line,
     picl_to_line,
     picl_to_record,
     record_to_picl,
 )
-
-from tests.conftest import make_mixed_record, make_record
 
 
 class TestConversion:

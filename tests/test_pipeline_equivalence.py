@@ -22,7 +22,7 @@ from repro.core.consumers import (
     PiclFileConsumer,
     QueuedConsumer,
 )
-from repro.core.cre import CausalMatcher, CreConfig
+from repro.core.cre import CausalMatcher
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.records import EventRecord, FieldType
 from repro.core.sorting import OnlineSorter, SorterConfig

@@ -1,17 +1,12 @@
 """Unit tests for profiling-mode sensors (hybrid-approach emulation)."""
 
 import pytest
+from tests.conftest import make_record
+from tests.test_clocks import FakeTime
 
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
-from repro.profiles.aggregate import (
-    PROFILE_EVENT_ID,
-    ProfileDecoder,
-    ProfilingSensor,
-)
-
-from tests.conftest import make_record
-from tests.test_clocks import FakeTime
+from repro.profiles.aggregate import PROFILE_EVENT_ID, ProfileDecoder, ProfilingSensor
 
 
 def make_profiling_sensor(flush_us: int = 1_000_000):

@@ -15,10 +15,8 @@ Four invariant families:
 from __future__ import annotations
 
 import random
-import string
 
 import pytest
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core import native

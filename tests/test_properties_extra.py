@@ -7,18 +7,17 @@ filtering, the event catalog, trace queries, and the profiling sensor.
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
+from tests.conftest import make_record
+from tests.test_clocks import FakeTime
 
+from repro.analysis.trace import Trace
 from repro.core import native
 from repro.core.catalog import EventCatalog
 from repro.core.filtering import FilterSpec, FilterState
-from repro.core.records import EventRecord, FieldType, RecordSchema
+from repro.core.records import FieldType, RecordSchema
 from repro.core.ringbuffer import ring_for_records
 from repro.core.sensor import Sensor
-from repro.analysis.trace import Trace
 from repro.profiles.aggregate import ProfileDecoder, ProfilingSensor
-
-from tests.conftest import make_record
-from tests.test_clocks import FakeTime
 
 
 def simple_records(draw_ids):

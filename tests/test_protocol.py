@@ -1,15 +1,16 @@
 """Unit tests for the BRISK wire protocol (batches + control messages)."""
 
 import pytest
+from tests.conftest import make_mixed_record, make_record
 
 from repro.core.records import EventRecord, FieldType
 from repro.wire import protocol
 from repro.wire.protocol import (
+    MAGIC,
     Adjust,
     Batch,
     Bye,
     Hello,
-    MAGIC,
     ProtocolError,
     TimeReply,
     TimeRequest,
@@ -18,8 +19,6 @@ from repro.wire.protocol import (
     encode_message,
     record_wire_size,
 )
-
-from tests.conftest import make_mixed_record, make_record
 
 
 def roundtrip_batch(records, **opts) -> Batch:

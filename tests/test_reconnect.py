@@ -3,6 +3,9 @@
 import threading
 import time
 
+import pytest
+from tests.conftest import wait_until
+
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.consumers import CollectingConsumer
 from repro.core.exs import ExsConfig, ExternalSensor
@@ -14,10 +17,6 @@ from repro.runtime.exs_proc import ReconnectingExs
 from repro.runtime.ism_proc import IsmServer
 from repro.util.timebase import now_micros
 from repro.wire.tcp import MessageListener
-
-import pytest
-
-from tests.conftest import wait_until
 
 
 def make_lis():

@@ -1,19 +1,18 @@
 """Unit tests for event records, field types, and schemas."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.core.records import (
     DEFAULT_MAX_FIELDS,
-    EventRecord,
     FIELD_TYPE_END,
+    SYSTEM_FIELD_TYPES,
+    EventRecord,
     FieldType,
     RecordSchema,
-    SYSTEM_FIELD_TYPES,
     intern_schema,
     validate_field,
 )
-
-from tests.conftest import make_record
 
 
 class TestFieldTypeSystem:

@@ -1,6 +1,7 @@
 """Unit tests for the SPSC ring buffer."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.core import native
 from repro.core.ringbuffer import (
@@ -10,8 +11,6 @@ from repro.core.ringbuffer import (
     RingBufferFull,
     ring_for_records,
 )
-
-from tests.conftest import make_record
 
 
 def small_ring(data_bytes: int = 256, policy=OverflowPolicy.DROP_NEW) -> RingBuffer:

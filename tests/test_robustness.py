@@ -9,15 +9,14 @@ import threading
 
 import pytest
 from hypothesis import given, settings, strategies as st
+from tests.conftest import make_record
 
 from repro.core import native
-from repro.core.records import EventRecord, FieldType
 from repro.core.cre import CausalMatcher, CreConfig
+from repro.core.records import EventRecord, FieldType
 from repro.core.ringbuffer import HEADER_SIZE, RingBuffer
 from repro.wire import protocol
 from repro.xdr import RecordMarkingReader, XdrDecodeError
-
-from tests.conftest import make_record
 
 
 class TestDecoderFuzzing:

@@ -10,6 +10,7 @@ import threading
 import time
 
 import pytest
+from tests.conftest import make_record
 
 from repro.clocksync.brisk_sync import BriskSyncConfig
 from repro.clocksync.clocks import CorrectedClock
@@ -18,17 +19,10 @@ from repro.core.exs import ExsConfig, ExternalSensor
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.sensor import Sensor
 from repro.core.sorting import SorterConfig
-from repro.runtime import (
-    ExsProcess,
-    IsmServer,
-    attach_shared_ring,
-    create_shared_ring,
-)
+from repro.runtime import ExsProcess, IsmServer, attach_shared_ring, create_shared_ring
 from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import MessageListener, connect
-
-from tests.conftest import make_record
 
 
 class TestSharedRing:

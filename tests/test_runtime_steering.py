@@ -1,7 +1,8 @@
 """Integration test: live filter steering over real sockets."""
 
 import threading
-import time
+
+from tests.conftest import wait_until
 
 from repro.clocksync.clocks import CorrectedClock
 from repro.core.consumers import CollectingConsumer
@@ -13,7 +14,6 @@ from repro.core.sorting import SorterConfig
 from repro.runtime import ExsProcess, IsmServer, create_shared_ring
 from repro.util.timebase import now_micros
 from repro.wire.tcp import MessageListener, connect
-from tests.conftest import wait_until
 
 
 class TestLiveFilterSteering:

@@ -4,6 +4,7 @@ import multiprocessing as mp
 import threading
 
 import pytest
+from tests.conftest import make_record
 
 from repro.core.consumers import Consumer
 from repro.core.ism import InstrumentationManager, IsmConfig
@@ -11,8 +12,6 @@ from repro.core.sorting import SorterConfig
 from repro.runtime.shm_consumer import SharedMemoryConsumer, SharedMemoryReader
 from repro.tools import tail_cli
 from repro.wire import protocol
-
-from tests.conftest import make_record
 
 
 class TestSharedMemoryConsumer:

@@ -4,13 +4,7 @@ import random
 
 import pytest
 
-from repro.sim.network import (
-    DisturbanceModel,
-    LinkModel,
-    LinkModelConfig,
-    lan_disturbed,
-    lan_quiet,
-)
+from repro.sim.network import DisturbanceModel, LinkModel, LinkModelConfig, lan_disturbed, lan_quiet
 
 
 class TestLinkModel:

@@ -1,10 +1,9 @@
 """Unit tests for the on-line sorter (heap merge + adaptive time frame)."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.core.sorting import OnlineSorter, SorterConfig
-
-from tests.conftest import make_record
 
 
 def drain_all(sorter: OnlineSorter, now: int):

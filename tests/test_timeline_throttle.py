@@ -1,6 +1,7 @@
 """Unit tests for ASCII timeline rendering and the auto-throttle loop."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.analysis.timeline import (
     GanttSpan,
@@ -10,11 +11,9 @@ from repro.analysis.timeline import (
     render_rate_heatmap,
 )
 from repro.analysis.trace import Trace
-from repro.core.records import EventRecord, FieldType
 from repro.core.filtering import FilterSpec
+from repro.core.records import EventRecord, FieldType
 from repro.runtime.throttle import AutoThrottle, ThrottleConfig
-
-from tests.conftest import make_record
 
 
 def span_record(event_id: int, span_id: int, label: str, ts: int, node: int = 1):

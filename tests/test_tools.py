@@ -1,10 +1,9 @@
 """Integration tests for the command-line tools."""
 
-import io
 import threading
-import time
 
 import pytest
+from tests.conftest import make_record, wait_until
 
 from repro.analysis.trace import Trace
 from repro.core.records import EventRecord, FieldType
@@ -12,8 +11,6 @@ from repro.picl.format import dumps
 from repro.tools import ism_cli, replay_cli, trace_stats_cli
 from repro.wire import protocol
 from repro.wire.tcp import connect
-
-from tests.conftest import make_record, wait_until
 
 
 def announced_port(capsys) -> int:

@@ -1,11 +1,10 @@
 """Tests for native trace files and the recent-window consumer."""
 
 import pytest
+from tests.conftest import make_mixed_record, make_record
 
 from repro.analysis.trace import Trace
 from repro.core.consumers import Consumer, RecentWindowConsumer
-
-from tests.conftest import make_mixed_record, make_record
 
 
 class TestNativeTraceFile:

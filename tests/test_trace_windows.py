@@ -1,12 +1,11 @@
 """Unit tests for trace phase splitting and windowing."""
 
 import pytest
+from tests.conftest import make_record
 
 from repro.analysis.trace import Trace
-from repro.tools import trace_stats_cli
 from repro.picl.format import dumps
-
-from tests.conftest import make_record
+from repro.tools import trace_stats_cli
 
 
 def burst_trace() -> Trace:

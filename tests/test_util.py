@@ -1,6 +1,5 @@
 """Unit tests for time base and statistics helpers."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

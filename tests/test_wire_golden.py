@@ -6,9 +6,10 @@ bytes.  If one of these tests fails, the wire format changed — that is
 a compatibility break, not a refactor.
 """
 
+from tests.conftest import make_record
+
 from repro.core.records import EventRecord, FieldType
 from repro.wire import protocol
-from tests.conftest import make_record
 
 
 def test_six_int_batch_golden():

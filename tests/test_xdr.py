@@ -5,12 +5,7 @@ import struct
 
 import pytest
 
-from repro.xdr import (
-    XdrDecodeError,
-    XdrDecoder,
-    XdrEncodeError,
-    XdrEncoder,
-)
+from repro.xdr import XdrDecodeError, XdrDecoder, XdrEncodeError, XdrEncoder
 
 
 def roundtrip(pack, unpack, value):

@@ -4,12 +4,7 @@ import struct
 
 import pytest
 
-from repro.xdr import (
-    RecordMarkingReader,
-    XdrDecodeError,
-    frame_record,
-    split_records,
-)
+from repro.xdr import RecordMarkingReader, XdrDecodeError, frame_record, split_records
 
 
 class TestFraming:
