@@ -340,3 +340,41 @@ def test_e5_fanin_sort_deliver_floor():
         f"8-source fan-in rate {rate:,.0f} ev/s fell below the recorded "
         f"floor {_E5_FANIN_FLOOR_EV_S:,} ev/s"
     )
+
+
+def test_e5b_sharded_scaling_floor():
+    """The sharded-ISM acceptance floor: 8 shards >= 3x 1 shard.
+
+    Runs on the deterministic finite-server sim model (seeded workload,
+    virtual time), so the guard holds regardless of how many physical
+    cores the CI host happens to have; the socket-path counterpart in
+    ``test_e5b_sharded_scaling.py`` asserts the same floor on wall-clock
+    time when cores allow.
+    """
+    from repro.sim.deployment import DeploymentConfig, SimDeployment
+    from repro.sim.engine import Simulator
+    from repro.sim.workload import PoissonWorkload
+
+    def capacity(shards: int) -> float:
+        sim = Simulator(seed=5)
+        dep = SimDeployment(
+            sim,
+            DeploymentConfig(
+                ism_service_time_us=500.0,
+                ism_shards=shards,
+                exs_poll_interval_us=10_000,
+            ),
+            [CallbackConsumer(lambda r: None)],
+        )
+        # 4x the per-shard capacity offered per node: every shard stays
+        # saturated at both scale points.
+        for node in dep.add_nodes(8, max_offset_us=100, max_drift_ppm=1):
+            dep.attach_workload(node, PoissonWorkload(rate_hz=4_000))
+        dep.run(2.0)
+        return dep.ism.stats.records_received / 2.0
+
+    single, sharded = capacity(1), capacity(8)
+    assert sharded >= 3.0 * single, (
+        f"sharded scaling floor broken: 8 shards {sharded:,.0f} ev/s "
+        f"< 3x 1-shard {single:,.0f} ev/s"
+    )

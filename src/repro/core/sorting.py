@@ -136,6 +136,12 @@ class OnlineSorter:
         # `held` property (read per extract iteration under overload) is
         # O(1) instead of a sum over every queue.
         self._held = 0
+        # exs_id → records released so far.  The sharded ISM's ack
+        # watermark advances only once a batch's records have *left* the
+        # sorter (released downstream), so a shard killed mid-hold still
+        # gets the parked records retransmitted; this per-source count is
+        # what lets it map "released so far" back onto batch seqs.
+        self.released_by_source: dict[int, int] = {}
         self._last_released_ts: int | None = None
         self._last_released_source: int | None = None
         self._last_decay_now: int | None = None
@@ -314,6 +320,8 @@ class OnlineSorter:
         self, record: EventRecord, exs_id: int, arrival: int, now: int, *, forced: bool
     ) -> None:
         self.stats.released += 1
+        counts = self.released_by_source
+        counts[exs_id] = counts.get(exs_id, 0) + 1
         if forced:
             self.stats.forced += 1
         self.stats.hold_time_us.add(now - arrival)

@@ -8,9 +8,11 @@ the output goes to terminals and log files, not dashboards.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.obs.metrics import HistogramSnapshot, MetricsSnapshot
 
-__all__ = ["render_snapshot", "render_histogram"]
+__all__ = ["render_snapshot", "render_histogram", "render_shard_breakdown"]
 
 
 def _fmt(value: float) -> str:
@@ -68,4 +70,61 @@ def render_snapshot(snapshot: MetricsSnapshot, histograms: bool = True) -> str:
         lines.append("-- distributions " + "-" * 27)
         for name in sorted(snapshot.histograms):
             lines.append(render_histogram(name, snapshot.histograms[name]))
+    return "\n".join(lines)
+
+
+#: Per-shard columns of the breakdown table: (header, metric name).
+_SHARD_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("received", "ism.records_received"),
+    ("delivered", "ism.records_delivered"),
+    ("deduped", "ism.records_deduped"),
+    ("held", "sorter.held"),
+    ("parked", "cre.parked_now"),
+    ("commits", "shard.commits"),
+    ("frames", "shard.frames_in"),
+)
+
+
+def render_shard_breakdown(
+    shard_snapshots: Sequence[tuple[int | str, MetricsSnapshot]],
+    dispatcher: MetricsSnapshot | None = None,
+) -> str:
+    """The sharded-ISM fleet view: merged totals plus a per-shard table.
+
+    *shard_snapshots* is ``(shard_id, snapshot)`` per worker; *dispatcher*
+    is the ingest plane's own registry snapshot, merged into the fleet
+    totals when given.  Scalar counters add across shards and histogram
+    buckets merge (``HistogramSnapshot.merge``), so the totals section is
+    exactly what one unsharded ISM doing all the work would have shown.
+    """
+    if not shard_snapshots:
+        merged = dispatcher
+    else:
+        merged = shard_snapshots[0][1]
+        for _, snap in shard_snapshots[1:]:
+            merged = merged.merge(snap)
+        if dispatcher is not None:
+            merged = merged.merge(dispatcher)
+    lines: list[str] = []
+    if merged is not None:
+        lines.append(f"== fleet ({len(shard_snapshots)} shards) " + "=" * 20)
+        lines.append(render_snapshot(merged))
+    if shard_snapshots:
+        headers = ["shard", *(h for h, _ in _SHARD_COLUMNS)]
+        rows = [
+            [str(shard_id)]
+            + [
+                _fmt(snap.get(metric, 0.0) or 0.0)
+                for _, metric in _SHARD_COLUMNS
+            ]
+            for shard_id, snap in shard_snapshots
+        ]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows))
+            for i in range(len(headers))
+        ]
+        lines.append("== per shard " + "=" * 31)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)

@@ -28,17 +28,34 @@ dropped or reordered.
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import select
+import struct
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
 from repro.clocksync.probes import ProbeSample
-from repro.core.ism import InstrumentationManager
+from repro.core import native
+from repro.core.consumers import Consumer
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.merge import OrderedMerger
+from repro.core.records import EventRecord
 from repro.obs import collect
 from repro.obs.metrics import Counter, MetricsRegistry, MetricsSnapshot
-from repro.obs.render import render_snapshot
+from repro.obs.render import render_shard_breakdown, render_snapshot
+from repro.runtime.shard import (
+    CTRL_ACK,
+    CTRL_COMMIT,
+    CTRL_HELLO_REPLY,
+    RPC_SNAPSHOT,
+    RPC_STOP,
+    ShardConfig,
+    shard_worker_main,
+)
+from repro.runtime.shm import create_shared_ring
 from repro.util.timebase import now_micros
 from repro.wire import protocol
 from repro.wire.tcp import ConnectionClosed, MessageConnection, MessageListener
@@ -150,7 +167,6 @@ class IsmServer:
         #: (the manager's stamping pass then finds nothing to rebuild).
         self._conn_node: dict[MessageConnection, int] = {}
         self._pending: list[MessageConnection] = []
-        self._dead: set[MessageConnection] = set()
         self._stop = threading.Event()
         # First round runs as soon as a slave connects (warmup), then on
         # the configured period.
@@ -495,6 +511,12 @@ class IsmServer:
             self.manager.register_source(msg.exs_id, msg.node_id)
             if conn in self._pending:
                 self._pending.remove(conn)
+            stale = self.connections.get(msg.exs_id)
+            if stale is not None and stale is not conn:
+                # Reconnect raced the EOF of the old socket: retire the
+                # stale connection *before* binding the new one, so the
+                # drop cannot evict the fresh binding.
+                self._drop(stale)
             self.connections[msg.exs_id] = conn
             self._conn_exs[conn] = msg.exs_id
             self._conn_node[conn] = msg.node_id
@@ -523,15 +545,28 @@ class IsmServer:
         self.dispatch(msg, now)
 
     def _drop(self, conn: MessageConnection) -> None:
-        if conn in self._dead:
-            return  # already dropped (e.g. Bye routed, then EOF seen)
-        self._dead.add(conn)
+        # Idempotence by membership, not a tombstone set: a connection the
+        # server no longer tracks anywhere was already dropped (e.g. Bye
+        # routed, then EOF seen in the same cycle).  The old `_dead` set
+        # grew one entry per connection for the server's whole lifetime.
+        tracked = (
+            conn in self._last_activity
+            or conn in self._conn_exs
+            or conn in self._pending
+        )
+        if not tracked:
+            return
         self._last_activity.pop(conn, None)
         self._conn_node.pop(conn, None)
         exs_id = self._conn_exs.pop(conn, None)
         if exs_id is not None:
-            self.connections.pop(exs_id, None)
-            self._ack_enabled.discard(exs_id)
+            # Only evict the exs→conn binding if it still points at *this*
+            # connection: after a reconnect the id maps to the new socket,
+            # and reaping the stale socket must not tear the live one out
+            # of the ack/sync sets.
+            if self.connections.get(exs_id) is conn:
+                self.connections.pop(exs_id)
+                self._ack_enabled.discard(exs_id)
             self._rebuild_sync_master()
         if conn in self._pending:
             self._pending.remove(conn)
@@ -589,3 +624,823 @@ class IsmServer:
             self.sync_rounds_completed += 1
         except (TimeoutError, ConnectionClosed, ConnectionResetError):
             pass  # a slave vanished mid-round; the next pump sweeps it
+
+
+# ----------------------------------------------------------------------
+# the sharded ISM: one ingest plane, N sort/deliver workers
+# ----------------------------------------------------------------------
+
+#: Peek offsets into an undecoded wire frame (big-endian XDR payload):
+#: message type at byte 4, and — for Batch frames — exs_id at byte 12.
+_PEEK_U32 = struct.Struct(">I")
+_MSG_TYPE_OFFSET = 4
+_BATCH_EXS_OFFSET = 12
+
+
+class _ShardHandle:
+    """Dispatcher-side state for one shard worker process."""
+
+    __slots__ = (
+        "index",
+        "shared_in",
+        "shared_out",
+        "process",
+        "pipe",
+        "staged",
+        "overflow",
+        "received",
+        "delivered",
+        "received_base",
+        "delivered_base",
+        "watermark",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.shared_in = None
+        self.shared_out = None
+        self.process = None
+        self.pipe = None
+        #: Drained-but-uncommitted output-ring items, in ring order:
+        #: ("d", records) for data chunks, ("a", exs_id, seq) for acks.
+        self.staged: list[tuple] = []
+        #: Frames routed here that the input ring had no room for.
+        self.overflow: deque[bytes] = deque()
+        #: Cumulative counters from the latest commit record, plus the
+        #: totals carried over from dead incarnations of this shard.
+        self.received = 0
+        self.delivered = 0
+        self.received_base = 0
+        self.delivered_base = 0
+        self.watermark = 0
+
+
+class ShardedIsmServer:
+    """The sharded ISM: a thin ingest dispatcher over N shard workers.
+
+    The dispatcher owns the listener and every EXS socket, but does *no*
+    decode, sort, or causal work: each frame is routed — by the node id
+    (``partition_by="node"``, the default) or the EXS id
+    (``partition_by="exs"``) its connection's Hello advertised — onto the
+    owning shard's shared-memory input ring still encoded.  Shard workers
+    (:mod:`repro.runtime.shard`) decode, sort, match, and push released
+    records back over per-shard output rings, and the dispatcher fans the
+    (optionally k-way merged, see :class:`~repro.core.merge.OrderedMerger`)
+    stream out to the consumers.
+
+    Delivery guarantees are per-shard and crash-safe via the commit
+    protocol: output-ring items are *staged* here and released downstream
+    only when the shard's COMMIT record arrives; ack records are likewise
+    applied (resume cache + wire ``Ack``) only at commit.  When a worker
+    dies, the uncommitted tail is discarded, the shard's connections are
+    closed (forcing EXS resume), and a replacement worker is spawned with
+    the committed ack watermarks as its dedup state — so a SIGKILL'd shard
+    costs retransmission, never loss or duplication.
+
+    Clock sync and source throttling are not yet supported in sharded
+    mode — the single-process :class:`IsmServer` remains the tool for
+    deployments that need them.
+    """
+
+    def __init__(
+        self,
+        consumers: list[Consumer],
+        listener: MessageListener,
+        *,
+        shards: int = 2,
+        partition_by: str = "node",
+        ism_config: IsmConfig | None = None,
+        ordered_merge: bool = True,
+        ack_batches: bool = True,
+        idle_deadline_s: float | None = None,
+        metrics: MetricsRegistry | None = None,
+        stats_interval_s: float | None = None,
+        stats_sink=None,
+        input_ring_bytes: int = 4 << 20,
+        output_ring_bytes: int = 8 << 20,
+        overflow_limit: int = 10_000,
+        drain_limit: int = 2_048,
+        shard_idle_timeout_s: float = 0.002,
+        commit_interval_s: float = 0.05,
+        mp_context=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if partition_by not in ("node", "exs"):
+            raise ValueError("partition_by must be 'node' or 'exs'")
+        if idle_deadline_s is not None and idle_deadline_s <= 0:
+            raise ValueError("idle_deadline_s must be positive or None")
+        if stats_interval_s is not None and stats_interval_s <= 0:
+            raise ValueError("stats_interval_s must be positive or None")
+        self.consumers = list(consumers)
+        self.listener = listener
+        self.shards = shards
+        self.partition_by = partition_by
+        self.ism_config = ism_config if ism_config is not None else IsmConfig()
+        self.ack_batches = ack_batches
+        self.idle_deadline_s = idle_deadline_s
+        self.input_ring_bytes = input_ring_bytes
+        self.output_ring_bytes = output_ring_bytes
+        self.overflow_limit = overflow_limit
+        self.drain_limit = drain_limit
+        self.shard_idle_timeout_s = shard_idle_timeout_s
+        self.commit_interval_s = commit_interval_s
+        self._ctx = mp_context if mp_context is not None else mp.get_context("spawn")
+        self._merger: OrderedMerger | None = OrderedMerger() if ordered_merge else None
+        self._handles: list[_ShardHandle] = [_ShardHandle(i) for i in range(shards)]
+        self._workers_running = False
+        self._stopping = False
+        # Socket-side state (mirrors IsmServer's bookkeeping).
+        self.connections: dict[int, MessageConnection] = {}
+        self._conn_exs: dict[MessageConnection, int] = {}
+        self._conn_shard: dict[MessageConnection, int] = {}
+        self._exs_shard: dict[int, int] = {}
+        self._ack_enabled: set[int] = set()
+        self._last_activity: dict[MessageConnection, float] = {}
+        self._pending: list[MessageConnection] = []
+        self._stop = threading.Event()
+        #: Committed ack watermarks per EXS — the shard-respawn resume
+        #: state, and what survives a serve()/serve() phase boundary.
+        self._resume: dict[int, int] = {}
+        #: Shard metrics frozen just before worker shutdown, so the
+        #: post-run stats view still has a per-shard breakdown.
+        self._final_shard_snaps: list[tuple[int, MetricsSnapshot]] | None = None
+        # Counters (int-like; adopted by the registry when metrics are on).
+        self.closed_connections = Counter("wire.closed_connections")
+        self.idle_drops = Counter("ism.idle_drops")
+        self.shard_restarts = Counter("dispatch.shard_restarts")
+        self.discarded_records = Counter("dispatch.discarded_records")
+        self.frames_forwarded = Counter("dispatch.frames_forwarded")
+        self.commits_processed = Counter("dispatch.commits")
+        self.acks_forwarded = Counter("dispatch.acks_forwarded")
+        self.unrouted_batches = Counter("dispatch.unrouted_batches")
+        self.unsupported_frames = Counter("dispatch.unsupported_frames")
+        self.consumer_errors = Counter("dispatch.consumer_errors")
+        self.records_delivered = Counter("dispatch.records_delivered")
+        self._closed_bytes = 0
+        self._closed_frames = 0
+        self.metrics: MetricsRegistry | None = None
+        self.stats_interval_s = stats_interval_s
+        self.stats_sink = stats_sink if stats_sink is not None else print
+        self._next_stats = (
+            None
+            if stats_interval_s is None
+            else time.monotonic() + stats_interval_s
+        )
+        if metrics is not None or stats_interval_s is not None:
+            self._enable_metrics(metrics or MetricsRegistry())
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _enable_metrics(self, registry: MetricsRegistry) -> None:
+        self.metrics = registry
+        registry.adopt_counter(self.closed_connections)
+        registry.adopt_counter(self.idle_drops)
+        registry.adopt_counter(self.shard_restarts)
+        registry.adopt_counter(self.discarded_records)
+        registry.adopt_counter(self.frames_forwarded)
+        registry.adopt_counter(self.commits_processed)
+        registry.adopt_counter(self.acks_forwarded)
+        registry.adopt_counter(self.unrouted_batches)
+        registry.adopt_counter(self.unsupported_frames)
+        registry.adopt_counter(self.consumer_errors)
+        registry.adopt_counter(self.records_delivered)
+        registry.gauge_fn("wire.connections", lambda: len(self.connections))
+        registry.gauge_fn("wire.pending_connections", lambda: len(self._pending))
+        registry.gauge_fn(
+            "wire.bytes_received",
+            lambda: self._closed_bytes
+            + sum(c.bytes_received for c in self._live_conns()),
+        )
+        registry.gauge_fn(
+            "wire.frames_received",
+            lambda: self._closed_frames
+            + sum(c.frames_received for c in self._live_conns()),
+        )
+        registry.gauge_fn(
+            "dispatch.overflow_frames",
+            lambda: sum(len(h.overflow) for h in self._handles),
+        )
+        registry.gauge_fn(
+            "dispatch.staged_chunks",
+            lambda: sum(len(h.staged) for h in self._handles),
+        )
+        if self._merger is not None:
+            merger = self._merger
+            registry.gauge_fn("merge.held", lambda: merger.held)
+            registry.gauge_fn("merge.emitted", lambda: merger.stats.emitted)
+            registry.gauge_fn(
+                "merge.regressions", lambda: merger.stats.regressions
+            )
+
+    def _live_conns(self) -> list[MessageConnection]:
+        return self._pending + list(self.connections.values())
+
+    @property
+    def records_received(self) -> int:
+        """Records admitted fleet-wide, per the latest shard commits
+        (dead incarnations' committed totals included)."""
+        return sum(h.received_base + h.received for h in self._handles)
+
+    def shard_snapshots(
+        self, timeout_s: float = 2.0
+    ) -> list[tuple[int, MetricsSnapshot]]:
+        """Fetch one metrics snapshot per live shard over the control
+        pipes (the stats RPC the brisk-stats shard view is built on).
+        After shutdown, returns the final pre-stop snapshots instead."""
+        if not self._workers_running and self._final_shard_snaps is not None:
+            return list(self._final_shard_snaps)
+        out: list[tuple[int, MetricsSnapshot]] = []
+        for h in self._handles:
+            proc, pipe = h.process, h.pipe
+            if proc is None or pipe is None or not proc.is_alive():
+                continue
+            try:
+                pipe.send(RPC_SNAPSHOT)
+                ready, _, _ = select.select([pipe], [], [], timeout_s)
+                if not ready:
+                    continue
+                obj = pipe.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                continue
+            if isinstance(obj, MetricsSnapshot):
+                out.append((h.index, obj))
+        return out
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Fleet-merged snapshot: dispatcher registry + every shard."""
+        if self.metrics is None:
+            self._enable_metrics(MetricsRegistry())
+        snap = self.metrics.snapshot()
+        for _, shard_snap in self.shard_snapshots():
+            snap = snap.merge(shard_snap)
+        return snap
+
+    def stats_dump(self) -> dict:
+        """JSON-able stats: dispatcher scalars plus per-shard scalars —
+        what ``brisk-ism --stats-json`` writes and ``brisk-stats shards``
+        renders."""
+        if self.metrics is None:
+            self._enable_metrics(MetricsRegistry())
+        return {
+            "dispatcher": dict(self.metrics.snapshot().scalars()),
+            "shards": {
+                str(idx): dict(snap.scalars())
+                for idx, snap in self.shard_snapshots()
+            },
+        }
+
+    def _maybe_stats(self) -> None:
+        if self._next_stats is None or time.monotonic() < self._next_stats:
+            return
+        self._next_stats = time.monotonic() + self.stats_interval_s
+        if self.metrics is None:
+            self._enable_metrics(MetricsRegistry())
+        self.stats_sink(
+            "-- brisk-ism (sharded) stats " + "-" * 14 + "\n"
+            + render_shard_breakdown(
+                self.shard_snapshots(), self.metrics.snapshot()
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn_shard(self, handle: _ShardHandle) -> None:
+        idx = handle.index
+        handle.shared_in = create_shared_ring(self.input_ring_bytes)
+        handle.shared_out = create_shared_ring(self.output_ring_bytes)
+        parent, child = self._ctx.Pipe(duplex=True)
+        resume = {
+            exs_id: seq
+            for exs_id, seq in self._resume.items()
+            if self._exs_shard.get(exs_id) == idx
+        }
+        config = ShardConfig(
+            shard_id=idx,
+            input_ring=handle.shared_in.name,
+            output_ring=handle.shared_out.name,
+            ism=self.ism_config,
+            resume_state=resume,
+            idle_timeout_s=self.shard_idle_timeout_s,
+            commit_interval_s=self.commit_interval_s,
+        )
+        handle.process = self._ctx.Process(
+            target=shard_worker_main, args=(config, child), daemon=True
+        )
+        handle.process.start()
+        child.close()
+        handle.pipe = parent
+        handle.received = 0
+        handle.delivered = 0
+        handle.staged.clear()
+        if self._merger is not None:
+            self._merger.reopen_shard(idx)
+
+    def _ensure_workers(self) -> None:
+        if self._workers_running:
+            return
+        self._final_shard_snaps = None
+        for handle in self._handles:
+            self._spawn_shard(handle)
+        self._workers_running = True
+
+    def start_workers(self) -> None:
+        """Spawn the shard workers ahead of :meth:`serve` (idempotent).
+
+        Useful when serve-loop latency matters from the first frame —
+        benchmarks, and deployments that want the ~1 s/worker spawn cost
+        paid before the listener is announced."""
+        self._ensure_workers()
+
+    def _teardown_shard(self, handle: _ShardHandle, join_timeout_s: float) -> None:
+        if handle.pipe is not None:
+            try:
+                handle.pipe.close()
+            except OSError:
+                pass
+            handle.pipe = None
+        if handle.process is not None:
+            handle.process.join(timeout=join_timeout_s)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            handle.process = None
+        for shared in (handle.shared_in, handle.shared_out):
+            if shared is not None:
+                try:
+                    shared.close()
+                except (OSError, BufferError):
+                    pass
+        handle.shared_in = None
+        handle.shared_out = None
+
+    def _check_shards(self) -> None:
+        """Detect dead workers; salvage their committed prefix, drop
+        their connections (forcing EXS resume), and respawn."""
+        if not self._workers_running or self._stopping:
+            return
+        for handle in self._handles:
+            proc = handle.process
+            if proc is None or proc.is_alive():
+                continue
+            self.shard_restarts += 1
+            idx = handle.index
+            # Salvage: everything up to the last commit in the old output
+            # ring is fully acked state and must be delivered; the
+            # uncommitted tail is discarded — its EXSs were never acked
+            # for it and will retransmit to the replacement worker.
+            try:
+                if handle.shared_out is not None:
+                    self._ingest_items(
+                        handle, handle.shared_out.ring.drain_bytes()
+                    )
+            except (OSError, ValueError):
+                pass
+            discarded = sum(
+                len(item[1]) for item in handle.staged if item[0] == "d"
+            )
+            self.discarded_records += discarded
+            handle.staged.clear()
+            # Frames stranded in the dead worker's input ring (and any
+            # overflow queued behind them) are gone with the segment; the
+            # forced reconnect below replays them from the EXS outbox.
+            handle.overflow.clear()
+            if self._merger is not None:
+                self._merger.close_shard(idx)
+            handle.received_base += handle.received
+            handle.delivered_base += handle.delivered
+            for conn, conn_idx in list(self._conn_shard.items()):
+                if conn_idx == idx:
+                    self._drop_conn(conn)
+            self._teardown_shard(handle, join_timeout_s=1.0)
+            self._spawn_shard(handle)
+
+    def _shutdown_workers(self, flush_timeout_s: float = 15.0) -> None:
+        """Graceful worker stop: drain overflow in, commits out, merge."""
+        if not self._workers_running:
+            return
+        self._stopping = True
+        deadline = time.monotonic() + flush_timeout_s
+        while (
+            any(h.overflow for h in self._handles)
+            and time.monotonic() < deadline
+        ):
+            self._flush_overflow()
+            self._drain_shards()
+            time.sleep(0.001)
+        # Freeze per-shard metrics while the workers still answer RPCs
+        # (the post-run stats_dump/brisk-stats view reads this cache).
+        self._final_shard_snaps = self.shard_snapshots(timeout_s=1.0)
+        for handle in self._handles:
+            if handle.pipe is not None:
+                try:
+                    handle.pipe.send(RPC_STOP)
+                except (OSError, BrokenPipeError):
+                    pass
+        while time.monotonic() < deadline:
+            self._drain_shards()
+            if all(
+                h.process is None or not h.process.is_alive()
+                for h in self._handles
+            ):
+                break
+            time.sleep(0.001)
+        # Workers have exited (or timed out): collect the shutdown
+        # commits still in the rings, then tear everything down.
+        for handle in self._handles:
+            try:
+                if handle.shared_out is not None:
+                    self._ingest_items(
+                        handle, handle.shared_out.ring.drain_bytes()
+                    )
+            except (OSError, ValueError):
+                pass
+            discarded = sum(
+                len(item[1]) for item in handle.staged if item[0] == "d"
+            )
+            if discarded:
+                self.discarded_records += discarded
+            handle.staged.clear()
+            self._teardown_shard(handle, join_timeout_s=2.0)
+        if self._merger is not None:
+            self._deliver(self._merger.flush())
+        self._workers_running = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # serve loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Ask the serve loop to flush and exit."""
+        self._stop.set()
+
+    def serve(
+        self,
+        duration_s: float | None = None,
+        until_records: int | None = None,
+        expected_connections: int | None = None,
+    ) -> None:
+        """Run the dispatcher loop (same stop conditions as
+        :meth:`IsmServer.serve`).
+
+        Each call spawns the shard workers and winds them down before
+        returning: worker shutdown flushes every parked record through
+        the commit protocol, so a phase boundary (duration/record bound)
+        loses nothing and a later ``serve`` resumes from the committed
+        ack watermarks.
+        """
+        deadline = None if duration_s is None else time.monotonic() + duration_s
+        seen_connections = 0
+        self._ensure_workers()
+        while not self._stop.is_set():
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            if (
+                until_records is not None
+                and self.records_received >= until_records
+            ):
+                break
+            if (
+                expected_connections is not None
+                and seen_connections >= expected_connections
+                and not self.connections
+                and not self._pending
+            ):
+                break
+            seen_connections += self._pump_sockets()
+            self._flush_overflow()
+            self._drain_shards()
+            self._check_shards()
+            self._maybe_stats()
+        self._pump_sockets()
+        if self._stop.is_set():
+            for conn in list(self.connections.values()):
+                try:
+                    conn.send(protocol.Bye(reason="ism shutdown"))
+                except OSError:
+                    pass
+        self._shutdown_workers()
+
+    def close(self) -> None:
+        """Tear down workers and rings without flushing (idempotent)."""
+        self._stopping = True
+        for handle in self._handles:
+            self._teardown_shard(handle, join_timeout_s=0.5)
+        self._workers_running = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # ingest plane: sockets → input rings
+    # ------------------------------------------------------------------
+    def _accept_ready(self) -> int:
+        accepted = 0
+        while True:
+            conn = self.listener.accept(timeout=0.0)
+            if conn is None:
+                return accepted
+            self._pending.append(conn)
+            self._last_activity[conn] = time.monotonic()
+            accepted += 1
+
+    def _pump_sockets(self) -> int:
+        """One ingest cycle: accept, drain readable sockets, route frames.
+
+        Read-backpressure: connections whose shard's overflow queue is
+        past the bound are left out of the ``select`` set, so the kernel
+        socket buffer (and ultimately the EXS outbox) absorbs the burst
+        instead of dispatcher memory.
+        """
+        blocked = {
+            h.index
+            for h in self._handles
+            if len(h.overflow) > self.overflow_limit
+        }
+        conns = [
+            conn
+            for conn in self._live_conns()
+            if self._conn_shard.get(conn) not in blocked
+        ]
+        try:
+            ready, _, _ = select.select([self.listener, *conns], [], [], 0.005)
+        except (OSError, ValueError):
+            ready = self._probe_sockets(conns)
+        accepted = 0
+        ready_conns: list[MessageConnection] = []
+        for sock in ready:
+            if sock is self.listener:
+                accepted = self._accept_ready()
+            else:
+                ready_conns.append(sock)
+        if accepted:
+            try:
+                fresh, _, _ = select.select(self._pending[-accepted:], [], [], 0.0)
+                ready_conns.extend(fresh)
+            except (OSError, ValueError):
+                pass
+        mono_now = time.monotonic()
+        for conn in ready_conns:
+            payloads: list[bytes] = []
+            closed = False
+            try:
+                payloads = conn.recv_frames(timeout=0.0, assume_ready=True)
+            except (ConnectionClosed, ConnectionResetError, XdrDecodeError):
+                closed = True
+            if payloads:
+                self._last_activity[conn] = mono_now
+                self._route_frames(conn, payloads)
+            if closed:
+                self._drop_conn(conn)
+        self._sweep_idle(mono_now)
+        return accepted
+
+    def _probe_sockets(
+        self, conns: list[MessageConnection]
+    ) -> list[MessageConnection | MessageListener]:
+        """Per-socket 0-timeout probes; evict sockets whose fd is broken."""
+        ready: list[MessageConnection | MessageListener] = []
+        try:
+            r, _, _ = select.select([self.listener], [], [], 0.0)
+            ready.extend(r)
+        except (OSError, ValueError):
+            pass
+        for conn in conns:
+            try:
+                r, _, _ = select.select([conn], [], [], 0.0)
+            except (OSError, ValueError):
+                self._drop_conn(conn)
+            else:
+                ready.extend(r)
+        return ready
+
+    def _route_frames(
+        self, conn: MessageConnection, payloads: list[bytes]
+    ) -> None:
+        for payload in payloads:
+            if len(payload) < 8:
+                self._drop_conn(conn)
+                return
+            mtype = _PEEK_U32.unpack_from(payload, _MSG_TYPE_OFFSET)[0]
+            if mtype == protocol.MsgType.BATCH:
+                idx = self._conn_shard.get(conn)
+                if idx is None:
+                    # Batch before Hello: route provisionally by the
+                    # peeked exs id so nothing is dropped; the eventual
+                    # Hello pins the assignment (same modulo for
+                    # partition_by="exs"; for "node" a later Hello could
+                    # disagree, so this is counted as a routing smell).
+                    if len(payload) < _BATCH_EXS_OFFSET + 4:
+                        self._drop_conn(conn)
+                        return
+                    exs_id = _PEEK_U32.unpack_from(payload, _BATCH_EXS_OFFSET)[0]
+                    idx = exs_id % self.shards
+                    self.unrouted_batches += 1
+                self._forward(idx, payload)
+            elif mtype == protocol.MsgType.HELLO:
+                try:
+                    msg = protocol.decode_message(payload)
+                except (XdrDecodeError, ValueError):
+                    self._drop_conn(conn)
+                    return
+                if isinstance(msg, protocol.Hello):
+                    self._bind_hello(conn, msg, payload)
+            elif mtype == protocol.MsgType.BYE:
+                self._drop_conn(conn)
+                return
+            elif mtype == protocol.MsgType.HEARTBEAT:
+                pass  # liveness only; activity was noted at the socket
+            elif mtype == protocol.MsgType.TIME_REPLY:
+                pass  # stale probe reply; sharded mode runs no sync
+            else:
+                self.unsupported_frames += 1
+
+    def _bind_hello(
+        self, conn: MessageConnection, msg: protocol.Hello, payload: bytes
+    ) -> None:
+        if conn in self._pending:
+            self._pending.remove(conn)
+        stale = self.connections.get(msg.exs_id)
+        if stale is not None and stale is not conn:
+            self._drop_conn(stale)
+        key = msg.node_id if self.partition_by == "node" else msg.exs_id
+        idx = key % self.shards
+        self.connections[msg.exs_id] = conn
+        self._conn_exs[conn] = msg.exs_id
+        self._conn_shard[conn] = idx
+        self._exs_shard[msg.exs_id] = idx
+        if self.ack_batches and msg.wants_ack:
+            self._ack_enabled.add(msg.exs_id)
+        # The shard answers the resume handshake (HELLO_REPLY control
+        # record) — it owns the watermark state, not the dispatcher.
+        self._forward(idx, payload)
+
+    def _forward(self, idx: int, payload: bytes) -> None:
+        handle = self._handles[idx]
+        if handle.overflow or not handle.shared_in.ring.push_bytes(payload):
+            handle.overflow.append(payload)
+        else:
+            self.frames_forwarded += 1
+
+    def _flush_overflow(self) -> None:
+        for handle in self._handles:
+            overflow = handle.overflow
+            if not overflow:
+                continue
+            ring = handle.shared_in.ring
+            while overflow and ring.push_bytes(overflow[0]):
+                overflow.popleft()
+                self.frames_forwarded += 1
+
+    # ------------------------------------------------------------------
+    # egress plane: output rings → commit → merge → consumers
+    # ------------------------------------------------------------------
+    def _drain_shards(self) -> None:
+        for handle in self._handles:
+            if handle.shared_out is None:
+                continue
+            try:
+                items = handle.shared_out.ring.drain_bytes(self.drain_limit)
+            except (OSError, ValueError):
+                continue
+            if items:
+                self._ingest_items(handle, items)
+        if self._merger is not None:
+            self._deliver(self._merger.emit())
+
+    def _ingest_items(self, handle: _ShardHandle, items: list[bytes]) -> None:
+        for item in items:
+            if not item:
+                continue
+            view = memoryview(item)[1:]
+            if item[0] == 0:  # TAG_DATA
+                handle.staged.append(("d", native.unpack_all(view)))
+            else:  # TAG_CONTROL
+                record, _ = native.unpack_record(view)
+                self._apply_control(handle, record)
+
+    def _apply_control(self, handle: _ShardHandle, record: EventRecord) -> None:
+        if record.event_id == CTRL_COMMIT:
+            self._commit(handle, record)
+        elif record.event_id == CTRL_ACK:
+            exs_id, seq = record.values
+            handle.staged.append(("a", int(exs_id), int(seq)))
+        elif record.event_id == CTRL_HELLO_REPLY:
+            # Safe to forward before its commit: the reply carries only
+            # the *committed* ack watermark by construction.
+            exs_id, last_seq = record.values
+            conn = self.connections.get(int(exs_id))
+            if conn is not None and self.ack_batches:
+                try:
+                    conn.send(
+                        protocol.HelloReply(
+                            exs_id=int(exs_id), last_seq=int(last_seq)
+                        )
+                    )
+                except OSError:
+                    self._drop_conn(conn)
+
+    def _commit(self, handle: _ShardHandle, record: EventRecord) -> None:
+        """A shard committed: release its staged prefix downstream.
+
+        Ring pushes are atomic and FIFO, so everything staged from this
+        shard precedes the commit record and is covered by it.
+        """
+        merger = self._merger
+        for item in handle.staged:
+            if item[0] == "d":
+                records = item[1]
+                if merger is not None:
+                    merger.push(handle.index, records)
+                else:
+                    self._deliver(records)
+            else:
+                _, exs_id, seq = item
+                prev = self._resume.get(exs_id)
+                if prev is None or seq > prev:
+                    self._resume[exs_id] = seq
+                self._send_ack(exs_id, seq)
+        handle.staged.clear()
+        handle.watermark = max(handle.watermark, record.timestamp)
+        received, delivered = record.values
+        handle.received = int(received)
+        handle.delivered = int(delivered)
+        if merger is not None:
+            merger.advance(handle.index, handle.watermark)
+        self.commits_processed += 1
+
+    def _send_ack(self, exs_id: int, seq: int) -> None:
+        if not self.ack_batches or exs_id not in self._ack_enabled:
+            return
+        conn = self.connections.get(exs_id)
+        if conn is None:
+            return  # source vanished before its ack; resume covers it
+        try:
+            conn.send(protocol.Ack(exs_id=exs_id, up_to_seq=seq))
+            self.acks_forwarded += 1
+        except OSError:
+            self._drop_conn(conn)
+
+    def _deliver(self, records: list[EventRecord]) -> None:
+        if not records:
+            return
+        self.records_delivered += len(records)
+        for consumer in self.consumers:
+            deliver_many = getattr(consumer, "deliver_many", None)
+            try:
+                if deliver_many is not None:
+                    deliver_many(records)
+                else:
+                    deliver = consumer.deliver
+                    for record in records:
+                        deliver(record)
+            except Exception:
+                self.consumer_errors += 1
+
+    # ------------------------------------------------------------------
+    # connection bookkeeping
+    # ------------------------------------------------------------------
+    def _sweep_idle(self, mono_now: float) -> None:
+        """Drop connections silent past the idle deadline.
+
+        Connections whose shard is backpressured are exempt: they are
+        deliberately excluded from the select set, so their silence is
+        the dispatcher's doing, not the peer's.
+        """
+        if self.idle_deadline_s is None:
+            return
+        blocked = {
+            h.index
+            for h in self._handles
+            if len(h.overflow) > self.overflow_limit
+        }
+        stale = [
+            conn
+            for conn, last in self._last_activity.items()
+            if mono_now - last > self.idle_deadline_s
+            and self._conn_shard.get(conn) not in blocked
+        ]
+        for conn in stale:
+            self.idle_drops += 1
+            self._drop_conn(conn)
+
+    def _drop_conn(self, conn: MessageConnection) -> None:
+        tracked = (
+            conn in self._last_activity
+            or conn in self._conn_exs
+            or conn in self._pending
+        )
+        if not tracked:
+            return
+        self._last_activity.pop(conn, None)
+        self._conn_shard.pop(conn, None)
+        exs_id = self._conn_exs.pop(conn, None)
+        if exs_id is not None and self.connections.get(exs_id) is conn:
+            self.connections.pop(exs_id)
+            self._ack_enabled.discard(exs_id)
+        if conn in self._pending:
+            self._pending.remove(conn)
+        self.closed_connections += 1
+        self._closed_bytes += conn.bytes_received
+        self._closed_frames += conn.frames_received
+        conn.close()

@@ -70,6 +70,13 @@ class DeploymentConfig:
     #: ISM a finite server so saturation/overload studies (the paper's E5
     #: bottleneck observation) can run in simulation.
     ism_service_time_us: float = 0.0
+    #: Modelled sharded-ISM worker count.  Each shard is its own finite
+    #: server: a batch queues behind the busy period of the shard its EXS
+    #: partitions onto (``exs_id % ism_shards``), so the knob reproduces
+    #: the sharded runtime's E5b scaling curve in virtual time.  1
+    #: (default) is the single-process ISM.  Only meaningful together
+    #: with ``ism_service_time_us``.
+    ism_shards: int = 1
     #: Self-observability reporting period (virtual µs); 0 disables.
     #: When on, a registry is wired over the manager and every node, and
     #: node 1's sensor emits the snapshots as BRISK event records through
@@ -85,6 +92,8 @@ class DeploymentConfig:
             raise ValueError("ring_bytes too small")
         if self.metrics_interval_us < 0:
             raise ValueError("metrics_interval_us must be non-negative")
+        if self.ism_shards < 1:
+            raise ValueError("ism_shards must be >= 1")
 
 
 class SimNode:
@@ -237,7 +246,7 @@ class SimDeployment:
         self._emit_times: dict[tuple[int, int, int], int] = {}
         self._started = False
         self._stops: list[Callable[[], None]] = []
-        self._ism_busy_until = 0
+        self._ism_busy_until = [0] * config.ism_shards
         self._dead_nodes: set[int] = set()
         self._node_poll_stops: dict[int, Callable[[], None]] = {}
         #: Optional :class:`~repro.sim.network.FaultInjector` applied to
@@ -417,11 +426,13 @@ class SimDeployment:
         if service <= 0 or not isinstance(msg, protocol.Batch):
             self.ism.on_message(msg, self.ism_clock.read())
             return
-        # Finite-server model: a batch occupies the ISM CPU for
-        # service_time × records; arrivals queue behind the busy period.
-        start = max(self.sim.now, self._ism_busy_until)
+        # Finite-server model: a batch occupies its shard's CPU for
+        # service_time × records; arrivals queue behind that shard's busy
+        # period.  With ism_shards=1 this is the single-process ISM.
+        shard = msg.exs_id % self.config.ism_shards
+        start = max(self.sim.now, self._ism_busy_until[shard])
         done = start + max(1, round(service * len(msg.records)))
-        self._ism_busy_until = done
+        self._ism_busy_until[shard] = done
         self.metrics.ism_busy_us += done - start
         self.sim.schedule_at(done, self._deliver_batch, msg)
 

@@ -71,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-interval", type=float, default=None,
         help="print a self-observability metrics table every N seconds",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="sharded ISM worker count (1 = classic single process)",
+    )
+    parser.add_argument(
+        "--partition-by", choices=("node", "exs"), default="node",
+        help="sharded mode: route each EXS by its node id or its EXS id",
+    )
+    parser.add_argument(
+        "--no-ordered-merge", action="store_true",
+        help="sharded mode: skip the k-way ordered merge stage",
+    )
+    parser.add_argument(
+        "--stats-json", metavar="PATH",
+        help="write final per-shard stats as JSON (brisk-stats shards PATH)",
+    )
     return parser
 
 
@@ -101,17 +117,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
-    manager = InstrumentationManager(
-        IsmConfig(
-            sorter=SorterConfig(
-                initial_frame_us=round(args.time_frame_ms * 1000)
-            )
-        ),
-        consumers,
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    ism_config = IsmConfig(
+        sorter=SorterConfig(initial_frame_us=round(args.time_frame_ms * 1000))
     )
     listener = MessageListener(args.host, args.port)
     host, port = listener.address
     print(f"brisk-ism listening on {host}:{port}", flush=True)
+
+    if args.shards > 1:
+        return _serve_sharded(args, ism_config, consumers, listener)
+
+    manager = InstrumentationManager(ism_config, consumers)
     sync_config = (
         BriskSyncConfig() if args.sync_period > 0 else None
     )
@@ -133,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         listener.close()
         manager.close()
+    if args.stats_json:
+        _write_stats_json(
+            args.stats_json,
+            {"dispatcher": dict(server.metrics_snapshot().scalars()), "shards": {}},
+        )
     stats = manager.stats
     print(
         f"received {stats.records_received} records in "
@@ -142,6 +166,60 @@ def main(argv: list[str] | None = None) -> int:
         flush=True,
     )
     return 0
+
+
+def _serve_sharded(args, ism_config, consumers, listener) -> int:
+    """Run the dispatcher + shard-worker fleet behind the same flags."""
+    from repro.runtime.ism_proc import ShardedIsmServer
+
+    if args.throttle_rate:
+        print(
+            "--throttle-rate is not supported with --shards > 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sync_period > 0:
+        print(
+            "note: clock sync is unavailable in sharded mode; "
+            "sources ship uncorrected timestamps",
+            flush=True,
+        )
+    server = ShardedIsmServer(
+        consumers,
+        listener,
+        shards=args.shards,
+        partition_by=args.partition_by,
+        ism_config=ism_config,
+        ordered_merge=not args.no_ordered_merge,
+        stats_interval_s=args.stats_interval,
+    )
+    try:
+        server.serve(duration_s=args.duration, until_records=args.until_records)
+    except KeyboardInterrupt:
+        pass
+    if args.stats_json:
+        _write_stats_json(args.stats_json, server.stats_dump())
+    snapshot = server.metrics_snapshot()
+    server.close()
+    listener.close()
+    for consumer in consumers:
+        consumer.close()
+    print(
+        f"received {int(snapshot.get('ism.records_received', 0) or 0)} records "
+        f"across {args.shards} shards; "
+        f"delivered {int(snapshot.get('dispatch.records_delivered', 0) or 0)}; "
+        f"shard restarts {int(snapshot.get('dispatch.shard_restarts', 0) or 0)}",
+        flush=True,
+    )
+    return 0
+
+
+def _write_stats_json(path: str, dump: dict) -> None:
+    import json
+
+    with open(path, "w", encoding="ascii") as stream:
+        json.dump(dump, stream, indent=2, sort_keys=True)
+    print(f"brisk-ism stats written to {path}", flush=True)
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI

@@ -24,6 +24,7 @@ _EXPERIMENT_OF_FILE = {
     "notice": "E1",
     "a2_specialization": "E1/A2",
     "exs": "E2",
+    "sharded": "E5b",
     "aggregate": "E5",
     "sorter_throughput": "E7",
     "throughput": "E3",

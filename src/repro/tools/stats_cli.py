@@ -13,6 +13,10 @@ Three modes::
     # Snapshot a live shared-memory output segment (brisk-ism --shm-out).
     brisk-stats shm brisk-out-1234
 
+    # Fleet view of a sharded ISM run: merged totals plus the per-shard
+    # breakdown table (JSON written by brisk-ism --shards N --stats-json).
+    brisk-stats shards /tmp/ism-stats.json
+
 The ``sim`` mode doubles as the smoke proof for the observability layer:
 ring/EXS/sorter/CRE gauges move while the run progresses, and the metric
 records round-trip LIS→EXS→ISM→PICL like any application event.
@@ -65,6 +69,17 @@ def build_parser() -> argparse.ArgumentParser:
     shm.add_argument(
         "--event-id", type=int, default=METRICS_EVENT_ID,
         help="event id carried by metric records",
+    )
+
+    shards = sub.add_parser(
+        "shards", help="fleet view of a sharded ISM stats dump"
+    )
+    shards.add_argument(
+        "path", help="stats JSON written by brisk-ism --stats-json"
+    )
+    shards.add_argument(
+        "--no-dispatcher", action="store_true",
+        help="leave the dispatcher's own counters out of the fleet totals",
     )
     return parser
 
@@ -143,14 +158,47 @@ def _run_shm(args) -> int:
     return 0
 
 
+def _run_shards(args) -> int:
+    import json
+
+    from repro.obs.render import render_shard_breakdown
+
+    with open(args.path, "r", encoding="ascii") as stream:
+        dump = json.load(stream)
+    shard_scalars = dump.get("shards", {})
+    dispatcher_scalars = dump.get("dispatcher", {})
+    if not shard_scalars and not dispatcher_scalars:
+        print(f"no stats in {args.path}", file=sys.stderr)
+        return 1
+    snapshots = [
+        (shard_id, scalars_snapshot(values))
+        for shard_id, values in sorted(
+            shard_scalars.items(), key=lambda kv: int(kv[0])
+        )
+    ]
+    dispatcher = (
+        None
+        if args.no_dispatcher or not dispatcher_scalars
+        else scalars_snapshot(dispatcher_scalars)
+    )
+    print(render_shard_breakdown(snapshots, dispatcher))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.mode == "sim":
-        return _run_sim(args)
-    if args.mode == "picl":
-        return _run_picl(args)
-    return _run_shm(args)
+    try:
+        if args.mode == "sim":
+            return _run_sim(args)
+        if args.mode == "picl":
+            return _run_picl(args)
+        if args.mode == "shards":
+            return _run_shards(args)
+        return _run_shm(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that quit early: not an error.
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI
