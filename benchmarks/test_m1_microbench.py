@@ -125,6 +125,63 @@ def test_system_metrics_sample(benchmark):
     assert emitted >= 3
 
 
+def _routing_server(shards: int):
+    """A ShardedIsmServer prepared for routing-only measurement: workers
+    never start and ``_forward`` is replaced by a counter, so the
+    benchmark isolates the dispatcher's per-frame routing decision."""
+    from repro.core.consumers import CallbackConsumer
+    from repro.runtime.ism_proc import ShardedIsmServer
+    from repro.wire.tcp import MessageListener
+
+    listener = MessageListener()
+    server = ShardedIsmServer(
+        [CallbackConsumer(lambda r: None)], listener, shards=shards
+    )
+    forwarded = [0]
+
+    def forward(idx, payload):
+        forwarded[0] += 1
+
+    server._forward = forward
+    return server, listener, forwarded
+
+
+def _routing_frames(n: int) -> list[bytes]:
+    from repro.wire import protocol
+
+    return [
+        protocol.encode_batch_records(5, seq, [RECORD]) for seq in range(n)
+    ]
+
+
+def test_dispatch_route_cached(benchmark):
+    """Hot path: the connection's shard route is pinned, so routing a
+    frame is one dict hit — no exs-id peek, no decode."""
+    server, listener, forwarded = _routing_server(shards=4)
+    conn = object()  # routing only keys dicts by the connection
+    server._conn_shard[conn] = 1
+    frames = _routing_frames(512)
+    try:
+        benchmark(server._route_frames, conn, frames)
+    finally:
+        listener.close()
+    assert forwarded[0] >= len(frames)
+
+
+def test_dispatch_route_peek(benchmark):
+    """Fallback: a multiplexed connection whose sources span shards
+    re-peeks the exs id out of every frame's header."""
+    server, listener, forwarded = _routing_server(shards=4)
+    conn = object()
+    server._exs_shard[5] = 1  # pinned per-source, not per-connection
+    frames = _routing_frames(512)
+    try:
+        benchmark(server._route_frames, conn, frames)
+    finally:
+        listener.close()
+    assert forwarded[0] >= len(frames)
+
+
 def test_cre_reason_conseq_pair(benchmark):
     reason = EventRecord(
         event_id=1, timestamp=10,

@@ -182,6 +182,9 @@ class InstrumentationManager:
         which is what turns the at-least-once wire into exactly-once
         delivery.  Batch framing is atomic on the wire — the deframer
         never yields a partial batch — so whole-batch dedup suffices.
+        A relay-coalesced frame covers ``first_seq..seq`` but is still
+        one atomic unit: the relay's outbox retransmits the identical
+        frame, so the same watermark test applies to its last seq.
         """
         self.stats.batches_received += 1
         admitted = self._admitted.get(batch.exs_id)
@@ -196,7 +199,8 @@ class InstrumentationManager:
             self.stats.unknown_source_records += len(batch.records)
             self.register_source(batch.exs_id, 0)
         last = self.stats.last_seq.get(batch.exs_id)
-        if last is not None and batch.seq != last + 1:
+        first = batch.seq if batch.first_seq is None else batch.first_seq
+        if last is not None and first != last + 1:
             self.stats.seq_gaps += 1
         self.stats.last_seq[batch.exs_id] = batch.seq
         self._admitted[batch.exs_id] = batch.seq

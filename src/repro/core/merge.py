@@ -24,6 +24,12 @@ pipeline.
 
 Everything here is pure data-structure code — no clocks, no entropy —
 so the stage is byte-deterministic for a given push/advance sequence.
+
+The merge is generic over anything carrying a record-style sort key
+(:class:`SortKeyed`): the sharded ISM merges
+:class:`~repro.core.records.EventRecord` streams, and the relay tier
+merges whole batch envelopes (one item per downstream batch, keyed by its
+first record) so pre-sorting never has to split or re-encode a batch.
 """
 
 from __future__ import annotations
@@ -31,12 +37,21 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Sequence
-
-from repro.core.records import EventRecord
+from typing import Generic, Protocol, Sequence, TypeVar
 
 #: Sort key type mirrored from ``EventRecord.sort_key()``.
 _Key = tuple[int, int, int]
+
+
+class SortKeyed(Protocol):
+    """Anything orderable by a record-style ``(ts, node, event)`` key."""
+
+    def sort_key(self) -> _Key:
+        """Total-order key; ties broken upstream by shard id."""
+        ...  # pragma: no cover - protocol stub
+
+
+ItemT = TypeVar("ItemT", bound=SortKeyed)
 
 
 @dataclass
@@ -52,7 +67,7 @@ class MergeStats:
     regressions: int = 0
 
 
-class OrderedMerger:
+class OrderedMerger(Generic[ItemT]):
     """K-way merge of per-shard streams by timestamp watermark.
 
     Shards are registered up front with :meth:`add_shard`; thereafter the
@@ -66,7 +81,7 @@ class OrderedMerger:
 
     def __init__(self) -> None:
         self.stats = MergeStats()
-        self._queues: dict[int, deque[EventRecord]] = {}
+        self._queues: dict[int, deque[ItemT]] = {}
         # shard_id → highest watermark declared; None until first advance.
         self._watermarks: dict[int, int | None] = {}
         self._closed: set[int] = set()
@@ -94,7 +109,7 @@ class OrderedMerger:
         """Records currently parked in the merge (O(1))."""
         return self._held
 
-    def push(self, shard_id: int, records: Sequence[EventRecord]) -> None:
+    def push(self, shard_id: int, records: Sequence[ItemT]) -> None:
         """Append records a shard emitted, in the shard's own order."""
         if not records:
             return
@@ -147,10 +162,10 @@ class OrderedMerger:
                 gate = mark
         return False, gate
 
-    def emit(self) -> list[EventRecord]:
+    def emit(self) -> list[ItemT]:
         """Release every record that is safe under current watermarks, in
         merge order (oldest sort key first)."""
-        released: list[EventRecord] = []
+        released: list[ItemT] = []
         heap = self._heap
         queues = self._queues
         blocked, gate = self._empty_gate()
@@ -172,9 +187,9 @@ class OrderedMerger:
             released.append(record)
         return released
 
-    def flush(self) -> list[EventRecord]:
+    def flush(self) -> list[ItemT]:
         """Release everything still queued, in merge order (shutdown)."""
-        released: list[EventRecord] = []
+        released: list[ItemT] = []
         heap = self._heap
         queues = self._queues
         while heap:
@@ -190,7 +205,7 @@ class OrderedMerger:
             released.append(record)
         return released
 
-    def _account(self, record: EventRecord) -> None:
+    def _account(self, record: ItemT) -> None:
         self.stats.emitted += 1
         key = record.sort_key()
         high = self._high_water

@@ -21,6 +21,7 @@ Metric namespace (the inventory DESIGN.md §5.6 documents):
 ``sorter.*``              heap depth, adaptive time frame ``T``, disorder
 ``cre.*``                 table sizes, parked now, tachyons, timeouts
 ``consumer.*``            queue depth and delivered counts per sink
+``relay.*``               relay tier coalesce/compress/fold accounting
 ========================  ==============================================
 """
 
@@ -41,6 +42,7 @@ __all__ = [
     "wire_cre",
     "wire_consumers",
     "wire_reconnector",
+    "wire_relay",
 ]
 
 
@@ -178,3 +180,34 @@ def wire_reconnector(registry: MetricsRegistry, runner: Any, prefix: str = "wire
         f"{prefix}.failed_attempts", lambda: int(runner.failed_attempts)
     )
     wire_outbox(registry, runner.outbox)
+
+
+def wire_relay(registry: MetricsRegistry, relay: Any, prefix: str = "relay") -> None:
+    """Relay tier: coalesce/compress/fold counters plus live tree state.
+
+    The counters are the relay's own (``relay.*`` names baked in at
+    construction); *prefix* only namespaces the pull gauges layered on
+    top, so two relays in one process need two registries.
+    """
+    registry.adopt_counter(relay.batches_in)
+    registry.adopt_counter(relay.records_in)
+    registry.adopt_counter(relay.frames_out)
+    registry.adopt_counter(relay.records_out)
+    registry.adopt_counter(relay.batches_coalesced)
+    registry.adopt_counter(relay.duplicate_batches)
+    registry.adopt_counter(relay.overlap_batches)
+    registry.adopt_counter(relay.compressed_frames)
+    registry.adopt_counter(relay.compressed_bytes_saved)
+    registry.adopt_counter(relay.metrics_records_folded)
+    registry.adopt_counter(relay.heartbeats_absorbed)
+    registry.adopt_counter(relay.dropped_control)
+    registry.adopt_counter(relay.upstream_reconnects)
+    registry.adopt_counter(relay.acks_down_sent)
+    registry.adopt_counter(relay.ack_frames_down)
+    registry.gauge_fn(f"{prefix}.sources", lambda: len(relay.sources))
+    registry.gauge_fn(f"{prefix}.held_envelopes", lambda: relay.held_envelopes)
+    registry.gauge_fn(f"{prefix}.unacked_frames", lambda: relay.unacked_frames)
+    registry.gauge_fn(
+        f"{prefix}.upstream_connected",
+        lambda: 1 if relay.upstream is not None else 0,
+    )

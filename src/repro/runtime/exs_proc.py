@@ -21,6 +21,16 @@ shared memory rather than in unbounded process heap.
 ``exs_process_main`` is the ``multiprocessing.Process`` target used by the
 examples and the real-socket benchmarks; :class:`ExsProcess` is the same
 loop as an object for in-process use (threads, tests).
+
+**Connect-via-relay:** a relay (:mod:`repro.runtime.relay_proc`) speaks
+this exact protocol on its downstream side, so pointing *host*/*port* at
+a relay instead of the ISM needs no EXS-side changes — acks and resume
+points quoted by the relay are upstream-committed, so the delivery
+guarantees hold through the tree.  The optional extras are negotiated:
+*compress_min_bytes* turns on zlib frame compression once the receiving
+peer's ``HelloReply`` advertises ``CAP_COMPRESS``, and a peer that acks
+many sources at once may answer with ``AckBundle`` control frames, which
+this loop consumes like individual acks.
 """
 
 from __future__ import annotations
@@ -118,6 +128,13 @@ class ExsProcess:
     the connection is declared hung (None disables).
     *heartbeat_interval_s* keeps an idle connection visibly alive for the
     ISM's idle-deadline sweep (None disables).
+
+    *compress_min_bytes* opts into frame compression: encoded batches at
+    or above the threshold are wrapped in ``MsgType.COMPRESSED`` — but
+    only after the peer's ``HelloReply`` advertised ``CAP_COMPRESS``
+    (legacy peers keep seeing byte-identical traffic).  Compressed
+    payloads are parked compressed in the outbox so retransmits are
+    byte-exact.
     """
 
     def __init__(
@@ -131,6 +148,7 @@ class ExsProcess:
         ack_timeout_s: float | None = 5.0,
         heartbeat_interval_s: float | None = 1.0,
         hello_reply_timeout_s: float = 2.0,
+        compress_min_bytes: int | None = None,
         reporter=None,
     ) -> None:
         if ack_timeout_s is not None and ack_timeout_s <= 0:
@@ -145,6 +163,9 @@ class ExsProcess:
         self.ack_timeout_s = ack_timeout_s
         self.heartbeat_interval_s = heartbeat_interval_s
         self.hello_reply_timeout_s = hello_reply_timeout_s
+        self.compress_min_bytes = compress_min_bytes
+        #: Capability bits the peer's HelloReply advertised.
+        self._server_caps = 0
         #: Optional :class:`repro.obs.reporter.MetricsReporter` whose
         #: sensor writes into this EXS's ring: each loop iteration gives
         #: it a chance to emit, so the node's own health records ride the
@@ -168,7 +189,16 @@ class ExsProcess:
         try:
             # Advertise ack consumption: this loop always drains control
             # traffic, so the ISM may safely write replies and acks back.
-            self.conn.send(replace(self.exs.hello(), wants_ack=True))
+            # Capability bits ride only when compression was asked for,
+            # keeping the default Hello byte-identical to the seed wire.
+            caps = (
+                protocol.CAP_COMPRESS | protocol.CAP_ACK_BUNDLE
+                if self.compress_min_bytes is not None
+                else 0
+            )
+            self.conn.send(
+                replace(self.exs.hello(), wants_ack=True, capabilities=caps)
+            )
             self._last_send = time.monotonic()
             if self.resume:
                 self._resume_session()
@@ -210,6 +240,8 @@ class ExsProcess:
                 reply = msg
             else:
                 self._handle_control(msg)
+        if reply is not None:
+            self._server_caps = reply.capabilities
         if reply is not None and reply.last_seq >= 0:
             self.outbox.ack(reply.last_seq)
             # A restarted EXS adopts the ISM's watermark so fresh batches
@@ -229,6 +261,7 @@ class ExsProcess:
             return False
         batches = self.exs.poll()
         if batches:
+            batches = self._prepare_payloads(batches)
             first_seq = self.exs.next_seq - len(batches)
             for i, payload in enumerate(batches):
                 self.outbox.append(first_seq + i, payload)
@@ -236,6 +269,20 @@ class ExsProcess:
             self.conn.send_many(batches)
             self._last_send = time.monotonic()
         return bool(batches)
+
+    def _prepare_payloads(self, batches: list[bytes]) -> list[bytes]:
+        """Apply negotiated frame compression to outgoing batch payloads."""
+        threshold = self.compress_min_bytes
+        if threshold is None or not self._server_caps & protocol.CAP_COMPRESS:
+            return batches
+        out: list[bytes] = []
+        for payload in batches:
+            if len(payload) >= threshold:
+                wrapped = protocol.compress_frame(payload)
+                if len(wrapped) < len(payload):
+                    payload = wrapped
+            out.append(payload)
+        return out
 
     def _pump_control(self, timeout: float) -> None:
         msg = self.conn.recv(timeout=timeout)
@@ -249,6 +296,12 @@ class ExsProcess:
         if isinstance(msg, protocol.Ack):
             if self.outbox.ack(msg.up_to_seq):
                 self._last_ack_progress = time.monotonic()
+        elif isinstance(msg, protocol.AckBundle):
+            # A multiplexing peer acks per cycle, not per source; only
+            # this sensor's entry applies here.
+            for exs_id, up_to_seq in msg.acks:
+                if exs_id == self.exs.exs_id and self.outbox.ack(up_to_seq):
+                    self._last_ack_progress = time.monotonic()
         elif isinstance(msg, protocol.TimeRequest):
             self.conn.send(self.exs.on_time_request(msg))
             self._last_send = time.monotonic()
@@ -257,7 +310,9 @@ class ExsProcess:
         elif isinstance(msg, protocol.SetFilter):
             self.exs.on_set_filter(msg)
         elif isinstance(msg, protocol.HelloReply):
-            pass  # late duplicate; the resume handshake already ran
+            # Late duplicate; the resume handshake already ran.  Still
+            # adopt the capability bits in case the reply raced past it.
+            self._server_caps = msg.capabilities
         elif isinstance(msg, protocol.Bye):
             self._stop.set()
 

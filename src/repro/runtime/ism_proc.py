@@ -61,6 +61,13 @@ from repro.wire import protocol
 from repro.wire.tcp import ConnectionClosed, MessageConnection, MessageListener
 from repro.xdr import XdrDecodeError
 
+#: Capability bits either server flavor honors on its receive side,
+#: advertised in ``HelloReply`` — but only toward peers whose own Hello
+#: carried capability bits (legacy peers keep byte-identical replies).
+SERVER_CAPS = (
+    protocol.CAP_COMPRESS | protocol.CAP_ACK_BUNDLE | protocol.CAP_SEQ_RANGE
+)
+
 
 class TcpSyncSlave:
     """Clock-sync slave endpoint over a live EXS connection."""
@@ -90,8 +97,11 @@ class TcpSyncSlave:
                 rtt = t1 - t0
                 skew = msg.slave_time + rtt / 2 - t1
                 return ProbeSample(skew_us=skew, rtt_us=rtt)
-            # A batch (or stale reply) raced the probe: feed it onward.
-            self.server.dispatch(msg)
+            # A message raced the probe: give it the full routing
+            # treatment, not bare dispatch — on a multiplexed relay
+            # connection even a fresh Hello can land mid-probe, and it
+            # must still get its ack registration and HelloReply.
+            self.server._route(self.conn, msg)
 
     def adjust(self, correction_us: int) -> None:
         """Send the correction over the connection."""
@@ -161,10 +171,16 @@ class IsmServer:
         self._per_source_counts: dict[int, int] = {}
         self.connections: dict[int, MessageConnection] = {}
         self.sync_master: BriskSyncMaster | None = None
-        self._conn_exs: dict[MessageConnection, int] = {}
+        #: Sources that spoke a Hello on each connection.  Usually one,
+        #: but a relay multiplexes every downstream sensor it fronts over
+        #: a single upstream socket.
+        self._conn_sources: dict[MessageConnection, set[int]] = {}
+        #: Capability bits each source's Hello advertised.
+        self._peer_caps: dict[int, int] = {}
         #: Node each connection's Hello advertised — handed to the decode
         #: stage so batch records come out pre-stamped with their node
         #: (the manager's stamping pass then finds nothing to rebuild).
+        #: Multi-node relay connections reset the hint to 0.
         self._conn_node: dict[MessageConnection, int] = {}
         self._pending: list[MessageConnection] = []
         self._stop = threading.Event()
@@ -214,12 +230,17 @@ class IsmServer:
         registry.gauge_fn(
             "wire.bytes_received",
             lambda: self._closed_bytes
-            + sum(c.bytes_received for c in self.connections.values()),
+            + sum(
+                c.bytes_received for c in dict.fromkeys(self.connections.values())
+            ),
         )
         registry.gauge_fn(
             "wire.frames_received",
             lambda: self._closed_frames
-            + sum(c.frames_received for c in self.connections.values()),
+            + sum(
+                c.frames_received
+                for c in dict.fromkeys(self.connections.values())
+            ),
         )
         #: Pump cycle duration includes the (bounded) select wait, so it
         #: is a latency metric, not a busy-time metric — intrusion
@@ -326,7 +347,7 @@ class IsmServer:
             # again.
             self._pump_connections()
             if self._stop.is_set():
-                for conn in list(self.connections.values()):
+                for conn in dict.fromkeys(self.connections.values()):
                     try:
                         conn.send(protocol.Bye(reason="ism shutdown"))
                     except OSError:
@@ -355,7 +376,10 @@ class IsmServer:
         The listener shares the ``select`` with the connections, so a new
         EXS interrupts the wait instead of queueing behind it.
         """
-        conns = self._pending + list(self.connections.values())
+        # Dedupe by identity: a relay connection is bound once per source
+        # it fronts, and a duplicate entry would make the staged read call
+        # recv on an already-drained socket — which blocks the whole loop.
+        conns = self._pending + list(dict.fromkeys(self.connections.values()))
         try:
             ready, _, _ = select.select([self.listener, *conns], [], [], 0.005)
         except (OSError, ValueError):
@@ -452,19 +476,37 @@ class IsmServer:
         return ready
 
     def _flush_acks(self) -> None:
-        """Send one cumulative Ack per source that admitted this cycle."""
+        """Send the cycle's cumulative acks, one control frame per
+        connection: an ``AckBundle`` toward a capability-advertising
+        multiplexing peer, plain per-source ``Ack`` frames otherwise."""
         if not self._ack_pending:
             return
         pending, self._ack_pending = self._ack_pending, set()
-        for exs_id in pending:
+        per_conn: dict[MessageConnection, list[tuple[int, int]]] = {}
+        for exs_id in sorted(pending):
             conn = self.connections.get(exs_id)
             if conn is None:
                 continue  # source vanished before its ack; resume covers it
             up_to = self.manager.admitted_seq(exs_id)
             if up_to is None:
                 continue
+            per_conn.setdefault(conn, []).append((exs_id, up_to))
+        caps = self._peer_caps
+        for conn, pairs in per_conn.items():
             try:
-                conn.send(protocol.Ack(exs_id=exs_id, up_to_seq=up_to))
+                if len(pairs) > 1 and all(
+                    caps.get(e, 0) & protocol.CAP_ACK_BUNDLE for e, _ in pairs
+                ):
+                    conn.send(protocol.AckBundle(acks=tuple(pairs)))
+                else:
+                    conn.send_many(
+                        [
+                            protocol.encode_message(
+                                protocol.Ack(exs_id=e, up_to_seq=s)
+                            )
+                            for e, s in pairs
+                        ]
+                    )
             except OSError:
                 self._drop(conn)
 
@@ -518,8 +560,16 @@ class IsmServer:
                 # drop cannot evict the fresh binding.
                 self._drop(stale)
             self.connections[msg.exs_id] = conn
-            self._conn_exs[conn] = msg.exs_id
-            self._conn_node[conn] = msg.node_id
+            sources = self._conn_sources.setdefault(conn, set())
+            sources.add(msg.exs_id)
+            # The decode-time node hint only holds while every source on
+            # the connection agrees on it; a relay fronting several nodes
+            # clears it and the manager's stamping pass does the work.
+            if len(sources) == 1:
+                self._conn_node[conn] = msg.node_id
+            elif self._conn_node.get(conn) != msg.node_id:
+                self._conn_node[conn] = 0
+            self._peer_caps[msg.exs_id] = msg.capabilities
             if self.ack_batches and msg.wants_ack:
                 self._ack_enabled.add(msg.exs_id)
                 # Resume handshake: tell the EXS where this manager's
@@ -532,6 +582,9 @@ class IsmServer:
                         protocol.HelloReply(
                             exs_id=msg.exs_id,
                             last_seq=-1 if last is None else last,
+                            capabilities=(
+                                SERVER_CAPS if msg.capabilities else 0
+                            ),
                         )
                     )
                 except OSError:
@@ -551,22 +604,23 @@ class IsmServer:
         # grew one entry per connection for the server's whole lifetime.
         tracked = (
             conn in self._last_activity
-            or conn in self._conn_exs
+            or conn in self._conn_sources
             or conn in self._pending
         )
         if not tracked:
             return
         self._last_activity.pop(conn, None)
         self._conn_node.pop(conn, None)
-        exs_id = self._conn_exs.pop(conn, None)
-        if exs_id is not None:
-            # Only evict the exs→conn binding if it still points at *this*
-            # connection: after a reconnect the id maps to the new socket,
-            # and reaping the stale socket must not tear the live one out
-            # of the ack/sync sets.
-            if self.connections.get(exs_id) is conn:
-                self.connections.pop(exs_id)
-                self._ack_enabled.discard(exs_id)
+        sources = self._conn_sources.pop(conn, None)
+        if sources:
+            for exs_id in sources:
+                # Only evict an exs→conn binding if it still points at
+                # *this* connection: after a reconnect the id maps to the
+                # new socket, and reaping the stale socket must not tear
+                # the live one out of the ack/sync sets.
+                if self.connections.get(exs_id) is conn:
+                    self.connections.pop(exs_id)
+                    self._ack_enabled.discard(exs_id)
             self._rebuild_sync_master()
         if conn in self._pending:
             self._pending.remove(conn)
@@ -635,6 +689,15 @@ class IsmServer:
 _PEEK_U32 = struct.Struct(">I")
 _MSG_TYPE_OFFSET = 4
 _BATCH_EXS_OFFSET = 12
+
+#: Message-type ints pre-resolved for the frame-routing hot loop (an
+#: ``IntEnum`` attribute chain costs two lookups per comparison).
+_MT_BATCH = int(protocol.MsgType.BATCH)
+_MT_HELLO = int(protocol.MsgType.HELLO)
+_MT_BYE = int(protocol.MsgType.BYE)
+_MT_HEARTBEAT = int(protocol.MsgType.HEARTBEAT)
+_MT_TIME_REPLY = int(protocol.MsgType.TIME_REPLY)
+_MT_COMPRESSED = int(protocol.MsgType.COMPRESSED)
 
 
 class _ShardHandle:
@@ -752,9 +815,19 @@ class ShardedIsmServer:
         self._stopping = False
         # Socket-side state (mirrors IsmServer's bookkeeping).
         self.connections: dict[int, MessageConnection] = {}
-        self._conn_exs: dict[MessageConnection, int] = {}
+        #: Sources that spoke a Hello on each connection (a relay
+        #: multiplexes many over one socket).
+        self._conn_sources: dict[MessageConnection, set[int]] = {}
+        #: Cached shard route per connection — present only while every
+        #: source on the connection maps to the same shard, so the hot
+        #: routing loop can skip the per-frame exs-id peek.
         self._conn_shard: dict[MessageConnection, int] = {}
         self._exs_shard: dict[int, int] = {}
+        #: Capability bits each source's Hello advertised.
+        self._peer_caps: dict[int, int] = {}
+        #: Highest commit-released ack per source this cycle, flushed as
+        #: one control frame per connection by :meth:`_flush_cycle_acks`.
+        self._cycle_acks: dict[int, int] = {}
         self._ack_enabled: set[int] = set()
         self._last_activity: dict[MessageConnection, float] = {}
         self._pending: list[MessageConnection] = []
@@ -773,6 +846,7 @@ class ShardedIsmServer:
         self.frames_forwarded = Counter("dispatch.frames_forwarded")
         self.commits_processed = Counter("dispatch.commits")
         self.acks_forwarded = Counter("dispatch.acks_forwarded")
+        self.ack_frames_sent = Counter("dispatch.ack_frames_sent")
         self.unrouted_batches = Counter("dispatch.unrouted_batches")
         self.unsupported_frames = Counter("dispatch.unsupported_frames")
         self.consumer_errors = Counter("dispatch.consumer_errors")
@@ -802,6 +876,7 @@ class ShardedIsmServer:
         registry.adopt_counter(self.frames_forwarded)
         registry.adopt_counter(self.commits_processed)
         registry.adopt_counter(self.acks_forwarded)
+        registry.adopt_counter(self.ack_frames_sent)
         registry.adopt_counter(self.unrouted_batches)
         registry.adopt_counter(self.unsupported_frames)
         registry.adopt_counter(self.consumer_errors)
@@ -835,7 +910,8 @@ class ShardedIsmServer:
             )
 
     def _live_conns(self) -> list[MessageConnection]:
-        return self._pending + list(self.connections.values())
+        # Deduped by identity: a relay conn is bound once per source.
+        return self._pending + list(dict.fromkeys(self.connections.values()))
 
     @property
     def records_received(self) -> int:
@@ -1011,8 +1087,11 @@ class ShardedIsmServer:
                 self._merger.close_shard(idx)
             handle.received_base += handle.received
             handle.delivered_base += handle.delivered
-            for conn, conn_idx in list(self._conn_shard.items()):
-                if conn_idx == idx:
+            # Any connection with at least one source on the dead shard
+            # is dropped whole (a multiplexed relay re-Hellos every
+            # source on reconnect and retransmits from its outbox).
+            for conn, sources in list(self._conn_sources.items()):
+                if any(self._exs_shard.get(e) == idx for e in sources):
                     self._drop_conn(conn)
             self._teardown_shard(handle, join_timeout_s=1.0)
             self._spawn_shard(handle)
@@ -1064,6 +1143,7 @@ class ShardedIsmServer:
                 self.discarded_records += discarded
             handle.staged.clear()
             self._teardown_shard(handle, join_timeout_s=2.0)
+        self._flush_cycle_acks()
         if self._merger is not None:
             self._deliver(self._merger.flush())
         self._workers_running = False
@@ -1116,7 +1196,7 @@ class ShardedIsmServer:
             self._maybe_stats()
         self._pump_sockets()
         if self._stop.is_set():
-            for conn in list(self.connections.values()):
+            for conn in dict.fromkeys(self.connections.values()):
                 try:
                     conn.send(protocol.Bye(reason="ism shutdown"))
                 except OSError:
@@ -1185,7 +1265,9 @@ class ShardedIsmServer:
             closed = False
             try:
                 payloads = conn.recv_frames(timeout=0.0, assume_ready=True)
-            except (ConnectionClosed, ConnectionResetError, XdrDecodeError):
+            except (ConnectionClosed, OSError, XdrDecodeError):
+                # OSError covers resets and EBADF: a conn the ack-flush
+                # path dropped this cycle may still sit in the ready list.
                 closed = True
             if payloads:
                 self._last_activity[conn] = mono_now
@@ -1217,27 +1299,57 @@ class ShardedIsmServer:
     def _route_frames(
         self, conn: MessageConnection, payloads: list[bytes]
     ) -> None:
+        # The dispatcher's hottest loop: every inbound frame passes
+        # through here.  Attribute and dict lookups are hoisted out of
+        # the per-frame body, and batch frames ride the connection's
+        # cached shard route when one is pinned — re-peeking the exs id
+        # only for multiplexed connections whose sources span shards.
+        unpack_from = _PEEK_U32.unpack_from
+        exs_shard = self._exs_shard
+        forward = self._forward
+        conn_idx = self._conn_shard.get(conn)
         for payload in payloads:
             if len(payload) < 8:
                 self._drop_conn(conn)
                 return
-            mtype = _PEEK_U32.unpack_from(payload, _MSG_TYPE_OFFSET)[0]
-            if mtype == protocol.MsgType.BATCH:
-                idx = self._conn_shard.get(conn)
+            mtype = unpack_from(payload, _MSG_TYPE_OFFSET)[0]
+            if mtype == _MT_BATCH:
+                idx = conn_idx
                 if idx is None:
-                    # Batch before Hello: route provisionally by the
-                    # peeked exs id so nothing is dropped; the eventual
-                    # Hello pins the assignment (same modulo for
-                    # partition_by="exs"; for "node" a later Hello could
-                    # disagree, so this is counted as a routing smell).
                     if len(payload) < _BATCH_EXS_OFFSET + 4:
                         self._drop_conn(conn)
                         return
-                    exs_id = _PEEK_U32.unpack_from(payload, _BATCH_EXS_OFFSET)[0]
-                    idx = exs_id % self.shards
-                    self.unrouted_batches += 1
-                self._forward(idx, payload)
-            elif mtype == protocol.MsgType.HELLO:
+                    exs_id = unpack_from(payload, _BATCH_EXS_OFFSET)[0]
+                    idx = exs_shard.get(exs_id)
+                    if idx is None:
+                        # Batch before Hello: route provisionally by the
+                        # peeked exs id so nothing is dropped; the
+                        # eventual Hello pins the assignment (same modulo
+                        # for partition_by="exs"; for "node" a later
+                        # Hello could disagree, so it is counted as a
+                        # routing smell).
+                        idx = exs_id % self.shards
+                        self.unrouted_batches += 1
+                forward(idx, payload)
+            elif mtype == _MT_COMPRESSED:
+                # Peek through the envelope without inflating the whole
+                # payload; the owning shard decompresses at decode time.
+                try:
+                    inner, exs_id = protocol.peek_compressed(payload)
+                except protocol.ProtocolError:
+                    self._drop_conn(conn)
+                    return
+                if inner != _MT_BATCH:
+                    self.unsupported_frames += 1
+                    continue
+                idx = conn_idx
+                if idx is None:
+                    idx = exs_shard.get(exs_id)
+                    if idx is None:
+                        idx = exs_id % self.shards
+                        self.unrouted_batches += 1
+                forward(idx, payload)
+            elif mtype == _MT_HELLO:
                 try:
                     msg = protocol.decode_message(payload)
                 except (XdrDecodeError, ValueError):
@@ -1245,12 +1357,15 @@ class ShardedIsmServer:
                     return
                 if isinstance(msg, protocol.Hello):
                     self._bind_hello(conn, msg, payload)
-            elif mtype == protocol.MsgType.BYE:
+                    # The Hello may have pinned or unpinned the cached
+                    # route for frames later in this same list.
+                    conn_idx = self._conn_shard.get(conn)
+            elif mtype == _MT_BYE:
                 self._drop_conn(conn)
                 return
-            elif mtype == protocol.MsgType.HEARTBEAT:
+            elif mtype == _MT_HEARTBEAT:
                 pass  # liveness only; activity was noted at the socket
-            elif mtype == protocol.MsgType.TIME_REPLY:
+            elif mtype == _MT_TIME_REPLY:
                 pass  # stale probe reply; sharded mode runs no sync
             else:
                 self.unsupported_frames += 1
@@ -1266,9 +1381,17 @@ class ShardedIsmServer:
         key = msg.node_id if self.partition_by == "node" else msg.exs_id
         idx = key % self.shards
         self.connections[msg.exs_id] = conn
-        self._conn_exs[conn] = msg.exs_id
-        self._conn_shard[conn] = idx
+        sources = self._conn_sources.setdefault(conn, set())
+        sources.add(msg.exs_id)
         self._exs_shard[msg.exs_id] = idx
+        # Pin the fast routing cache only while every source on this
+        # connection lands on the same shard; a relay whose downstream
+        # nodes span shards falls back to per-frame exs-id peeks.
+        if all(self._exs_shard[e] == idx for e in sources):
+            self._conn_shard[conn] = idx
+        else:
+            self._conn_shard.pop(conn, None)
+        self._peer_caps[msg.exs_id] = msg.capabilities
         if self.ack_batches and msg.wants_ack:
             self._ack_enabled.add(msg.exs_id)
         # The shard answers the resume handshake (HELLO_REPLY control
@@ -1305,6 +1428,7 @@ class ShardedIsmServer:
                 continue
             if items:
                 self._ingest_items(handle, items)
+        self._flush_cycle_acks()
         if self._merger is not None:
             self._deliver(self._merger.emit())
 
@@ -1334,7 +1458,13 @@ class ShardedIsmServer:
                 try:
                     conn.send(
                         protocol.HelloReply(
-                            exs_id=int(exs_id), last_seq=int(last_seq)
+                            exs_id=int(exs_id),
+                            last_seq=int(last_seq),
+                            capabilities=(
+                                SERVER_CAPS
+                                if self._peer_caps.get(int(exs_id))
+                                else 0
+                            ),
                         )
                     )
                 except OSError:
@@ -1370,16 +1500,49 @@ class ShardedIsmServer:
         self.commits_processed += 1
 
     def _send_ack(self, exs_id: int, seq: int) -> None:
+        """Stage a commit-released ack; the cycle flush sends it."""
         if not self.ack_batches or exs_id not in self._ack_enabled:
             return
-        conn = self.connections.get(exs_id)
-        if conn is None:
-            return  # source vanished before its ack; resume covers it
-        try:
-            conn.send(protocol.Ack(exs_id=exs_id, up_to_seq=seq))
-            self.acks_forwarded += 1
-        except OSError:
-            self._drop_conn(conn)
+        prev = self._cycle_acks.get(exs_id)
+        if prev is None or seq > prev:
+            self._cycle_acks[exs_id] = seq
+
+    def _flush_cycle_acks(self) -> None:
+        """Send the cycle's cumulative acks, one control frame per
+        connection — an ``AckBundle`` toward capability peers with
+        several sources, per-source ``Ack`` frames otherwise.  Before
+        this coalescing, every commit-released ack left as its own
+        small send."""
+        if not self._cycle_acks:
+            return
+        pending, self._cycle_acks = self._cycle_acks, {}
+        per_conn: dict[MessageConnection, list[tuple[int, int]]] = {}
+        for exs_id, seq in sorted(pending.items()):
+            conn = self.connections.get(exs_id)
+            if conn is None:
+                continue  # source vanished before its ack; resume covers it
+            per_conn.setdefault(conn, []).append((exs_id, seq))
+        caps = self._peer_caps
+        for conn, pairs in per_conn.items():
+            try:
+                if len(pairs) > 1 and all(
+                    caps.get(e, 0) & protocol.CAP_ACK_BUNDLE for e, _ in pairs
+                ):
+                    conn.send(protocol.AckBundle(acks=tuple(pairs)))
+                    self.ack_frames_sent += 1
+                else:
+                    conn.send_many(
+                        [
+                            protocol.encode_message(
+                                protocol.Ack(exs_id=e, up_to_seq=s)
+                            )
+                            for e, s in pairs
+                        ]
+                    )
+                    self.ack_frames_sent += len(pairs)
+                self.acks_forwarded += len(pairs)
+            except OSError:
+                self._drop_conn(conn)
 
     def _deliver(self, records: list[EventRecord]) -> None:
         if not records:
@@ -1427,17 +1590,18 @@ class ShardedIsmServer:
     def _drop_conn(self, conn: MessageConnection) -> None:
         tracked = (
             conn in self._last_activity
-            or conn in self._conn_exs
+            or conn in self._conn_sources
             or conn in self._pending
         )
         if not tracked:
             return
         self._last_activity.pop(conn, None)
         self._conn_shard.pop(conn, None)
-        exs_id = self._conn_exs.pop(conn, None)
-        if exs_id is not None and self.connections.get(exs_id) is conn:
-            self.connections.pop(exs_id)
-            self._ack_enabled.discard(exs_id)
+        sources = self._conn_sources.pop(conn, None)
+        for exs_id in sources or ():
+            if self.connections.get(exs_id) is conn:
+                self.connections.pop(exs_id)
+                self._ack_enabled.discard(exs_id)
         if conn in self._pending:
             self._pending.remove(conn)
         self.closed_connections += 1

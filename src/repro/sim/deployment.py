@@ -82,6 +82,26 @@ class DeploymentConfig:
     #: node 1's sensor emits the snapshots as BRISK event records through
     #: the normal ring→EXS→ISM path (the IS monitoring itself).
     metrics_interval_us: int = 0
+    #: Relay aggregation tier fan-in (0 = no relay tier, the default).
+    #: When positive, each group of ``relay_fanin`` nodes ships through
+    #: one first-level relay; ``relay_levels`` stacks further tiers on
+    #: top (each ``relay_fanin`` relays feed one parent), and the last
+    #: tier holds the only senders the ISM ever sees.
+    relay_fanin: int = 0
+    relay_levels: int = 1
+    #: Relay coalesce window (virtual µs): batches buffered per relay are
+    #: shipped upward as ONE frame every interval — the in-flight
+    #: aggregation that turns per-node frame rates into per-relay rates.
+    relay_flush_interval_us: int = 5_000
+    #: Modelled relay CPU cost per batch forwarded (µs); each relay is
+    #: its own finite server.  Zero = infinitely fast relays.
+    relay_service_time_us: float = 0.0
+    #: Serial dispatcher cost per frame arriving at the ISM (µs) — the
+    #: fan-in ceiling the relay tier exists to break.  The cost scales
+    #: with *frames*, not records, so coalescing many small batches into
+    #: one frame buys the dispatcher back.  Zero (default) keeps the
+    #: pre-relay behaviour byte-identical.
+    ism_frame_overhead_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.exs_poll_interval_us < 1 or self.ism_tick_interval_us < 1:
@@ -94,6 +114,12 @@ class DeploymentConfig:
             raise ValueError("metrics_interval_us must be non-negative")
         if self.ism_shards < 1:
             raise ValueError("ism_shards must be >= 1")
+        if self.relay_fanin < 0:
+            raise ValueError("relay_fanin must be non-negative")
+        if self.relay_levels < 1:
+            raise ValueError("relay_levels must be >= 1")
+        if self.relay_flush_interval_us < 1:
+            raise ValueError("relay_flush_interval_us must be positive")
 
 
 class SimNode:
@@ -220,6 +246,33 @@ class DeploymentMetrics:
     ism_busy_us: int = 0
     #: Batches a fault injector swallowed on the simulated wire.
     batches_dropped: int = 0
+    #: Batch arrivals summed across every relay level.
+    relay_batches_in: int = 0
+    #: Coalesced frames the relay tier shipped upward.
+    relay_frames_out: int = 0
+    #: Frames that reached the ISM dispatcher (counted only while the
+    #: per-frame overhead model is on).
+    ism_frames_in: int = 0
+    #: Serial dispatcher time consumed by per-frame overhead (µs).
+    dispatcher_busy_us: int = 0
+
+
+class SimRelay:
+    """One modelled relay node: batches in, coalesced frames out.
+
+    Holds the coalesce buffer and the finite-server busy horizon; the
+    deployment owns routing, flushing, and costing (see
+    :meth:`SimDeployment._flush_relay`).
+    """
+
+    __slots__ = ("index", "level", "buffer", "uplink", "busy_until")
+
+    def __init__(self, index: int, level: int, uplink: LinkModel) -> None:
+        self.index = index
+        self.level = level
+        self.buffer: list[bytes] = []
+        self.uplink = uplink
+        self.busy_until = 0
 
 
 class SimDeployment:
@@ -247,6 +300,10 @@ class SimDeployment:
         self._started = False
         self._stops: list[Callable[[], None]] = []
         self._ism_busy_until = [0] * config.ism_shards
+        self._dispatcher_busy_until = 0
+        #: Relay tiers, built in :meth:`start` (level 0 fronts the nodes,
+        #: the last level fronts the ISM).  Empty = flat topology.
+        self.relays: list[list[SimRelay]] = []
         self._dead_nodes: set[int] = set()
         self._node_poll_stops: dict[int, Callable[[], None]] = {}
         #: Optional :class:`~repro.sim.network.FaultInjector` applied to
@@ -336,6 +393,25 @@ class SimDeployment:
                     lambda seq, n=node, e=event_id: n.emit(seq, e),
                 )
 
+        if cfg.relay_fanin > 0 and self.nodes:
+            count = len(self.nodes)
+            for level in range(cfg.relay_levels):
+                count = max(1, -(-count // cfg.relay_fanin))  # ceil
+                tier = [
+                    SimRelay(i, level, LinkModel(cfg.link, self.sim.rng))
+                    for i in range(count)
+                ]
+                self.relays.append(tier)
+                for relay in tier:
+                    self._stops.append(
+                        self.sim.schedule_every(
+                            cfg.relay_flush_interval_us,
+                            self._flush_relay,
+                            relay,
+                            jitter_us=max(1, cfg.relay_flush_interval_us // 20),
+                        )
+                    )
+
         if self.sync_algorithm != "none" and self.nodes:
             if self.sync_algorithm == "brisk":
                 slaves = [SimSyncSlave(self, n) for n in self.nodes]
@@ -396,6 +472,15 @@ class SimDeployment:
             default=self.config.link.base_delay_us,
         )
         self.sim.run_for(2 * (worst_delay + 10_000) + 50_000)
+        # Cascade the relay tiers dry: the periodic flush loops are
+        # cancelled, so each level is flushed by hand and its frames
+        # given time to land on the next one before that level flushes.
+        for tier in self.relays:
+            for relay in tier:
+                self._flush_relay(relay)
+            self.sim.run_for(
+                worst_delay + self.config.relay_flush_interval_us + 20_000
+            )
         self.ism.flush(self.ism_clock.read())
 
     # ------------------------------------------------------------------
@@ -418,7 +503,65 @@ class SimDeployment:
                 return
             extra = verdict
         delay = node.uplink.sample_delay(self.sim.now, nbytes=len(encoded))
-        self.sim.schedule(delay + extra, self._receive, encoded)
+        if self.relays:
+            first = self.relays[0]
+            relay = first[(node.node_id - 1) // self.config.relay_fanin % len(first)]
+            self.sim.schedule(delay + extra, self._relay_receive, relay, [encoded])
+        elif self.config.ism_frame_overhead_us > 0:
+            self.sim.schedule(delay + extra, self._frame_arrival, [encoded])
+        else:
+            self.sim.schedule(delay + extra, self._receive, encoded)
+
+    # -- the relay tier -------------------------------------------------
+    def _relay_receive(self, relay: SimRelay, batches: list[bytes]) -> None:
+        self.metrics.relay_batches_in += len(batches)
+        relay.buffer.extend(batches)
+
+    def _flush_relay(self, relay: SimRelay) -> None:
+        """Ship the relay's coalesce buffer upward as one frame."""
+        if not relay.buffer:
+            return
+        frame, relay.buffer = relay.buffer, []
+        self.metrics.relay_frames_out += 1
+        service = self.config.relay_service_time_us
+        start = max(self.sim.now, relay.busy_until)
+        done = start + (max(1, round(service * len(frame))) if service > 0 else 0)
+        relay.busy_until = done
+        delay = (done - self.sim.now) + relay.uplink.sample_delay(
+            done, nbytes=sum(len(p) for p in frame)
+        )
+        if relay.level + 1 < len(self.relays):
+            tier = self.relays[relay.level + 1]
+            parent = tier[relay.index // self.config.relay_fanin % len(tier)]
+            self.sim.schedule(delay, self._relay_receive, parent, frame)
+        else:
+            self.sim.schedule(delay, self._frame_arrival, frame)
+
+    def _frame_arrival(self, frame: list[bytes]) -> None:
+        """One frame hits the ISM dispatcher: pay the serial per-frame
+        cost once for the whole (possibly coalesced) group, then dispatch
+        every batch inside through the normal receive path."""
+        self.metrics.ism_frames_in += 1
+        overhead = self.config.ism_frame_overhead_us
+        if overhead <= 0:
+            for encoded in frame:
+                self._receive(encoded)
+            return
+        start = max(self.sim.now, self._dispatcher_busy_until)
+        done = start + max(1, round(overhead))
+        self._dispatcher_busy_until = done
+        self.metrics.dispatcher_busy_us += done - start
+        self.sim.schedule_at(done, self._dispatch_frame, frame)
+
+    def _dispatch_frame(self, frame: list[bytes]) -> None:
+        for encoded in frame:
+            self._receive(encoded)
+
+    @property
+    def ism_side_connections(self) -> int:
+        """Senders the ISM fronts directly: the last relay tier's size,
+        or every node in a flat topology."""
+        return len(self.relays[-1]) if self.relays else len(self.nodes)
 
     def _receive(self, encoded: bytes) -> None:
         msg = protocol.decode_message(encoded)

@@ -42,6 +42,7 @@ _EXPERIMENT_OF_FILE = {
     "size_per": "E8",
     "batch_encode": "E8",
     "batch_decode": "E8",
+    "relay": "E10",
     "specialized_vs_dynamic": "E9",
     "mixed_schema_batch": "E9",
     "bytes_saved": "A1",

@@ -17,6 +17,10 @@ Three modes::
     # breakdown table (JSON written by brisk-ism --shards N --stats-json).
     brisk-stats shards /tmp/ism-stats.json
 
+    # Relay-tier view: coalesce/compress/fold accounting of one or more
+    # relay nodes (JSON from relay_process_main(..., stats_json=...)).
+    brisk-stats relay /tmp/relay-0.json /tmp/relay-1.json
+
 The ``sim`` mode doubles as the smoke proof for the observability layer:
 ring/EXS/sorter/CRE gauges move while the run progresses, and the metric
 records round-trip LIS→EXS→ISM→PICL like any application event.
@@ -80,6 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     shards.add_argument(
         "--no-dispatcher", action="store_true",
         help="leave the dispatcher's own counters out of the fleet totals",
+    )
+
+    relay = sub.add_parser(
+        "relay", help="relay-tier view of one or more relay stats dumps"
+    )
+    relay.add_argument(
+        "paths", nargs="+",
+        help="stats JSON written by relay_process_main(stats_json=...)",
     )
     return parser
 
@@ -185,6 +197,36 @@ def _run_shards(args) -> int:
     return 0
 
 
+def _run_relay(args) -> int:
+    import json
+
+    any_stats = False
+    for path in args.paths:
+        with open(path, "r", encoding="ascii") as stream:
+            dump = json.load(stream)
+        counters = dump.get("counters", {})
+        if not counters:
+            print(f"no relay stats in {path}", file=sys.stderr)
+            continue
+        any_stats = True
+        scalars = {f"relay.{name}": value for name, value in counters.items()}
+        scalars["relay.sources"] = dump.get("sources", 0)
+        scalars["relay.held_envelopes"] = dump.get("held_envelopes", 0)
+        scalars["relay.unacked_frames"] = dump.get("unacked_frames", 0)
+        header = (
+            f"== relay {dump.get('relay_id', '?')} "
+            f"({dump.get('downstream_connections', 0)} downstream conn(s), "
+            f"upstream {'up' if dump.get('upstream_connected') else 'down'}) =="
+        )
+        print(header)
+        print(render_snapshot(scalars_snapshot(scalars)))
+        batches = counters.get("batches_in", 0)
+        frames = counters.get("frames_out", 0)
+        if frames:
+            print(f"coalesce ratio: {batches / frames:.1f} batches/frame")
+    return 0 if any_stats else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -195,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_picl(args)
         if args.mode == "shards":
             return _run_shards(args)
+        if args.mode == "relay":
+            return _run_relay(args)
         return _run_shm(args)
     except BrokenPipeError:
         # Output piped into a pager/head that quit early: not an error.

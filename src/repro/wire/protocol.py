@@ -33,6 +33,7 @@ share the connection with batches; the clock-synchronization algorithms in
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import TYPE_CHECKING, Any, Callable, Sequence
@@ -68,6 +69,22 @@ class MsgType(IntEnum):
     ACK = 8          #: cumulative batch acknowledgment (ISM → EXS)
     HELLO_REPLY = 9  #: resume point answering a Hello (ISM → EXS)
     HEARTBEAT = 10   #: idle-liveness beacon (EXS → ISM)
+    COMPRESSED = 11  #: zlib envelope around one complete message payload
+    ACK_BUNDLE = 12  #: per-cycle bundle of cumulative acks (ISM → relay)
+
+
+#: Capability bits a peer advertises in ``Hello.capabilities`` and a
+#: server answers in ``HelloReply.capabilities``.  Both fields ride the
+#: trailing-word extension scheme, so capability negotiation is invisible
+#: to legacy peers: a sender may only use a feature after the *receiving*
+#: side advertised the matching bit.
+CAP_COMPRESS = 0x1    #: receiver accepts ``MsgType.COMPRESSED`` envelopes
+CAP_ACK_BUNDLE = 0x2  #: peer accepts ``MsgType.ACK_BUNDLE`` control frames
+CAP_SEQ_RANGE = 0x4   #: receiver accepts coalesced batches with ``first_seq``
+
+#: Upper bound a COMPRESSED envelope may claim for its decompressed size;
+#: a corrupt or hostile length word must not drive a giant allocation.
+MAX_DECOMPRESSED_BYTES = 64 << 20
 
 
 class ProtocolError(XdrDecodeError):
@@ -84,11 +101,21 @@ class Batch:
 
     ``seq`` increments per batch per EXS; the ISM checks it to detect
     transport-level loss (impossible over healthy TCP, cheap to verify).
+
+    A relay that coalesces several consecutive downstream batches into one
+    upstream frame preserves the original sequence numbers: the coalesced
+    frame carries ``seq`` = the *last* contained batch's sequence and
+    ``first_seq`` = the first's, so the receiver's cumulative-ack and
+    dedup watermarks keep their end-to-end meaning.  ``first_seq`` rides
+    behind ``_FLAG_SEQ_RANGE`` and is only emitted toward peers that
+    advertised :data:`CAP_SEQ_RANGE`; a plain batch is byte-identical to
+    the original wire format.
     """
 
     exs_id: int
     seq: int
     records: tuple[EventRecord, ...]
+    first_seq: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,6 +134,11 @@ class Hello:
     #: (writing to a peer that already closed raises an RST that can
     #: discard its still-buffered batches).
     wants_ack: bool = False
+    #: Capability bits (``CAP_*``) the sender can *receive*.  Second
+    #: trailing extension word; when set, the ``wants_ack`` word is
+    #: emitted too (XDR is positional), which is safe because only
+    #: capability-aware peers ever set this field.
+    capabilities: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,10 +165,16 @@ class HelloReply:
     restarted ISM without resume state).  A reconnecting EXS drops
     outbox entries up to ``last_seq`` and retransmits the remainder, so
     the at-least-once wire converges to exactly-once delivery.
+
+    ``capabilities`` answers the Hello's capability bits with the subset
+    the server supports.  It is a trailing extension word emitted *only*
+    toward peers whose Hello advertised capabilities — legacy decoders
+    reject trailing bytes, and a legacy peer by definition sent none.
     """
 
     exs_id: int
     last_seq: int = -1
+    capabilities: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -148,6 +186,21 @@ class Heartbeat:
     """
 
     exs_id: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AckBundle:
+    """Per-cycle bundle of cumulative acks (ISM → relay).
+
+    A relay multiplexes many EXS streams over one connection; acking each
+    per cycle as individual :class:`Ack` frames would make the control
+    plane O(sources).  Peers that advertised :data:`CAP_ACK_BUNDLE`
+    receive one bundle per pump cycle instead: ``acks`` holds
+    ``(exs_id, up_to_seq)`` pairs with the same cumulative semantics as
+    :class:`Ack`.
+    """
+
+    acks: tuple[tuple[int, int], ...]
 
 
 @dataclass(frozen=True, slots=True)
@@ -229,6 +282,7 @@ Message = (
     | Hello
     | HelloReply
     | Ack
+    | AckBundle
     | Heartbeat
     | TimeRequest
     | TimeReply
@@ -366,6 +420,7 @@ def _decode_meta_plain(dec: XdrDecoder) -> tuple[FieldType, ...]:
 
 _FLAG_COMPRESS_META = 0x1
 _FLAG_DELTA_TS = 0x2
+_FLAG_SEQ_RANGE = 0x4
 
 
 def _encode_record_dynamic(
@@ -400,6 +455,7 @@ def encode_batch_records(
     delta_ts: bool = False,
     use_fastpath: bool = True,
     enc: XdrEncoder | None = None,
+    first_seq: int | None = None,
 ) -> bytes:
     """Encode a data batch message (``MsgType.BATCH``) to bytes.
 
@@ -411,6 +467,10 @@ def encode_batch_records(
     ``use_fastpath=False`` all take the seed dynamic path.  Output is
     byte-identical either way.  Pass a reusable *enc* (it is reset) to
     amortize buffer allocation across batches.
+
+    ``first_seq`` marks a relay-coalesced batch covering downstream
+    sequences ``first_seq..seq``; it adds one word behind
+    ``_FLAG_SEQ_RANGE`` and must only go to :data:`CAP_SEQ_RANGE` peers.
     """
     if enc is None:
         enc = XdrEncoder()
@@ -421,9 +481,13 @@ def encode_batch_records(
     flags = (_FLAG_COMPRESS_META if compress_meta else 0) | (
         _FLAG_DELTA_TS if delta_ts else 0
     )
+    if first_seq is not None:
+        flags |= _FLAG_SEQ_RANGE
     enc.pack_uint(flags)
     enc.pack_uint(exs_id)
     enc.pack_uint(seq)
+    if first_seq is not None:
+        enc.pack_uint(first_seq)
     enc.pack_uint(len(records))
     base_ts = records[0].timestamp if records else 0
     enc.pack_hyper(base_ts)
@@ -505,6 +569,7 @@ def _decode_batch(
     flags = dec.unpack_uint()
     exs_id = dec.unpack_uint()
     seq = dec.unpack_uint()
+    first_seq = dec.unpack_uint() if flags & _FLAG_SEQ_RANGE else None
     count = dec.unpack_uint()
     base_ts = dec.unpack_hyper()
     compress = bool(flags & _FLAG_COMPRESS_META)
@@ -546,7 +611,9 @@ def _decode_batch(
                 _decode_record_dynamic(dec, decode_meta, delta_ts, base_ts, node_id)
             )
     dec.done()
-    return Batch(exs_id=exs_id, seq=seq, records=tuple(records))
+    return Batch(
+        exs_id=exs_id, seq=seq, records=tuple(records), first_seq=first_seq
+    )
 
 
 #: Fixed-size schemas have one wire size per (schema, knobs) — answered
@@ -585,6 +652,61 @@ def record_wire_size(
 
 
 # ----------------------------------------------------------------------
+# compressed envelope
+# ----------------------------------------------------------------------
+
+def compress_frame(
+    payload: bytes | bytearray | memoryview, *, level: int = 1
+) -> bytes:
+    """Wrap one complete encoded message payload in a COMPRESSED envelope.
+
+    Layout: ``MAGIC, COMPRESSED, u32 raw_len, opaque zlib(payload)``.
+    :func:`decode_message` unwraps it transparently, so the envelope is a
+    pure transport concern — but it may only be sent to peers that
+    advertised :data:`CAP_COMPRESS` (a legacy receiver sees an unknown
+    message type and drops the connection).  ``level=1`` favors
+    throughput: relay coalescing already removed most of the slack, so
+    deeper search buys little.
+    """
+    raw = bytes(payload)
+    enc = XdrEncoder()
+    enc.pack_uint(MAGIC)
+    enc.pack_uint(MsgType.COMPRESSED)
+    enc.pack_uint(len(raw))
+    enc.pack_opaque(zlib.compress(raw, level))
+    return enc.getvalue()
+
+
+#: Byte offset of the zlib stream inside a COMPRESSED envelope:
+#: magic(4) + type(4) + raw_len(4) + opaque count(4).
+_COMPRESSED_DATA_OFFSET = 16
+
+
+def peek_compressed(payload: bytes | bytearray | memoryview) -> tuple[int, int]:
+    """Peek ``(inner_msg_type, inner_exs_id)`` of a COMPRESSED envelope.
+
+    Decompresses only the first 16 inner bytes — enough for the routing
+    dispatcher to read a batch's type and exs id without inflating the
+    records.  ``exs_id`` is only meaningful when the inner type is
+    ``BATCH``; it is ``-1`` for inner messages shorter than 16 bytes.
+    """
+    try:
+        head = zlib.decompressobj().decompress(
+            memoryview(payload)[_COMPRESSED_DATA_OFFSET:], 16
+        )
+    except zlib.error as exc:
+        raise ProtocolError(f"corrupt compressed frame: {exc}") from exc
+    if len(head) < 8:
+        raise ProtocolError("compressed frame too short to peek")
+    magic = int.from_bytes(head[0:4], "big")
+    if magic != MAGIC:
+        raise ProtocolError(f"bad inner magic 0x{magic:08X}")
+    mtype = int.from_bytes(head[4:8], "big")
+    exs_id = int.from_bytes(head[12:16], "big") if len(head) >= 16 else -1
+    return mtype, exs_id
+
+
+# ----------------------------------------------------------------------
 # control messages + top-level dispatch
 # ----------------------------------------------------------------------
 
@@ -609,7 +731,8 @@ def _encode_message(msg: Message, **batch_opts: Any) -> XdrEncoder:
         if enc is None:  # no `or`: an empty reusable encoder is falsy
             enc = XdrEncoder()
         encode_batch_records(
-            msg.exs_id, msg.seq, msg.records, enc=enc, **batch_opts
+            msg.exs_id, msg.seq, msg.records, first_seq=msg.first_seq,
+            enc=enc, **batch_opts
         )
         return enc
     enc = XdrEncoder()
@@ -619,17 +742,32 @@ def _encode_message(msg: Message, **batch_opts: Any) -> XdrEncoder:
         enc.pack_uint(msg.exs_id)
         enc.pack_uint(msg.node_id)
         enc.pack_uint(msg.advertised_rate)
-        if msg.wants_ack:
-            # Trailing extension word; absent = False (legacy framing).
-            enc.pack_uint(1)
+        if msg.wants_ack or msg.capabilities:
+            # Trailing extension words; absent = False (legacy framing).
+            # Capabilities force the wants_ack word out too: XDR is
+            # positional, and only capability-aware peers set them.
+            enc.pack_uint(1 if msg.wants_ack else 0)
+        if msg.capabilities:
+            enc.pack_uint(msg.capabilities)
     elif isinstance(msg, Ack):
         enc.pack_uint(MsgType.ACK)
         enc.pack_uint(msg.exs_id)
         enc.pack_uint(msg.up_to_seq)
+    elif isinstance(msg, AckBundle):
+        enc.pack_uint(MsgType.ACK_BUNDLE)
+        enc.pack_uint(len(msg.acks))
+        for ack_exs_id, up_to_seq in msg.acks:
+            enc.pack_uint(ack_exs_id)
+            enc.pack_uint(up_to_seq)
     elif isinstance(msg, HelloReply):
         enc.pack_uint(MsgType.HELLO_REPLY)
         enc.pack_uint(msg.exs_id)
         enc.pack_int(msg.last_seq)
+        if msg.capabilities:
+            # Trailing extension word: sent only toward capability-aware
+            # peers (their Hello advertised bits); legacy HelloReply
+            # consumers call dec.done() and must never see it.
+            enc.pack_uint(msg.capabilities)
     elif isinstance(msg, Heartbeat):
         enc.pack_uint(MsgType.HEARTBEAT)
         enc.pack_uint(msg.exs_id)
@@ -680,6 +818,31 @@ def decode_message(
     if magic != MAGIC:
         raise ProtocolError(f"bad magic 0x{magic:08X}")
     kind = dec.unpack_uint()
+    if kind == MsgType.COMPRESSED:
+        # Transparent unwrap: swap in the decompressed inner payload and
+        # fall through to the normal dispatch on its message type.
+        raw_len = dec.unpack_uint()
+        if raw_len > MAX_DECOMPRESSED_BYTES:
+            raise ProtocolError(
+                f"compressed frame claims {raw_len} raw bytes"
+            )
+        try:
+            raw = zlib.decompress(dec.unpack_opaque(), bufsize=raw_len or 64)
+        except zlib.error as exc:
+            raise ProtocolError(f"corrupt compressed frame: {exc}") from exc
+        dec.done()
+        if len(raw) != raw_len:
+            raise ProtocolError(
+                f"compressed frame declared {raw_len} raw bytes, "
+                f"decompressed to {len(raw)}"
+            )
+        dec = XdrDecoder(raw)
+        magic = dec.unpack_uint()
+        if magic != MAGIC:
+            raise ProtocolError(f"bad inner magic 0x{magic:08X}")
+        kind = dec.unpack_uint()
+        if kind == MsgType.COMPRESSED:
+            raise ProtocolError("nested COMPRESSED frame")
     if kind == MsgType.BATCH:
         return _decode_batch(dec, use_fastpath=use_fastpath, node_id=node_id)
     if kind == MsgType.HELLO:
@@ -688,11 +851,25 @@ def decode_message(
             node_id=dec.unpack_uint(),
             advertised_rate=dec.unpack_uint(),
             wants_ack=dec.remaining >= 4 and bool(dec.unpack_uint()),
+            capabilities=dec.unpack_uint() if dec.remaining >= 4 else 0,
         )
     elif kind == MsgType.ACK:
         msg = Ack(exs_id=dec.unpack_uint(), up_to_seq=dec.unpack_uint())
+    elif kind == MsgType.ACK_BUNDLE:
+        count = dec.unpack_uint()
+        if count > 65536:
+            raise ProtocolError(f"ack bundle claims {count} entries")
+        msg = AckBundle(
+            acks=tuple(
+                (dec.unpack_uint(), dec.unpack_uint()) for _ in range(count)
+            ),
+        )
     elif kind == MsgType.HELLO_REPLY:
-        msg = HelloReply(exs_id=dec.unpack_uint(), last_seq=dec.unpack_int())
+        msg = HelloReply(
+            exs_id=dec.unpack_uint(),
+            last_seq=dec.unpack_int(),
+            capabilities=dec.unpack_uint() if dec.remaining >= 4 else 0,
+        )
     elif kind == MsgType.HEARTBEAT:
         msg = Heartbeat(exs_id=dec.unpack_uint())
     elif kind == MsgType.TIME_REQ:
