@@ -1,0 +1,158 @@
+"""E11 — durable commit log: append throughput and ack latency by policy.
+
+PR 8 put a durable segmented log under the delivery stream and gated
+upstream acks on it.  The cost question that decides whether durable
+mode is usable: what does each fsync policy pay, per appended record and
+per acked batch, against the buffered PICL trace file the pipeline wrote
+before (the paper's §3.4 consumer)?
+
+Three measurements:
+
+* **append throughput** — records/second through ``append_many`` for
+  ``fsync=off`` / ``interval`` / ``batch``, and the buffered
+  ``PiclFileConsumer`` baseline on the same records;
+* **ack latency** — the durable ack path is append + ``sync`` (fsync +
+  checkpoint); per-batch latency for each policy, since that is what
+  stands between an EXS batch and its ack in durable mode;
+* **fsync accounting** — count and mean latency from the log's own
+  ``log.fsync_us`` histogram, showing where each policy spends.
+
+Host-independent assertions only: every policy must persist the byte-
+identical record sequence, durable-offset semantics must match the
+policy, and ``fsync=off`` appends must not lose to ``fsync=batch``
+(strictly fewer syscalls).  Absolute rates are reported, not gated —
+the CI-gated floor lives in ``test_pipeline_guard.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.records import EventRecord, FieldType
+from repro.log import CommitLog, LogConfig
+from repro.picl.format import TimestampMode
+
+N_RECORDS = 20_000
+BATCH = 250
+POLICIES = ("off", "interval", "batch")
+
+
+def _records(n: int) -> list[EventRecord]:
+    return [
+        EventRecord(
+            event_id=7,
+            timestamp=1_000_000 + i,
+            field_types=(FieldType.X_INT,) * 6,
+            values=(i, 2, 3, 4, 5, 6),
+            node_id=1,
+        )
+        for i in range(n)
+    ]
+
+
+def _chunks(records: list[EventRecord]) -> list[list[EventRecord]]:
+    return [records[i : i + BATCH] for i in range(0, len(records), BATCH)]
+
+
+def _append_run(tmp_path, policy: str, records) -> tuple[float, CommitLog]:
+    log = CommitLog(tmp_path / f"append-{policy}", LogConfig(fsync=policy))
+    t0 = time.perf_counter()
+    for chunk in _chunks(records):
+        log.append_many(chunk)
+    elapsed = time.perf_counter() - t0
+    return elapsed, log
+
+
+def _picl_run(tmp_path, records) -> float:
+    from repro.core.consumers import PiclFileConsumer
+
+    stream = open(tmp_path / "baseline.picl", "w", encoding="ascii")
+    consumer = PiclFileConsumer(
+        stream, TimestampMode.UTC_MICROS, close_stream=True
+    )
+    t0 = time.perf_counter()
+    for chunk in _chunks(records):
+        consumer.deliver_many(chunk)
+    elapsed = time.perf_counter() - t0
+    consumer.close()
+    return elapsed
+
+
+def test_e11_append_throughput_by_policy(tmp_path, report):
+    records = _records(N_RECORDS)
+    picl_s = _picl_run(tmp_path, records)
+    rows = [
+        (
+            "picl-buffered",
+            f"{N_RECORDS / picl_s:>12,.0f}",
+            f"{'-':>8}",
+            f"{'-':>10}",
+        )
+    ]
+    elapsed: dict[str, float] = {}
+    for policy in POLICIES:
+        seconds, log = _append_run(tmp_path, policy, records)
+        elapsed[policy] = seconds
+        # Identical persistence whatever the policy: same records, in
+        # order, and the policy's durable-offset semantics hold.
+        assert list(log.iter_from(0)) == records
+        if policy == "batch":
+            assert log.durable_offset == N_RECORDS
+        fsyncs = int(log.fsyncs)
+        hist = log.fsync_hist.snapshot()
+        mean_us = hist.mean if hist.count else 0.0
+        rows.append(
+            (
+                f"log fsync={policy}",
+                f"{N_RECORDS / seconds:>12,.0f}",
+                f"{fsyncs:>8}",
+                f"{mean_us:>10.1f}",
+            )
+        )
+        log.close()
+    report.table(
+        f"{'writer':<18}  {'records/s':>12}  {'fsyncs':>8}  {'mean us':>10}",
+        rows,
+    )
+    report.row(
+        f"log(off)/picl elapsed ratio: {elapsed['off'] / picl_s:.2f}"
+    )
+    # fsync=off does strictly less work per append than fsync=batch.
+    assert elapsed["off"] <= elapsed["batch"] * 1.15, (
+        f"fsync=off appends ({elapsed['off'] * 1e3:.1f} ms) lost to "
+        f"fsync=batch ({elapsed['batch'] * 1e3:.1f} ms)"
+    )
+
+
+def test_e11_ack_latency_by_policy(tmp_path, report):
+    # The durable ack path per EXS batch: append_many + sync(sources).
+    # sync fsyncs whatever the policy (that is the point of the gate), so
+    # the spread between policies prices their *append-side* fsyncs.
+    records = _records(N_RECORDS // 4)
+    rows = []
+    for policy in POLICIES:
+        log = CommitLog(tmp_path / f"ack-{policy}", LogConfig(fsync=policy))
+        latencies_us: list[float] = []
+        for seq, chunk in enumerate(_chunks(records)):
+            t0 = time.perf_counter_ns()
+            log.append_many(chunk)
+            log.sync({1: seq})
+            latencies_us.append((time.perf_counter_ns() - t0) / 1_000.0)
+        assert log.durable_offset == len(records)
+        assert log.source_watermarks() == {1: len(_chunks(records)) - 1}
+        log.close()
+        latencies_us.sort()
+        mean = sum(latencies_us) / len(latencies_us)
+        p99 = latencies_us[int(len(latencies_us) * 0.99) - 1]
+        rows.append(
+            (
+                f"fsync={policy}",
+                f"{mean:>10.1f}",
+                f"{latencies_us[len(latencies_us) // 2]:>10.1f}",
+                f"{p99:>10.1f}",
+            )
+        )
+    report.table(
+        f"{'policy':<16}  {'mean us':>10}  {'p50 us':>10}  {'p99 us':>10}",
+        rows,
+    )

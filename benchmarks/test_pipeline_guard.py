@@ -342,6 +342,53 @@ def test_e5_fanin_sort_deliver_floor():
     )
 
 
+def test_log_append_within_fifteen_percent_of_buffered_picl(tmp_path):
+    """The durable commit log's price of admission (PR 8): with
+    ``fsync=off`` — the policy whose per-append work is purely CPU, the
+    same as the baseline's — appending the delivery stream must stay
+    within 15% of the buffered PICL trace writer it sits beside.  Binary
+    framing + CRC racing text formatting; equivalence is asserted first
+    (the log must read back the identical records)."""
+    from repro.core.consumers import PiclFileConsumer
+    from repro.log import CommitLog, LogConfig
+    from repro.picl.format import TimestampMode
+
+    records = _records(10_000)
+    chunks = [records[i : i + 250] for i in range(0, len(records), 250)]
+    fresh = iter(range(10_000))
+
+    def log_run() -> None:
+        log = CommitLog(
+            tmp_path / f"log{next(fresh)}", LogConfig(fsync="off")
+        )
+        for chunk in chunks:
+            log.append_many(chunk)
+        log_run.last = log  # noqa: B010 - handed to the equivalence check
+
+    def picl_run() -> None:
+        stream = open(
+            tmp_path / f"trace{next(fresh)}.picl", "w", encoding="ascii"
+        )
+        consumer = PiclFileConsumer(
+            stream, TimestampMode.UTC_MICROS, close_stream=True
+        )
+        for chunk in chunks:
+            consumer.deliver_many(chunk)
+        consumer.close()
+
+    log_run()
+    assert list(log_run.last.iter_from(0)) == records  # identical, or no deal
+    log_run.last.close()
+
+    log_best = _best(log_run, repeats=3)
+    picl_best = _best(picl_run, repeats=3)
+    assert log_best <= picl_best * 1.15, (
+        f"fsync=off log appends ({10_000 / log_best:,.0f} ev/s) fell more "
+        f"than 15% behind the buffered PICL writer "
+        f"({10_000 / picl_best:,.0f} ev/s)"
+    )
+
+
 def test_e5b_sharded_scaling_floor():
     """The sharded-ISM acceptance floor: 8 shards >= 3x 1 shard.
 

@@ -6,7 +6,8 @@ A trace can be built from any of the ISM's output artifacts:
   :class:`~repro.core.consumers.CollectingConsumer`),
 * an ISM memory buffer in the native layout
   (:meth:`Trace.from_memory_buffer`),
-* a UTC-mode PICL trace file (:meth:`Trace.from_picl`).
+* a UTC-mode PICL trace file (:meth:`Trace.from_picl`),
+* a durable commit log or log directory (:meth:`Trace.from_log`).
 
 Queries return new :class:`Trace` objects so analyses compose:
 ``trace.node(3).events(1, 2).between(t0, t1)``.
@@ -67,6 +68,22 @@ class Trace:
         """Load a trace saved by :meth:`save_native`."""
         with open(path, "rb") as stream:
             return cls.from_memory_buffer(stream.read())
+
+    @classmethod
+    def from_log(cls, log, start: int = 0) -> "Trace":
+        """Load from a commit log (:class:`repro.log.CommitLog`) or a log
+        directory path, starting at offset *start*.
+
+        The log preserves ISM delivery order, which is sort order, so the
+        trace is built presorted — loading a large log skips the re-sort.
+        """
+        import os
+
+        if isinstance(log, (str, os.PathLike)):
+            from repro.log import iter_log
+
+            return cls(iter_log(log, start), presorted=True)
+        return cls(log.iter_from(start), presorted=True)
 
     def save_native(self, path) -> int:
         """Save in the compact native binary layout; returns bytes written.

@@ -1,0 +1,128 @@
+"""The ack gate — when is a batch safe to acknowledge upstream?
+
+An ack is a promise: *the EXS may drop this batch from its outbox*.
+PR 6's shard workers learned the careful version of that promise —
+admit, wait until every record of the batch has actually left the
+pipeline, stage the ack, and only treat it as quotable once a commit
+covers it.  The durable commit log (PR 8) needs the identical state
+machine with one more gate in the chain (fsync before commit), so the
+bookkeeping lives here, shared by :class:`repro.runtime.shard.ShardWorker`
+and the durable-mode paths in :mod:`repro.runtime.ism_proc`.
+
+The gate tracks, per source:
+
+* a FIFO of ``(batch seq, cumulative admitted record count)`` for
+  batches admitted but not yet fully released downstream;
+* the **acked** watermark — the highest seq whose records have all been
+  released (safe to put on the wire *only* if losing the process loses
+  nothing, e.g. the single-process in-memory ISM);
+* the **committed** watermark — the highest seq covered by the caller's
+  commit point (shard COMMIT record, or a durable log sync).  Resume
+  paths (HelloReply) must quote this one: an acked-but-uncommitted batch
+  dies with the process, so telling the EXS about it would let the
+  outbox drop batches that still need retransmission.
+
+Callers drive it: :meth:`on_admitted` per fresh batch,
+:meth:`advance` once per cycle with the sorter's released counts,
+:meth:`commit` after their commit point succeeds, :meth:`take_dirty`
+to learn which sources need a (re-)ack on the wire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional, Set
+
+__all__ = ["AckGate"]
+
+
+class AckGate:
+    """Per-source ack watermark bookkeeping (pure state, no I/O)."""
+
+    def __init__(self, resume: Optional[Mapping[int, int]] = None) -> None:
+        seed = dict(resume) if resume else {}
+        self._pending: Dict[int, Deque[tuple[int, int]]] = {}
+        self._admitted_records: Dict[int, int] = {}
+        self._acked: Dict[int, int] = dict(seed)
+        self._committed: Dict[int, int] = dict(seed)
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # admission side
+    # ------------------------------------------------------------------
+    def on_admitted(self, source: int, seq: int, n_records: int) -> None:
+        """A fresh (non-duplicate) batch was admitted to the pipeline."""
+        cum = self._admitted_records.get(source, 0) + n_records
+        self._admitted_records[source] = cum
+        self._pending.setdefault(source, deque()).append((seq, cum))
+
+    def mark_dirty(self, source: int) -> None:
+        """Request a re-ack of the current watermark (duplicate batch:
+        a resumed EXS retransmitting acked batches must converge instead
+        of waiting for new data)."""
+        self._dirty.add(source)
+
+    # ------------------------------------------------------------------
+    # release side
+    # ------------------------------------------------------------------
+    def advance(
+        self, released_by_source: Mapping[int, int], parked_now: int
+    ) -> bool:
+        """Move ack watermarks over batches whose records all left the
+        pipeline; returns True if any watermark advanced.
+
+        Requires the causal matcher to be empty (*parked_now* == 0):
+        released-by-source counts come from the sorter, and a record
+        parked in the CRE has left the sorter without reaching the sink.
+        """
+        if parked_now != 0:
+            return False
+        moved = False
+        for source, pending in self._pending.items():
+            done = released_by_source.get(source, 0)
+            advanced = False
+            while pending and pending[0][1] <= done:
+                seq, _ = pending.popleft()
+                self._acked[source] = seq
+                advanced = True
+            if advanced:
+                self._dirty.add(source)
+                moved = True
+        return moved
+
+    def commit(self) -> None:
+        """The caller's commit point covers everything acked so far."""
+        self._committed = dict(self._acked)
+
+    # ------------------------------------------------------------------
+    # wire side
+    # ------------------------------------------------------------------
+    def take_dirty(self) -> list[int]:
+        """Sources whose watermark should be (re-)quoted, sorted; clears."""
+        out = sorted(self._dirty)
+        self._dirty.clear()
+        return out
+
+    @property
+    def has_dirty(self) -> bool:
+        return bool(self._dirty)
+
+    @property
+    def has_pending(self) -> bool:
+        """Any admitted batch not yet fully released?"""
+        return any(self._pending.values())
+
+    def acked(self, source: int) -> Optional[int]:
+        """Highest fully-released batch seq for *source*."""
+        return self._acked.get(source)
+
+    def committed(self, source: int) -> Optional[int]:
+        """Highest commit-covered batch seq for *source* — what resume
+        paths (HelloReply) must quote."""
+        return self._committed.get(source)
+
+    def acked_watermarks(self) -> Dict[int, int]:
+        return dict(self._acked)
+
+    def committed_watermarks(self) -> Dict[int, int]:
+        return dict(self._committed)

@@ -177,21 +177,13 @@ class PiclFileConsumer:
         if self._close_stream:
             self._stream.close()
         if self._final_path is not None and self._part_path is not None:
-            import os
+            # Make the rename itself durable, not just the bytes: the
+            # shared helper renames and then fsyncs the containing
+            # directory (same machinery as the commit log's segment roll
+            # and checkpoint writes).
+            from repro.util.durability import durable_replace
 
-            os.replace(self._part_path, self._final_path)
-            # Make the rename itself durable, not just the bytes.
-            dir_path = os.path.dirname(self._final_path) or "."
-            try:
-                dir_fd = os.open(dir_path, os.O_RDONLY)
-            except OSError:
-                return
-            try:
-                os.fsync(dir_fd)
-            except OSError:
-                pass
-            finally:
-                os.close(dir_fd)
+            durable_replace(self._part_path, self._final_path)
 
 
 @runtime_checkable
@@ -425,3 +417,54 @@ class QueuedConsumer:
             self._inner.close()
         finally:
             self._raise_pending()
+
+
+class LogConsumer:
+    """Delivery sink that appends released records to a commit log.
+
+    Duck-typed over anything exposing ``append_many`` / ``sync`` /
+    ``close`` / ``source_watermarks`` (in practice a
+    :class:`repro.log.CommitLog`; the indirection keeps ``repro.core``
+    free of a dependency on ``repro.log``).  The ISM's durable mode
+    (``runtime/ism_proc.py``) recognizes this sink, seeds its dedup
+    watermarks from :meth:`source_watermarks`, and gates upstream acks
+    on :meth:`sync` — which is what turns "delivered to the log" into
+    "safe to drop from the EXS outbox".
+
+    A log write failure propagates out of ``deliver``/``deliver_many``
+    (the commit log poisons itself); the ISM's consumer strike
+    accounting and the durable ack path both see it, so a full disk
+    stops acks rather than silently dropping records.
+
+    ``close_log=False`` (the default) leaves closing the log to whoever
+    opened it — the server epilogue still needs one final sync after
+    the manager has flushed its consumers.
+    """
+
+    def __init__(self, log, *, close_log: bool = False) -> None:
+        self.log = log
+        self._close_log = close_log
+        self.delivered = 0
+
+    def deliver(self, record: EventRecord) -> None:
+        """Append one record to the log."""
+        self.log.append(record)
+        self.delivered += 1
+
+    def deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Append a whole released slice as one framed write."""
+        self.log.append_many(records)
+        self.delivered += len(records)
+
+    def sync(self, sources=None) -> int:
+        """Durability barrier — see ``CommitLog.sync``."""
+        return self.log.sync(sources)
+
+    def source_watermarks(self) -> dict[int, int]:
+        """Per-source acked seqs from the log's checkpoint."""
+        return self.log.source_watermarks()
+
+    def close(self) -> None:
+        """Close the underlying log only when this sink owns it."""
+        if self._close_log:
+            self.log.close()

@@ -141,6 +141,25 @@ class OrderedMerger(Generic[ItemT]):
         self._queues.setdefault(shard_id, deque())
         self._watermarks[shard_id] = None
 
+    def low_watermark(self) -> int | None:
+        """Minimum declared watermark over open shards, or None while any
+        open shard has not declared one yet.
+
+        Every record with a timestamp at or below this has already been
+        emitted (or sits at the head of the heap and will be on the next
+        :meth:`emit`) — it is the bound the durable ack path uses to
+        decide when an ack held for merge ordering may be released.
+        """
+        low: int | None = None
+        for shard_id, mark in self._watermarks.items():
+            if shard_id in self._closed:
+                continue
+            if mark is None:
+                return None
+            if low is None or mark < low:
+                low = mark
+        return low
+
     # ------------------------------------------------------------------
     def _empty_gate(self) -> tuple[bool, int | None]:
         """The release bound imposed by open shards with empty queues.

@@ -40,6 +40,7 @@ ZONE_PREFIXES = (
     "src/repro/sim/",
     "src/repro/core/",
     "src/repro/obs/",
+    "src/repro/log/",
 )
 #: Runtime files opted into the zone individually: they time themselves
 #: exclusively through the sanctioned ``repro.util.timebase`` interface,

@@ -1,0 +1,38 @@
+"""Durable segmented commit log for the BRISK delivery stream.
+
+Public façade: :class:`CommitLog` (append / sync / read / recover),
+:class:`LogConfig` (segment roll, fsync policy, retention),
+:class:`ConsumerGroup` (committed-offset cursors), :class:`DiskFaults`
+(chaos-toolkit storage fault injection), and the segment codec
+primitives for tooling that inspects raw segment files.
+"""
+
+from repro.log.commitlog import (
+    CHECKPOINT_FILE,
+    CommitLog,
+    ConsumerGroup,
+    LogConfig,
+    OffsetOutOfRange,
+    iter_log,
+)
+from repro.log.faults import DiskFaults
+from repro.log.segment import (
+    LogCorruption,
+    SegmentScan,
+    scan_segment,
+    segment_path,
+)
+
+__all__ = [
+    "CommitLog",
+    "LogConfig",
+    "ConsumerGroup",
+    "OffsetOutOfRange",
+    "iter_log",
+    "DiskFaults",
+    "LogCorruption",
+    "SegmentScan",
+    "scan_segment",
+    "segment_path",
+    "CHECKPOINT_FILE",
+]

@@ -1,0 +1,800 @@
+"""The durable segmented commit log — BRISK's stream of record on disk.
+
+PRs 3–7 made the EXS→ISM stream exactly-once *in flight*; this module
+gives the delivered stream a durable resting place so an ISM crash after
+ack loses nothing and consumers attach, detach, and replay on their own
+schedule instead of backpressuring the sorter:
+
+* **segments** — append-only files framed per record with a CRC
+  (:mod:`repro.log.segment`), rolled by size or age, retired by
+  size/age retention; one log *offset* is one record, forever;
+* **fsync policy** — ``batch`` (every append durable before it
+  returns), ``interval`` (fsync at most every ``fsync_interval_s``),
+  ``off`` (fsync only on explicit :meth:`CommitLog.sync`/close);
+* **checkpoint** — :meth:`CommitLog.sync` fsyncs the tail and writes an
+  atomic checkpoint (durable end offset + per-source acked batch seqs,
+  via :func:`repro.util.durability.write_file_durable`).  The ISM's
+  durable mode acks an EXS only *after* this returns, so the checkpoint
+  is exactly the ack frontier;
+* **recovery** — opening an existing log scans the tail segment,
+  truncates the torn tail at the last valid CRC, and — when a
+  checkpoint exists — truncates further back to the checkpointed
+  durable end: bytes past it were never acked, and keeping them would
+  duplicate the retransmissions that are already on their way;
+* **consumer groups** — named committed offsets (tiny files under
+  ``offsets/``), so a late-joining consumer replays from any offset and
+  a slow one never stalls delivery (its lag is just a number).
+
+Failure discipline: the first failed write or fsync *poisons* the log —
+every later append and sync re-raises — because a writer that kept going
+past a short write would interleave torn frames with good ones, and a
+sync that succeeded after a failed write would let the ISM ack records
+that never reached the disk.  The ISM above degrades gracefully: it
+stops acking (EXS outboxes hold the stream) but keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, Mapping, Sequence
+
+from repro.core.records import EventRecord
+from repro.log.faults import DiskFaults
+from repro.log.segment import (
+    SEGMENT_HEADER,
+    SEGMENT_MAGIC,
+    LogCorruption,
+    encode_entry,
+    index_path,
+    iter_entries,
+    pack_index,
+    scan_segment,
+    segment_path,
+    unpack_index,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.util import durability
+from repro.util.timebase import monotonic_s
+
+__all__ = [
+    "LogConfig",
+    "CommitLog",
+    "ConsumerGroup",
+    "OffsetOutOfRange",
+    "iter_log",
+    "CHECKPOINT_FILE",
+]
+
+#: Checkpoint file name inside the log directory.
+CHECKPOINT_FILE = "checkpoint"
+#: Consumer-group offsets live here, one file per group.
+OFFSETS_DIR = "offsets"
+#: Legal consumer-group names (they become file names).
+_GROUP_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_FSYNC_POLICIES = ("batch", "interval", "off")
+
+
+class OffsetOutOfRange(ValueError):
+    """A read below the retained start or a commit outside the log."""
+
+
+def iter_log(
+    directory: str | os.PathLike, start: int = 0
+) -> Iterator[EventRecord]:
+    """Read-only iteration over a log directory from offset *start*.
+
+    Unlike opening a :class:`CommitLog` (which *recovers*: truncates torn
+    tails, honors the checkpoint, resumes appends), this never writes —
+    it scans each segment and yields the currently-valid record prefix,
+    so it is safe against a log another process is appending to.
+    """
+    path = os.fspath(directory)
+    bases = sorted(
+        int(name[:-4])
+        for name in os.listdir(path)
+        if name.endswith(".seg") and name[:-4].isdigit()
+    )
+    for i, base in enumerate(bases):
+        # A sealed segment's extent is bounded by the next base; skip
+        # whole segments below *start* without scanning them.
+        if i + 1 < len(bases) and bases[i + 1] <= start:
+            continue
+        scan = scan_segment(segment_path(path, base))
+        if base + scan.record_count <= start:
+            continue
+        with open(segment_path(path, base), "rb") as stream:
+            data = stream.read(scan.valid_end)
+        offset = base
+        for record, _pos, _end in iter_entries(data, SEGMENT_HEADER.size):
+            if offset >= start:
+                yield record
+            offset += 1
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Commit-log knobs (see docs/tuning-guide.md, durability section)."""
+
+    #: Roll the active segment once it holds this many bytes.
+    segment_bytes: int = 64 << 20
+    #: Also roll a non-empty segment older than this (None: size only).
+    segment_interval_s: float | None = None
+    #: Sparse-index granularity: one index entry per this many bytes.
+    index_interval_bytes: int = 65536
+    #: ``batch`` | ``interval`` | ``off`` — when appends fsync.
+    fsync: str = "batch"
+    #: Fsync cadence for the ``interval`` policy, seconds.
+    fsync_interval_s: float = 0.05
+    #: Retire oldest sealed segments while the log exceeds this (None: keep).
+    retain_bytes: int | None = None
+    #: Retire sealed segments whose newest record is this much older than
+    #: the log's newest record, microseconds (None: keep).
+    retain_age_us: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.fsync not in _FSYNC_POLICIES:
+            raise ValueError(f"fsync must be one of {_FSYNC_POLICIES}")
+        if self.segment_bytes < SEGMENT_HEADER.size + 1:
+            raise ValueError("segment_bytes too small for even one record")
+        if self.index_interval_bytes < 1:
+            raise ValueError("index_interval_bytes must be positive")
+
+
+class _Segment:
+    """In-memory state for one segment file."""
+
+    __slots__ = (
+        "base", "path", "count", "size", "last_ts", "index",
+        "last_index_pos", "opened_s",
+    )
+
+    def __init__(self, base: int, path: str) -> None:
+        self.base = base
+        self.path = path
+        self.count = 0
+        self.size = SEGMENT_HEADER.size
+        #: Timestamp of the newest record (None when unknown/empty).
+        self.last_ts: int | None = None
+        #: Sparse index [(rel record count, file pos)]; None = not loaded.
+        self.index: list[tuple[int, int]] | None = None
+        self.last_index_pos = SEGMENT_HEADER.size
+        self.opened_s = 0.0
+
+
+class CommitLog:
+    """Append-only segmented record log with offsets and recovery.
+
+    Opening a directory that already holds a log **recovers** it (torn
+    tail truncated, checkpoint honored) and resumes appending; opening
+    an empty directory creates segment 0.  All methods are single-writer:
+    one process appends, any number read through their own handles.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        config: LogConfig = LogConfig(),
+        *,
+        faults: DiskFaults | None = None,
+        time_fn=monotonic_s,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._dir = os.fspath(directory)
+        self.config = config
+        self._faults = faults if faults is not None else DiskFaults()
+        self._time_fn = time_fn
+        self._broken: BaseException | None = None
+        self._closed = False
+        self._sources: dict[int, int] = {}
+        self._checkpointed = False
+        #: durable_end recorded by the last checkpoint write (-1: none).
+        self._checkpoint_durable_end = -1
+        self._file: BinaryIO | None = None
+        self._idx_file: BinaryIO | None = None
+        self._last_fsync_s = time_fn()
+        self.metrics = metrics if metrics is not None else MetricsRegistry(time_fn=time_fn)
+        reg = self.metrics
+        self.records_appended = reg.counter("log.records_appended")
+        self.bytes_appended = reg.counter("log.bytes_appended")
+        self.fsyncs = reg.counter("log.fsyncs")
+        self.append_errors = reg.counter("log.append_errors")
+        self.segments_rolled = reg.counter("log.segments_rolled")
+        self.segments_retired = reg.counter("log.segments_retired")
+        self.torn_bytes_truncated = reg.counter("log.torn_bytes_truncated")
+        self.checkpoint_truncated_records = reg.counter(
+            "log.checkpoint_truncated_records"
+        )
+        self.fsync_hist = reg.histogram("log.fsync_us")
+        reg.gauge_fn("log.segments", lambda: len(self._segments))
+        reg.gauge_fn("log.start_offset", lambda: self.start_offset)
+        reg.gauge_fn("log.end_offset", lambda: self.end_offset)
+        reg.gauge_fn("log.durable_offset", lambda: self.durable_offset)
+        reg.gauge_fn("log.group_lag_max", self._max_group_lag)
+
+        os.makedirs(self._dir, exist_ok=True)
+        os.makedirs(os.path.join(self._dir, OFFSETS_DIR), exist_ok=True)
+        self._segments: list[_Segment] = []
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        # Interrupted atomic writes leave .part litter; the rename never
+        # happened, so the litter is dead weight.
+        for name in os.listdir(self._dir):
+            if name.endswith(".part"):
+                try:
+                    os.remove(os.path.join(self._dir, name))
+                except OSError:
+                    pass
+        bases = sorted(
+            int(name[:-4])
+            for name in os.listdir(self._dir)
+            if name.endswith(".seg") and name[:-4].isdigit()
+        )
+        checkpoint = self._read_checkpoint()
+        durable_target: int | None = None
+        if checkpoint is not None:
+            self._sources = {
+                int(k): int(v) for k, v in checkpoint.get("sources", {}).items()
+            }
+            self._checkpointed = True
+            durable_target = int(checkpoint["durable_end"])
+        if not bases:
+            self._segments = []
+            self._open_fresh_segment(0)
+            self._durable_offset = self._end_offset = 0
+            self._faults.bytes_written = 0
+            return
+        self._segments = [
+            _Segment(base, segment_path(self._dir, base)) for base in bases
+        ]
+        # Sealed segment record counts follow from the base-offset chain.
+        for seg, nxt in zip(self._segments, self._segments[1:]):
+            seg.count = nxt.base - seg.base
+            seg.size = os.path.getsize(seg.path)
+        # Scan/truncate the tail; deleting a whole tail segment exposes
+        # the previous one as the new tail, so loop until stable.
+        while True:
+            tail = self._segments[-1]
+            scan = scan_segment(tail.path)
+            if scan.base_offset != tail.base:
+                raise LogCorruption(
+                    f"{tail.path}: header offset {scan.base_offset} != name"
+                )
+            if scan.file_size > scan.valid_end:
+                os.truncate(tail.path, scan.valid_end)
+                self.torn_bytes_truncated += scan.file_size - scan.valid_end
+            tail.count = scan.record_count
+            tail.size = scan.valid_end
+            tail.last_ts = scan.last_timestamp
+            end = tail.base + tail.count
+            if durable_target is not None and durable_target < end:
+                if durable_target <= tail.base and len(self._segments) > 1:
+                    # Entire tail segment is past the ack frontier.
+                    self.checkpoint_truncated_records += tail.count
+                    self._remove_segment_files(tail)
+                    self._segments.pop()
+                    continue
+                keep = max(0, durable_target - tail.base)
+                cut = (
+                    scan.positions[keep]
+                    if keep < scan.record_count
+                    else scan.valid_end
+                )
+                if cut < tail.size:
+                    os.truncate(tail.path, cut)
+                    self.checkpoint_truncated_records += tail.count - keep
+                    tail.count = keep
+                    tail.size = cut
+                    tail.last_ts = None  # unknown without a rescan; unused
+            break
+        tail = self._segments[-1]
+        # Rebuild the tail's sparse index from the (now clean) scan and
+        # rewrite the advisory .idx file to match the truncated reality.
+        scan = scan_segment(tail.path)
+        tail.index = []
+        tail.last_index_pos = SEGMENT_HEADER.size
+        interval = self.config.index_interval_bytes
+        for rel, pos in enumerate(scan.positions):
+            if pos - tail.last_index_pos >= interval:
+                tail.index.append((rel, pos))
+                tail.last_index_pos = pos
+        tail.last_ts = scan.last_timestamp
+        with open(index_path(tail.path), "wb") as idx:
+            idx.write(pack_index(tail.index))
+        self._end_offset = tail.base + tail.count
+        # Everything that survived recovery is made durable right now, so
+        # the in-memory durable frontier starts truthful.
+        self._file = open(tail.path, "ab", buffering=0)
+        os.fsync(self._file.fileno())
+        durability.fsync_dir(self._dir)
+        self._durable_offset = self._end_offset
+        self._idx_file = open(index_path(tail.path), "ab")
+        tail.opened_s = self._time_fn()
+        self._faults.bytes_written = 0
+
+    def _read_checkpoint(self) -> dict | None:
+        path = os.path.join(self._dir, CHECKPOINT_FILE)
+        try:
+            with open(path, "r", encoding="ascii") as stream:
+                return json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise LogCorruption(f"unreadable checkpoint: {exc}") from exc
+
+    def _remove_segment_files(self, seg: _Segment) -> None:
+        for path in (seg.path, index_path(seg.path)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # offsets and introspection
+    # ------------------------------------------------------------------
+    @property
+    def start_offset(self) -> int:
+        """Oldest offset still retained."""
+        return self._segments[0].base if self._segments else 0
+
+    @property
+    def end_offset(self) -> int:
+        """Next offset to be assigned (== records ever appended while
+        retention has not retired anything)."""
+        return self._end_offset
+
+    @property
+    def durable_offset(self) -> int:
+        """Offsets below this are fsynced to disk."""
+        return self._durable_offset
+
+    @property
+    def segment_count(self) -> int:
+        """Live segment files (the active one included)."""
+        return len(self._segments)
+
+    @property
+    def broken(self) -> BaseException | None:
+        """The poisoning I/O error, if any write or fsync has failed."""
+        return self._broken
+
+    def source_watermarks(self) -> dict[int, int]:
+        """Per-source acked batch seqs from the last checkpoint — the
+        resume state a restarted ISM seeds its dedup watermarks with."""
+        return dict(self._sources)
+
+    def segment_infos(self) -> list[dict]:
+        """Per-segment summary for tooling (brisk-log info)."""
+        out = []
+        for i, seg in enumerate(self._segments):
+            out.append(
+                {
+                    "base_offset": seg.base,
+                    "records": seg.count,
+                    "bytes": seg.size,
+                    "path": seg.path,
+                    "active": i == len(self._segments) - 1,
+                }
+            )
+        return out
+
+    def _max_group_lag(self) -> int:
+        lags = [self.lag(group) for group in self.groups()]
+        return max(lags) if lags else 0
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+    def append(self, record: EventRecord) -> int:
+        """Append one record; returns the offset it was assigned."""
+        offset = self._end_offset
+        self.append_many((record,))
+        return offset
+
+    def append_many(self, records: Sequence[EventRecord]) -> int:
+        """Append a slice of records; returns the first offset assigned
+        (the current end offset when *records* is empty).
+
+        Raises the poisoning :class:`OSError` — this call's or a previous
+        one's — rather than ever dropping records silently.
+        """
+        self._check_writable()
+        if not records:
+            return self._end_offset
+        self._maybe_roll()
+        seg = self._segments[-1]
+        first = self._end_offset
+        buf = bytearray()
+        index_adds: list[tuple[int, int]] = []
+        interval = self.config.index_interval_bytes
+        last_index_pos = seg.last_index_pos
+        for i, record in enumerate(records):
+            pos = seg.size + len(buf)
+            if pos - last_index_pos >= interval:
+                index_adds.append((seg.count + i, pos))
+                last_index_pos = pos
+            buf += encode_entry(record)
+        payload = bytes(buf)
+        try:
+            self._faults.write(self._file, payload)
+        except OSError as exc:
+            # A short write may have left a torn frame on disk; nothing
+            # appended by this call counts, and the log is poisoned.
+            self._broken = exc
+            self.append_errors += 1
+            raise
+        seg.size += len(payload)
+        seg.count += len(records)
+        seg.last_ts = records[-1].timestamp
+        if index_adds:
+            seg.last_index_pos = last_index_pos
+            if seg.index is None:
+                seg.index = []
+            seg.index.extend(index_adds)
+            if self._idx_file is not None:
+                try:
+                    self._idx_file.write(pack_index(index_adds))
+                except OSError:
+                    pass  # the index is advisory; a scan rebuilds it
+        self._end_offset += len(records)
+        self.records_appended += len(records)
+        self.bytes_appended += len(payload)
+        policy = self.config.fsync
+        if policy == "batch":
+            self._fsync_data()
+        elif policy == "interval":
+            now_s = self._time_fn()
+            if now_s - self._last_fsync_s >= self.config.fsync_interval_s:
+                self._fsync_data()
+        return first
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise RuntimeError("commit log is closed")
+        if self._broken is not None:
+            raise self._broken
+
+    def _fsync_data(self) -> None:
+        t0 = time.perf_counter_ns()
+        try:
+            self._faults.fsync(self._file.fileno())
+        except OSError as exc:
+            self._broken = exc
+            raise
+        self.fsync_hist.observe((time.perf_counter_ns() - t0) / 1_000.0)
+        self.fsyncs += 1
+        self._durable_offset = self._end_offset
+        self._last_fsync_s = self._time_fn()
+
+    def sync(self, sources: Mapping[int, int] | None = None) -> int:
+        """Make every appended record durable; returns the durable end.
+
+        With *sources* (per-EXS acked batch seqs), also writes the atomic
+        checkpoint that recovery truncates back to — the ISM's durable
+        ack path calls this *before* quoting those seqs on the wire, so
+        an acked record is durable by construction.
+        """
+        self._check_writable()
+        if self._durable_offset < self._end_offset:
+            self._fsync_data()
+        if sources is not None:
+            changed = not self._checkpointed
+            for source, seq in sources.items():
+                prev = self._sources.get(source)
+                if prev is None or seq > prev:
+                    self._sources[source] = seq
+                    changed = True
+            if changed or self._durable_offset != self._checkpoint_durable_end:
+                self._write_checkpoint()
+        return self._durable_offset
+
+    def _write_checkpoint(self) -> None:
+        payload = json.dumps(
+            {
+                "durable_end": self._durable_offset,
+                "sources": {str(k): v for k, v in self._sources.items()},
+                "fsync": self.config.fsync,
+            },
+            sort_keys=True,
+        ).encode("ascii")
+        try:
+            durability.write_file_durable(
+                os.path.join(self._dir, CHECKPOINT_FILE), payload
+            )
+        except OSError as exc:
+            self._broken = exc
+            raise
+        self._checkpointed = True
+        self._checkpoint_durable_end = self._durable_offset
+
+    # ------------------------------------------------------------------
+    # segment roll and retention
+    # ------------------------------------------------------------------
+    def _maybe_roll(self) -> None:
+        seg = self._segments[-1]
+        if seg.size < self.config.segment_bytes:
+            interval = self.config.segment_interval_s
+            if (
+                interval is None
+                or seg.count == 0
+                or self._time_fn() - seg.opened_s < interval
+            ):
+                return
+        self._roll()
+
+    def _roll(self) -> None:
+        """Seal the active segment and start a new one (durably)."""
+        # Seal: the old segment's bytes and the new file's directory
+        # entry both survive power loss before any append lands in it.
+        self._fsync_data()
+        if self._idx_file is not None:
+            try:
+                self._idx_file.close()
+            except OSError:
+                pass
+        self._file.close()
+        self._open_fresh_segment(self._end_offset)
+        self.segments_rolled += 1
+        self.enforce_retention()
+
+    def _open_fresh_segment(self, base: int) -> None:
+        path = segment_path(self._dir, base)
+        stream = open(path, "wb", buffering=0)
+        try:
+            self._faults.write(stream, SEGMENT_HEADER.pack(SEGMENT_MAGIC, base))
+            self._faults.fsync(stream.fileno())
+        except OSError as exc:
+            stream.close()
+            self._broken = exc
+            raise
+        durability.fsync_dir(self._dir)
+        self._file = stream
+        self._idx_file = open(index_path(path), "wb")
+        seg = _Segment(base, path)
+        seg.index = []
+        seg.opened_s = self._time_fn()
+        self._segments.append(seg)
+
+    def enforce_retention(self) -> int:
+        """Retire sealed segments per the retention config; returns how
+        many were removed.  The active segment is never retired."""
+        removed = 0
+        while len(self._segments) > 1 and self._should_retire(self._segments[0]):
+            seg = self._segments.pop(0)
+            self._remove_segment_files(seg)
+            self.segments_retired += 1
+            removed += 1
+        return removed
+
+    def _should_retire(self, seg: _Segment) -> bool:
+        cfg = self.config
+        if cfg.retain_bytes is not None:
+            total = sum(s.size for s in self._segments)
+            if total > cfg.retain_bytes:
+                return True
+        if cfg.retain_age_us is not None and seg.last_ts is not None:
+            newest = next(
+                (s.last_ts for s in reversed(self._segments) if s.last_ts is not None),
+                None,
+            )
+            if newest is not None and newest - seg.last_ts > cfg.retain_age_us:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def read(self, start: int, max_records: int = 1024) -> list[EventRecord]:
+        """Up to *max_records* records from offset *start*, in log order.
+
+        Raises :class:`OffsetOutOfRange` below the retained start;
+        returns an empty list at or past the end.
+        """
+        if start < self.start_offset:
+            raise OffsetOutOfRange(
+                f"offset {start} below retained start {self.start_offset}"
+            )
+        if start >= self._end_offset or max_records <= 0:
+            return []
+        out: list[EventRecord] = []
+        # Rightmost segment whose base <= start.
+        idx = 0
+        for i, seg in enumerate(self._segments):
+            if seg.base <= start:
+                idx = i
+            else:
+                break
+        while idx < len(self._segments) and len(out) < max_records:
+            seg = self._segments[idx]
+            rel = max(0, start - seg.base)
+            out.extend(self._read_segment(seg, rel, max_records - len(out)))
+            idx += 1
+            if idx < len(self._segments):
+                start = self._segments[idx].base
+        return out
+
+    def iter_from(self, start: int, chunk: int = 1024) -> Iterator[EventRecord]:
+        """Iterate records from *start* to the current end."""
+        position = start
+        while True:
+            batch = self.read(position, chunk)
+            if not batch:
+                return
+            position += len(batch)
+            yield from batch
+
+    def _read_segment(self, seg: _Segment, rel: int, limit: int) -> list[EventRecord]:
+        if rel >= seg.count or limit <= 0:
+            return []
+        floor_rel, floor_pos = 0, SEGMENT_HEADER.size
+        for entry_rel, entry_pos in self._segment_index(seg):
+            if entry_rel <= rel:
+                floor_rel, floor_pos = entry_rel, entry_pos
+            else:
+                break
+        with open(seg.path, "rb") as stream:
+            stream.seek(floor_pos)
+            data = stream.read(seg.size - floor_pos)
+        out: list[EventRecord] = []
+        skip = rel - floor_rel
+        remaining = seg.count - rel
+        for record, _pos, _end in iter_entries(data, 0):
+            if skip > 0:
+                skip -= 1
+                continue
+            out.append(record)
+            remaining -= 1
+            if len(out) >= limit or remaining <= 0:
+                break
+        return out
+
+    def _segment_index(self, seg: _Segment) -> list[tuple[int, int]]:
+        if seg.index is not None:
+            return seg.index
+        # Sealed segment from a previous incarnation: trust the advisory
+        # .idx when plausible, rebuild from a scan otherwise.
+        try:
+            with open(index_path(seg.path), "rb") as stream:
+                entries = unpack_index(stream.read(), valid_end=seg.size)
+        except OSError:
+            entries = []
+        if not entries:
+            scan = scan_segment(seg.path)
+            interval = self.config.index_interval_bytes
+            last_pos = SEGMENT_HEADER.size
+            entries = []
+            for rel, pos in enumerate(scan.positions):
+                if pos - last_pos >= interval:
+                    entries.append((rel, pos))
+                    last_pos = pos
+        seg.index = entries
+        return entries
+
+    # ------------------------------------------------------------------
+    # consumer groups
+    # ------------------------------------------------------------------
+    def _group_path(self, group: str) -> str:
+        if not _GROUP_RE.match(group):
+            raise ValueError(f"invalid consumer-group name: {group!r}")
+        return os.path.join(self._dir, OFFSETS_DIR, group)
+
+    def committed_offset(self, group: str) -> int | None:
+        """The group's committed offset, or None if never committed."""
+        try:
+            with open(self._group_path(group), "r", encoding="ascii") as stream:
+                return int(stream.read().strip())
+        except FileNotFoundError:
+            return None
+
+    def commit_offset(self, group: str, offset: int) -> None:
+        """Durably record that *group* has consumed offsets below *offset*."""
+        if not 0 <= offset <= self._end_offset:
+            raise OffsetOutOfRange(
+                f"commit {offset} outside log [0, {self._end_offset}]"
+            )
+        durability.write_file_durable(
+            self._group_path(group), f"{offset}\n".encode("ascii")
+        )
+
+    def groups(self) -> dict[str, int]:
+        """Every consumer group and its committed offset."""
+        out: dict[str, int] = {}
+        offsets_dir = os.path.join(self._dir, OFFSETS_DIR)
+        try:
+            names = os.listdir(offsets_dir)
+        except OSError:
+            return out
+        for name in sorted(names):
+            if name.endswith(".part") or not _GROUP_RE.match(name):
+                continue
+            committed = self.committed_offset(name)
+            if committed is not None:
+                out[name] = committed
+        return out
+
+    def lag(self, group: str) -> int:
+        """Records the group has not consumed yet (end − committed)."""
+        committed = self.committed_offset(group)
+        base = committed if committed is not None else self.start_offset
+        return max(0, self._end_offset - base)
+
+    def consumer(self, group: str, start: int | None = None) -> "ConsumerGroup":
+        """Attach (or re-attach) a consumer group cursor."""
+        return ConsumerGroup(self, group, start)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush, fsync (best effort once poisoned), checkpoint, close."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._broken is None and self._file is not None:
+            try:
+                if self._durable_offset < self._end_offset:
+                    self._fsync_data()
+                if self._checkpointed:
+                    self._write_checkpoint()
+            except OSError:
+                pass
+        for stream in (self._idx_file, self._file):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._idx_file = None
+        self._file = None
+
+
+class ConsumerGroup:
+    """A named cursor over the log with a durably committed offset.
+
+    ``read`` advances the in-memory position; ``commit`` persists it so a
+    re-attach (same group name, new process) resumes where the last
+    commit left off.  Passing ``start`` overrides the committed offset —
+    ``start=0`` is the full replay-from-the-beginning case.
+    """
+
+    def __init__(self, log: CommitLog, name: str, start: int | None = None) -> None:
+        self.log = log
+        self.name = name
+        if start is not None:
+            self.position = start
+        else:
+            committed = log.committed_offset(name)
+            self.position = committed if committed is not None else log.start_offset
+        if self.position < log.start_offset:
+            # The offsets this group last committed have been retired.
+            self.position = log.start_offset
+
+    def read(self, max_records: int = 1024) -> list[EventRecord]:
+        """Next slice of records; advances the (uncommitted) position."""
+        batch = self.log.read(self.position, max_records)
+        self.position += len(batch)
+        return batch
+
+    def commit(self) -> None:
+        """Durably persist the current position for this group."""
+        self.log.commit_offset(self.name, self.position)
+
+    def seek(self, offset: int) -> None:
+        """Move the cursor without committing."""
+        if not self.log.start_offset <= offset <= self.log.end_offset:
+            raise OffsetOutOfRange(
+                f"seek {offset} outside "
+                f"[{self.log.start_offset}, {self.log.end_offset}]"
+            )
+        self.position = offset
+
+    @property
+    def lag(self) -> int:
+        """Records appended but not yet read through this cursor."""
+        return max(0, self.log.end_offset - self.position)

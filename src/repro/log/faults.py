@@ -1,0 +1,91 @@
+"""Disk-fault injection for the commit log — the chaos toolkit's I/O leg.
+
+:class:`~repro.wire.chaos.ChaosProxy` injects *network* faults; this
+module injects *storage* faults: every write and fsync the commit log
+issues goes through a :class:`DiskFaults` hook, and tests program it to
+fail in the ways real disks do — ``ENOSPC``, a short write that tears a
+record frame, an fsync that errors.  The contract under test is that the
+writer **surfaces** the error (poisoning itself so no later sync can lie
+about durability) instead of silently dropping records, and that the ISM
+above it degrades gracefully: stops acking, keeps serving.
+
+The default instance passes everything through untouched, so production
+code pays one attribute call per batched write.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from typing import BinaryIO
+
+__all__ = ["DiskFaults"]
+
+
+class DiskFaults:
+    """Programmable write/fsync failure hook.
+
+    * ``enospc_after_bytes`` — once that many payload bytes have been
+      written, every further write raises ``OSError(ENOSPC)`` *before*
+      touching the file (the kernel-rejects-the-write case);
+    * ``short_write_at_bytes`` — the write crossing that byte count is
+      truncated mid-record and then fails (the torn-frame case: some
+      bytes land, the rest do not);
+    * ``fail_fsync`` — every fsync raises ``OSError(EIO)`` (the
+      thinly-provisioned-volume / dying-device case).
+
+    All three are mutable at runtime so a test can let a log run healthy,
+    then break the disk under it.
+    """
+
+    def __init__(
+        self,
+        *,
+        enospc_after_bytes: int | None = None,
+        short_write_at_bytes: int | None = None,
+        fail_fsync: bool = False,
+    ) -> None:
+        self.enospc_after_bytes = enospc_after_bytes
+        self.short_write_at_bytes = short_write_at_bytes
+        self.fail_fsync = fail_fsync
+        #: Payload bytes successfully handed to the OS so far.
+        self.bytes_written = 0
+        #: Faults actually fired (so tests can assert the injection ran).
+        self.writes_failed = 0
+        self.fsyncs_failed = 0
+
+    # ------------------------------------------------------------------
+    def write(self, stream: BinaryIO, payload: bytes) -> None:
+        """Write *payload* to *stream*, honoring the programmed faults.
+
+        Raises :class:`OSError` on an injected failure; a short write
+        leaves a torn prefix in the file first, exactly like a real
+        partial write would.
+        """
+        if (
+            self.enospc_after_bytes is not None
+            and self.bytes_written >= self.enospc_after_bytes
+        ):
+            self.writes_failed += 1
+            raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))
+        if (
+            self.short_write_at_bytes is not None
+            and self.bytes_written < self.short_write_at_bytes
+            and self.bytes_written + len(payload) > self.short_write_at_bytes
+        ):
+            keep = self.short_write_at_bytes - self.bytes_written
+            stream.write(payload[:keep])
+            self.bytes_written += keep
+            self.writes_failed += 1
+            raise OSError(
+                errno.EIO, f"short write: {keep} of {len(payload)} bytes"
+            )
+        stream.write(payload)
+        self.bytes_written += len(payload)
+
+    def fsync(self, fd: int) -> None:
+        """Fsync *fd*, honoring the programmed fsync fault."""
+        if self.fail_fsync:
+            self.fsyncs_failed += 1
+            raise OSError(errno.EIO, "injected fsync failure")
+        os.fsync(fd)

@@ -1,0 +1,215 @@
+"""Segment file layout of the commit log — pure codec and scan logic.
+
+A segment file holds a contiguous run of NOTICE records starting at an
+absolute log offset (its **base offset**, also its file name):
+
+* a 16-byte header: magic ``BRSKLOG1`` + the base offset (``<8sQ``), so
+  a stray file can never be mistaken for a segment;
+* then back-to-back **entries**: ``<II`` (payload length, CRC-32 of the
+  payload) followed by the payload — one record per entry, in the
+  :mod:`repro.core.native` binary layout, so one log offset is exactly
+  one record.
+
+The per-entry CRC is what makes crash recovery a *scan*, not a prayer:
+:func:`scan_segment` walks entries from the header forward and stops at
+the first length that does not fit or payload that does not match its
+CRC — everything before that point is the committed prefix, everything
+after is a torn tail to truncate.  A sparse index (``<base>.idx``,
+entries ``<II`` = (records before this point, file position)) lets reads
+seek near an offset without replaying the segment; it is advisory and
+rebuilt from a scan whenever missing or implausible.
+
+Everything in this module is pure bytes-in/bytes-out (no clocks, no
+file handles except the explicit scan/read helpers), which is what lets
+the torn-tail property test truncate at *every byte boundary* and assert
+recovery yields exactly the committed prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core import native
+from repro.core.records import EventRecord
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "SEGMENT_HEADER",
+    "ENTRY_HEADER",
+    "LogCorruption",
+    "encode_entry",
+    "decode_entry",
+    "iter_entries",
+    "SegmentScan",
+    "scan_segment",
+    "segment_path",
+    "index_path",
+    "pack_index",
+    "unpack_index",
+]
+
+#: First 8 bytes of every segment file.
+SEGMENT_MAGIC = b"BRSKLOG1"
+#: Segment header: magic + base offset (absolute log offset of entry 0).
+SEGMENT_HEADER = struct.Struct("<8sQ")
+#: Per-entry header: payload length, CRC-32 of the payload.
+ENTRY_HEADER = struct.Struct("<II")
+#: Sparse-index entry: (records before this point, file position).
+INDEX_ENTRY = struct.Struct("<II")
+
+#: A record bigger than this is a corrupt length field, not data — the
+#: scan treats it as the torn tail rather than seeking gigabytes ahead.
+MAX_RECORD_BYTES = 1 << 20
+
+
+class LogCorruption(ValueError):
+    """A segment's bytes violate the entry framing (not merely torn)."""
+
+
+def encode_entry(record: EventRecord) -> bytes:
+    """Frame one record as a segment entry (header + native payload)."""
+    payload = native.pack_record(record)
+    return ENTRY_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_entry(buf: bytes, pos: int = 0) -> tuple[EventRecord, int]:
+    """Decode the entry at *pos*; returns ``(record, next_pos)``.
+
+    Raises :class:`LogCorruption` when the framing or CRC is invalid —
+    callers that expect a possibly-torn tail use :func:`iter_entries`
+    or :func:`scan_segment`, which stop instead of raising.
+    """
+    end = _entry_end(buf, pos)
+    if end is None:
+        raise LogCorruption(f"invalid or torn entry at byte {pos}")
+    payload = buf[pos + ENTRY_HEADER.size : end]
+    record, _ = native.unpack_record(payload)
+    return record, end
+
+
+def _entry_end(buf: bytes, pos: int) -> int | None:
+    """End position of a valid entry at *pos*, or None if torn/corrupt."""
+    if pos + ENTRY_HEADER.size > len(buf):
+        return None
+    length, crc = ENTRY_HEADER.unpack_from(buf, pos)
+    if length == 0 or length > MAX_RECORD_BYTES:
+        return None
+    end = pos + ENTRY_HEADER.size + length
+    if end > len(buf):
+        return None
+    if zlib.crc32(buf[pos + ENTRY_HEADER.size : end]) != crc:
+        return None
+    return end
+
+
+def iter_entries(
+    buf: bytes, pos: int = 0
+) -> Iterator[tuple[EventRecord, int, int]]:
+    """Yield ``(record, entry_pos, next_pos)`` for every valid entry from
+    *pos*, stopping silently at the first torn or corrupt one."""
+    while True:
+        end = _entry_end(buf, pos)
+        if end is None:
+            return
+        payload = buf[pos + ENTRY_HEADER.size : end]
+        try:
+            record, _ = native.unpack_record(payload)
+        except native.NativeCodecError:
+            # CRC-valid bytes that are not a record: treat as the torn
+            # point (a 1-in-2^32 collision, or foreign bytes).
+            return
+        yield record, pos, end
+        pos = end
+
+
+@dataclass(frozen=True)
+class SegmentScan:
+    """What a forward scan of one segment file established."""
+
+    #: Absolute log offset of the segment's first record.
+    base_offset: int
+    #: Valid records found.
+    record_count: int
+    #: File position one past the last valid entry (truncate here).
+    valid_end: int
+    #: Actual file size; ``file_size - valid_end`` is the torn tail.
+    file_size: int
+    #: File position of each valid entry, parallel to record order.
+    positions: tuple[int, ...]
+    #: Timestamp of the last valid record (None when empty).
+    last_timestamp: int | None
+
+
+def scan_segment(path: str) -> SegmentScan:
+    """Scan one segment file front to back, CRC-checking every entry.
+
+    Raises :class:`LogCorruption` when the file header itself is bad —
+    a torn *tail* is expected after a crash, a bad *head* means the file
+    is not a segment at all.
+    """
+    with open(path, "rb") as stream:
+        data = stream.read()
+    if len(data) < SEGMENT_HEADER.size:
+        raise LogCorruption(f"{path}: shorter than a segment header")
+    magic, base_offset = SEGMENT_HEADER.unpack_from(data, 0)
+    if magic != SEGMENT_MAGIC:
+        raise LogCorruption(f"{path}: bad magic {magic!r}")
+    positions: list[int] = []
+    valid_end = SEGMENT_HEADER.size
+    last_ts: int | None = None
+    for record, pos, end in iter_entries(data, SEGMENT_HEADER.size):
+        positions.append(pos)
+        valid_end = end
+        last_ts = record.timestamp
+    return SegmentScan(
+        base_offset=base_offset,
+        record_count=len(positions),
+        valid_end=valid_end,
+        file_size=len(data),
+        positions=tuple(positions),
+        last_timestamp=last_ts,
+    )
+
+
+# ----------------------------------------------------------------------
+# file naming and the sparse index
+# ----------------------------------------------------------------------
+def segment_path(directory: str, base_offset: int) -> str:
+    """Canonical segment file path: 20-digit zero-padded base offset."""
+    return os.path.join(directory, f"{base_offset:020d}.seg")
+
+
+def index_path(seg_path: str) -> str:
+    """The advisory sparse-index path beside a segment file."""
+    return seg_path[: -len(".seg")] + ".idx" if seg_path.endswith(".seg") else seg_path + ".idx"
+
+
+def pack_index(entries: list[tuple[int, int]]) -> bytes:
+    """Serialize sparse-index entries (rel record count, file pos)."""
+    return b"".join(INDEX_ENTRY.pack(rel, pos) for rel, pos in entries)
+
+
+def unpack_index(data: bytes, valid_end: int | None = None) -> list[tuple[int, int]]:
+    """Parse a sparse index, dropping implausible entries.
+
+    The index is advisory: entries must be strictly increasing in both
+    components, point past the segment header, and (when *valid_end* is
+    known) inside the valid region.  Anything else is discarded — a
+    reader then simply scans from the last good entry (or the header).
+    """
+    entries: list[tuple[int, int]] = []
+    limit = len(data) - len(data) % INDEX_ENTRY.size
+    prev_rel, prev_pos = -1, SEGMENT_HEADER.size - 1
+    for off in range(0, limit, INDEX_ENTRY.size):
+        rel, pos = INDEX_ENTRY.unpack_from(data, off)
+        if rel <= prev_rel or pos <= prev_pos:
+            break
+        if valid_end is not None and pos >= valid_end:
+            break
+        entries.append((rel, pos))
+        prev_rel, prev_pos = rel, pos
+    return entries

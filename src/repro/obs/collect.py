@@ -22,6 +22,7 @@ Metric namespace (the inventory DESIGN.md §5.6 documents):
 ``cre.*``                 table sizes, parked now, tachyons, timeouts
 ``consumer.*``            queue depth and delivered counts per sink
 ``relay.*``               relay tier coalesce/compress/fold accounting
+``log.*``                 commit-log append/fsync/segment/lag accounting
 ========================  ==============================================
 """
 
@@ -43,6 +44,7 @@ __all__ = [
     "wire_consumers",
     "wire_reconnector",
     "wire_relay",
+    "wire_commit_log",
 ]
 
 
@@ -211,3 +213,27 @@ def wire_relay(registry: MetricsRegistry, relay: Any, prefix: str = "relay") -> 
         f"{prefix}.upstream_connected",
         lambda: 1 if relay.upstream is not None else 0,
     )
+
+
+def wire_commit_log(registry: MetricsRegistry, log: Any, prefix: str = "log") -> None:
+    """Commit-log durability accounting: appends, fsyncs, segments, lag.
+
+    The counters and the fsync-latency histogram are the log's own
+    (``log.*`` names baked in at construction); *prefix* only namespaces
+    the pull gauges layered on top.
+    """
+    registry.adopt_counter(log.records_appended)
+    registry.adopt_counter(log.bytes_appended)
+    registry.adopt_counter(log.fsyncs)
+    registry.adopt_counter(log.append_errors)
+    registry.adopt_counter(log.segments_rolled)
+    registry.adopt_counter(log.segments_retired)
+    registry.adopt_counter(log.torn_bytes_truncated)
+    registry.adopt_counter(log.checkpoint_truncated_records)
+    registry.adopt_histogram(log.fsync_hist)
+    registry.gauge_fn(f"{prefix}.segments", lambda: log.segment_count)
+    registry.gauge_fn(f"{prefix}.start_offset", lambda: log.start_offset)
+    registry.gauge_fn(f"{prefix}.end_offset", lambda: log.end_offset)
+    registry.gauge_fn(f"{prefix}.durable_offset", lambda: log.durable_offset)
+    registry.gauge_fn(f"{prefix}.broken", lambda: 1 if log.broken else 0)
+    registry.gauge_fn(f"{prefix}.group_lag_max", log._max_group_lag)

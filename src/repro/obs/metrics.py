@@ -417,6 +417,11 @@ class MetricsRegistry:
             hist = self._histograms[name] = FixedHistogram(name, edges)
         return hist
 
+    def adopt_histogram(self, hist: FixedHistogram) -> FixedHistogram:
+        """Register an externally created histogram under its own name."""
+        self._histograms[hist.name] = hist
+        return hist
+
     def timer(
         self, name: str, edges: Sequence[float] = DEFAULT_US_EDGES
     ) -> StageTimer:

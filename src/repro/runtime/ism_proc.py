@@ -39,6 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.clocksync.brisk_sync import BriskSyncConfig, BriskSyncMaster
 from repro.clocksync.probes import ProbeSample
 from repro.core import native
+from repro.core.ackgate import AckGate
 from repro.core.consumers import Consumer
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.merge import OrderedMerger
@@ -125,6 +126,7 @@ class IsmServer:
         metrics: MetricsRegistry | None = None,
         stats_interval_s: float | None = None,
         stats_sink=None,
+        durable_sink=None,
     ) -> None:
         if decode_workers < 0:
             raise ValueError("decode_workers must be >= 0")
@@ -210,6 +212,24 @@ class IsmServer:
             else time.monotonic() + stats_interval_s
         )
         self._pump_hist = None
+        #: Durable mode (PR 8): when set — a commit-log sink exposing
+        #: ``sync(sources)`` and ``source_watermarks()``, in practice a
+        #: :class:`~repro.core.consumers.LogConsumer` that is *also* one
+        #: of the manager's consumers — acks are gated on the log instead
+        #: of on admission: a batch is acked only after every one of its
+        #: records has been released to the consumers AND the log has
+        #: fsynced past them (``sync`` checkpoints the acked watermarks in
+        #: the same breath).  A SIGKILL'd ISM then never loses an acked
+        #: record: recovery truncates the log to the checkpoint and the
+        #: EXS outboxes retransmit exactly the unacked tail.
+        self.durable_sink = durable_sink
+        self._ack_gate: AckGate | None = None
+        #: Failed durable sync attempts (log unwritable → acks withheld).
+        self.durable_sync_errors = Counter("ism.durable_sync_errors")
+        if durable_sink is not None:
+            resume = durable_sink.source_watermarks()
+            self.manager.load_resume_state(resume)
+            self._ack_gate = AckGate(resume)
         if metrics is not None or stats_interval_s is not None:
             self._enable_metrics(metrics or MetricsRegistry())
 
@@ -221,6 +241,7 @@ class IsmServer:
         registry.adopt_counter(self.idle_drops)
         registry.adopt_counter(self.closed_connections)
         registry.adopt_counter(self.sync_rounds_completed)
+        registry.adopt_counter(self.durable_sync_errors)
         if self.manager.metrics is not registry:
             collect.wire_manager(registry, self.manager)
         registry.gauge_fn("wire.connections", lambda: len(self.connections))
@@ -288,6 +309,23 @@ class IsmServer:
             self._per_source_counts[msg.exs_id] = (
                 self._per_source_counts.get(msg.exs_id, 0) + len(msg.records)
             )
+            if self._ack_gate is not None:
+                # Durable mode: acks go through the gate, not the
+                # admission watermark.  The duplicate check must read the
+                # admission watermark *before* on_message advances it.
+                admitted = self.manager.admitted_seq(msg.exs_id)
+                duplicate = admitted is not None and msg.seq <= admitted
+                self.manager.on_message(msg, now_micros() if now is None else now)
+                if duplicate:
+                    # Re-ack the current watermark so a resumed EXS
+                    # retransmitting acked batches converges.
+                    if msg.exs_id in self._ack_enabled:
+                        self._ack_gate.mark_dirty(msg.exs_id)
+                else:
+                    self._ack_gate.on_admitted(
+                        msg.exs_id, msg.seq, len(msg.records)
+                    )
+                return
             if self.ack_batches and msg.exs_id in self._ack_enabled:
                 # Queue the ack *before* admission so a retransmit of an
                 # already-admitted batch still re-sends the (evidently
@@ -336,6 +374,9 @@ class IsmServer:
                 t0 = time.perf_counter_ns() if pump_hist is not None else 0
                 seen_connections += self._pump_connections()
                 self.manager.tick(now_micros())
+                # Durable acks flush *after* tick: only records the tick
+                # released can have reached (and been fsynced by) the log.
+                self._flush_durable_acks()
                 if pump_hist is not None:
                     pump_hist.observe((time.perf_counter_ns() - t0) / 1_000.0)
                 self._maybe_sync()
@@ -353,6 +394,15 @@ class IsmServer:
                     except OSError:
                         pass  # peer already gone; the sweep handles it
             self.manager.flush(now_micros())
+            if self._ack_gate is not None:
+                # The flush released everything still sortable; gate the
+                # final acks on one last sync so a phase boundary leaves
+                # the log checkpoint aligned with what was acked.
+                self._flush_durable_acks()
+                try:
+                    self.durable_sink.sync()
+                except OSError:
+                    self.durable_sync_errors += 1
         finally:
             executor, self._executor = self._executor, None
             if executor is not None:
@@ -478,7 +528,14 @@ class IsmServer:
     def _flush_acks(self) -> None:
         """Send the cycle's cumulative acks, one control frame per
         connection: an ``AckBundle`` toward a capability-advertising
-        multiplexing peer, plain per-source ``Ack`` frames otherwise."""
+        multiplexing peer, plain per-source ``Ack`` frames otherwise.
+
+        In durable mode this is a no-op: an admission-time ack would let
+        the EXS drop records that are not on disk yet — durable acks go
+        through :meth:`_flush_durable_acks` after the tick instead.
+        """
+        if self._ack_gate is not None:
+            return
         if not self._ack_pending:
             return
         pending, self._ack_pending = self._ack_pending, set()
@@ -491,6 +548,11 @@ class IsmServer:
             if up_to is None:
                 continue
             per_conn.setdefault(conn, []).append((exs_id, up_to))
+        self._send_ack_pairs(per_conn)
+
+    def _send_ack_pairs(
+        self, per_conn: dict[MessageConnection, list[tuple[int, int]]]
+    ) -> None:
         caps = self._peer_caps
         for conn, pairs in per_conn.items():
             try:
@@ -509,6 +571,47 @@ class IsmServer:
                     )
             except OSError:
                 self._drop(conn)
+
+    def _flush_durable_acks(self) -> None:
+        """Durable-mode ack path: advance the gate over fully-released
+        batches, fsync + checkpoint the log, and only then put the acked
+        watermarks on the wire.
+
+        The order is the whole guarantee: by the time an EXS hears an
+        ack, its records have left the sorter, reached the consumers
+        (the log among them), and been fsynced past — so dropping them
+        from the outbox can no longer lose them.  A failing sync keeps
+        the gate dirty and withholds the acks; the EXS outboxes absorb
+        the stall and the server keeps serving.
+        """
+        gate = self._ack_gate
+        if gate is None:
+            return
+        gate.advance(
+            self.manager.sorter.released_by_source, self.manager.cre.parked_now
+        )
+        if not gate.has_dirty:
+            return
+        try:
+            self.durable_sink.sync(gate.acked_watermarks())
+        except OSError:
+            # Log unwritable: no acks.  The dirty set survives, so the
+            # next cycle retries; meanwhile nothing is promised upstream.
+            self.durable_sync_errors += 1
+            return
+        gate.commit()
+        per_conn: dict[MessageConnection, list[tuple[int, int]]] = {}
+        for exs_id in gate.take_dirty():
+            if exs_id not in self._ack_enabled:
+                continue
+            seq = gate.committed(exs_id)
+            if seq is None:
+                continue
+            conn = self.connections.get(exs_id)
+            if conn is None:
+                continue
+            per_conn.setdefault(conn, []).append((exs_id, seq))
+        self._send_ack_pairs(per_conn)
 
     def _sweep_idle(self, mono_now: float) -> None:
         """Drop connections silent past the idle deadline (hung peers)."""
@@ -575,8 +678,14 @@ class IsmServer:
                 # Resume handshake: tell the EXS where this manager's
                 # history ends so it can drop acked outbox entries and
                 # retransmit the rest.  -1 = no state, the whole outbox
-                # is unconfirmed.
-                last = self.manager.admitted_seq(msg.exs_id)
+                # is unconfirmed.  Durable mode quotes the *committed*
+                # (synced-to-log) watermark, not the admission watermark:
+                # admitted-but-unsynced batches die with the process, so
+                # the EXS must keep them.
+                if self._ack_gate is not None:
+                    last = self._ack_gate.committed(msg.exs_id)
+                else:
+                    last = self.manager.admitted_seq(msg.exs_id)
                 try:
                     conn.send(
                         protocol.HelloReply(
@@ -786,6 +895,7 @@ class ShardedIsmServer:
         shard_idle_timeout_s: float = 0.002,
         commit_interval_s: float = 0.05,
         mp_context=None,
+        durable_sink=None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -835,6 +945,24 @@ class ShardedIsmServer:
         #: Committed ack watermarks per EXS — the shard-respawn resume
         #: state, and what survives a serve()/serve() phase boundary.
         self._resume: dict[int, int] = {}
+        #: Durable mode (PR 8): acks a shard released at COMMIT are
+        #: *held* here as ``(commit watermark, exs_id, seq)`` until the
+        #: ordered merge has emitted every record at or below that
+        #: watermark AND the commit log has fsynced past them — only a
+        #: sync composes the shard commit protocol with on-disk
+        #: durability.  The sink is the same duck type as
+        #: :class:`IsmServer`'s (``sync`` / ``source_watermarks``).
+        self.durable_sink = durable_sink
+        self._held_acks: list[tuple[int, int, int]] = []
+        #: Watermarks actually synced to the log — what a HelloReply may
+        #: quote in durable mode (the shard's committed watermark can run
+        #: ahead of the disk).
+        self._durable_watermarks: dict[int, int] = {}
+        self.durable_sync_errors = Counter("dispatch.durable_sync_errors")
+        if durable_sink is not None:
+            recovered = durable_sink.source_watermarks()
+            self._resume.update(recovered)
+            self._durable_watermarks.update(recovered)
         #: Shard metrics frozen just before worker shutdown, so the
         #: post-run stats view still has a per-shard breakdown.
         self._final_shard_snaps: list[tuple[int, MetricsSnapshot]] | None = None
@@ -881,6 +1009,10 @@ class ShardedIsmServer:
         registry.adopt_counter(self.unsupported_frames)
         registry.adopt_counter(self.consumer_errors)
         registry.adopt_counter(self.records_delivered)
+        registry.adopt_counter(self.durable_sync_errors)
+        registry.gauge_fn(
+            "dispatch.held_acks", lambda: len(self._held_acks)
+        )
         registry.gauge_fn("wire.connections", lambda: len(self.connections))
         registry.gauge_fn("wire.pending_connections", lambda: len(self._pending))
         registry.gauge_fn(
@@ -1143,9 +1275,21 @@ class ShardedIsmServer:
                 self.discarded_records += discarded
             handle.staged.clear()
             self._teardown_shard(handle, join_timeout_s=2.0)
-        self._flush_cycle_acks()
-        if self._merger is not None:
-            self._deliver(self._merger.flush())
+        if self.durable_sink is None:
+            self._flush_cycle_acks()
+            if self._merger is not None:
+                self._deliver(self._merger.flush())
+        else:
+            # Durable order: final merge flush delivers everything still
+            # held, then one sync covers it, then the held acks go out.
+            if self._merger is not None:
+                self._deliver(self._merger.flush())
+            self._release_durable_acks(force=True)
+            try:
+                self.durable_sink.sync()
+            except OSError:
+                self.durable_sync_errors += 1
+            self._flush_cycle_acks()
         self._workers_running = False
         self._stopping = False
 
@@ -1428,9 +1572,18 @@ class ShardedIsmServer:
                 continue
             if items:
                 self._ingest_items(handle, items)
-        self._flush_cycle_acks()
+        if self.durable_sink is None:
+            self._flush_cycle_acks()
+            if self._merger is not None:
+                self._deliver(self._merger.emit())
+            return
+        # Durable mode inverts the order: records must reach the
+        # consumers (the log among them) and be fsynced past *before*
+        # the acks covering them go on the wire.
         if self._merger is not None:
             self._deliver(self._merger.emit())
+        self._release_durable_acks()
+        self._flush_cycle_acks()
 
     def _ingest_items(self, handle: _ShardHandle, items: list[bytes]) -> None:
         for item in items:
@@ -1451,8 +1604,14 @@ class ShardedIsmServer:
             handle.staged.append(("a", int(exs_id), int(seq)))
         elif record.event_id == CTRL_HELLO_REPLY:
             # Safe to forward before its commit: the reply carries only
-            # the *committed* ack watermark by construction.
+            # the *committed* ack watermark by construction.  In durable
+            # mode even that is too optimistic — the shard's committed
+            # watermark can run ahead of the fsynced log — so the reply
+            # is clamped to the synced watermark (retransmits of the gap
+            # dedup cleanly at the shard).
             exs_id, last_seq = record.values
+            if self.durable_sink is not None:
+                last_seq = self._durable_watermarks.get(int(exs_id), -1)
             conn = self.connections.get(int(exs_id))
             if conn is not None and self.ack_batches:
                 try:
@@ -1477,6 +1636,7 @@ class ShardedIsmServer:
         shard precedes the commit record and is covered by it.
         """
         merger = self._merger
+        commit_wm = max(handle.watermark, record.timestamp)
         for item in handle.staged:
             if item[0] == "d":
                 records = item[1]
@@ -1489,15 +1649,65 @@ class ShardedIsmServer:
                 prev = self._resume.get(exs_id)
                 if prev is None or seq > prev:
                     self._resume[exs_id] = seq
-                self._send_ack(exs_id, seq)
+                if self.durable_sink is not None:
+                    # Hold until the merge has emitted everything at or
+                    # below this commit's watermark (every record the ack
+                    # covers is ≤ it) and the log has synced past them.
+                    self._held_acks.append((commit_wm, exs_id, seq))
+                else:
+                    self._send_ack(exs_id, seq)
         handle.staged.clear()
-        handle.watermark = max(handle.watermark, record.timestamp)
+        handle.watermark = commit_wm
         received, delivered = record.values
         handle.received = int(received)
         handle.delivered = int(delivered)
         if merger is not None:
             merger.advance(handle.index, handle.watermark)
         self.commits_processed += 1
+
+    def _release_durable_acks(self, force: bool = False) -> None:
+        """Release held acks whose records are provably on disk.
+
+        An ack held at ``(wm, exs, seq)`` is releasable once the ordered
+        merge has emitted every record with timestamp ≤ *wm* (merger
+        drained, or its low watermark passed *wm*; *force* asserts this
+        externally — the shutdown path calls it after the final merge
+        flush).  Releasable acks are put on the wire only after one
+        ``sync`` covers them; a failed sync re-holds them all.
+        """
+        if not self._held_acks:
+            return
+        merger = self._merger
+        if force or merger is None or merger.held == 0:
+            ready, self._held_acks = self._held_acks, []
+        else:
+            low = merger.low_watermark()
+            if low is None:
+                return  # a respawned shard has not declared yet
+            ready = [item for item in self._held_acks if item[0] <= low]
+            if not ready:
+                return
+            self._held_acks = [
+                item for item in self._held_acks if item[0] > low
+            ]
+        marks: dict[int, int] = {}
+        for _, exs_id, seq in ready:
+            prev = marks.get(exs_id)
+            if prev is None or seq > prev:
+                marks[exs_id] = seq
+        try:
+            self.durable_sink.sync(marks)
+        except OSError:
+            # Log unwritable: withhold the acks (EXS outboxes hold the
+            # stream) and keep serving; retried next cycle.
+            self.durable_sync_errors += 1
+            self._held_acks = ready + self._held_acks
+            return
+        for exs_id, seq in marks.items():
+            prev = self._durable_watermarks.get(exs_id)
+            if prev is None or seq > prev:
+                self._durable_watermarks[exs_id] = seq
+            self._send_ack(exs_id, seq)
 
     def _send_ack(self, exs_id: int, seq: int) -> None:
         """Stage a commit-released ack; the cycle flush sends it."""

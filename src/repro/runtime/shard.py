@@ -34,12 +34,12 @@ from __future__ import annotations
 
 import select
 import time
-from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from typing import Sequence
 
 from repro.core import native
+from repro.core.ackgate import AckGate
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.records import EventRecord, FieldType
 from repro.core.ringbuffer import RingBuffer
@@ -182,21 +182,14 @@ class ShardWorker:
         self.manager.load_resume_state(config.resume_state)
         # exs_id → node_id hint for decode-time stamping (from Hello).
         self._nodes: dict[int, int] = {}
-        # Ack bookkeeping: per-EXS FIFO of (seq, cumulative admitted
-        # records) for batches admitted but not yet fully released, the
-        # running admitted-record count, the acked watermark, and which
-        # sources asked for acks at all.
-        self._pending_acks: dict[int, deque[tuple[int, int]]] = {}
-        self._admitted_records: dict[int, int] = {}
-        self._acked: dict[int, int] = dict(config.resume_state)
-        # The acked watermarks as of the last COMMIT pushed.  A HelloReply
-        # must quote *this*, not ``_acked``: an ack staged at the
-        # dispatcher but not yet covered by a commit is discarded if this
-        # worker dies, so telling the EXS about it would let the outbox
-        # drop batches that could still need retransmission.
-        self._acked_committed: dict[int, int] = dict(config.resume_state)
+        # Ack bookkeeping lives in the shared AckGate: acked watermarks
+        # advance only once every record of a batch has left the pipeline,
+        # and HelloReplies quote the *committed* watermark (an ack staged
+        # at the dispatcher but not yet covered by a commit is discarded
+        # if this worker dies, so telling the EXS about it would let the
+        # outbox drop batches that could still need retransmission).
+        self._ack_gate = AckGate(config.resume_state)
         self._ack_enabled: set[int] = set()
-        self._ack_dirty: set[int] = set()
         # Merge-watermark high water: the max sort key pushed downstream.
         self._high_water: tuple[int, int, int] | None = None
         self._pushed_since_commit = False
@@ -279,7 +272,7 @@ class ShardWorker:
         self.manager.register_source(msg.exs_id, msg.node_id)
         if msg.wants_ack:
             self._ack_enabled.add(msg.exs_id)
-            last = self._acked_committed.get(msg.exs_id)
+            last = self._ack_gate.committed(msg.exs_id)
             # The reply carries the *committed* ack watermark, not the
             # admission watermark: batches admitted but still parked in
             # this shard (or acked but uncommitted) must stay in the EXS
@@ -303,42 +296,32 @@ class ShardWorker:
             # Re-ack the current watermark so a resumed EXS retransmitting
             # acked batches converges instead of waiting for new data.
             if exs_id in self._ack_enabled:
-                self._ack_dirty.add(exs_id)
+                self._ack_gate.mark_dirty(exs_id)
             return
-        cum = self._admitted_records.get(exs_id, 0) + len(msg.records)
-        self._admitted_records[exs_id] = cum
-        self._pending_acks.setdefault(exs_id, deque()).append((msg.seq, cum))
+        self._ack_gate.on_admitted(exs_id, msg.seq, len(msg.records))
 
     # ------------------------------------------------------------------
     # ack watermark advance
     # ------------------------------------------------------------------
     def _advance_acks(self) -> None:
         """Move ack watermarks over batches whose records all left the
-        shard.  Requires the causal matcher to be empty: released-by-source
-        counts come from the sorter, and a record parked in the CRE has
-        left the sorter without reaching the output ring."""
-        if self.manager.cre.parked_now != 0:
-            return
-        released = self.manager.sorter.released_by_source
-        for exs_id, pending in self._pending_acks.items():
-            done = released.get(exs_id, 0)
-            advanced = False
-            while pending and pending[0][1] <= done:
-                seq, _ = pending.popleft()
-                self._acked[exs_id] = seq
-                advanced = True
-            if advanced and exs_id in self._ack_enabled:
-                self._ack_dirty.add(exs_id)
+        shard (the AckGate requires the causal matcher to be empty: a
+        record parked in the CRE has left the sorter without reaching
+        the output ring)."""
+        self._ack_gate.advance(
+            self.manager.sorter.released_by_source, self.manager.cre.parked_now
+        )
 
     def _flush_acks(self) -> None:
-        for exs_id in sorted(self._ack_dirty):
-            seq = self._acked.get(exs_id)
+        for exs_id in self._ack_gate.take_dirty():
+            if exs_id not in self._ack_enabled:
+                continue
+            seq = self._ack_gate.acked(exs_id)
             if seq is not None:
                 self._push_with_retry(
                     ack_record(self.config.shard_id, exs_id, seq)
                 )
                 self._pushed_since_commit = True
-        self._ack_dirty.clear()
 
     # ------------------------------------------------------------------
     # commit
@@ -368,7 +351,7 @@ class ShardWorker:
             )
         )
         self.commits += 1
-        self._acked_committed = dict(self._acked)
+        self._ack_gate.commit()
         self._pushed_since_commit = False
         self._last_commit_mono = mono
 

@@ -1,0 +1,261 @@
+"""``brisk-log``: inspect and maintain a durable commit log directory.
+
+Four subcommands::
+
+    # Segment layout, offsets, checkpoint, consumer groups at a glance.
+    brisk-log info /var/lib/brisk/log
+
+    # Print the newest records as PICL lines (or from a given offset).
+    brisk-log tail /var/lib/brisk/log -n 20
+    brisk-log tail /var/lib/brisk/log --from-offset 10000
+
+    # Dry-run crash recovery: scan every segment, CRC-check every entry,
+    # report what a real recovery would truncate.  Read-only.
+    brisk-log truncate-check /var/lib/brisk/log
+
+    # Consumer-group offsets and lag; set one explicitly for replay.
+    brisk-log offsets /var/lib/brisk/log
+    brisk-log offsets /var/lib/brisk/log --set analytics=0
+
+``info``, ``tail`` and ``truncate-check`` never write: they scan segment
+files directly, so they are safe to run against a log an ISM is actively
+appending to.  ``offsets --set`` writes only the group's offset file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.log.commitlog import CHECKPOINT_FILE, CommitLog, OffsetOutOfRange, iter_log
+from repro.log.segment import LogCorruption, scan_segment, segment_path
+from repro.picl.format import PiclWriter
+
+
+def _segment_bases(directory: str) -> list[int]:
+    try:
+        names = os.listdir(directory)
+    except OSError as exc:
+        raise SystemExit(f"brisk-log: cannot read {directory}: {exc}")
+    return sorted(
+        int(name[:-4])
+        for name in names
+        if name.endswith(".seg") and name[:-4].isdigit()
+    )
+
+
+def _read_checkpoint(directory: str) -> dict | None:
+    try:
+        with open(os.path.join(directory, CHECKPOINT_FILE), encoding="ascii") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        return None
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    bases = _segment_bases(args.log_dir)
+    if not bases:
+        print(f"{args.log_dir}: no segments")
+        return 1
+    print(f"commit log {args.log_dir}")
+    total_records = 0
+    total_bytes = 0
+    end = bases[-1]
+    for i, base in enumerate(bases):
+        path = segment_path(args.log_dir, base)
+        try:
+            scan = scan_segment(path)
+        except LogCorruption as exc:
+            print(f"  segment {base:>12}  CORRUPT: {exc}")
+            continue
+        torn = scan.file_size - scan.valid_end
+        tag = " (active)" if i == len(bases) - 1 else ""
+        note = f"  torn tail {torn} B" if torn else ""
+        print(
+            f"  segment {base:>12}  {scan.record_count:>9} records"
+            f"  {scan.file_size:>12} B{tag}{note}"
+        )
+        total_records += scan.record_count
+        total_bytes += scan.file_size
+        end = base + scan.record_count
+    print(f"  offsets [{bases[0]}, {end})  {total_records} records, {total_bytes} B")
+    checkpoint = _read_checkpoint(args.log_dir)
+    if checkpoint is not None:
+        print(
+            f"  checkpoint: durable_end={checkpoint.get('durable_end')}"
+            f" fsync={checkpoint.get('fsync')}"
+            f" sources={checkpoint.get('sources')}"
+        )
+    groups_dir = os.path.join(args.log_dir, "offsets")
+    if os.path.isdir(groups_dir):
+        for name in sorted(os.listdir(groups_dir)):
+            if name.endswith(".part"):
+                continue
+            try:
+                with open(os.path.join(groups_dir, name), encoding="ascii") as f:
+                    committed = int(f.read().strip())
+            except (OSError, ValueError):
+                continue
+            print(f"  group {name}: offset {committed}, lag {max(0, end - committed)}")
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    bases = _segment_bases(args.log_dir)
+    if not bases:
+        print(f"{args.log_dir}: no segments", file=sys.stderr)
+        return 1
+    if args.from_offset is not None:
+        records = list(iter_log(args.log_dir, args.from_offset))
+    else:
+        # Newest n: start the scan at the latest segment that still
+        # yields enough records (iter_log reads from there to the end).
+        records = []
+        for base in reversed(bases):
+            records = list(iter_log(args.log_dir, base))
+            if len(records) >= args.lines:
+                break
+        records = records[-args.lines :]
+    writer = PiclWriter(sys.stdout)
+    writer.write_all(records)
+    return 0
+
+
+def cmd_truncate_check(args: argparse.Namespace) -> int:
+    bases = _segment_bases(args.log_dir)
+    if not bases:
+        print(f"{args.log_dir}: no segments", file=sys.stderr)
+        return 1
+    status = 0
+    end = 0
+    for i, base in enumerate(bases):
+        path = segment_path(args.log_dir, base)
+        try:
+            scan = scan_segment(path)
+        except LogCorruption as exc:
+            print(f"{path}: CORRUPT header: {exc}")
+            status = 2
+            continue
+        torn = scan.file_size - scan.valid_end
+        end = base + scan.record_count
+        if torn:
+            last = i == len(bases) - 1
+            print(
+                f"{path}: torn tail of {torn} B past record "
+                f"{base + scan.record_count - 1}; recovery would truncate "
+                f"to {scan.valid_end} B"
+                + ("" if last else "  [NOT the tail segment!]")
+            )
+            if not last:
+                status = 2
+            elif status == 0:
+                status = 1
+        else:
+            print(f"{path}: clean ({scan.record_count} records)")
+    checkpoint = _read_checkpoint(args.log_dir)
+    if checkpoint is not None:
+        durable_end = int(checkpoint.get("durable_end", 0))
+        if durable_end < end:
+            print(
+                f"checkpoint durable_end={durable_end} < scanned end={end}: "
+                f"recovery would also discard {end - durable_end} unacked "
+                f"record(s) past the checkpoint"
+            )
+            if status == 0:
+                status = 1
+    return status
+
+
+def cmd_offsets(args: argparse.Namespace) -> int:
+    if args.set is not None:
+        group, _, raw = args.set.partition("=")
+        if not raw:
+            print("brisk-log: --set expects GROUP=OFFSET", file=sys.stderr)
+            return 2
+        log = CommitLog(args.log_dir)
+        try:
+            log.commit_offset(group, int(raw))
+            print(f"group {group}: offset set to {int(raw)}")
+        except (OffsetOutOfRange, ValueError) as exc:
+            print(f"brisk-log: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            log.close()
+        return 0
+    bases = _segment_bases(args.log_dir)
+    end = 0
+    if bases:
+        scan = scan_segment(segment_path(args.log_dir, bases[-1]))
+        end = bases[-1] + scan.record_count
+    groups_dir = os.path.join(args.log_dir, "offsets")
+    found = False
+    if os.path.isdir(groups_dir):
+        for name in sorted(os.listdir(groups_dir)):
+            if name.endswith(".part"):
+                continue
+            try:
+                with open(os.path.join(groups_dir, name), encoding="ascii") as f:
+                    committed = int(f.read().strip())
+            except (OSError, ValueError):
+                continue
+            print(f"{name}\t{committed}\t{max(0, end - committed)}")
+            found = True
+    if not found:
+        print("no consumer groups", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the tool's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="brisk-log",
+        description="Inspect and maintain a BRISK commit-log directory.",
+    )
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    info = sub.add_parser("info", help="segments, offsets, checkpoint, groups")
+    info.add_argument("log_dir", help="commit-log directory")
+
+    tail = sub.add_parser("tail", help="print records as PICL lines")
+    tail.add_argument("log_dir", help="commit-log directory")
+    tail.add_argument(
+        "-n", "--lines", type=int, default=10, help="newest records to print"
+    )
+    tail.add_argument(
+        "--from-offset", type=int, default=None,
+        help="print everything from this offset instead of the newest -n",
+    )
+
+    check = sub.add_parser(
+        "truncate-check",
+        help="dry-run recovery: report torn tails without touching the log",
+    )
+    check.add_argument("log_dir", help="commit-log directory")
+
+    offsets = sub.add_parser("offsets", help="consumer-group offsets and lag")
+    offsets.add_argument("log_dir", help="commit-log directory")
+    offsets.add_argument(
+        "--set", metavar="GROUP=OFFSET", default=None,
+        help="durably set a group's committed offset (e.g. replay=0)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "tail": cmd_tail,
+        "truncate-check": cmd_truncate_check,
+        "offsets": cmd_offsets,
+    }
+    return handlers[args.mode](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

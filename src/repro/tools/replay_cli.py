@@ -1,21 +1,25 @@
 """``brisk-replay``: re-run a recorded trace through the sorting pipeline.
 
-Reads a UTC-mode PICL trace, feeds it through a fresh on-line sorter and
-causal matcher (as if the records were arriving live, in file order), and
-writes the re-ordered result.  Useful to:
+Reads a UTC-mode PICL trace — or, when *input* is a directory, a durable
+commit log (:mod:`repro.log`) — feeds it through a fresh on-line sorter
+and causal matcher (as if the records were arriving live, in recorded
+order), and writes the re-ordered result.  Useful to:
 
 * repair an unsorted or causally-inconsistent raw trace offline,
 * convert timestamps to relative-seconds for tools that want them,
-* experiment with sorter knobs against a captured workload.
+* experiment with sorter knobs against a captured workload,
+* turn a crash-recovered commit log back into a PICL trace.
 
 Example::
 
     brisk-replay raw.picl sorted.picl --time-frame-ms 50 --relative
+    brisk-replay /var/lib/brisk/log sorted.picl --from-offset 10000
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.consumers import PiclFileConsumer
@@ -31,7 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="brisk-replay",
         description="Replay a PICL trace through the BRISK sorting pipeline.",
     )
-    parser.add_argument("input", help="input PICL trace (UTC timestamps)")
+    parser.add_argument(
+        "input",
+        help="input PICL trace (UTC timestamps), or a commit-log directory",
+    )
     parser.add_argument("output", help="output PICL trace")
     parser.add_argument(
         "--time-frame-ms", type=float, default=10.0,
@@ -41,17 +48,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--relative", action="store_true",
         help="write relative-seconds timestamps (epoch = first record)",
     )
+    parser.add_argument(
+        "--from-offset", type=int, default=0,
+        help="log input only: replay from this log offset (default 0)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    with open(args.input) as stream:
-        # File order is the arrival order; do not pre-sort.
-        from repro.picl.format import PiclReader, picl_to_record
+    if os.path.isdir(args.input):
+        # A commit-log directory: read-only scan, log order is arrival
+        # order (it is the ISM's delivery order).
+        from repro.log import iter_log
 
-        records = [picl_to_record(p) for p in PiclReader(stream)]
+        records = list(iter_log(args.input, args.from_offset))
+    else:
+        with open(args.input) as stream:
+            # File order is the arrival order; do not pre-sort.
+            from repro.picl.format import PiclReader, picl_to_record
+
+            records = [picl_to_record(p) for p in PiclReader(stream)]
     if not records:
         print("empty input trace", file=sys.stderr)
         open(args.output, "w").close()

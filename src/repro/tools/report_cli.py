@@ -26,6 +26,7 @@ _EXPERIMENT_OF_FILE = {
     "exs": "E2",
     "sharded": "E5b",
     "aggregate": "E5",
+    "e11": "E11",
     "sorter_throughput": "E7",
     "throughput": "E3",
     "latency": "E4",

@@ -1,0 +1,60 @@
+"""Directory-fsync helpers shared by every crash-safe file path.
+
+POSIX durability has two halves: ``fsync`` on the file makes the *bytes*
+durable, but the file's very existence (a create, or an atomic
+``os.replace`` rename) lives in the containing directory and is only
+durable once the *directory* has been fsynced too.  Forgetting the second
+half is the classic bug where a "durable" file vanishes across power
+loss even though every byte in it was synced.
+
+Three call sites share these helpers so the invariant lives in one
+place: :meth:`repro.core.consumers.PiclFileConsumer.open_durable`'s
+close-time rename, the commit log's segment roll
+(:mod:`repro.log.commitlog`), and its checkpoint/offset writes.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["fsync_dir", "durable_replace", "write_file_durable"]
+
+
+def fsync_dir(path: str) -> None:
+    """Fsync the directory *path* so entries created/renamed into it are
+    durable.  Best-effort on platforms where directories cannot be opened
+    or fsynced (the error is swallowed; there is nothing better to do).
+    """
+    try:
+        dir_fd = os.open(path or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def durable_replace(src: str, dst: str) -> None:
+    """Atomically rename *src* over *dst* and make the rename durable."""
+    os.replace(src, dst)
+    fsync_dir(os.path.dirname(dst) or ".")
+
+
+def write_file_durable(path: str, payload: bytes) -> None:
+    """Crash-safe whole-file write: tmp + fsync + atomic rename + dir fsync.
+
+    After this returns, *path* holds either its previous contents or the
+    full *payload* — never a torn mixture — and the new version survives
+    power loss.
+    """
+    part = path + ".part"
+    fd = os.open(part, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    durable_replace(part, path)

@@ -1,0 +1,715 @@
+"""The durable commit log (:mod:`repro.log`): codec, recovery, offsets.
+
+Five invariant families:
+
+* **entry codec** — encode/decode is lossless for arbitrary records
+  (hypothesis, reusing the suite's record strategy);
+* **torn tails** — truncating a segment at *every* byte boundary and
+  recovering yields exactly the committed record prefix, never garbage
+  and never a lost committed record;
+* **recovery** — reopening resumes offsets and source watermarks; a
+  checkpoint is an ack frontier, so recovery discards appended-but-
+  never-checkpointed records (they were never acked);
+* **consumer offsets** — commit / re-attach resumes; replay from offset
+  0 is byte-identical to live delivery order;
+* **failure discipline** — injected ENOSPC / short write / fsync
+  failure poisons the log (appends and syncs raise from then on) while
+  reads keep serving the committed prefix.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import native
+from repro.core.consumers import LogConsumer
+from repro.core.ackgate import AckGate
+from repro.core.merge import OrderedMerger
+from repro.core.records import EventRecord, FieldType
+from repro.log import (
+    CHECKPOINT_FILE,
+    CommitLog,
+    DiskFaults,
+    LogConfig,
+    OffsetOutOfRange,
+    iter_log,
+    scan_segment,
+    segment_path,
+)
+from repro.log.segment import SEGMENT_HEADER, encode_entry, iter_entries
+from tests.conftest import make_record
+from tests.test_properties import records
+
+
+def _record(i: int, node: int = 1) -> EventRecord:
+    return EventRecord(
+        event_id=7,
+        timestamp=1_000_000 + i,
+        field_types=(FieldType.X_UINT,),
+        values=(i,),
+        node_id=node,
+    )
+
+
+def _fill(log: CommitLog, n: int, start: int = 0) -> list[EventRecord]:
+    recs = [_record(i) for i in range(start, start + n)]
+    for i in range(0, n, 5):  # chunked so segment rolls get a chance
+        log.append_many(recs[i : i + 5])
+    return recs
+
+
+# ----------------------------------------------------------------------
+# entry codec (hypothesis)
+# ----------------------------------------------------------------------
+class TestEntryCodec:
+    @given(records())
+    @settings(max_examples=60)
+    def test_roundtrip(self, record):
+        data = encode_entry(record)
+        out = list(iter_entries(data, 0))
+        assert len(out) == 1
+        decoded, pos, end = out[0]
+        assert decoded == record
+        assert pos == 0 and end == len(data)
+
+    @given(st.lists(records(max_fields=3), max_size=5), st.data())
+    @settings(max_examples=40)
+    def test_arbitrary_truncation_yields_prefix(self, recs, data):
+        buf = b"".join(encode_entry(r) for r in recs)
+        cut = data.draw(st.integers(min_value=0, max_value=len(buf)))
+        decoded = [r for r, _p, _e in iter_entries(buf[:cut], 0)]
+        # The decode stops at the first incomplete or corrupt entry and
+        # never invents records: a prefix of the originals, nothing else.
+        assert decoded == recs[: len(decoded)]
+        ends = []
+        pos = 0
+        for r in recs:
+            pos += len(encode_entry(r))
+            ends.append(pos)
+        expected = sum(1 for e in ends if e <= cut)
+        assert len(decoded) == expected
+
+    @given(records())
+    @settings(max_examples=30)
+    def test_corrupt_crc_rejected(self, record):
+        data = bytearray(encode_entry(record))
+        data[-1] ^= 0xFF  # flip a payload byte: CRC must catch it
+        assert list(iter_entries(bytes(data), 0)) == []
+
+
+# ----------------------------------------------------------------------
+# torn tails: every byte boundary
+# ----------------------------------------------------------------------
+class TestTornTail:
+    def test_recovery_at_every_byte_boundary(self, tmp_path):
+        # Build a small real segment, then recover a copy truncated at
+        # every possible byte length.  The recovered log must hold
+        # exactly the records whose frames fit — the committed prefix.
+        src = tmp_path / "src"
+        log = CommitLog(src, LogConfig(fsync="off"))
+        recs = _fill(log, 6)
+        log.sync()
+        log.close()
+        seg = segment_path(str(src), 0)
+        data = open(seg, "rb").read()
+        ends = [SEGMENT_HEADER.size]
+        for r in recs:
+            ends.append(ends[-1] + len(encode_entry(r)))
+        for cut in range(SEGMENT_HEADER.size, len(data) + 1):
+            trial = tmp_path / f"cut{cut}"
+            os.makedirs(trial)
+            with open(os.path.join(trial, os.path.basename(seg)), "wb") as f:
+                f.write(data[:cut])
+            recovered = CommitLog(trial, LogConfig(fsync="off"))
+            expected = sum(1 for e in ends[1:] if e <= cut)
+            assert recovered.end_offset == expected, f"cut={cut}"
+            assert recovered.read(0, 100) == recs[:expected]
+            torn = cut - ends[expected]
+            assert int(recovered.torn_bytes_truncated) == torn
+            # And appends resume cleanly after the truncation.
+            recovered.append(_record(99))
+            assert recovered.read(expected, 10) == [_record(99)]
+            recovered.close()
+
+    def test_iter_log_is_read_only_on_torn_tail(self, tmp_path):
+        log = CommitLog(tmp_path / "log", LogConfig(fsync="off"))
+        recs = _fill(log, 4)
+        log.sync()
+        log.close()
+        seg = segment_path(str(tmp_path / "log"), 0)
+        with open(seg, "ab") as f:
+            f.write(b"\x07\x00\x00\x00garbage")  # torn frame
+        size = os.path.getsize(seg)
+        assert list(iter_log(tmp_path / "log")) == recs
+        assert os.path.getsize(seg) == size  # nothing truncated
+
+
+# ----------------------------------------------------------------------
+# append / read / roll / retention
+# ----------------------------------------------------------------------
+class TestCommitLog:
+    def test_append_read_roundtrip_across_segments(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(segment_bytes=256, fsync="off"))
+        recs = [_record(i) for i in range(50)]
+        for record in recs:  # rolls are checked per append call
+            log.append(record)
+        assert log.segment_count > 1  # the roll actually happened
+        assert log.end_offset == 50
+        assert log.read(0, 1000) == recs
+        assert list(log.iter_from(0)) == recs
+        assert log.read(17, 5) == recs[17:22]
+        assert log.read(50, 10) == []
+        assert list(iter_log(tmp_path, 17)) == recs[17:]
+        log.close()
+
+    def test_append_returns_assigned_offset(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        assert log.append(_record(0)) == 0
+        assert log.append_many([_record(1), _record(2)]) == 1
+        assert log.append_many([]) == 3
+        log.close()
+
+    def test_retention_by_bytes_retires_sealed_segments(self, tmp_path):
+        cfg = LogConfig(segment_bytes=256, retain_bytes=600, fsync="off")
+        log = CommitLog(tmp_path, cfg)
+        _fill(log, 80)
+        assert int(log.segments_retired) > 0
+        assert log.start_offset > 0
+        with pytest.raises(OffsetOutOfRange):
+            log.read(0)
+        # The retained suffix is intact.
+        assert log.read(log.start_offset, 1000) == [
+            _record(i) for i in range(log.start_offset, 80)
+        ]
+        log.close()
+
+    def test_roll_by_time(self, tmp_path):
+        clock = [0.0]
+        cfg = LogConfig(segment_interval_s=10.0, fsync="off")
+        log = CommitLog(tmp_path, cfg, time_fn=lambda: clock[0])
+        log.append(_record(0))
+        clock[0] = 11.0
+        log.append(_record(1))
+        assert log.segment_count == 2
+        log.close()
+
+    def test_fsync_policies(self, tmp_path):
+        batch = CommitLog(tmp_path / "b", LogConfig(fsync="batch"))
+        batch.append(_record(0))
+        assert batch.durable_offset == 1  # durable before append returns
+        assert int(batch.fsyncs) >= 1
+        batch.close()
+
+        off = CommitLog(tmp_path / "o", LogConfig(fsync="off"))
+        off.append(_record(0))
+        assert off.durable_offset == 0
+        assert off.sync() == 1
+        assert off.durable_offset == 1
+        off.close()
+
+        clock = [0.0]
+        interval = CommitLog(
+            tmp_path / "i",
+            LogConfig(fsync="interval", fsync_interval_s=1.0),
+            time_fn=lambda: clock[0],
+        )
+        interval.append(_record(0))
+        assert interval.durable_offset == 0  # within the interval
+        clock[0] = 2.0
+        interval.append(_record(1))
+        assert interval.durable_offset == 2  # cadence hit: both synced
+        interval.close()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LogConfig(fsync="always")
+        with pytest.raises(ValueError):
+            LogConfig(segment_bytes=4)
+        with pytest.raises(ValueError):
+            LogConfig(index_interval_bytes=0)
+
+    def test_metrics_adoption(self, tmp_path):
+        from repro.obs.collect import wire_commit_log
+        from repro.obs.metrics import MetricsRegistry
+
+        log = CommitLog(tmp_path, LogConfig(fsync="batch"))
+        registry = MetricsRegistry()
+        wire_commit_log(registry, log)
+        _fill(log, 5)
+        snap = registry.snapshot()
+        assert snap.get("log.records_appended") == 5
+        assert snap.get("log.end_offset") == 5
+        assert snap.get("log.durable_offset") == 5
+        assert snap.get("log.segments") == 1
+        assert snap.get("log.broken") == 0
+        assert snap.get("log.fsyncs") >= 1
+        log.close()
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_reopen_resumes_offsets_and_watermarks(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(segment_bytes=256, fsync="off"))
+        recs = _fill(log, 30)
+        log.sync({1: 3, 2: 7})
+        log.close()
+
+        log = CommitLog(tmp_path, LogConfig(segment_bytes=256, fsync="off"))
+        assert log.end_offset == 30
+        assert log.source_watermarks() == {1: 3, 2: 7}
+        more = [_record(i) for i in range(30, 40)]
+        assert log.append_many(more) == 30
+        assert log.read(0, 100) == recs + more
+        log.close()
+
+    def test_checkpoint_is_the_ack_frontier(self, tmp_path):
+        # fsync=off: records past the last checkpointed sync were never
+        # acked, so recovery must discard them — keeping them would
+        # duplicate the retransmissions already on their way.
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        _fill(log, 10)
+        log.sync({1: 1})  # checkpoint at 10
+        _fill(log, 5, start=10)  # appended, never synced, never acked
+        # No close(): the process "dies" here.
+        log._file.close()
+        log._idx_file.close()
+
+        recovered = CommitLog(tmp_path, LogConfig(fsync="off"))
+        assert recovered.end_offset == 10
+        assert int(recovered.checkpoint_truncated_records) == 5
+        assert recovered.source_watermarks() == {1: 1}
+        assert recovered.read(0, 100) == [_record(i) for i in range(10)]
+        recovered.close()
+
+    def test_checkpoint_truncation_drops_whole_tail_segments(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(segment_bytes=256, fsync="off"))
+        _fill(log, 10)
+        log.sync({1: 1})
+        _fill(log, 40, start=10)  # rolls several unacked segments
+        assert log.segment_count > 2
+        log._file.close()
+        log._idx_file.close()
+
+        recovered = CommitLog(tmp_path, LogConfig(segment_bytes=256, fsync="off"))
+        assert recovered.end_offset == 10
+        assert int(recovered.checkpoint_truncated_records) == 40
+        recovered.close()
+
+    def test_uncheckpointed_log_gets_max_salvage(self, tmp_path):
+        # Without a checkpoint no ack was ever gated on the log, so
+        # recovery keeps every intact record (torn-tail scan only).
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        recs = _fill(log, 8)
+        log._file.close()
+        log._idx_file.close()
+        recovered = CommitLog(tmp_path, LogConfig(fsync="off"))
+        assert recovered.read(0, 100) == recs
+        recovered.close()
+
+    def test_part_litter_is_removed(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        log.close()
+        litter = tmp_path / (CHECKPOINT_FILE + ".part")
+        litter.write_bytes(b"{}")
+        CommitLog(tmp_path, LogConfig(fsync="off")).close()
+        assert not litter.exists()
+
+    def test_sparse_index_survives_recovery(self, tmp_path):
+        cfg = LogConfig(index_interval_bytes=64, fsync="off")
+        log = CommitLog(tmp_path, cfg)
+        recs = _fill(log, 40)
+        log.sync()
+        log.close()
+        recovered = CommitLog(tmp_path, cfg)
+        # Mid-segment read exercises the index floor path.
+        assert recovered.read(25, 5) == recs[25:30]
+        recovered.close()
+
+
+# ----------------------------------------------------------------------
+# consumer groups
+# ----------------------------------------------------------------------
+class TestConsumerGroups:
+    def test_commit_and_reattach_resumes(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        recs = _fill(log, 20)
+        consumer = log.consumer("analytics")
+        assert consumer.read(8) == recs[:8]
+        consumer.commit()
+        assert log.committed_offset("analytics") == 8
+        assert log.lag("analytics") == 12
+
+        # Re-attach (fresh handle, as a restarted process would).
+        again = log.consumer("analytics")
+        assert again.position == 8
+        assert again.read(100) == recs[8:]
+        assert again.lag == 0
+        log.close()
+
+    def test_replay_from_zero_is_byte_identical_to_live(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        live: list[EventRecord] = []
+        for i in range(25):
+            record = _record(i)
+            log.append(record)
+            live.append(record)  # delivery order as a live consumer saw it
+        replay = log.consumer("late", start=0)
+        replayed = replay.read(1000)
+        assert replayed == live
+        live_bytes = b"".join(native.pack_record(r) for r in live)
+        replay_bytes = b"".join(native.pack_record(r) for r in replayed)
+        assert replay_bytes == live_bytes
+        log.close()
+
+    def test_offsets_survive_reopen(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        _fill(log, 10)
+        consumer = log.consumer("g1")
+        consumer.read(4)
+        consumer.commit()
+        log.sync()
+        log.close()
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        assert log.groups() == {"g1": 4}
+        assert log.consumer("g1").position == 4
+        log.close()
+
+    def test_seek_and_commit_validation(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        _fill(log, 5)
+        consumer = log.consumer("g")
+        with pytest.raises(OffsetOutOfRange):
+            consumer.seek(6)
+        with pytest.raises(OffsetOutOfRange):
+            log.commit_offset("g", 99)
+        with pytest.raises(ValueError):
+            log.consumer("../escape").commit()
+        log.close()
+
+    def test_retired_offset_clamps_to_start(self, tmp_path):
+        cfg = LogConfig(segment_bytes=256, retain_bytes=600, fsync="off")
+        log = CommitLog(tmp_path, cfg)
+        _fill(log, 80)
+        log.commit_offset("slow", 0)
+        assert log.start_offset > 0
+        consumer = log.consumer("slow")
+        assert consumer.position == log.start_offset
+        log.close()
+
+
+# ----------------------------------------------------------------------
+# disk-fault injection (satellite: failure discipline)
+# ----------------------------------------------------------------------
+class TestDiskFaults:
+    def test_enospc_poisons_the_log(self, tmp_path):
+        faults = DiskFaults(enospc_after_bytes=100)
+        log = CommitLog(tmp_path, LogConfig(fsync="off"), faults=faults)
+        written = 0
+        with pytest.raises(OSError) as excinfo:
+            for i in range(100):
+                log.append(_record(i))
+                written += 1
+        assert excinfo.value.errno == errno.ENOSPC
+        assert log.broken is not None
+        assert int(log.append_errors) == 1
+        # Poisoned: every later append and sync re-raises...
+        with pytest.raises(OSError):
+            log.append(_record(0))
+        with pytest.raises(OSError):
+            log.sync()
+        # ...but reads keep serving the committed prefix.
+        assert log.read(0, 100) == [_record(i) for i in range(written)]
+        log.close()
+
+    def test_short_write_leaves_recoverable_torn_frame(self, tmp_path):
+        entry_len = len(encode_entry(_record(0)))
+        faults = DiskFaults(short_write_at_bytes=10 * entry_len + 4)
+        log = CommitLog(tmp_path, LogConfig(fsync="off"), faults=faults)
+        log.append_many([_record(i) for i in range(10)])
+        with pytest.raises(OSError):
+            log.append(_record(10))  # torn: only 4 bytes reach the disk
+        log._file.close()
+        log._idx_file.close()
+
+        recovered = CommitLog(tmp_path, LogConfig(fsync="off"))
+        assert recovered.end_offset == 10
+        assert int(recovered.torn_bytes_truncated) == 4
+        assert recovered.read(0, 100) == [_record(i) for i in range(10)]
+        recovered.close()
+
+    def test_fsync_failure_poisons_batch_policy(self, tmp_path):
+        faults = DiskFaults()
+        log = CommitLog(tmp_path, LogConfig(fsync="batch"), faults=faults)
+        log.append(_record(0))
+        faults.fail_fsync = True
+        with pytest.raises(OSError):
+            log.append(_record(1))
+        assert log.broken is not None
+        with pytest.raises(OSError):
+            log.sync({1: 5})
+        # The checkpoint must not advance past a failed fsync: acks
+        # quoted from it would reference records that never hit disk.
+        assert log.source_watermarks() == {}
+        log.close()
+
+    def test_runtime_fault_arming(self, tmp_path):
+        # Faults are mutable at runtime — arm ENOSPC mid-stream.
+        faults = DiskFaults()
+        log = CommitLog(tmp_path, LogConfig(fsync="off"), faults=faults)
+        _fill(log, 5)
+        faults.enospc_after_bytes = faults.bytes_written  # next write fails
+        with pytest.raises(OSError):
+            log.append(_record(5))
+        assert int(faults.writes_failed) == 1
+        log.close()
+
+
+# ----------------------------------------------------------------------
+# LogConsumer
+# ----------------------------------------------------------------------
+class TestLogConsumer:
+    def test_deliver_appends_and_counts(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        sink = LogConsumer(log)
+        sink.deliver(_record(0))
+        sink.deliver_many([_record(1), _record(2)])
+        assert sink.delivered == 3
+        assert log.end_offset == 3
+        assert sink.sync({1: 2}) == 3
+        assert sink.source_watermarks() == {1: 2}
+        sink.close()  # close_log=False: the log stays open
+        assert log.append(_record(3)) == 3
+        log.close()
+
+    def test_close_log_ownership(self, tmp_path):
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        LogConsumer(log, close_log=True).close()
+        with pytest.raises(RuntimeError):
+            log.append(_record(0))
+
+
+# ----------------------------------------------------------------------
+# AckGate (shared by shard workers and durable-mode servers)
+# ----------------------------------------------------------------------
+class TestAckGate:
+    def test_ack_advances_only_when_records_released(self):
+        gate = AckGate()
+        gate.on_admitted(1, seq=0, n_records=10)
+        gate.on_admitted(1, seq=1, n_records=10)
+        assert not gate.advance({1: 5}, parked_now=0)
+        assert gate.acked(1) is None
+        assert gate.advance({1: 10}, parked_now=0)
+        assert gate.acked(1) == 0
+        assert gate.advance({1: 20}, parked_now=0)
+        assert gate.acked(1) == 1
+
+    def test_parked_records_block_every_ack(self):
+        gate = AckGate()
+        gate.on_admitted(1, seq=0, n_records=10)
+        # Released counts say yes, but the CRE still parks a record: the
+        # released set is not yet the delivered set, so nothing acks.
+        assert not gate.advance({1: 10}, parked_now=1)
+        assert gate.acked(1) is None
+        assert gate.advance({1: 10}, parked_now=0)
+
+    def test_committed_lags_acked_until_commit(self):
+        gate = AckGate()
+        gate.on_admitted(1, seq=0, n_records=5)
+        gate.advance({1: 5}, parked_now=0)
+        assert gate.acked(1) == 0
+        assert gate.committed(1) is None  # not safe to quote yet
+        gate.commit()
+        assert gate.committed(1) == 0
+        assert gate.committed_watermarks() == {1: 0}
+
+    def test_dirty_tracking_and_duplicates(self):
+        gate = AckGate()
+        gate.on_admitted(1, seq=0, n_records=5)
+        gate.advance({1: 5}, parked_now=0)
+        assert gate.has_dirty
+        assert gate.take_dirty() == [1]
+        assert not gate.has_dirty
+        gate.mark_dirty(1)  # duplicate batch wants a re-ack
+        assert gate.take_dirty() == [1]
+
+    def test_resume_seeds_both_watermarks(self):
+        gate = AckGate({1: 7})
+        assert gate.acked(1) == 7
+        assert gate.committed(1) == 7
+        gate.on_admitted(1, seq=8, n_records=3)
+        gate.advance({1: 3}, parked_now=0)
+        assert gate.acked(1) == 8
+        assert not gate.has_pending
+
+
+# ----------------------------------------------------------------------
+# OrderedMerger.low_watermark (durable sharded acks gate on it)
+# ----------------------------------------------------------------------
+class TestMergerLowWatermark:
+    def test_none_while_any_shard_undeclared(self):
+        merger = OrderedMerger()
+        merger.add_shard(0)
+        merger.add_shard(1)
+        assert merger.low_watermark() is None
+        merger.advance(0, 50)
+        assert merger.low_watermark() is None
+        merger.advance(1, 30)
+        assert merger.low_watermark() == 30
+
+    def test_closed_shards_do_not_gate(self):
+        merger = OrderedMerger()
+        merger.add_shard(0)
+        merger.add_shard(1)
+        merger.advance(0, 50)
+        merger.close_shard(1)
+        assert merger.low_watermark() == 50
+
+
+# ----------------------------------------------------------------------
+# Trace.from_log
+# ----------------------------------------------------------------------
+class TestTraceFromLog:
+    def test_from_log_object_and_directory(self, tmp_path):
+        from repro.analysis.trace import Trace
+
+        log = CommitLog(tmp_path, LogConfig(fsync="off"))
+        recs = _fill(log, 12)
+        trace = Trace.from_log(log)
+        assert list(trace) == recs
+        assert Trace.from_log(log, start=5).records == tuple(recs[5:])
+        log.sync()
+        log.close()
+        assert list(Trace.from_log(str(tmp_path))) == recs
+
+
+# ----------------------------------------------------------------------
+# CLI: brisk-log and brisk-replay on a log directory
+# ----------------------------------------------------------------------
+class TestLogCli:
+    @pytest.fixture
+    def log_dir(self, tmp_path):
+        log = CommitLog(
+            tmp_path / "log", LogConfig(segment_bytes=512, fsync="off")
+        )
+        _fill(log, 40)
+        log.sync({1: 3})
+        consumer = log.consumer("grp")
+        consumer.read(10)
+        consumer.commit()
+        log.close()
+        return str(tmp_path / "log")
+
+    def test_info(self, log_dir, capsys):
+        from repro.tools.log_cli import main
+
+        assert main(["info", log_dir]) == 0
+        out = capsys.readouterr().out
+        assert "segment" in out
+        assert "offsets [0, 40)" in out
+        assert "durable_end=40" in out
+        assert "group grp: offset 10, lag 30" in out
+
+    def test_info_empty_dir(self, tmp_path, capsys):
+        from repro.tools.log_cli import main
+
+        assert main(["info", str(tmp_path)]) == 1
+
+    def test_tail_newest_and_from_offset(self, log_dir, capsys):
+        from repro.tools.log_cli import main
+
+        assert main(["tail", log_dir, "-n", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        assert main(["tail", log_dir, "--from-offset", "38"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_truncate_check_clean_and_torn(self, log_dir, capsys):
+        from repro.tools.log_cli import main
+
+        assert main(["truncate-check", log_dir]) == 0
+        assert "clean" in capsys.readouterr().out
+        # Tear the tail segment: exit 1, and the log is untouched.
+        bases = sorted(
+            int(name[:-4])
+            for name in os.listdir(log_dir)
+            if name.endswith(".seg")
+        )
+        tail = segment_path(log_dir, bases[-1])
+        with open(tail, "ab") as f:
+            f.write(b"\xff\xff\xff\xff torn")
+        size = os.path.getsize(tail)
+        assert main(["truncate-check", log_dir]) == 1
+        assert "torn tail" in capsys.readouterr().out
+        assert os.path.getsize(tail) == size
+
+    def test_offsets_list_and_set(self, log_dir, capsys):
+        from repro.tools.log_cli import main
+
+        assert main(["offsets", log_dir]) == 0
+        assert "grp\t10\t30" in capsys.readouterr().out
+        assert main(["offsets", log_dir, "--set", "replay=0"]) == 0
+        capsys.readouterr()
+        assert main(["offsets", log_dir]) == 0
+        assert "replay\t0\t40" in capsys.readouterr().out
+        assert main(["offsets", log_dir, "--set", "bad"]) == 2
+        assert main(["offsets", log_dir, "--set", "grp=999"]) == 2
+
+    def test_replay_cli_reads_log_directory(self, log_dir, tmp_path, capsys):
+        from repro.picl.format import PiclReader
+        from repro.tools.replay_cli import main
+
+        out = tmp_path / "replayed.picl"
+        assert main([log_dir, str(out)]) == 0
+        with open(out) as stream:
+            assert sum(1 for _ in PiclReader(stream)) == 40
+        capsys.readouterr()
+        assert main([log_dir, str(out), "--from-offset", "30"]) == 0
+        with open(out) as stream:
+            assert sum(1 for _ in PiclReader(stream)) == 10
+
+
+# ----------------------------------------------------------------------
+# checkpoint file shape (tooling depends on it)
+# ----------------------------------------------------------------------
+def test_checkpoint_is_sorted_json(tmp_path):
+    log = CommitLog(tmp_path, LogConfig(fsync="off"))
+    _fill(log, 3)
+    log.sync({2: 9, 1: 4})
+    with open(tmp_path / CHECKPOINT_FILE, encoding="ascii") as stream:
+        payload = json.load(stream)
+    assert payload == {
+        "durable_end": 3,
+        "sources": {"1": 4, "2": 9},
+        "fsync": "off",
+    }
+    log.close()
+
+
+def test_scan_segment_reports_positions_and_last_ts(tmp_path):
+    log = CommitLog(tmp_path, LogConfig(fsync="off"))
+    recs = _fill(log, 5)
+    log.sync()
+    log.close()
+    scan = scan_segment(segment_path(str(tmp_path), 0))
+    assert scan.record_count == 5
+    assert scan.last_timestamp == recs[-1].timestamp
+    assert len(scan.positions) == 5
+    assert scan.positions[0] == SEGMENT_HEADER.size
+    assert scan.valid_end == scan.file_size
+
+
+def test_make_record_appends_via_log_consumer(tmp_path):
+    # The suite's canonical benchmark record survives the log unchanged.
+    log = CommitLog(tmp_path, LogConfig(fsync="off"))
+    record = make_record(timestamp=42_000_000, node_id=3)
+    LogConsumer(log).deliver(record)
+    assert log.read(0, 1) == [record]
+    log.close()

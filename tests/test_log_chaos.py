@@ -1,0 +1,301 @@
+"""SIGKILL-the-ISM chaos for the durable commit log (PR 8 acceptance).
+
+The contract durable mode buys: **no record acked to an EXS is ever
+lost**.  Acks are gated on the log — deliver, fsync, checkpoint, only
+then quote the seq on the wire — so a SIGKILL'd ISM comes back, recovery
+truncates the torn/unacked tail to the checkpoint, the EXS outboxes
+retransmit exactly the unacked remainder, and the finished log holds
+every record exactly once, in delivery order.  Proven here for BOTH
+deployments (single-process ``IsmServer`` and sharded
+``ShardedIsmServer``), plus the graceful-degradation half of the story:
+a log that stops taking writes stops the acks but never the service.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import native
+from repro.core.consumers import LogConsumer
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.records import EventRecord, FieldType
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.log import CHECKPOINT_FILE, CommitLog, DiskFaults, LogConfig, iter_log
+from repro.runtime import attach_shared_ring, create_shared_ring
+from repro.runtime.exs_proc import resilient_exs_main
+from repro.runtime.ism_proc import IsmServer, ShardedIsmServer
+from repro.wire import protocol
+from repro.wire.tcp import MessageListener, connect
+from tests.conftest import wait_until
+
+
+@pytest.fixture(scope="module")
+def mp_ctx():
+    return mp.get_context("spawn")
+
+
+def _free_port() -> int:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _read_checkpoint(log_dir: str) -> dict | None:
+    try:
+        with open(os.path.join(log_dir, CHECKPOINT_FILE), encoding="ascii") as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+_LOG_CONFIG = LogConfig(fsync="off", segment_bytes=1 << 16)
+
+
+# ----------------------------------------------------------------------
+# spawn targets (module-level for the spawn context)
+# ----------------------------------------------------------------------
+def _chaos_app_main(ring_name: str, n_records: int, node_id: int) -> None:
+    shared = attach_shared_ring(ring_name)
+    try:
+        sensor = Sensor(shared.ring, node_id=node_id)
+        sent = 0
+        while sent < n_records:
+            if sensor.notice_ints(7, sent):
+                sent += 1
+            else:
+                time.sleep(0.001)
+    finally:
+        shared.close()
+
+
+def _durable_ism_main(log_dir: str, port: int, mode: str) -> None:
+    """An ISM with a durable commit-log sink; serves until it is killed.
+
+    Opening the log IS recovery, so the same target serves as both the
+    first incarnation and the restarted one.
+    """
+    listener = MessageListener("127.0.0.1", port)
+    log = CommitLog(log_dir, _LOG_CONFIG)
+    sink = LogConsumer(log, close_log=True)
+    ism_config = IsmConfig(sorter=SorterConfig(initial_frame_us=1_000))
+    if mode == "single":
+        manager = InstrumentationManager(ism_config, [sink])
+        server = IsmServer(manager, listener, durable_sink=sink)
+        server.serve(duration_s=300.0)
+    else:
+        server = ShardedIsmServer(
+            [sink],
+            listener,
+            shards=2,
+            partition_by="node",
+            ism_config=ism_config,
+            commit_interval_s=0.02,
+            durable_sink=sink,
+        )
+        server.serve(duration_s=300.0)
+
+
+# ----------------------------------------------------------------------
+# the acceptance chaos run
+# ----------------------------------------------------------------------
+class TestDurableIsmKill:
+    @pytest.mark.timeout(300)
+    @pytest.mark.parametrize("mode", ["single", "sharded"])
+    def test_sigkill_mid_append_loses_no_acked_record(self, mp_ctx, mode, tmp_path):
+        n = 4_000
+        log_dir = str(tmp_path / "log")
+        port = _free_port()
+        shared = create_shared_ring(1 << 20)
+        app = mp_ctx.Process(target=_chaos_app_main, args=(shared.name, n, 1))
+        exs = mp_ctx.Process(
+            target=resilient_exs_main,
+            args=(shared.name, "127.0.0.1", port, 1, 1, n),
+            kwargs={"ack_timeout_s": 1.0},
+        )
+        ism = mp_ctx.Process(
+            target=_durable_ism_main, args=(log_dir, port, mode)
+        )
+        ism.start()
+        app.start()
+        exs.start()
+        ism2 = None
+        try:
+            # Let real acked work accumulate — the checkpoint only exists
+            # once acks have been gated on it — then SIGKILL mid-append.
+            def checkpoint_past_threshold():
+                checkpoint = _read_checkpoint(log_dir)
+                return checkpoint is not None and checkpoint["durable_end"] > n // 6
+
+            wait_until(checkpoint_past_threshold, timeout=120.0, interval=0.02)
+            os.kill(ism.pid, signal.SIGKILL)
+            ism.join(timeout=10)
+            assert not ism.is_alive()
+
+            # The acked prefix must be on disk in full: everything below
+            # the checkpoint's durable_end survives the kill.
+            checkpoint = _read_checkpoint(log_dir)
+            durable_end = checkpoint["durable_end"]
+            raw = list(iter_log(log_dir))
+            assert len(raw) >= durable_end, "acked records lost"
+            acked_prefix = raw[:durable_end]
+
+            # Recovery truncates the torn/unacked tail cleanly, back to
+            # exactly the ack frontier.
+            recovered = CommitLog(log_dir, _LOG_CONFIG)
+            assert recovered.end_offset == durable_end
+            assert list(recovered.iter_from(0)) == acked_prefix
+            assert recovered.source_watermarks() == {
+                int(k): v for k, v in checkpoint["sources"].items()
+            }
+            recovered.close()
+
+            # Restart on the same port: the EXS reconnects, the
+            # HelloReply quotes the durable watermark, the outbox
+            # retransmits the unacked remainder.  The EXS process exits
+            # only once all n records are acked.
+            ism2 = mp_ctx.Process(
+                target=_durable_ism_main, args=(log_dir, port, mode)
+            )
+            ism2.start()
+            exs.join(timeout=180)
+            assert exs.exitcode == 0, "EXS never got everything acked"
+            # Kill the second incarnation too — by now every record is
+            # acked, hence checkpointed, hence recoverable.
+            os.kill(ism2.pid, signal.SIGKILL)
+            ism2.join(timeout=10)
+        finally:
+            for proc in (app, exs, ism, ism2):
+                if proc is not None and proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=10)
+            shared.close()
+
+        final = CommitLog(log_dir, _LOG_CONFIG)
+        records = list(final.iter_from(0))
+        # Exactly once, all of them: acked-then-truncated tails never
+        # duplicate, recovery-seeded dedup absorbs the retransmissions.
+        values = [r.values[0] for r in records]
+        assert sorted(values) == list(range(n))
+        # Delivery order survived the crash (single source: log order is
+        # source order).
+        assert values == sorted(values)
+
+        # Late-joining consumer group: replay from offset 0 is
+        # byte-identical to the live delivery stream (the log itself).
+        replay = final.consumer("late-joiner", start=0)
+        replayed: list[EventRecord] = []
+        while True:
+            chunk = replay.read(512)
+            if not chunk:
+                break
+            replayed.extend(chunk)
+        replay.commit()
+        assert b"".join(native.pack_record(r) for r in replayed) == b"".join(
+            native.pack_record(r) for r in records
+        )
+        assert final.committed_offset("late-joiner") == n
+        final.close()
+
+
+# ----------------------------------------------------------------------
+# graceful degradation: broken disk stops acks, never the service
+# ----------------------------------------------------------------------
+def _ack_reader(conn, state: dict, stop: threading.Event) -> None:
+    while not stop.is_set():
+        try:
+            msg = conn.recv(timeout=0.1)
+        except OSError:
+            return
+        if isinstance(msg, protocol.Ack):
+            state["acked"] = max(state["acked"], msg.up_to_seq)
+        elif isinstance(msg, protocol.HelloReply):
+            state["hello"] = True
+
+
+class TestBrokenLogDegradation:
+    @pytest.mark.timeout(60)
+    def test_enospc_stops_acks_keeps_serving(self, tmp_path):
+        faults = DiskFaults()
+        log = CommitLog(tmp_path / "log", _LOG_CONFIG, faults=faults)
+        sink = LogConsumer(log, close_log=True)
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0, decay_lambda=0.0)),
+            [sink],
+        )
+        listener = MessageListener("127.0.0.1", 0)
+        server = IsmServer(manager, listener, durable_sink=sink)
+        serve = threading.Thread(
+            target=server.serve, kwargs={"duration_s": 45.0}
+        )
+        serve.start()
+        conn = connect("127.0.0.1", listener.address[1])
+        state = {"acked": -1, "hello": False}
+        stop = threading.Event()
+        reader = threading.Thread(target=_ack_reader, args=(conn, state, stop))
+        reader.start()
+
+        def batch(seq: int) -> protocol.Batch:
+            base = (seq - 1) * 10
+            return protocol.Batch(
+                exs_id=1,
+                seq=seq,
+                records=[
+                    EventRecord(
+                        event_id=7,
+                        timestamp=1_000_000 + base + i,
+                        field_types=(FieldType.X_UINT,),
+                        values=(base + i,),
+                        node_id=1,
+                    )
+                    for i in range(10)
+                ],
+            )
+
+        try:
+            conn.send(
+                protocol.Hello(
+                    exs_id=1, node_id=1, advertised_rate=0, wants_ack=True
+                )
+            )
+            wait_until(lambda: state["hello"])
+            for seq in range(1, 21):
+                conn.send(batch(seq))
+            # A healthy log acks everything it has synced.
+            wait_until(lambda: state["acked"] == 20)
+
+            # Now the disk fills up.  Later appends fail, the log poisons
+            # itself, and the durable gate must withhold every new ack.
+            faults.enospc_after_bytes = faults.bytes_written
+            for seq in range(21, 41):
+                conn.send(batch(seq))
+            # The ISM keeps serving: every batch is still received and
+            # admitted (the EXS outbox is what holds the stream safe).
+            wait_until(lambda: manager.stats.records_received >= 400)
+            wait_until(lambda: int(server.durable_sync_errors) >= 1)
+            assert log.broken is not None
+            assert state["acked"] == 20  # not one ack past the failure
+            assert 1 in server.connections  # the peer was not dropped
+        finally:
+            stop.set()
+            server.stop()
+            serve.join(timeout=20)
+            reader.join(timeout=5)
+            conn.close()
+            manager.close()
+            listener.close()
+        # What was acked is still readable from the committed prefix.
+        assert [r.values[0] for r in iter_log(tmp_path / "log")] == list(
+            range(200)
+        )
