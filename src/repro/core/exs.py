@@ -32,6 +32,7 @@ from typing import Callable, Sequence
 from repro.clocksync.clocks import CorrectedClock
 from repro.core import native
 from repro.core.filtering import FilterState
+from repro.core.predicate import CompiledFilterState
 from repro.core.records import EventRecord
 from repro.core.ringbuffer import RingBuffer
 from repro.wire import protocol
@@ -118,7 +119,14 @@ class ExternalSensor:
         self.config = config
         self.stats = ExsStats()
         #: Source-side filter pushed down by the ISM (None = keep all).
-        self.filter: FilterState | None = None
+        #: Installed via :meth:`on_set_filter` as a compiled predicate;
+        #: a plain :class:`FilterState` is also honored (post-decode).
+        self.filter: CompiledFilterState | FilterState | None = None
+        #: Version of the installed filter (0 = none / legacy install).
+        #: Epochs make the ISM's re-apply-on-reconnect idempotent: a
+        #: re-sent spec neither resets sampling counters nor can an
+        #: out-of-order older spec overwrite a newer one.
+        self.filter_epoch = 0
         self._seq = 0
         self._pending: list[EventRecord] = []
         self._pending_bytes = 0
@@ -199,6 +207,15 @@ class ExternalSensor:
         # per poll, not once per record.
         node_id = self.node_id
         record_filter = self.filter
+        # A compiled filter decides on the packed payload *before* decode
+        # (a dropped record never pays decode/correction/encode); a plain
+        # FilterState decides on the decoded record, as before.
+        admit_payload = (
+            record_filter.admit_payload
+            if isinstance(record_filter, CompiledFilterState)
+            else None
+        )
+        admit_record = record_filter.admit if admit_payload is None and record_filter is not None else None
         config = self.config
         compress_meta = config.compress_meta
         delta_ts = config.delta_ts
@@ -207,6 +224,9 @@ class ExternalSensor:
         unpack_stamped = native.unpack_record_stamped
         wire_size = protocol.record_wire_size
         for payload in drained:
+            if admit_payload is not None and not admit_payload(payload):
+                self.stats.records_filtered += 1
+                continue
             # Decode + correction + node stamping fused into one trusted
             # construction: the payload was validated when the sensor
             # packed it, so the validated-copy constructors are pure
@@ -214,7 +234,7 @@ class ExternalSensor:
             # slow path inside the fused decoder — those field values must
             # shift with the timestamp.
             corrected = unpack_stamped(payload, node_id, correction)
-            if record_filter is not None and not record_filter.admit(corrected):
+            if admit_record is not None and not admit_record(corrected):
                 self.stats.records_filtered += 1
                 continue
             self._pending.append(corrected)
@@ -316,9 +336,23 @@ class ExternalSensor:
         self.clock.advance(msg.correction)
 
     def on_set_filter(self, msg: "protocol.SetFilter") -> None:
-        """Install (or clear) the ISM-pushed source-side filter."""
+        """Install (or clear) the ISM-pushed source-side filter.
+
+        Epoch discipline (steering extension): a message older than the
+        installed epoch is ignored (it was reordered past a newer spec),
+        and a re-send of the installed epoch is a no-op — the ISM re-sends
+        the desired spec after every reconnect, and the no-op is what
+        keeps sampling counters (and therefore which records a
+        ``sample_every`` keeps) stable across the resume.  Legacy frames
+        (epoch 0) install unconditionally, as before.
+        """
+        epoch = msg.filter_epoch
+        if epoch:
+            if epoch <= self.filter_epoch:
+                return
+            self.filter_epoch = epoch
         spec = msg.to_spec()
-        self.filter = None if spec.is_pass_through else FilterState(spec)
+        self.filter = None if spec.is_pass_through else CompiledFilterState(spec)
 
 
 def run_exs_loop(

@@ -1,13 +1,16 @@
 """Event filtering: "users can only specify what to monitor" (§2).
 
-A :class:`FilterSpec` declares *what* to keep — by event id, node, and a
-sampling ratio — and is enforceable at two altitudes:
+A :class:`FilterSpec` declares *what* to keep — by event id, node, field
+predicates, and a sampling ratio — and is enforceable at two altitudes:
 
 * **at the external sensor** (the interesting case): the ISM pushes a
   spec to an EXS over the control channel
   (:class:`repro.wire.protocol.SetFilter`), and records that fail it are
   dropped *before* XDR encoding and transfer — the §2 trade of
-  completeness against transfer volume, applied at the source;
+  completeness against transfer volume, applied at the source.  The EXS
+  evaluates the spec through the compiled form
+  (:mod:`repro.core.predicate`), which tests the packed ring payload
+  without decoding it;
 * **at a consumer** (:class:`FilteringConsumer`): a local view for one
   tool without affecting what other consumers see.
 
@@ -17,9 +20,61 @@ a rare event is not starved by a chatty one sharing the stream.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
+from typing import Any, Callable, Sequence
 
 from repro.core.records import EventRecord
+
+#: Comparison operators a :class:`FieldTest` may use.  The tuple index is
+#: the operator's wire code in :class:`repro.wire.protocol.SetFilter`.
+FIELD_TEST_OPS: tuple[str, ...] = ("eq", "ne", "lt", "le", "gt", "ge")
+
+_OP_FNS: dict[str, Callable[[Any, Any], bool]] = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+}
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+@dataclass(frozen=True)
+class FieldTest:
+    """One pushed-down predicate over a record field: ``values[i] <op> v``.
+
+    Tests are numeric: a record whose ``field_index``-th field is missing
+    or non-numeric (string/opaque) fails the test — predicates select
+    records they can actually evaluate.  Field tests on ``X_TS`` fields
+    compare the sensor-written (pre-correction) value: the source-side
+    filter runs before the EXS applies its clock correction.
+    """
+
+    field_index: int
+    op: str
+    value: int | float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.field_index <= 254:
+            raise ValueError(f"field_index {self.field_index} outside [0, 254]")
+        if self.op not in _OP_FNS:
+            raise ValueError(f"unknown field-test op {self.op!r}")
+        if isinstance(self.value, bool) or not isinstance(self.value, (int, float)):
+            raise TypeError(f"field-test value must be numeric, got {self.value!r}")
+        if isinstance(self.value, int) and not _I64_MIN <= self.value <= _I64_MAX:
+            raise ValueError(f"field-test value {self.value} outside i64 range")
+
+    def evaluate(self, values: Sequence[Any]) -> bool:
+        """Apply the test to one record's value tuple."""
+        if self.field_index >= len(values):
+            return False
+        value = values[self.field_index]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        return _OP_FNS[self.op](value, self.value)
 
 
 @dataclass(frozen=True)
@@ -36,12 +91,15 @@ class FilterSpec:
         When not None, only records from these nodes pass.
     sample_every:
         Keep one record in every ``sample_every`` per event id (1 = all).
+    field_tests:
+        Pushed-down value predicates; every test must pass (conjunction).
     """
 
     allowed_events: frozenset[int] | None = None
     blocked_events: frozenset[int] = frozenset()
     allowed_nodes: frozenset[int] | None = None
     sample_every: int = 1
+    field_tests: tuple[FieldTest, ...] = ()
 
     def __post_init__(self) -> None:
         if self.sample_every < 1:
@@ -55,6 +113,11 @@ class FilterSpec:
             object.__setattr__(
                 self, "blocked_events", frozenset(self.blocked_events)
             )
+        if not isinstance(self.field_tests, tuple):
+            object.__setattr__(self, "field_tests", tuple(self.field_tests))
+        for test in self.field_tests:
+            if not isinstance(test, FieldTest):
+                raise TypeError(f"field_tests entries must be FieldTest, got {test!r}")
 
     @property
     def is_pass_through(self) -> bool:
@@ -64,16 +127,31 @@ class FilterSpec:
             and not self.blocked_events
             and self.allowed_nodes is None
             and self.sample_every == 1
+            and not self.field_tests
         )
 
     def admits(self, record: EventRecord) -> bool:
-        """Static (non-sampling) part of the filter."""
+        """Identity part of the filter (event/node sets only)."""
         if self.allowed_events is not None and record.event_id not in self.allowed_events:
             return False
         if record.event_id in self.blocked_events:
             return False
         if self.allowed_nodes is not None and record.node_id not in self.allowed_nodes:
             return False
+        return True
+
+    def matches(self, record: EventRecord) -> bool:
+        """Full static (non-sampling) decision: identity sets + field tests.
+
+        This is the reference semantics the compiled pushdown predicate
+        (:class:`repro.core.predicate.CompiledFilterState`) must agree
+        with on every record — the equivalence is property-tested.
+        """
+        if not self.admits(record):
+            return False
+        for test in self.field_tests:
+            if not test.evaluate(record.values):
+                return False
         return True
 
 
@@ -94,7 +172,7 @@ class FilterState:
 
     def admit(self, record: EventRecord) -> bool:
         """Full filter decision, advancing sampling state."""
-        if not self.spec.admits(record):
+        if not self.spec.matches(record):
             self.dropped += 1
             return False
         n = self.spec.sample_every

@@ -255,6 +255,17 @@ class InstrumentationManager:
             self._deliver_many(ready)
         return len(ready)
 
+    def inject(self, record: EventRecord) -> None:
+        """Deliver one manager-synthesized record to every consumer now.
+
+        The monitor engine's alert records enter here: they carry the
+        manager's own clock and must reach consumers (and the durable
+        log) immediately rather than queue behind the sorter's time
+        frame.  Failure isolation and the delivered-records accounting
+        are identical to the normal path.
+        """
+        self._deliver(record)
+
     def close(self) -> None:
         """Close every consumer (idempotent)."""
         if self._closed:

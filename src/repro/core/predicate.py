@@ -1,0 +1,249 @@
+"""Compiled source-side filter predicates over packed native payloads.
+
+The ISM pushes :class:`~repro.core.filtering.FilterSpec` down to external
+sensors at runtime; this module is the compile step that makes the pushed
+filter *cheap*.  A :class:`CompiledFilterState` evaluates the spec
+directly on the packed ring payload — the EXS poll loop asks it **before**
+decoding, so a dropped record never pays decode, clock correction, or XDR
+encoding:
+
+* the event and node ids are read with one ``struct`` peek from the fixed
+  header offsets, and the identity decision (whitelist/blocklist/node) is
+  memoized per id — steady state is a dict hit per record;
+* field tests compile against the same per-schema body codecs the native
+  decoder specializes (:mod:`repro.core.native`): one interleaved
+  ``Struct.unpack_from`` yields every field value, the tag comparison
+  proves the schema, and the precompiled ``(position, op, operand)`` plan
+  runs over the tuple — no :class:`EventRecord` is ever built;
+* variable-length schemas (strings/opaques) fall back to a full decode
+  plus the shared Python evaluation, so the compiled decision is *exactly*
+  :meth:`FilterSpec.matches` on the decoded record (property-tested).
+
+Field tests see the record as the sensor wrote it: node-local values,
+pre-correction timestamps.  That is the documented pushdown semantics —
+the filter runs at the source, upstream of the EXS's stamping pass.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable
+
+from repro.core import native
+from repro.core.filtering import _OP_FNS, FieldTest, FilterSpec
+from repro.core.records import EventRecord
+
+__all__ = ["CompiledFilterState"]
+
+#: ``event_id`` and ``node_id`` live at bytes 4..12 of the native header.
+_EVENT_NODE = struct.Struct("<II")
+#: One-shot header peek for the field-test path: ``total_length``,
+#: ``event_id``, ``node_id``, ``n_fields`` — everything the schema key
+#: and the identity decision need, in a single struct call.
+_HEADER = struct.Struct("<IIIH")
+
+#: Memo cap: an adversarial stream minting unbounded distinct event ids
+#: (or schemas) must not grow the decision caches without bound.  Past
+#: the cap the decision is recomputed per record (correct, just slower).
+_MAX_STATIC_MEMO = 4096
+
+#: Hoisted for the per-record hot path.
+_HEADER_SIZE = native.HEADER_SIZE
+
+
+def _compile_plan(
+    tests: tuple[FieldTest, ...], field_types: tuple
+) -> tuple[tuple[int, Callable[[Any, Any], bool], int | float], ...] | None:
+    """Compile *tests* against one specialized body codec's schema.
+
+    Returns ``(tuple_position, op_fn, operand)`` triples indexing into the
+    codec's interleaved ``(tag, value, tag, value, ...)`` unpack output,
+    or ``None`` when a test names a field the schema does not have — the
+    schema can never pass, and the cached ``None`` plan fails it without
+    unpack work.  Specialized codecs only exist for fixed-size schemas,
+    whose field types are all numeric — so no type check is needed per
+    value.
+    """
+    plan = []
+    for test in tests:
+        if test.field_index >= len(field_types):
+            return None
+        plan.append((1 + 2 * test.field_index, _OP_FNS[test.op], test.value))
+    return tuple(plan)
+
+
+class CompiledFilterState:
+    """A :class:`FilterSpec` compiled to run on packed native payloads.
+
+    Mirrors :class:`~repro.core.filtering.FilterState`'s surface
+    (``spec``/``dropped``/``passed``/``admit``) and adds
+    :meth:`admit_payload`, the pre-decode fast path the EXS drains
+    through.  Sampling counters are shared between both entry points, so
+    mixing them keeps the per-event-id modular arithmetic exact.
+    """
+
+    __slots__ = (
+        "spec",
+        "dropped",
+        "passed",
+        "admit_payload",
+        "_counters",
+        "_static",
+        "_node_sensitive",
+        "_tests",
+        "_sample_every",
+        "_schemas",
+    )
+
+    def __init__(self, spec: FilterSpec) -> None:
+        self.spec = spec
+        #: Records dropped by this filter.
+        self.dropped = 0
+        #: Records passed.
+        self.passed = 0
+        self._counters: dict[int, int] = {}
+        #: Identity-decision memo: event_id -> bool, or
+        #: (event_id, node_id) -> bool when the spec filters nodes.
+        self._static: dict[Any, bool] = {}
+        self._node_sensitive = spec.allowed_nodes is not None
+        self._tests = spec.field_tests
+        self._sample_every = spec.sample_every
+        #: Per-schema compiled entries keyed ``total << 16 | n_fields``:
+        #: a tuple of ``(unpack_from, tags, plan)`` per specialized codec
+        #: in that bucket (plan ``None`` = schema can never pass).
+        self._schemas: dict[int, tuple] = {}
+        #: The per-record entry point, bound once: specs without field
+        #: tests never branch on them in the hot loop.
+        self.admit_payload = (
+            self._admit_tests if spec.field_tests else self._admit_static
+        )
+
+    # ------------------------------------------------------------------
+    def _static_admit(self, event_id: int, node_id: int) -> bool:
+        spec = self.spec
+        if spec.allowed_events is not None and event_id not in spec.allowed_events:
+            return False
+        if event_id in spec.blocked_events:
+            return False
+        if spec.allowed_nodes is not None and node_id not in spec.allowed_nodes:
+            return False
+        return True
+
+    def _sample(self, event_id: int) -> bool:
+        """Advance the per-event-id sampling counter; True = keep."""
+        n = self._sample_every
+        if n > 1:
+            count = self._counters.get(event_id, 0)
+            self._counters[event_id] = count + 1
+            if count % n:
+                self.dropped += 1
+                return False
+        self.passed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # admit_payload is one of the two bound methods below, chosen once in
+    # __init__ — the hot loop never branches on spec shape per record.
+    # ------------------------------------------------------------------
+    def _admit_static(self, payload: bytes) -> bool:
+        """Payload decision for specs without field tests: one header
+        peek, one memo hit, the sampling counter."""
+        event_id, node_id = _EVENT_NODE.unpack_from(payload, 4)
+        key = (event_id, node_id) if self._node_sensitive else event_id
+        static = self._static.get(key)
+        if static is None:
+            static = self._static_admit(event_id, node_id)
+            if len(self._static) < _MAX_STATIC_MEMO:
+                self._static[key] = static
+        if not static:
+            self.dropped += 1
+            return False
+        # _sample, inlined: the sampling counter is the common tail of
+        # every admitted record and a call frame per record is measurable.
+        n = self._sample_every
+        if n > 1:
+            count = self._counters.get(event_id, 0)
+            self._counters[event_id] = count + 1
+            if count % n:
+                self.dropped += 1
+                return False
+        self.passed += 1
+        return True
+
+    def _admit_tests(self, payload: bytes) -> bool:
+        """Payload decision for specs with field tests: one header peek,
+        one schema-cache hit, one interleaved unpack, the compiled plan."""
+        total, event_id, node_id, n_fields = _HEADER.unpack_from(payload, 0)
+        key = (event_id, node_id) if self._node_sensitive else event_id
+        static = self._static.get(key)
+        if static is None:
+            static = self._static_admit(event_id, node_id)
+            if len(self._static) < _MAX_STATIC_MEMO:
+                self._static[key] = static
+        if not static:
+            self.dropped += 1
+            return False
+        schema_key = total << 16 | n_fields
+        entries = self._schemas.get(schema_key)
+        if entries is None:
+            entries = self._compile_schema(schema_key, total, n_fields)
+        for unpack_from, tags, plan in entries:
+            vals = unpack_from(payload, _HEADER_SIZE)
+            if vals[0::2] == tags:
+                if plan is None:
+                    self.dropped += 1
+                    return False
+                for pos, op_fn, operand in plan:
+                    if not op_fn(vals[pos], operand):
+                        self.dropped += 1
+                        return False
+                n = self._sample_every
+                if n > 1:
+                    count = self._counters.get(event_id, 0)
+                    self._counters[event_id] = count + 1
+                    if count % n:
+                        self.dropped += 1
+                        return False
+                self.passed += 1
+                return True
+        return self._admit_tests_fallback(payload, event_id, total, n_fields, entries)
+
+    def admit(self, record: EventRecord) -> bool:
+        """Decoded-record entry point, identical in effect to
+        :meth:`FilterState.admit <repro.core.filtering.FilterState.admit>`."""
+        if not self.spec.matches(record):
+            self.dropped += 1
+            return False
+        return self._sample(record.event_id)
+
+    # ------------------------------------------------------------------
+    def _compile_schema(self, schema_key: int, total: int, n_fields: int):
+        """Build (and cache) the compiled entries for one schema bucket."""
+        bucket = native._SPECIALIZED.get((total, n_fields), ())
+        entries = tuple(
+            (codec.unpack_from, codec.tags,
+             _compile_plan(self._tests, codec.field_types))
+            for codec in bucket
+        )
+        if len(self._schemas) < _MAX_STATIC_MEMO:
+            self._schemas[schema_key] = entries
+        return entries
+
+    def _admit_tests_fallback(
+        self, payload: bytes, event_id: int, total: int, n_fields: int, entries
+    ) -> bool:
+        """Variable-length (or not-yet-specialized) schema: decode once
+        and share the reference evaluation.  ``unpack_record`` registers
+        a specialized codec for fixed-size schemas as a side effect; when
+        that grows the bucket past the cached snapshot, the snapshot is
+        invalidated so the next record of this schema takes the compiled
+        path."""
+        record, _ = native.unpack_record(payload)
+        bucket = native._SPECIALIZED.get((total, n_fields))
+        if bucket is not None and len(bucket) != len(entries):
+            self._schemas.pop(total << 16 | n_fields, None)
+        for test in self._tests:
+            if not test.evaluate(record.values):
+                self.dropped += 1
+                return False
+        return self._sample(event_id)

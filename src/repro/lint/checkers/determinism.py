@@ -41,6 +41,7 @@ ZONE_PREFIXES = (
     "src/repro/core/",
     "src/repro/obs/",
     "src/repro/log/",
+    "src/repro/monitor/",
 )
 #: Runtime files opted into the zone individually: they time themselves
 #: exclusively through the sanctioned ``repro.util.timebase`` interface,

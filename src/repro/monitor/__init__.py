@@ -1,0 +1,36 @@
+"""Adaptive steering: declarative runtime monitors evaluated at the ISM.
+
+Public surface:
+
+* :class:`~repro.monitor.spec.MonitorSpec` (and its parts
+  :class:`~repro.monitor.spec.MonitorRule`,
+  :class:`~repro.monitor.spec.Condition`,
+  :class:`~repro.monitor.spec.Action`) — the JSON-loadable rule language;
+* :class:`~repro.monitor.engine.MonitorEngine` — the consumer that
+  evaluates a spec against the live delivered stream and actuates over
+  an :class:`~repro.monitor.engine.Actuator`;
+* :data:`~repro.monitor.engine.ALERT_EVENT_ID` — the event id alert
+  records carry through the normal pipeline.
+"""
+
+from repro.monitor.engine import ALERT_EVENT_ID, Actuator, MonitorEngine
+from repro.monitor.spec import (
+    ACTION_KINDS,
+    CONDITION_KINDS,
+    Action,
+    Condition,
+    MonitorRule,
+    MonitorSpec,
+)
+
+__all__ = [
+    "ACTION_KINDS",
+    "ALERT_EVENT_ID",
+    "Action",
+    "Actuator",
+    "CONDITION_KINDS",
+    "Condition",
+    "MonitorEngine",
+    "MonitorRule",
+    "MonitorSpec",
+]

@@ -1,0 +1,295 @@
+"""The runtime monitor engine: incremental rule evaluation at the ISM.
+
+The engine is an ordinary :class:`~repro.core.consumers.Consumer` — it is
+appended to the manager's consumer list and sees exactly the delivered
+stream every tool sees (including the self-emitted 0xB0B5 metric records
+of :mod:`repro.obs.reporter`, which it folds into a latest-value map).
+Delivery only *counts*; every decision is made in :meth:`MonitorEngine.
+tick`, which the host drives with its own clock — the serve loop's
+``now_micros()`` in live deployments, the virtual clock in the
+simulator.  No wall-clock reads happen here, so the engine sits inside
+the determinism zone and steering scenarios replay bit-identically.
+
+Rates use a ring of fixed-width buckets rotated by ``tick``: delivery
+increments the current bucket's ``(node, event)`` counter, and a rule's
+window is the sum of the newest ``ceil(window_us / bucket_us)`` completed
+buckets plus the still-accumulating one (so counts delivered since the
+last tick are never invisible to the window that ends now).
+Rule state machines add hysteresis (trip above the threshold, clear only
+at ``clear_factor`` of it) and a post-clear cooldown so a hovering value
+cannot flap actions on and off every tick.
+
+Actions actuate through the :class:`Actuator` protocol the host
+implements: pushing filters over the control channel, requesting an
+extra clock-sync round, and injecting alert records — which carry
+:data:`ALERT_EVENT_ID` and flow through the normal delivery path to
+every consumer, durable log included.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.filtering import FilterSpec
+from repro.core.records import EventRecord, FieldType
+from repro.monitor.spec import Action, MonitorRule, MonitorSpec
+from repro.obs.reporter import METRICS_EVENT_ID, metric_from_record
+
+__all__ = ["ALERT_EVENT_ID", "Actuator", "MonitorEngine"]
+
+#: Event id of engine-injected alert records.  Adjacent to the metrics id
+#: (0xB0B5) in the reserved self-instrumentation range.
+ALERT_EVENT_ID = 0x0B_0B6
+
+
+class Actuator(Protocol):
+    """What a host must provide for the engine to act on the system."""
+
+    def push_filter(self, exs_id: int, spec: FilterSpec) -> bool:
+        """Push *spec* to the EXS for node *exs_id*; False if undeliverable
+        right now (the host re-applies on reconnect)."""
+        ...
+
+    def request_sync_round(self) -> None:
+        """Ask the clock-sync master for an extra round."""
+        ...
+
+    def emit_alert(self, record: EventRecord) -> None:
+        """Inject an alert record into the delivered stream."""
+        ...
+
+
+class _RuleState:
+    """Per-rule trip bookkeeping: active nodes, clear times, fire counts."""
+
+    __slots__ = ("active", "last_clear", "fires", "clears")
+
+    def __init__(self) -> None:
+        self.active: set[int] = set()
+        self.last_clear: dict[int, int] = {}
+        self.fires = 0
+        self.clears = 0
+
+
+class MonitorEngine:
+    """Evaluate a :class:`MonitorSpec` against the live delivered stream.
+
+    Parameters
+    ----------
+    spec:
+        The rules to run.
+    actuator:
+        The host's control surface (:class:`Actuator`).
+
+    The engine implements the consumer protocol (``deliver`` /
+    ``deliver_many`` / ``close``) and a host-clocked :meth:`tick`.
+    """
+
+    def __init__(self, spec: MonitorSpec, actuator: Actuator) -> None:
+        self.spec = spec
+        self.actuator = actuator
+        self._bucket_us = spec.bucket_us
+        windows = [rule.when.window_us for rule in spec.rules]
+        max_window = max(windows, default=spec.bucket_us)
+        #: Ring length: enough whole buckets to cover the longest window.
+        self._ring_len = max(1, -(-max_window // spec.bucket_us))
+        #: Newest bucket last; each maps (node_id, event_id) -> count.
+        self._buckets: list[dict[tuple[int, int], int]] = [{}]
+        self._bucket_start: int | None = None
+        #: Latest self-reported metric values, keyed (node_id, name).
+        self._metrics: dict[tuple[int, str], float] = {}
+        self._states: dict[str, _RuleState] = {
+            rule.name: _RuleState() for rule in spec.rules
+        }
+        #: Total actions actuated (all kinds).
+        self.actions_fired = 0
+        #: Alert records injected.
+        self.alerts_emitted = 0
+        #: Filter pushes the actuator could not deliver immediately.
+        self.pushes_deferred = 0
+
+    # ------------------------------------------------------------------
+    # consumer protocol
+    # ------------------------------------------------------------------
+    def deliver(self, record: EventRecord) -> None:
+        """Count one delivered record into the current rate bucket."""
+        if record.event_id == ALERT_EVENT_ID:
+            return  # our own alerts must not feed back into the rules
+        if record.event_id == METRICS_EVENT_ID:
+            decoded = metric_from_record(record)
+            if decoded is not None:
+                self._metrics[(record.node_id, decoded[0])] = decoded[1]
+            return
+        key = (record.node_id, record.event_id)
+        bucket = self._buckets[-1]
+        bucket[key] = bucket.get(key, 0) + 1
+
+    def deliver_many(self, records: Sequence[EventRecord]) -> None:
+        """Bulk form of :meth:`deliver`."""
+        for record in records:
+            self.deliver(record)
+
+    def close(self) -> None:
+        """Nothing to release; present for the consumer protocol."""
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def tick(self, now_us: int) -> int:
+        """Rotate rate buckets and evaluate every rule at *now_us*.
+
+        Returns the number of actions actuated this tick.  All engine
+        time flows through this method — callers pick the clock.
+        """
+        self._rotate(now_us)
+        fired = 0
+        for rule in self.spec.rules:
+            fired += self._evaluate(rule, now_us)
+        return fired
+
+    def _rotate(self, now_us: int) -> None:
+        if self._bucket_start is None:
+            self._bucket_start = now_us
+            return
+        steps = (now_us - self._bucket_start) // self._bucket_us
+        if steps <= 0:
+            return
+        if steps > self._ring_len:
+            # Idle longer than the whole window: every bucket is stale.
+            self._buckets = [{}]
+            self._bucket_start = now_us
+            return
+        for _ in range(steps):
+            self._buckets.append({})
+        # Retain one bucket beyond the longest window: the newest entry
+        # is the fresh accumulator, so a full window of completed history
+        # must survive behind it.
+        del self._buckets[: -(self._ring_len + 1)]
+        self._bucket_start += steps * self._bucket_us
+
+    # -- value computation ---------------------------------------------
+    def _rates(self, rule: MonitorRule) -> dict[int, float]:
+        """Per-node rate (records/second) for the rule's window."""
+        when = rule.when
+        n_buckets = max(1, -(-when.window_us // self._bucket_us))
+        totals: dict[int, int] = {}
+        # The slice covers the window's completed buckets plus the
+        # accumulating one (see the module docstring).
+        for bucket in self._buckets[-(n_buckets + 1):]:
+            for (node_id, event_id), count in bucket.items():
+                if when.event_id is not None and event_id != when.event_id:
+                    continue
+                if when.node_id is not None and node_id != when.node_id:
+                    continue
+                totals[node_id] = totals.get(node_id, 0) + count
+        scale = 1e6 / when.window_us
+        values = {node: count * scale for node, count in totals.items()}
+        if when.node_id is not None:
+            # Pinned-node conditions always yield a value, so the rule
+            # can clear (rate 0) once the node goes quiet.
+            values.setdefault(when.node_id, 0.0)
+        return values
+
+    def _metric_values(self, rule: MonitorRule) -> dict[int, float]:
+        when = rule.when
+        assert when.metric is not None
+        values: dict[int, float] = {}
+        for (node_id, name), value in self._metrics.items():
+            if name != when.metric:
+                continue
+            if when.node_id is not None and node_id != when.node_id:
+                continue
+            values[node_id] = value
+        return values
+
+    # -- rule state machine --------------------------------------------
+    def _evaluate(self, rule: MonitorRule, now_us: int) -> int:
+        if rule.when.kind == "rate":
+            values = self._rates(rule)
+            # Active nodes that produced nothing this window have rate 0;
+            # surface that explicitly so they can clear.
+            state = self._states[rule.name]
+            for node in state.active:
+                values.setdefault(node, 0.0)
+        else:
+            values = self._metric_values(rule)
+            state = self._states[rule.name]
+        fired = 0
+        when = rule.when
+        for node, value in sorted(values.items()):
+            if node in state.active:
+                if when.cleared(value):
+                    state.active.discard(node)
+                    state.last_clear[node] = now_us
+                    state.clears += 1
+                    fired += self._actuate(rule, rule.on_clear, node, value, now_us)
+            elif when.tripped(value):
+                last_clear = state.last_clear.get(node)
+                if (
+                    rule.cooldown_us
+                    and last_clear is not None
+                    and now_us - last_clear < rule.cooldown_us
+                ):
+                    continue
+                state.active.add(node)
+                state.fires += 1
+                fired += self._actuate(rule, rule.do, node, value, now_us)
+        return fired
+
+    # -- actuation ------------------------------------------------------
+    def _actuate(
+        self,
+        rule: MonitorRule,
+        actions: tuple[Action, ...],
+        node: int,
+        value: float,
+        now_us: int,
+    ) -> int:
+        fired = 0
+        for action in actions:
+            spec = action.filter_spec()
+            if spec is not None:
+                target = action.target if action.target is not None else node
+                if not self.actuator.push_filter(target, spec):
+                    self.pushes_deferred += 1
+            elif action.kind == "sync_round":
+                self.actuator.request_sync_round()
+            elif action.kind == "alert":
+                self.actuator.emit_alert(
+                    self._alert_record(rule.name, node, value, now_us)
+                )
+                self.alerts_emitted += 1
+            fired += 1
+            self.actions_fired += 1
+        return fired
+
+    @staticmethod
+    def _alert_record(
+        rule_name: str, node: int, value: float, now_us: int
+    ) -> EventRecord:
+        """Build one alert record: (rule name, tripping node, value)."""
+        return EventRecord(
+            event_id=ALERT_EVENT_ID,
+            timestamp=now_us,
+            field_types=(
+                FieldType.X_STRING,
+                FieldType.X_UINT,
+                FieldType.X_DOUBLE,
+            ),
+            values=(rule_name, node, float(value)),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection (tests, stats dumps)
+    # ------------------------------------------------------------------
+    def active_rules(self) -> dict[str, frozenset[int]]:
+        """Currently-tripped nodes per rule (empty sets omitted)."""
+        return {
+            name: frozenset(state.active)
+            for name, state in self._states.items()
+            if state.active
+        }
+
+    def latest_metric(self, name: str, node_id: int = 0) -> float | None:
+        """The last-seen value of a self-reported metric, if any."""
+        return self._metrics.get((node_id, name))

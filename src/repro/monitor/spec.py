@@ -1,0 +1,335 @@
+"""Declarative monitor specs: conditions over the live stream, actions back.
+
+A :class:`MonitorSpec` is a small set of rules the ISM evaluates against
+its own delivered stream — "if the event rate from node X exceeds R,
+lower its sampling; if the sorter heap grows, shed load; if the anomaly
+event fires, restore full fidelity and alert".  Rules are pure data
+(JSON-loadable, hashable value objects) so a spec can ship on the
+``brisk-ism`` command line, live in a deployment config, or be built in a
+test; the evaluation loop lives in :mod:`repro.monitor.engine`.
+
+Two condition kinds cover the steering cases:
+
+* ``rate`` — records per second over a sliding window, optionally
+  restricted to one event id and/or one node;
+* ``metric`` — the latest value of a named self-emitted metric
+  (:mod:`repro.obs.reporter` records riding the normal pipeline).
+
+Actions actuate through the same control channel users steer with:
+``set_sampling``/``set_filter``/``block_events``/``restore`` push a
+:class:`~repro.core.filtering.FilterSpec` to the tripping node's EXS,
+``sync_round`` requests an extra clock-sync round, and ``alert`` injects
+an alert record into the delivered stream itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.filtering import FIELD_TEST_OPS, FieldTest, FilterSpec
+
+__all__ = [
+    "Action",
+    "ACTION_KINDS",
+    "Condition",
+    "CONDITION_KINDS",
+    "MonitorRule",
+    "MonitorSpec",
+]
+
+#: Supported condition kinds.
+CONDITION_KINDS: tuple[str, ...] = ("rate", "metric")
+
+#: Supported action kinds.
+ACTION_KINDS: tuple[str, ...] = (
+    "set_sampling",
+    "set_filter",
+    "block_events",
+    "sync_round",
+    "alert",
+    "restore",
+)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One trigger: a windowed rate or a metric value crossing a threshold.
+
+    Attributes
+    ----------
+    kind:
+        ``"rate"`` (records/second over ``window_us``) or ``"metric"``
+        (latest value of the named self-emitted metric).
+    event_id:
+        For ``rate``: count only this event id (None = all events).
+    node_id:
+        Restrict to one node.  None means *per node*: the condition is
+        evaluated independently for every node seen, and each node trips
+        (and clears) on its own — actions with ``target=None`` then aim
+        at whichever node tripped.
+    metric:
+        For ``metric``: the scalar's name as emitted by the reporter.
+    above / below:
+        Exactly one must be set; ``above`` trips when ``value > above``,
+        ``below`` when ``value < below``.
+    window_us:
+        Rate window length.  Rounded up to whole engine buckets.
+    clear_factor:
+        Hysteresis: an ``above`` condition clears only once the value
+        falls to ``above * clear_factor`` (a ``below`` condition once it
+        rises to ``below / clear_factor``).  1.0 disables hysteresis.
+    """
+
+    kind: str
+    event_id: int | None = None
+    node_id: int | None = None
+    metric: str | None = None
+    above: float | None = None
+    below: float | None = None
+    window_us: int = 1_000_000
+    clear_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONDITION_KINDS:
+            raise ValueError(f"unknown condition kind {self.kind!r}")
+        if (self.above is None) == (self.below is None):
+            raise ValueError("exactly one of above/below must be set")
+        if self.kind == "metric" and not self.metric:
+            raise ValueError("metric condition requires a metric name")
+        if self.kind == "rate" and self.metric is not None:
+            raise ValueError("rate condition does not take a metric name")
+        if self.window_us < 1:
+            raise ValueError("window_us must be positive")
+        if not 0.0 < self.clear_factor <= 1.0:
+            raise ValueError("clear_factor must be in (0, 1]")
+
+    def tripped(self, value: float) -> bool:
+        """Whether *value* crosses the trip threshold."""
+        if self.above is not None:
+            return value > self.above
+        assert self.below is not None
+        return value < self.below
+
+    def cleared(self, value: float) -> bool:
+        """Whether *value* is back inside the hysteresis band."""
+        if self.above is not None:
+            return value <= self.above * self.clear_factor
+        assert self.below is not None
+        return value >= self.below / self.clear_factor
+
+
+@dataclass(frozen=True)
+class Action:
+    """One actuation a tripped (or cleared) rule performs.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`ACTION_KINDS`.
+    target:
+        EXS/node id to steer.  None aims at the node that tripped the
+        condition (only meaningful for the filter-pushing kinds).
+    sample_every:
+        For ``set_sampling``: the pushed sampling divisor.
+    events:
+        For ``block_events``: event ids to block at the source.
+    spec:
+        For ``set_filter``: the full spec to push verbatim.
+    """
+
+    kind: str
+    target: int | None = None
+    sample_every: int = 1
+    events: tuple[int, ...] = ()
+    spec: FilterSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACTION_KINDS:
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        if self.kind == "set_sampling" and self.sample_every < 1:
+            raise ValueError("set_sampling requires sample_every >= 1")
+        if self.kind == "set_filter" and self.spec is None:
+            raise ValueError("set_filter requires a spec")
+        if self.kind == "block_events" and not self.events:
+            raise ValueError("block_events requires at least one event id")
+
+    def filter_spec(self) -> FilterSpec | None:
+        """The :class:`FilterSpec` this action pushes, if it pushes one."""
+        if self.kind == "set_sampling":
+            return FilterSpec(sample_every=self.sample_every)
+        if self.kind == "set_filter":
+            return self.spec
+        if self.kind == "block_events":
+            return FilterSpec(blocked_events=frozenset(self.events))
+        if self.kind == "restore":
+            return FilterSpec()
+        return None
+
+
+@dataclass(frozen=True)
+class MonitorRule:
+    """A named (condition → actions) pair with flap damping.
+
+    ``do`` fires when the condition trips, ``on_clear`` when it falls
+    back inside the hysteresis band.  While a rule is active for a node
+    it does not re-fire; after clearing, ``cooldown_us`` must elapse
+    before the same (rule, node) may trip again.
+    """
+
+    name: str
+    when: Condition
+    do: tuple[Action, ...]
+    on_clear: tuple[Action, ...] = ()
+    cooldown_us: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("rule name must be non-empty")
+        if not isinstance(self.do, tuple):
+            object.__setattr__(self, "do", tuple(self.do))
+        if not isinstance(self.on_clear, tuple):
+            object.__setattr__(self, "on_clear", tuple(self.on_clear))
+        if not self.do:
+            raise ValueError(f"rule {self.name!r} has no actions")
+        if self.cooldown_us < 0:
+            raise ValueError("cooldown_us must be >= 0")
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """A complete monitor program: rules plus the rate-bucket granularity."""
+
+    rules: tuple[MonitorRule, ...] = ()
+    bucket_us: int = 100_000
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+        if self.bucket_us < 1:
+            raise ValueError("bucket_us must be positive")
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError("rule names must be unique")
+
+    # ------------------------------------------------------------------
+    # JSON loading (the ``brisk-ism --monitor-spec`` file format)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "MonitorSpec":
+        """Parse a spec from its JSON form (see ``docs/monitor-spec.md``)."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"monitor spec is not valid JSON: {exc}") from exc
+        if not isinstance(doc, Mapping):
+            raise ValueError("monitor spec must be a JSON object")
+        rules = doc.get("rules", [])
+        if not isinstance(rules, Sequence) or isinstance(rules, (str, bytes)):
+            raise ValueError("'rules' must be a list")
+        return cls(
+            rules=tuple(_rule_from_obj(obj) for obj in rules),
+            bucket_us=int(doc.get("bucket_us", 100_000)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "MonitorSpec":
+        """Load a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# JSON helpers
+# ----------------------------------------------------------------------
+
+def _opt_int(obj: Mapping[str, Any], key: str) -> int | None:
+    value = obj.get(key)
+    return None if value is None else int(value)
+
+
+def _opt_float(obj: Mapping[str, Any], key: str) -> float | None:
+    value = obj.get(key)
+    return None if value is None else float(value)
+
+
+def _require_mapping(obj: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(obj, Mapping):
+        raise ValueError(f"{what} must be a JSON object")
+    return obj
+
+
+def _filter_spec_from_obj(obj: Any) -> FilterSpec:
+    spec = _require_mapping(obj, "filter spec")
+    tests = []
+    for entry in spec.get("field_tests", []):
+        test = _require_mapping(entry, "field test")
+        op = str(test.get("op", ""))
+        if op not in FIELD_TEST_OPS:
+            raise ValueError(f"unknown field-test op {op!r}")
+        raw = test.get("value")
+        if not isinstance(raw, (int, float)) or isinstance(raw, bool):
+            raise ValueError(f"field-test value must be numeric, got {raw!r}")
+        tests.append(FieldTest(int(test.get("field_index", 0)), op, raw))
+    allowed_events = spec.get("allowed_events")
+    allowed_nodes = spec.get("allowed_nodes")
+    return FilterSpec(
+        allowed_events=(
+            None if allowed_events is None
+            else frozenset(int(x) for x in allowed_events)
+        ),
+        blocked_events=frozenset(int(x) for x in spec.get("blocked_events", [])),
+        allowed_nodes=(
+            None if allowed_nodes is None
+            else frozenset(int(x) for x in allowed_nodes)
+        ),
+        sample_every=int(spec.get("sample_every", 1)),
+        field_tests=tuple(tests),
+    )
+
+
+def _condition_from_obj(obj: Any) -> Condition:
+    cond = _require_mapping(obj, "condition")
+    metric = cond.get("metric")
+    return Condition(
+        kind=str(cond.get("kind", "")),
+        event_id=_opt_int(cond, "event_id"),
+        node_id=_opt_int(cond, "node_id"),
+        metric=None if metric is None else str(metric),
+        above=_opt_float(cond, "above"),
+        below=_opt_float(cond, "below"),
+        window_us=int(cond.get("window_us", 1_000_000)),
+        clear_factor=float(cond.get("clear_factor", 1.0)),
+    )
+
+
+def _action_from_obj(obj: Any) -> Action:
+    action = _require_mapping(obj, "action")
+    raw_spec = action.get("spec")
+    return Action(
+        kind=str(action.get("kind", "")),
+        target=_opt_int(action, "target"),
+        sample_every=int(action.get("sample_every", 1)),
+        events=tuple(int(x) for x in action.get("events", [])),
+        spec=None if raw_spec is None else _filter_spec_from_obj(raw_spec),
+    )
+
+
+def _rule_from_obj(obj: Any) -> MonitorRule:
+    rule = _require_mapping(obj, "rule")
+    do = rule.get("do", [])
+    on_clear = rule.get("on_clear", [])
+    if not isinstance(do, Sequence) or isinstance(do, (str, bytes)):
+        raise ValueError("'do' must be a list of actions")
+    if not isinstance(on_clear, Sequence) or isinstance(on_clear, (str, bytes)):
+        raise ValueError("'on_clear' must be a list of actions")
+    return MonitorRule(
+        name=str(rule.get("name", "")),
+        when=_condition_from_obj(rule.get("when")),
+        do=tuple(_action_from_obj(a) for a in do),
+        on_clear=tuple(_action_from_obj(a) for a in on_clear),
+        cooldown_us=int(rule.get("cooldown_us", 0)),
+    )

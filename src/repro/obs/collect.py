@@ -45,6 +45,7 @@ __all__ = [
     "wire_reconnector",
     "wire_relay",
     "wire_commit_log",
+    "wire_monitor",
 ]
 
 
@@ -203,6 +204,8 @@ def wire_relay(registry: MetricsRegistry, relay: Any, prefix: str = "relay") -> 
     registry.adopt_counter(relay.metrics_records_folded)
     registry.adopt_counter(relay.heartbeats_absorbed)
     registry.adopt_counter(relay.dropped_control)
+    registry.adopt_counter(relay.filters_forwarded)
+    registry.adopt_counter(relay.filters_held)
     registry.adopt_counter(relay.upstream_reconnects)
     registry.adopt_counter(relay.acks_down_sent)
     registry.adopt_counter(relay.ack_frames_down)
@@ -237,3 +240,20 @@ def wire_commit_log(registry: MetricsRegistry, log: Any, prefix: str = "log") ->
     registry.gauge_fn(f"{prefix}.durable_offset", lambda: log.durable_offset)
     registry.gauge_fn(f"{prefix}.broken", lambda: 1 if log.broken else 0)
     registry.gauge_fn(f"{prefix}.group_lag_max", log._max_group_lag)
+
+
+def wire_monitor(
+    registry: MetricsRegistry, engine: Any, prefix: str = "monitor"
+) -> None:
+    """Runtime monitor engine: actuation and alert accounting."""
+    registry.gauge_fn(f"{prefix}.actions_fired", lambda: engine.actions_fired)
+    registry.gauge_fn(
+        f"{prefix}.alerts_emitted", lambda: engine.alerts_emitted
+    )
+    registry.gauge_fn(
+        f"{prefix}.pushes_deferred", lambda: engine.pushes_deferred
+    )
+    registry.gauge_fn(
+        f"{prefix}.active_rules",
+        lambda: sum(len(nodes) for nodes in engine.active_rules().values()),
+    )

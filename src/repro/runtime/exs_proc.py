@@ -189,9 +189,10 @@ class ExsProcess:
         try:
             # Advertise ack consumption: this loop always drains control
             # traffic, so the ISM may safely write replies and acks back.
-            # Capability bits ride only when compression was asked for,
-            # keeping the default Hello byte-identical to the seed wire.
-            caps = (
+            # Steering capability always rides (this loop understands
+            # epoch-stamped SetFilter with pushed-down field tests);
+            # compression bits only when compression was asked for.
+            caps = protocol.CAP_STEERING | (
                 protocol.CAP_COMPRESS | protocol.CAP_ACK_BUNDLE
                 if self.compress_min_bytes is not None
                 else 0

@@ -44,6 +44,8 @@ from repro.core.consumers import Consumer
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.merge import OrderedMerger
 from repro.core.records import EventRecord
+from repro.monitor.engine import MonitorEngine
+from repro.monitor.spec import MonitorSpec
 from repro.obs import collect
 from repro.obs.metrics import Counter, MetricsRegistry, MetricsSnapshot
 from repro.obs.render import render_shard_breakdown, render_snapshot
@@ -66,7 +68,10 @@ from repro.xdr import XdrDecodeError
 #: advertised in ``HelloReply`` — but only toward peers whose own Hello
 #: carried capability bits (legacy peers keep byte-identical replies).
 SERVER_CAPS = (
-    protocol.CAP_COMPRESS | protocol.CAP_ACK_BUNDLE | protocol.CAP_SEQ_RANGE
+    protocol.CAP_COMPRESS
+    | protocol.CAP_ACK_BUNDLE
+    | protocol.CAP_SEQ_RANGE
+    | protocol.CAP_STEERING
 )
 
 
@@ -171,6 +176,15 @@ class IsmServer:
         self.idle_drops = Counter("ism.idle_drops")
         self._next_throttle = time.monotonic() + throttle_period_s
         self._per_source_counts: dict[int, int] = {}
+        #: Steering state of record: the last :class:`SetFilter` pushed
+        #: per EXS id, re-applied whenever that source (re)connects — a
+        #: spec set while a source is down or mid-reconnect is never
+        #: lost, and the epoch makes the re-apply idempotent at the EXS.
+        self._desired_filters: dict[int, protocol.SetFilter] = {}
+        self._filter_epoch = 0
+        #: Attached :class:`~repro.monitor.engine.MonitorEngine`; ticked
+        #: once per pump cycle (see :meth:`attach_monitor`).
+        self.monitor: MonitorEngine | None = None
         self.connections: dict[int, MessageConnection] = {}
         self.sync_master: BriskSyncMaster | None = None
         #: Sources that spoke a Hello on each connection.  Usually one,
@@ -381,6 +395,7 @@ class IsmServer:
                     pump_hist.observe((time.perf_counter_ns() - t0) / 1_000.0)
                 self._maybe_sync()
                 self._maybe_throttle()
+                self._maybe_monitor()
                 self._maybe_stats()
             # Drain in-flight data, then flush the pipeline.  Peers are
             # told to stop only on an explicit stop() — a duration/record
@@ -699,6 +714,13 @@ class IsmServer:
                 except OSError:
                     self._drop(conn)
                     return
+            # Re-apply the desired steering state: a filter pushed while
+            # this source was down (or one it lost to a crash) lands
+            # right behind the resume handshake.  The epoch makes a
+            # duplicate apply a no-op, sampling counters untouched.
+            desired = self._desired_filters.get(msg.exs_id)
+            if desired is not None:
+                self._send_filter(msg.exs_id, desired)
             self._rebuild_sync_master()
             return
         if isinstance(msg, protocol.Bye):
@@ -741,16 +763,69 @@ class IsmServer:
     # ------------------------------------------------------------------
     def set_filter(self, exs_id: int, spec) -> bool:
         """Push a source-side :class:`~repro.core.filtering.FilterSpec`
-        down to one connected external sensor (§2: the user specifies
-        what to monitor; the EXS drops the rest before transfer).
+        down to one external sensor (§2: the user specifies what to
+        monitor; the EXS drops the rest before transfer).
 
-        Returns False when that EXS is not currently connected.
+        The spec is recorded as the desired steering state for that
+        source and stamped with a server-monotone filter epoch, so a
+        disconnected (or reconnecting) EXS receives it the moment its
+        next Hello lands — and duplicate applies are no-ops at the EXS.
+        Returns False when the spec could not be sent *right now* (it
+        will be re-applied on (re)connect).
         """
+        self._filter_epoch += 1
+        msg = protocol.SetFilter.from_spec(
+            spec, epoch=self._filter_epoch, target_exs_id=exs_id
+        )
+        self._desired_filters[exs_id] = msg
+        return self._send_filter(exs_id, msg)
+
+    def _send_filter(self, exs_id: int, msg: protocol.SetFilter) -> bool:
+        """Put one SetFilter on the wire, downgrading the frame to its
+        legacy form for peers that never advertised ``CAP_STEERING``."""
         conn = self.connections.get(exs_id)
         if conn is None:
             return False
-        conn.send(protocol.SetFilter.from_spec(spec))
+        if not self._peer_caps.get(exs_id, 0) & protocol.CAP_STEERING:
+            msg = msg.downgraded()
+        try:
+            conn.send(msg)
+        except OSError:
+            self._drop(conn)
+            return False
         return True
+
+    # ------------------------------------------------------------------
+    # runtime monitor (repro.monitor): engine attachment + actuation
+    # ------------------------------------------------------------------
+    def attach_monitor(self, spec: MonitorSpec) -> MonitorEngine:
+        """Attach a monitor engine evaluating *spec* over the delivered
+        stream.  The engine joins the manager's consumers (so it sees
+        exactly what every tool sees) and is ticked once per pump cycle;
+        its actions actuate through this server's control channel."""
+        engine = MonitorEngine(spec, actuator=self)
+        self.manager.consumers.append(engine)
+        self.monitor = engine
+        return engine
+
+    def _maybe_monitor(self) -> None:
+        if self.monitor is not None:
+            self.monitor.tick(now_micros())
+
+    # -- Actuator protocol (repro.monitor.engine.Actuator) -------------
+    def push_filter(self, exs_id: int, spec) -> bool:
+        """Actuator hook: same path as user steering."""
+        return self.set_filter(exs_id, spec)
+
+    def request_sync_round(self) -> None:
+        """Actuator hook: schedule an extra clock-sync round."""
+        master = self.sync_master
+        if master is not None:
+            master.request_extra_round()
+
+    def emit_alert(self, record: EventRecord) -> None:
+        """Actuator hook: inject an alert record into the delivery path."""
+        self.manager.inject(record)
 
     # ------------------------------------------------------------------
     def _rebuild_sync_master(self) -> None:
@@ -935,6 +1010,13 @@ class ShardedIsmServer:
         self._exs_shard: dict[int, int] = {}
         #: Capability bits each source's Hello advertised.
         self._peer_caps: dict[int, int] = {}
+        #: Desired steering state per EXS id (same discipline as
+        #: :class:`IsmServer`): re-applied on every (re)connect, epoch-
+        #: stamped so duplicate applies are no-ops at the EXS.
+        self._desired_filters: dict[int, protocol.SetFilter] = {}
+        self._filter_epoch = 0
+        #: Attached :class:`~repro.monitor.engine.MonitorEngine`.
+        self.monitor: MonitorEngine | None = None
         #: Highest commit-released ack per source this cycle, flushed as
         #: one control frame per connection by :meth:`_flush_cycle_acks`.
         self._cycle_acks: dict[int, int] = {}
@@ -1337,6 +1419,7 @@ class ShardedIsmServer:
             self._flush_overflow()
             self._drain_shards()
             self._check_shards()
+            self._maybe_monitor()
             self._maybe_stats()
         self._pump_sockets()
         if self._stop.is_set():
@@ -1541,6 +1624,11 @@ class ShardedIsmServer:
         # The shard answers the resume handshake (HELLO_REPLY control
         # record) — it owns the watermark state, not the dispatcher.
         self._forward(idx, payload)
+        # Re-apply the desired steering state for a (re)connecting
+        # source; the epoch makes duplicate applies no-ops at the EXS.
+        desired = self._desired_filters.get(msg.exs_id)
+        if desired is not None:
+            self._send_filter(msg.exs_id, desired)
 
     def _forward(self, idx: int, payload: bytes) -> None:
         handle = self._handles[idx]
@@ -1558,6 +1646,62 @@ class ShardedIsmServer:
             while overflow and ring.push_bytes(overflow[0]):
                 overflow.popleft()
                 self.frames_forwarded += 1
+
+    # ------------------------------------------------------------------
+    # runtime steering + monitor (mirrors IsmServer)
+    # ------------------------------------------------------------------
+    def set_filter(self, exs_id: int, spec) -> bool:
+        """Push a source-side filter spec to one EXS (see
+        :meth:`IsmServer.set_filter` — identical semantics: the desired
+        state is remembered and re-applied on (re)connect, the epoch
+        makes duplicate applies idempotent).  Returns False when the
+        spec could not be sent right now."""
+        self._filter_epoch += 1
+        msg = protocol.SetFilter.from_spec(
+            spec, epoch=self._filter_epoch, target_exs_id=exs_id
+        )
+        self._desired_filters[exs_id] = msg
+        return self._send_filter(exs_id, msg)
+
+    def _send_filter(self, exs_id: int, msg: protocol.SetFilter) -> bool:
+        conn = self.connections.get(exs_id)
+        if conn is None:
+            return False
+        if not self._peer_caps.get(exs_id, 0) & protocol.CAP_STEERING:
+            msg = msg.downgraded()
+        try:
+            conn.send(msg)
+        except OSError:
+            self._drop_conn(conn)
+            return False
+        return True
+
+    def attach_monitor(self, spec: MonitorSpec) -> MonitorEngine:
+        """Attach a monitor engine over the merged delivered stream.
+        The engine joins the dispatcher's consumers and is ticked once
+        per dispatcher cycle; filter actions ride :meth:`set_filter`.
+        Sharded mode runs no clock sync, so ``sync_round`` actions are
+        accepted and ignored."""
+        engine = MonitorEngine(spec, actuator=self)
+        self.consumers.append(engine)
+        self.monitor = engine
+        return engine
+
+    def _maybe_monitor(self) -> None:
+        if self.monitor is not None:
+            self.monitor.tick(now_micros())
+
+    # -- Actuator protocol (repro.monitor.engine.Actuator) -------------
+    def push_filter(self, exs_id: int, spec) -> bool:
+        """Actuator hook: same path as user steering."""
+        return self.set_filter(exs_id, spec)
+
+    def request_sync_round(self) -> None:
+        """Actuator hook: no-op — sharded mode runs no clock sync."""
+
+    def emit_alert(self, record: EventRecord) -> None:
+        """Actuator hook: fan an alert record out to the consumers."""
+        self._deliver([record])
 
     # ------------------------------------------------------------------
     # egress plane: output rings → commit → merge → consumers

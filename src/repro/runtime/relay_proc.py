@@ -39,9 +39,13 @@ answered only after the relay's forwarded ``Hello`` got its upstream
 reply, so resume points are always upstream-committed.
 
 Clock sync terminates at the relay: it answers upstream ``TimeRequest``
-probes with its own corrected clock and drops ``Adjust``/``SetFilter``
-rather than fanning them out (relay-domain sync/steering is a ROADMAP
-item, not silently wrong behaviour — both drops are counted).
+probes with its own corrected clock and drops ``Adjust`` rather than
+fanning it out (relay-domain sync is a ROADMAP item, not silently wrong
+behaviour — the drop is counted).  Steering passes *through*: an
+upstream ``SetFilter`` is routed to the downstream source named by its
+``target_exs_id`` (every source when 0), remembered per source, and
+re-applied when that source reconnects — so runtime filter pushes keep
+their exactly-once re-apply semantics across relay hops.
 """
 
 from __future__ import annotations
@@ -64,7 +68,10 @@ from repro.xdr import XdrEncoder
 #: Capabilities the relay can *receive*: bundled acks from upstream, and
 #: compressed/coalesced traffic from downstream child relays.
 RELAY_CAPS = (
-    protocol.CAP_COMPRESS | protocol.CAP_ACK_BUNDLE | protocol.CAP_SEQ_RANGE
+    protocol.CAP_COMPRESS
+    | protocol.CAP_ACK_BUNDLE
+    | protocol.CAP_SEQ_RANGE
+    | protocol.CAP_STEERING
 )
 
 
@@ -173,6 +180,9 @@ class _Source:
     acked_down: int = -1
     #: Upstream handshake state: envelopes flush only once True.
     ready: bool = False
+    #: Last upstream ``SetFilter`` aimed at this source — re-applied on
+    #: downstream reconnect (epoch-idempotent at the EXS).
+    desired_filter: protocol.SetFilter | None = None
     #: Decoded batches awaiting the upstream HelloReply.
     prequeue: deque[_Envelope] = field(default_factory=deque)
     #: Envelopes currently held in the merger (backpressure accounting).
@@ -221,6 +231,8 @@ class RelayServer:
         self.metrics_records_folded = Counter("relay.metrics_records_folded")
         self.heartbeats_absorbed = Counter("relay.heartbeats_absorbed")
         self.dropped_control = Counter("relay.dropped_control")
+        self.filters_forwarded = Counter("relay.filters_forwarded")
+        self.filters_held = Counter("relay.filters_held")
         self.upstream_reconnects = Counter("relay.upstream_reconnects")
         self.acks_down_sent = Counter("relay.acks_down_sent")
         self.ack_frames_down = Counter("relay.ack_frames_down")
@@ -367,6 +379,9 @@ class RelayServer:
         src.ready = False
         self._conn_sources.setdefault(conn, set()).add(msg.exs_id)
         self._forward_hello(src)
+        # Re-apply held steering state to the (re)connected source.
+        if src.desired_filter is not None:
+            self._send_filter_down(src)
 
     def _forward_hello(self, src: _Source) -> None:
         if self.upstream is None:
@@ -515,10 +530,47 @@ class RelayServer:
                     self._last_upstream_send = monotonic_s()
                 except _PEER_LOST:
                     self._lose_upstream()
+        elif isinstance(msg, protocol.SetFilter):
+            self._on_upstream_set_filter(msg)
         elif isinstance(msg, protocol.Bye):
             self._lose_upstream()
         else:
             self.dropped_control += 1
+
+    def _on_upstream_set_filter(self, msg: protocol.SetFilter) -> None:
+        """Route a steering push to the downstream source it names.
+
+        ``target_exs_id=0`` (a legacy or broadcast frame) fans out to
+        every known source.  Each targeted source remembers the frame so
+        a reconnecting EXS gets it re-applied — the upstream epoch rides
+        through unchanged, keeping duplicate applies no-ops end to end.
+        """
+        if msg.target_exs_id:
+            targets = [self.sources.get(msg.target_exs_id)]
+        else:
+            targets = list(self.sources.values())
+        for src in targets:
+            if src is None:
+                self.dropped_control += 1
+                continue
+            src.desired_filter = msg
+            self._send_filter_down(src)
+
+    def _send_filter_down(self, src: _Source) -> None:
+        msg = src.desired_filter
+        if msg is None:
+            return
+        if src.conn is None:
+            # Source is between connections: held, re-applied on Hello.
+            self.filters_held += 1
+            return
+        if not src.down_caps & protocol.CAP_STEERING:
+            msg = msg.downgraded()
+        try:
+            src.conn.send(msg)
+            self.filters_forwarded += 1
+        except _PEER_LOST:
+            self._drop_downstream(src.conn)
 
     def _on_upstream_ack(self, exs_id: int, up_to_seq: int) -> None:
         src = self.sources.get(exs_id)
@@ -787,6 +839,8 @@ class RelayServer:
                 "metrics_records_folded": int(self.metrics_records_folded),
                 "heartbeats_absorbed": int(self.heartbeats_absorbed),
                 "dropped_control": int(self.dropped_control),
+                "filters_forwarded": int(self.filters_forwarded),
+                "filters_held": int(self.filters_held),
                 "upstream_reconnects": int(self.upstream_reconnects),
                 "acks_down_sent": int(self.acks_down_sent),
                 "ack_frames_down": int(self.ack_frames_down),

@@ -31,11 +31,14 @@ from repro.clocksync.cristian import CristianMaster
 from repro.clocksync.probes import ProbeSample
 from repro.core.consumers import Consumer
 from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.filtering import FilterSpec
 from repro.core.ism import InstrumentationManager, IsmConfig
 from repro.core.records import EventRecord, FieldType
 from repro.core.ringbuffer import HEADER_SIZE, OverflowPolicy, RingBuffer
 from repro.core.sensor import Sensor
-from repro.obs.collect import wire_exs, wire_manager, wire_sensor
+from repro.monitor.engine import MonitorEngine
+from repro.monitor.spec import MonitorSpec
+from repro.obs.collect import wire_exs, wire_manager, wire_monitor, wire_sensor
 from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.obs.reporter import MetricsReporter
 from repro.sim.engine import Simulator
@@ -102,6 +105,15 @@ class DeploymentConfig:
     #: one frame buys the dispatcher back.  Zero (default) keeps the
     #: pre-relay behaviour byte-identical.
     ism_frame_overhead_us: float = 0.0
+    #: Runtime monitor spec (None = no monitor).  When set, a
+    #: :class:`~repro.monitor.engine.MonitorEngine` observes the delivered
+    #: stream at the ISM and steers the deployment: filter pushdowns ride
+    #: the simulated downlinks to each node's EXS, extra clock-sync
+    #: rounds go through the normal master, and alert records are
+    #: injected into the delivered stream like any other record.
+    monitor: MonitorSpec | None = None
+    #: Monitor evaluation period (virtual µs).
+    monitor_interval_us: int = 100_000
 
     def __post_init__(self) -> None:
         if self.exs_poll_interval_us < 1 or self.ism_tick_interval_us < 1:
@@ -120,6 +132,8 @@ class DeploymentConfig:
             raise ValueError("relay_levels must be >= 1")
         if self.relay_flush_interval_us < 1:
             raise ValueError("relay_flush_interval_us must be positive")
+        if self.monitor_interval_us < 1:
+            raise ValueError("monitor_interval_us must be positive")
 
 
 class SimNode:
@@ -314,6 +328,12 @@ class SimDeployment:
         self.obs: MetricsRegistry | None = None
         #: The dogfooding reporter, when metrics_interval_us > 0.
         self.reporter: MetricsReporter | None = None
+        #: The runtime monitor, when the config carries a spec.
+        self.monitor: MonitorEngine | None = None
+        #: Monotone epoch stamped on monitor-pushed SetFilters so a spec
+        #: reordered on the simulated downlink can never clobber a newer
+        #: one (same discipline as the socket runtime).
+        self._filter_epoch = 0
 
         sinks: list[Consumer] = list(consumers or [])
         self.ism = InstrumentationManager(config.ism, sinks)
@@ -433,6 +453,15 @@ class SimDeployment:
         self._stops.append(
             self.sim.schedule_every(cfg.ism_tick_interval_us, self._ism_tick)
         )
+
+        if cfg.monitor is not None:
+            self.monitor = MonitorEngine(cfg.monitor, actuator=self)
+            self.ism.consumers.append(self.monitor)
+            self._stops.append(
+                self.sim.schedule_every(
+                    cfg.monitor_interval_us, self._monitor_tick
+                )
+            )
 
         if cfg.metrics_interval_us > 0 and self.nodes:
             self._wire_observability()
@@ -598,6 +627,44 @@ class SimDeployment:
         self.metrics.sync_rounds += 1
 
     # ------------------------------------------------------------------
+    # runtime steering (the monitor engine's Actuator)
+    # ------------------------------------------------------------------
+    def _monitor_tick(self) -> None:
+        self.monitor.tick(self.ism_clock.read())
+
+    def push_filter(self, exs_id: int, spec: FilterSpec) -> bool:
+        """Push *spec* to one EXS over its simulated downlink.
+
+        Mirrors :meth:`SimSyncSlave.adjust`: the control message lands
+        after the link delay, stamped with a fresh epoch so reordered
+        pushes cannot regress the installed spec.  Returns ``False`` for
+        unknown or dead nodes — the engine counts that as a deferred
+        push, exactly as the socket runtime does for a disconnected EXS.
+        """
+        node = next(
+            (n for n in self.alive_nodes if n.exs.exs_id == exs_id), None
+        )
+        if node is None:
+            return False
+        self._filter_epoch += 1
+        msg = protocol.SetFilter.from_spec(
+            spec, epoch=self._filter_epoch, target_exs_id=exs_id
+        )
+        delay = node.downlink.sample_delay(self.sim.now)
+        self.sim.schedule(delay, node.exs.on_set_filter, msg)
+        return True
+
+    def request_sync_round(self) -> None:
+        """Ask for one extra clock-sync round at the next ISM tick."""
+        master = self.sync_master
+        if isinstance(master, BriskSyncMaster):
+            master.request_extra_round()
+
+    def emit_alert(self, record: EventRecord) -> None:
+        """Inject a monitor alert straight into the delivered stream."""
+        self.ism.inject(record)
+
+    # ------------------------------------------------------------------
     # self-observability
     # ------------------------------------------------------------------
     def _wire_observability(self) -> None:
@@ -610,6 +677,8 @@ class SimDeployment:
             time_fn=lambda: micros_to_seconds(self.sim.now)
         )
         wire_manager(registry, self.ism)
+        if self.monitor is not None:
+            wire_monitor(registry, self.monitor)
         for node in self.nodes:
             prefix = f"node{node.node_id}"
             wire_sensor(registry, node.sensor, prefix=f"{prefix}.sensor")

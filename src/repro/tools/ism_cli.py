@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a self-observability metrics table every N seconds",
     )
     parser.add_argument(
+        "--monitor-spec", metavar="PATH",
+        help="attach a runtime monitor: JSON rule spec evaluated against "
+             "the delivered stream (see docs/monitor-spec.md)",
+    )
+    parser.add_argument(
         "--shards", type=int, default=1,
         help="sharded ISM worker count (1 = classic single process)",
     )
@@ -145,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
             server.set_filter,
             ThrottleConfig(target_rate_hz=args.throttle_rate),
         )
+    if args.monitor_spec:
+        _attach_monitor(server, args.monitor_spec)
     try:
         server.serve(duration_s=args.duration, until_records=args.until_records)
     except KeyboardInterrupt:
@@ -193,6 +200,8 @@ def _serve_sharded(args, ism_config, consumers, listener) -> int:
         ordered_merge=not args.no_ordered_merge,
         stats_interval_s=args.stats_interval,
     )
+    if args.monitor_spec:
+        _attach_monitor(server, args.monitor_spec)
     try:
         server.serve(duration_s=args.duration, until_records=args.until_records)
     except KeyboardInterrupt:
@@ -212,6 +221,18 @@ def _serve_sharded(args, ism_config, consumers, listener) -> int:
         flush=True,
     )
     return 0
+
+
+def _attach_monitor(server, path: str) -> None:
+    """Load a JSON monitor spec and attach its engine to *server*."""
+    from repro.monitor import MonitorSpec
+
+    spec = MonitorSpec.load(path)
+    server.attach_monitor(spec)
+    print(
+        f"brisk-ism monitor attached: {len(spec.rules)} rule(s) from {path}",
+        flush=True,
+    )
 
 
 def _write_stats_json(path: str, dump: dict) -> None:

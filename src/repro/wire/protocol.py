@@ -39,8 +39,9 @@ from enum import IntEnum
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 if TYPE_CHECKING:
-    from repro.core.filtering import FilterSpec
+    from repro.core.filtering import FieldTest, FilterSpec
 
+from repro.core.filtering import FIELD_TEST_OPS
 from repro.core.records import FIELD_TYPE_END, EventRecord, FieldType
 from repro.wire import fastcodec
 from repro.xdr import XdrDecodeError, XdrDecoder, XdrEncoder
@@ -81,6 +82,8 @@ class MsgType(IntEnum):
 CAP_COMPRESS = 0x1    #: receiver accepts ``MsgType.COMPRESSED`` envelopes
 CAP_ACK_BUNDLE = 0x2  #: peer accepts ``MsgType.ACK_BUNDLE`` control frames
 CAP_SEQ_RANGE = 0x4   #: receiver accepts coalesced batches with ``first_seq``
+CAP_STEERING = 0x8    #: receiver accepts extended ``SetFilter`` frames
+#: (epoch / routing target / field tests as trailing words)
 
 #: Upper bound a COMPRESSED envelope may claim for its decompressed size;
 #: a corrupt or hostile length word must not drive a giant allocation.
@@ -243,15 +246,39 @@ class SetFilter:
 
     The wire form mirrors :class:`repro.core.filtering.FilterSpec`:
     ``allow_all_events`` distinguishes "no whitelist" from an empty one.
+
+    The steering extension rides trailing words, emitted only when set
+    and only toward peers that advertised :data:`CAP_STEERING` — a plain
+    SetFilter stays byte-identical to the original wire format:
+
+    * ``filter_epoch`` — monotone per-sender spec version.  Receivers
+      ignore epochs older than the installed one and treat a re-send of
+      the installed epoch as a no-op (sampling counters survive), which
+      is what makes the ISM's re-apply-on-reconnect idempotent.
+    * ``target_exs_id`` — routing hint for relays, which multiplex many
+      EXS streams over one upstream connection and otherwise could not
+      tell which downstream source the spec is for (0 = the connection's
+      only peer, the point-to-point case).
+    * ``field_tests`` — pushed-down value predicates, compiled at the
+      receiver (:mod:`repro.core.predicate`) to run on packed payloads.
     """
 
     allow_all_events: bool = True
     allowed_events: tuple[int, ...] = ()
     blocked_events: tuple[int, ...] = ()
     sample_every: int = 1
+    filter_epoch: int = 0
+    target_exs_id: int = 0
+    field_tests: tuple["FieldTest", ...] = ()
 
     @classmethod
-    def from_spec(cls, spec: "FilterSpec") -> "SetFilter":
+    def from_spec(
+        cls,
+        spec: "FilterSpec",
+        *,
+        epoch: int = 0,
+        target_exs_id: int = 0,
+    ) -> "SetFilter":
         """Build the wire message from a ``FilterSpec``.
 
         Node filtering is intentionally absent: an EXS only ever ships its
@@ -262,6 +289,9 @@ class SetFilter:
             allowed_events=tuple(sorted(spec.allowed_events or ())),
             blocked_events=tuple(sorted(spec.blocked_events)),
             sample_every=spec.sample_every,
+            filter_epoch=epoch,
+            target_exs_id=target_exs_id,
+            field_tests=spec.field_tests,
         )
 
     def to_spec(self) -> "FilterSpec":
@@ -273,6 +303,24 @@ class SetFilter:
                 None if self.allow_all_events else frozenset(self.allowed_events)
             ),
             blocked_events=frozenset(self.blocked_events),
+            sample_every=self.sample_every,
+            field_tests=self.field_tests,
+        )
+
+    def downgraded(self) -> "SetFilter":
+        """The legacy wire form for peers without :data:`CAP_STEERING`.
+
+        Drops the extension words.  Field tests cannot be expressed to a
+        legacy peer; shedding degrades to the identity/sampling part of
+        the spec (records the tests would have dropped still ship —
+        conservative, never lossy).
+        """
+        if not (self.filter_epoch or self.target_exs_id or self.field_tests):
+            return self
+        return SetFilter(
+            allow_all_events=self.allow_all_events,
+            allowed_events=self.allowed_events,
+            blocked_events=self.blocked_events,
             sample_every=self.sample_every,
         )
 
@@ -710,6 +758,39 @@ def peek_compressed(payload: bytes | bytearray | memoryview) -> tuple[int, int]:
 # control messages + top-level dispatch
 # ----------------------------------------------------------------------
 
+#: A SetFilter frame may carry at most this many field tests; the
+#: compiled evaluator is a linear conjunction, so a hostile frame must
+#: not smuggle an unbounded per-record loop into the EXS hot path.
+MAX_FIELD_TESTS = 64
+
+
+def _decode_field_tests(dec: XdrDecoder) -> tuple["FieldTest", ...]:
+    """Decode the SetFilter trailing field-test array."""
+    from repro.core.filtering import FieldTest
+
+    count = dec.unpack_uint()
+    if count > MAX_FIELD_TESTS:
+        raise ProtocolError(f"SetFilter claims {count} field tests")
+    tests = []
+    for _ in range(count):
+        field_index = dec.unpack_uint()
+        op_code = dec.unpack_uint()
+        if op_code >= len(FIELD_TEST_OPS):
+            raise ProtocolError(f"unknown field-test op code {op_code}")
+        value_kind = dec.unpack_uint()
+        if value_kind == 1:
+            value: int | float = dec.unpack_double()
+        elif value_kind == 0:
+            value = dec.unpack_hyper()
+        else:
+            raise ProtocolError(f"unknown field-test value kind {value_kind}")
+        try:
+            tests.append(FieldTest(field_index, FIELD_TEST_OPS[op_code], value))
+        except ValueError as exc:
+            raise ProtocolError(f"invalid field test: {exc}") from exc
+    return tuple(tests)
+
+
 def encode_message(msg: Message, **batch_opts: Any) -> bytes:
     """Encode any protocol message to bytes (batch knobs via kwargs)."""
     return _encode_message(msg, **batch_opts).getvalue()
@@ -791,6 +872,23 @@ def _encode_message(msg: Message, **batch_opts: Any) -> XdrEncoder:
         enc.pack_array(msg.allowed_events, enc.pack_uint)
         enc.pack_array(msg.blocked_events, enc.pack_uint)
         enc.pack_uint(msg.sample_every)
+        if msg.filter_epoch or msg.target_exs_id or msg.field_tests:
+            # Trailing steering extension (CAP_STEERING peers only).
+            # XDR is positional: a later word forces the earlier ones out.
+            enc.pack_uint(msg.filter_epoch)
+        if msg.target_exs_id or msg.field_tests:
+            enc.pack_uint(msg.target_exs_id)
+        if msg.field_tests:
+            enc.pack_uint(len(msg.field_tests))
+            for test in msg.field_tests:
+                enc.pack_uint(test.field_index)
+                enc.pack_uint(FIELD_TEST_OPS.index(test.op))
+                if isinstance(test.value, float):
+                    enc.pack_uint(1)
+                    enc.pack_double(test.value)
+                else:
+                    enc.pack_uint(0)
+                    enc.pack_hyper(test.value)
     else:
         raise TypeError(f"not a protocol message: {msg!r}")
     return enc
@@ -890,6 +988,9 @@ def decode_message(
                 dec.unpack_array(dec.unpack_uint, max_length=65536)
             ),
             sample_every=dec.unpack_uint(),
+            filter_epoch=dec.unpack_uint() if dec.remaining >= 4 else 0,
+            target_exs_id=dec.unpack_uint() if dec.remaining >= 4 else 0,
+            field_tests=_decode_field_tests(dec) if dec.remaining >= 4 else (),
         )
     else:
         raise ProtocolError(f"unknown message type {kind}")

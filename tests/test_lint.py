@@ -365,7 +365,9 @@ class TestExternalLinters:
         ruff = data["tool"]["ruff"]
         assert set(ruff["lint"]["select"]) == {"E", "W", "F", "I"}
         mypy = data["tool"]["mypy"]
-        assert set(mypy["packages"]) == {"repro.wire", "repro.obs", "repro.log"}
+        assert set(mypy["packages"]) == {
+            "repro.wire", "repro.obs", "repro.log", "repro.monitor"
+        }
         assert data["project"]["scripts"]["brisk-lint"] == "repro.lint.cli:main"
 
     @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")

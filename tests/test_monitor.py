@@ -1,0 +1,427 @@
+"""Unit tests for the runtime monitor: spec validation, JSON loading,
+and the engine's rate windows, hysteresis, cooldown, and actuation.
+
+The engine is driven entirely through ``deliver``/``tick`` with an
+explicit clock and a fake actuator — no sockets, no threads, no wall
+time — so every state transition here is exact.
+"""
+
+import pytest
+
+from tests.conftest import make_record
+
+from repro.core.filtering import FieldTest, FilterSpec
+from repro.core.records import EventRecord, FieldType
+from repro.monitor.engine import ALERT_EVENT_ID, MonitorEngine
+from repro.monitor.spec import Action, Condition, MonitorRule, MonitorSpec
+from repro.obs.reporter import METRICS_EVENT_ID
+
+
+class FakeActuator:
+    """Records every actuation; ``push_ok`` simulates a disconnected EXS."""
+
+    def __init__(self, push_ok: bool = True) -> None:
+        self.push_ok = push_ok
+        self.pushes: list[tuple[int, FilterSpec]] = []
+        self.sync_rounds = 0
+        self.alerts: list[EventRecord] = []
+
+    def push_filter(self, exs_id: int, spec: FilterSpec) -> bool:
+        self.pushes.append((exs_id, spec))
+        return self.push_ok
+
+    def request_sync_round(self) -> None:
+        self.sync_rounds += 1
+
+    def emit_alert(self, record: EventRecord) -> None:
+        self.alerts.append(record)
+
+
+def rate_rule(
+    name: str = "hot",
+    above: float = 100.0,
+    window_us: int = 1_000_000,
+    do: tuple = (Action(kind="set_sampling", sample_every=10),),
+    **kwargs,
+) -> MonitorRule:
+    when_kwargs = {"event_id": 1, **kwargs.pop("when_kwargs", {})}
+    return MonitorRule(
+        name=name,
+        when=Condition(
+            kind="rate", above=above, window_us=window_us, **when_kwargs
+        ),
+        do=do,
+        **kwargs,
+    )
+
+
+def engine_with(*rules: MonitorRule, bucket_us: int = 100_000, push_ok=True):
+    actuator = FakeActuator(push_ok=push_ok)
+    spec = MonitorSpec(rules=tuple(rules), bucket_us=bucket_us)
+    return MonitorEngine(spec, actuator), actuator
+
+
+def metric_record(name: str, value: float, node_id: int = 0) -> EventRecord:
+    return EventRecord(
+        event_id=METRICS_EVENT_ID,
+        timestamp=0,
+        field_types=(FieldType.X_STRING, FieldType.X_DOUBLE),
+        values=(name, value),
+        node_id=node_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# spec validation
+# ----------------------------------------------------------------------
+class TestSpecValidation:
+    def test_condition_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown condition kind"):
+            Condition(kind="pressure", above=1.0)
+
+    def test_condition_needs_exactly_one_threshold(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            Condition(kind="rate")
+        with pytest.raises(ValueError, match="exactly one"):
+            Condition(kind="rate", above=1.0, below=2.0)
+
+    def test_metric_condition_needs_name(self):
+        with pytest.raises(ValueError, match="metric name"):
+            Condition(kind="metric", above=1.0)
+
+    def test_rate_condition_rejects_metric_name(self):
+        with pytest.raises(ValueError, match="does not take"):
+            Condition(kind="rate", metric="x", above=1.0)
+
+    def test_clear_factor_bounds(self):
+        with pytest.raises(ValueError, match="clear_factor"):
+            Condition(kind="rate", above=1.0, clear_factor=0.0)
+        with pytest.raises(ValueError, match="clear_factor"):
+            Condition(kind="rate", above=1.0, clear_factor=1.5)
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError, match="unknown action kind"):
+            Action(kind="explode")
+        with pytest.raises(ValueError, match="sample_every"):
+            Action(kind="set_sampling", sample_every=0)
+        with pytest.raises(ValueError, match="requires a spec"):
+            Action(kind="set_filter")
+        with pytest.raises(ValueError, match="at least one event"):
+            Action(kind="block_events")
+
+    def test_action_filter_spec_mapping(self):
+        assert Action(kind="set_sampling", sample_every=4).filter_spec() == (
+            FilterSpec(sample_every=4)
+        )
+        assert Action(kind="block_events", events=(7,)).filter_spec() == (
+            FilterSpec(blocked_events=frozenset({7}))
+        )
+        assert Action(kind="restore").filter_spec() == FilterSpec()
+        assert Action(kind="alert").filter_spec() is None
+        custom = FilterSpec(allowed_events={1})
+        assert Action(kind="set_filter", spec=custom).filter_spec() is custom
+
+    def test_rule_needs_actions_and_name(self):
+        cond = Condition(kind="rate", above=1.0)
+        with pytest.raises(ValueError, match="no actions"):
+            MonitorRule(name="r", when=cond, do=())
+        with pytest.raises(ValueError, match="non-empty"):
+            MonitorRule(name="", when=cond, do=(Action(kind="alert"),))
+
+    def test_spec_rejects_duplicate_rule_names(self):
+        rule = rate_rule()
+        with pytest.raises(ValueError, match="unique"):
+            MonitorSpec(rules=(rule, rule))
+
+
+class TestJsonLoading:
+    SPEC = """
+    {
+      "bucket_us": 50000,
+      "rules": [
+        {
+          "name": "shed-hot",
+          "when": {"kind": "rate", "event_id": 1, "above": 500,
+                   "window_us": 500000, "clear_factor": 0.5},
+          "do": [{"kind": "set_sampling", "sample_every": 10},
+                 {"kind": "alert"}],
+          "on_clear": [{"kind": "restore"}],
+          "cooldown_us": 1000000
+        },
+        {
+          "name": "probe-skew",
+          "when": {"kind": "metric", "metric": "sync.skew_p99",
+                   "above": 2000.0},
+          "do": [{"kind": "sync_round"}]
+        },
+        {
+          "name": "slice",
+          "when": {"kind": "rate", "below": 1.0},
+          "do": [{"kind": "set_filter",
+                  "spec": {"allowed_events": [1, 2],
+                           "field_tests": [{"field_index": 0, "op": "ge",
+                                            "value": 100}]}}]
+        }
+      ]
+    }
+    """
+
+    def test_round_trip(self):
+        spec = MonitorSpec.from_json(self.SPEC)
+        assert spec.bucket_us == 50_000
+        assert [r.name for r in spec.rules] == ["shed-hot", "probe-skew", "slice"]
+        shed = spec.rules[0]
+        assert shed.when == Condition(
+            kind="rate", event_id=1, above=500.0,
+            window_us=500_000, clear_factor=0.5,
+        )
+        assert shed.do[0] == Action(kind="set_sampling", sample_every=10)
+        assert shed.on_clear == (Action(kind="restore"),)
+        assert shed.cooldown_us == 1_000_000
+        sliced = spec.rules[2].do[0].spec
+        assert sliced.allowed_events == frozenset({1, 2})
+        assert sliced.field_tests == (FieldTest(0, "ge", 100),)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(self.SPEC)
+        assert MonitorSpec.load(str(path)) == MonitorSpec.from_json(self.SPEC)
+
+    def test_rejects_malformed_documents(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            MonitorSpec.from_json("{nope")
+        with pytest.raises(ValueError, match="JSON object"):
+            MonitorSpec.from_json("[1, 2]")
+        with pytest.raises(ValueError, match="'rules' must be a list"):
+            MonitorSpec.from_json('{"rules": "all"}')
+        with pytest.raises(ValueError, match="unknown field-test op"):
+            MonitorSpec.from_json(
+                '{"rules": [{"name": "r", "when": {"kind": "rate", "above": 1},'
+                ' "do": [{"kind": "set_filter", "spec": {"field_tests":'
+                ' [{"field_index": 0, "op": "like", "value": 1}]}}]}]}'
+            )
+        with pytest.raises(ValueError, match="must be numeric"):
+            MonitorSpec.from_json(
+                '{"rules": [{"name": "r", "when": {"kind": "rate", "above": 1},'
+                ' "do": [{"kind": "set_filter", "spec": {"field_tests":'
+                ' [{"field_index": 0, "op": "eq", "value": true}]}}]}]}'
+            )
+
+
+# ----------------------------------------------------------------------
+# rate windows
+# ----------------------------------------------------------------------
+class TestRateWindows:
+    def deliver_n(self, engine, n: int, node_id: int = 1, event_id: int = 1):
+        for _ in range(n):
+            engine.deliver(make_record(event_id=event_id, node_id=node_id))
+
+    def test_trips_above_threshold_only(self):
+        engine, actuator = engine_with(rate_rule(above=100.0))
+        engine.tick(0)
+        self.deliver_n(engine, 100)  # exactly 100/s: not > 100
+        engine.tick(1_000_000)
+        assert engine.active_rules() == {}
+        self.deliver_n(engine, 101)
+        engine.tick(2_000_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        # Implicit target: the tripping node.
+        assert actuator.pushes == [(1, FilterSpec(sample_every=10))]
+
+    def test_window_sums_across_buckets(self):
+        engine, _ = engine_with(rate_rule(above=100.0, window_us=1_000_000))
+        engine.tick(0)
+        # 60/s in each of two adjacent 100ms buckets still only 120 over
+        # the 1s window -> > 100 trips.
+        self.deliver_n(engine, 60)
+        engine.tick(100_000)
+        self.deliver_n(engine, 60)
+        engine.tick(200_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+
+    def test_counts_age_out_of_the_window(self):
+        engine, _ = engine_with(
+            rate_rule(above=100.0, window_us=200_000), bucket_us=100_000
+        )
+        engine.tick(0)
+        self.deliver_n(engine, 50)  # 250/s over the 200ms window
+        engine.tick(100_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        # Quiet: the hot buckets rotate out and the rule clears.
+        engine.tick(300_000)
+        assert engine.active_rules() == {}
+
+    def test_long_idle_resets_every_bucket(self):
+        engine, _ = engine_with(rate_rule(above=10.0, window_us=1_000_000))
+        engine.tick(0)
+        self.deliver_n(engine, 1_000)
+        # An hour of virtual idleness: everything is stale.
+        engine.tick(3_600_000_000)
+        assert engine.active_rules() == {}
+
+    def test_event_filter_restricts_counting(self):
+        engine, _ = engine_with(rate_rule(above=10.0))
+        engine.tick(0)
+        self.deliver_n(engine, 1_000, event_id=2)  # not the rule's event
+        engine.tick(1_000_000)
+        assert engine.active_rules() == {}
+
+    def test_per_node_evaluation_is_independent(self):
+        engine, actuator = engine_with(rate_rule(above=100.0))
+        engine.tick(0)
+        self.deliver_n(engine, 500, node_id=1)
+        self.deliver_n(engine, 5, node_id=2)
+        engine.tick(1_000_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        assert [target for target, _ in actuator.pushes] == [1]
+
+    def test_pinned_node_condition_ignores_others(self):
+        rule = rate_rule(when_kwargs={"node_id": 2}, above=10.0)
+        engine, _ = engine_with(rule)
+        engine.tick(0)
+        self.deliver_n(engine, 1_000, node_id=1)
+        engine.tick(1_000_000)
+        assert engine.active_rules() == {}
+        self.deliver_n(engine, 1_000, node_id=2)
+        engine.tick(2_000_000)
+        assert engine.active_rules() == {"hot": frozenset({2})}
+
+    def test_alert_records_do_not_feed_back(self):
+        engine, _ = engine_with(
+            rate_rule(when_kwargs={"event_id": None}, above=10.0)
+        )
+        engine.tick(0)
+        for _ in range(1_000):
+            engine.deliver(make_record(event_id=ALERT_EVENT_ID, node_id=1))
+        engine.tick(1_000_000)
+        assert engine.active_rules() == {}
+
+
+# ----------------------------------------------------------------------
+# hysteresis / cooldown
+# ----------------------------------------------------------------------
+class TestHysteresisAndCooldown:
+    def test_clear_needs_hysteresis_band(self):
+        rule = rate_rule(
+            above=100.0, window_us=100_000,
+            when_kwargs={"clear_factor": 0.5},
+            on_clear=(Action(kind="restore"),),
+        )
+        engine, actuator = engine_with(rule, bucket_us=100_000)
+        engine.tick(0)
+        for _ in range(20):  # 200/s
+            engine.deliver(make_record(node_id=1))
+        engine.tick(100_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        # 80/s: below the trip threshold but above 50/s -> still active.
+        for _ in range(8):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(200_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        # 40/s: inside the band -> clears and fires on_clear.
+        for _ in range(4):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(300_000)
+        assert engine.active_rules() == {}
+        assert actuator.pushes[-1] == (1, FilterSpec())
+
+    def test_active_rule_does_not_refire(self):
+        engine, actuator = engine_with(rate_rule(above=10.0, window_us=100_000))
+        engine.tick(0)
+        for tick in range(1, 6):
+            for _ in range(100):
+                engine.deliver(make_record(node_id=1))
+            engine.tick(tick * 100_000)
+        assert len(actuator.pushes) == 1
+
+    def test_cooldown_suppresses_immediate_retrip(self):
+        rule = rate_rule(
+            above=100.0, window_us=100_000, cooldown_us=1_000_000
+        )
+        engine, actuator = engine_with(rule, bucket_us=100_000)
+        engine.tick(0)
+        for _ in range(20):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(100_000)        # trips
+        engine.tick(200_000)        # quiet bucket: clears
+        assert engine.active_rules() == {}
+        for _ in range(20):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(300_000)        # hot again, but inside cooldown
+        assert engine.active_rules() == {}
+        engine.tick(1_200_000)      # quiet until the cooldown elapses
+        for _ in range(20):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(1_300_000)      # cooldown over: trips again
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        assert len(actuator.pushes) == 2
+
+
+# ----------------------------------------------------------------------
+# metric conditions + actuation kinds
+# ----------------------------------------------------------------------
+class TestMetricsAndActuation:
+    def test_metric_condition_uses_latest_value(self):
+        rule = MonitorRule(
+            name="skew",
+            when=Condition(kind="metric", metric="sync.skew_p99", above=2_000.0),
+            do=(Action(kind="sync_round"),),
+        )
+        engine, actuator = engine_with(rule)
+        engine.deliver(metric_record("sync.skew_p99", 500.0))
+        engine.tick(0)
+        assert actuator.sync_rounds == 0
+        engine.deliver(metric_record("sync.skew_p99", 5_000.0))
+        engine.tick(100_000)
+        assert actuator.sync_rounds == 1
+        assert engine.latest_metric("sync.skew_p99") == 5_000.0
+        # Falling back under the threshold clears the rule.
+        engine.deliver(metric_record("sync.skew_p99", 100.0))
+        engine.tick(200_000)
+        assert engine.active_rules() == {}
+
+    def test_alert_record_shape(self):
+        rule = rate_rule(do=(Action(kind="alert"),), above=10.0)
+        engine, actuator = engine_with(rule)
+        engine.tick(0)
+        for _ in range(100):
+            engine.deliver(make_record(node_id=3))
+        engine.tick(1_000_000)
+        assert engine.alerts_emitted == 1
+        (alert,) = actuator.alerts
+        assert alert.event_id == ALERT_EVENT_ID
+        assert alert.timestamp == 1_000_000
+        assert alert.field_types == (
+            FieldType.X_STRING, FieldType.X_UINT, FieldType.X_DOUBLE
+        )
+        name, node, value = alert.values
+        assert name == "hot" and node == 3 and value > 10.0
+
+    def test_deferred_push_is_counted(self):
+        engine, actuator = engine_with(rate_rule(above=10.0), push_ok=False)
+        engine.tick(0)
+        for _ in range(100):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(1_000_000)
+        assert engine.pushes_deferred == 1
+        assert actuator.pushes  # the attempt was made
+
+    def test_explicit_target_overrides_tripping_node(self):
+        rule = rate_rule(
+            do=(Action(kind="set_sampling", sample_every=5, target=9),),
+            above=10.0,
+        )
+        engine, actuator = engine_with(rule)
+        engine.tick(0)
+        for _ in range(100):
+            engine.deliver(make_record(node_id=1))
+        engine.tick(1_000_000)
+        assert actuator.pushes == [(9, FilterSpec(sample_every=5))]
+
+    def test_deliver_many_matches_deliver(self):
+        engine, _ = engine_with(rate_rule(above=10.0))
+        engine.tick(0)
+        engine.deliver_many([make_record(node_id=1)] * 100)
+        engine.tick(1_000_000)
+        assert engine.active_rules() == {"hot": frozenset({1})}
+        engine.close()  # consumer protocol: must not raise

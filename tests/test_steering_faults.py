@@ -1,0 +1,312 @@
+"""Steering under faults: pushed filters must survive disconnects,
+ISM-side connection drops, and SIGKILL'd shard workers.
+
+The contract under test is the *desired-filter store*: ``set_filter``
+records the operator's intent whether or not the EXS is reachable, and
+the server re-applies it (epoch-stamped, so re-application is a no-op
+when the EXS already has it) after every Hello.  Combined with the
+resume/retransmit path, acked records stay exactly-once across every
+fault injected here.
+"""
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+
+import pytest
+from tests.conftest import wait_until
+
+from repro.clocksync.clocks import CorrectedClock
+from repro.core.consumers import CollectingConsumer
+from repro.core.exs import ExsConfig, ExternalSensor
+from repro.core.filtering import FieldTest, FilterSpec
+from repro.core.ism import InstrumentationManager, IsmConfig
+from repro.core.ringbuffer import ring_for_records
+from repro.core.sensor import Sensor
+from repro.core.sorting import SorterConfig
+from repro.runtime import attach_shared_ring, create_shared_ring
+from repro.runtime.exs_proc import ReconnectingExs, resilient_exs_main
+from repro.runtime.ism_proc import IsmServer, ShardedIsmServer
+from repro.util.timebase import now_micros
+from repro.wire.tcp import MessageListener
+
+
+@pytest.fixture(scope="module")
+def mp_ctx():
+    return mp.get_context("spawn")
+
+
+def make_lis(node_id: int = 1):
+    ring = ring_for_records(50_000)
+    sensor = Sensor(ring, node_id=node_id)
+    exs = ExternalSensor(
+        node_id, node_id, ring, CorrectedClock(now_micros),
+        ExsConfig(batch_max_records=32, flush_timeout_us=2_000),
+    )
+    return sensor, exs
+
+
+def pump_serve_until(server: IsmServer, predicate, timeout: float = 10.0):
+    """Run the (single-threaded) serve loop in short slices until
+    *predicate* holds — accepting connections, Hellos, and control
+    traffic along the way."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"condition not met within {timeout}s")
+        server.serve(duration_s=0.05)
+
+
+class TestFilterReapplyOnReconnect:
+    def test_filter_set_while_disconnected_applies_on_connect(self):
+        """The re-apply bug: a spec pushed at a disconnected EXS used to
+        vanish.  Now it is stored and lands right after the Hello."""
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+            [CollectingConsumer()],
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+
+        # Nobody is connected: the push is deferred, not dropped.
+        assert server.set_filter(1, FilterSpec(blocked_events={2})) is False
+
+        sensor, exs = make_lis()
+        runner = ReconnectingExs(
+            exs, host, port, select_timeout_s=0.002,
+            max_attempts=50, backoff_s=0.02, max_backoff_s=0.1,
+        )
+        thread = threading.Thread(target=runner.run, daemon=True)
+        thread.start()
+        try:
+            # serve() accepts the connection and re-applies the stored
+            # spec right after the Hello.
+            pump_serve_until(server, lambda: exs.filter is not None)
+            assert exs.filter_epoch == 1
+
+            for k in range(200):
+                sensor.notice_ints(1, k)
+                sensor.notice_ints(2, k)
+            server.serve(duration_s=10.0, until_records=200)
+        finally:
+            runner.stop()
+            thread.join(timeout=10)
+            listener.close()
+
+        (sink,) = manager.consumers
+        assert len(sink.records) == 200
+        assert {r.event_id for r in sink.records} == {1}
+        assert sorted(r.values[0] for r in sink.records) == list(range(200))
+        assert exs.stats.records_filtered == 200
+
+    def test_filter_updated_during_outage_wins_after_reconnect(self):
+        """set_filter racing an EXS reconnect: the spec pushed *during*
+        the outage is the one in force after resume, and every admitted
+        record is delivered exactly once."""
+        collected = CollectingConsumer()
+        manager = InstrumentationManager(
+            IsmConfig(sorter=SorterConfig(initial_frame_us=0)), [collected]
+        )
+        listener = MessageListener()
+        host, port = listener.address
+        server = IsmServer(manager, listener)
+
+        sensor, exs = make_lis()
+        runner = ReconnectingExs(
+            exs, host, port, select_timeout_s=0.002,
+            max_attempts=100, backoff_s=0.02, max_backoff_s=0.1,
+        )
+        thread = threading.Thread(target=runner.run, daemon=True)
+        thread.start()
+        try:
+            # Phase 1: block event 2 while connected.
+            pump_serve_until(server, lambda: 1 in server.connections)
+            assert server.set_filter(1, FilterSpec(blocked_events={2}))
+            pump_serve_until(server, lambda: exs.filter is not None)
+            for k in range(100):
+                sensor.notice_ints(1, k)
+                sensor.notice_ints(2, k)
+            server.serve(duration_s=10.0, until_records=100)
+
+            # Drop the EXS's connection server-side (the socket dies
+            # under it) and, during the outage, steer again: block
+            # event 1 as well.  The push cannot be delivered — it must
+            # be stored for the resume.
+            server.connections[1].close()
+            assert server.set_filter(
+                1, FilterSpec(blocked_events={1, 2})
+            ) is False
+            # Records written during the outage (event 3 passes both the
+            # old and the new spec, so their drain timing cannot skew the
+            # assertions below).
+            for k in range(100, 200):
+                sensor.notice_ints(3, k)
+
+            # The reconnect must re-apply the newest spec (epoch 2).
+            pump_serve_until(server, lambda: exs.filter_epoch == 2)
+            # Written strictly after the new spec landed: event 1 is now
+            # dropped at the source, event 3 still flows.
+            for k in range(500, 600):
+                sensor.notice_ints(1, k)
+                sensor.notice_ints(3, k)
+            server.serve(duration_s=15.0, until_records=300)
+        finally:
+            runner.stop()
+            thread.join(timeout=10)
+            listener.close()
+
+        by_event: dict[int, list[int]] = {}
+        for record in collected.records:
+            by_event.setdefault(record.event_id, []).append(record.values[0])
+        # Exactly-once on everything admitted, across the reconnect.
+        assert sorted(by_event[1]) == list(range(100))
+        assert sorted(by_event[3]) == list(range(100, 200)) + list(range(500, 600))
+        assert 2 not in by_event
+        assert manager.stats.records_received == 300
+        # Post-outage event-1 records died at the source.
+        assert exs.stats.records_filtered >= 200
+
+
+class TestShardedFilterReapply:
+    def test_filter_set_before_connect_applies_at_hello(self):
+        sink = CollectingConsumer()
+        listener = MessageListener()
+        host, port = listener.address
+        server = ShardedIsmServer(
+            [sink], listener, shards=2, partition_by="node",
+            ism_config=IsmConfig(sorter=SorterConfig(initial_frame_us=0)),
+        )
+        assert server.set_filter(1, FilterSpec(blocked_events={2})) is False
+
+        sensor, exs = make_lis()
+        runner = ReconnectingExs(
+            exs, host, port, select_timeout_s=0.002,
+            max_attempts=50, backoff_s=0.02, max_backoff_s=0.1,
+        )
+        thread = threading.Thread(target=runner.run, daemon=True)
+        serve = threading.Thread(
+            target=server.serve, kwargs={"duration_s": 60.0}
+        )
+        thread.start()
+        serve.start()
+        try:
+            wait_until(lambda: exs.filter is not None, timeout=15.0)
+            assert exs.filter_epoch == 1
+            for k in range(200):
+                sensor.notice_ints(1, k)
+                sensor.notice_ints(2, k)
+            wait_until(lambda: len(sink.records) >= 200, timeout=30.0)
+        finally:
+            server.stop()
+            serve.join(timeout=30)
+            runner.stop()
+            thread.join(timeout=10)
+            server.close()
+            listener.close()
+
+        assert {r.event_id for r in sink.records} == {1}
+        values = sorted(r.values[0] for r in sink.records)
+        assert values == list(range(200))
+        assert exs.stats.records_filtered == 200
+
+
+# ----------------------------------------------------------------------
+# chaos: pushed predicate + SIGKILL'd shard worker
+# ----------------------------------------------------------------------
+class TestShardKillWithSteering:
+    def test_pushed_predicate_survives_shard_kill_exactly_once(self, mp_ctx):
+        """The EXS ships records 0..n-1 (a pushed field test drops the
+        rest at the source); a shard worker is SIGKILL'd mid-run.  The
+        committed-prefix salvage plus resume replay must deliver exactly
+        0..n-1 — and the predicate must still be dropping the top half
+        after the restart."""
+        n = 4_000
+        shared = create_shared_ring(1 << 20)
+        sink = CollectingConsumer()
+        listener = MessageListener(host="127.0.0.1", port=0)
+        host, port = listener.address
+        server = ShardedIsmServer(
+            [sink], listener, shards=2, partition_by="node",
+            ism_config=IsmConfig(sorter=SorterConfig(initial_frame_us=1_000)),
+            commit_interval_s=0.02,
+        )
+        # Steer before anything connects: drop every record whose first
+        # field is >= n, at the source.
+        assert server.set_filter(
+            1, FilterSpec(field_tests=(FieldTest(0, "lt", n),))
+        ) is False
+
+        app = mp_ctx.Process(
+            target=_steering_app_main, args=(shared.name, 2 * n, 1)
+        )
+        exs = mp_ctx.Process(
+            target=resilient_exs_main,
+            args=(shared.name, host, port, 1, 1, None),
+            kwargs={"ack_timeout_s": 1.0, "max_attempts": 10},
+        )
+        serve = threading.Thread(
+            target=server.serve, kwargs={"duration_s": 120.0}
+        )
+        exs.start()
+        app.start()
+        serve.start()
+        try:
+            deadline = time.monotonic() + 60
+            victim = None
+            while time.monotonic() < deadline:
+                if server.records_received > n // 6:
+                    victim = server._handles[1 % 2].process
+                    break
+                time.sleep(0.01)
+            assert victim is not None, "pipeline never started flowing"
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 90
+            while len(sink.records) < n and time.monotonic() < deadline:
+                time.sleep(0.02)
+            server.stop()
+            serve.join(timeout=60)
+            assert not serve.is_alive()
+        finally:
+            server.stop()
+            app.join(timeout=10)
+            exs.join(timeout=30)
+            if exs.is_alive():
+                exs.terminate()
+            serve.join(timeout=10)
+            server.close()
+            listener.close()
+            shared.close()
+
+        assert int(server.shard_restarts) >= 1
+        values = sorted(r.values[0] for r in sink.records)
+        # A short prefix of >= n values may slip out between the connect
+        # and the SetFilter landing; each must still be exactly-once, and
+        # the flow of them must stop once the predicate lands.
+        low = [v for v in values if v < n]
+        high = [v for v in values if v >= n]
+        assert low == list(range(n))          # nothing lost, nothing duped
+        assert len(high) == len(set(high))    # leaks are exactly-once too
+        assert len(high) < n // 10, (
+            f"{len(high)} unfiltered records: the pushed predicate did not "
+            "take effect (or did not survive the restart)"
+        )
+
+
+def _steering_app_main(ring_name: str, n_records: int, node_id: int) -> None:
+    # Give the EXS time to connect and install the pushed predicate
+    # before the first record is drained.
+    time.sleep(0.5)
+    shared = attach_shared_ring(ring_name)
+    try:
+        sensor = Sensor(shared.ring, node_id=node_id)
+        sent = 0
+        while sent < n_records:
+            if sensor.notice_ints(7, sent):
+                sent += 1
+            else:
+                time.sleep(0.001)
+    finally:
+        shared.close()
