@@ -1,11 +1,13 @@
 """Baseline file handling: let the tree start clean, gate what is new.
 
 The baseline (``lint-baseline.toml``) records accepted pre-existing
-findings by *fingerprint* — a hash of the rule, the file, and the text of
-the flagged line — so pure line drift (code inserted above) does not
-un-baseline an entry, while editing the flagged line itself does, forcing
-a fresh look.  ``--fail-on-new`` fails only on findings not in the
-baseline; ``--write-baseline`` regenerates it.
+findings by *fingerprint* — a hash of the rule, the qualified enclosing
+symbol, and the text of the flagged line — so pure line drift (code
+inserted above, or the whole function moving within its file) does not
+un-baseline an entry, while editing the flagged line or moving it to a
+different function does, forcing a fresh look.  ``--fail-on-new`` fails
+only on findings not in the baseline; ``--write-baseline`` regenerates
+it.
 
 Read via :mod:`tomllib`; written with a purpose-built emitter (the
 stdlib has no TOML writer and this repo adds no dependencies).
@@ -30,6 +32,7 @@ class BaselineEntry:
     path: str
     line: int          #: informational; fingerprints, not lines, match
     reason: str = ""
+    symbol: str = ""   #: informational; the qualified enclosing symbol
 
 
 def load_baseline(path: Path) -> dict[str, BaselineEntry]:
@@ -45,6 +48,7 @@ def load_baseline(path: Path) -> dict[str, BaselineEntry]:
             path=str(raw["path"]),
             line=int(raw.get("line", 0)),
             reason=str(raw.get("reason", "")),
+            symbol=str(raw.get("symbol", "")),
         )
         out[entry.fingerprint] = entry
     return out
@@ -64,13 +68,17 @@ def write_baseline(
     path: Path,
     findings: Iterable[tuple[Finding, str]],
     reasons: Mapping[str, str] | None = None,
+    symbols: Mapping[str, str] | None = None,
 ) -> int:
     """Write ``(finding, fingerprint)`` pairs; returns entries written.
 
     *reasons* maps fingerprints to justification strings; entries from a
     previous baseline keep their reasons across a regeneration.
+    *symbols* maps fingerprints to the qualified enclosing symbol
+    (informational, like ``line`` — the fingerprint alone matches).
     """
     reasons = reasons or {}
+    symbols = symbols or {}
     entries = sorted(
         {fp: f for f, fp in findings}.items(),
         key=lambda item: (item[1].path, item[1].line, item[1].rule),
@@ -87,6 +95,9 @@ def write_baseline(
         lines.append(f"rule = {_toml_str(finding.rule)}")
         lines.append(f"path = {_toml_str(finding.path)}")
         lines.append(f"line = {finding.line}")
+        symbol = symbols.get(fingerprint, "")
+        if symbol:
+            lines.append(f"symbol = {_toml_str(symbol)}")
         reason = reasons.get(fingerprint, "")
         if reason:
             lines.append(f"reason = {_toml_str(reason)}")

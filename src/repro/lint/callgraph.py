@@ -1,0 +1,656 @@
+"""Project-wide call graph over the one-parse :class:`SourceTree`.
+
+This is the interprocedural half of brisk-lint v2: one build pass walks
+every parsed module and records, per function, which *project* functions
+it calls — resolved through import aliases, ``self.``/``cls.`` method
+dispatch (including base classes), attribute-type inference from
+``__init__`` assignments and annotations, local-variable construction
+sites, ``functools.partial`` wrapping, and bare function references
+passed as callbacks (``Thread(target=self._loop)``).
+
+Everything is name-based and best-effort — there is no type checker
+underneath.  The resolution contract is deliberately conservative:
+
+* a call that cannot be resolved produces **no** edge (checkers that
+  need a guarantee must treat unresolved calls via explicit seeds, see
+  :mod:`repro.lint.effects`);
+* a method name defined by exactly **one** class in the tree resolves by
+  uniqueness even when the receiver's type is unknown; a name defined by
+  several classes stays unresolved rather than guessing;
+* dynamic dispatch through stored callables (``self._time_fn()``) is
+  invisible by design — injecting a callable is exactly how code opts
+  *out* of a static effect (the determinism zone depends on this).
+
+``brisk-lint --graph <symbol>`` prints what this module resolved for one
+function, so false positives can be diagnosed without reading any of it.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.lint.astutil import ImportMap, dotted_name
+from repro.lint.engine import SourceFile, SourceTree
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "FunctionInfo",
+    "ClassInfo",
+    "build_callgraph",
+    "module_qname",
+]
+
+
+#: Bare builtin calls (len, sorted, isinstance, ...) are never project
+#: functions; keeping them out of ``unresolved`` keeps --graph readable.
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def module_qname(rel_path: str) -> str:
+    """``src/repro/runtime/shard.py`` → ``repro.runtime.shard``."""
+    parts = rel_path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the tree."""
+
+    qname: str                    #: e.g. ``repro.runtime.shard.ShardWorker.run``
+    module: str                   #: e.g. ``repro.runtime.shard``
+    rel_path: str                 #: repo-relative posix path
+    name: str                     #: bare name (``run``)
+    lineno: int
+    end_lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_qname: str | None = None   #: owning class, None for module level
+    parent_qname: str | None = None  #: enclosing function for nested defs
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases, inferred attribute types."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    base_names: list[str] = field(default_factory=list)  #: resolved qnames (best effort)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr>`` → class qname, inferred from ``__init__``/body
+    #: annotations and ``self.x = SomeClass(...)`` assignments.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """A resolved caller → callee edge, with the call-site line."""
+
+    caller: str
+    callee: str
+    lineno: int
+    #: ``call`` | ``method`` | ``instantiate`` | ``partial`` | ``callback``
+    #: | ``unique`` (resolved only by tree-wide name uniqueness)
+    kind: str
+
+
+class CallGraph:
+    """Resolved project call graph plus the symbol indexes checkers use."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.edges_by_caller: dict[str, list[CallEdge]] = {}
+        self.edges_by_callee: dict[str, list[CallEdge]] = {}
+        #: caller qname → dotted call texts that resolved to nothing.
+        self.unresolved: dict[str, list[tuple[str, int]]] = {}
+        #: bare method/function name → qnames defining it (uniqueness index).
+        self._by_bare_name: dict[str, list[str]] = {}
+
+    # -- queries -------------------------------------------------------
+
+    def callees(self, qname: str) -> list[CallEdge]:
+        return self.edges_by_caller.get(qname, [])
+
+    def callers(self, qname: str) -> list[CallEdge]:
+        return self.edges_by_callee.get(qname, [])
+
+    def lookup(self, symbol: str) -> FunctionInfo | None:
+        """Find a function by full qname or unambiguous dotted suffix."""
+        if symbol in self.functions:
+            return self.functions[symbol]
+        matches = [
+            info
+            for qname, info in self.functions.items()
+            if qname.endswith("." + symbol)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def lookup_all(self, symbol: str) -> list[FunctionInfo]:
+        if symbol in self.functions:
+            return [self.functions[symbol]]
+        return [
+            info
+            for qname, info in self.functions.items()
+            if qname.endswith("." + symbol)
+        ]
+
+    def _add_edge(self, edge: CallEdge) -> None:
+        self.edges_by_caller.setdefault(edge.caller, []).append(edge)
+        self.edges_by_callee.setdefault(edge.callee, []).append(edge)
+
+
+# ----------------------------------------------------------------------
+# build
+# ----------------------------------------------------------------------
+
+def build_callgraph(tree: SourceTree) -> CallGraph:
+    """One pass to index definitions, one pass to resolve call sites."""
+    graph = CallGraph()
+    module_scopes: dict[str, _ModuleScope] = {}
+    for source_file in tree:
+        if source_file.tree is None:
+            continue
+        scope = _index_module(source_file, graph)
+        module_scopes[scope.module] = scope
+    for info in graph.functions.values():
+        graph._by_bare_name.setdefault(info.name, []).append(info.qname)
+    _infer_attr_types(graph, module_scopes)
+    for scope in module_scopes.values():
+        _resolve_module_calls(scope, graph)
+    return graph
+
+
+@dataclass
+class _ModuleScope:
+    """Per-module name tables used during resolution."""
+
+    module: str
+    rel_path: str
+    imports: ImportMap
+    #: module-level name → function/class qname defined in this module.
+    local_defs: dict[str, str] = field(default_factory=dict)
+
+
+def _index_module(source_file: SourceFile, graph: CallGraph) -> _ModuleScope:
+    module = module_qname(source_file.rel_path)
+    assert source_file.tree is not None
+    scope = _ModuleScope(
+        module=module,
+        rel_path=source_file.rel_path,
+        imports=ImportMap(source_file.tree),
+    )
+
+    def add_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qname: str,
+        class_qname: str | None,
+        parent_qname: str | None,
+    ) -> FunctionInfo:
+        info = FunctionInfo(
+            qname=qname,
+            module=module,
+            rel_path=source_file.rel_path,
+            name=node.name,
+            lineno=node.lineno,
+            end_lineno=node.end_lineno or node.lineno,
+            node=node,
+            class_qname=class_qname,
+            parent_qname=parent_qname,
+        )
+        graph.functions[qname] = info
+        # Nested defs are indexed too (pump helpers like close_run), one
+        # level of nesting is enough for this codebase but recurse anyway.
+        for child in ast.iter_child_nodes(node):
+            _index_nested(child, qname, class_qname)
+        return info
+
+    def _index_nested(
+        node: ast.AST, parent_qname: str, class_qname: str | None
+    ) -> None:
+        stack: list[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # its own body is indexed by add_function's recursion
+                add_function(
+                    current,
+                    f"{parent_qname}.{current.name}",
+                    class_qname=None,
+                    parent_qname=parent_qname,
+                )
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    for node in source_file.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.local_defs[node.name] = f"{module}.{node.name}"
+            add_function(node, f"{module}.{node.name}", None, None)
+        elif isinstance(node, ast.ClassDef):
+            class_qname = f"{module}.{node.name}"
+            scope.local_defs[node.name] = class_qname
+            cls = ClassInfo(
+                qname=class_qname, module=module, name=node.name, node=node
+            )
+            for base in node.bases:
+                resolved = scope.imports.resolve(base)
+                if resolved is not None:
+                    cls.base_names.append(_absolutize(resolved, module))
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info = add_function(
+                        member,
+                        f"{class_qname}.{member.name}",
+                        class_qname,
+                        None,
+                    )
+                    cls.methods[member.name] = info
+                elif isinstance(member, ast.AnnAssign) and isinstance(
+                    member.target, ast.Name
+                ):
+                    # dataclass-style field annotation
+                    type_name = _annotation_class(member.annotation)
+                    if type_name is not None:
+                        resolved = scope.imports.resolve(_as_ref(type_name))
+                        if resolved:
+                            cls.attr_types[member.target.id] = _absolutize(
+                                resolved, module
+                            )
+            graph.classes[class_qname] = cls
+    return scope
+
+
+def _absolutize(qual: str, module: str) -> str:
+    """A name resolved inside *module* that names a local def is already
+    bare (``ShardWorker``); qualify it so cross-module lookups work."""
+    if "." in qual:
+        return qual
+    return f"{module}.{qual}"
+
+
+def _as_ref(dotted: str) -> ast.expr:
+    """Rebuild an AST reference from a dotted string for ImportMap."""
+    parts = dotted.split(".")
+    node: ast.expr = ast.Name(id=parts[0])
+    for part in parts[1:]:
+        node = ast.Attribute(value=node, attr=part)
+    return node
+
+
+def _annotation_class(annotation: ast.expr | None) -> str | None:
+    """Extract the (single) class a simple annotation names.
+
+    Handles ``X``, ``mod.X``, ``X | None``, ``Optional[X]``, and string
+    annotations; gives up on real unions and generics.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = _annotation_class(annotation.left)
+        right = _annotation_class(annotation.right)
+        if left and right:
+            return None  # real union, ambiguous
+        return left or right
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value) or ""
+        if base.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_class(annotation.slice)
+        return None
+    if isinstance(annotation, ast.Constant) and annotation.value is None:
+        return None
+    return dotted_name(annotation)
+
+
+def _infer_attr_types(
+    graph: CallGraph, scopes: Mapping[str, _ModuleScope]
+) -> None:
+    """Fill ``ClassInfo.attr_types`` from method-body evidence.
+
+    ``self.x = SomeClass(...)`` types ``x`` when ``SomeClass`` resolves
+    to a tree class; ``self.x: T = ...`` uses the annotation.  Two
+    conflicting assignments drop the attribute to unknown.
+    """
+    for cls in graph.classes.values():
+        scope = scopes.get(cls.module)
+        if scope is None:
+            continue
+        conflicted: set[str] = set()
+        for method in cls.methods.values():
+            for node in ast.walk(method.node):
+                attr_name: str | None = None
+                inferred: str | None = None
+                if isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attr_name = target.attr
+                        type_name = _annotation_class(node.annotation)
+                        if type_name is not None:
+                            inferred = _resolve_class_name(
+                                type_name, scope, graph
+                            )
+                elif isinstance(node, ast.Assign):
+                    if (
+                        len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"
+                        and isinstance(node.value, ast.Call)
+                    ):
+                        attr_name = node.targets[0].attr
+                        callee = dotted_name(node.value.func)
+                        if callee is not None:
+                            inferred = _resolve_class_name(
+                                callee, scope, graph
+                            )
+                if attr_name is None or attr_name in conflicted:
+                    continue
+                if inferred is None:
+                    continue
+                existing = cls.attr_types.get(attr_name)
+                if existing is not None and existing != inferred:
+                    conflicted.add(attr_name)
+                    del cls.attr_types[attr_name]
+                else:
+                    cls.attr_types[attr_name] = inferred
+
+
+def _resolve_class_name(
+    dotted: str, scope: _ModuleScope, graph: CallGraph
+) -> str | None:
+    """Resolve a dotted reference to a tree class qname, or None."""
+    head = dotted.split(".", 1)[0]
+    if head in scope.local_defs:
+        candidate = scope.local_defs[head]
+        if "." in dotted:
+            candidate = candidate + dotted[len(head):]
+        return candidate if candidate in graph.classes else None
+    resolved = scope.imports.resolve(_as_ref(dotted))
+    if resolved is not None and resolved in graph.classes:
+        return resolved
+    return None
+
+
+def _method_on(
+    graph: CallGraph, class_qname: str, name: str, _depth: int = 0
+) -> FunctionInfo | None:
+    """Method lookup with a base-class walk (depth-bounded, no C3)."""
+    if _depth > 8:
+        return None
+    cls = graph.classes.get(class_qname)
+    if cls is None:
+        return None
+    if name in cls.methods:
+        return cls.methods[name]
+    for base in cls.base_names:
+        found = _method_on(graph, base, name, _depth + 1)
+        if found is not None:
+            return found
+    return None
+
+
+class _FunctionResolver:
+    """Resolves call sites and function references inside one function."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        scope: _ModuleScope,
+        graph: CallGraph,
+    ) -> None:
+        self.info = info
+        self.scope = scope
+        self.graph = graph
+        #: local name → class qname, from parameter annotations and
+        #: ``x = SomeClass(...)`` assignments in this function body.
+        self.local_types: dict[str, str] = {}
+        #: nested defs visible by bare name.
+        self.nested: dict[str, str] = {}
+        self._collect_locals()
+
+    def _collect_locals(self) -> None:
+        node = self.info.node
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            type_name = _annotation_class(arg.annotation)
+            if type_name is not None:
+                resolved = _resolve_class_name(
+                    type_name, self.scope, self.graph
+                )
+                if resolved is not None:
+                    self.local_types[arg.arg] = resolved
+        for child in _own_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # direct children only — _own_nodes stops at nested defs,
+                # but still yields the def node itself.
+                self.nested[child.name] = f"{self.info.qname}.{child.name}"
+            elif isinstance(child, ast.Assign) and isinstance(
+                child.value, ast.Call
+            ):
+                callee = dotted_name(child.value.func)
+                if callee is None:
+                    continue
+                cls_qname = _resolve_class_name(callee, self.scope, self.graph)
+                if cls_qname is None:
+                    continue
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_types[target.id] = cls_qname
+            elif isinstance(child, ast.Assign) and isinstance(
+                child.value, ast.Attribute
+            ):
+                # ``gate = self._ack_gate`` — pull the type from the
+                # owning class's attribute table so ``gate.commit()``
+                # resolves even when ``commit`` is not tree-unique.
+                dotted = dotted_name(child.value)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if parts[0] not in ("self", "cls"):
+                    continue
+                cls_qname = self._self_chain_type(parts[1:])
+                if cls_qname is None:
+                    continue
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        self.local_types[target.id] = cls_qname
+
+    # -- reference resolution ------------------------------------------
+
+    def resolve_ref(self, node: ast.expr) -> str | None:
+        """Resolve a Name/Attribute reference to a function/class qname."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        # self.<chain> — walk attribute types through the class table.
+        if head in ("self", "cls") and self.info.class_qname is not None:
+            return self._resolve_self_chain(parts[1:])
+        # local variable of a known class: var.method
+        if head in self.local_types and len(parts) >= 2:
+            return self._resolve_typed_chain(self.local_types[head], parts[1:])
+        # nested function defined in this body
+        if head in self.nested and len(parts) == 1:
+            return self.nested[head]
+        # module-level def or class in this module
+        if head in self.scope.local_defs:
+            qname = self.scope.local_defs[head]
+            for part in parts[1:]:
+                qname = f"{qname}.{part}"
+            if qname in self.graph.functions or qname in self.graph.classes:
+                return qname
+            return None
+        # import-resolved project reference
+        resolved = self.scope.imports.resolve(node)
+        if resolved is not None and (
+            resolved in self.graph.functions or resolved in self.graph.classes
+        ):
+            return resolved
+        return None
+
+    def _self_chain_type(self, attrs: list[str]) -> str | None:
+        """``self.a.b`` → the class qname the chain's value has, or None."""
+        if self.info.class_qname is None:
+            return None
+        current = self.info.class_qname
+        for attr in attrs:
+            next_type: str | None = None
+            probe: str | None = current
+            while probe is not None and next_type is None:
+                cls = self.graph.classes.get(probe)
+                if cls is None:
+                    break
+                next_type = cls.attr_types.get(attr)
+                probe = cls.base_names[0] if cls.base_names else None
+            if next_type is None:
+                return None
+            current = next_type
+        return current
+
+    def _resolve_self_chain(self, attrs: list[str]) -> str | None:
+        """``self.a.b.m`` → walk attr types from the owning class."""
+        if not attrs:
+            return None
+        current = self._self_chain_type(attrs[:-1])
+        if current is None:
+            return None
+        leaf = attrs[-1]
+        method = _method_on(self.graph, current, leaf)
+        if method is not None:
+            return method.qname
+        # the chain may name a nested attribute class rather than a method
+        cls = self.graph.classes.get(current)
+        if cls is not None and leaf in cls.attr_types:
+            return cls.attr_types[leaf]
+        return None
+
+    def _resolve_typed_chain(
+        self, class_qname: str, attrs: list[str]
+    ) -> str | None:
+        current = class_qname
+        for attr in attrs[:-1]:
+            cls = self.graph.classes.get(current)
+            if cls is None or attr not in cls.attr_types:
+                return None
+            current = cls.attr_types[attr]
+        method = _method_on(self.graph, current, attrs[-1])
+        return method.qname if method is not None else None
+
+    def resolve_unique(self, leaf: str) -> str | None:
+        """Last resort: a bare method name defined exactly once anywhere."""
+        candidates = self.graph._by_bare_name.get(leaf, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def _own_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk *func* without descending into nested function bodies.
+
+    Nested def nodes themselves are yielded (so callers can register
+    them) but their bodies belong to the nested function's own scan.
+    Lambdas are considered part of the enclosing function.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _resolve_module_calls(scope: _ModuleScope, graph: CallGraph) -> None:
+    for info in list(graph.functions.values()):
+        if info.module != scope.module:
+            continue
+        resolver = _FunctionResolver(info, scope, graph)
+        for node in _own_nodes(info.node):
+            if isinstance(node, ast.Call):
+                _resolve_call(node, resolver, graph)
+
+
+def _resolve_call(
+    call: ast.Call, resolver: _FunctionResolver, graph: CallGraph
+) -> None:
+    info = resolver.info
+    target = resolver.resolve_ref(call.func)
+    func_dotted = dotted_name(call.func)
+
+    # functools.partial(f, ...) wraps f: edge to f, not to partial.
+    qual = resolver.scope.imports.resolve(call.func)
+    if qual == "functools.partial" and call.args:
+        wrapped = resolver.resolve_ref(call.args[0])
+        if wrapped is not None:
+            wrapped = _callable_qname(wrapped, graph)
+            if wrapped is not None:
+                graph._add_edge(
+                    CallEdge(info.qname, wrapped, call.lineno, "partial")
+                )
+
+    if target is not None:
+        if target in graph.classes:
+            # instantiation: the effectful code is __init__ (if defined).
+            init = _method_on(graph, target, "__init__")
+            if init is not None:
+                graph._add_edge(
+                    CallEdge(info.qname, init.qname, call.lineno, "instantiate")
+                )
+        elif target in graph.functions:
+            kind = "method" if "." in (func_dotted or "") else "call"
+            graph._add_edge(CallEdge(info.qname, target, call.lineno, kind))
+    else:
+        # Unique-name fallback for method calls on untyped receivers.
+        leaf = (func_dotted or "").rsplit(".", 1)[-1]
+        unique = resolver.resolve_unique(leaf) if func_dotted and "." in func_dotted else None
+        if unique is not None:
+            graph._add_edge(CallEdge(info.qname, unique, call.lineno, "unique"))
+        elif func_dotted is not None and func_dotted not in _BUILTIN_NAMES:
+            graph.unresolved.setdefault(info.qname, []).append(
+                (func_dotted, call.lineno)
+            )
+
+    # Callback references: any argument that *names* a project function
+    # creates a deferred-call edge (Thread(target=...), ring callbacks).
+    for arg in (*call.args, *(kw.value for kw in call.keywords)):
+        if not isinstance(arg, (ast.Name, ast.Attribute)):
+            continue
+        ref = resolver.resolve_ref(arg)
+        if ref is None:
+            continue
+        ref = _callable_qname(ref, graph)
+        if ref is not None:
+            graph._add_edge(CallEdge(info.qname, ref, call.lineno, "callback"))
+
+
+def _callable_qname(ref: str, graph: CallGraph) -> str | None:
+    """Map a reference to the function that runs when it is called."""
+    if ref in graph.functions:
+        return ref
+    if ref in graph.classes:
+        init = _method_on(graph, ref, "__init__")
+        return init.qname if init is not None else None
+    return None

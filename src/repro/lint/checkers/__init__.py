@@ -8,6 +8,9 @@ from repro.lint.checkers.determinism import DeterminismChecker
 from repro.lint.checkers.loop_discipline import LoopDisciplineChecker
 from repro.lint.checkers.exception_hygiene import ExceptionHygieneChecker
 from repro.lint.checkers.instruments import InstrumentRegistrationChecker
+from repro.lint.checkers.deep_loop import DeepLoopChecker
+from repro.lint.checkers.durability import DurabilityChecker
+from repro.lint.checkers.capgate import CapGateChecker
 
 __all__ = ["all_checkers"]
 
@@ -20,4 +23,7 @@ def all_checkers() -> list[Checker]:
         LoopDisciplineChecker(),
         ExceptionHygieneChecker(),
         InstrumentRegistrationChecker(),
+        DeepLoopChecker(),
+        DurabilityChecker(),
+        CapGateChecker(),
     ]

@@ -1,0 +1,251 @@
+"""BRK6xx — deep loop discipline: pumps must not *reach* blocking calls.
+
+BRK301–303 police blocking calls written directly inside a pump-scoped
+function.  This family closes the loophole those rules leave open: a
+pump loop calling a helper that calls a helper that sleeps stalls every
+multiplexed peer just the same, and the refactors of PRs 6–9 moved most
+pump bodies into exactly such helpers.
+
+Definitions (all effect queries go through the shared
+:mod:`repro.lint.effects` analysis):
+
+* a **pump** is a function in a pump-scoped file whose transitive
+  effects include ``RUNS_SELECT`` — it drives, or is driven by, a
+  ``select`` readiness loop;
+* a finding fires for a call site **inside a ``while`` loop body** of a
+  pump when the callee's propagated effects include a blocking effect
+  (``BLOCKS_SLEEP``/``BLOCKS_RECV``/``BLOCKS_QUEUE`` →
+  BRK601/602/603).  Restricting to ``while`` bodies is what makes
+  shutdown paths legal: a bounded drain *after* the loop exits may
+  sleep; the steady-state cycle may not.
+* direct (chain-0) blocking calls inside the loop are reported only
+  when BRK301 would not already catch them (no ``select`` in the same
+  function) — one finding per defect, owned by the most precise rule.
+
+Noise control: one finding per (rule, terminal blocking function),
+keeping the pump with the shortest call chain — fixing the terminal
+fixes every chain through it, so reporting each would be pure noise.
+The message renders the chain so the finding is actionable without
+running ``--graph``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.callgraph import FunctionInfo
+from repro.lint.checkers.loop_discipline import SCOPE_SUFFIXES
+from repro.lint.effects import (
+    BLOCKING_EFFECTS,
+    PROPAGATING_KINDS,
+    Effect,
+    ProjectAnalysis,
+    project_analysis,
+)
+from repro.lint.engine import Checker, Finding, SourceTree
+
+__all__ = ["DeepLoopChecker"]
+
+_HINTS = {
+    "BRK601": (
+        "fold the wait into the pump's select timeout, or make the "
+        "helper's retry bounded and non-sleeping (return and let the "
+        "next cycle retry)"
+    ),
+    "BRK602": (
+        "give the read a timeout= bound or select-guard it inside the "
+        "helper that performs it"
+    ),
+    "BRK603": "pass timeout= (or block=False) at the .get() and handle Empty",
+}
+
+
+class DeepLoopChecker(Checker):
+    name = "deep-loop"
+    rules = {
+        "BRK601": "pump loop reaches time.sleep through a call chain",
+        "BRK602": "pump loop reaches an unguarded blocking read via a call chain",
+        "BRK603": "pump loop reaches an unbounded Queue.get() via a call chain",
+    }
+    explain = {
+        "BRK601": (
+            "A select-driven pump multiplexes every peer through one "
+            "loop; the only sanctioned wait is the select timeout "
+            "itself (the paper's 40 ms worst case). BRK301 catches "
+            "time.sleep written in the pump function; BRK601 follows "
+            "the call graph, so a sleep buried two helpers deep — "
+            "e.g. a retry backoff inside a push helper — is flagged "
+            "at the pump call site that reaches it, with the chain "
+            "printed. Sleeping there stalls acks, heartbeats, and "
+            "every other connection for the duration."
+        ),
+        "BRK602": (
+            "Every kernel read a pump reaches must be select-guarded "
+            "or timeout-bounded where it happens. A helper that calls "
+            ".recv() bare can block on a slow peer, freezing the pump "
+            "— readiness was checked (if at all) in a different "
+            "function, and the two drift apart under refactoring."
+        ),
+        "BRK603": (
+            "An unbounded Queue.get() reached from a pump waits "
+            "forever if the producer stalls or exits; bounded waits "
+            "keep the pump's worst-case cycle time provable."
+        ),
+    }
+
+    def check(self, tree: SourceTree) -> Iterable[Finding]:
+        analysis = project_analysis(tree)
+        candidates: list[tuple[Finding, str, int]] = []
+        for source_file in tree.matching(*SCOPE_SUFFIXES):
+            if source_file.tree is None:
+                continue
+            for info in analysis.graph.functions.values():
+                if info.rel_path != source_file.rel_path:
+                    continue
+                fx = analysis.effects_of(info.qname)
+                if not fx.transitive & Effect.RUNS_SELECT:
+                    continue
+                candidates.extend(
+                    self._check_pump(analysis, source_file.rel_path, info)
+                )
+        yield from _dedupe(candidates)
+
+    def _check_pump(
+        self,
+        analysis: ProjectAnalysis,
+        rel_path: str,
+        info: FunctionInfo,
+    ) -> list[tuple[Finding, str, int]]:
+        loop_lines = _while_body_lines(info.node)
+        if not loop_lines:
+            return []
+        out: list[tuple[Finding, str, int]] = []
+        fx = analysis.effects_of(info.qname)
+        has_direct_select = bool(fx.local & Effect.RUNS_SELECT)
+        pump_name = info.qname.rsplit(".", 1)[-1]
+
+        # chain-0: blocking seed sites written directly in the loop body.
+        # BRK301 already owns direct sleeps in functions that also select.
+        for site in fx.sites:
+            for effect, rule in BLOCKING_EFFECTS.items():
+                if not site.effect & effect:
+                    continue
+                if site.lineno not in loop_lines:
+                    continue
+                if rule == "BRK601" and has_direct_select:
+                    continue  # BRK301's finding, not ours
+                if rule in ("BRK602", "BRK603"):
+                    continue  # BRK302/303 own direct sites in scoped files
+                out.append(
+                    (
+                        Finding(
+                            rule=rule,
+                            path=rel_path,
+                            line=site.lineno,
+                            message=(
+                                f"pump '{pump_name}' blocks directly in its "
+                                f"loop: {site.detail}"
+                            ),
+                            hint=_HINTS[rule],
+                        ),
+                        f"{info.qname}:{site.lineno}",
+                        0,
+                    )
+                )
+
+        # chain-1+: call sites in the loop whose callee reaches a block.
+        for edge in analysis.graph.callees(info.qname):
+            if edge.kind not in PROPAGATING_KINDS:
+                continue
+            if edge.lineno not in loop_lines:
+                continue
+            reach = analysis.outward(edge.callee)
+            for effect, rule in BLOCKING_EFFECTS.items():
+                if not reach & effect:
+                    continue
+                chain, site = analysis.describe_chain(edge.callee, effect)
+                terminal = site.detail if site else effect.describe()
+                where = (
+                    f" ({terminal} at "
+                    f"{_site_location(analysis, edge.callee, effect)})"
+                    if site
+                    else ""
+                )
+                callee_name = edge.callee.rsplit(".", 1)[-1]
+                full_chain = (
+                    callee_name if chain in ("", "(local)") else f"{callee_name} -> {chain}"
+                )
+                terminal_key = _terminal_qname(analysis, edge.callee, effect)
+                out.append(
+                    (
+                        Finding(
+                            rule=rule,
+                            path=rel_path,
+                            line=edge.lineno,
+                            message=(
+                                f"pump '{pump_name}' reaches a blocking call "
+                                f"through {full_chain}{where}"
+                            ),
+                            hint=_HINTS[rule],
+                        ),
+                        terminal_key,
+                        1 + len(chain.split(" -> ")) if chain not in ("", "(local)") else 1,
+                    )
+                )
+        return out
+
+
+def _while_body_lines(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
+    """Line numbers inside any ``while`` body of *func* (own scope only)."""
+    lines: set[int] = set()
+    stack: list[tuple[ast.AST, bool]] = [(n, False) for n in func.body]
+    while stack:
+        node, in_loop = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if in_loop and hasattr(node, "lineno"):
+            lines.add(node.lineno)
+        entering = in_loop or isinstance(node, ast.While)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, entering))
+    return lines
+
+
+def _terminal_qname(
+    analysis: ProjectAnalysis, start: str, effect: Effect
+) -> str:
+    chain = analysis.chain_to(start, effect)
+    if chain:
+        return chain[-1][1]
+    return start
+
+
+def _site_location(
+    analysis: ProjectAnalysis, start: str, effect: Effect
+) -> str:
+    terminal = _terminal_qname(analysis, start, effect)
+    info = analysis.graph.functions.get(terminal)
+    site = analysis.effects_of(terminal).site_for(effect)
+    if info is None or site is None:
+        return terminal
+    return f"{info.rel_path}:{site.lineno}"
+
+
+def _dedupe(
+    candidates: list[tuple[Finding, str, int]]
+) -> list[Finding]:
+    """One finding per (rule, terminal blocking function), shortest chain."""
+    best: dict[tuple[str, str], tuple[int, Finding]] = {}
+    for finding, terminal_key, depth in candidates:
+        key = (finding.rule, terminal_key)
+        kept = best.get(key)
+        if kept is None or depth < kept[0] or (
+            depth == kept[0]
+            and (finding.path, finding.line) < (kept[1].path, kept[1].line)
+        ):
+            best[key] = (depth, finding)
+    return sorted(
+        (f for _, f in best.values()),
+        key=lambda f: (f.path, f.line, f.rule),
+    )

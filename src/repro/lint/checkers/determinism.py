@@ -129,6 +129,24 @@ class DeterminismChecker(Checker):
         "BRK201": "wall-clock or entropy read in the deterministic zone",
         "BRK202": "module-level random.* call in the deterministic zone",
         "BRK203": "unseeded random.Random() in the deterministic zone",
+        "BRK204": (
+            "zone function transitively reaches an ambient clock/entropy "
+            "read through a helper outside the zone"
+        ),
+    }
+    explain = {
+        "BRK204": (
+            "BRK201 only sees reads written inside zone files; a zone "
+            "function that calls a runtime/util helper which reads "
+            "time.time() leaks exactly the same nondeterminism one hop "
+            "removed, and nothing flagged it before the call graph "
+            "existed. This rule walks the interprocedural effect "
+            "lattice (repro.lint.effects) from every zone function and "
+            "reports the shortest chain to an out-of-zone ambient "
+            "read. repro.util.timebase is a barrier — routing time "
+            "through the sanctioned clock interface is the approved "
+            "escape hatch and never flags."
+        ),
     }
 
     def check(self, tree: SourceTree) -> Iterable[Finding]:
@@ -138,8 +156,65 @@ class DeterminismChecker(Checker):
             if source_file.rel_path in ZONE_EXEMPT:
                 continue
             yield from self._check_file(source_file)
+        yield from self._check_transitive(tree)
+
+    def _check_transitive(self, tree: SourceTree) -> Iterator[Finding]:
+        """BRK204: zone code reaching ambient reads *through* helpers.
+
+        Only chains that terminate outside the zone are reported —
+        in-zone reads are already flagged at their own line by
+        BRK201/202/203, and ``ZONE_FILES`` opt-ins police their own
+        file only (relay legitimately calls real-clock tcp helpers).
+        Edges into :data:`ZONE_EXEMPT` files inherit the exemption.
+        """
+        from repro.lint.effects import Effect, project_analysis
+
+        analysis = project_analysis(tree)
+        ambient = Effect.READS_CLOCK | Effect.READS_ENTROPY
+        for info in analysis.graph.functions.values():
+            if not info.rel_path.startswith(ZONE_PREFIXES):
+                continue
+            if info.rel_path in ZONE_EXEMPT:
+                continue
+            if analysis.effects_of(info.qname).local & ambient:
+                continue  # BRK201/202/203 territory
+            for effect in (Effect.READS_CLOCK, Effect.READS_ENTROPY):
+                chain = analysis.chain_to(info.qname, effect)
+                if not chain:  # None (unreachable) or [] (local, handled)
+                    continue
+                terminal = chain[-1][1]
+                terminal_info = analysis.graph.functions.get(terminal)
+                if terminal_info is None:
+                    continue
+                if terminal_info.rel_path.startswith(ZONE_PREFIXES):
+                    continue  # the read itself is flagged in-zone
+                if terminal_info.rel_path in ZONE_EXEMPT:
+                    continue
+                site = analysis.effects_of(terminal).site_for(effect)
+                via = " -> ".join(e.callee.rsplit(".", 1)[-1] for e, _ in chain)
+                detail = site.detail if site else effect.describe()
+                where = (
+                    f"{terminal_info.rel_path}:{site.lineno}"
+                    if site
+                    else terminal_info.rel_path
+                )
+                yield Finding(
+                    rule="BRK204",
+                    path=info.rel_path,
+                    line=chain[0][0].lineno,
+                    message=(
+                        f"zone function '{info.name}' reaches an ambient "
+                        f"{'clock' if effect is Effect.READS_CLOCK else 'entropy'} "
+                        f"read via {via} ({detail} at {where})"
+                    ),
+                    hint=(
+                        "inject the value (parameter or timebase clock) "
+                        "instead of calling through to the ambient read"
+                    ),
+                )
 
     def _check_file(self, source_file: SourceFile) -> Iterator[Finding]:
+        assert source_file.tree is not None  # guarded by check()
         imports = ImportMap(source_file.tree)
         in_annotation = _annotation_ranges(source_file.tree)
         for node in ast.walk(source_file.tree):

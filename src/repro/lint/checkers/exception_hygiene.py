@@ -103,6 +103,7 @@ class ExceptionHygieneChecker(Checker):
             yield from self._check_file(source_file)
 
     def _check_file(self, source_file: SourceFile) -> Iterator[Finding]:
+        assert source_file.tree is not None  # guarded by check()
         imports = ImportMap(source_file.tree)
         for node in ast.walk(source_file.tree):
             if not isinstance(node, ast.ExceptHandler):

@@ -27,7 +27,7 @@ import ast
 from typing import Iterable
 
 from repro.lint.astutil import dotted_name
-from repro.lint.engine import Checker, Finding, SourceTree
+from repro.lint.engine import Checker, Finding, SourceFile, SourceTree
 
 __all__ = ["InstrumentRegistrationChecker"]
 
@@ -138,7 +138,13 @@ class InstrumentRegistrationChecker(Checker):
                     )
         return findings
 
-    def _check_direct(self, source_file, node: ast.Call, ctor: str, evidence):
+    def _check_direct(
+        self,
+        source_file: SourceFile,
+        node: ast.Call,
+        ctor: str,
+        evidence: set[str],
+    ) -> Iterable[Finding]:
         if not _is_name_literalish(node):
             yield Finding(
                 rule="BRK502",
@@ -185,8 +191,9 @@ class InstrumentRegistrationChecker(Checker):
             )
 
     @staticmethod
-    def _assigned_attr(source_file, call: ast.Call) -> str | None:
+    def _assigned_attr(source_file: SourceFile, call: ast.Call) -> str | None:
         """The attribute name a ``x.attr = Ctor(...)`` assignment targets."""
+        assert source_file.tree is not None  # guarded by check()
         for node in ast.walk(source_file.tree):
             if isinstance(node, ast.Assign) and node.value is call:
                 for target in node.targets:

@@ -81,6 +81,7 @@ class LoopDisciplineChecker(Checker):
             yield from self._check_file(source_file)
 
     def _check_file(self, source_file: SourceFile) -> Iterator[Finding]:
+        assert source_file.tree is not None  # guarded by check()
         imports = ImportMap(source_file.tree)
         for func in walk_functions(source_file.tree):
             has_select = bool(_select_lines(func, imports))

@@ -137,6 +137,7 @@ class WireConformanceChecker(Checker):
         self, source_file: SourceFile, members: list[str]
     ) -> Iterator[Finding]:
         module = source_file.tree
+        assert module is not None  # guarded by check()
         infos = {name: _MessageInfo(name) for name in members}
         functions = {
             node.name: node

@@ -92,6 +92,22 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print the rationale behind one rule (BRK601) and exit",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="SYMBOL",
+        default=None,
+        help=(
+            "debug the interprocedural analysis: print what the call "
+            "graph resolved for one function (full qname or unambiguous "
+            "suffix, e.g. ShardWorker.run) and exit"
+        ),
+    )
     return parser
 
 
@@ -127,11 +143,80 @@ def _list_rules() -> None:
             print(f"  {rule}  {description}")
 
 
+def _explain_rule(rule: str) -> int:
+    import textwrap
+
+    rule = rule.upper()
+    for checker in all_checkers():
+        if rule in checker.rules:
+            print(f"{rule} ({checker.name}): {checker.rules[rule]}")
+            rationale = checker.explain.get(rule)
+            if rationale:
+                print()
+                print(textwrap.fill(rationale, width=76))
+            else:
+                print("(no extended rationale recorded for this rule)")
+            return 0
+    if rule in PRAGMA_RULES:
+        print(f"{rule} (engine): {PRAGMA_RULES[rule]}")
+        return 0
+    print(f"brisk-lint: unknown rule {rule!r} (see --list-rules)", file=sys.stderr)
+    return 2
+
+
+def _print_graph(symbol: str, paths: list[Path], root: Path) -> int:
+    """Debug view: what did the analysis resolve for one function?"""
+    from repro.lint.effects import PROPAGATING_KINDS, project_analysis
+    from repro.lint.engine import load_tree
+
+    tree = load_tree(paths, root=root)
+    analysis = project_analysis(tree)
+    graph = analysis.graph
+    info = graph.lookup(symbol)
+    if info is None:
+        matches = graph.lookup_all(symbol)
+        if matches:
+            print(
+                f"brisk-lint: {symbol!r} is ambiguous; candidates:",
+                file=sys.stderr,
+            )
+            for match in matches:
+                print(f"  {match.qname}", file=sys.stderr)
+        else:
+            print(f"brisk-lint: no function matches {symbol!r}", file=sys.stderr)
+        return 2
+    fx = analysis.effects_of(info.qname)
+    print(f"{info.qname}  ({info.rel_path}:{info.lineno})")
+    print(f"  local effects:      {fx.local.describe()}")
+    print(f"  transitive effects: {fx.transitive.describe()}")
+    outward = analysis.outward(info.qname)
+    if outward != fx.transitive:
+        print(f"  propagates outward: {outward.describe()}  [barrier applied]")
+    for site in fx.sites:
+        print(f"    seed @{site.lineno}: {site.effect.describe()} — {site.detail}")
+    callees = graph.callees(info.qname)
+    print(f"  callees ({len(callees)}):")
+    for edge in sorted(callees, key=lambda e: (e.lineno, e.callee)):
+        defer = "" if edge.kind in PROPAGATING_KINDS else " [deferred: no effect propagation]"
+        print(f"    @{edge.lineno} -> {edge.callee}  ({edge.kind}){defer}")
+    callers = graph.callers(info.qname)
+    print(f"  callers ({len(callers)}):")
+    for edge in sorted(callers, key=lambda e: (e.caller, e.lineno)):
+        print(f"    {edge.caller} @{edge.lineno}  ({edge.kind})")
+    unresolved = graph.unresolved.get(info.qname, [])
+    print(f"  unresolved calls ({len(unresolved)}):")
+    for dotted, lineno in unresolved:
+        print(f"    @{lineno} {dotted}(...)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
         _list_rules()
         return 0
+    if args.explain:
+        return _explain_rule(args.explain)
 
     if args.paths:
         paths = [Path(p) for p in args.paths]
@@ -154,6 +239,9 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.graph:
+        return _print_graph(args.graph, [Path(p) for p in paths], root)
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -181,7 +269,11 @@ def main(argv: list[str] | None = None) -> int:
             (f, result.fingerprint_of(f))
             for f in result.new + result.baselined
         ]
-        count = write_baseline(target, pairs)
+        symbols = {
+            result.fingerprint_of(f): result.symbol_of(f)
+            for f in result.new + result.baselined
+        }
+        count = write_baseline(target, pairs, symbols=symbols)
         print(f"brisk-lint: wrote {count} finding(s) to {target}")
         return 0
 

@@ -52,15 +52,26 @@ class Finding:
     message: str       #: what is wrong
     hint: str = ""     #: how to fix it
 
-    def fingerprint(self, source_line: str = "", occurrence: int = 0) -> str:
-        """Stable identity for baselining: survives pure line drift.
+    def fingerprint(
+        self,
+        source_line: str = "",
+        occurrence: int = 0,
+        symbol: str = "",
+    ) -> str:
+        """Stable identity for baselining: line-number independent.
 
-        Hashes the rule, path, the *text* of the flagged line, and an
-        occurrence index distinguishing identical lines in one file — so
-        inserting code above a baselined finding does not un-baseline it,
-        while editing the flagged line itself does.
+        Hashes the rule, the *qualified symbol* enclosing the finding
+        (``repro.runtime.shard.ShardWorker.run``), the whitespace-
+        normalized text of the flagged line, and an occurrence index
+        distinguishing identical lines within one symbol.  Inserting
+        code above a baselined finding — or moving the whole function
+        within its file — does not un-baseline it; editing the flagged
+        line, or moving it to a different function, does and forces a
+        fresh look.  The file path is carried by the symbol (its module
+        prefix), so path churn that renames the module re-reviews too.
         """
-        blob = f"{self.rule}|{self.path}|{source_line.strip()}|{occurrence}"
+        snippet = " ".join(source_line.split())
+        blob = f"{self.rule}|{symbol}|{snippet}|{occurrence}"
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def render(self) -> str:
@@ -100,11 +111,33 @@ class SourceFile:
     pragmas: list[Pragma] = field(default_factory=list)
     #: Findings produced while *loading* (syntax errors, bad pragmas).
     load_findings: list[Finding] = field(default_factory=list)
+    #: Lazily built (start, end, qualified-symbol) spans for symbol_at.
+    _symbol_spans: list[tuple[int, int, str]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1]
         return ""
+
+    def symbol_at(self, lineno: int) -> str:
+        """Qualified symbol enclosing *lineno* (module when at top level).
+
+        ``src/repro/runtime/shard.py:223`` → the innermost def/class span
+        containing line 223, e.g.
+        ``repro.runtime.shard.ShardWorker._push_with_retry``.  Drives the
+        line-number-independent baseline fingerprints.
+        """
+        if self._symbol_spans is None:
+            self._symbol_spans = _build_symbol_spans(self)
+        best: tuple[int, str] | None = None
+        for start, end, qname in self._symbol_spans:
+            if start <= lineno <= end and (best is None or start > best[0]):
+                best = (start, qname)
+        if best is not None:
+            return best[1]
+        return _module_qname(self.rel_path)
 
     def suppressed(self, finding: Finding) -> bool:
         """Consume a pragma matching *finding* (marks it used)."""
@@ -116,6 +149,43 @@ class SourceFile:
         return hit
 
 
+def _module_qname(rel_path: str) -> str:
+    """``src/repro/runtime/shard.py`` → ``repro.runtime.shard``."""
+    parts = rel_path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _build_symbol_spans(
+    source_file: SourceFile,
+) -> list[tuple[int, int, str]]:
+    """Line spans of every def/class, with fully qualified names."""
+    spans: list[tuple[int, int, str]] = []
+    if source_file.tree is None:
+        return spans
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                qname = f"{prefix}.{child.name}"
+                spans.append(
+                    (child.lineno, child.end_lineno or child.lineno, qname)
+                )
+                visit(child, qname)
+            else:
+                visit(child, prefix)
+
+    visit(source_file.tree, _module_qname(source_file.rel_path))
+    return spans
+
+
 class SourceTree:
     """All parsed files, shared by every checker."""
 
@@ -123,6 +193,9 @@ class SourceTree:
         self.root = root
         self.files = files
         self._by_rel = {f.rel_path: f for f in files}
+        #: Cross-checker caches keyed by name; the interprocedural
+        #: analysis (callgraph + effects) is built once per tree here.
+        self.caches: dict[str, object] = {}
 
     def __iter__(self) -> Iterator[SourceFile]:
         return iter(self.files)
@@ -153,6 +226,8 @@ class Checker:
 
     #: rule id → short human description (drives ``--list-rules``).
     rules: Mapping[str, str] = {}
+    #: rule id → paragraph of rationale (drives ``--explain``); optional.
+    explain: Mapping[str, str] = {}
     #: Checker name (kebab-case), for ``--select`` by family.
     name: str = ""
 

@@ -23,6 +23,8 @@ class LintResult:
     pragma_suppressed: list[Finding] = field(default_factory=list)
     #: fingerprint per finding, across all three lists.
     fingerprints: dict[int, str] = field(default_factory=dict)
+    #: qualified enclosing symbol per finding (same id keying).
+    symbols: dict[int, str] = field(default_factory=dict)
     files_checked: int = 0
     #: Baseline entries whose finding no longer exists (fixed): candidates
     #: for pruning at the next --write-baseline.
@@ -38,6 +40,9 @@ class LintResult:
     def fingerprint_of(self, finding: Finding) -> str:
         return self.fingerprints.get(id(finding), "")
 
+    def symbol_of(self, finding: Finding) -> str:
+        return self.symbols.get(id(finding), "")
+
     @property
     def exit_code(self) -> int:
         return 1 if self.new else 0
@@ -45,18 +50,29 @@ class LintResult:
 
 def fingerprint_findings(
     tree: SourceTree, findings: Sequence[Finding]
-) -> dict[int, str]:
-    """Stable fingerprints, disambiguating identical lines by occurrence."""
+) -> tuple[dict[int, str], dict[int, str]]:
+    """Fingerprints + enclosing symbols, keyed by ``id(finding)``.
+
+    Identity = rule + qualified symbol + normalized flagged-line text,
+    with an occurrence index disambiguating identical lines inside one
+    symbol — line numbers never enter the hash, so entries survive any
+    edit that does not touch the flagged line or its enclosing function.
+    """
     tally: _TallyCounter[tuple[str, str, str]] = _TallyCounter()
-    out: dict[int, str] = {}
+    fingerprints: dict[int, str] = {}
+    symbols: dict[int, str] = {}
     for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
         source_file = tree.get(finding.path)
         line_text = source_file.line_text(finding.line) if source_file else ""
-        key = (finding.rule, finding.path, line_text.strip())
+        symbol = source_file.symbol_at(finding.line) if source_file else ""
+        key = (finding.rule, symbol, " ".join(line_text.split()))
         occurrence = tally[key]
         tally[key] += 1
-        out[id(finding)] = finding.fingerprint(line_text, occurrence)
-    return out
+        fingerprints[id(finding)] = finding.fingerprint(
+            line_text, occurrence, symbol=symbol
+        )
+        symbols[id(finding)] = symbol
+    return fingerprints, symbols
 
 
 def run_lint(
@@ -116,7 +132,9 @@ def run_lint(
                     )
 
     all_classified = [*kept, *result.pragma_suppressed]
-    result.fingerprints = fingerprint_findings(tree, all_classified)
+    result.fingerprints, result.symbols = fingerprint_findings(
+        tree, all_classified
+    )
     baseline = (
         load_baseline(baseline_path) if baseline_path is not None else {}
     )

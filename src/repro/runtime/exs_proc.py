@@ -433,6 +433,7 @@ class ReconnectingExs:
             except OSError:
                 attempts += 1
                 self.failed_attempts += 1
+                # brisk-lint: disable=BRK601 (reconnect backoff: no peer, nothing to pump)
                 time.sleep(min(delay, self.max_backoff_s))
                 delay = self._next_backoff(delay)
                 continue
@@ -460,6 +461,7 @@ class ReconnectingExs:
             if time.monotonic() - session_start < self.backoff_s:
                 attempts += 1
                 if not self._stop.is_set():
+                    # brisk-lint: disable=BRK601 (post-session backoff: conn closed)
                     time.sleep(min(delay, self.max_backoff_s))
                 delay = self._next_backoff(delay)
             else:

@@ -1322,6 +1322,7 @@ class ShardedIsmServer:
         ):
             self._flush_overflow()
             self._drain_shards()
+            # brisk-lint: disable=BRK601 (shutdown drain: 1ms tick, deadline-bounded)
             time.sleep(0.001)
         # Freeze per-shard metrics while the workers still answer RPCs
         # (the post-run stats_dump/brisk-stats view reads this cache).
@@ -1339,6 +1340,7 @@ class ShardedIsmServer:
                 for h in self._handles
             ):
                 break
+            # brisk-lint: disable=BRK601 (worker-exit poll: 1ms tick, same shutdown deadline)
             time.sleep(0.001)
         # Workers have exited (or timed out): collect the shutdown
         # commits still in the rings, then tear everything down.
@@ -1363,15 +1365,18 @@ class ShardedIsmServer:
                 self._deliver(self._merger.flush())
         else:
             # Durable order: final merge flush delivers everything still
-            # held, then one sync covers it, then the held acks go out.
+            # held, then _release_durable_acks syncs the ack watermarks
+            # and stages only the acks that sync covered — so they can go
+            # on the wire before the trailing full-state sync, whose
+            # failure must not gate (or be followed by) any ack release.
             if self._merger is not None:
                 self._deliver(self._merger.flush())
             self._release_durable_acks(force=True)
+            self._flush_cycle_acks()
             try:
                 self.durable_sink.sync()
             except OSError:
                 self.durable_sync_errors += 1
-            self._flush_cycle_acks()
         self._workers_running = False
         self._stopping = False
 

@@ -681,12 +681,17 @@ class RelayServer:
             records = self._fold_metrics(records)
         first = run[0].first
         last = run[-1].last
+        # FLAG_SEQ_RANGE may only go to peers that negotiated
+        # CAP_SEQ_RANGE; toward a legacy upstream the coalesced run ships
+        # as a plain batch at `last` (safe: runs are contiguous and start
+        # past the outbox tail, so the peer's cumulative admitted
+        # watermark either covers all of it or none of it).
         payload = protocol.encode_batch_records(
             run[0].exs_id,
             last,
             records,
             enc=self._enc,
-            first_seq=first if first != last else None,
+            first_seq=first if coalesce_ok and first != last else None,
         )
         self.records_out += len(records)
         return self._maybe_compress(payload)

@@ -368,6 +368,7 @@ class ShardWorker:
                 self._handle_frame(payload, now)
             self.manager.tick(now)
             self._advance_acks()
+            # brisk-lint: disable=BRK601 (_push_with_retry: bounded 0.5ms x3 backpressure wait)
             self._flush_acks()
             self._maybe_commit()
             busy = len(frames) >= drain_limit

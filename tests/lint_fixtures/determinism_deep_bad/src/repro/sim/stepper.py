@@ -1,0 +1,7 @@
+"""BRK204 true positive: zone code reaching a clock through a helper."""
+
+from repro.util.hosttime import host_now
+
+
+def step(state):
+    return state + host_now()

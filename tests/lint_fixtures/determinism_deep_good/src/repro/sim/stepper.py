@@ -1,0 +1,7 @@
+"""BRK204 true negative: the timebase barrier is the sanctioned escape."""
+
+from repro.util.timebase import now_micros
+
+
+def step(state):
+    return state + now_micros()

@@ -1,0 +1,7 @@
+"""Sanctioned clock interface: reads the clock, masked toward callers."""
+
+import time
+
+
+def now_micros():
+    return int(time.time() * 1_000_000)

@@ -1,0 +1,15 @@
+"""Stub AckGate mirroring the real layout so the project seeds apply."""
+
+
+class AckGate:
+    def commit(self, seq):
+        return seq
+
+    def take_dirty(self):
+        return []
+
+    def acked(self, exs_id):
+        return 0
+
+    def committed(self, exs_id):
+        return 0

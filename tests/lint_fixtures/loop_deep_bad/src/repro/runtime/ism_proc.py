@@ -1,0 +1,30 @@
+"""BRK601/602/603 true positives: pump reaches blocking calls via chains."""
+
+import select
+import time
+
+
+class Dispatcher:
+    def __init__(self, conn, q):
+        self.conn = conn
+        self.q = q
+        self.stop = False
+
+    def run(self):
+        while not self.stop:
+            select.select([self.conn], [], [], 0.01)
+            self._flush()          # -> _push_retry -> time.sleep  (BRK601)
+            self._read_all()       # -> bare .recv()               (BRK602)
+            self._drain_queue()    # -> unbounded .get()           (BRK603)
+
+    def _flush(self):
+        self._push_retry()
+
+    def _push_retry(self):
+        time.sleep(0.01)
+
+    def _read_all(self):
+        return self.conn.recv(4096)
+
+    def _drain_queue(self):
+        return self.q.get()

@@ -1,0 +1,49 @@
+"""Deep-loop true negatives: bounded helpers, deferred threads, post-loop
+drains — none of these may fire BRK6xx."""
+
+import queue
+import select
+import threading
+import time
+
+
+class Dispatcher:
+    def __init__(self, conn, q):
+        self.conn = conn
+        self.q = q
+        self.stop = False
+        self.thread = None
+
+    def start(self):
+        # Callback edge: the worker's blocking loop runs on its own
+        # thread and must NOT propagate BLOCKS_QUEUE to the spawner.
+        self.thread = threading.Thread(target=self._worker_loop)
+        self.thread.start()
+
+    def _worker_loop(self):
+        while not self.stop:
+            self.q.get()
+
+    def run(self):
+        self.start()
+        while not self.stop:
+            self._read_ready()
+            self._drain_bounded()
+        self._final_drain()
+
+    def _read_ready(self):
+        # select-guarded read in the same function: not blocking.
+        ready, _, _ = select.select([self.conn], [], [], 0.01)
+        if ready:
+            return self.conn.recv(4096)
+        return b""
+
+    def _drain_bounded(self):
+        try:
+            return self.q.get(timeout=0.01)
+        except queue.Empty:
+            return None
+
+    def _final_drain(self):
+        # Post-loop shutdown wait: legal, the steady-state cycle is over.
+        time.sleep(0.05)

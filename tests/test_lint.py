@@ -366,7 +366,8 @@ class TestExternalLinters:
         assert set(ruff["lint"]["select"]) == {"E", "W", "F", "I"}
         mypy = data["tool"]["mypy"]
         assert set(mypy["packages"]) == {
-            "repro.wire", "repro.obs", "repro.log", "repro.monitor"
+            "repro.wire", "repro.obs", "repro.log", "repro.monitor",
+            "repro.lint",
         }
         assert data["project"]["scripts"]["brisk-lint"] == "repro.lint.cli:main"
 
